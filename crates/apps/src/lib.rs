@@ -1,0 +1,151 @@
+//! # soar-apps
+//!
+//! Application/workload models for the two use cases evaluated in Sec. 5.3 of the SOAR
+//! paper, expressed as [`soar_reduce::bytes::AggregationModel`]s so that the byte
+//! complexity of any blue-node placement can be measured:
+//!
+//! * **WC — word count** ([`word_count::WordCountModel`]): a MapReduce word-count job.
+//!   Each worker holds a shard of a text corpus and reports a partial dictionary
+//!   `{word → count}`; aggregation merges dictionaries, so message sizes *grow* with
+//!   the number of distinct keys seen below the aggregation point. The paper uses a
+//!   Wikipedia dump (≈54 M words, ≈800 K distinct); since that artifact is not
+//!   redistributable here, the corpus is replaced by a synthetic Zipf-distributed
+//!   stream with matching shape parameters (see `DESIGN.md` for the substitution
+//!   rationale).
+//! * **PS — parameter server** ([`param_server::ParameterServerModel`]): distributed
+//!   gradient aggregation over a 10 000-dimensional feature space with a 0.5 dropout
+//!   rate, exactly as modelled by the paper (which also does not run a real neural
+//!   network and only models the gradient messages). Each worker reports a sparse
+//!   gradient over roughly half the features; aggregation unions the index sets, so
+//!   messages saturate quickly and sizes vary only mildly across the tree.
+//!
+//! The [`UseCase`] enum packages both models (with the paper's default parameters)
+//! behind one object for the evaluation harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod param_server;
+pub mod word_count;
+pub mod zipf;
+
+pub use param_server::ParameterServerModel;
+pub use word_count::WordCountModel;
+
+use rand::Rng;
+use soar_reduce::bytes::{byte_complexity, ByteReport};
+use soar_reduce::Coloring;
+use soar_topology::Tree;
+
+/// The two application use cases of Sec. 5.3, with the paper's default parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UseCase {
+    /// MapReduce word count over a (synthetic) heavy-tailed corpus.
+    WordCount(WordCountModel),
+    /// Distributed ML gradient aggregation through a parameter server.
+    ParameterServer(ParameterServerModel),
+}
+
+impl UseCase {
+    /// The word-count use case at a laptop-friendly scale (a scaled-down corpus with
+    /// the same Zipf shape as the paper's Wikipedia dump).
+    pub fn word_count_default() -> Self {
+        UseCase::WordCount(WordCountModel::scaled_default())
+    }
+
+    /// The word-count use case at the paper's full corpus scale (54 M words, 800 K
+    /// vocabulary). Noticeably slower; intended for the figure-regeneration binaries.
+    pub fn word_count_paper_scale(total_workers: u64) -> Self {
+        UseCase::WordCount(WordCountModel::paper_scale(total_workers))
+    }
+
+    /// The parameter-server use case with the paper's parameters (10 K features,
+    /// 0.5 dropout).
+    pub fn parameter_server_default() -> Self {
+        UseCase::ParameterServer(ParameterServerModel::paper_default())
+    }
+
+    /// A short label for tables and plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UseCase::WordCount(_) => "WC",
+            UseCase::ParameterServer(_) => "PS",
+        }
+    }
+
+    /// Evaluates the byte complexity of a coloring under this use case.
+    pub fn byte_report<R: Rng + ?Sized>(
+        &self,
+        tree: &Tree,
+        coloring: &Coloring,
+        rng: &mut R,
+    ) -> ByteReport {
+        match self {
+            UseCase::WordCount(model) => byte_complexity(tree, coloring, model, rng),
+            UseCase::ParameterServer(model) => byte_complexity(tree, coloring, model, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_topology::builders;
+    use soar_topology::load::LoadSpec;
+
+    fn small_loaded_tree() -> Tree {
+        let mut tree = builders::complete_binary_tree_bt(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        tree.apply_leaf_loads(&LoadSpec::paper_uniform(), &mut rng);
+        tree
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(UseCase::word_count_default().label(), "WC");
+        assert_eq!(UseCase::parameter_server_default().label(), "PS");
+    }
+
+    #[test]
+    fn byte_reports_are_produced_for_both_use_cases() {
+        let tree = small_loaded_tree();
+        let coloring = Coloring::all_blue(tree.n_switches());
+        for use_case in [
+            UseCase::word_count_default(),
+            UseCase::parameter_server_default(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let report = use_case.byte_report(&tree, &coloring, &mut rng);
+            assert!(report.total_bytes > 0, "{} produced no bytes", use_case.label());
+            assert_eq!(
+                report.total_messages,
+                soar_reduce::cost::message_complexity(&tree, &coloring)
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_reduces_bytes_for_both_use_cases() {
+        let tree = small_loaded_tree();
+        let all_red = Coloring::all_red(tree.n_switches());
+        let all_blue = Coloring::all_blue(tree.n_switches());
+        for use_case in [
+            UseCase::word_count_default(),
+            UseCase::parameter_server_default(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let red = use_case.byte_report(&tree, &all_red, &mut rng);
+            let mut rng = StdRng::seed_from_u64(3);
+            let blue = use_case.byte_report(&tree, &all_blue, &mut rng);
+            assert!(
+                blue.total_bytes < red.total_bytes,
+                "{}: all-blue ({}) should beat all-red ({})",
+                use_case.label(),
+                blue.total_bytes,
+                red.total_bytes
+            );
+        }
+    }
+}

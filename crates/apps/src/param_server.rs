@@ -1,0 +1,249 @@
+//! The **PS (parameter server)** use case of Sec. 5.3: distributed gradient
+//! aggregation for machine-learning training.
+//!
+//! Worker servers train locally and push gradient updates towards a parameter server
+//! (the destination `d`). With a dropout rate of 0.5 over a 10 000-dimensional feature
+//! space (the paper's configuration), each worker's update touches a random ≈half of
+//! the features; an aggregation switch sums gradients element-wise, so the merged
+//! update covers the *union* of the touched features. Because two random halves
+//! already cover ≈75 % of the space, message sizes saturate quickly: aggregated
+//! messages are barely larger than a single worker's, which is why the PS byte
+//! complexity closely tracks the utilization complexity in Fig. 8.
+//!
+//! The paper explicitly models only the messages (not the neural network itself); this
+//! module does the same. Gradients are represented by the *set* of touched feature
+//! indices (a fixed-size bitset); actual float values are irrelevant to byte counts
+//! beyond a constant per-entry size.
+
+use rand::Rng;
+use soar_reduce::bytes::AggregationModel;
+use soar_topology::NodeId;
+
+/// Default number of features (the paper uses a 10 K feature space).
+pub const DEFAULT_FEATURES: usize = 10_000;
+/// Default dropout rate (the paper uses 0.5).
+pub const DEFAULT_DROPOUT: f64 = 0.5;
+/// Default bytes per (index, value) pair in the sparse encoding.
+pub const DEFAULT_BYTES_PER_SPARSE_ENTRY: u64 = 8;
+/// Default bytes per value in the dense encoding.
+pub const DEFAULT_BYTES_PER_DENSE_VALUE: u64 = 4;
+
+/// A sparse gradient: the set of feature indices a message carries, as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradientSketch {
+    bits: Vec<u64>,
+    features: usize,
+}
+
+impl GradientSketch {
+    fn empty(features: usize) -> Self {
+        GradientSketch {
+            bits: vec![0u64; features.div_ceil(64)],
+            features,
+        }
+    }
+
+    fn set(&mut self, index: usize) {
+        self.bits[index / 64] |= 1u64 << (index % 64);
+    }
+
+    /// Number of features this gradient touches.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Number of features in the full space.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    fn union_in_place(&mut self, other: &GradientSketch) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+    }
+}
+
+/// The parameter-server aggregation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterServerModel {
+    features: usize,
+    dropout: f64,
+    bytes_per_sparse_entry: u64,
+    bytes_per_dense_value: u64,
+}
+
+impl ParameterServerModel {
+    /// Builds a parameter-server model with the given feature-space size and dropout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0` or `dropout` is outside `[0, 1]`.
+    pub fn new(features: usize, dropout: f64) -> Self {
+        assert!(features > 0, "the feature space must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&dropout),
+            "dropout must be a probability"
+        );
+        ParameterServerModel {
+            features,
+            dropout,
+            bytes_per_sparse_entry: DEFAULT_BYTES_PER_SPARSE_ENTRY,
+            bytes_per_dense_value: DEFAULT_BYTES_PER_DENSE_VALUE,
+        }
+    }
+
+    /// The paper's configuration: 10 000 features, dropout 0.5.
+    pub fn paper_default() -> Self {
+        ParameterServerModel::new(DEFAULT_FEATURES, DEFAULT_DROPOUT)
+    }
+
+    /// Overrides the sparse / dense encoding sizes.
+    pub fn with_encoding(mut self, bytes_per_sparse_entry: u64, bytes_per_dense_value: u64) -> Self {
+        self.bytes_per_sparse_entry = bytes_per_sparse_entry;
+        self.bytes_per_dense_value = bytes_per_dense_value;
+        self
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Dropout rate.
+    pub fn dropout(&self) -> f64 {
+        self.dropout
+    }
+
+    /// Size of a fully dense gradient message.
+    pub fn dense_bytes(&self) -> u64 {
+        self.features as u64 * self.bytes_per_dense_value
+    }
+}
+
+impl AggregationModel for ParameterServerModel {
+    type Payload = GradientSketch;
+
+    fn worker_payload<R: Rng + ?Sized>(
+        &self,
+        _switch: NodeId,
+        _worker_index: u64,
+        rng: &mut R,
+    ) -> GradientSketch {
+        let mut sketch = GradientSketch::empty(self.features);
+        let keep = 1.0 - self.dropout;
+        for index in 0..self.features {
+            if rng.random::<f64>() < keep {
+                sketch.set(index);
+            }
+        }
+        sketch
+    }
+
+    fn merge(&self, acc: &mut GradientSketch, other: &GradientSketch) {
+        acc.union_in_place(other);
+    }
+
+    fn size_bytes(&self, payload: &GradientSketch) -> u64 {
+        // A message is encoded sparsely (index + value per touched feature) or densely
+        // (one value per feature), whichever is smaller — standard practice for
+        // gradient exchange.
+        let sparse = payload.count() as u64 * self.bytes_per_sparse_entry;
+        sparse.min(self.dense_bytes())
+    }
+
+    fn empty(&self) -> GradientSketch {
+        GradientSketch::empty(self.features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_reduce::bytes::byte_complexity;
+    use soar_reduce::Coloring;
+    use soar_topology::builders;
+
+    #[test]
+    fn worker_gradients_respect_the_dropout_rate() {
+        let model = ParameterServerModel::new(10_000, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sketch = model.worker_payload(0, 0, &mut rng);
+        let touched = sketch.count() as f64;
+        assert!(
+            (touched - 5_000.0).abs() < 300.0,
+            "≈half the features should be touched, got {touched}"
+        );
+        assert_eq!(sketch.features(), 10_000);
+    }
+
+    #[test]
+    fn merging_unions_the_feature_sets() {
+        let model = ParameterServerModel::new(1_000, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = model.worker_payload(0, 0, &mut rng);
+        let b = model.worker_payload(0, 1, &mut rng);
+        let before = a.count();
+        model.merge(&mut a, &b);
+        assert!(a.count() >= before);
+        assert!(a.count() >= b.count());
+        assert!(a.count() <= 1_000);
+        // Two random halves cover roughly three quarters of the space.
+        assert!(a.count() as f64 > 0.65 * 1_000.0);
+    }
+
+    #[test]
+    fn message_sizes_are_capped_by_the_dense_encoding() {
+        let model = ParameterServerModel::new(1_000, 0.0); // no dropout: all features
+        let mut rng = StdRng::seed_from_u64(2);
+        let sketch = model.worker_payload(0, 0, &mut rng);
+        assert_eq!(sketch.count(), 1_000);
+        assert_eq!(model.size_bytes(&sketch), model.dense_bytes());
+        assert_eq!(model.size_bytes(&model.empty()), 0);
+    }
+
+    #[test]
+    fn aggregated_ps_messages_grow_only_mildly() {
+        // The property behind Fig. 8: PS byte complexity tracks utilization because
+        // message sizes barely grow when aggregated.
+        let mut tree = builders::complete_binary_tree(7);
+        for leaf in [3usize, 4, 5, 6] {
+            tree.set_load(leaf, 4);
+        }
+        let model = ParameterServerModel::new(2_000, 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = byte_complexity(
+            &tree,
+            &Coloring::all_blue(tree.n_switches()),
+            &model,
+            &mut rng,
+        );
+        let leaf_bytes = report.per_edge_bytes[3] as f64;
+        let root_bytes = report.per_edge_bytes[0] as f64;
+        assert!(root_bytes <= 2.0 * leaf_bytes, "PS aggregates must not balloon");
+    }
+
+    #[test]
+    fn paper_default_parameters() {
+        let model = ParameterServerModel::paper_default();
+        assert_eq!(model.features(), 10_000);
+        assert_eq!(model.dropout(), 0.5);
+        assert_eq!(model.dense_bytes(), 40_000);
+        let custom = model.clone().with_encoding(16, 8);
+        assert_eq!(custom.dense_bytes(), 80_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_dropout_is_rejected() {
+        let _ = ParameterServerModel::new(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_feature_space_is_rejected() {
+        let _ = ParameterServerModel::new(0, 0.5);
+    }
+}

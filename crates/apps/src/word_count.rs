@@ -1,0 +1,207 @@
+//! The **WC (word count)** use case of Sec. 5.3: MapReduce word counting.
+//!
+//! Every worker holds a shard of a text corpus and emits a partial dictionary mapping
+//! each distinct word it saw to its count. A red switch forwards partial dictionaries
+//! untouched; a blue switch (or the destination) merges them by summing counts per
+//! word. The wire size of a message is therefore proportional to the number of
+//! *distinct* words it carries — which grows as dictionaries are merged up the tree,
+//! the effect responsible for the diminished byte-complexity savings of WC compared to
+//! its utilization savings (Fig. 8b).
+//!
+//! ## Corpus substitution
+//!
+//! The paper uses a Wikipedia dump with ≈54 M words of which ≈800 K are distinct. That
+//! artifact is replaced here by a synthetic corpus whose word ids follow a Zipf
+//! distribution (the classical model of natural-language word frequencies): the model
+//! draws `words_per_worker` word ids per worker from `Zipf(vocabulary, s)`. Byte
+//! complexity only depends on how many distinct keys each partial dictionary holds and
+//! how those key sets overlap when merged — both of which are governed by the
+//! heavy-tailed key-frequency distribution the Zipf corpus reproduces.
+
+use crate::zipf::Zipf;
+use rand::Rng;
+use soar_reduce::bytes::AggregationModel;
+use soar_topology::NodeId;
+use std::collections::HashMap;
+
+/// Default average encoded size of one dictionary key (a word), in bytes.
+pub const DEFAULT_BYTES_PER_WORD: u64 = 8;
+/// Default encoded size of one count value, in bytes.
+pub const DEFAULT_BYTES_PER_COUNT: u64 = 8;
+
+/// The word-count aggregation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordCountModel {
+    vocabulary: usize,
+    words_per_worker: u64,
+    zipf_exponent: f64,
+    bytes_per_word: u64,
+    bytes_per_count: u64,
+    zipf: Zipf,
+}
+
+impl WordCountModel {
+    /// Builds a word-count model.
+    ///
+    /// * `vocabulary` — number of distinct words in the corpus;
+    /// * `words_per_worker` — how many words each worker's shard contains;
+    /// * `zipf_exponent` — the Zipf exponent `s` of the word-frequency distribution
+    ///   (≈1.0 for natural language).
+    pub fn new(vocabulary: usize, words_per_worker: u64, zipf_exponent: f64) -> Self {
+        WordCountModel {
+            vocabulary,
+            words_per_worker,
+            zipf_exponent,
+            bytes_per_word: DEFAULT_BYTES_PER_WORD,
+            bytes_per_count: DEFAULT_BYTES_PER_COUNT,
+            zipf: Zipf::new(vocabulary, zipf_exponent),
+        }
+    }
+
+    /// Overrides the per-key and per-count wire sizes.
+    pub fn with_encoding(mut self, bytes_per_word: u64, bytes_per_count: u64) -> Self {
+        self.bytes_per_word = bytes_per_word;
+        self.bytes_per_count = bytes_per_count;
+        self
+    }
+
+    /// A laptop-friendly default: 80 K vocabulary, 5 000 words per worker, `s = 1.0` —
+    /// the same Zipf shape as the paper's corpus at roughly 1/10 the vocabulary.
+    pub fn scaled_default() -> Self {
+        WordCountModel::new(80_000, 5_000, 1.0)
+    }
+
+    /// The paper's corpus scale: an 800 K-word vocabulary and 54 M total words split
+    /// evenly across `total_workers` workers.
+    pub fn paper_scale(total_workers: u64) -> Self {
+        let total_words: u64 = 54_000_000;
+        let per_worker = (total_words / total_workers.max(1)).max(1);
+        WordCountModel::new(800_000, per_worker, 1.0)
+    }
+
+    /// Number of distinct words in the corpus.
+    pub fn vocabulary(&self) -> usize {
+        self.vocabulary
+    }
+
+    /// Words per worker shard.
+    pub fn words_per_worker(&self) -> u64 {
+        self.words_per_worker
+    }
+
+    /// Expected number of distinct words in a single worker's dictionary.
+    pub fn expected_distinct_per_worker(&self) -> f64 {
+        self.zipf.expected_distinct(self.words_per_worker)
+    }
+}
+
+impl AggregationModel for WordCountModel {
+    /// A partial dictionary: word id → occurrence count.
+    type Payload = HashMap<u32, u64>;
+
+    fn worker_payload<R: Rng + ?Sized>(
+        &self,
+        _switch: NodeId,
+        _worker_index: u64,
+        rng: &mut R,
+    ) -> Self::Payload {
+        let mut dict = HashMap::new();
+        for _ in 0..self.words_per_worker {
+            let word = self.zipf.sample(rng) as u32;
+            *dict.entry(word).or_insert(0) += 1;
+        }
+        dict
+    }
+
+    fn merge(&self, acc: &mut Self::Payload, other: &Self::Payload) {
+        for (&word, &count) in other {
+            *acc.entry(word).or_insert(0) += count;
+        }
+    }
+
+    fn size_bytes(&self, payload: &Self::Payload) -> u64 {
+        payload.len() as u64 * (self.bytes_per_word + self.bytes_per_count)
+    }
+
+    fn empty(&self) -> Self::Payload {
+        HashMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_reduce::bytes::byte_complexity;
+    use soar_reduce::Coloring;
+    use soar_topology::builders;
+
+    #[test]
+    fn worker_dictionaries_have_plausible_sizes() {
+        let model = WordCountModel::new(10_000, 2_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let dict = model.worker_payload(0, 0, &mut rng);
+        let total: u64 = dict.values().sum();
+        assert_eq!(total, 2_000, "every sampled word must be counted");
+        let distinct = dict.len() as f64;
+        let expected = model.expected_distinct_per_worker();
+        assert!(
+            (distinct - expected).abs() < expected * 0.25,
+            "observed {distinct} distinct words, expected ≈{expected}"
+        );
+        assert!(distinct < 2_000.0, "Zipf sampling must produce repeats");
+    }
+
+    #[test]
+    fn merge_sums_counts_and_unions_keys() {
+        let model = WordCountModel::new(100, 10, 1.0);
+        let mut a: HashMap<u32, u64> = [(1, 2), (2, 1)].into_iter().collect();
+        let b: HashMap<u32, u64> = [(2, 3), (7, 5)].into_iter().collect();
+        model.merge(&mut a, &b);
+        assert_eq!(a.get(&1), Some(&2));
+        assert_eq!(a.get(&2), Some(&4));
+        assert_eq!(a.get(&7), Some(&5));
+        assert_eq!(a.len(), 3);
+        assert_eq!(model.size_bytes(&a), 3 * 16);
+        assert_eq!(model.size_bytes(&model.empty()), 0);
+    }
+
+    #[test]
+    fn encoding_override_changes_sizes() {
+        let model = WordCountModel::new(100, 10, 1.0).with_encoding(4, 2);
+        let dict: HashMap<u32, u64> = [(1, 1), (2, 1)].into_iter().collect();
+        assert_eq!(model.size_bytes(&dict), 12);
+    }
+
+    #[test]
+    fn aggregated_messages_grow_with_subtree_size() {
+        // A blue switch high in the tree merges many shards: its single message holds
+        // more distinct keys than any single worker's dictionary.
+        let mut tree = builders::complete_binary_tree(7);
+        for leaf in [3usize, 4, 5, 6] {
+            tree.set_load(leaf, 3);
+        }
+        let model = WordCountModel::new(50_000, 2_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = byte_complexity(
+            &tree,
+            &Coloring::all_blue(tree.n_switches()),
+            &model,
+            &mut rng,
+        );
+        // Root aggregate (one message) must be larger than a leaf aggregate (also one
+        // message) because it has seen 4x the shards.
+        assert!(report.per_edge_bytes[0] > report.per_edge_bytes[3]);
+        assert_eq!(report.per_edge_messages[0], 1);
+    }
+
+    #[test]
+    fn paper_scale_splits_the_corpus_across_workers() {
+        let model = WordCountModel::paper_scale(640);
+        assert_eq!(model.vocabulary(), 800_000);
+        assert_eq!(model.words_per_worker(), 54_000_000 / 640);
+        let tiny = WordCountModel::paper_scale(0);
+        assert_eq!(tiny.words_per_worker(), 54_000_000);
+    }
+}

@@ -1,0 +1,150 @@
+//! A truncated Zipf (discrete power-law) sampler over `{0, ..., n-1}`.
+//!
+//! Natural-language word frequencies famously follow Zipf's law, so the synthetic
+//! corpus that stands in for the paper's Wikipedia dump draws word ids from a Zipf
+//! distribution: `P(rank) ∝ 1 / rank^s` with exponent `s ≈ 1`. The sampler
+//! precomputes the cumulative distribution once and answers each draw with a binary
+//! search, so sampling millions of words stays cheap.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0 ..= n-1` (rank 0 being the most frequent item).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not a finite non-negative number.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for value in &mut cdf {
+            *value /= total;
+        }
+        Zipf { cdf, exponent: s }
+    }
+
+    /// Number of items in the support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank in `0 ..= len()-1`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index whose cdf value is >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Expected number of *distinct* items observed in `draws` independent samples:
+    /// `Σ_i (1 - (1 - p_i)^draws)`. Used to size word-count dictionaries analytically in
+    /// tests and documentation.
+    pub fn expected_distinct(&self, draws: u64) -> f64 {
+        self.cdf
+            .iter()
+            .scan(0.0, |prev, &c| {
+                let p = c - *prev;
+                *prev = c;
+                Some(1.0 - (1.0 - p).powf(draws as f64))
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_is_decreasing() {
+        let z = Zipf::new(1000, 1.0);
+        let total: f64 = (0..z.len()).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..z.len() {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+        assert_eq!(z.len(), 1000);
+        assert!(!z.is_empty());
+        assert_eq!(z.exponent(), 1.0);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_favor_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] && counts[0] > counts[99],
+            "rank 0 must dominate the tail"
+        );
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_distinct_is_sane() {
+        let z = Zipf::new(1000, 1.0);
+        let few = z.expected_distinct(10);
+        let many = z.expected_distinct(10_000);
+        assert!(few < many);
+        assert!(few >= 1.0 && few <= 10.0);
+        assert!(many <= 1000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_support_is_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_exponent_is_rejected() {
+        let _ = Zipf::new(10, -1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation bench: quality (not speed) of SOAR's exact dynamic program vs. the greedy
+//! marginal-gain heuristic, measured as achieved utilization — reported through
+//! Criterion's throughput-style labelling by benchmarking the solve path at several
+//! budgets. The quality gap itself is reported by `figures --fig ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_bench::instances::{bt_instance, LoadKind};
+use soar_core::Strategy;
+use soar_topology::rates::RateScheme;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn exact_vs_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_exact_vs_greedy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let tree = bt_instance(128, LoadKind::PowerLaw, &RateScheme::paper_constant(), 11);
+    for &k in &[4usize, 16] {
+        for strategy in [Strategy::Soar, Strategy::Greedy] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), k),
+                &(strategy, k),
+                |b, (strategy, k)| {
+                    let mut rng = StdRng::seed_from_u64(0);
+                    b.iter(|| black_box(strategy.solve(&tree, *k, &mut rng).cost))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exact_vs_greedy);
+criterion_main!(benches);

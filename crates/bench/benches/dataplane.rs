@@ -1,0 +1,51 @@
+//! Dataplane benches: the distributed (message-passing) rendition of SOAR plus the
+//! Reduce dataplane, inline vs. thread-per-switch, and the frame codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soar_bench::instances::{bt_instance, LoadKind};
+use soar_dataplane::wire::Frame;
+use soar_dataplane::{run_inline, run_threaded};
+use soar_topology::rates::RateScheme;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn distributed_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataplane_end_to_end");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[64usize, 128] {
+        let tree = bt_instance(n, LoadKind::Uniform, &RateScheme::paper_constant(), 2);
+        group.bench_with_input(BenchmarkId::new("inline", n), &tree, |b, tree| {
+            b.iter(|| black_box(run_inline(tree, 8)))
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &tree, |b, tree| {
+            b.iter(|| black_box(run_threaded(tree, 8)))
+        });
+    }
+    group.finish();
+}
+
+fn frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let frame = Frame::XTable {
+        child: 17,
+        n_l: 12,
+        n_i: 65,
+        values: (0..12 * 65).map(|i| i as f64).collect(),
+    };
+    group.bench_function("encode_xtable", |b| b.iter(|| black_box(frame.encode())));
+    let encoded = frame.encode();
+    group.bench_function("decode_xtable", |b| {
+        b.iter(|| black_box(Frame::decode(encoded.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, distributed_protocol, frame_codec);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 9: scaling of SOAR-Gather with the network size `n` and the budget `k`.
+//!
+//! The paper reports seconds-to-minutes for a Python implementation on a laptop
+//! (Fig. 9); the shape to reproduce is the roughly quadratic growth in `k` and the
+//! near-linear growth in `n`. Criterion measures the full gather pass (table
+//! construction included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soar_bench::instances::{bt_instance, LoadKind};
+use soar_topology::rates::RateScheme;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn gather_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soar_gather");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    for &n in &[256usize, 512, 1024, 2048] {
+        for &k in &[4usize, 16, 64] {
+            let tree = bt_instance(n, LoadKind::PowerLaw, &RateScheme::paper_constant(), 1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), k),
+                &(tree, k),
+                |b, (tree, k)| b.iter(|| black_box(soar_core::soar_gather(tree, *k))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn color_traceback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soar_color");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    // The paper notes SOAR-Color is orders of magnitude cheaper than SOAR-Gather.
+    for &n in &[1024usize, 2048] {
+        let k = 64;
+        let tree = bt_instance(n, LoadKind::PowerLaw, &RateScheme::paper_constant(), 1);
+        let tables = soar_core::soar_gather(&tree, k);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(soar_core::soar_color(&tree, &tables)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gather_scaling, color_traceback);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Cost-model kernels: closed-form utilization accounting, the packet-level simulator,
+//! and the application byte models (the per-evaluation cost behind Fig. 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_apps::UseCase;
+use soar_bench::instances::{bt_instance, LoadKind};
+use soar_reduce::{bytes::FixedSizeModel, cost, sim, Coloring};
+use soar_topology::rates::RateScheme;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cost_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_cost");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let tree = bt_instance(256, LoadKind::PowerLaw, &RateScheme::paper_constant(), 3);
+    let coloring = soar_core::solve(&tree, 16).coloring;
+
+    group.bench_function("phi_closed_form", |b| {
+        b.iter(|| black_box(cost::phi(&tree, &coloring)))
+    });
+    group.bench_function("phi_barrier_form", |b| {
+        b.iter(|| black_box(cost::phi_barrier(&tree, &coloring)))
+    });
+    group.bench_function("packet_level_simulation", |b| {
+        b.iter(|| black_box(sim::simulate(&tree, &coloring)))
+    });
+    group.bench_function("byte_complexity_fixed_size", |b| {
+        let model = FixedSizeModel::new(1024);
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            black_box(soar_reduce::bytes::byte_complexity(
+                &tree, &coloring, &model, &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn application_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("application_bytes_bt64");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    // Smaller tree: the application models dominate the runtime, not the topology.
+    let tree = bt_instance(64, LoadKind::Uniform, &RateScheme::paper_constant(), 5);
+    let all_blue = Coloring::all_blue(tree.n_switches());
+    for use_case in [
+        UseCase::word_count_default(),
+        UseCase::parameter_server_default(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(use_case.label()),
+            &use_case,
+            |b, use_case| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(use_case.byte_report(&tree, &all_blue, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cost_kernels, application_models);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 6 kernel: the cost of computing a placement with each strategy on BT(256)
+//! (SOAR pays the dynamic program, the heuristics are effectively sorting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_bench::instances::{bt_instance, LoadKind};
+use soar_core::Strategy;
+use soar_topology::rates::RateScheme;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn strategy_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_bt256");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let tree = bt_instance(256, LoadKind::PowerLaw, &RateScheme::paper_constant(), 7);
+    let k = 16;
+    for strategy in [
+        Strategy::Soar,
+        Strategy::Greedy,
+        Strategy::Top,
+        Strategy::MaxLoad,
+        Strategy::Level,
+        Strategy::Random,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, strategy| {
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| black_box(strategy.place(&tree, k, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, strategy_placement);
+criterion_main!(benches);

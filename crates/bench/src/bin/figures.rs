@@ -1,0 +1,115 @@
+//! Regenerates the figures of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p soar-bench --bin figures              # all figures, quick settings
+//! cargo run --release -p soar-bench --bin figures -- --fig 6   # only Fig. 6
+//! cargo run --release -p soar-bench --bin figures -- --paper   # paper-scale instances, 10 reps
+//! cargo run --release -p soar-bench --bin figures -- --csv     # machine-readable CSV output
+//! ```
+//!
+//! Figures covered: 2, 3, 6, 7, 8, 9, 10, 11, plus the `ablation` pseudo-figure called
+//! out in `DESIGN.md`.
+
+use soar_bench::experiments::{self, ExperimentConfig};
+use soar_bench::series::Chart;
+
+struct Options {
+    figures: Vec<String>,
+    config: ExperimentConfig,
+    csv: bool,
+}
+
+fn parse_args() -> Options {
+    let mut figures: Vec<String> = Vec::new();
+    let mut config = ExperimentConfig::default();
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let value = args.next().unwrap_or_else(|| usage("--fig needs a value"));
+                figures.push(value);
+            }
+            "--paper" => config = ExperimentConfig::paper(),
+            "--reps" => {
+                let value = args.next().unwrap_or_else(|| usage("--reps needs a value"));
+                config.repetitions = value.parse().unwrap_or_else(|_| usage("--reps needs a number"));
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    if figures.is_empty() {
+        figures = vec![
+            "2".into(),
+            "3".into(),
+            "6".into(),
+            "7".into(),
+            "8".into(),
+            "9".into(),
+            "10".into(),
+            "11".into(),
+            "ablation".into(),
+        ];
+    }
+    Options {
+        figures,
+        config,
+        csv,
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!(
+        "usage: figures [--fig <2|3|6|7|8|9|10|11|ablation>]... [--paper] [--reps N] [--csv]"
+    );
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+fn print_charts(charts: &[Chart], csv: bool) {
+    for chart in charts {
+        if csv {
+            println!("# {}", chart.title);
+            print!("{}", chart.to_csv());
+        } else {
+            println!("{}", chart.to_table());
+        }
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let config = options.config;
+    eprintln!(
+        "running figures {:?} ({} repetitions, {})",
+        options.figures,
+        config.repetitions,
+        if config.paper_scale { "paper-scale instances" } else { "quick instances" }
+    );
+
+    for figure in &options.figures {
+        let charts: Vec<Chart> = match figure.as_str() {
+            "2" => vec![experiments::fig2()],
+            "3" => vec![experiments::fig3()],
+            "6" => experiments::fig6(&config),
+            "7" => experiments::fig7(&config),
+            "8" => experiments::fig8(&config),
+            "9" => vec![experiments::fig9(&config)],
+            "10" => vec![
+                experiments::fig10_scaling(&config),
+                experiments::fig10_required_fraction(&config),
+            ],
+            "11" => experiments::fig11(&config),
+            "ablation" => vec![experiments::ablation(&config)],
+            other => {
+                eprintln!("skipping unknown figure {other}");
+                continue;
+            }
+        };
+        print_charts(&charts, options.csv);
+    }
+}

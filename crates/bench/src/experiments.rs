@@ -1,0 +1,700 @@
+//! One function per figure of the paper's evaluation.
+//!
+//! Every function returns [`Chart`]s (labelled series) so the `figures` binary can
+//! print them as tables and CSV; `EXPERIMENTS.md` records a snapshot of the output next
+//! to the paper's reported numbers. All experiments accept an [`ExperimentConfig`] so
+//! that a *quick* variant (smaller trees / fewer repetitions, suitable for CI and for
+//! `cargo test`) and the *paper-scale* variant share the same code path.
+
+use crate::instances::{bt_instance, rate_schemes, sf_instance, LoadKind};
+use crate::series::{Chart, Series};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_apps::UseCase;
+use soar_core::{solve_with_tables, Strategy};
+use soar_multitenant::{workloads::MixedWorkloadGenerator, OnlineAllocator};
+use soar_reduce::{cost, Coloring};
+use soar_topology::builders;
+use soar_topology::Tree;
+use std::time::Instant;
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Number of random repetitions to average over (the paper uses 10).
+    pub repetitions: u64,
+    /// Run at the paper's instance sizes (`false` shrinks the instances so the full
+    /// suite finishes in well under a minute).
+    pub paper_scale: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            repetitions: 3,
+            paper_scale: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's configuration: 10 repetitions, full instance sizes.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            repetitions: 10,
+            paper_scale: true,
+        }
+    }
+
+    fn bt_size(&self) -> usize {
+        if self.paper_scale {
+            256
+        } else {
+            128
+        }
+    }
+
+    fn budgets(&self) -> Vec<usize> {
+        vec![1, 2, 4, 8, 16, 32]
+    }
+}
+
+/// The strategies plotted in Figs. 6 and 7, in the paper's legend order.
+const FIG_STRATEGIES: [Strategy; 4] = [
+    Strategy::MaxLoad,
+    Strategy::Soar,
+    Strategy::Top,
+    Strategy::Level,
+];
+
+fn fig2_tree() -> Tree {
+    let mut tree = builders::complete_binary_tree(7);
+    for (leaf, load) in [(3usize, 2u64), (4, 6), (5, 5), (6, 4)] {
+        tree.set_load(leaf, load);
+    }
+    tree
+}
+
+/// Fig. 2: the motivating example — utilization of the four strategies at `k = 2`.
+pub fn fig2() -> Chart {
+    let tree = fig2_tree();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut chart = Chart::new(
+        "Fig. 2: motivating example (7 switches, loads 2/6/5/4, k = 2)",
+        "k",
+        "utilization complexity",
+    );
+    for strategy in [
+        Strategy::Top,
+        Strategy::MaxLoad,
+        Strategy::Level,
+        Strategy::Soar,
+    ] {
+        let mut series = Series::new(strategy.name());
+        series.push(2.0, strategy.solve(&tree, 2, &mut rng).cost);
+        chart.push(series);
+    }
+    chart
+}
+
+/// Fig. 3: optimal utilization of the motivating example for `k = 0..4`.
+pub fn fig3() -> Chart {
+    let tree = fig2_tree();
+    let mut chart = Chart::new(
+        "Fig. 3: optimal utilization vs. budget on the motivating example",
+        "k",
+        "utilization complexity",
+    );
+    let mut series = Series::new("SOAR (optimal)");
+    for k in 0..=4usize {
+        series.push(k as f64, soar_core::solve(&tree, k).cost);
+    }
+    chart.push(series);
+    chart
+}
+
+/// Fig. 6: normalized utilization vs. budget for every strategy, for each load
+/// distribution and each link-rate scheme. Returns one chart per (load, rates) pair.
+pub fn fig6(config: &ExperimentConfig) -> Vec<Chart> {
+    let budgets = config.budgets();
+    let mut charts = Vec::new();
+    for load in LoadKind::ALL {
+        for scheme in rate_schemes() {
+            let mut chart = Chart::new(
+                format!(
+                    "Fig. 6: BT({}), {} load, {} rates",
+                    config.bt_size(),
+                    load.label(),
+                    scheme.label()
+                ),
+                "k",
+                "network utilization (normalized to all-red)",
+            );
+            let mut all_blue = Series::new("All blue");
+            let mut all_red = Series::new("All red");
+            let mut per_strategy: Vec<Series> = FIG_STRATEGIES
+                .iter()
+                .map(|s| Series::new(s.name()))
+                .collect();
+
+            for &k in &budgets {
+                let mut blue_acc = 0.0;
+                let mut acc = vec![0.0; FIG_STRATEGIES.len()];
+                for rep in 0..config.repetitions {
+                    let tree = bt_instance(config.bt_size(), load, &scheme, rep * 31 + k as u64);
+                    let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
+                    blue_acc +=
+                        cost::phi(&tree, &Coloring::all_blue(tree.n_switches())) / baseline;
+                    let mut rng = StdRng::seed_from_u64(rep);
+                    for (idx, strategy) in FIG_STRATEGIES.iter().enumerate() {
+                        acc[idx] += strategy.solve(&tree, k, &mut rng).cost / baseline;
+                    }
+                }
+                let reps = config.repetitions as f64;
+                all_blue.push(k as f64, blue_acc / reps);
+                all_red.push(k as f64, 1.0);
+                for (idx, series) in per_strategy.iter_mut().enumerate() {
+                    series.push(k as f64, acc[idx] / reps);
+                }
+            }
+            chart.push(all_blue);
+            chart.push(all_red);
+            for series in per_strategy {
+                chart.push(series);
+            }
+            charts.push(chart);
+        }
+    }
+    charts
+}
+
+/// Fig. 7: the online multi-workload scenario. Returns, per rate scheme, two charts:
+/// normalized utilization vs. the number of workloads (capacity 4) and vs. the switch
+/// capacity (32 workloads).
+pub fn fig7(config: &ExperimentConfig) -> Vec<Chart> {
+    let n = config.bt_size();
+    let k = 16;
+    let workload_counts = [4usize, 8, 16, 24, 32];
+    let capacities = [2u32, 4, 8, 16, 32];
+    let strategies = FIG_STRATEGIES;
+    let mut charts = Vec::new();
+
+    for scheme in rate_schemes() {
+        let base = bt_instance(n, LoadKind::Uniform, &scheme, 0).with_loads(&vec![0; n - 1]);
+        let generator = MixedWorkloadGenerator::paper_default();
+
+        // Sweep 1: number of workloads at capacity 4.
+        let mut chart = Chart::new(
+            format!("Fig. 7 (top): workloads sweep, {} rates, capacity 4", scheme.label()),
+            "workloads",
+            "network utilization (normalized to all-red)",
+        );
+        let mut series: Vec<Series> = strategies.iter().map(|s| Series::new(s.name())).collect();
+        let mut red = Series::new("All red");
+        for &count in &workload_counts {
+            let mut acc = vec![0.0; strategies.len()];
+            for rep in 0..config.repetitions {
+                let mut rng = StdRng::seed_from_u64(rep * 7 + count as u64);
+                let workloads = generator.draw_sequence(&base, count, &mut rng);
+                for (idx, strategy) in strategies.iter().enumerate() {
+                    let mut allocator = OnlineAllocator::new(&base, k, 4);
+                    let mut srng = StdRng::seed_from_u64(rep);
+                    acc[idx] += allocator
+                        .run_sequence(&workloads, *strategy, &mut srng)
+                        .normalized_total();
+                }
+            }
+            for (idx, s) in series.iter_mut().enumerate() {
+                s.push(count as f64, acc[idx] / config.repetitions as f64);
+            }
+            red.push(count as f64, 1.0);
+        }
+        chart.push(red);
+        for s in series {
+            chart.push(s);
+        }
+        charts.push(chart);
+
+        // Sweep 2: switch capacity with 32 workloads.
+        let mut chart = Chart::new(
+            format!(
+                "Fig. 7 (bottom): capacity sweep, {} rates, 32 workloads",
+                scheme.label()
+            ),
+            "capacity",
+            "network utilization (normalized to all-red)",
+        );
+        let mut series: Vec<Series> = strategies.iter().map(|s| Series::new(s.name())).collect();
+        let mut red = Series::new("All red");
+        for &capacity in &capacities {
+            let mut acc = vec![0.0; strategies.len()];
+            for rep in 0..config.repetitions {
+                let mut rng = StdRng::seed_from_u64(rep * 13 + capacity as u64);
+                let workloads = generator.draw_sequence(&base, 32, &mut rng);
+                for (idx, strategy) in strategies.iter().enumerate() {
+                    let mut allocator = OnlineAllocator::new(&base, k, capacity);
+                    let mut srng = StdRng::seed_from_u64(rep);
+                    acc[idx] += allocator
+                        .run_sequence(&workloads, *strategy, &mut srng)
+                        .normalized_total();
+                }
+            }
+            for (idx, s) in series.iter_mut().enumerate() {
+                s.push(capacity as f64, acc[idx] / config.repetitions as f64);
+            }
+            red.push(capacity as f64, 1.0);
+        }
+        chart.push(red);
+        for s in series {
+            chart.push(s);
+        }
+        charts.push(chart);
+    }
+    charts
+}
+
+/// Fig. 8: the WC and PS use cases on constant rates — (a) utilization, (b) bytes
+/// normalized to all-red, (c) bytes normalized to all-blue, each vs. the budget.
+pub fn fig8(config: &ExperimentConfig) -> Vec<Chart> {
+    let n = config.bt_size();
+    let budgets: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
+    let scheme = soar_topology::rates::RateScheme::paper_constant();
+
+    let mut utilization = Chart::new(
+        format!("Fig. 8a: utilization, BT({n}), constant rates"),
+        "k",
+        "network utilization (normalized to all-red)",
+    );
+    let mut bytes_vs_red = Chart::new(
+        format!("Fig. 8b: bytes vs all-red, BT({n})"),
+        "k",
+        "bytes (normalized to all-red)",
+    );
+    let mut bytes_vs_blue = Chart::new(
+        format!("Fig. 8c: bytes vs all-blue, BT({n})"),
+        "k",
+        "bytes (normalized to all-blue)",
+    );
+
+    for load in [LoadKind::Uniform, LoadKind::PowerLaw] {
+        for use_case in [
+            UseCase::word_count_default(),
+            UseCase::parameter_server_default(),
+        ] {
+            let label = format!("{}-{}", use_case.label(), load.label());
+            let mut util_series = Series::new(label.clone());
+            let mut red_series = Series::new(label.clone());
+            let mut blue_series = Series::new(label.clone());
+            for &k in &budgets {
+                let mut util_acc = 0.0;
+                let mut red_acc = 0.0;
+                let mut blue_acc = 0.0;
+                for rep in 0..config.repetitions {
+                    let tree = bt_instance(n, load, &scheme, rep * 97 + k as u64);
+                    let solution = soar_core::solve(&tree, k);
+                    let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
+                    util_acc += solution.cost / baseline;
+
+                    let mut rng = StdRng::seed_from_u64(rep);
+                    let soar_bytes = use_case
+                        .byte_report(&tree, &solution.coloring, &mut rng)
+                        .total_bytes as f64;
+                    let mut rng = StdRng::seed_from_u64(rep);
+                    let red_bytes = use_case
+                        .byte_report(&tree, &Coloring::all_red(tree.n_switches()), &mut rng)
+                        .total_bytes as f64;
+                    let mut rng = StdRng::seed_from_u64(rep);
+                    let blue_bytes = use_case
+                        .byte_report(&tree, &Coloring::all_blue(tree.n_switches()), &mut rng)
+                        .total_bytes as f64;
+                    red_acc += soar_bytes / red_bytes;
+                    blue_acc += soar_bytes / blue_bytes;
+                }
+                let reps = config.repetitions as f64;
+                util_series.push(k as f64, util_acc / reps);
+                red_series.push(k as f64, red_acc / reps);
+                blue_series.push(k as f64, blue_acc / reps);
+            }
+            utilization.push(util_series);
+            bytes_vs_red.push(red_series);
+            bytes_vs_blue.push(blue_series);
+        }
+    }
+    vec![utilization, bytes_vs_red, bytes_vs_blue]
+}
+
+/// Fig. 9: wall-clock running time of SOAR-Gather for growing network sizes and
+/// budgets (power-law load, 10 repetitions in the paper).
+pub fn fig9(config: &ExperimentConfig) -> Chart {
+    let sizes: Vec<usize> = if config.paper_scale {
+        vec![256, 512, 1024, 2048]
+    } else {
+        vec![256, 512]
+    };
+    let budgets: Vec<usize> = if config.paper_scale {
+        vec![4, 8, 16, 32, 64, 128]
+    } else {
+        vec![4, 8, 16, 32]
+    };
+    let mut chart = Chart::new(
+        "Fig. 9: SOAR-Gather running time (seconds)",
+        "k",
+        "gather time [s]",
+    );
+    for &n in &sizes {
+        let mut series = Series::new(format!("Size {n}"));
+        for &k in &budgets {
+            let mut total = 0.0;
+            for rep in 0..config.repetitions {
+                let tree = bt_instance(
+                    n,
+                    LoadKind::PowerLaw,
+                    &soar_topology::rates::RateScheme::paper_constant(),
+                    rep * 3 + n as u64,
+                );
+                let start = Instant::now();
+                let tables = soar_core::soar_gather(&tree, k);
+                total += start.elapsed().as_secs_f64();
+                std::hint::black_box(tables.optimum());
+            }
+            series.push(k as f64, total / config.repetitions as f64);
+        }
+        chart.push(series);
+    }
+    chart
+}
+
+/// Fig. 10a (Appendix A): normalized utilization for `k ∈ {1 % n, log₂ n, √n}` on
+/// growing binary trees with power-law load.
+pub fn fig10_scaling(config: &ExperimentConfig) -> Chart {
+    let exponents: Vec<u32> = if config.paper_scale {
+        (8..=12).collect()
+    } else {
+        (8..=10).collect()
+    };
+    let mut chart = Chart::new(
+        "Fig. 10a: scaling of SOAR on BT(n), power-law load",
+        "n",
+        "network utilization (normalized to all-red)",
+    );
+    let mut blue = Series::new("All blue");
+    let mut one_percent = Series::new("k = 1% of n");
+    let mut log_n = Series::new("k = log2 n");
+    let mut sqrt_n = Series::new("k = sqrt n");
+    for &exp in &exponents {
+        let n = 2usize.pow(exp);
+        let budgets = [
+            ((n as f64) * 0.01).round().max(1.0) as usize,
+            (n as f64).log2().round() as usize,
+            (n as f64).sqrt().round() as usize,
+        ];
+        let mut acc = [0.0f64; 3];
+        let mut blue_acc = 0.0;
+        for rep in 0..config.repetitions {
+            let tree = bt_instance(
+                n,
+                LoadKind::PowerLaw,
+                &soar_topology::rates::RateScheme::paper_constant(),
+                rep * 19 + exp as u64,
+            );
+            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
+            blue_acc += cost::phi(&tree, &Coloring::all_blue(tree.n_switches())) / baseline;
+            for (idx, &k) in budgets.iter().enumerate() {
+                acc[idx] += soar_core::solve(&tree, k).cost / baseline;
+            }
+        }
+        let reps = config.repetitions as f64;
+        one_percent.push(n as f64, acc[0] / reps);
+        log_n.push(n as f64, acc[1] / reps);
+        sqrt_n.push(n as f64, acc[2] / reps);
+        blue.push(n as f64, blue_acc / reps);
+    }
+    chart.push(blue);
+    chart.push(one_percent);
+    chart.push(log_n);
+    chart.push(sqrt_n);
+    chart
+}
+
+/// Fig. 10b (Appendix A): the smallest fraction of blue nodes (in %) needed to reach a
+/// 30 / 50 / 70 % reduction of the all-red utilization.
+pub fn fig10_required_fraction(config: &ExperimentConfig) -> Chart {
+    let exponents: Vec<u32> = if config.paper_scale {
+        (8..=12).collect()
+    } else {
+        (8..=10).collect()
+    };
+    let targets = [0.30f64, 0.50, 0.70];
+    let mut chart = Chart::new(
+        "Fig. 10b: % of blue nodes needed for a target utilization reduction",
+        "n",
+        "% blue nodes",
+    );
+    let mut series: Vec<Series> = targets
+        .iter()
+        .map(|t| Series::new(format!("{:.0}% saving", t * 100.0)))
+        .collect();
+    for &exp in &exponents {
+        let n = 2usize.pow(exp);
+        // Search budgets up to 6% of the network; the paper's curves stay below 5%.
+        let k_max = ((n as f64) * 0.06).ceil() as usize;
+        let mut acc = [0.0f64; 3];
+        for rep in 0..config.repetitions {
+            let tree = bt_instance(
+                n,
+                LoadKind::PowerLaw,
+                &soar_topology::rates::RateScheme::paper_constant(),
+                rep * 23 + exp as u64,
+            );
+            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
+            let (_, tables) = solve_with_tables(&tree, k_max);
+            // Prefix minimum over exact budgets = optimum with "at most i" nodes.
+            let mut best_so_far = f64::INFINITY;
+            let curve: Vec<f64> = (0..=k_max)
+                .map(|i| {
+                    best_so_far = best_so_far.min(tables.optimum_with_exactly(i));
+                    best_so_far / baseline
+                })
+                .collect();
+            for (t_idx, target) in targets.iter().enumerate() {
+                let needed = curve
+                    .iter()
+                    .position(|&norm| norm <= 1.0 - target)
+                    .unwrap_or(k_max);
+                acc[t_idx] += 100.0 * needed as f64 / (n as f64);
+            }
+        }
+        for (t_idx, s) in series.iter_mut().enumerate() {
+            s.push(n as f64, acc[t_idx] / config.repetitions as f64);
+        }
+    }
+    for s in series {
+        chart.push(s);
+    }
+    chart
+}
+
+/// Fig. 11 (Appendix B): SOAR on scale-free trees — the SF(128) Max-vs-SOAR example and
+/// the scaling of the normalized utilization for `k ∈ {1 % n, log₂ n, √n}`.
+pub fn fig11(config: &ExperimentConfig) -> Vec<Chart> {
+    // The worked SF(128) example.
+    let mut example = Chart::new(
+        "Fig. 11a/b: SF(128) example, unit loads, k = 4",
+        "k",
+        "utilization complexity",
+    );
+    let tree = sf_instance(128, 42);
+    let mut rng = StdRng::seed_from_u64(0);
+    for strategy in [Strategy::MaxDegree, Strategy::Soar] {
+        let mut series = Series::new(strategy.name());
+        series.push(4.0, strategy.solve(&tree, 4, &mut rng).cost);
+        example.push(series);
+    }
+    let mut all_red = Series::new("All red");
+    all_red.push(4.0, cost::phi(&tree, &Coloring::all_red(tree.n_switches())));
+    example.push(all_red);
+
+    // Scaling.
+    let exponents: Vec<u32> = if config.paper_scale {
+        (8..=12).collect()
+    } else {
+        (8..=10).collect()
+    };
+    let mut scaling = Chart::new(
+        "Fig. 11c: scaling of SOAR on SF(n), unit loads",
+        "n",
+        "network utilization (normalized to all-red)",
+    );
+    let mut blue = Series::new("All blue");
+    let mut one_percent = Series::new("k = 1% of n");
+    let mut log_n = Series::new("k = log2 n");
+    let mut sqrt_n = Series::new("k = sqrt n");
+    for &exp in &exponents {
+        let n = 2usize.pow(exp);
+        let budgets = [
+            ((n as f64) * 0.01).round().max(1.0) as usize,
+            (n as f64).log2().round() as usize,
+            (n as f64).sqrt().round() as usize,
+        ];
+        let mut acc = [0.0f64; 3];
+        let mut blue_acc = 0.0;
+        for rep in 0..config.repetitions {
+            let tree = sf_instance(n, rep * 29 + exp as u64);
+            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
+            blue_acc += cost::phi(&tree, &Coloring::all_blue(tree.n_switches())) / baseline;
+            for (idx, &k) in budgets.iter().enumerate() {
+                acc[idx] += soar_core::solve(&tree, k).cost / baseline;
+            }
+        }
+        let reps = config.repetitions as f64;
+        one_percent.push(n as f64, acc[0] / reps);
+        log_n.push(n as f64, acc[1] / reps);
+        sqrt_n.push(n as f64, acc[2] / reps);
+        blue.push(n as f64, blue_acc / reps);
+    }
+    scaling.push(blue);
+    scaling.push(one_percent);
+    scaling.push(log_n);
+    scaling.push(sqrt_n);
+    vec![example, scaling]
+}
+
+/// Ablation called out in `DESIGN.md`: SOAR's exact DP vs. the greedy marginal-gain
+/// heuristic and vs. random placement, on power-law BT instances.
+pub fn ablation(config: &ExperimentConfig) -> Chart {
+    let n = config.bt_size();
+    let budgets = config.budgets();
+    let mut chart = Chart::new(
+        format!("Ablation: exact DP vs greedy / random on BT({n}), power-law load"),
+        "k",
+        "network utilization (normalized to all-red)",
+    );
+    let strategies = [Strategy::Soar, Strategy::Greedy, Strategy::Random];
+    let mut series: Vec<Series> = strategies.iter().map(|s| Series::new(s.name())).collect();
+    for &k in &budgets {
+        let mut acc = vec![0.0; strategies.len()];
+        for rep in 0..config.repetitions {
+            let tree = bt_instance(
+                n,
+                LoadKind::PowerLaw,
+                &soar_topology::rates::RateScheme::paper_constant(),
+                rep * 41 + k as u64,
+            );
+            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
+            let mut rng = StdRng::seed_from_u64(rep);
+            for (idx, strategy) in strategies.iter().enumerate() {
+                acc[idx] += strategy.solve(&tree, k, &mut rng).cost / baseline;
+            }
+        }
+        for (idx, s) in series.iter_mut().enumerate() {
+            s.push(k as f64, acc[idx] / config.repetitions as f64);
+        }
+    }
+    for s in series {
+        chart.push(s);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            repetitions: 1,
+            paper_scale: false,
+        }
+    }
+
+    #[test]
+    fn fig2_and_fig3_match_the_paper_exactly() {
+        let chart = fig2();
+        assert_eq!(chart.series.len(), 4);
+        let soar = chart.series.iter().find(|s| s.label == "SOAR").unwrap();
+        assert_eq!(soar.y_at(2.0), Some(20.0));
+        let level = chart.series.iter().find(|s| s.label == "Level").unwrap();
+        assert_eq!(level.y_at(2.0), Some(21.0));
+
+        let fig3_chart = fig3();
+        let curve = &fig3_chart.series[0];
+        assert_eq!(curve.y_at(0.0), Some(51.0));
+        assert_eq!(curve.y_at(1.0), Some(35.0));
+        assert_eq!(curve.y_at(4.0), Some(11.0));
+    }
+
+    #[test]
+    fn fig6_soar_dominates_everywhere() {
+        let charts = fig6(&tiny());
+        assert_eq!(charts.len(), 6);
+        for chart in &charts {
+            let soar = chart.series.iter().find(|s| s.label == "SOAR").unwrap();
+            for series in &chart.series {
+                if series.label == "All blue" {
+                    continue;
+                }
+                for &(x, y) in &series.points {
+                    let soar_y = soar.y_at(x).unwrap();
+                    assert!(
+                        soar_y <= y + 1e-9,
+                        "{}: SOAR {soar_y} vs {} {y} at k = {x}",
+                        chart.title,
+                        series.label
+                    );
+                }
+            }
+            // Normalized values live in (0, 1].
+            for series in &chart.series {
+                for &(_, y) in &series.points {
+                    assert!(y > 0.0 && y <= 1.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_produces_three_charts_with_all_use_cases() {
+        let charts = fig8(&ExperimentConfig {
+            repetitions: 1,
+            paper_scale: false,
+        });
+        assert_eq!(charts.len(), 3);
+        for chart in &charts {
+            assert_eq!(chart.series.len(), 4, "{}", chart.title);
+        }
+        // Fig. 8c: SOAR-over-all-blue ratios are at least 1.
+        for series in &charts[2].series {
+            for &(_, y) in &series.points {
+                assert!(y >= 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_times_are_positive_and_grow_with_n() {
+        let chart = fig9(&tiny());
+        assert!(chart.series.len() >= 2);
+        for series in &chart.series {
+            for &(_, y) in &series.points {
+                assert!(y > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_and_fig11_stay_normalized() {
+        let scaling = fig10_scaling(&tiny());
+        for series in &scaling.series {
+            for &(_, y) in &series.points {
+                assert!(y > 0.0 && y <= 1.0 + 1e-9);
+            }
+        }
+        let fraction = fig10_required_fraction(&tiny());
+        for series in &fraction.series {
+            for &(_, y) in &series.points {
+                assert!((0.0..=6.0).contains(&y), "required fraction {y}% out of range");
+            }
+        }
+        let fig11_charts = fig11(&tiny());
+        assert_eq!(fig11_charts.len(), 2);
+        let example = &fig11_charts[0];
+        let soar = example.series.iter().find(|s| s.label == "SOAR").unwrap();
+        let max_deg = example
+            .series
+            .iter()
+            .find(|s| s.label == "Max-degree")
+            .unwrap();
+        assert!(soar.y_at(4.0).unwrap() < max_deg.y_at(4.0).unwrap());
+    }
+
+    #[test]
+    fn ablation_soar_beats_greedy_and_random() {
+        let chart = ablation(&tiny());
+        let soar = chart.series.iter().find(|s| s.label == "SOAR").unwrap();
+        for series in &chart.series {
+            for &(x, y) in &series.points {
+                assert!(soar.y_at(x).unwrap() <= y + 1e-9);
+            }
+        }
+    }
+}

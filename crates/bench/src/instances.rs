@@ -1,0 +1,101 @@
+//! Builders for the evaluation instances of Sec. 5 and the appendices.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_topology::builders;
+use soar_topology::load::{LoadPlacement, LoadSpec};
+use soar_topology::rates::RateScheme;
+use soar_topology::Tree;
+
+/// The two leaf-load distributions compared throughout Sec. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// Uniform integer load in `[4, 6]`.
+    Uniform,
+    /// Heavy-tailed power-law load with mean 5.
+    PowerLaw,
+}
+
+impl LoadKind {
+    /// The corresponding load specification.
+    pub fn spec(&self) -> LoadSpec {
+        match self {
+            LoadKind::Uniform => LoadSpec::paper_uniform(),
+            LoadKind::PowerLaw => LoadSpec::paper_power_law(),
+        }
+    }
+
+    /// A label matching the paper's figure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadKind::Uniform => "uniform",
+            LoadKind::PowerLaw => "power-law",
+        }
+    }
+
+    /// Both load kinds, in the paper's plotting order (power-law on top).
+    pub const ALL: [LoadKind; 2] = [LoadKind::PowerLaw, LoadKind::Uniform];
+}
+
+/// The three link-rate regimes of Sec. 5 (Figs. 6a-6c and 7a-7c).
+pub fn rate_schemes() -> [RateScheme; 3] {
+    [
+        RateScheme::paper_constant(),
+        RateScheme::paper_linear(),
+        RateScheme::paper_exponential(),
+    ]
+}
+
+/// A `BT(n)` instance with leaf loads drawn from `load` and the given rate scheme.
+pub fn bt_instance(n: usize, load: LoadKind, rates: &RateScheme, seed: u64) -> Tree {
+    let mut tree = builders::complete_binary_tree_bt(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    tree.apply_leaf_loads(&load.spec(), &mut rng);
+    tree.apply_rates(rates);
+    tree
+}
+
+/// An `SF(n)` (random preferential attachment) instance with unit load on every switch
+/// and unit rates, as used in Appendix B.
+pub fn sf_instance(n: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = builders::scale_free_tree_sf(n, &mut rng);
+    let mut load_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    tree.apply_loads(
+        &LoadSpec::Constant(1),
+        LoadPlacement::AllSwitches,
+        &mut load_rng,
+    );
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bt_instance_matches_configuration() {
+        let tree = bt_instance(256, LoadKind::Uniform, &RateScheme::paper_linear(), 3);
+        assert_eq!(tree.n_switches(), 255);
+        assert!(tree.total_load() >= 4 * 128);
+        assert_eq!(tree.rate(0), 8.0);
+        // Deterministic per seed.
+        let again = bt_instance(256, LoadKind::Uniform, &RateScheme::paper_linear(), 3);
+        assert_eq!(tree, again);
+    }
+
+    #[test]
+    fn sf_instance_has_unit_loads() {
+        let tree = sf_instance(128, 7);
+        assert_eq!(tree.n_switches(), 127);
+        assert_eq!(tree.total_load(), 127);
+    }
+
+    #[test]
+    fn load_kind_helpers() {
+        assert_eq!(LoadKind::Uniform.label(), "uniform");
+        assert_eq!(LoadKind::PowerLaw.label(), "power-law");
+        assert_eq!(LoadKind::ALL.len(), 2);
+        assert_eq!(rate_schemes().len(), 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! # soar-bench
+//!
+//! Experiment harness that regenerates every figure of the SOAR paper's evaluation
+//! (Figs. 2, 3 and 6-11). The library exposes:
+//!
+//! * [`series`] — a tiny data-series container with CSV / table printing;
+//! * [`instances`] — builders for the evaluation instances (BT(n) / SF(n) with the
+//!   paper's load distributions and link-rate schemes);
+//! * [`experiments`] — one function per figure, each returning labelled charts that the
+//!   `figures` binary prints (and `EXPERIMENTS.md` records).
+//!
+//! Criterion benchmarks (under `benches/`) time the computational kernels themselves —
+//! most importantly SOAR-Gather's `O(n · h · k²)` scaling, which reproduces Fig. 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod instances;
+pub mod series;

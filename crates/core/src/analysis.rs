@@ -1,0 +1,224 @@
+//! Analysis utilities built on top of the solver: cost-vs-budget curves, marginal
+//! gains, strategy comparisons and structural observations about optimal placements
+//! (such as the non-monotonicity of the optimal blue-node sets highlighted in Fig. 3).
+//!
+//! These helpers back the evaluation harness (`soar-bench`) and are also handy for
+//! interactive exploration of a concrete deployment question ("how many aggregation
+//! switches do we need to cut the Reduce footprint in half?").
+
+use crate::gather::soar_gather;
+use crate::solver::{solutions_for_all_budgets, Solution};
+use crate::strategies::Strategy;
+use rand::Rng;
+use soar_reduce::{cost, Coloring};
+use soar_topology::Tree;
+
+/// The optimal cost curve of an instance: one [`Solution`] per budget `0 ..= k_max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostCurve {
+    /// The per-budget optimal solutions (index = budget).
+    pub solutions: Vec<Solution>,
+    /// The all-red baseline cost of the instance.
+    pub all_red: f64,
+}
+
+impl CostCurve {
+    /// Computes the optimal cost curve with a single gather pass.
+    pub fn compute(tree: &Tree, k_max: usize) -> Self {
+        let tables = soar_gather(tree, k_max);
+        let solutions = solutions_for_all_budgets(tree, &tables);
+        let all_red = cost::phi(tree, &Coloring::all_red(tree.n_switches()));
+        CostCurve { solutions, all_red }
+    }
+
+    /// The largest budget covered by this curve.
+    pub fn k_max(&self) -> usize {
+        self.solutions.len().saturating_sub(1)
+    }
+
+    /// Optimal cost for a given budget.
+    pub fn cost_at(&self, k: usize) -> f64 {
+        self.solutions[k].cost
+    }
+
+    /// Optimal cost normalized to the all-red baseline.
+    pub fn normalized_at(&self, k: usize) -> f64 {
+        if self.all_red == 0.0 {
+            1.0
+        } else {
+            self.solutions[k].cost / self.all_red
+        }
+    }
+
+    /// The marginal gain of the `k`-th blue node: `cost(k-1) − cost(k)` (zero for `k = 0`).
+    pub fn marginal_gain(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.solutions[k - 1].cost - self.solutions[k].cost
+        }
+    }
+
+    /// The smallest budget whose optimal cost is at most `(1 − saving) ·` all-red, or
+    /// `None` if the curve never reaches that saving.
+    pub fn budget_for_saving(&self, saving: f64) -> Option<usize> {
+        let target = self.all_red * (1.0 - saving);
+        (0..self.solutions.len()).find(|&k| self.cost_at(k) <= target + 1e-9)
+    }
+
+    /// Budgets at which the optimal blue-node set is **not** a superset of the previous
+    /// budget's optimal set — the non-monotonicity phenomenon illustrated by Fig. 3.
+    pub fn non_monotone_budgets(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for k in 1..self.solutions.len() {
+            let previous = &self.solutions[k - 1].coloring;
+            let current = &self.solutions[k].coloring;
+            let nested = previous.iter_blue().all(|v| current.is_blue(v));
+            if !nested {
+                out.push(k);
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of one strategy within a [`comparison`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// The strategy that produced this outcome.
+    pub strategy: Strategy,
+    /// Its utilization complexity on the instance.
+    pub cost: f64,
+    /// Its cost normalized to the all-red baseline.
+    pub normalized: f64,
+    /// Its cost relative to the optimum (1.0 means optimal).
+    pub optimality_ratio: f64,
+    /// The placement it chose.
+    pub coloring: Coloring,
+}
+
+/// Compares a set of strategies on one instance and budget, sorted best-first.
+///
+/// The returned list always contains the optimal (SOAR) outcome so the
+/// `optimality_ratio` fields are well defined even if `strategies` omits it.
+pub fn comparison<R: Rng + ?Sized>(
+    tree: &Tree,
+    k: usize,
+    strategies: &[Strategy],
+    rng: &mut R,
+) -> Vec<StrategyOutcome> {
+    let all_red = cost::phi(tree, &Coloring::all_red(tree.n_switches()));
+    let optimal = crate::solver::solve(tree, k);
+    let mut outcomes: Vec<StrategyOutcome> = Vec::new();
+    let mut push = |strategy: Strategy, coloring: Coloring| {
+        let cost_value = cost::phi(tree, &coloring);
+        outcomes.push(StrategyOutcome {
+            strategy,
+            cost: cost_value,
+            normalized: if all_red == 0.0 { 1.0 } else { cost_value / all_red },
+            optimality_ratio: if optimal.cost == 0.0 {
+                1.0
+            } else {
+                cost_value / optimal.cost
+            },
+            coloring,
+        });
+    };
+    push(Strategy::Soar, optimal.coloring.clone());
+    for &strategy in strategies {
+        if strategy == Strategy::Soar {
+            continue;
+        }
+        push(strategy, strategy.place(tree, k, rng));
+    }
+    outcomes.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_topology::builders;
+
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn cost_curve_matches_fig3_and_marginal_gains_sum_up() {
+        let tree = fig2_tree();
+        let curve = CostCurve::compute(&tree, 4);
+        assert_eq!(curve.k_max(), 4);
+        assert_eq!(curve.all_red, 51.0);
+        assert_eq!(curve.cost_at(0), 51.0);
+        assert_eq!(curve.cost_at(2), 20.0);
+        assert_eq!(curve.cost_at(4), 11.0);
+        assert!((curve.normalized_at(2) - 20.0 / 51.0).abs() < 1e-12);
+        let total_gain: f64 = (0..=4).map(|k| curve.marginal_gain(k)).sum();
+        assert!((total_gain - (51.0 - 11.0)).abs() < 1e-9);
+        assert_eq!(curve.marginal_gain(0), 0.0);
+    }
+
+    #[test]
+    fn budget_for_saving_finds_the_first_sufficient_budget() {
+        let tree = fig2_tree();
+        let curve = CostCurve::compute(&tree, 7);
+        // 20/51 ≈ 0.39, so a 60% saving needs k = 2; a 75% saving needs k = 4 (11/51 ≈ 0.22).
+        assert_eq!(curve.budget_for_saving(0.30), Some(1));
+        assert_eq!(curve.budget_for_saving(0.60), Some(2));
+        assert_eq!(curve.budget_for_saving(0.75), Some(4));
+        assert_eq!(curve.budget_for_saving(0.99), None);
+        assert_eq!(curve.budget_for_saving(0.0), Some(0));
+    }
+
+    #[test]
+    fn non_monotone_budgets_detected_on_the_paper_example() {
+        let tree = fig2_tree();
+        let curve = CostCurve::compute(&tree, 4);
+        // Fig. 3: going from k = 2 ({2, 4}) to k = 3 ({4, 5, 6}) drops switch 2, so
+        // budget 3 is a non-monotone step.
+        assert!(curve.non_monotone_budgets().contains(&3));
+    }
+
+    #[test]
+    fn comparison_ranks_soar_first() {
+        let tree = fig2_tree();
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcomes = comparison(
+            &tree,
+            2,
+            &[Strategy::Top, Strategy::MaxLoad, Strategy::Level],
+            &mut rng,
+        );
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].strategy, Strategy::Soar);
+        assert_eq!(outcomes[0].cost, 20.0);
+        assert!((outcomes[0].optimality_ratio - 1.0).abs() < 1e-12);
+        for pair in outcomes.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+        }
+        let level = outcomes
+            .iter()
+            .find(|o| o.strategy == Strategy::Level)
+            .unwrap();
+        assert!((level.optimality_ratio - 21.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_handles_zero_load_instances() {
+        let tree = builders::complete_binary_tree(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcomes = comparison(&tree, 2, &[Strategy::Top], &mut rng);
+        for outcome in outcomes {
+            assert_eq!(outcome.normalized, 1.0);
+            assert_eq!(outcome.optimality_ratio, 1.0);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Exhaustive reference solver for the φ-BIC problem.
+//!
+//! Enumerates every subset `U ⊆ Λ` with `|U| ≤ k` and evaluates `φ(T, L, U)` directly
+//! via [`soar_reduce::cost::phi`]. Runtime is `Θ(Σ_{i ≤ k} C(|Λ|, i) · n)`, so this is
+//! strictly a testing oracle for small instances; SOAR's optimality proofs (Lemma 6.2 /
+//! 6.3) are exercised in the test suites by comparing against it on thousands of random
+//! trees.
+
+use crate::solver::Solution;
+use soar_reduce::{cost, Coloring};
+use soar_topology::{NodeId, Tree};
+
+/// Upper bound on the number of subsets [`brute_force`] is willing to enumerate before
+/// it panics — a guard against accidentally running the oracle on a real instance.
+pub const MAX_SUBSETS: u128 = 20_000_000;
+
+/// Number of subsets of size at most `k` from a ground set of `n` elements.
+fn subset_count(n: usize, k: usize) -> u128 {
+    let mut total: u128 = 0;
+    let mut binom: u128 = 1;
+    for i in 0..=k.min(n) {
+        if i > 0 {
+            binom = binom * (n as u128 - i as u128 + 1) / i as u128;
+        }
+        total = total.saturating_add(binom);
+        if total > MAX_SUBSETS {
+            return total;
+        }
+    }
+    total
+}
+
+/// Finds an optimal set of at most `k` blue switches by exhaustive enumeration.
+///
+/// # Panics
+///
+/// Panics if the number of candidate subsets exceeds [`MAX_SUBSETS`].
+pub fn brute_force(tree: &Tree, k: usize) -> Solution {
+    let candidates: Vec<NodeId> = tree.node_ids().filter(|&v| tree.available(v)).collect();
+    let count = subset_count(candidates.len(), k);
+    assert!(
+        count <= MAX_SUBSETS,
+        "brute force would enumerate {count} subsets; this oracle is for small tests only"
+    );
+
+    let mut best_coloring = Coloring::all_red(tree.n_switches());
+    let mut best_cost = cost::phi(tree, &best_coloring);
+
+    // Depth-first enumeration of subsets of `candidates` with size ≤ k.
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+    enumerate(
+        tree,
+        &candidates,
+        0,
+        k,
+        &mut chosen,
+        &mut best_cost,
+        &mut best_coloring,
+    );
+
+    Solution {
+        blue_used: best_coloring.n_blue(),
+        cost: best_cost,
+        coloring: best_coloring,
+        budget: k,
+    }
+}
+
+fn enumerate(
+    tree: &Tree,
+    candidates: &[NodeId],
+    start: usize,
+    remaining: usize,
+    chosen: &mut Vec<NodeId>,
+    best_cost: &mut f64,
+    best_coloring: &mut Coloring,
+) {
+    if remaining == 0 || start == candidates.len() {
+        return;
+    }
+    for idx in start..candidates.len() {
+        chosen.push(candidates[idx]);
+        let coloring = Coloring::from_blue_nodes(tree.n_switches(), chosen.iter().copied())
+            .expect("candidates are valid switch ids");
+        let value = cost::phi(tree, &coloring);
+        if value < *best_cost - 1e-12 {
+            *best_cost = value;
+            *best_coloring = coloring;
+        }
+        enumerate(
+            tree,
+            candidates,
+            idx + 1,
+            remaining - 1,
+            chosen,
+            best_cost,
+            best_coloring,
+        );
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use soar_topology::builders;
+
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn brute_force_reproduces_fig3() {
+        let tree = fig2_tree();
+        let expected = [51.0, 35.0, 20.0, 15.0, 11.0];
+        for (k, &want) in expected.iter().enumerate() {
+            let solution = brute_force(&tree, k);
+            assert_eq!(solution.cost, want, "k = {k}");
+            assert_eq!(solution.cost, cost::phi(&tree, &solution.coloring));
+        }
+    }
+
+    #[test]
+    fn soar_matches_brute_force_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..40 {
+            let n = rng.random_range(2..=12);
+            let mut tree = builders::random_tree(n, &mut rng);
+            for v in 0..n {
+                tree.set_load(v, rng.random_range(0..7));
+                // Randomize rates and availability too.
+                tree.set_rate(v, [0.5, 1.0, 2.0, 4.0][rng.random_range(0..4)]);
+                tree.set_available(v, rng.random_range(0..4) != 0);
+            }
+            let k = rng.random_range(0..=4);
+            let exact = brute_force(&tree, k);
+            let soar = solve(&tree, k);
+            assert!(
+                (exact.cost - soar.cost).abs() < 1e-9,
+                "trial {trial}: brute {} vs SOAR {} (n = {n}, k = {k})",
+                exact.cost,
+                soar.cost
+            );
+        }
+    }
+
+    #[test]
+    fn budget_zero_is_all_red() {
+        let tree = fig2_tree();
+        let solution = brute_force(&tree, 0);
+        assert_eq!(solution.blue_used, 0);
+        assert_eq!(solution.cost, 51.0);
+    }
+
+    #[test]
+    fn subset_count_grows_as_expected() {
+        assert_eq!(subset_count(5, 0), 1);
+        assert_eq!(subset_count(5, 1), 6);
+        assert_eq!(subset_count(5, 2), 16);
+        assert_eq!(subset_count(4, 4), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force would enumerate")]
+    fn oversized_instances_are_rejected() {
+        let tree = builders::complete_binary_tree(255);
+        let _ = brute_force(&tree, 16);
+    }
+}

@@ -1,0 +1,196 @@
+//! SOAR-Color (Algorithm 4 of the paper): the top-down traceback that turns the DP
+//! tables of [`crate::gather`] into an actual set of blue switches.
+//!
+//! The destination hands the root the budget and the distance `ℓ = 1`; every switch
+//! then (i) decides its own color by comparing the two conditioned potentials
+//! `Y_v(ℓ*, i, B)` and `Y_v(ℓ*, i, R)` recorded during the gather phase, and (ii) tells
+//! each child how many blue nodes to place in its subtree (replaying the recorded
+//! `mSplit` decisions) and at what distance from the nearest barrier it now sits.
+
+use crate::tables::{Color, GatherTables};
+use soar_reduce::Coloring;
+use soar_topology::{NodeId, Tree, ROOT};
+
+/// Runs SOAR-Color using tables produced by [`crate::gather::soar_gather`] and the
+/// *exact* number of blue nodes `i` to distribute (usually the arg-min over `i ≤ k`
+/// computed by [`GatherTables::optimum`]).
+///
+/// Returns the resulting coloring; its utilization equals `X_r(1, i)`.
+pub fn soar_color_exact(tree: &Tree, tables: &GatherTables, i: usize) -> Coloring {
+    assert!(
+        i <= tables.k,
+        "requested {i} blue nodes but the tables were computed for k = {}",
+        tables.k
+    );
+    let mut coloring = Coloring::all_red(tree.n_switches());
+    // Work list of (node, blue nodes to place in its subtree, distance to barrier).
+    let mut stack: Vec<(NodeId, usize, usize)> = vec![(ROOT, i, 1)];
+    while let Some((v, budget, l)) = stack.pop() {
+        assign(tree, tables, v, budget, l, &mut coloring, &mut stack);
+    }
+    coloring
+}
+
+/// Runs SOAR-Color for the best budget `i ≤ k` (the "at most k" semantics of the φ-BIC
+/// problem) and returns the coloring together with its optimal utilization.
+pub fn soar_color(tree: &Tree, tables: &GatherTables) -> (Coloring, f64) {
+    let (best_i, best_cost) = tables.optimum();
+    let coloring = soar_color_exact(tree, tables, best_i);
+    (coloring, best_cost)
+}
+
+/// Processes one switch: decides its color and pushes its children onto the work list.
+fn assign(
+    tree: &Tree,
+    tables: &GatherTables,
+    v: NodeId,
+    budget: usize,
+    l: usize,
+    coloring: &mut Coloring,
+    stack: &mut Vec<(NodeId, usize, usize)>,
+) {
+    let table = tables.node(v);
+    if tree.is_leaf(v) {
+        // A leaf goes blue when it has budget, is available, and aggregating does not
+        // cost more than forwarding its own workers (Alg. 4 colors any budgeted leaf;
+        // the extra guard only matters for degenerate zero-load leaves).
+        if budget > 0
+            && tree.available(v)
+            && table.y(l, budget, Color::Blue) <= table.y(l, budget, Color::Red)
+        {
+            coloring.set_blue(v);
+        }
+        return;
+    }
+
+    let blue = table.y(l, budget, Color::Blue) < table.y(l, budget, Color::Red);
+    if blue {
+        coloring.set_blue(v);
+    }
+    let color = if blue { Color::Blue } else { Color::Red };
+    // Children sit at distance 1 from their barrier if v is blue, ℓ + 1 otherwise.
+    let child_l = if blue { 1 } else { l + 1 };
+
+    let children = tree.children(v);
+    let mut remaining = budget;
+    // Children are peeled off in reverse order (c_C first), mirroring the prefix
+    // structure of the gather recursion: the split recorded at stage m tells how many
+    // blue nodes go to c_m, the rest stays with the prefix c_1 .. c_{m-1} (and v).
+    for m in (2..=children.len()).rev() {
+        let j = table.split(m, l, remaining, color) as usize;
+        stack.push((children[m - 1], j, child_l));
+        remaining -= j;
+    }
+    // The first child receives whatever remains, minus the blue node consumed by v.
+    let first_share = if blue { remaining.saturating_sub(1) } else { remaining };
+    stack.push((children[0], first_share, child_l));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::soar_gather;
+    use soar_reduce::cost;
+    use soar_topology::builders;
+
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn coloring_cost_matches_table_optimum_fig2() {
+        let tree = fig2_tree();
+        for k in 0..=7 {
+            let tables = soar_gather(&tree, k);
+            let (coloring, cost_claimed) = soar_color(&tree, &tables);
+            let cost_actual = cost::phi(&tree, &coloring);
+            assert!(
+                (cost_claimed - cost_actual).abs() < 1e-9,
+                "k = {k}: claimed {cost_claimed}, actual {cost_actual}"
+            );
+            assert!(coloring.n_blue() <= k);
+        }
+    }
+
+    #[test]
+    fn fig2_k2_produces_the_unique_optimal_set() {
+        let tree = fig2_tree();
+        let tables = soar_gather(&tree, 2);
+        let (coloring, cost_value) = soar_color(&tree, &tables);
+        assert_eq!(cost_value, 20.0);
+        // Fig. 3(b): the unique optimum for k = 2 is {leaf with load 6, right internal}.
+        assert_eq!(coloring.blue_nodes(), vec![2, 4]);
+    }
+
+    #[test]
+    fn fig3_k3_produces_the_unique_optimal_set() {
+        let tree = fig2_tree();
+        let tables = soar_gather(&tree, 3);
+        let (coloring, cost_value) = soar_color(&tree, &tables);
+        assert_eq!(cost_value, 15.0);
+        // Fig. 3(c): the unique optimum for k = 3 is the three heaviest leaves.
+        assert_eq!(coloring.blue_nodes(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn exact_budget_traceback_matches_exact_table_entry() {
+        let tree = fig2_tree();
+        let tables = soar_gather(&tree, 4);
+        for i in 0..=4 {
+            let coloring = soar_color_exact(&tree, &tables, i);
+            let actual = cost::phi(&tree, &coloring);
+            assert!(
+                (actual - tables.optimum_with_exactly(i)).abs() < 1e-9,
+                "exact i = {i}"
+            );
+            assert!(coloring.n_blue() <= i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tables were computed for k")]
+    fn exceeding_the_table_budget_panics() {
+        let tree = fig2_tree();
+        let tables = soar_gather(&tree, 2);
+        let _ = soar_color_exact(&tree, &tables, 3);
+    }
+
+    #[test]
+    fn availability_is_respected_by_the_traceback() {
+        let mut tree = fig2_tree();
+        // Only the two internal switches may aggregate.
+        for v in [0usize, 3, 4, 5, 6] {
+            tree.set_available(v, false);
+        }
+        let tables = soar_gather(&tree, 2);
+        let (coloring, cost_value) = soar_color(&tree, &tables);
+        for v in coloring.blue_nodes() {
+            assert!(tree.available(v));
+        }
+        assert_eq!(coloring.blue_nodes(), vec![1, 2]);
+        assert_eq!(cost_value, 21.0); // the Level placement is optimal within Λ
+    }
+
+    #[test]
+    fn zero_budget_yields_all_red() {
+        let tree = fig2_tree();
+        let tables = soar_gather(&tree, 0);
+        let (coloring, cost_value) = soar_color(&tree, &tables);
+        assert_eq!(coloring.n_blue(), 0);
+        assert_eq!(cost_value, 51.0);
+    }
+
+    #[test]
+    fn zero_load_instance_uses_no_blue_nodes() {
+        let tree = builders::complete_binary_tree(7); // no load anywhere
+        let tables = soar_gather(&tree, 3);
+        let (coloring, cost_value) = soar_color(&tree, &tables);
+        assert_eq!(cost_value, 0.0);
+        assert_eq!(coloring.n_blue(), 0, "no traffic, so no aggregation needed");
+    }
+}

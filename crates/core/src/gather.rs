@@ -1,0 +1,202 @@
+//! SOAR-Gather (Algorithm 3 of the paper): the bottom-up dynamic-programming pass.
+//!
+//! Scanning the tree from the leaves towards the root, every switch `v` computes — for
+//! every possible distance `ℓ` to its closest blue ancestor (or the destination) and
+//! every possible number `i` of blue nodes placed inside its subtree — the minimum
+//! utilization its subtree can contribute, conditioned on `v` being blue or red
+//! (Lemma 6.2). The child subtrees are folded in one at a time through the prefix
+//! recursion `Y_v^m` (Lemma 6.1 / the `mCost` procedure), whose arg-min split is
+//! recorded for the coloring phase.
+//!
+//! The implementation is an iterative post-order traversal (no recursion), so trees
+//! with thousands of switches and heights in the tens are handled comfortably; the
+//! complexity is `O(n · h(T) · k²)` time as in Theorem 4.1.
+
+use crate::node_dp::compute_node_table;
+use crate::tables::GatherTables;
+use soar_topology::Tree;
+
+/// Runs SOAR-Gather for budget `k` over the tree (its loads, rates and availability
+/// set Λ) and returns the full set of DP tables.
+pub fn soar_gather(tree: &Tree, k: usize) -> GatherTables {
+    let mut tables = GatherTables::new(tree, k);
+    for v in tree.post_order() {
+        // Snapshot the children's X tables (already finalized by the post-order scan) —
+        // this is exactly the information a child ships to its parent in the
+        // distributed rendition of the algorithm.
+        let children_x: Vec<Vec<f64>> = tree
+            .children(v)
+            .iter()
+            .map(|&c| tables.node(c).x.clone())
+            .collect();
+        let table = compute_node_table(
+            &tree.path_rho(v),
+            tree.load(v),
+            tree.available(v),
+            k,
+            &children_x,
+        );
+        tables.replace_node(v, table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{Color, INF};
+    use soar_topology::{builders, Tree};
+
+    /// The Fig. 2 / Fig. 5 instance: complete binary tree over 7 switches, leaf loads
+    /// 2, 6, 5, 4, unit rates, Λ = S.
+    fn fig5_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn leaf_tables_match_fig5() {
+        let tree = fig5_tree();
+        let tables = soar_gather(&tree, 2);
+        // Leaf with load 2 (node 3): rows ℓ = 0..3, columns i = 0..2.
+        // Red row is ℓ·L, blue row is ℓ (for i ≥ 1); X is their minimum.
+        for l in 0..4 {
+            assert_eq!(tables.y(3, l, 0, Color::Red), 2.0 * l as f64);
+            assert_eq!(tables.y(3, l, 0, Color::Blue), INF);
+            assert_eq!(tables.x(3, l, 0), 2.0 * l as f64);
+            for i in 1..=2 {
+                assert_eq!(tables.y(3, l, i, Color::Blue), l as f64);
+                assert_eq!(tables.x(3, l, i), (l as f64).min(2.0 * l as f64));
+            }
+        }
+        // Leaf with load 6 (node 4): red row is 6ℓ.
+        assert_eq!(tables.x(4, 1, 0), 6.0);
+        assert_eq!(tables.x(4, 2, 0), 12.0);
+        assert_eq!(tables.x(4, 3, 0), 18.0);
+        assert_eq!(tables.x(4, 3, 1), 3.0);
+        // Leaf with load 5 (node 5) and 4 (node 6).
+        assert_eq!(tables.x(5, 2, 0), 10.0);
+        assert_eq!(tables.x(6, 2, 0), 8.0);
+    }
+
+    #[test]
+    fn internal_node_tables_match_fig5() {
+        let tree = fig5_tree();
+        let tables = soar_gather(&tree, 2);
+        // Left internal switch (node 1, above loads 2 and 6).
+        // Fig. 5: X(ℓ=0, ·) = (8, 3, 2); X(ℓ=1, ·) = (16, 6, 4); X(ℓ=2, ·) = (24, 9, 5).
+        assert_eq!(tables.x(1, 0, 0), 8.0);
+        assert_eq!(tables.x(1, 0, 1), 3.0);
+        assert_eq!(tables.x(1, 0, 2), 2.0);
+        assert_eq!(tables.x(1, 1, 0), 16.0);
+        assert_eq!(tables.x(1, 1, 1), 6.0);
+        assert_eq!(tables.x(1, 1, 2), 4.0);
+        assert_eq!(tables.x(1, 2, 0), 24.0);
+        assert_eq!(tables.x(1, 2, 1), 9.0);
+        assert_eq!(tables.x(1, 2, 2), 5.0);
+        // Conditioned values reported in Fig. 5(a): Y(ℓ=1, i=1, B) = 9, Y(ℓ=2, i=1, B) = 10.
+        assert_eq!(tables.y(1, 1, 1, Color::Blue), 9.0);
+        assert_eq!(tables.y(1, 2, 1, Color::Blue), 10.0);
+        assert_eq!(tables.y(1, 0, 0, Color::Red), 8.0);
+
+        // Right internal switch (node 2, above loads 5 and 4).
+        // Fig. 5: X(ℓ=0, ·) = (9, 5, 2); X(ℓ=1, ·) = (18, 10, 4).
+        assert_eq!(tables.x(2, 0, 0), 9.0);
+        assert_eq!(tables.x(2, 0, 1), 5.0);
+        assert_eq!(tables.x(2, 0, 2), 2.0);
+        assert_eq!(tables.x(2, 1, 0), 18.0);
+        assert_eq!(tables.x(2, 1, 1), 10.0);
+        assert_eq!(tables.x(2, 1, 2), 4.0);
+        assert_eq!(tables.y(2, 1, 1, Color::Blue), 10.0);
+        assert_eq!(tables.y(2, 2, 1, Color::Blue), 11.0);
+    }
+
+    #[test]
+    fn root_table_yields_the_known_optima() {
+        let tree = fig5_tree();
+        let tables = soar_gather(&tree, 4);
+        // X_r(1, i) is the optimal utilization with exactly i blue nodes (Eq. 6):
+        // all-red is 51; Fig. 3 reports 35, 20, 15, 11 for k = 1..4.
+        assert_eq!(tables.optimum_with_exactly(0), 51.0);
+        assert_eq!(tables.optimum_with_exactly(1), 35.0);
+        assert_eq!(tables.optimum_with_exactly(2), 20.0);
+        assert_eq!(tables.optimum_with_exactly(3), 15.0);
+        assert_eq!(tables.optimum_with_exactly(4), 11.0);
+        let (best_i, best) = tables.optimum();
+        assert_eq!(best_i, 4);
+        assert_eq!(best, 11.0);
+        // The root's subtree-internal view (ℓ = 0) for i = 0 is the all-red cost minus
+        // the 17 messages on the (r, d) link: 34, as printed in Fig. 5.
+        assert_eq!(tables.x(0, 0, 0), 34.0);
+        assert_eq!(tables.x(0, 0, 1), 24.0);
+        assert_eq!(tables.x(0, 0, 2), 16.0);
+    }
+
+    #[test]
+    fn unavailable_switches_are_never_counted_blue() {
+        let mut tree = fig5_tree();
+        // Make everything unavailable: the optimum for any k collapses to all-red.
+        for v in 0..tree.n_switches() {
+            tree.set_available(v, false);
+        }
+        let tables = soar_gather(&tree, 3);
+        for i in 0..=3 {
+            assert_eq!(tables.optimum_with_exactly(i), 51.0);
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_hurts() {
+        let tree = fig5_tree();
+        let tables = soar_gather(&tree, 7);
+        let mut prev = f64::INFINITY;
+        for i in 0..=7 {
+            let value = tables.optimum_with_exactly(i);
+            // With positive loads everywhere at the leaves, exact-i optima are
+            // non-increasing here (each extra blue node can be placed on a leaf).
+            assert!(value <= prev + 1e-9);
+            prev = value;
+        }
+        // All-blue over 7 unit-rate switches costs exactly one message per link = 7.
+        assert_eq!(tables.optimum_with_exactly(7), 7.0);
+    }
+
+    #[test]
+    fn single_switch_tree() {
+        let mut tree = builders::path(1);
+        tree.set_load(0, 5);
+        let tables = soar_gather(&tree, 1);
+        assert_eq!(tables.optimum_with_exactly(0), 5.0);
+        assert_eq!(tables.optimum_with_exactly(1), 1.0);
+    }
+
+    #[test]
+    fn heterogeneous_rates_scale_the_potentials() {
+        let mut tree = fig5_tree();
+        tree.apply_rates(&soar_topology::rates::RateScheme::paper_exponential());
+        let tables = soar_gather(&tree, 2);
+        // The all-red cost: leaves send over rate-1 links, internals over rate-2,
+        // the root over rate-4: 17/4 + (8 + 9)/2 + (2 + 6 + 5 + 4)/1 = 29.75.
+        assert!((tables.optimum_with_exactly(0) - 29.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_handles_high_arity_nodes() {
+        let mut tree = builders::star(9);
+        for v in 1..9 {
+            tree.set_load(v, v as u64);
+        }
+        let tables = soar_gather(&tree, 3);
+        // All-red: each leaf v sends v messages over 2 links (leaf → root → d).
+        let all_red: f64 = (1..9).map(|v| 2.0 * v as f64).sum();
+        assert_eq!(tables.optimum_with_exactly(0), all_red);
+        // Best single blue node is the root: every leaf still sends v messages on its
+        // own link, the root forwards 1.
+        let root_blue: f64 = (1..9).map(|v| v as f64).sum::<f64>() + 1.0;
+        assert_eq!(tables.optimum_with_exactly(1), root_blue);
+    }
+}

@@ -1,0 +1,68 @@
+//! # soar-core
+//!
+//! An implementation of **SOAR** (SOw-And-Reap), the optimal algorithm of
+//! Segal, Avin and Scalosub, *"SOAR: Minimizing Network Utilization with Bounded
+//! In-network Computing"* (CoNEXT 2021), for the **Bounded In-network Computing**
+//! (φ-BIC) placement problem:
+//!
+//! > Given a weighted tree network `T = (V, E, ω)`, a network load `L : S → ℕ`, a set
+//! > of available switches `Λ ⊆ S`, and a budget `k`, find a set `U ⊆ Λ` of at most `k`
+//! > aggregation switches minimizing the utilization complexity
+//! > `φ(T, L, U) = Σ_e msg_e(T, L, U) · ρ(e)` of a Reduce operation.
+//!
+//! The crate provides:
+//!
+//! * [`solve`] / [`solver`] — the end-to-end optimal solver
+//!   (`O(n · h(T) · k²)` per Theorem 4.1);
+//! * [`gather`] — SOAR-Gather (Algorithm 3), the bottom-up dynamic program over the
+//!   parameterized potential function, exposing its tables for inspection;
+//! * [`color`] — SOAR-Color (Algorithm 4), the top-down traceback that extracts an
+//!   optimal set of blue switches from those tables;
+//! * [`strategies`] — the contending placements of Sec. 3/5 (`Top`, `Max`, `Level`,
+//!   random, greedy, all-red, all-blue) behind a single [`Strategy`] enum;
+//! * [`brute`] — an exhaustive oracle used to verify optimality in tests.
+//!
+//! ```
+//! use soar_core::{solve, Strategy};
+//! use soar_topology::builders;
+//!
+//! // The paper's motivating example (Fig. 2): leaf loads 2, 6, 5, 4, budget k = 2.
+//! let mut tree = builders::complete_binary_tree(7);
+//! for (leaf, load) in [(3, 2), (4, 6), (5, 5), (6, 4)] {
+//!     tree.set_load(leaf, load);
+//! }
+//! let optimal = solve(&tree, 2);
+//! assert_eq!(optimal.cost, 20.0);                       // Fig. 2(d)
+//! assert_eq!(optimal.coloring.blue_nodes(), vec![2, 4]); // unique optimum (Fig. 3(b))
+//!
+//! // The intuitive strategies fall short (Figs. 2(a)-(c)).
+//! let mut rng = rand::rng();
+//! assert!(Strategy::Level.solve(&tree, 2, &mut rng).cost > optimal.cost);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod brute;
+pub mod color;
+pub mod gather;
+pub mod node_dp;
+pub mod solver;
+pub mod strategies;
+pub mod tables;
+
+pub use brute::brute_force;
+pub use color::{soar_color, soar_color_exact};
+pub use gather::soar_gather;
+pub use solver::{solutions_for_all_budgets, solve, solve_with_tables, Solution};
+pub use strategies::Strategy;
+pub use tables::{Color, GatherTables, NodeTable};
+
+/// Convenient prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::strategies::Strategy;
+    pub use crate::{brute_force, soar_color, soar_gather, solve, Solution};
+    pub use soar_reduce::{cost, Coloring};
+    pub use soar_topology::prelude::*;
+}

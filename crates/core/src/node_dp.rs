@@ -1,0 +1,257 @@
+//! The per-switch computation of SOAR-Gather, factored out of the tree traversal.
+//!
+//! A switch only needs *local* information to fill its DP table:
+//!
+//! * the prefix sums `ρ(v, Aᵉ_v)` of transmission times up its root path,
+//! * its own load `L(v)` and availability (`v ∈ Λ`),
+//! * the budget `k`,
+//! * and the `X` tables reported by its children.
+//!
+//! This is exactly the information a switch has in the *distributed* rendition of
+//! SOAR-Gather (Sec. 4.2), where children push their `X` tables upwards; the
+//! `soar-dataplane` crate drives this same function from message-passing switch actors,
+//! while [`crate::gather`] drives it from a centralized post-order traversal. Keeping a
+//! single implementation guarantees the two agree.
+
+use crate::tables::{Color, NodeTable, INF};
+
+/// Computes the full DP table of one switch from its children's `X` tables.
+///
+/// * `path_rho[ℓ]` must hold `ρ(v, Aᵉ_v)` for `ℓ = 0 ..= D(v) + 1`.
+/// * `children_x[m]` is the flat `X` table of the `m`-th child (row-major in `ℓ`, with
+///   `k + 1` columns and at least `D(v) + 3` rows — i.e. the child's own table).
+///
+/// The returned table contains `X_v`, the final-stage `Y_v(·, ·, B/R)` and the recorded
+/// split decisions for children `m ≥ 2`.
+pub fn compute_node_table(
+    path_rho: &[f64],
+    load: u64,
+    available: bool,
+    k: usize,
+    children_x: &[Vec<f64>],
+) -> NodeTable {
+    let n_l = path_rho.len();
+    let mut table = NodeTable::new(n_l, k + 1, children_x.len(), path_rho.to_vec());
+    if children_x.is_empty() {
+        fill_leaf(&mut table, load, available, k);
+    } else {
+        fill_internal(&mut table, load, available, k, children_x);
+    }
+    table
+}
+
+/// Base case (Alg. 3, lines 1-9): a leaf aggregates (blue) for `1 · ρ` or forwards its
+/// own workers (red) for `L(v) · ρ`.
+fn fill_leaf(table: &mut NodeTable, load: u64, available: bool, k: usize) {
+    let load = load as f64;
+    for l in 0..table.n_l {
+        let rho = table.rho_up(l);
+        let red = rho * load;
+        let blue = if available { rho } else { INF };
+        table.set_y(l, 0, Color::Red, red);
+        table.set_y(l, 0, Color::Blue, INF);
+        table.set_x(l, 0, red);
+        for i in 1..=k {
+            table.set_y(l, i, Color::Red, red);
+            table.set_y(l, i, Color::Blue, blue);
+            table.set_x(l, i, red.min(blue));
+        }
+    }
+}
+
+/// Recursive case (Alg. 3, lines 10-29): fold the children in one at a time through the
+/// prefix recursion `Y^m`, recording the arg-min splits (`mCost`) along the way.
+fn fill_internal(
+    table: &mut NodeTable,
+    load: u64,
+    available: bool,
+    k: usize,
+    children_x: &[Vec<f64>],
+) {
+    let n_l = table.n_l;
+    let load = load as f64;
+    let n_children = children_x.len();
+    let child_x = |m_index: usize, l: usize, i: usize| children_x[m_index][l * (k + 1) + i];
+
+    let cells = n_l * (k + 1);
+    let mut prev_blue = vec![INF; cells];
+    let mut prev_red = vec![INF; cells];
+    let mut cur_blue = vec![INF; cells];
+    let mut cur_red = vec![INF; cells];
+    let idx = |l: usize, i: usize| l * (k + 1) + i;
+
+    for m_index in 0..n_children {
+        let m = m_index + 1; // the paper's 1-based child index
+        if m == 1 {
+            for l in 0..n_l {
+                let rho = table.rho_up(l);
+                for i in 0..=k {
+                    // Blue: v consumes one blue node; c_1 is looked up at distance 1
+                    // with the remaining i - 1 nodes.
+                    let blue = if available && i >= 1 {
+                        child_x(m_index, 1, i - 1) + rho
+                    } else {
+                        INF
+                    };
+                    // Red: c_1 is looked up at distance ℓ + 1; v's own workers travel ℓ
+                    // links to the barrier.
+                    let red = child_x(m_index, l + 1, i) + rho * load;
+                    cur_blue[idx(l, i)] = blue;
+                    cur_red[idx(l, i)] = red;
+                }
+            }
+        } else {
+            for l in 0..n_l {
+                for i in 0..=k {
+                    // mCost for color B: hand j blue nodes to c_m, keep i - j ≥ 1 in the
+                    // prefix (one of them is v itself).
+                    let mut best_blue = INF;
+                    let mut best_blue_j = 0u32;
+                    if available && i >= 1 {
+                        for j in 0..i {
+                            let value = prev_blue[idx(l, i - j)] + child_x(m_index, 1, j);
+                            if value < best_blue {
+                                best_blue = value;
+                                best_blue_j = j as u32;
+                            }
+                        }
+                    }
+                    // mCost for color R.
+                    let mut best_red = INF;
+                    let mut best_red_j = 0u32;
+                    for j in 0..=i {
+                        let value = prev_red[idx(l, i - j)] + child_x(m_index, l + 1, j);
+                        if value < best_red {
+                            best_red = value;
+                            best_red_j = j as u32;
+                        }
+                    }
+                    cur_blue[idx(l, i)] = best_blue;
+                    cur_red[idx(l, i)] = best_red;
+                    table.set_split(m, l, i, Color::Blue, best_blue_j);
+                    table.set_split(m, l, i, Color::Red, best_red_j);
+                }
+            }
+        }
+        std::mem::swap(&mut prev_blue, &mut cur_blue);
+        std::mem::swap(&mut prev_red, &mut cur_red);
+        if m < n_children {
+            for cell in cur_blue.iter_mut() {
+                *cell = INF;
+            }
+            for cell in cur_red.iter_mut() {
+                *cell = INF;
+            }
+        }
+    }
+
+    for l in 0..n_l {
+        for i in 0..=k {
+            let blue = prev_blue[idx(l, i)];
+            let red = prev_red[idx(l, i)];
+            table.set_y(l, i, Color::Blue, blue);
+            table.set_y(l, i, Color::Red, red);
+            table.set_x(l, i, blue.min(red));
+        }
+    }
+}
+
+/// Given a switch's own table and its actual distance `ℓ*` to the nearest barrier plus
+/// the number of blue nodes `i` it must distribute, decides the switch's color exactly
+/// as SOAR-Color does (Alg. 4, line 6; leaves are handled by the caller).
+pub fn decide_color(table: &NodeTable, l: usize, i: usize) -> Color {
+    if table.y(l, i, Color::Blue) < table.y(l, i, Color::Red) {
+        Color::Blue
+    } else {
+        Color::Red
+    }
+}
+
+/// Computes how many blue nodes each child receives when `v` (whose table is given) has
+/// `i` blue nodes to distribute, sits at distance `ℓ*` from its barrier, and takes the
+/// given color. Returns one entry per child, in child order (Alg. 4, lines 9-16).
+pub fn child_budgets(table: &NodeTable, n_children: usize, l: usize, i: usize, color: Color) -> Vec<usize> {
+    let mut budgets = vec![0usize; n_children];
+    let mut remaining = i;
+    for m in (2..=n_children).rev() {
+        let j = table.split(m, l, remaining, color) as usize;
+        budgets[m - 1] = j;
+        remaining -= j;
+    }
+    if n_children >= 1 {
+        budgets[0] = match color {
+            Color::Blue => remaining.saturating_sub(1),
+            Color::Red => remaining,
+        };
+    }
+    budgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_table_values() {
+        let table = compute_node_table(&[0.0, 1.0, 2.0], 3, true, 2, &[]);
+        assert_eq!(table.x(1, 0), 3.0);
+        assert_eq!(table.x(1, 1), 1.0);
+        assert_eq!(table.x(2, 0), 6.0);
+        assert_eq!(table.x(2, 2), 2.0);
+        assert_eq!(table.y(2, 1, Color::Red), 6.0);
+        assert_eq!(table.y(2, 1, Color::Blue), 2.0);
+
+        let unavailable = compute_node_table(&[0.0, 1.0], 3, false, 2, &[]);
+        assert_eq!(unavailable.x(1, 2), 3.0);
+        assert_eq!(unavailable.y(1, 2, Color::Blue), INF);
+    }
+
+    #[test]
+    fn internal_node_matches_manual_computation() {
+        // Reproduce the left internal switch of Fig. 5 (children with loads 2 and 6,
+        // unit rates): its children's X tables are X(ℓ, 0) = L·ℓ and X(ℓ, i ≥ 1) = ℓ.
+        let k = 2;
+        let child = |load: f64| -> Vec<f64> {
+            let mut x = vec![0.0; 4 * (k + 1)];
+            for l in 0..4 {
+                x[l * (k + 1)] = load * l as f64;
+                for i in 1..=k {
+                    x[l * (k + 1) + i] = (l as f64).min(load * l as f64);
+                }
+            }
+            x
+        };
+        let table = compute_node_table(&[0.0, 1.0, 2.0], 0, true, k, &[child(2.0), child(6.0)]);
+        assert_eq!(table.x(0, 0), 8.0);
+        assert_eq!(table.x(0, 1), 3.0);
+        assert_eq!(table.x(0, 2), 2.0);
+        assert_eq!(table.x(1, 0), 16.0);
+        assert_eq!(table.x(1, 1), 6.0);
+        assert_eq!(table.x(2, 1), 9.0);
+    }
+
+    #[test]
+    fn decide_color_and_child_budgets() {
+        let k = 2;
+        let child = |load: f64| -> Vec<f64> {
+            let mut x = vec![0.0; 4 * (k + 1)];
+            for l in 0..4 {
+                x[l * (k + 1)] = load * l as f64;
+                for i in 1..=k {
+                    x[l * (k + 1) + i] = (l as f64).min(load * l as f64);
+                }
+            }
+            x
+        };
+        let table = compute_node_table(&[0.0, 1.0, 2.0], 0, true, k, &[child(2.0), child(6.0)]);
+        // At ℓ = 1 with i = 1 the red configuration (child-2 blue) is cheaper than
+        // being blue itself: X(1,1) = 6 comes from the red row.
+        assert_eq!(decide_color(&table, 1, 1), Color::Red);
+        let budgets = child_budgets(&table, 2, 1, 1, Color::Red);
+        assert_eq!(budgets.iter().sum::<usize>(), 1);
+        assert_eq!(budgets, vec![0, 1], "the heavy child receives the blue node");
+
+        // With i = 0 nothing is distributed.
+        assert_eq!(child_budgets(&table, 2, 1, 0, Color::Red), vec![0, 0]);
+    }
+}

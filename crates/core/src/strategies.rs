@@ -1,0 +1,377 @@
+//! The contending placement strategies of Sec. 3 / Sec. 5.1, plus a couple of natural
+//! extras used for ablations.
+//!
+//! * [`top`] — the `k` available switches closest to the root (ties broken by id);
+//! * [`max_load`] — the `k` available switches with the largest load;
+//! * [`max_degree`] — the `k` available switches with the largest degree (the variant
+//!   of `Max` used for the scale-free networks of Appendix B);
+//! * [`level`] — the deepest whole level of the tree that fits within the budget
+//!   (defined by the paper for complete binary trees; here it works for any tree by
+//!   grouping switches by depth);
+//! * [`random_placement`] — `k` available switches chosen uniformly at random;
+//! * [`greedy`] — repeatedly adds the single blue switch with the largest marginal
+//!   reduction in φ (an ablation showing how much the exact DP buys over hill climbing);
+//! * [`all_red`] / [`all_blue`] — the two extremes used for normalization.
+//!
+//! Every strategy respects the availability set Λ stored in the tree and never uses
+//! more than `k` blue switches. The [`Strategy`] enum packages them behind one API for
+//! the evaluation harness and the multi-workload scenarios.
+
+use crate::solver::{self, Solution};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use soar_reduce::{cost, Coloring};
+use soar_topology::{builders, NodeId, Tree};
+
+/// The all-red coloring (no aggregation anywhere): the normalization baseline.
+pub fn all_red(tree: &Tree) -> Coloring {
+    Coloring::all_red(tree.n_switches())
+}
+
+/// The all-blue coloring over the available switches (`U = Λ`): the unbounded
+/// in-network computing reference.
+pub fn all_blue(tree: &Tree) -> Coloring {
+    Coloring::all_available_blue(tree)
+}
+
+/// `Top`: the `k` available switches closest to the root (Sec. 3 (i)).
+pub fn top(tree: &Tree, k: usize) -> Coloring {
+    let mut candidates: Vec<NodeId> = tree.node_ids().filter(|&v| tree.available(v)).collect();
+    candidates.sort_by_key(|&v| (tree.depth(v), v));
+    Coloring::from_blue_nodes(tree.n_switches(), candidates.into_iter().take(k))
+        .expect("candidate ids come from the tree")
+}
+
+/// `Max`: the `k` available switches with the largest load (Sec. 3 (ii)).
+pub fn max_load(tree: &Tree, k: usize) -> Coloring {
+    let mut candidates: Vec<NodeId> = tree.node_ids().filter(|&v| tree.available(v)).collect();
+    candidates.sort_by_key(|&v| (std::cmp::Reverse(tree.load(v)), v));
+    Coloring::from_blue_nodes(tree.n_switches(), candidates.into_iter().take(k))
+        .expect("candidate ids come from the tree")
+}
+
+/// `Max` by degree: the `k` available switches with the largest degree, the natural
+/// reading of the `Max` policy on scale-free trees with unit loads (Appendix B).
+pub fn max_degree(tree: &Tree, k: usize) -> Coloring {
+    let degrees = builders::degrees(tree);
+    let mut candidates: Vec<NodeId> = tree.node_ids().filter(|&v| tree.available(v)).collect();
+    candidates.sort_by_key(|&v| (std::cmp::Reverse(degrees[v]), v));
+    Coloring::from_blue_nodes(tree.n_switches(), candidates.into_iter().take(k))
+        .expect("candidate ids come from the tree")
+}
+
+/// `Level`: colors the deepest whole depth-level whose size fits within the budget
+/// (Sec. 3 (iii)). Only the available switches of that level are colored; if even the
+/// root level does not fit (k = 0) nothing is colored.
+pub fn level(tree: &Tree, k: usize) -> Coloring {
+    let levels = tree.levels();
+    let chosen = levels
+        .iter()
+        .rev()
+        .find(|level| !level.is_empty() && level.len() <= k);
+    match chosen {
+        Some(level) => Coloring::from_blue_nodes(
+            tree.n_switches(),
+            level.iter().copied().filter(|&v| tree.available(v)),
+        )
+        .expect("level ids come from the tree"),
+        None => Coloring::all_red(tree.n_switches()),
+    }
+}
+
+/// Uniformly random placement of `k` blue switches among the available ones.
+pub fn random_placement<R: Rng + ?Sized>(tree: &Tree, k: usize, rng: &mut R) -> Coloring {
+    let mut candidates: Vec<NodeId> = tree.node_ids().filter(|&v| tree.available(v)).collect();
+    candidates.shuffle(rng);
+    Coloring::from_blue_nodes(tree.n_switches(), candidates.into_iter().take(k))
+        .expect("candidate ids come from the tree")
+}
+
+/// Greedy hill climbing: repeatedly add the available switch whose coloring most
+/// reduces φ, stopping after `k` additions or when no addition helps.
+///
+/// This is *not* one of the paper's strategies; it serves as an ablation quantifying
+/// the value of SOAR's exact dynamic program over the obvious marginal-gain heuristic
+/// (which the paper argues is foiled by the long-range dependencies between blue nodes
+/// on a root path).
+pub fn greedy(tree: &Tree, k: usize) -> Coloring {
+    let mut coloring = Coloring::all_red(tree.n_switches());
+    let mut current = cost::phi(tree, &coloring);
+    for _ in 0..k {
+        let mut best: Option<(NodeId, f64)> = None;
+        for v in tree.node_ids() {
+            if !tree.available(v) || coloring.is_blue(v) {
+                continue;
+            }
+            coloring.set_blue(v);
+            let candidate = cost::phi(tree, &coloring);
+            coloring.set_red(v);
+            if candidate < current - 1e-12
+                && best.map(|(_, c)| candidate < c).unwrap_or(true)
+            {
+                best = Some((v, candidate));
+            }
+        }
+        match best {
+            Some((v, value)) => {
+                coloring.set_blue(v);
+                current = value;
+            }
+            None => break,
+        }
+    }
+    coloring
+}
+
+/// A placement policy for the φ-BIC problem, packaged for sweeps and online scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The optimal algorithm of the paper.
+    Soar,
+    /// `k` switches closest to the root.
+    Top,
+    /// `k` switches with the largest load.
+    MaxLoad,
+    /// `k` switches with the largest degree.
+    MaxDegree,
+    /// The deepest whole level fitting the budget.
+    Level,
+    /// Uniformly random placement.
+    Random,
+    /// Greedy marginal-gain hill climbing (ablation).
+    Greedy,
+    /// No aggregation at all.
+    AllRed,
+    /// Every available switch aggregates (ignores the budget).
+    AllBlue,
+}
+
+impl Strategy {
+    /// All strategies compared in the paper's figures, in their plotting order.
+    pub const PAPER_SET: [Strategy; 6] = [
+        Strategy::AllBlue,
+        Strategy::AllRed,
+        Strategy::MaxLoad,
+        Strategy::Soar,
+        Strategy::Top,
+        Strategy::Level,
+    ];
+
+    /// A short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Soar => "SOAR",
+            Strategy::Top => "Top",
+            Strategy::MaxLoad => "Max",
+            Strategy::MaxDegree => "Max-degree",
+            Strategy::Level => "Level",
+            Strategy::Random => "Random",
+            Strategy::Greedy => "Greedy",
+            Strategy::AllRed => "All red",
+            Strategy::AllBlue => "All blue",
+        }
+    }
+
+    /// Computes the placement this strategy chooses for budget `k` on the given tree.
+    pub fn place<R: Rng + ?Sized>(&self, tree: &Tree, k: usize, rng: &mut R) -> Coloring {
+        match self {
+            Strategy::Soar => solver::solve(tree, k).coloring,
+            Strategy::Top => top(tree, k),
+            Strategy::MaxLoad => max_load(tree, k),
+            Strategy::MaxDegree => max_degree(tree, k),
+            Strategy::Level => level(tree, k),
+            Strategy::Random => random_placement(tree, k, rng),
+            Strategy::Greedy => greedy(tree, k),
+            Strategy::AllRed => all_red(tree),
+            Strategy::AllBlue => all_blue(tree),
+        }
+    }
+
+    /// Convenience: place and evaluate in one call.
+    pub fn solve<R: Rng + ?Sized>(&self, tree: &Tree, k: usize, rng: &mut R) -> Solution {
+        let coloring = self.place(tree, k, rng);
+        Solution::from_coloring(tree, coloring, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_topology::builders;
+
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn motivating_example_ordering_of_strategies() {
+        // Fig. 2: SOAR (20) beats Level (21) beats Max (24) beats Top (27/28 depending
+        // on tie-breaks among the switches nearest the root).
+        let tree = fig2_tree();
+        let mut rng = StdRng::seed_from_u64(0);
+        let soar = Strategy::Soar.solve(&tree, 2, &mut rng).cost;
+        let level_cost = Strategy::Level.solve(&tree, 2, &mut rng).cost;
+        let max_cost = Strategy::MaxLoad.solve(&tree, 2, &mut rng).cost;
+        let top_cost = Strategy::Top.solve(&tree, 2, &mut rng).cost;
+        assert_eq!(soar, 20.0);
+        assert_eq!(level_cost, 21.0);
+        assert_eq!(max_cost, 24.0);
+        assert!(top_cost == 27.0 || top_cost == 28.0);
+        assert!(soar < level_cost && level_cost < max_cost && max_cost < top_cost);
+    }
+
+    #[test]
+    fn top_picks_switches_nearest_the_root() {
+        let tree = fig2_tree();
+        assert_eq!(top(&tree, 1).blue_nodes(), vec![0]);
+        assert_eq!(top(&tree, 3).blue_nodes(), vec![0, 1, 2]);
+        assert_eq!(top(&tree, 100).n_blue(), 7);
+    }
+
+    #[test]
+    fn max_load_picks_heaviest_leaves() {
+        let tree = fig2_tree();
+        assert_eq!(max_load(&tree, 2).blue_nodes(), vec![4, 5]);
+        assert_eq!(max_load(&tree, 4).blue_nodes(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn max_degree_prefers_hubs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = builders::scale_free_tree(64, &mut rng);
+        let c = max_degree(&tree, 3);
+        let degrees = builders::degrees(&tree);
+        let min_chosen = c.iter_blue().map(|v| degrees[v]).min().unwrap();
+        let max_unchosen = tree
+            .node_ids()
+            .filter(|&v| !c.is_blue(v))
+            .map(|v| degrees[v])
+            .max()
+            .unwrap();
+        assert!(
+            min_chosen >= max_unchosen,
+            "every chosen hub must have degree at least as large as any unchosen switch"
+        );
+        assert_eq!(c.n_blue(), 3);
+    }
+
+    #[test]
+    fn level_selects_the_deepest_fitting_level() {
+        let tree = fig2_tree();
+        // k = 1: only the root level fits. k = 2, 3: the two internal switches.
+        // k = 4+: the leaf level.
+        assert_eq!(level(&tree, 1).blue_nodes(), vec![0]);
+        assert_eq!(level(&tree, 2).blue_nodes(), vec![1, 2]);
+        assert_eq!(level(&tree, 3).blue_nodes(), vec![1, 2]);
+        assert_eq!(level(&tree, 4).blue_nodes(), vec![3, 4, 5, 6]);
+        assert_eq!(level(&tree, 0).n_blue(), 0);
+    }
+
+    #[test]
+    fn level_skips_unavailable_switches_in_the_chosen_level() {
+        let mut tree = fig2_tree();
+        tree.set_available(1, false);
+        let c = level(&tree, 2);
+        assert_eq!(c.blue_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn random_respects_budget_and_availability() {
+        let mut tree = fig2_tree();
+        tree.set_available(0, false);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let c = random_placement(&tree, 3, &mut rng);
+            assert_eq!(c.n_blue(), 3);
+            assert!(!c.is_blue(0));
+        }
+    }
+
+    #[test]
+    fn greedy_is_no_better_than_soar_and_no_worse_than_all_red() {
+        let mut tree = builders::complete_binary_tree_bt(64);
+        let mut rng = StdRng::seed_from_u64(5);
+        tree.apply_leaf_loads(&soar_topology::load::LoadSpec::paper_power_law(), &mut rng);
+        for k in [1usize, 2, 4, 8] {
+            let soar_cost = Strategy::Soar.solve(&tree, k, &mut rng).cost;
+            let greedy_cost = Strategy::Greedy.solve(&tree, k, &mut rng).cost;
+            let red_cost = Strategy::AllRed.solve(&tree, k, &mut rng).cost;
+            assert!(soar_cost <= greedy_cost + 1e-9);
+            assert!(greedy_cost <= red_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_stops_early_when_no_gain_is_possible() {
+        let tree = builders::complete_binary_tree(7); // zero load: nothing helps
+        let c = greedy(&tree, 5);
+        assert_eq!(c.n_blue(), 0);
+    }
+
+    #[test]
+    fn all_strategies_respect_budget_and_availability() {
+        let mut tree = fig2_tree();
+        tree.set_available(4, false);
+        let mut rng = StdRng::seed_from_u64(1);
+        for strategy in [
+            Strategy::Soar,
+            Strategy::Top,
+            Strategy::MaxLoad,
+            Strategy::MaxDegree,
+            Strategy::Level,
+            Strategy::Random,
+            Strategy::Greedy,
+        ] {
+            let c = strategy.place(&tree, 2, &mut rng);
+            assert!(c.n_blue() <= 2, "{} used too many blue nodes", strategy.name());
+            assert!(
+                c.validate(&tree, 2).is_ok(),
+                "{} violated availability",
+                strategy.name()
+            );
+        }
+        // AllBlue deliberately ignores the budget but still respects Λ.
+        let blue = Strategy::AllBlue.place(&tree, 2, &mut rng);
+        assert!(!blue.is_blue(4));
+        assert_eq!(blue.n_blue(), 6);
+    }
+
+    #[test]
+    fn soar_never_loses_to_any_strategy() {
+        let mut tree = builders::complete_binary_tree_bt(32);
+        let mut rng = StdRng::seed_from_u64(11);
+        tree.apply_leaf_loads(&soar_topology::load::LoadSpec::paper_power_law(), &mut rng);
+        for k in [1usize, 2, 4, 8] {
+            let soar_cost = Strategy::Soar.solve(&tree, k, &mut rng).cost;
+            for strategy in [
+                Strategy::Top,
+                Strategy::MaxLoad,
+                Strategy::Level,
+                Strategy::Random,
+                Strategy::Greedy,
+            ] {
+                let other = strategy.solve(&tree, k, &mut rng).cost;
+                assert!(
+                    soar_cost <= other + 1e-9,
+                    "SOAR ({soar_cost}) must not lose to {} ({other}) at k = {k}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Strategy::Soar.name(), "SOAR");
+        assert_eq!(Strategy::MaxLoad.name(), "Max");
+        assert_eq!(Strategy::AllBlue.name(), "All blue");
+        assert_eq!(Strategy::PAPER_SET.len(), 6);
+    }
+}

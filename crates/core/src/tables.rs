@@ -1,0 +1,251 @@
+//! Dynamic-programming tables produced by SOAR-Gather and consumed by SOAR-Color.
+//!
+//! For every switch `v` the gather phase materialises the parameterized potential
+//! function of the paper (Sec. 6.1):
+//!
+//! * `X_v(ℓ, i)` — the minimum potential `π_v(ℓ, U)` over all sets `U` of `i` blue
+//!   nodes inside the subtree `T_v`, where `ℓ` is the hop distance from `v` to its
+//!   closest blue ancestor (or to the destination `d`);
+//! * `Y_v^{C(v)}(ℓ, i, B)` / `Y_v^{C(v)}(ℓ, i, R)` — the same minimum conditioned on
+//!   the color of `v` itself (blue / red), i.e. the final stage of the per-child
+//!   prefix recursion (`X_v = min(Y_B, Y_R)`);
+//! * the **split decisions**: for every child index `m ≥ 2` and every `(ℓ, i, color)`,
+//!   how many of the `i` blue nodes the optimal partition hands to the subtree of the
+//!   `m`-th child (the `arg min` of the paper's `mCost`, recorded so that SOAR-Color
+//!   can trace the optimum without recomputing it).
+//!
+//! The parameter ranges are `ℓ ∈ {0, ..., D(v) + 1}` (up to the distance from `v` to
+//! the destination) and `i ∈ {0, ..., k}`.
+
+use soar_topology::{NodeId, Tree};
+
+/// Sentinel for an infeasible configuration (e.g. coloring an unavailable switch blue).
+pub const INF: f64 = f64::INFINITY;
+
+/// Identifies the color a potential value is conditioned on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// Aggregating switch (`v ∈ U`).
+    Blue,
+    /// Forwarding switch (`v ∉ U`).
+    Red,
+}
+
+/// The per-switch DP table.
+#[derive(Debug, Clone)]
+pub struct NodeTable {
+    /// Number of distinct `ℓ` values: `D(v) + 2` (i.e. `0 ..= dist_to_dest(v)`).
+    pub n_l: usize,
+    /// Number of distinct `i` values: `k + 1`.
+    pub n_i: usize,
+    /// `X_v(ℓ, i)`, row-major in `ℓ`.
+    pub x: Vec<f64>,
+    /// Final-stage `Y_v(ℓ, i, B)`.
+    pub y_blue: Vec<f64>,
+    /// Final-stage `Y_v(ℓ, i, R)`.
+    pub y_red: Vec<f64>,
+    /// `ρ(v, Aᵉ_v)` for `ℓ = 0 ..= D(v) + 1` (prefix sums of ρ up the tree).
+    pub path_rho: Vec<f64>,
+    /// Split decisions for children `c_2 ..= c_{C(v)}`: `splits[m - 2]` is a flat
+    /// `(ℓ, i, color)` array holding the number of blue nodes granted to child `c_m`.
+    pub splits: Vec<Vec<u32>>,
+}
+
+impl NodeTable {
+    /// Creates an empty (all-zero / all-infinite) table for a node.
+    pub fn new(n_l: usize, n_i: usize, n_children: usize, path_rho: Vec<f64>) -> Self {
+        let cells = n_l * n_i;
+        NodeTable {
+            n_l,
+            n_i,
+            x: vec![0.0; cells],
+            y_blue: vec![INF; cells],
+            y_red: vec![INF; cells],
+            path_rho,
+            splits: vec![vec![0; cells * 2]; n_children.saturating_sub(1)],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, l: usize, i: usize) -> usize {
+        debug_assert!(l < self.n_l, "l = {l} out of range {}", self.n_l);
+        debug_assert!(i < self.n_i, "i = {i} out of range {}", self.n_i);
+        l * self.n_i + i
+    }
+
+    /// `X_v(ℓ, i)`.
+    #[inline]
+    pub fn x(&self, l: usize, i: usize) -> f64 {
+        self.x[self.idx(l, i)]
+    }
+
+    /// Sets `X_v(ℓ, i)`.
+    #[inline]
+    pub fn set_x(&mut self, l: usize, i: usize, value: f64) {
+        let idx = self.idx(l, i);
+        self.x[idx] = value;
+    }
+
+    /// Final-stage `Y_v(ℓ, i, color)`.
+    #[inline]
+    pub fn y(&self, l: usize, i: usize, color: Color) -> f64 {
+        let idx = self.idx(l, i);
+        match color {
+            Color::Blue => self.y_blue[idx],
+            Color::Red => self.y_red[idx],
+        }
+    }
+
+    /// Sets the final-stage `Y_v(ℓ, i, color)`.
+    #[inline]
+    pub fn set_y(&mut self, l: usize, i: usize, color: Color, value: f64) {
+        let idx = self.idx(l, i);
+        match color {
+            Color::Blue => self.y_blue[idx] = value,
+            Color::Red => self.y_red[idx] = value,
+        }
+    }
+
+    /// The recorded split for child `c_m` (`m ≥ 2`), i.e. how many blue nodes the
+    /// optimal partition of `Y_v^m(ℓ, i, color)` grants to the subtree of `c_m`.
+    #[inline]
+    pub fn split(&self, m: usize, l: usize, i: usize, color: Color) -> u32 {
+        debug_assert!(m >= 2, "splits are only recorded for children m >= 2");
+        let idx = self.idx(l, i) * 2 + if matches!(color, Color::Blue) { 0 } else { 1 };
+        self.splits[m - 2][idx]
+    }
+
+    /// Records the split for child `c_m` (`m ≥ 2`).
+    #[inline]
+    pub fn set_split(&mut self, m: usize, l: usize, i: usize, color: Color, j: u32) {
+        debug_assert!(m >= 2);
+        let idx = self.idx(l, i) * 2 + if matches!(color, Color::Blue) { 0 } else { 1 };
+        self.splits[m - 2][idx] = j;
+    }
+
+    /// `ρ(v, Aᵉ_v)` — the summed transmission time of the first `ℓ` up-links above `v`.
+    #[inline]
+    pub fn rho_up(&self, l: usize) -> f64 {
+        self.path_rho[l]
+    }
+
+    /// Approximate heap footprint of this table in bytes (used by diagnostics).
+    pub fn memory_bytes(&self) -> usize {
+        (self.x.len() + self.y_blue.len() + self.y_red.len() + self.path_rho.len()) * 8
+            + self.splits.iter().map(|s| s.len() * 4).sum::<usize>()
+    }
+}
+
+/// All per-switch tables produced by one run of SOAR-Gather.
+#[derive(Debug, Clone)]
+pub struct GatherTables {
+    /// The budget the tables were computed for.
+    pub k: usize,
+    tables: Vec<NodeTable>,
+}
+
+impl GatherTables {
+    pub(crate) fn new(tree: &Tree, k: usize) -> Self {
+        let tables = tree
+            .node_ids()
+            .map(|v| {
+                NodeTable::new(
+                    tree.dist_to_dest(v) + 1,
+                    k + 1,
+                    tree.n_children(v),
+                    tree.path_rho(v),
+                )
+            })
+            .collect();
+        GatherTables { k, tables }
+    }
+
+    /// The table of switch `v`.
+    pub fn node(&self, v: NodeId) -> &NodeTable {
+        &self.tables[v]
+    }
+
+    /// Replaces the table of switch `v` (used by the gather pass, which computes each
+    /// table via [`crate::node_dp::compute_node_table`]).
+    pub(crate) fn replace_node(&mut self, v: NodeId, table: NodeTable) {
+        self.tables[v] = table;
+    }
+
+    /// Shorthand for `X_v(ℓ, i)`.
+    pub fn x(&self, v: NodeId, l: usize, i: usize) -> f64 {
+        self.tables[v].x(l, i)
+    }
+
+    /// Shorthand for the final-stage `Y_v(ℓ, i, color)`.
+    pub fn y(&self, v: NodeId, l: usize, i: usize, color: Color) -> f64 {
+        self.tables[v].y(l, i, color)
+    }
+
+    /// The optimal utilization achievable with **exactly** the given number of blue
+    /// nodes: `X_r(1, i)` (Eq. 6 of the paper, the destination's view `X_d(0, i)`).
+    pub fn optimum_with_exactly(&self, i: usize) -> f64 {
+        self.tables[soar_topology::ROOT].x(1, i)
+    }
+
+    /// The optimal utilization achievable with **at most** `k` blue nodes, together with
+    /// the smallest number of blue nodes attaining it.
+    pub fn optimum(&self) -> (usize, f64) {
+        let mut best_i = 0;
+        let mut best = self.optimum_with_exactly(0);
+        for i in 1..=self.k {
+            let value = self.optimum_with_exactly(i);
+            if value < best - 1e-12 {
+                best = value;
+                best_i = i;
+            }
+        }
+        (best_i, best)
+    }
+
+    /// Number of switches covered by the tables.
+    pub fn n_switches(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total heap footprint of all tables, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soar_topology::builders;
+
+    #[test]
+    fn node_table_indexing_round_trips() {
+        let mut t = NodeTable::new(4, 3, 2, vec![0.0, 1.0, 2.0, 3.0]);
+        t.set_x(2, 1, 7.5);
+        assert_eq!(t.x(2, 1), 7.5);
+        t.set_y(3, 2, Color::Blue, 1.25);
+        t.set_y(3, 2, Color::Red, 2.5);
+        assert_eq!(t.y(3, 2, Color::Blue), 1.25);
+        assert_eq!(t.y(3, 2, Color::Red), 2.5);
+        t.set_split(2, 1, 2, Color::Red, 9);
+        assert_eq!(t.split(2, 1, 2, Color::Red), 9);
+        assert_eq!(t.split(2, 1, 2, Color::Blue), 0);
+        assert_eq!(t.rho_up(2), 2.0);
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn gather_tables_shape_follows_tree() {
+        let tree = builders::complete_binary_tree(7);
+        let tables = GatherTables::new(&tree, 2);
+        assert_eq!(tables.n_switches(), 7);
+        // Root: D = 0 → 2 rows; leaves: D = 2 → 4 rows.
+        assert_eq!(tables.node(0).n_l, 2);
+        assert_eq!(tables.node(3).n_l, 4);
+        assert_eq!(tables.node(0).n_i, 3);
+        // Binary internal nodes record one split vector (for child m = 2).
+        assert_eq!(tables.node(0).splits.len(), 1);
+        assert_eq!(tables.node(3).splits.len(), 0);
+        assert!(tables.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Executors that drive the switch actors: a deterministic single-threaded executor
+//! ([`run_inline`]) and a thread-per-switch executor over crossbeam channels
+//! ([`run_threaded`]).
+//!
+//! Both executors run the full pipeline — distributed SOAR-Gather, distributed
+//! SOAR-Color and the Reduce dataplane — and return a [`DataplaneReport`] that the test
+//! suites cross-check against the centralized solver (`soar-core`) and the closed-form
+//! cost model (`soar-reduce`).
+
+use crate::actor::{ActorStats, Destination, SwitchActor};
+use crate::wire::Frame;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use soar_reduce::Coloring;
+use soar_topology::{NodeId, Tree, ROOT};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The outcome of one end-to-end dataplane run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataplaneReport {
+    /// The coloring the distributed SOAR protocol settled on.
+    pub coloring: Coloring,
+    /// The optimal utilization claimed by the root's gathered table (`min_i X_r(1, i)`).
+    pub claimed_cost: f64,
+    /// Number of blue switches used.
+    pub blue_used: usize,
+    /// Reduce `Data` messages sent on every switch's up-link.
+    pub per_edge_data_messages: Vec<u64>,
+    /// Sum of all worker values received by the destination — must equal
+    /// [`crate::actor::expected_total`].
+    pub destination_sum: u64,
+    /// Number of worker reports folded into the messages received by the destination.
+    pub destination_contributors: u64,
+    /// Number of Reduce `Data` messages the destination received.
+    pub destination_data_messages: u64,
+    /// Total encoded bytes that crossed any link, over all protocol phases.
+    pub total_wire_bytes: u64,
+}
+
+/// Resolves the child index of `from` within `to`'s child list.
+fn child_index(tree: &Tree, to: NodeId, from: NodeId) -> usize {
+    tree.children(to)
+        .iter()
+        .position(|&c| c == from)
+        .expect("sender must be a child of the receiver")
+}
+
+/// Picks the best budget `i ≤ k` from the root's `X(ℓ = 1, ·)` row (smallest `i` wins
+/// ties), returning `(i, cost)`.
+fn best_budget(root_x: &[f64], k: usize) -> (usize, f64) {
+    let row = |i: usize| root_x[(k + 1) + i]; // ℓ = 1 row of a (n_l × (k+1)) table
+    let mut best_i = 0;
+    let mut best = row(0);
+    for i in 1..=k {
+        if row(i) < best - 1e-12 {
+            best = row(i);
+            best_i = i;
+        }
+    }
+    (best_i, best)
+}
+
+/// Runs the whole protocol on a single thread with deterministic FIFO delivery.
+pub fn run_inline(tree: &Tree, k: usize) -> DataplaneReport {
+    let n = tree.n_switches();
+    let mut actors: Vec<SwitchActor> = (0..n).map(|v| SwitchActor::new(tree, v, k)).collect();
+
+    // (receiver, sender, encoded frame); receiver None means the destination server.
+    let mut queue: VecDeque<(Option<NodeId>, NodeId, Bytes)> = VecDeque::new();
+    let route = |from: NodeId, out: Vec<(Destination, Bytes)>,
+                     queue: &mut VecDeque<(Option<NodeId>, NodeId, Bytes)>| {
+        for (dest, bytes) in out {
+            match dest {
+                Destination::Up => queue.push_back((tree.parent(from), from, bytes)),
+                Destination::Child(idx) => {
+                    let child = tree.children(from)[idx];
+                    queue.push_back((Some(child), from, bytes));
+                }
+            }
+        }
+    };
+
+    // Kick off the gather phase at the leaves.
+    for v in 0..n {
+        let mut out = Vec::new();
+        actors[v].start(&mut out);
+        route(v, out, &mut queue);
+    }
+
+    // Destination-side state.
+    let mut claimed_cost = f64::INFINITY;
+    let mut destination_sum = 0u64;
+    let mut destination_contributors = 0u64;
+    let mut destination_data_messages = 0u64;
+    let mut reduce_done = false;
+
+    while let Some((to, from, bytes)) = queue.pop_front() {
+        let frame = Frame::decode(bytes).expect("frames produced by actors always decode");
+        match to {
+            Some(v) => {
+                // Frames from the parent (or, for the root, from the destination — which
+                // uses ROOT as its placeholder sender id) carry no child index.
+                let from_parent = match tree.parent(v) {
+                    Some(p) => from == p,
+                    None => from == ROOT,
+                };
+                let from_child = if from_parent {
+                    None
+                } else {
+                    Some(child_index(tree, v, from))
+                };
+                let mut out = Vec::new();
+                actors[v].on_frame(from_child, frame, &mut out);
+                route(v, out, &mut queue);
+            }
+            None => {
+                // The destination server.
+                match frame {
+                    Frame::XTable { n_i, values, .. } => {
+                        let (best_i, cost) = best_budget(&values, (n_i - 1) as usize);
+                        claimed_cost = cost;
+                        // Start the coloring phase.
+                        queue.push_back((
+                            Some(ROOT),
+                            ROOT, // sender id is irrelevant for parent-origin frames
+                            Frame::Assign {
+                                budget: best_i as u32,
+                                distance: 1,
+                            }
+                            .encode(),
+                        ));
+                    }
+                    Frame::Data {
+                        value,
+                        contributors,
+                    } => {
+                        destination_sum += value;
+                        destination_contributors += contributors;
+                        destination_data_messages += 1;
+                    }
+                    Frame::Eos { .. } => {
+                        reduce_done = true;
+                    }
+                    Frame::Assign { .. } => unreachable!("the destination never receives Assign"),
+                }
+            }
+        }
+    }
+    assert!(reduce_done, "the Reduce must terminate");
+
+    finalize_report(
+        tree,
+        actors.iter().map(|a| (a.is_blue(), a.stats())).collect(),
+        claimed_cost,
+        destination_sum,
+        destination_contributors,
+        destination_data_messages,
+    )
+}
+
+fn finalize_report(
+    tree: &Tree,
+    per_actor: Vec<(bool, ActorStats)>,
+    claimed_cost: f64,
+    destination_sum: u64,
+    destination_contributors: u64,
+    destination_data_messages: u64,
+) -> DataplaneReport {
+    let mut coloring = Coloring::all_red(tree.n_switches());
+    let mut per_edge_data_messages = vec![0u64; tree.n_switches()];
+    let mut total_wire_bytes = 0u64;
+    for (v, (blue, stats)) in per_actor.into_iter().enumerate() {
+        if blue {
+            coloring.set_blue(v);
+        }
+        per_edge_data_messages[v] = stats.data_messages_sent;
+        total_wire_bytes += stats.wire_bytes_sent;
+    }
+    DataplaneReport {
+        blue_used: coloring.n_blue(),
+        coloring,
+        claimed_cost,
+        per_edge_data_messages,
+        destination_sum,
+        destination_contributors,
+        destination_data_messages,
+        total_wire_bytes,
+    }
+}
+
+/// Runs the whole protocol with one OS thread per switch, connected by crossbeam
+/// channels — the closest analogue in this repository to a real asynchronous,
+/// message-passing deployment of the algorithm.
+///
+/// Intended for moderate topologies (hundreds of switches); the inline executor covers
+/// arbitrary sizes deterministically.
+pub fn run_threaded(tree: &Tree, k: usize) -> DataplaneReport {
+    let n = tree.n_switches();
+    // Channel per switch; payload is (from, encoded frame) where `from` is None for
+    // frames arriving from the parent / destination side.
+    let mut senders: Vec<Sender<(Option<NodeId>, Bytes)>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<(Option<NodeId>, Bytes)>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let (dest_tx, dest_rx) = unbounded::<(NodeId, Bytes)>();
+
+    let results: Arc<Mutex<Vec<Option<(bool, ActorStats)>>>> = Arc::new(Mutex::new(vec![None; n]));
+
+    let (claimed_cost, destination_sum, destination_contributors, destination_data_messages) =
+        std::thread::scope(|scope| {
+        for v in 0..n {
+            let rx = receivers[v].take().expect("each receiver is moved exactly once");
+            let parent = tree.parent(v);
+            let parent_tx = parent.map(|p| senders[p].clone());
+            let child_txs: Vec<Sender<(Option<NodeId>, Bytes)>> = tree
+                .children(v)
+                .iter()
+                .map(|&c| senders[c].clone())
+                .collect();
+            let dest_tx = dest_tx.clone();
+            let results = Arc::clone(&results);
+            let mut actor = SwitchActor::new(tree, v, k);
+            let n_children = tree.children(v).len();
+            scope.spawn(move || {
+                let route = |out: Vec<(Destination, Bytes)>, sent_eos_up: &mut bool| {
+                    for (dest, bytes) in out {
+                        let is_eos = matches!(Frame::decode(bytes.clone()), Ok(Frame::Eos { .. }));
+                        match dest {
+                            Destination::Up => {
+                                if is_eos {
+                                    *sent_eos_up = true;
+                                }
+                                match &parent_tx {
+                                    Some(tx) => {
+                                        let _ = tx.send((Some(v), bytes));
+                                    }
+                                    None => {
+                                        let _ = dest_tx.send((v, bytes));
+                                    }
+                                }
+                            }
+                            Destination::Child(idx) => {
+                                let _ = child_txs[idx].send((None, bytes));
+                            }
+                        }
+                    }
+                };
+
+                let mut sent_eos_up = false;
+                let mut out = Vec::new();
+                actor.start(&mut out);
+                route(out, &mut sent_eos_up);
+
+                // A switch is done once it has propagated its end-of-stream marker.
+                while !sent_eos_up {
+                    let (from, bytes) = rx.recv().expect("peers keep their channels open");
+                    let frame = Frame::decode(bytes).expect("frames always decode");
+                    let from_child = from.map(|f| {
+                        tree.children(v)
+                            .iter()
+                            .position(|&c| c == f)
+                            .expect("sender is one of our children")
+                    });
+                    debug_assert!(from_child.map(|i| i < n_children).unwrap_or(true));
+                    let mut out = Vec::new();
+                    actor.on_frame(from_child, frame, &mut out);
+                    route(out, &mut sent_eos_up);
+                }
+                results.lock()[v] = Some((actor.is_blue(), actor.stats()));
+            });
+        }
+
+        // The destination side runs on the spawning thread.
+        let mut claimed_cost = f64::INFINITY;
+        let mut destination_sum = 0u64;
+        let mut destination_contributors = 0u64;
+        let mut destination_data_messages = 0u64;
+        loop {
+            let (_from, bytes) = dest_rx.recv().expect("the root keeps its channel open");
+            match Frame::decode(bytes).expect("frames always decode") {
+                Frame::XTable { n_i, values, .. } => {
+                    let (best_i, cost) = best_budget(&values, (n_i - 1) as usize);
+                    claimed_cost = cost;
+                    let assign = Frame::Assign {
+                        budget: best_i as u32,
+                        distance: 1,
+                    };
+                    let _ = senders[ROOT].send((None, assign.encode()));
+                }
+                Frame::Data {
+                    value,
+                    contributors,
+                } => {
+                    destination_sum += value;
+                    destination_contributors += contributors;
+                    destination_data_messages += 1;
+                }
+                Frame::Eos { .. } => break,
+                Frame::Assign { .. } => unreachable!("the destination never receives Assign"),
+            }
+        }
+
+        // Returning ends the scope, which joins every switch thread.
+        (
+            claimed_cost,
+            destination_sum,
+            destination_contributors,
+            destination_data_messages,
+        )
+    });
+
+    // All threads have joined (end of scope); collect their stats.
+    let per_actor: Vec<(bool, ActorStats)> = results
+        .lock()
+        .iter()
+        .map(|entry| entry.expect("every switch thread reported its stats"))
+        .collect();
+
+    finalize_report(
+        tree,
+        per_actor,
+        claimed_cost,
+        destination_sum,
+        destination_contributors,
+        destination_data_messages,
+    )
+}

@@ -1,0 +1,439 @@
+//! # soar-multitenant
+//!
+//! The online multi-workload scenario of Sec. 5.2 of the SOAR paper.
+//!
+//! Workloads `L_0, L_1, ...` arrive one at a time over a shared tree network. Every
+//! switch `s` has a fixed **aggregation capacity** `a(s)` bounding the number of
+//! workloads for which it may serve as an aggregation switch; the residual capacity
+//! `a_t(s)` shrinks by one whenever `s` is chosen for workload `L_t`. The availability
+//! set offered to the placement algorithm for workload `t` is
+//! `Λ_t = {s | a_t(s) > 0}` (intersected with any static availability restriction),
+//! and each workload is granted at most `k` aggregation switches.
+//!
+//! The [`OnlineAllocator`] drives this process for any placement
+//! [`soar_core::Strategy`]; the [`workloads::MixedWorkloadGenerator`] reproduces the
+//! paper's arrival model (each workload drawn from the uniform or the power-law load
+//! distribution with probability ½).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use soar_core::Strategy;
+use soar_reduce::{cost, Coloring};
+use soar_topology::{NodeId, Tree};
+
+/// Per-switch aggregation capacities `a(s)` and their residual values `a_t(s)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityState {
+    initial: Vec<u32>,
+    residual: Vec<u32>,
+}
+
+impl CapacityState {
+    /// Uniform capacity `a(s) = capacity` for every switch.
+    pub fn uniform(n_switches: usize, capacity: u32) -> Self {
+        CapacityState {
+            initial: vec![capacity; n_switches],
+            residual: vec![capacity; n_switches],
+        }
+    }
+
+    /// Explicit per-switch capacities.
+    pub fn explicit(capacities: Vec<u32>) -> Self {
+        CapacityState {
+            residual: capacities.clone(),
+            initial: capacities,
+        }
+    }
+
+    /// The residual capacity of switch `v` before the next workload.
+    pub fn residual(&self, v: NodeId) -> u32 {
+        self.residual[v]
+    }
+
+    /// The initial capacity of switch `v`.
+    pub fn initial(&self, v: NodeId) -> u32 {
+        self.initial[v]
+    }
+
+    /// Switches that can still accept at least one more workload.
+    pub fn available_switches(&self) -> Vec<NodeId> {
+        self.residual
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| if c > 0 { Some(v) } else { None })
+            .collect()
+    }
+
+    /// Consumes one unit of capacity at every blue switch of `coloring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a blue switch has no residual capacity left — the allocator must only
+    /// offer switches with residual capacity to the placement strategies.
+    pub fn consume(&mut self, coloring: &Coloring) {
+        for v in coloring.iter_blue() {
+            assert!(
+                self.residual[v] > 0,
+                "switch {v} was used as an aggregation switch without residual capacity"
+            );
+            self.residual[v] -= 1;
+        }
+    }
+
+    /// Resets all residual capacities to their initial values.
+    pub fn reset(&mut self) {
+        self.residual = self.initial.clone();
+    }
+
+    /// Total residual capacity across all switches.
+    pub fn total_residual(&self) -> u64 {
+        self.residual.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// The outcome of placing and serving a single workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOutcome {
+    /// Index of the workload in the arrival sequence.
+    pub index: usize,
+    /// The aggregation switches granted to this workload.
+    pub coloring: Coloring,
+    /// Utilization complexity achieved for this workload.
+    pub phi: f64,
+    /// Utilization complexity the same workload would incur with no aggregation at all.
+    pub all_red_phi: f64,
+    /// Number of switches that still had residual capacity when this workload arrived.
+    pub available_switches: usize,
+}
+
+impl WorkloadOutcome {
+    /// This workload's cost normalized to its own all-red baseline.
+    pub fn normalized(&self) -> f64 {
+        if self.all_red_phi == 0.0 {
+            1.0
+        } else {
+            self.phi / self.all_red_phi
+        }
+    }
+}
+
+/// Aggregate report over a whole workload sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Per-workload outcomes, in arrival order.
+    pub outcomes: Vec<WorkloadOutcome>,
+}
+
+impl OnlineReport {
+    /// Sum of the achieved utilizations over all workloads.
+    pub fn total_phi(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.phi).sum()
+    }
+
+    /// Sum of the all-red baselines over all workloads.
+    pub fn total_all_red_phi(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.all_red_phi).sum()
+    }
+
+    /// The paper's headline metric: total utilization normalized to the all-red total.
+    pub fn normalized_total(&self) -> f64 {
+        let baseline = self.total_all_red_phi();
+        if baseline == 0.0 {
+            1.0
+        } else {
+            self.total_phi() / baseline
+        }
+    }
+
+    /// Number of workloads served.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no workload was served.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
+/// Drives the online allocation process for one placement strategy.
+#[derive(Debug, Clone)]
+pub struct OnlineAllocator {
+    /// The shared topology (rates matter; its load vector is overwritten per workload).
+    tree: Tree,
+    /// Static availability restriction (independent of capacity), captured from the
+    /// tree at construction time.
+    static_availability: Vec<bool>,
+    /// Per-switch aggregation capacities.
+    capacities: CapacityState,
+    /// Aggregation-switch budget `k` granted to every workload.
+    k: usize,
+}
+
+impl OnlineAllocator {
+    /// Creates an allocator over `tree` with budget `k` per workload and uniform
+    /// capacity `a(s) = capacity`.
+    pub fn new(tree: &Tree, k: usize, capacity: u32) -> Self {
+        OnlineAllocator {
+            static_availability: tree.availability(),
+            capacities: CapacityState::uniform(tree.n_switches(), capacity),
+            tree: tree.clone(),
+            k,
+        }
+    }
+
+    /// Creates an allocator with explicit per-switch capacities.
+    pub fn with_capacities(tree: &Tree, k: usize, capacities: CapacityState) -> Self {
+        OnlineAllocator {
+            static_availability: tree.availability(),
+            capacities,
+            tree: tree.clone(),
+            k,
+        }
+    }
+
+    /// The per-workload aggregation-switch budget.
+    pub fn budget(&self) -> usize {
+        self.k
+    }
+
+    /// Read access to the capacity state.
+    pub fn capacities(&self) -> &CapacityState {
+        &self.capacities
+    }
+
+    /// Places aggregation switches for one workload (given as a per-switch load
+    /// vector), updates the residual capacities, and reports the outcome.
+    pub fn handle_workload<R: Rng + ?Sized>(
+        &mut self,
+        index: usize,
+        loads: &[u64],
+        strategy: Strategy,
+        rng: &mut R,
+    ) -> WorkloadOutcome {
+        assert_eq!(
+            loads.len(),
+            self.tree.n_switches(),
+            "workload load vector must cover every switch"
+        );
+        // Λ_t: statically available switches with residual capacity.
+        let availability: Vec<bool> = self
+            .static_availability
+            .iter()
+            .enumerate()
+            .map(|(v, &a)| a && self.capacities.residual(v) > 0)
+            .collect();
+        let available_switches = availability.iter().filter(|&&a| a).count();
+
+        self.tree.set_loads(loads);
+        self.tree.set_availability(&availability);
+
+        let coloring = strategy.place(&self.tree, self.k, rng);
+        debug_assert!(coloring
+            .validate(&self.tree, usize::MAX)
+            .is_ok());
+        let phi = cost::phi(&self.tree, &coloring);
+        let all_red_phi = cost::phi(&self.tree, &Coloring::all_red(self.tree.n_switches()));
+        self.capacities.consume(&coloring);
+
+        WorkloadOutcome {
+            index,
+            coloring,
+            phi,
+            all_red_phi,
+            available_switches,
+        }
+    }
+
+    /// Serves a whole sequence of workloads and collects the aggregate report.
+    pub fn run_sequence<R: Rng + ?Sized>(
+        &mut self,
+        workloads: &[Vec<u64>],
+        strategy: Strategy,
+        rng: &mut R,
+    ) -> OnlineReport {
+        let outcomes = workloads
+            .iter()
+            .enumerate()
+            .map(|(index, loads)| self.handle_workload(index, loads, strategy, rng))
+            .collect();
+        OnlineReport { outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_topology::builders;
+    use soar_topology::load::{LoadPlacement, LoadSpec};
+
+    fn base_tree() -> Tree {
+        builders::complete_binary_tree_bt(32)
+    }
+
+    fn draw_workloads(tree: &Tree, count: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                tree.draw_loads(
+                    &LoadSpec::paper_uniform(),
+                    LoadPlacement::Leaves,
+                    &mut rng,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capacity_state_bookkeeping() {
+        let mut caps = CapacityState::uniform(4, 2);
+        assert_eq!(caps.total_residual(), 8);
+        assert_eq!(caps.available_switches(), vec![0, 1, 2, 3]);
+        let coloring = Coloring::from_blue_nodes(4, [1, 3]).unwrap();
+        caps.consume(&coloring);
+        caps.consume(&coloring);
+        assert_eq!(caps.residual(1), 0);
+        assert_eq!(caps.residual(0), 2);
+        assert_eq!(caps.available_switches(), vec![0, 2]);
+        assert_eq!(caps.initial(1), 2);
+        caps.reset();
+        assert_eq!(caps.total_residual(), 8);
+
+        let explicit = CapacityState::explicit(vec![1, 0, 3]);
+        assert_eq!(explicit.available_switches(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without residual capacity")]
+    fn consuming_exhausted_capacity_panics() {
+        let mut caps = CapacityState::uniform(2, 1);
+        let coloring = Coloring::from_blue_nodes(2, [0]).unwrap();
+        caps.consume(&coloring);
+        caps.consume(&coloring);
+    }
+
+    #[test]
+    fn allocations_never_exceed_capacity() {
+        let tree = base_tree();
+        let workloads = draw_workloads(&tree, 24, 7);
+        for strategy in [
+            Strategy::Soar,
+            Strategy::Top,
+            Strategy::MaxLoad,
+            Strategy::Level,
+        ] {
+            let mut allocator = OnlineAllocator::new(&tree, 4, 2);
+            let mut rng = StdRng::seed_from_u64(1);
+            let report = allocator.run_sequence(&workloads, strategy, &mut rng);
+            assert_eq!(report.len(), 24);
+            // Every switch was used at most `capacity` times in total.
+            let mut usage = vec![0u32; tree.n_switches()];
+            for outcome in &report.outcomes {
+                for v in outcome.coloring.iter_blue() {
+                    usage[v] += 1;
+                }
+                assert!(outcome.coloring.n_blue() <= 4);
+            }
+            assert!(usage.iter().all(|&u| u <= 2), "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn normalized_utilization_degrades_towards_all_red_as_capacity_runs_out() {
+        let tree = base_tree();
+        let workloads = draw_workloads(&tree, 40, 3);
+        let mut allocator = OnlineAllocator::new(&tree, 4, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = allocator.run_sequence(&workloads, Strategy::Soar, &mut rng);
+        // Early workloads benefit from aggregation, late ones cannot (capacity 1 over
+        // 31 switches is exhausted quickly).
+        let first = report.outcomes.first().unwrap().normalized();
+        let last = report.outcomes.last().unwrap().normalized();
+        assert!(first < 0.9);
+        assert!((last - 1.0).abs() < 1e-9, "late workloads run all-red, got {last}");
+        assert!(report.normalized_total() > first);
+        assert!(report.normalized_total() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn soar_is_best_or_tied_in_the_online_setting() {
+        let tree = base_tree();
+        let workloads = {
+            let mut rng = StdRng::seed_from_u64(11);
+            let generator = workloads::MixedWorkloadGenerator::paper_default();
+            generator.draw_sequence(&tree, 16, &mut rng)
+        };
+        let mut totals = std::collections::BTreeMap::new();
+        for strategy in [
+            Strategy::Soar,
+            Strategy::Top,
+            Strategy::MaxLoad,
+            Strategy::Level,
+        ] {
+            let mut allocator = OnlineAllocator::new(&tree, 4, 4);
+            let mut rng = StdRng::seed_from_u64(5);
+            let report = allocator.run_sequence(&workloads, strategy, &mut rng);
+            totals.insert(strategy.name(), report.normalized_total());
+        }
+        let soar = totals["SOAR"];
+        for (name, &value) in &totals {
+            assert!(
+                soar <= value + 1e-9,
+                "SOAR ({soar}) should not lose to {name} ({value}) online"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_capacity_matches_per_workload_optimum() {
+        let tree = base_tree();
+        let workloads = draw_workloads(&tree, 6, 13);
+        let mut allocator = OnlineAllocator::new(&tree, 4, u32::MAX);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = allocator.run_sequence(&workloads, Strategy::Soar, &mut rng);
+        for (outcome, loads) in report.outcomes.iter().zip(&workloads) {
+            let offline = soar_core::solve(&tree.with_loads(loads), 4);
+            assert!(
+                (outcome.phi - offline.cost).abs() < 1e-9,
+                "with unbounded capacity the online run must equal the offline optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn static_availability_restrictions_are_honored() {
+        let mut tree = base_tree();
+        tree.set_available(0, false);
+        let workloads = draw_workloads(&tree, 8, 17);
+        let mut allocator = OnlineAllocator::new(&tree, 3, 8);
+        let mut rng = StdRng::seed_from_u64(23);
+        let report = allocator.run_sequence(&workloads, Strategy::Top, &mut rng);
+        for outcome in &report.outcomes {
+            assert!(!outcome.coloring.is_blue(0));
+        }
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let report = OnlineReport { outcomes: vec![] };
+        assert!(report.is_empty());
+        assert_eq!(report.normalized_total(), 1.0);
+        assert_eq!(report.total_phi(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every switch")]
+    fn wrong_load_vector_length_panics() {
+        let tree = base_tree();
+        let mut allocator = OnlineAllocator::new(&tree, 2, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = allocator.handle_workload(0, &[1, 2, 3], Strategy::Soar, &mut rng);
+    }
+}

@@ -1,0 +1,149 @@
+//! Workload-sequence generators for the online scenario.
+//!
+//! Sec. 5.2 of the paper generates each arriving workload "from either the uniform load
+//! distribution, or the power-law load distribution, each with probability 1/2";
+//! [`MixedWorkloadGenerator`] reproduces that arrival model and also supports custom
+//! mixtures.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use soar_topology::load::{LoadPlacement, LoadSpec};
+use soar_topology::Tree;
+
+/// A mixture of load distributions from which successive workloads are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedWorkloadGenerator {
+    /// The candidate distributions and their selection weights.
+    components: Vec<(f64, LoadSpec)>,
+    /// Where the load of every workload is placed.
+    placement: LoadPlacement,
+}
+
+impl MixedWorkloadGenerator {
+    /// Builds a generator from `(weight, distribution)` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no component is given or all weights are non-positive.
+    pub fn new(components: Vec<(f64, LoadSpec)>, placement: LoadPlacement) -> Self {
+        assert!(!components.is_empty(), "at least one load distribution is required");
+        assert!(
+            components.iter().any(|(w, _)| *w > 0.0),
+            "at least one component must have positive weight"
+        );
+        MixedWorkloadGenerator {
+            components,
+            placement,
+        }
+    }
+
+    /// The paper's arrival model: uniform `[4, 6]` and power-law (mean 5) loads on the
+    /// leaves, each chosen with probability ½.
+    pub fn paper_default() -> Self {
+        MixedWorkloadGenerator::new(
+            vec![
+                (0.5, LoadSpec::paper_uniform()),
+                (0.5, LoadSpec::paper_power_law()),
+            ],
+            LoadPlacement::Leaves,
+        )
+    }
+
+    /// Draws a single workload (a per-switch load vector) for the given tree.
+    pub fn draw<R: Rng + ?Sized>(&self, tree: &Tree, rng: &mut R) -> Vec<u64> {
+        let total: f64 = self.components.iter().map(|(w, _)| w.max(0.0)).sum();
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = &self.components[0].1;
+        for (weight, spec) in &self.components {
+            if *weight <= 0.0 {
+                continue;
+            }
+            if pick < *weight {
+                chosen = spec;
+                break;
+            }
+            pick -= weight;
+        }
+        tree.draw_loads(chosen, self.placement, rng)
+    }
+
+    /// Draws a sequence of `count` workloads.
+    pub fn draw_sequence<R: Rng + ?Sized>(
+        &self,
+        tree: &Tree,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<u64>> {
+        (0..count).map(|_| self.draw(tree, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_topology::builders;
+
+    #[test]
+    fn paper_default_draws_leaf_loads_in_expected_ranges() {
+        let tree = builders::complete_binary_tree_bt(64);
+        let generator = MixedWorkloadGenerator::paper_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let sequence = generator.draw_sequence(&tree, 50, &mut rng);
+        assert_eq!(sequence.len(), 50);
+        let mut saw_heavy_tail = false;
+        for loads in &sequence {
+            assert_eq!(loads.len(), tree.n_switches());
+            for v in tree.node_ids() {
+                if tree.is_leaf(v) {
+                    assert!((1..=63).contains(&loads[v]), "leaf load {} out of range", loads[v]);
+                } else {
+                    assert_eq!(loads[v], 0);
+                }
+            }
+            if loads.iter().any(|&l| l > 6) {
+                saw_heavy_tail = true; // must have come from the power-law component
+            }
+        }
+        assert!(saw_heavy_tail, "50 mixed draws should include power-law workloads");
+    }
+
+    #[test]
+    fn single_component_mixture_always_uses_it() {
+        let tree = builders::complete_binary_tree_bt(16);
+        let generator = MixedWorkloadGenerator::new(
+            vec![(1.0, LoadSpec::Constant(3))],
+            LoadPlacement::AllSwitches,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let loads = generator.draw(&tree, &mut rng);
+        assert!(loads.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn zero_weight_components_are_skipped() {
+        let tree = builders::complete_binary_tree_bt(16);
+        let generator = MixedWorkloadGenerator::new(
+            vec![(0.0, LoadSpec::Constant(99)), (1.0, LoadSpec::Constant(2))],
+            LoadPlacement::Leaves,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let loads = generator.draw(&tree, &mut rng);
+            assert!(loads.iter().all(|&l| l == 0 || l == 2));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mixture_is_rejected() {
+        let _ = MixedWorkloadGenerator::new(vec![], LoadPlacement::Leaves);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_are_rejected() {
+        let _ = MixedWorkloadGenerator::new(vec![(0.0, LoadSpec::Constant(1))], LoadPlacement::Leaves);
+    }
+}

@@ -1,0 +1,321 @@
+//! Byte complexity: the actual number of bytes crossing every link during a Reduce.
+//!
+//! Sec. 5.3 of the paper distinguishes the *utilization complexity* (which treats every
+//! message as one unit) from the *byte complexity*, where the payload carried by a
+//! message depends on the application and may **grow when aggregated** (e.g. merging
+//! word-count dictionaries) or stay bounded (e.g. element-wise gradient sums over a
+//! fixed feature space).
+//!
+//! The application behaviour is abstracted by the [`AggregationModel`] trait: it
+//! defines what payload a single worker produces, how payloads combine when an
+//! aggregation switch merges messages, and how many bytes a message carrying a given
+//! payload occupies on the wire. The [`byte_complexity`] evaluator then executes the
+//! Reduce of Algorithm 1 over payloads instead of unit messages.
+//!
+//! Concrete models for the paper's WC (word-count) and PS (parameter-server) use cases
+//! live in the `soar-apps` crate; this module only ships the generic machinery plus a
+//! [`FixedSizeModel`] in which every message has the same size — under that model the
+//! byte complexity is exactly `M ·` message complexity, which is used for
+//! cross-validation in tests.
+
+use crate::{cost, Coloring};
+use rand::Rng;
+use soar_topology::{NodeId, Tree};
+
+/// An application-level description of what Reduce messages carry and how they merge.
+pub trait AggregationModel {
+    /// The payload carried by one message.
+    type Payload: Clone;
+
+    /// The payload produced by a single worker server attached to switch `switch`.
+    ///
+    /// The switch id and the worker index are provided so models can generate
+    /// deterministic, per-worker content (e.g. a distinct shard of a corpus).
+    fn worker_payload<R: Rng + ?Sized>(
+        &self,
+        switch: NodeId,
+        worker_index: u64,
+        rng: &mut R,
+    ) -> Self::Payload;
+
+    /// Merges `other` into `acc` — the aggregation performed by a blue switch (and by
+    /// the destination / parameter server).
+    fn merge(&self, acc: &mut Self::Payload, other: &Self::Payload);
+
+    /// The wire size, in bytes, of a message carrying `payload`.
+    fn size_bytes(&self, payload: &Self::Payload) -> u64;
+
+    /// The payload of an "empty" aggregate (used by a blue switch whose subtree holds
+    /// no workers; such a switch still emits a single — empty — report).
+    fn empty(&self) -> Self::Payload;
+}
+
+/// A degenerate model in which every message occupies exactly `message_bytes` bytes and
+/// aggregation does not change the size. Matches the unit-message accounting of the
+/// utilization complexity up to the constant factor `message_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedSizeModel {
+    /// Size of every message in bytes (the paper's bound `M`).
+    pub message_bytes: u64,
+}
+
+impl FixedSizeModel {
+    /// Creates a fixed-size model with the given message size.
+    pub fn new(message_bytes: u64) -> Self {
+        Self { message_bytes }
+    }
+}
+
+impl AggregationModel for FixedSizeModel {
+    type Payload = ();
+
+    fn worker_payload<R: Rng + ?Sized>(&self, _switch: NodeId, _worker: u64, _rng: &mut R) {}
+
+    fn merge(&self, _acc: &mut (), _other: &()) {}
+
+    fn size_bytes(&self, _payload: &()) -> u64 {
+        self.message_bytes
+    }
+
+    fn empty(&self) {}
+}
+
+/// The outcome of executing a Reduce over an [`AggregationModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteReport {
+    /// Bytes crossing the up-link of every switch.
+    pub per_edge_bytes: Vec<u64>,
+    /// Messages crossing the up-link of every switch (matches [`cost::msg_counts`]).
+    pub per_edge_messages: Vec<u64>,
+    /// Total bytes over all links.
+    pub total_bytes: u64,
+    /// Total messages over all links.
+    pub total_messages: u64,
+    /// Byte-weighted utilization: `Σ_e bytes_e · ρ(e)` — the transmission-time analogue
+    /// of φ when message sizes are taken into account.
+    pub byte_utilization: f64,
+}
+
+/// Executes the Reduce of Algorithm 1 over application payloads and reports the
+/// byte complexity.
+///
+/// Semantics per switch `v`, processed leaves-to-root:
+///
+/// * every worker attached to `v` produces one payload via
+///   [`AggregationModel::worker_payload`];
+/// * a **red** `v` forwards every message it holds (its own workers' messages plus all
+///   messages received from children) unchanged;
+/// * a **blue** `v` merges everything it holds into a single message (an empty
+///   aggregate if it holds nothing) and forwards only that.
+pub fn byte_complexity<M, R>(
+    tree: &Tree,
+    coloring: &Coloring,
+    model: &M,
+    rng: &mut R,
+) -> ByteReport
+where
+    M: AggregationModel,
+    R: Rng + ?Sized,
+{
+    debug_assert_eq!(coloring.len(), tree.n_switches());
+    let n = tree.n_switches();
+    let mut per_edge_bytes = vec![0u64; n];
+    let mut per_edge_messages = vec![0u64; n];
+    // Messages currently travelling up from each switch (payloads on its up-link).
+    let mut outbox: Vec<Vec<M::Payload>> = vec![Vec::new(); n];
+
+    for v in tree.post_order() {
+        // Collect everything this switch holds: children's forwarded messages plus the
+        // messages produced by its local workers.
+        let mut held: Vec<M::Payload> = Vec::new();
+        for &c in tree.children(v) {
+            held.append(&mut outbox[c]);
+        }
+        for w in 0..tree.load(v) {
+            held.push(model.worker_payload(v, w, rng));
+        }
+
+        let sent: Vec<M::Payload> = if coloring.is_blue(v) {
+            let mut agg = model.empty();
+            for p in &held {
+                model.merge(&mut agg, p);
+            }
+            vec![agg]
+        } else {
+            held
+        };
+
+        per_edge_messages[v] = sent.len() as u64;
+        per_edge_bytes[v] = sent.iter().map(|p| model.size_bytes(p)).sum();
+        outbox[v] = sent;
+    }
+
+    let total_bytes = per_edge_bytes.iter().sum();
+    let total_messages = per_edge_messages.iter().sum();
+    let byte_utilization = per_edge_bytes
+        .iter()
+        .enumerate()
+        .map(|(v, &b)| b as f64 * tree.rho(v))
+        .sum();
+    ByteReport {
+        per_edge_bytes,
+        per_edge_messages,
+        total_bytes,
+        total_messages,
+        byte_utilization,
+    }
+}
+
+/// Convenience: the total byte complexity of a coloring under a model.
+pub fn total_bytes<M, R>(tree: &Tree, coloring: &Coloring, model: &M, rng: &mut R) -> u64
+where
+    M: AggregationModel,
+    R: Rng + ?Sized,
+{
+    byte_complexity(tree, coloring, model, rng).total_bytes
+}
+
+/// Sanity helper: under any model, the *message* counts produced while evaluating the
+/// byte complexity must agree with the closed-form [`cost::msg_counts`] — except that a
+/// red switch with zero held messages trivially matches as well.
+pub fn messages_match_closed_form(report: &ByteReport, tree: &Tree, coloring: &Coloring) -> bool {
+    report.per_edge_messages == cost::msg_counts(tree, coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_topology::builders;
+    use std::collections::BTreeSet;
+
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn fixed_size_model_matches_message_complexity() {
+        let t = fig2_tree();
+        let model = FixedSizeModel::new(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        for blues in [vec![], vec![0], vec![4, 2], (0..7).collect::<Vec<_>>()] {
+            let c = Coloring::from_blue_nodes(7, blues).unwrap();
+            let report = byte_complexity(&t, &c, &model, &mut rng);
+            assert_eq!(report.total_messages, cost::message_complexity(&t, &c));
+            assert_eq!(report.total_bytes, 100 * report.total_messages);
+            assert!(messages_match_closed_form(&report, &t, &c));
+            assert!((report.byte_utilization - 100.0 * cost::phi(&t, &c)).abs() < 1e-6);
+        }
+    }
+
+    /// A toy "distinct keys" model: every worker contributes a set of keys, aggregation
+    /// unions the sets, and a message costs 8 bytes per key. This captures the
+    /// size-growth behaviour of the WC use case in miniature.
+    struct KeySetModel {
+        keys_per_worker: u64,
+        universe: u64,
+    }
+
+    impl AggregationModel for KeySetModel {
+        type Payload = BTreeSet<u64>;
+
+        fn worker_payload<R: Rng + ?Sized>(
+            &self,
+            _switch: NodeId,
+            _worker: u64,
+            rng: &mut R,
+        ) -> BTreeSet<u64> {
+            (0..self.keys_per_worker)
+                .map(|_| rng.random_range(0..self.universe))
+                .collect()
+        }
+
+        fn merge(&self, acc: &mut BTreeSet<u64>, other: &BTreeSet<u64>) {
+            acc.extend(other.iter().copied());
+        }
+
+        fn size_bytes(&self, payload: &BTreeSet<u64>) -> u64 {
+            8 * payload.len() as u64
+        }
+
+        fn empty(&self) -> BTreeSet<u64> {
+            BTreeSet::new()
+        }
+    }
+
+    #[test]
+    fn aggregation_never_increases_bytes_on_upper_links() {
+        // With a union model, all-blue transmits no more bytes than all-red on every link.
+        let t = fig2_tree();
+        let model = KeySetModel {
+            keys_per_worker: 32,
+            universe: 128,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let red_report = byte_complexity(&t, &Coloring::all_red(7), &model, &mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let blue_report = byte_complexity(&t, &Coloring::all_blue(7), &model, &mut rng);
+        assert!(blue_report.total_bytes <= red_report.total_bytes);
+        for v in t.node_ids() {
+            assert!(blue_report.per_edge_bytes[v] <= red_report.per_edge_bytes[v]);
+        }
+    }
+
+    #[test]
+    fn blue_switch_emits_single_message_even_with_empty_subtree() {
+        let mut t = builders::star(3);
+        t.set_load(2, 2);
+        let c = Coloring::from_blue_nodes(3, [1]).unwrap();
+        let model = FixedSizeModel::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = byte_complexity(&t, &c, &model, &mut rng);
+        assert_eq!(report.per_edge_messages[1], 1);
+        assert_eq!(report.per_edge_bytes[1], 10);
+    }
+
+    #[test]
+    fn per_edge_totals_are_consistent() {
+        let t = fig2_tree();
+        let model = KeySetModel {
+            keys_per_worker: 8,
+            universe: 1000,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Coloring::from_blue_nodes(7, [1, 2]).unwrap();
+        let report = byte_complexity(&t, &c, &model, &mut rng);
+        assert_eq!(
+            report.total_bytes,
+            report.per_edge_bytes.iter().sum::<u64>()
+        );
+        assert_eq!(
+            report.total_messages,
+            report.per_edge_messages.iter().sum::<u64>()
+        );
+        assert!(report.byte_utilization > 0.0);
+        assert_eq!(
+            total_bytes(&t, &c, &model, &mut StdRng::seed_from_u64(3)),
+            report.total_bytes
+        );
+    }
+
+    #[test]
+    fn root_link_bytes_bounded_by_destination_view() {
+        // Under all-blue, the root forwards exactly one aggregate whose size is at most
+        // the union of all worker keys.
+        let t = fig2_tree();
+        let model = KeySetModel {
+            keys_per_worker: 4,
+            universe: 64,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let report = byte_complexity(&t, &Coloring::all_blue(7), &model, &mut rng);
+        assert_eq!(report.per_edge_messages[0], 1);
+        assert!(report.per_edge_bytes[0] <= 8 * 64);
+    }
+}

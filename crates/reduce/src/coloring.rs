@@ -1,0 +1,285 @@
+//! The set `U ⊆ Λ` of aggregation (blue) switches.
+
+use serde::{Deserialize, Serialize};
+use soar_topology::{NodeId, Tree};
+use std::fmt;
+
+/// Errors raised when a coloring violates the constraints of the φ-BIC problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// The coloring refers to a switch id outside the tree.
+    UnknownNode(NodeId),
+    /// More blue switches than the budget `k` allows.
+    BudgetExceeded {
+        /// Number of blue switches in the coloring.
+        used: usize,
+        /// The allowed budget `k`.
+        budget: usize,
+    },
+    /// A blue switch is not in the availability set Λ.
+    Unavailable(NodeId),
+    /// The coloring was built for a different tree size.
+    SizeMismatch {
+        /// Length of the coloring.
+        coloring: usize,
+        /// Number of switches in the tree.
+        tree: usize,
+    },
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::UnknownNode(v) => write!(f, "unknown switch id {v}"),
+            ColoringError::BudgetExceeded { used, budget } => {
+                write!(f, "{used} blue switches exceed the budget k = {budget}")
+            }
+            ColoringError::Unavailable(v) => {
+                write!(f, "switch {v} is blue but not in the availability set Λ")
+            }
+            ColoringError::SizeMismatch { coloring, tree } => write!(
+                f,
+                "coloring over {coloring} switches applied to a tree of {tree} switches"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+/// A red/blue assignment over the switches of a tree: `U` is the set of blue switches.
+///
+/// A coloring is a plain value type — it does not hold a reference to the tree it was
+/// computed for — so it can be stored, serialized and compared freely. Use
+/// [`Coloring::validate`] to check it against a specific tree, budget and availability
+/// set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coloring {
+    blue: Vec<bool>,
+    n_blue: usize,
+}
+
+impl Coloring {
+    /// The all-red coloring (`U = ∅`) over `n` switches.
+    pub fn all_red(n: usize) -> Self {
+        Coloring {
+            blue: vec![false; n],
+            n_blue: 0,
+        }
+    }
+
+    /// The all-blue coloring (`U = S`) over `n` switches.
+    pub fn all_blue(n: usize) -> Self {
+        Coloring {
+            blue: vec![true; n],
+            n_blue: n,
+        }
+    }
+
+    /// The coloring that marks exactly the available switches of `tree` blue (`U = Λ`).
+    pub fn all_available_blue(tree: &Tree) -> Self {
+        let mut c = Coloring::all_red(tree.n_switches());
+        for v in tree.node_ids() {
+            if tree.available(v) {
+                c.set_blue(v);
+            }
+        }
+        c
+    }
+
+    /// Builds a coloring over `n` switches from an iterator of blue switch ids.
+    ///
+    /// Returns an error if an id is out of range; duplicates are tolerated.
+    pub fn from_blue_nodes<I>(n: usize, blue: I) -> Result<Self, ColoringError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut c = Coloring::all_red(n);
+        for v in blue {
+            if v >= n {
+                return Err(ColoringError::UnknownNode(v));
+            }
+            c.set_blue(v);
+        }
+        Ok(c)
+    }
+
+    /// Number of switches this coloring covers.
+    pub fn len(&self) -> usize {
+        self.blue.len()
+    }
+
+    /// Whether the coloring covers zero switches.
+    pub fn is_empty(&self) -> bool {
+        self.blue.is_empty()
+    }
+
+    /// Whether switch `v` is blue (an aggregation switch).
+    pub fn is_blue(&self, v: NodeId) -> bool {
+        self.blue[v]
+    }
+
+    /// Whether switch `v` is red (a forwarding switch).
+    pub fn is_red(&self, v: NodeId) -> bool {
+        !self.blue[v]
+    }
+
+    /// Number of blue switches `|U|`.
+    pub fn n_blue(&self) -> usize {
+        self.n_blue
+    }
+
+    /// Marks switch `v` blue.
+    pub fn set_blue(&mut self, v: NodeId) {
+        if !self.blue[v] {
+            self.blue[v] = true;
+            self.n_blue += 1;
+        }
+    }
+
+    /// Marks switch `v` red.
+    pub fn set_red(&mut self, v: NodeId) {
+        if self.blue[v] {
+            self.blue[v] = false;
+            self.n_blue -= 1;
+        }
+    }
+
+    /// The blue switch ids, in increasing order.
+    pub fn blue_nodes(&self) -> Vec<NodeId> {
+        self.blue
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &b)| if b { Some(v) } else { None })
+            .collect()
+    }
+
+    /// Iterator over the blue switch ids.
+    pub fn iter_blue(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.blue
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &b)| if b { Some(v) } else { None })
+    }
+
+    /// Validates this coloring against a tree, a budget `k` and the tree's availability
+    /// set Λ: the coloring must cover exactly the tree's switches, use at most `k` blue
+    /// switches, and only color available switches blue.
+    pub fn validate(&self, tree: &Tree, k: usize) -> Result<(), ColoringError> {
+        if self.blue.len() != tree.n_switches() {
+            return Err(ColoringError::SizeMismatch {
+                coloring: self.blue.len(),
+                tree: tree.n_switches(),
+            });
+        }
+        if self.n_blue > k {
+            return Err(ColoringError::BudgetExceeded {
+                used: self.n_blue,
+                budget: k,
+            });
+        }
+        for v in self.iter_blue() {
+            if !tree.available(v) {
+                return Err(ColoringError::Unavailable(v));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soar_topology::builders;
+
+    #[test]
+    fn constructors() {
+        let red = Coloring::all_red(5);
+        assert_eq!(red.n_blue(), 0);
+        assert_eq!(red.len(), 5);
+        assert!(!red.is_empty());
+        assert!(red.is_red(3));
+
+        let blue = Coloring::all_blue(5);
+        assert_eq!(blue.n_blue(), 5);
+        assert!(blue.is_blue(0));
+
+        let c = Coloring::from_blue_nodes(5, [1, 3, 3]).unwrap();
+        assert_eq!(c.n_blue(), 2);
+        assert_eq!(c.blue_nodes(), vec![1, 3]);
+        assert_eq!(c.iter_blue().collect::<Vec<_>>(), vec![1, 3]);
+
+        assert_eq!(
+            Coloring::from_blue_nodes(5, [7]),
+            Err(ColoringError::UnknownNode(7))
+        );
+    }
+
+    #[test]
+    fn set_and_unset_track_counts() {
+        let mut c = Coloring::all_red(4);
+        c.set_blue(2);
+        c.set_blue(2);
+        assert_eq!(c.n_blue(), 1);
+        c.set_red(2);
+        c.set_red(2);
+        assert_eq!(c.n_blue(), 0);
+    }
+
+    #[test]
+    fn all_available_blue_respects_lambda() {
+        let mut tree = builders::complete_binary_tree(7);
+        tree.set_available(0, false);
+        tree.set_available(3, false);
+        let c = Coloring::all_available_blue(&tree);
+        assert_eq!(c.n_blue(), 5);
+        assert!(!c.is_blue(0));
+        assert!(!c.is_blue(3));
+        assert!(c.is_blue(1));
+    }
+
+    #[test]
+    fn validate_checks_budget_availability_and_size() {
+        let mut tree = builders::complete_binary_tree(7);
+        tree.set_available(2, false);
+
+        let ok = Coloring::from_blue_nodes(7, [1, 3]).unwrap();
+        assert!(ok.validate(&tree, 2).is_ok());
+        assert_eq!(
+            ok.validate(&tree, 1),
+            Err(ColoringError::BudgetExceeded { used: 2, budget: 1 })
+        );
+
+        let unavailable = Coloring::from_blue_nodes(7, [2]).unwrap();
+        assert_eq!(
+            unavailable.validate(&tree, 3),
+            Err(ColoringError::Unavailable(2))
+        );
+
+        let wrong_size = Coloring::all_red(3);
+        assert_eq!(
+            wrong_size.validate(&tree, 3),
+            Err(ColoringError::SizeMismatch { coloring: 3, tree: 7 })
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Coloring::from_blue_nodes(6, [0, 5]).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let parsed: Coloring = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, parsed);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(ColoringError::UnknownNode(1).to_string().contains('1'));
+        assert!(ColoringError::BudgetExceeded { used: 3, budget: 2 }
+            .to_string()
+            .contains("k = 2"));
+        assert!(ColoringError::Unavailable(4).to_string().contains('4'));
+        assert!(ColoringError::SizeMismatch { coloring: 1, tree: 2 }
+            .to_string()
+            .contains("tree of 2"));
+    }
+}

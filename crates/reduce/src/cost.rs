@@ -1,0 +1,443 @@
+//! Closed-form accounting of the Reduce operation.
+//!
+//! The central quantity is the **utilization complexity** (Eq. 1 of the paper)
+//!
+//! ```text
+//! φ(T, L, U) = Σ_{e ∈ E} msg_e(T, L, U) · ρ(e)
+//! ```
+//!
+//! where `msg_e` is the number of messages crossing link `e` during the Reduce and
+//! `ρ(e) = 1/ω(e)` is the link's per-message transmission time. Under constant unit
+//! rates the utilization complexity equals the **message complexity** — the total
+//! number of messages sent.
+//!
+//! The message count on the up-link of a switch `v` follows directly from Algorithm 1:
+//!
+//! * if `v` is **blue** it forwards exactly **one** message (the aggregate of its
+//!   subtree and its locally attached workers);
+//! * if `v` is **red** it forwards `L(v)` messages from its own workers plus every
+//!   message received from its children.
+//!
+//! [`phi_barrier`] implements the equivalent "barrier" formulation of Lemma 4.2
+//! (Eq. 3), which charges every blue switch one message up to its closest blue ancestor
+//! and every red switch `L(v)` messages up to its closest blue ancestor, and
+//! [`barrier_components`] exposes the induced tree decomposition of Sec. 4.1.
+
+use crate::Coloring;
+use soar_topology::{NodeId, Tree};
+
+/// Number of messages crossing the up-link of every switch during the Reduce.
+///
+/// Entry `v` of the returned vector is `msg_{(v, p(v))}(T, L, U)`; entry [`soar_topology::ROOT`]
+/// is the count on the `(r, d)` link.
+pub fn msg_counts(tree: &Tree, coloring: &Coloring) -> Vec<u64> {
+    debug_assert_eq!(coloring.len(), tree.n_switches());
+    let mut counts = vec![0u64; tree.n_switches()];
+    for v in tree.post_order() {
+        if coloring.is_blue(v) {
+            counts[v] = 1;
+        } else {
+            let from_children: u64 = tree.children(v).iter().map(|&c| counts[c]).sum();
+            counts[v] = tree.load(v) + from_children;
+        }
+    }
+    counts
+}
+
+/// The utilization contributed by each up-link: `msg_e · ρ(e)`.
+pub fn link_utilization(tree: &Tree, coloring: &Coloring) -> Vec<f64> {
+    msg_counts(tree, coloring)
+        .into_iter()
+        .enumerate()
+        .map(|(v, m)| m as f64 * tree.rho(v))
+        .collect()
+}
+
+/// Total number of messages sent during the Reduce (the message complexity).
+///
+/// Under unit rates this equals [`phi`].
+pub fn message_complexity(tree: &Tree, coloring: &Coloring) -> u64 {
+    msg_counts(tree, coloring).into_iter().sum()
+}
+
+/// The utilization complexity `φ(T, L, U)` (Eq. 1).
+pub fn phi(tree: &Tree, coloring: &Coloring) -> f64 {
+    msg_counts(tree, coloring)
+        .into_iter()
+        .enumerate()
+        .map(|(v, m)| m as f64 * tree.rho(v))
+        .sum()
+}
+
+/// The closest **strict** blue ancestor of `v`, or `None` when the first blue barrier
+/// above `v` is the destination `d` itself.
+pub fn closest_blue_ancestor(tree: &Tree, coloring: &Coloring, v: NodeId) -> Option<NodeId> {
+    let mut cur = tree.parent(v);
+    while let Some(u) = cur {
+        if coloring.is_blue(u) {
+            return Some(u);
+        }
+        cur = tree.parent(u);
+    }
+    None
+}
+
+/// Hop distance from `v` to its closest strict blue ancestor (or to `d`).
+pub fn distance_to_barrier(tree: &Tree, coloring: &Coloring, v: NodeId) -> usize {
+    let mut dist = 1;
+    let mut cur = tree.parent(v);
+    while let Some(u) = cur {
+        if coloring.is_blue(u) {
+            return dist;
+        }
+        dist += 1;
+        cur = tree.parent(u);
+    }
+    dist
+}
+
+/// Summed ρ from `v` to its closest strict blue ancestor (or to `d`): `ρ(v, p*_v)`.
+pub fn rho_to_barrier(tree: &Tree, coloring: &Coloring, v: NodeId) -> f64 {
+    let mut acc = tree.rho(v);
+    let mut cur = tree.parent(v);
+    while let Some(u) = cur {
+        if coloring.is_blue(u) {
+            return acc;
+        }
+        acc += tree.rho(u);
+        cur = tree.parent(u);
+    }
+    acc
+}
+
+/// The utilization complexity computed via the barrier formulation of Lemma 4.2 (Eq. 3):
+///
+/// ```text
+/// φ(T, L, U) = Σ_{v ∈ U} 1 · ρ(v, p*_v)  +  Σ_{v ∉ U} L(v) · ρ(v, p*_v)
+/// ```
+///
+/// Always equal to [`phi`]; kept as an independent implementation for cross-validation.
+pub fn phi_barrier(tree: &Tree, coloring: &Coloring) -> f64 {
+    let mut total = 0.0;
+    for v in tree.node_ids() {
+        let rho = rho_to_barrier(tree, coloring, v);
+        if coloring.is_blue(v) {
+            total += rho;
+        } else {
+            total += tree.load(v) as f64 * rho;
+        }
+    }
+    total
+}
+
+/// One component of the barrier decomposition of Sec. 4.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierComponent {
+    /// The barrier this component drains into: a blue switch, or `None` for the
+    /// destination `d`.
+    pub barrier: Option<NodeId>,
+    /// The switches whose closest strict blue ancestor is `barrier` (the barrier switch
+    /// itself belongs to the component *above* it).
+    pub members: Vec<NodeId>,
+}
+
+/// Partitions the switches by their closest strict blue ancestor, yielding the tree
+/// decomposition induced by the coloring (Sec. 4.1). The component utilities sum to
+/// `φ(T, L, U)`; see [`component_cost`].
+pub fn barrier_components(tree: &Tree, coloring: &Coloring) -> Vec<BarrierComponent> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<Option<NodeId>, Vec<NodeId>> = BTreeMap::new();
+    for v in tree.node_ids() {
+        let barrier = closest_blue_ancestor(tree, coloring, v);
+        groups.entry(barrier).or_default().push(v);
+    }
+    groups
+        .into_iter()
+        .map(|(barrier, members)| BarrierComponent { barrier, members })
+        .collect()
+}
+
+/// The utilization contributed by one barrier component: every member switch `v` is
+/// charged `ρ(v, barrier)` once if blue and `L(v)` times if red (cf. Eq. 3 restricted to
+/// the component's members).
+pub fn component_cost(tree: &Tree, coloring: &Coloring, component: &BarrierComponent) -> f64 {
+    component
+        .members
+        .iter()
+        .map(|&v| {
+            let rho = rho_to_barrier(tree, coloring, v);
+            if coloring.is_blue(v) {
+                rho
+            } else {
+                tree.load(v) as f64 * rho
+            }
+        })
+        .sum()
+}
+
+/// A full cost report for a single Reduce over a given coloring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Per-up-link message counts (`msg_e`).
+    pub per_edge_messages: Vec<u64>,
+    /// Per-up-link utilization (`msg_e · ρ(e)`).
+    pub per_edge_utilization: Vec<f64>,
+    /// The utilization complexity φ.
+    pub phi: f64,
+    /// Total number of messages.
+    pub total_messages: u64,
+    /// The largest single-link utilization (a bottleneck-link proxy, cf. Sec. 8).
+    pub max_link_utilization: f64,
+    /// Number of blue switches used.
+    pub blue_used: usize,
+}
+
+/// Evaluates a coloring into a [`CostReport`].
+pub fn evaluate(tree: &Tree, coloring: &Coloring) -> CostReport {
+    let per_edge_messages = msg_counts(tree, coloring);
+    let per_edge_utilization: Vec<f64> = per_edge_messages
+        .iter()
+        .enumerate()
+        .map(|(v, &m)| m as f64 * tree.rho(v))
+        .collect();
+    let phi = per_edge_utilization.iter().sum();
+    let total_messages = per_edge_messages.iter().sum();
+    let max_link_utilization = per_edge_utilization.iter().cloned().fold(0.0, f64::max);
+    CostReport {
+        phi,
+        total_messages,
+        max_link_utilization,
+        blue_used: coloring.n_blue(),
+        per_edge_messages,
+        per_edge_utilization,
+    }
+}
+
+/// Normalizes a cost against the all-red baseline of the same instance, as done
+/// throughout Sec. 5 ("the cost reduction compared to the all-red solution").
+///
+/// Returns 1.0 when the baseline cost is zero (empty workload).
+pub fn normalized_to_all_red(tree: &Tree, coloring: &Coloring) -> f64 {
+    let baseline = phi(tree, &Coloring::all_red(tree.n_switches()));
+    if baseline == 0.0 {
+        1.0
+    } else {
+        phi(tree, coloring) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soar_topology::{builders, Tree, TreeBuilder};
+
+    /// The Fig. 1 instance: five switches, six worker servers, all-red cost 14 and
+    /// all-blue cost 5 under unit rates.
+    fn fig1_tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r = b.root(1.0);
+        let a = b.child(r, 1.0).unwrap(); // holds x1, x2
+        let bb = b.child(r, 1.0).unwrap(); // holds x3
+        let dmid = b.child(r, 1.0).unwrap(); // holds x4, parent of the x5/x6 switch
+        let c = b.child(dmid, 1.0).unwrap(); // holds x5, x6
+        let mut t = b.build().unwrap();
+        t.set_load(a, 2);
+        t.set_load(bb, 1);
+        t.set_load(dmid, 1);
+        t.set_load(c, 2);
+        t
+    }
+
+    /// The Fig. 2 instance: complete binary tree over 7 switches, leaf loads 2, 6, 5, 4.
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn fig1_all_red_and_all_blue_costs() {
+        let t = fig1_tree();
+        let all_red = Coloring::all_red(t.n_switches());
+        let all_blue = Coloring::all_blue(t.n_switches());
+        assert_eq!(message_complexity(&t, &all_red), 14);
+        assert_eq!(message_complexity(&t, &all_blue), 5);
+        assert!((phi(&t, &all_red) - 14.0).abs() < 1e-9);
+        assert!((phi(&t, &all_blue) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2_all_red_cost_and_per_edge_counts() {
+        let t = fig2_tree();
+        let all_red = Coloring::all_red(7);
+        let counts = msg_counts(&t, &all_red);
+        assert_eq!(counts, vec![17, 8, 9, 2, 6, 5, 4]);
+        assert_eq!(message_complexity(&t, &all_red), 17 + 8 + 9 + 2 + 6 + 5 + 4);
+    }
+
+    #[test]
+    fn fig2_soar_optimal_coloring_costs_20() {
+        // The optimal solution of Fig. 2(d): blue at the leaf with load 6 (node 4) and
+        // at the right internal switch (node 2); cost 20.
+        let t = fig2_tree();
+        let coloring = Coloring::from_blue_nodes(7, [4, 2]).unwrap();
+        assert!((phi(&t, &coloring) - 20.0).abs() < 1e-9);
+        assert!((phi_barrier(&t, &coloring) - 20.0).abs() < 1e-9);
+        let counts = msg_counts(&t, &coloring);
+        // Leaf loads (2, [blue 1], 5, 4), internal (3, 1), root 4.
+        assert_eq!(counts, vec![4, 3, 1, 2, 1, 5, 4]);
+    }
+
+    #[test]
+    fn fig2_strategy_colorings_match_paper_costs() {
+        let t = fig2_tree();
+        // Top (Fig. 2(a)): blue at the root and at the right internal switch, cost 27.
+        let top = Coloring::from_blue_nodes(7, [0, 2]).unwrap();
+        assert!((phi(&t, &top) - 27.0).abs() < 1e-9);
+        // Max: the two leaves with the largest loads (6 and 5), cost 24.
+        let max = Coloring::from_blue_nodes(7, [4, 5]).unwrap();
+        assert!((phi(&t, &max) - 24.0).abs() < 1e-9);
+        // Level: the level of size 2 (both internal switches), cost 21.
+        let level = Coloring::from_blue_nodes(7, [1, 2]).unwrap();
+        assert!((phi(&t, &level) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_optimal_costs_for_growing_k() {
+        let t = fig2_tree();
+        // Fig. 3 reports optimal utilization 35, 20, 15, 11 for k = 1..4.
+        // k = 1 is not unique; Fig. 3(a) colors the root. Blue at node 2 is also optimal.
+        let k1 = Coloring::from_blue_nodes(7, [0]).unwrap();
+        assert!((phi(&t, &k1) - 35.0).abs() < 1e-9);
+        let k1_alt = Coloring::from_blue_nodes(7, [2]).unwrap();
+        assert!((phi(&t, &k1_alt) - 35.0).abs() < 1e-9);
+        let k2 = Coloring::from_blue_nodes(7, [4, 2]).unwrap();
+        assert!((phi(&t, &k2) - 20.0).abs() < 1e-9);
+        let k3 = Coloring::from_blue_nodes(7, [4, 5, 6]).unwrap();
+        assert!((phi(&t, &k3) - 15.0).abs() < 1e-9);
+        let k4 = Coloring::from_blue_nodes(7, [4, 5, 6, 1]).unwrap();
+        assert!((phi(&t, &k4) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_formulation_matches_direct_formula() {
+        let t = fig2_tree();
+        for blues in [vec![], vec![0], vec![1, 2], vec![4, 2], vec![0, 3, 6]] {
+            let c = Coloring::from_blue_nodes(7, blues).unwrap();
+            assert!(
+                (phi(&t, &c) - phi_barrier(&t, &c)).abs() < 1e-9,
+                "Eq. 1 and Eq. 3 must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn closest_blue_ancestor_and_distances() {
+        let t = fig2_tree();
+        let c = Coloring::from_blue_nodes(7, [1]).unwrap();
+        assert_eq!(closest_blue_ancestor(&t, &c, 3), Some(1));
+        assert_eq!(closest_blue_ancestor(&t, &c, 1), None);
+        assert_eq!(closest_blue_ancestor(&t, &c, 5), None);
+        assert_eq!(distance_to_barrier(&t, &c, 3), 1);
+        assert_eq!(distance_to_barrier(&t, &c, 5), 3); // leaf → internal → root → d
+        assert!((rho_to_barrier(&t, &c, 5) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_components_partition_and_sum_to_phi() {
+        let t = fig2_tree();
+        let c = Coloring::from_blue_nodes(7, [4, 2]).unwrap();
+        let comps = barrier_components(&t, &c);
+        let all_members: usize = comps.iter().map(|c| c.members.len()).sum();
+        assert_eq!(all_members, 7, "components must partition the switches");
+        let total: f64 = comps.iter().map(|comp| component_cost(&t, &c, comp)).sum();
+        assert!((total - phi(&t, &c)).abs() < 1e-9);
+        // Blue node 2 is the barrier of its two leaves; blue node 4 is a leaf so its
+        // "subtree" is just itself, absorbed into the destination component.
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().any(|comp| comp.barrier.is_none()));
+        assert!(comps.iter().any(|comp| comp.barrier == Some(2)));
+    }
+
+    #[test]
+    fn rates_scale_the_utilization() {
+        let mut t = fig2_tree();
+        // Double every rate: utilization halves.
+        let base = phi(&t, &Coloring::all_red(7));
+        for v in 0..7 {
+            t.set_rate(v, 2.0);
+        }
+        let halved = phi(&t, &Coloring::all_red(7));
+        assert!((halved - base / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_report_is_consistent() {
+        let t = fig2_tree();
+        let c = Coloring::from_blue_nodes(7, [4, 2]).unwrap();
+        let report = evaluate(&t, &c);
+        assert_eq!(report.blue_used, 2);
+        assert_eq!(report.total_messages, 20);
+        assert!((report.phi - 20.0).abs() < 1e-9);
+        assert!((report.max_link_utilization - 5.0).abs() < 1e-9);
+        assert_eq!(report.per_edge_messages.len(), 7);
+        let sum: f64 = report.per_edge_utilization.iter().sum();
+        assert!((sum - report.phi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_against_all_red() {
+        let t = fig2_tree();
+        let c = Coloring::from_blue_nodes(7, [4, 2]).unwrap();
+        let norm = normalized_to_all_red(&t, &c);
+        assert!((norm - 20.0 / 51.0).abs() < 1e-9);
+        assert!((normalized_to_all_red(&t, &Coloring::all_red(7)) - 1.0).abs() < 1e-12);
+
+        // Zero-load instance: normalization degenerates to 1.
+        let empty = builders::complete_binary_tree(3);
+        assert_eq!(normalized_to_all_red(&empty, &Coloring::all_red(3)), 1.0);
+    }
+
+    #[test]
+    fn blue_switch_with_empty_subtree_still_emits_one_message() {
+        // Matches the model of Eq. 3 / Algorithm 3 (a blue switch always reports one
+        // aggregate): a load-free blue leaf contributes one message on its up-link.
+        let mut t = builders::star(3);
+        t.set_load(1, 0);
+        t.set_load(2, 4);
+        let c = Coloring::from_blue_nodes(3, [1]).unwrap();
+        let counts = msg_counts(&t, &c);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 4);
+        assert_eq!(counts[0], 5);
+    }
+
+    #[test]
+    fn zero_load_red_switch_sends_nothing() {
+        let mut t = builders::path(3);
+        t.set_load(2, 3);
+        let c = Coloring::all_red(3);
+        let counts = msg_counts(&t, &c);
+        assert_eq!(counts, vec![3, 3, 3]);
+        let mut t2 = builders::path(3);
+        t2.set_load(1, 0);
+        t2.set_load(2, 0);
+        assert_eq!(msg_counts(&t2, &Coloring::all_red(3)), vec![0, 0, 0]);
+        assert_eq!(phi(&t2, &Coloring::all_red(3)), 0.0);
+    }
+
+    #[test]
+    fn internal_load_is_counted() {
+        // Fig. 1 has a worker (x4) attached to an internal switch.
+        let t = fig1_tree();
+        let c = Coloring::from_blue_nodes(5, [3]).unwrap(); // the x4 switch is blue
+        let counts = msg_counts(&t, &c);
+        // The blue internal switch absorbs its own worker and the x5/x6 messages.
+        assert_eq!(counts[3], 1);
+        assert_eq!(counts[4], 2);
+        assert_eq!(counts[0], 2 + 1 + 1);
+    }
+}

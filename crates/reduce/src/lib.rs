@@ -1,0 +1,49 @@
+//! # soar-reduce
+//!
+//! The Reduce-operation cost model of the SOAR paper (CoNEXT 2021), built on top of
+//! [`soar_topology`].
+//!
+//! Given an aggregation tree `T`, a load `L` and a set of aggregation (blue) switches
+//! `U`, the paper's Algorithm 1 performs a Reduce: every worker sends one message
+//! towards the destination `d`; a **red** (non-aggregating) switch forwards every
+//! message it receives, while a **blue** (aggregating) switch collapses all messages
+//! arriving from its subtree (and from its locally attached workers) into a single
+//! message. This crate provides:
+//!
+//! * [`Coloring`] — the set `U` of blue switches, with budget / availability validation.
+//! * [`cost`] — closed-form accounting of the Reduce operation:
+//!   per-link message counts `msg_e(T, L, U)`, the **utilization complexity**
+//!   `φ(T, L, U) = Σ_e msg_e · ρ(e)` (Eq. 1), its *barrier* re-formulation in terms of
+//!   closest blue ancestors (Eq. 3 / Lemma 4.2), and the tree decomposition view of
+//!   Sec. 4.1.
+//! * [`bytes`] — **byte complexity**: the same Reduce executed over an application-level
+//!   [`bytes::AggregationModel`] that dictates how message payloads grow or shrink when
+//!   aggregated (used for the WC / PS use cases of Sec. 5.3).
+//! * [`sim`] — a discrete-event, packet-level simulator that actually executes
+//!   Algorithm 1 message by message (store-and-forward at red switches, wait-and-merge
+//!   at blue switches, per-link serialization at rate ω) and independently re-derives
+//!   the message counts and the utilization complexity, plus latency and bottleneck
+//!   metrics that the closed form does not capture.
+//!
+//! ```
+//! use soar_reduce::{cost, Coloring};
+//! use soar_topology::builders;
+//!
+//! let mut tree = builders::complete_binary_tree(7);
+//! for (leaf, load) in tree.leaves().collect::<Vec<_>>().into_iter().zip([2u64, 6, 5, 4]) {
+//!     tree.set_load(leaf, load);
+//! }
+//! let all_red = Coloring::all_red(tree.n_switches());
+//! let all_blue = Coloring::all_blue(tree.n_switches());
+//! assert!(cost::phi(&tree, &all_blue) < cost::phi(&tree, &all_red));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+mod coloring;
+pub mod cost;
+pub mod sim;
+
+pub use coloring::{Coloring, ColoringError};

@@ -1,0 +1,358 @@
+//! A discrete-event, packet-level simulator of the Reduce operation (Algorithm 1).
+//!
+//! The closed-form accounting in [`crate::cost`] counts messages combinatorially. This
+//! simulator instead *executes* the Reduce message by message over the tree:
+//!
+//! * every worker's message appears at its switch at time 0;
+//! * a **red** switch forwards each message as soon as it holds it (store-and-forward);
+//! * a **blue** switch waits until it has received everything it expects from its
+//!   children and its local workers, then emits a single aggregate message;
+//! * every link serializes messages: a link with rate `ω` (messages/second) transmits
+//!   one message in `ρ = 1/ω` seconds and is busy for that long, so messages queue
+//!   behind each other on a busy link.
+//!
+//! The simulator therefore reproduces the paper's utilization complexity (the total
+//! busy time summed over links equals `φ`) **and** produces quantities the closed form
+//! cannot: the completion time of the Reduce (a latency proxy) and the busy time of the
+//! most-loaded link (a bottleneck proxy) — the alternative objectives discussed in
+//! Sec. 8 of the paper.
+
+use crate::{cost, Coloring};
+use soar_topology::{NodeId, Tree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of simulating one Reduce operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Number of messages that crossed the up-link of every switch.
+    pub per_edge_messages: Vec<u64>,
+    /// Total busy time of every up-link (`messages · ρ`, since transmissions serialize).
+    pub per_edge_busy_time: Vec<f64>,
+    /// Sum of the per-link busy times — equal to the utilization complexity `φ`.
+    pub total_busy_time: f64,
+    /// Time at which the destination `d` has received its last message.
+    pub completion_time: f64,
+    /// The largest per-link busy time (the bottleneck link).
+    pub max_link_busy_time: f64,
+    /// Number of messages delivered to the destination.
+    pub messages_at_destination: u64,
+}
+
+/// An event: a message finishes crossing the up-link of `from` at `time` and is
+/// delivered to `from`'s parent (or to the destination when `from` is the root).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Delivery {
+    time: f64,
+    from: NodeId,
+    seq: u64,
+}
+
+impl Eq for Delivery {}
+
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on time (BinaryHeap is a max-heap, so reverse), tie-broken by
+        // sequence number for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-switch simulation state.
+struct SwitchState {
+    /// Messages this switch still expects before it may aggregate (blue switches only).
+    expected_remaining: u64,
+    /// Whether the blue switch has already emitted its aggregate.
+    aggregated: bool,
+    /// Next instant at which this switch's up-link is free.
+    link_free_at: f64,
+}
+
+/// The simulator. Construct once per `(tree, coloring)` pair and call [`Simulator::run`].
+pub struct Simulator<'a> {
+    tree: &'a Tree,
+    coloring: &'a Coloring,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring does not cover exactly the tree's switches.
+    pub fn new(tree: &'a Tree, coloring: &'a Coloring) -> Self {
+        assert_eq!(
+            coloring.len(),
+            tree.n_switches(),
+            "coloring must cover the tree"
+        );
+        Self { tree, coloring }
+    }
+
+    /// Runs the Reduce to completion and reports the outcome.
+    pub fn run(&self) -> SimReport {
+        let tree = self.tree;
+        let coloring = self.coloring;
+        let n = tree.n_switches();
+
+        // Expected incoming messages per switch = what each child will forward on its
+        // up-link; derived from the closed-form counts (the dataplane crate re-derives
+        // this independently via per-child termination markers).
+        let static_counts = cost::msg_counts(tree, coloring);
+        let expected_in: Vec<u64> = (0..n)
+            .map(|v| {
+                tree.children(v)
+                    .iter()
+                    .map(|&c| static_counts[c])
+                    .sum::<u64>()
+            })
+            .collect();
+
+        let mut state: Vec<SwitchState> = (0..n)
+            .map(|v| SwitchState {
+                expected_remaining: expected_in[v],
+                aggregated: false,
+                link_free_at: 0.0,
+            })
+            .collect();
+
+        let mut per_edge_messages = vec![0u64; n];
+        let mut per_edge_busy_time = vec![0.0f64; n];
+        let mut events: BinaryHeap<Delivery> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut completion_time: f64 = 0.0;
+        let mut messages_at_destination: u64 = 0;
+
+        // Local closure: switch `v` sends one message upward at local time `t`.
+        let mut send_up = |v: NodeId,
+                           t: f64,
+                           state: &mut Vec<SwitchState>,
+                           events: &mut BinaryHeap<Delivery>,
+                           per_edge_messages: &mut Vec<u64>,
+                           per_edge_busy_time: &mut Vec<f64>| {
+            let rho = self.tree.rho(v);
+            let start = state[v].link_free_at.max(t);
+            let finish = start + rho;
+            state[v].link_free_at = finish;
+            per_edge_messages[v] += 1;
+            per_edge_busy_time[v] += rho;
+            seq += 1;
+            events.push(Delivery {
+                time: finish,
+                from: v,
+                seq,
+            });
+        };
+
+        // Time 0: workers hand their messages to their switch.
+        for v in 0..n {
+            let load = tree.load(v);
+            if coloring.is_blue(v) {
+                // A blue switch counts its own workers as already received.
+                if state[v].expected_remaining == 0 && load == 0 && !state[v].aggregated {
+                    // Nothing to wait for: emit the (empty) aggregate immediately,
+                    // matching the single-report semantics of the cost model.
+                    state[v].aggregated = true;
+                    send_up(
+                        v,
+                        0.0,
+                        &mut state,
+                        &mut events,
+                        &mut per_edge_messages,
+                        &mut per_edge_busy_time,
+                    );
+                } else if state[v].expected_remaining == 0 && !state[v].aggregated {
+                    state[v].aggregated = true;
+                    send_up(
+                        v,
+                        0.0,
+                        &mut state,
+                        &mut events,
+                        &mut per_edge_messages,
+                        &mut per_edge_busy_time,
+                    );
+                }
+            } else {
+                for _ in 0..load {
+                    send_up(
+                        v,
+                        0.0,
+                        &mut state,
+                        &mut events,
+                        &mut per_edge_messages,
+                        &mut per_edge_busy_time,
+                    );
+                }
+            }
+        }
+
+        // Main event loop.
+        while let Some(Delivery { time, from, .. }) = events.pop() {
+            match tree.parent(from) {
+                None => {
+                    // Delivered to the destination d.
+                    messages_at_destination += 1;
+                    completion_time = completion_time.max(time);
+                }
+                Some(p) => {
+                    if coloring.is_blue(p) {
+                        state[p].expected_remaining =
+                            state[p].expected_remaining.saturating_sub(1);
+                        if state[p].expected_remaining == 0 && !state[p].aggregated {
+                            state[p].aggregated = true;
+                            send_up(
+                                p,
+                                time,
+                                &mut state,
+                                &mut events,
+                                &mut per_edge_messages,
+                                &mut per_edge_busy_time,
+                            );
+                        }
+                    } else {
+                        // Red switch: store-and-forward immediately.
+                        send_up(
+                            p,
+                            time,
+                            &mut state,
+                            &mut events,
+                            &mut per_edge_messages,
+                            &mut per_edge_busy_time,
+                        );
+                    }
+                }
+            }
+        }
+
+        let total_busy_time: f64 = per_edge_busy_time.iter().sum();
+        let max_link_busy_time = per_edge_busy_time.iter().cloned().fold(0.0, f64::max);
+        SimReport {
+            per_edge_messages,
+            per_edge_busy_time,
+            total_busy_time,
+            completion_time,
+            max_link_busy_time,
+            messages_at_destination,
+        }
+    }
+}
+
+/// Convenience wrapper: simulate one Reduce and return the report.
+pub fn simulate(tree: &Tree, coloring: &Coloring) -> SimReport {
+    Simulator::new(tree, coloring).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soar_topology::{builders, Tree};
+
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn simulation_reproduces_message_counts_and_phi() {
+        let t = fig2_tree();
+        for blues in [vec![], vec![0], vec![4, 2], vec![1, 2], (0..7).collect()] {
+            let c = Coloring::from_blue_nodes(7, blues).unwrap();
+            let report = simulate(&t, &c);
+            assert_eq!(report.per_edge_messages, cost::msg_counts(&t, &c));
+            assert!((report.total_busy_time - cost::phi(&t, &c)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulation_with_heterogeneous_rates() {
+        let mut t = fig2_tree();
+        t.apply_rates(&soar_topology::rates::RateScheme::paper_exponential());
+        let c = Coloring::from_blue_nodes(7, [1]).unwrap();
+        let report = simulate(&t, &c);
+        assert!((report.total_busy_time - cost::phi(&t, &c)).abs() < 1e-9);
+        assert!(report.completion_time > 0.0);
+    }
+
+    #[test]
+    fn all_blue_completion_is_no_earlier_than_deepest_path() {
+        let t = fig2_tree();
+        let c = Coloring::all_blue(7);
+        let report = simulate(&t, &c);
+        // Each blue switch forwards exactly one message; the destination receives one.
+        assert_eq!(report.messages_at_destination, 1);
+        // A message must traverse at least 3 unit-rate hops from leaves to d.
+        assert!(report.completion_time >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn all_red_queueing_delays_completion() {
+        let t = fig2_tree();
+        let red = simulate(&t, &Coloring::all_red(7));
+        let blue = simulate(&t, &Coloring::all_blue(7));
+        // 17 messages serialize over the (r, d) link under all-red: completion is at
+        // least 17 time units, far later than the aggregated variant.
+        assert!(red.completion_time >= 17.0 - 1e-9);
+        assert!(blue.completion_time < red.completion_time);
+        assert_eq!(red.messages_at_destination, 17);
+    }
+
+    #[test]
+    fn bottleneck_link_matches_max_utilization() {
+        let t = fig2_tree();
+        let c = Coloring::from_blue_nodes(7, [4, 2]).unwrap();
+        let report = simulate(&t, &c);
+        let expected = cost::evaluate(&t, &c).max_link_utilization;
+        assert!((report.max_link_busy_time - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_produces_no_traffic_under_all_red() {
+        let t = builders::complete_binary_tree(7);
+        let report = simulate(&t, &Coloring::all_red(7));
+        assert_eq!(report.messages_at_destination, 0);
+        assert_eq!(report.total_busy_time, 0.0);
+        assert_eq!(report.completion_time, 0.0);
+    }
+
+    #[test]
+    fn blue_switch_with_no_input_emits_empty_aggregate() {
+        let mut t = builders::star(3);
+        t.set_load(2, 1);
+        let c = Coloring::from_blue_nodes(3, [1]).unwrap();
+        let report = simulate(&t, &c);
+        assert_eq!(report.per_edge_messages[1], 1);
+        assert_eq!(report.messages_at_destination, 2);
+    }
+
+    #[test]
+    fn deep_chain_latency_accumulates() {
+        let mut t = builders::path(5);
+        t.set_load(4, 1);
+        let report = simulate(&t, &Coloring::all_red(5));
+        // One message traverses 5 switch up-links, each taking 1 time unit.
+        assert!((report.completion_time - 5.0).abs() < 1e-9);
+        assert_eq!(report.per_edge_messages, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coloring must cover the tree")]
+    fn mismatched_coloring_panics() {
+        let t = fig2_tree();
+        let c = Coloring::all_red(3);
+        let _ = Simulator::new(&t, &c);
+    }
+}

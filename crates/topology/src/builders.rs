@@ -1,0 +1,400 @@
+//! Topology generators for the evaluation scenarios of the paper.
+//!
+//! * [`complete_binary_tree_bt`] — the `BT(n)` topologies of Sec. 5 (complete binary
+//!   trees where `n` counts the destination server).
+//! * [`complete_kary_tree`] — generalisation to arbitrary arity.
+//! * [`scale_free_tree_sf`] — the `SF(n)` random preferential-attachment trees of
+//!   Appendix B.
+//! * [`random_tree`] — uniformly random recursive trees (each new node attaches to a
+//!   uniformly random existing node), handy for property testing.
+//! * [`two_tier_fat_tree`] — a two-tier ToR/aggregation topology resembling the leaf
+//!   level of a fat-tree pod.
+//! * [`path`], [`star`], [`caterpillar`] — degenerate shapes used in unit and property
+//!   tests (they exercise the extreme cases of the dynamic program: maximum height and
+//!   maximum branching).
+//!
+//! All builders return trees with unit link rates, zero load and full availability;
+//! apply a [`crate::rates::RateScheme`] and a [`crate::load::LoadSpec`] afterwards.
+
+use crate::{NodeId, Tree, TreeBuilder, ROOT};
+use rand::Rng;
+
+/// Builds a complete binary tree with exactly `n_switches` switches.
+///
+/// `n_switches` does not need to be of the form `2^h - 1`; the last level is filled
+/// left-to-right, as in a binary heap.
+///
+/// # Panics
+///
+/// Panics if `n_switches == 0`.
+pub fn complete_binary_tree(n_switches: usize) -> Tree {
+    complete_kary_tree(2, n_switches)
+}
+
+/// Builds the paper's `BT(n)` topology, where `n` counts the destination server `d`
+/// in addition to the switches — i.e. the switch tree has `n - 1` nodes.
+///
+/// `BT(256)` therefore yields a complete binary tree of 255 switches with 128 leaves,
+/// which is the workhorse topology of Sec. 5.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (there must be at least the root switch besides `d`).
+pub fn complete_binary_tree_bt(n: usize) -> Tree {
+    assert!(n >= 2, "BT(n) needs at least one switch besides the destination");
+    complete_binary_tree(n - 1)
+}
+
+/// Builds a complete `arity`-ary tree with exactly `n_switches` switches
+/// (heap-shaped: level `i` holds `arity^i` switches, the last level filled
+/// left-to-right).
+///
+/// # Panics
+///
+/// Panics if `arity == 0` or `n_switches == 0`.
+pub fn complete_kary_tree(arity: usize, n_switches: usize) -> Tree {
+    assert!(arity >= 1, "arity must be at least 1");
+    assert!(n_switches >= 1, "a tree needs at least the root switch");
+    let mut b = TreeBuilder::with_capacity(n_switches);
+    b.root(1.0);
+    for v in 1..n_switches {
+        // Heap indexing generalised to arity k: parent(v) = (v - 1) / k.
+        let parent = (v - 1) / arity;
+        b.child(parent, 1.0).expect("parent precedes child by construction");
+    }
+    b.build().expect("k-ary construction is always valid")
+}
+
+/// Builds a complete `arity`-ary tree of the given `depth` (the root is at depth 0,
+/// leaves at depth `depth`).
+pub fn complete_kary_tree_of_depth(arity: usize, depth: usize) -> Tree {
+    assert!(arity >= 1, "arity must be at least 1");
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= arity;
+        n += level;
+    }
+    complete_kary_tree(arity, n)
+}
+
+/// Builds a path of `n_switches` switches: `r — s_1 — s_2 — ... — s_{n-1}`, the
+/// deepest switch being the only leaf. Maximises tree height.
+pub fn path(n_switches: usize) -> Tree {
+    assert!(n_switches >= 1);
+    let mut b = TreeBuilder::with_capacity(n_switches);
+    let mut prev = b.root(1.0);
+    for _ in 1..n_switches {
+        prev = b.child(prev, 1.0).expect("chain parents precede children");
+    }
+    b.build().expect("path construction is always valid")
+}
+
+/// Builds a star: the root plus `n_switches - 1` leaf children. Maximises branching.
+pub fn star(n_switches: usize) -> Tree {
+    assert!(n_switches >= 1);
+    let mut b = TreeBuilder::with_capacity(n_switches);
+    let r = b.root(1.0);
+    for _ in 1..n_switches {
+        b.child(r, 1.0).expect("root exists");
+    }
+    b.build().expect("star construction is always valid")
+}
+
+/// Builds a caterpillar: a spine path of `spine` switches, each spine switch carrying
+/// `legs` leaf children.
+pub fn caterpillar(spine: usize, legs: usize) -> Tree {
+    assert!(spine >= 1);
+    let mut b = TreeBuilder::new();
+    let mut prev = b.root(1.0);
+    let mut spine_nodes = vec![prev];
+    for _ in 1..spine {
+        prev = b.child(prev, 1.0).expect("spine parent exists");
+        spine_nodes.push(prev);
+    }
+    for &s in &spine_nodes {
+        for _ in 0..legs {
+            b.child(s, 1.0).expect("spine node exists");
+        }
+    }
+    b.build().expect("caterpillar construction is always valid")
+}
+
+/// Builds a two-tier "fat-tree style" aggregation topology: a root (core) switch,
+/// `aggs` aggregation switches below it, and `tors_per_agg` top-of-rack switches below
+/// each aggregation switch. Only the ToR switches are expected to carry load.
+pub fn two_tier_fat_tree(aggs: usize, tors_per_agg: usize) -> Tree {
+    assert!(aggs >= 1);
+    let mut b = TreeBuilder::new();
+    let r = b.root(1.0);
+    for _ in 0..aggs {
+        let a = b.child(r, 1.0).expect("root exists");
+        for _ in 0..tors_per_agg {
+            b.child(a, 1.0).expect("agg exists");
+        }
+    }
+    b.build().expect("two-tier construction is always valid")
+}
+
+/// Builds a random recursive tree with `n_switches` switches: switch `v` (for `v ≥ 1`)
+/// attaches to a uniformly random switch among `0..v`.
+///
+/// # Panics
+///
+/// Panics if `n_switches == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n_switches: usize, rng: &mut R) -> Tree {
+    assert!(n_switches >= 1);
+    let mut b = TreeBuilder::with_capacity(n_switches);
+    b.root(1.0);
+    for v in 1..n_switches {
+        let parent = rng.random_range(0..v);
+        b.child(parent, 1.0).expect("parent precedes child");
+    }
+    b.build().expect("random recursive construction is always valid")
+}
+
+/// Builds a random recursive tree whose maximum number of children per switch is
+/// bounded by `max_children` (useful to keep property-test instances SOAR-friendly).
+pub fn random_tree_bounded_degree<R: Rng + ?Sized>(
+    n_switches: usize,
+    max_children: usize,
+    rng: &mut R,
+) -> Tree {
+    assert!(n_switches >= 1);
+    assert!(max_children >= 1);
+    let mut b = TreeBuilder::with_capacity(n_switches);
+    b.root(1.0);
+    let mut child_count = vec![0usize; n_switches];
+    for v in 1..n_switches {
+        // Rejection-sample a parent with spare capacity; a parent with spare capacity
+        // always exists because a tree on v nodes has v - 1 edges < v * max_children.
+        let parent = loop {
+            let candidate = rng.random_range(0..v);
+            if child_count[candidate] < max_children {
+                break candidate;
+            }
+        };
+        child_count[parent] += 1;
+        b.child(parent, 1.0).expect("parent precedes child");
+    }
+    b.build().expect("bounded-degree construction is always valid")
+}
+
+/// Builds the paper's `SF(n)` scale-free tree via random preferential attachment
+/// (Barabási–Albert with one edge per arriving node), where `n` counts the destination
+/// server as in `BT(n)` — the switch tree has `n - 1` nodes.
+///
+/// Each arriving switch attaches to an existing switch with probability proportional to
+/// `degree + 1` (the root's virtual up-link to `d` counts towards its degree, matching
+/// the usual "attach proportional to degree in the full graph including d" reading of
+/// the RPA process on trees).
+pub fn scale_free_tree_sf<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Tree {
+    assert!(n >= 2, "SF(n) needs at least one switch besides the destination");
+    scale_free_tree(n - 1, rng)
+}
+
+/// Builds a scale-free (random preferential attachment) tree with exactly
+/// `n_switches` switches. See [`scale_free_tree_sf`] for the attachment rule.
+pub fn scale_free_tree<R: Rng + ?Sized>(n_switches: usize, rng: &mut R) -> Tree {
+    assert!(n_switches >= 1);
+    let mut b = TreeBuilder::with_capacity(n_switches);
+    b.root(1.0);
+    // degree[v] = number of tree edges incident to v, plus 1 for the root's up-link.
+    let mut degree = vec![0usize; n_switches];
+    degree[ROOT] = 1;
+    let mut total_degree = 1usize;
+    for v in 1..n_switches {
+        // Preferential attachment: pick parent ∝ degree.
+        let mut target = rng.random_range(0..total_degree);
+        let mut parent = ROOT;
+        for (u, &deg) in degree.iter().enumerate().take(v) {
+            if target < deg {
+                parent = u;
+                break;
+            }
+            target -= deg;
+        }
+        b.child(parent, 1.0).expect("parent precedes child");
+        degree[parent] += 1;
+        degree[v] += 1;
+        total_degree += 2;
+    }
+    b.build().expect("scale-free construction is always valid")
+}
+
+/// Returns the degree of each switch in the *undirected* tree including the root's
+/// virtual link to the destination (i.e. `children + 1` for every switch).
+///
+/// This matches the degree notion used when discussing the `Max`-by-degree placement
+/// strategy on scale-free trees in Appendix B.
+pub fn degrees(tree: &Tree) -> Vec<usize> {
+    tree.node_ids()
+        .map(|v| tree.n_children(v) + 1)
+        .collect()
+}
+
+/// Convenience: the switch ids sorted by decreasing degree (ties broken by id).
+pub fn nodes_by_degree_desc(tree: &Tree) -> Vec<NodeId> {
+    let deg = degrees(tree);
+    let mut ids: Vec<NodeId> = tree.node_ids().collect();
+    ids.sort_by_key(|&v| (std::cmp::Reverse(deg[v]), v));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bt256_matches_paper_dimensions() {
+        let t = complete_binary_tree_bt(256);
+        assert_eq!(t.n_switches(), 255);
+        assert_eq!(t.n_with_dest(), 256);
+        assert_eq!(t.height(), 7);
+        assert_eq!(t.leaves().count(), 128);
+        // Every internal node of a complete binary tree on 255 nodes has exactly 2 children.
+        for v in t.internal_nodes() {
+            assert_eq!(t.n_children(v), 2);
+        }
+    }
+
+    #[test]
+    fn bt_small_sizes() {
+        for n in [2usize, 3, 4, 8, 16, 32, 64, 128, 512, 1024, 2048, 4096] {
+            let t = complete_binary_tree_bt(n);
+            assert_eq!(t.n_switches(), n - 1);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bt_requires_at_least_one_switch() {
+        complete_binary_tree_bt(1);
+    }
+
+    #[test]
+    fn complete_binary_tree_shape() {
+        let t = complete_binary_tree(7);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4]);
+        assert_eq!(t.children(2), &[5, 6]);
+        let t = complete_binary_tree(6);
+        assert_eq!(t.n_switches(), 6);
+        assert_eq!(t.children(2), &[5]);
+    }
+
+    #[test]
+    fn kary_tree_shape() {
+        let t = complete_kary_tree(3, 13);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.children(0), &[1, 2, 3]);
+        assert_eq!(t.children(1), &[4, 5, 6]);
+        assert_eq!(t.leaves().count(), 9);
+
+        let t = complete_kary_tree_of_depth(3, 2);
+        assert_eq!(t.n_switches(), 1 + 3 + 9);
+        assert_eq!(t.height(), 2);
+
+        let unary = complete_kary_tree(1, 5);
+        assert_eq!(unary.height(), 4);
+        assert_eq!(unary.leaves().count(), 1);
+    }
+
+    #[test]
+    fn path_and_star_and_caterpillar() {
+        let p = path(5);
+        assert_eq!(p.height(), 4);
+        assert_eq!(p.leaves().count(), 1);
+
+        let s = star(5);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.leaves().count(), 4);
+        assert_eq!(s.n_children(ROOT), 4);
+
+        let c = caterpillar(3, 2);
+        assert_eq!(c.n_switches(), 3 + 6);
+    }
+
+    #[test]
+    fn caterpillar_leaf_count_exact() {
+        // spine of 3: s0 - s1 - s2, each with 2 legs. The spine tail s2 has children
+        // (its legs), so leaves are exactly the 6 legs.
+        let c = caterpillar(3, 2);
+        assert_eq!(c.leaves().count(), 6);
+        let c = caterpillar(4, 0);
+        // A pure path of length 4: a single leaf.
+        assert_eq!(c.leaves().count(), 1);
+    }
+
+    #[test]
+    fn two_tier_shape() {
+        let t = two_tier_fat_tree(4, 8);
+        assert_eq!(t.n_switches(), 1 + 4 + 32);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaves().count(), 32);
+        for agg in t.children(ROOT) {
+            assert_eq!(t.n_children(*agg), 8);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_valid_and_deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t1 = random_tree(64, &mut rng);
+        t1.validate().unwrap();
+        assert_eq!(t1.n_switches(), 64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t2 = random_tree(64, &mut rng);
+        assert_eq!(t1, t2, "same seed must give the same tree");
+    }
+
+    #[test]
+    fn random_tree_bounded_degree_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = random_tree_bounded_degree(100, 3, &mut rng);
+        for v in t.node_ids() {
+            assert!(t.n_children(v) <= 3);
+        }
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn scale_free_tree_has_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = scale_free_tree_sf(128, &mut rng);
+        assert_eq!(t.n_switches(), 127);
+        t.validate().unwrap();
+        let deg = degrees(&t);
+        let max_deg = *deg.iter().max().unwrap();
+        // A preferential-attachment tree on 127 nodes reliably grows a hub far larger
+        // than the average degree (~2).
+        assert!(
+            max_deg >= 8,
+            "expected a hub of degree >= 8 in SF(128), got {max_deg}"
+        );
+    }
+
+    #[test]
+    fn scale_free_degree_ordering_helper() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = scale_free_tree(50, &mut rng);
+        let order = nodes_by_degree_desc(&t);
+        assert_eq!(order.len(), 50);
+        let deg = degrees(&t);
+        for w in order.windows(2) {
+            assert!(deg[w[0]] >= deg[w[1]]);
+        }
+    }
+
+    #[test]
+    fn degrees_count_children_plus_uplink() {
+        let t = star(4);
+        let deg = degrees(&t);
+        assert_eq!(deg[ROOT], 4); // 3 children + up-link to d
+        assert_eq!(deg[1], 1);
+    }
+}

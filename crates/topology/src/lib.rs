@@ -1,0 +1,78 @@
+//! # soar-topology
+//!
+//! Tree-network substrate used throughout the SOAR reproduction
+//! (Segal, Avin, Scalosub — *"SOAR: Minimizing Network Utilization with Bounded
+//! In-network Computing"*, CoNEXT 2021).
+//!
+//! The paper models a datacenter aggregation network as a **weighted tree**
+//! `T = (V, E, ω)` over a set of switches `S`, rooted at a designated switch `r`,
+//! with a destination server `d` attached above the root via the link `(r, d)`.
+//! Every switch `s` is connected to `L(s)` worker servers (its *load*), every link
+//! `e` has a rate `ω(e)` (messages per second) and a transmission time
+//! `ρ(e) = 1 / ω(e)`, and a subset `Λ ⊆ S` of switches is *available* to act as
+//! in-network aggregation points.
+//!
+//! This crate provides:
+//!
+//! * [`Tree`] — an arena-based representation of the rooted, weighted, loaded tree,
+//!   with the derived quantities the SOAR dynamic program needs (depths,
+//!   `ρ(v, Aᵉ_v)` prefix sums, traversal orders, subtree sizes, ...).
+//! * [`TreeBuilder`] — safe incremental construction of arbitrary trees.
+//! * [`builders`] — generators for the topologies used in the paper's evaluation:
+//!   complete binary trees `BT(n)`, complete k-ary trees, random trees,
+//!   random preferential-attachment (scale-free) trees `SF(n)`, paths, stars,
+//!   caterpillars and two-tier "fat-tree style" aggregation trees.
+//! * [`load`] — the load distributions of Sec. 5 (uniform `[4, 6]`, the power-law
+//!   distribution with mean 5, constant and point loads) and helpers for placing
+//!   load on leaves or on every switch.
+//! * [`rates`] — the link-rate schemes of Sec. 5 (constant, linearly increasing
+//!   towards the root, exponentially increasing towards the root) plus custom rates.
+//! * [`io`] — DOT export and a JSON-friendly serde representation.
+//!
+//! ## Conventions
+//!
+//! * Switches are identified by dense indices [`NodeId`] (`usize`); the root `r`
+//!   always has id [`ROOT`] (= 0).
+//! * The destination server `d` is *not* a node of the tree; it is represented by
+//!   the virtual parent of the root. The link `(r, d)` is stored as the root's
+//!   up-link, so every node — including the root — has exactly one up-link rate.
+//! * `D(v)` ("depth") is the hop distance from `v` to the root `r`, as in the paper.
+//!   The hop distance from `v` to the destination `d` is `D(v) + 1` and is exposed
+//!   as [`Tree::dist_to_dest`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use soar_topology::{builders, load::LoadSpec, rates::RateScheme};
+//!
+//! // The BT(256) topology of the paper: 255 switches, 128 leaf (ToR) switches.
+//! let mut tree = builders::complete_binary_tree_bt(256);
+//! assert_eq!(tree.n_switches(), 255);
+//! assert_eq!(tree.leaves().count(), 128);
+//!
+//! // Uniform integer load in [4, 6] on the leaves, constant unit rates.
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! tree.apply_leaf_loads(&LoadSpec::uniform(4, 6), &mut rng);
+//! tree.apply_rates(&RateScheme::Constant(1.0));
+//! assert!(tree.total_load() >= 4 * 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod io;
+pub mod load;
+pub mod rates;
+mod tree;
+
+pub use tree::{Node, NodeId, Tree, TreeBuilder, TreeError, ROOT};
+
+/// Convenient prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::builders;
+    pub use crate::load::{LoadPlacement, LoadSpec};
+    pub use crate::rates::RateScheme;
+    pub use crate::{Node, NodeId, Tree, TreeBuilder, ROOT};
+}

@@ -1,0 +1,420 @@
+//! Network-load generators: how many worker servers hang off each switch.
+//!
+//! Sec. 5 of the paper uses two randomized distributions for the load at the leaves of
+//! `BT(n)`:
+//!
+//! * **uniform** — an integer picked uniformly at random in `[4, 6]`
+//!   (mean 5, variance ≈ 0.66, the paper reports 0.65625);
+//! * **power-law** — a heavy-tailed integer distribution with mean 5, variance ≈ 97,
+//!   minimum 1 and maximum 63.
+//!
+//! The power-law is reproduced here as a truncated discrete power law
+//! `P(x) ∝ x^(-α)` on `{1, ..., 63}` whose exponent `α` is solved numerically so the
+//! mean matches the requested target (5 by default). Appendix B additionally uses a
+//! **constant** load of 1 on *every* switch of the scale-free topologies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Where load should be placed on the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadPlacement {
+    /// Only the leaf switches receive load (the ToR switches of the `BT(n)` scenarios).
+    Leaves,
+    /// Every switch receives load (the scale-free scenarios of Appendix B).
+    AllSwitches,
+}
+
+/// A specification of the per-switch load distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadSpec {
+    /// Every selected switch gets exactly this load.
+    Constant(u64),
+    /// Uniform integer load in `[min, max]` (inclusive).
+    Uniform {
+        /// Minimum load (inclusive).
+        min: u64,
+        /// Maximum load (inclusive).
+        max: u64,
+    },
+    /// Truncated discrete power law `P(x) ∝ x^(-alpha)` on `[min, max]`.
+    PowerLaw {
+        /// Minimum load (inclusive), at least 1.
+        min: u64,
+        /// Maximum load (inclusive).
+        max: u64,
+        /// Exponent `α > 0`.
+        alpha: f64,
+    },
+    /// All load concentrated on a single switch (index into the *selected* switches).
+    Point {
+        /// Index of the selected switch (e.g. the i-th leaf) that receives all load.
+        index: usize,
+        /// The load placed on that switch.
+        load: u64,
+    },
+    /// An explicit load value per selected switch, cycled if shorter than the selection.
+    Explicit(Vec<u64>),
+}
+
+impl LoadSpec {
+    /// Uniform integer load in `[min, max]`.
+    pub fn uniform(min: u64, max: u64) -> Self {
+        assert!(min <= max, "uniform load requires min <= max");
+        LoadSpec::Uniform { min, max }
+    }
+
+    /// The paper's uniform distribution: integers in `[4, 6]`, mean 5.
+    pub fn paper_uniform() -> Self {
+        LoadSpec::uniform(4, 6)
+    }
+
+    /// Truncated discrete power law with an explicit exponent.
+    pub fn power_law(min: u64, max: u64, alpha: f64) -> Self {
+        assert!(min >= 1, "power-law load requires min >= 1");
+        assert!(min <= max, "power-law load requires min <= max");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        LoadSpec::PowerLaw { min, max, alpha }
+    }
+
+    /// Truncated discrete power law on `[min, max]` whose exponent is solved so that
+    /// the distribution mean equals `target_mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target mean is not achievable on `[min, max]`.
+    pub fn power_law_with_mean(min: u64, max: u64, target_mean: f64) -> Self {
+        let alpha = solve_power_law_alpha(min, max, target_mean);
+        LoadSpec::PowerLaw { min, max, alpha }
+    }
+
+    /// The paper's power-law distribution: support `[1, 63]`, mean 5 (variance ≈ 97).
+    pub fn paper_power_law() -> Self {
+        LoadSpec::power_law_with_mean(1, 63, 5.0)
+    }
+
+    /// Draws one load value.
+    pub fn sample<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> u64 {
+        match self {
+            LoadSpec::Constant(c) => *c,
+            LoadSpec::Uniform { min, max } => rng.random_range(*min..=*max),
+            LoadSpec::PowerLaw { min, max, alpha } => {
+                sample_truncated_power_law(*min, *max, *alpha, rng)
+            }
+            LoadSpec::Point { index: i, load } => {
+                if index == *i {
+                    *load
+                } else {
+                    0
+                }
+            }
+            LoadSpec::Explicit(values) => {
+                if values.is_empty() {
+                    0
+                } else {
+                    values[index % values.len()]
+                }
+            }
+        }
+    }
+
+    /// Exact mean of the distribution (useful for normalisation and tests).
+    pub fn mean(&self) -> f64 {
+        match self {
+            LoadSpec::Constant(c) => *c as f64,
+            LoadSpec::Uniform { min, max } => (*min + *max) as f64 / 2.0,
+            LoadSpec::PowerLaw { min, max, alpha } => power_law_mean(*min, *max, *alpha),
+            LoadSpec::Point { load, .. } => *load as f64,
+            LoadSpec::Explicit(values) => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    values.iter().sum::<u64>() as f64 / values.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Exact variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        match self {
+            LoadSpec::Constant(_) | LoadSpec::Point { .. } => 0.0,
+            LoadSpec::Uniform { min, max } => {
+                // Discrete uniform over k = max - min + 1 consecutive integers.
+                let k = (*max - *min + 1) as f64;
+                (k * k - 1.0) / 12.0
+            }
+            LoadSpec::PowerLaw { min, max, alpha } => {
+                let mean = power_law_mean(*min, *max, *alpha);
+                let second = power_law_moment(*min, *max, *alpha, 2);
+                second - mean * mean
+            }
+            LoadSpec::Explicit(values) => {
+                if values.is_empty() {
+                    return 0.0;
+                }
+                let mean = self.mean();
+                values
+                    .iter()
+                    .map(|&v| {
+                        let d = v as f64 - mean;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    / values.len() as f64
+            }
+        }
+    }
+}
+
+/// The probability mass function of the truncated discrete power law, as a vector over
+/// the support `[min, max]`.
+fn power_law_pmf(min: u64, max: u64, alpha: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (min..=max).map(|x| (x as f64).powf(-alpha)).collect();
+    let z: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= z;
+    }
+    weights
+}
+
+fn power_law_moment(min: u64, max: u64, alpha: f64, power: u32) -> f64 {
+    power_law_pmf(min, max, alpha)
+        .iter()
+        .zip(min..=max)
+        .map(|(p, x)| p * (x as f64).powi(power as i32))
+        .sum()
+}
+
+fn power_law_mean(min: u64, max: u64, alpha: f64) -> f64 {
+    power_law_moment(min, max, alpha, 1)
+}
+
+/// Solves for the exponent `α` of the truncated discrete power law on `[min, max]` such
+/// that its mean equals `target_mean`, by bisection. The mean is strictly decreasing in
+/// `α`, so bisection on a bracketing interval converges.
+fn solve_power_law_alpha(min: u64, max: u64, target_mean: f64) -> f64 {
+    assert!(min >= 1 && min <= max);
+    let mean_lo_alpha = power_law_mean(min, max, 1e-9); // ~uniform: largest achievable mean
+    let mean_hi_alpha = power_law_mean(min, max, 16.0); // ~point mass at min: smallest mean
+    assert!(
+        target_mean <= mean_lo_alpha + 1e-9 && target_mean >= mean_hi_alpha - 1e-9,
+        "target mean {target_mean} is not achievable on [{min}, {max}] \
+         (achievable range is [{mean_hi_alpha:.4}, {mean_lo_alpha:.4}])"
+    );
+    let (mut lo, mut hi) = (1e-9_f64, 16.0_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if power_law_mean(min, max, mid) > target_mean {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Samples from the truncated discrete power law by inverse-transform over the PMF.
+fn sample_truncated_power_law<R: Rng + ?Sized>(min: u64, max: u64, alpha: f64, rng: &mut R) -> u64 {
+    let pmf = power_law_pmf(min, max, alpha);
+    let mut u: f64 = rng.random();
+    for (i, p) in pmf.iter().enumerate() {
+        if u < *p {
+            return min + i as u64;
+        }
+        u -= p;
+    }
+    max
+}
+
+impl crate::Tree {
+    /// Applies a load specification to the leaf switches (all other switches get load 0).
+    ///
+    /// This is the Sec. 5 setting, where leaves model ToR switches connected to racks
+    /// of servers.
+    pub fn apply_leaf_loads<R: Rng + ?Sized>(&mut self, spec: &LoadSpec, rng: &mut R) {
+        self.apply_loads(spec, LoadPlacement::Leaves, rng);
+    }
+
+    /// Applies a load specification according to the given placement.
+    pub fn apply_loads<R: Rng + ?Sized>(
+        &mut self,
+        spec: &LoadSpec,
+        placement: LoadPlacement,
+        rng: &mut R,
+    ) {
+        let selected: Vec<crate::NodeId> = match placement {
+            LoadPlacement::Leaves => self.leaves().collect(),
+            LoadPlacement::AllSwitches => self.node_ids().collect(),
+        };
+        // Reset everything, then assign to the selected switches.
+        for v in 0..self.n_switches() {
+            self.set_load(v, 0);
+        }
+        for (idx, v) in selected.into_iter().enumerate() {
+            let load = spec.sample(idx, rng);
+            self.set_load(v, load);
+        }
+    }
+
+    /// Draws a standalone load vector (without mutating the tree); entry `v` is the load
+    /// of switch `v`. Used by the multi-workload scenarios where many workloads share a
+    /// single topology.
+    pub fn draw_loads<R: Rng + ?Sized>(
+        &self,
+        spec: &LoadSpec,
+        placement: LoadPlacement,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let mut loads = vec![0u64; self.n_switches()];
+        let selected: Vec<crate::NodeId> = match placement {
+            LoadPlacement::Leaves => self.leaves().collect(),
+            LoadPlacement::AllSwitches => self.node_ids().collect(),
+        };
+        for (idx, v) in selected.into_iter().enumerate() {
+            loads[v] = spec.sample(idx, rng);
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_uniform_statistics() {
+        let spec = LoadSpec::paper_uniform();
+        assert!((spec.mean() - 5.0).abs() < 1e-12);
+        // Discrete uniform on {4,5,6} has variance 2/3 ≈ 0.667 (paper reports 0.65625,
+        // an empirical estimate).
+        assert!((spec.variance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_power_law_statistics() {
+        let spec = LoadSpec::paper_power_law();
+        assert!((spec.mean() - 5.0).abs() < 1e-6, "mean should be 5");
+        let var = spec.variance();
+        assert!(
+            (60.0..160.0).contains(&var),
+            "power-law variance should be heavy-tailed (paper: 97.1), got {var}"
+        );
+        if let LoadSpec::PowerLaw { min, max, alpha } = spec {
+            assert_eq!(min, 1);
+            assert_eq!(max, 63);
+            assert!(alpha > 1.0 && alpha < 2.5, "alpha should be moderate, got {alpha}");
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let uni = LoadSpec::paper_uniform();
+        let pl = LoadSpec::paper_power_law();
+        for i in 0..2_000 {
+            let u = uni.sample(i, &mut rng);
+            assert!((4..=6).contains(&u));
+            let p = pl.sample(i, &mut rng);
+            assert!((1..=63).contains(&p));
+        }
+    }
+
+    #[test]
+    fn empirical_means_close_to_exact() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for spec in [LoadSpec::paper_uniform(), LoadSpec::paper_power_law()] {
+            let n = 60_000;
+            let sum: u64 = (0..n).map(|i| spec.sample(i, &mut rng)).sum();
+            let emp_mean = sum as f64 / n as f64;
+            assert!(
+                (emp_mean - spec.mean()).abs() < 0.15,
+                "empirical mean {emp_mean} too far from exact {}",
+                spec.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_point_and_explicit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(LoadSpec::Constant(3).sample(10, &mut rng), 3);
+        assert_eq!(LoadSpec::Constant(3).mean(), 3.0);
+        assert_eq!(LoadSpec::Constant(3).variance(), 0.0);
+
+        let point = LoadSpec::Point { index: 2, load: 7 };
+        assert_eq!(point.sample(2, &mut rng), 7);
+        assert_eq!(point.sample(3, &mut rng), 0);
+
+        let expl = LoadSpec::Explicit(vec![2, 6, 5, 4]);
+        assert_eq!(expl.sample(0, &mut rng), 2);
+        assert_eq!(expl.sample(1, &mut rng), 6);
+        assert_eq!(expl.sample(5, &mut rng), 6); // cycles
+        assert!((expl.mean() - 4.25).abs() < 1e-12);
+        assert!(expl.variance() > 0.0);
+
+        let empty = LoadSpec::Explicit(vec![]);
+        assert_eq!(empty.sample(0, &mut rng), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+    }
+
+    #[test]
+    fn apply_leaf_loads_only_touches_leaves() {
+        let mut tree = builders::complete_binary_tree_bt(32);
+        let mut rng = StdRng::seed_from_u64(1);
+        tree.apply_leaf_loads(&LoadSpec::paper_uniform(), &mut rng);
+        for v in tree.node_ids() {
+            if tree.is_leaf(v) {
+                assert!((4..=6).contains(&tree.load(v)));
+            } else {
+                assert_eq!(tree.load(v), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_loads_on_all_switches() {
+        let mut tree = builders::scale_free_tree(64, &mut StdRng::seed_from_u64(2));
+        let mut rng = StdRng::seed_from_u64(3);
+        tree.apply_loads(&LoadSpec::Constant(1), LoadPlacement::AllSwitches, &mut rng);
+        assert_eq!(tree.total_load(), 64);
+    }
+
+    #[test]
+    fn apply_loads_resets_previous_loads() {
+        let mut tree = builders::complete_binary_tree(7);
+        tree.set_load(0, 99);
+        let mut rng = StdRng::seed_from_u64(4);
+        tree.apply_leaf_loads(&LoadSpec::Constant(1), &mut rng);
+        assert_eq!(tree.load(0), 0, "internal loads must be reset");
+        assert_eq!(tree.total_load(), 4);
+    }
+
+    #[test]
+    fn draw_loads_does_not_mutate() {
+        let tree = builders::complete_binary_tree(7);
+        let mut rng = StdRng::seed_from_u64(9);
+        let loads = tree.draw_loads(&LoadSpec::Constant(2), LoadPlacement::Leaves, &mut rng);
+        assert_eq!(loads.iter().sum::<u64>(), 8);
+        assert_eq!(tree.total_load(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unachievable_power_law_mean_panics() {
+        // Mean 50 on [1, 63] is not achievable with a decreasing power law.
+        let _ = LoadSpec::power_law_with_mean(1, 63, 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_min_above_max_panics() {
+        let _ = LoadSpec::uniform(7, 3);
+    }
+}

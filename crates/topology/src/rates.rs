@@ -1,0 +1,173 @@
+//! Link-rate schemes.
+//!
+//! Sec. 5 of the paper evaluates three scalings of the link rates `ω(e)`:
+//!
+//! * **constant** — every link has rate 1;
+//! * **linear** — the rate increases by 1 per level, starting from 1 at the leaf links
+//!   and growing towards the root (and the `(r, d)` link);
+//! * **exponential** — the rate doubles per level, starting from 1 at the leaf links.
+//!
+//! A link's *level* is measured from the bottom of the tree: the up-link of a switch at
+//! depth `D(v)` has level `h(T) - D(v)`, so the deepest switches' up-links have level 0
+//! (rate 1) and the root's `(r, d)` up-link has level `h(T)` — the fastest link, which
+//! matches the usual datacenter picture of faster links closer to the core.
+
+use crate::{NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// A scheme assigning a rate to every up-link of the tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateScheme {
+    /// Every link gets the same rate.
+    Constant(f64),
+    /// `ω = base + step · level`, with `level = h(T) − D(v)`.
+    LinearByLevel {
+        /// Rate of the deepest (leaf-side) links.
+        base: f64,
+        /// Additive increment per level towards the root.
+        step: f64,
+    },
+    /// `ω = base · factor^level`, with `level = h(T) − D(v)`.
+    ExponentialByLevel {
+        /// Rate of the deepest (leaf-side) links.
+        base: f64,
+        /// Multiplicative factor per level towards the root.
+        factor: f64,
+    },
+    /// Explicit per-switch rates; entry `v` is the rate of the up-link of switch `v`.
+    Explicit(Vec<f64>),
+}
+
+impl RateScheme {
+    /// The paper's constant scheme (`ω = 1`).
+    pub fn paper_constant() -> Self {
+        RateScheme::Constant(1.0)
+    }
+
+    /// The paper's linear scheme (`ω = i`, increasing by 1 per level from 1 at the leaves).
+    pub fn paper_linear() -> Self {
+        RateScheme::LinearByLevel { base: 1.0, step: 1.0 }
+    }
+
+    /// The paper's exponential scheme (`ω = 2^i`, doubling per level from 1 at the leaves).
+    pub fn paper_exponential() -> Self {
+        RateScheme::ExponentialByLevel { base: 1.0, factor: 2.0 }
+    }
+
+    /// The rate this scheme assigns to the up-link of switch `v` in `tree`.
+    pub fn rate_for(&self, tree: &Tree, v: NodeId) -> f64 {
+        let level = (tree.height() - tree.depth(v)) as f64;
+        match self {
+            RateScheme::Constant(r) => *r,
+            RateScheme::LinearByLevel { base, step } => base + step * level,
+            RateScheme::ExponentialByLevel { base, factor } => base * factor.powf(level),
+            RateScheme::Explicit(rates) => rates[v],
+        }
+    }
+
+    /// A short human-readable label, used by the benchmark harness when printing series.
+    pub fn label(&self) -> String {
+        match self {
+            RateScheme::Constant(r) => format!("constant(w={r})"),
+            RateScheme::LinearByLevel { base, step } => format!("linear(base={base},step={step})"),
+            RateScheme::ExponentialByLevel { base, factor } => {
+                format!("exponential(base={base},factor={factor})")
+            }
+            RateScheme::Explicit(_) => "explicit".to_string(),
+        }
+    }
+}
+
+impl Tree {
+    /// Applies a rate scheme to every up-link of the tree.
+    pub fn apply_rates(&mut self, scheme: &RateScheme) {
+        for v in 0..self.n_switches() {
+            let rate = scheme.rate_for(self, v);
+            self.set_rate(v, rate);
+        }
+    }
+
+    /// Returns a clone of this tree with the given rate scheme applied.
+    pub fn with_rates(&self, scheme: &RateScheme) -> Tree {
+        let mut t = self.clone();
+        t.apply_rates(scheme);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn constant_rates() {
+        let mut t = builders::complete_binary_tree(7);
+        t.apply_rates(&RateScheme::Constant(2.0));
+        for v in t.node_ids() {
+            assert_eq!(t.rate(v), 2.0);
+            assert_eq!(t.rho(v), 0.5);
+        }
+    }
+
+    #[test]
+    fn linear_rates_increase_towards_the_root() {
+        let mut t = builders::complete_binary_tree(7); // height 2
+        t.apply_rates(&RateScheme::paper_linear());
+        // Leaves (depth 2): level 0 → rate 1; depth 1: level 1 → rate 2; root: level 2 → rate 3.
+        assert_eq!(t.rate(3), 1.0);
+        assert_eq!(t.rate(1), 2.0);
+        assert_eq!(t.rate(0), 3.0);
+    }
+
+    #[test]
+    fn exponential_rates_double_per_level() {
+        let mut t = builders::complete_binary_tree_bt(256); // height 7
+        t.apply_rates(&RateScheme::paper_exponential());
+        let leaf = t.leaves().next().unwrap();
+        assert_eq!(t.rate(leaf), 1.0);
+        assert_eq!(t.rate(0), 128.0);
+        // Rates strictly decrease with depth.
+        for v in t.node_ids().skip(1) {
+            let p = t.parent(v).unwrap();
+            assert!(t.rate(p) > t.rate(v) || t.depth(p) == t.depth(v));
+        }
+    }
+
+    #[test]
+    fn explicit_rates() {
+        let mut t = builders::path(3);
+        t.apply_rates(&RateScheme::Explicit(vec![4.0, 2.0, 1.0]));
+        assert_eq!(t.rate(0), 4.0);
+        assert_eq!(t.rate(1), 2.0);
+        assert_eq!(t.rate(2), 1.0);
+    }
+
+    #[test]
+    fn with_rates_does_not_mutate_original() {
+        let t = builders::complete_binary_tree(7);
+        let t2 = t.with_rates(&RateScheme::Constant(5.0));
+        assert_eq!(t.rate(0), 1.0);
+        assert_eq!(t2.rate(0), 5.0);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert!(RateScheme::paper_constant().label().contains("constant"));
+        assert!(RateScheme::paper_linear().label().contains("linear"));
+        assert!(RateScheme::paper_exponential().label().contains("exponential"));
+        assert_eq!(RateScheme::Explicit(vec![1.0]).label(), "explicit");
+    }
+
+    #[test]
+    fn unequal_leaf_depths_still_get_positive_rates() {
+        // A caterpillar has leaves at several depths; the scheme keys off depth, so all
+        // rates stay positive and increase towards the root.
+        let mut t = builders::caterpillar(4, 1);
+        t.apply_rates(&RateScheme::paper_linear());
+        for v in t.node_ids() {
+            assert!(t.rate(v) >= 1.0);
+        }
+        assert!(t.rate(0) > t.rate(3));
+    }
+}

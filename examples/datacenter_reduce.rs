@@ -1,0 +1,76 @@
+//! A datacenter MapReduce scenario: word-count over a BT(256) aggregation tree.
+//!
+//! Reproduces, at example scale, the setting of Sec. 5.1/5.3: 128 top-of-rack switches
+//! each connected to a rack of servers (power-law sized), three link-rate regimes, and
+//! the WC (word count) application model to translate placements into actual bytes on
+//! the wire.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example datacenter_reduce
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar::apps::UseCase;
+use soar::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2021);
+
+    // BT(256): 255 switches, 128 ToR leaves, racks sized by the power-law distribution.
+    let mut tree = builders::complete_binary_tree_bt(256);
+    tree.apply_leaf_loads(&LoadSpec::paper_power_law(), &mut rng);
+
+    println!("== Datacenter reduce: BT(256), power-law racks ==");
+    println!(
+        "{} switches, {} ToR switches, {} worker servers\n",
+        tree.n_switches(),
+        tree.leaves().count(),
+        tree.total_load()
+    );
+
+    // How much does a small aggregation budget buy, under the three rate regimes?
+    for scheme in [
+        RateScheme::paper_constant(),
+        RateScheme::paper_linear(),
+        RateScheme::paper_exponential(),
+    ] {
+        let tree = tree.with_rates(&scheme);
+        let all_red = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
+        println!("-- link rates: {} --", scheme.label());
+        println!("all-red utilization: {all_red:.1}");
+        for k in [1usize, 4, 16, 32] {
+            let solution = soar::core::solve(&tree, k);
+            println!(
+                "  SOAR k = {k:>3}: utilization {:>10.1}  ({:.1}% of all-red, {} blue switches)",
+                solution.cost,
+                100.0 * solution.cost / all_red,
+                solution.blue_used
+            );
+        }
+        println!();
+    }
+
+    // Translate the constant-rate placements into bytes using the WC application model.
+    let tree = tree.with_rates(&RateScheme::paper_constant());
+    let use_case = UseCase::word_count_default();
+    let all_red = Coloring::all_red(tree.n_switches());
+    let red_bytes = use_case
+        .byte_report(&tree, &all_red, &mut StdRng::seed_from_u64(7))
+        .total_bytes;
+    println!("-- WC byte complexity (constant rates) --");
+    println!("all-red: {:.1} MB on the wire", red_bytes as f64 / 1e6);
+    for k in [4usize, 16, 64] {
+        let solution = soar::core::solve(&tree, k);
+        let bytes = use_case
+            .byte_report(&tree, &solution.coloring, &mut StdRng::seed_from_u64(7))
+            .total_bytes;
+        println!(
+            "SOAR k = {k:>3}: {:.1} MB on the wire ({:.1}% of all-red)",
+            bytes as f64 / 1e6,
+            100.0 * bytes as f64 / red_bytes as f64
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: solve the paper's motivating example (Fig. 2 / Fig. 3) end to end.
+//!
+//! Builds the 7-switch complete binary tree with leaf loads (2, 6, 5, 4), runs the
+//! contending placement strategies and SOAR for a range of budgets, and prints the
+//! resulting utilization complexities together with the optimal blue-node sets.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use soar::prelude::*;
+use soar::reduce::sim;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // The Fig. 2 instance: ToR switches with 2, 6, 5 and 4 attached servers.
+    // ------------------------------------------------------------------
+    let mut tree = builders::complete_binary_tree(7);
+    for (leaf, load) in [(3, 2u64), (4, 6), (5, 5), (6, 4)] {
+        tree.set_load(leaf, load);
+    }
+
+    println!("== SOAR quickstart: the paper's motivating example ==\n");
+    println!(
+        "tree: {} switches, height {}, total load {} workers",
+        tree.n_switches(),
+        tree.height(),
+        tree.total_load()
+    );
+
+    // ------------------------------------------------------------------
+    // Compare the strategies of Sec. 3 at budget k = 2 (Fig. 2).
+    // ------------------------------------------------------------------
+    let k = 2;
+    let mut rng = rand::rng();
+    println!("\n-- strategies at k = {k} (Fig. 2) --");
+    for strategy in [
+        Strategy::Top,
+        Strategy::MaxLoad,
+        Strategy::Level,
+        Strategy::Soar,
+    ] {
+        let solution = strategy.solve(&tree, k, &mut rng);
+        println!(
+            "{:<8} cost = {:>5.1}   blue = {:?}",
+            strategy.name(),
+            solution.cost,
+            solution.coloring.blue_nodes()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // The optimal cost-vs-budget curve (Fig. 3).
+    // ------------------------------------------------------------------
+    println!("\n-- optimal cost for k = 0..4 (Fig. 3) --");
+    for k in 0..=4 {
+        let solution = soar::core::solve(&tree, k);
+        println!(
+            "k = {k}: cost = {:>5.1}   blue = {:?}",
+            solution.cost,
+            solution.coloring.blue_nodes()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Execute the Reduce packet by packet over the optimal k = 2 placement.
+    // ------------------------------------------------------------------
+    let solution = soar::core::solve(&tree, 2);
+    let report = sim::simulate(&tree, &solution.coloring);
+    println!("\n-- packet-level simulation of the optimal k = 2 Reduce --");
+    println!("total link busy time (= phi): {:.1}", report.total_busy_time);
+    println!("completion time:              {:.1}", report.completion_time);
+    println!("bottleneck link busy time:    {:.1}", report.max_link_busy_time);
+    println!(
+        "messages at the destination:  {}",
+        report.messages_at_destination
+    );
+}

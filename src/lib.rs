@@ -1,0 +1,48 @@
+//! # soar
+//!
+//! Facade crate for the SOAR reproduction (Segal, Avin, Scalosub — *"SOAR: Minimizing
+//! Network Utilization with Bounded In-network Computing"*, CoNEXT 2021).
+//!
+//! It simply re-exports the workspace crates under one roof so applications can depend
+//! on a single package:
+//!
+//! * [`topology`] — tree networks, loads, link rates, topology generators;
+//! * [`reduce`] — the Reduce cost model (utilization, messages, bytes) and a
+//!   packet-level simulator;
+//! * [`core`] — the SOAR algorithm, the contending placement strategies and a
+//!   brute-force oracle;
+//! * [`apps`] — the word-count (WC) and parameter-server (PS) workload models;
+//! * [`multitenant`] — the online multi-workload allocation scenario;
+//! * [`dataplane`] — the distributed message-passing prototype.
+//!
+//! ```
+//! use soar::prelude::*;
+//!
+//! let mut tree = builders::complete_binary_tree(7);
+//! for (leaf, load) in [(3, 2), (4, 6), (5, 5), (6, 4)] {
+//!     tree.set_load(leaf, load);
+//! }
+//! let solution = soar::core::solve(&tree, 2);
+//! assert_eq!(solution.cost, 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use soar_apps as apps;
+pub use soar_core as core;
+pub use soar_dataplane as dataplane;
+pub use soar_multitenant as multitenant;
+pub use soar_reduce as reduce;
+pub use soar_topology as topology;
+
+/// One-stop prelude for examples and applications.
+pub mod prelude {
+    pub use soar_core::prelude::*;
+    pub use soar_core::Strategy;
+    pub use soar_reduce::{cost, Coloring};
+    pub use soar_topology::builders;
+    pub use soar_topology::load::{LoadPlacement, LoadSpec};
+    pub use soar_topology::rates::RateScheme;
+    pub use soar_topology::{Tree, TreeBuilder};
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests for the online multi-workload scenario (Sec. 5.2),
+//! checking the qualitative shape the paper reports in Fig. 7.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar::multitenant::{workloads::MixedWorkloadGenerator, OnlineAllocator, OnlineReport};
+use soar::prelude::*;
+
+fn run(
+    tree: &Tree,
+    workloads: &[Vec<u64>],
+    strategy: Strategy,
+    k: usize,
+    capacity: u32,
+) -> OnlineReport {
+    let mut allocator = OnlineAllocator::new(tree, k, capacity);
+    let mut rng = StdRng::seed_from_u64(42);
+    allocator.run_sequence(workloads, strategy, &mut rng)
+}
+
+/// More workloads over fixed capacity push the normalized utilization towards the
+/// all-red value of 1.0 (Fig. 7, top row).
+#[test]
+fn more_workloads_drift_towards_all_red() {
+    let tree = builders::complete_binary_tree_bt(64);
+    let generator = MixedWorkloadGenerator::paper_default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let workloads = generator.draw_sequence(&tree, 48, &mut rng);
+
+    let few = run(&tree, &workloads[..4], Strategy::Soar, 8, 2).normalized_total();
+    let many = run(&tree, &workloads, Strategy::Soar, 8, 2).normalized_total();
+    assert!(few < many, "serving more workloads ({many:.3}) must look worse than a few ({few:.3})");
+    assert!(many <= 1.0 + 1e-9);
+}
+
+/// Increasing the per-switch aggregation capacity improves (or at least never hurts)
+/// SOAR's normalized utilization (Fig. 7, bottom row).
+#[test]
+fn larger_capacity_never_hurts_soar() {
+    let tree = builders::complete_binary_tree_bt(64);
+    let generator = MixedWorkloadGenerator::paper_default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let workloads = generator.draw_sequence(&tree, 24, &mut rng);
+
+    let mut previous = f64::INFINITY;
+    for capacity in [1u32, 2, 4, 8, 16] {
+        let total = run(&tree, &workloads, Strategy::Soar, 8, capacity).normalized_total();
+        assert!(
+            total <= previous + 0.02,
+            "capacity {capacity}: {total:.3} should not exceed {previous:.3}"
+        );
+        previous = total;
+    }
+}
+
+/// SOAR is at least as good as every contending strategy on the whole sequence, for all
+/// three rate regimes (the qualitative claim of Fig. 7).
+#[test]
+fn soar_wins_online_across_rate_regimes() {
+    let base = builders::complete_binary_tree_bt(64);
+    let generator = MixedWorkloadGenerator::paper_default();
+    let mut rng = StdRng::seed_from_u64(12);
+    let workloads = generator.draw_sequence(&base, 16, &mut rng);
+
+    for scheme in [
+        RateScheme::paper_constant(),
+        RateScheme::paper_linear(),
+        RateScheme::paper_exponential(),
+    ] {
+        let tree = base.with_rates(&scheme);
+        let soar = run(&tree, &workloads, Strategy::Soar, 6, 4).normalized_total();
+        for strategy in [Strategy::Top, Strategy::MaxLoad, Strategy::Level] {
+            let other = run(&tree, &workloads, strategy, 6, 4).normalized_total();
+            assert!(
+                soar <= other + 1e-9,
+                "{}: SOAR {soar:.3} lost to {} {other:.3}",
+                scheme.label(),
+                strategy.name()
+            );
+        }
+    }
+}
+
+/// With unbounded capacity the online run equals solving every workload independently.
+#[test]
+fn unbounded_capacity_equals_offline_optimum() {
+    let tree = builders::complete_binary_tree_bt(32);
+    let generator = MixedWorkloadGenerator::paper_default();
+    let mut rng = StdRng::seed_from_u64(21);
+    let workloads = generator.draw_sequence(&tree, 8, &mut rng);
+    let report = run(&tree, &workloads, Strategy::Soar, 4, u32::MAX);
+    for (outcome, loads) in report.outcomes.iter().zip(&workloads) {
+        let offline = soar::core::solve(&tree.with_loads(loads), 4);
+        assert!((outcome.phi - offline.cost).abs() < 1e-9);
+    }
+}
+
+/// The total capacity consumed never exceeds what the switches offer, for any strategy.
+#[test]
+fn capacity_accounting_is_exact() {
+    let tree = builders::complete_binary_tree_bt(32);
+    let generator = MixedWorkloadGenerator::paper_default();
+    let mut rng = StdRng::seed_from_u64(31);
+    let workloads = generator.draw_sequence(&tree, 40, &mut rng);
+    for strategy in [Strategy::Soar, Strategy::MaxLoad, Strategy::Top, Strategy::Level] {
+        let mut allocator = OnlineAllocator::new(&tree, 5, 3);
+        let mut strategy_rng = StdRng::seed_from_u64(1);
+        let report = allocator.run_sequence(&workloads, strategy, &mut strategy_rng);
+        let mut used = vec![0u32; tree.n_switches()];
+        for outcome in &report.outcomes {
+            for v in outcome.coloring.iter_blue() {
+                used[v] += 1;
+            }
+        }
+        assert!(used.iter().all(|&u| u <= 3), "{} oversubscribed a switch", strategy.name());
+        assert_eq!(
+            allocator.capacities().total_residual(),
+            (tree.n_switches() as u64) * 3 - used.iter().map(|&u| u as u64).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end reproduction of the paper's worked examples (Figs. 1, 2, 3 and 5),
+//! exercised through the facade crate the way a downstream user would.
+
+use soar::prelude::*;
+use soar::reduce::sim;
+
+/// Fig. 1: five switches, six workers; all-red sends 14 messages, all-blue only 5.
+#[test]
+fn fig1_all_red_vs_all_blue() {
+    let mut builder = TreeBuilder::new();
+    let r = builder.root(1.0);
+    let a = builder.child_with(r, 1.0, 2, true).unwrap(); // x1, x2
+    let _b = builder.child_with(r, 1.0, 1, true).unwrap(); // x3
+    let mid = builder.child_with(r, 1.0, 1, true).unwrap(); // x4
+    let _c = builder.child_with(mid, 1.0, 2, true).unwrap(); // x5, x6
+    let tree = builder.build().unwrap();
+    assert_eq!(tree.total_load(), 6);
+    assert_eq!(tree.load(a), 2);
+
+    let n = tree.n_switches();
+    assert_eq!(cost::message_complexity(&tree, &Coloring::all_red(n)), 14);
+    assert_eq!(cost::message_complexity(&tree, &Coloring::all_blue(n)), 5);
+}
+
+fn fig2_tree() -> Tree {
+    let mut tree = builders::complete_binary_tree(7);
+    for (leaf, load) in [(3usize, 2u64), (4, 6), (5, 5), (6, 4)] {
+        tree.set_load(leaf, load);
+    }
+    tree
+}
+
+/// Fig. 2: the four strategies at k = 2 — Top 27/28, Max 24, Level 21, SOAR 20.
+#[test]
+fn fig2_strategy_comparison() {
+    let tree = fig2_tree();
+    let mut rng = rand::rng();
+    let soar = Strategy::Soar.solve(&tree, 2, &mut rng).cost;
+    let level = Strategy::Level.solve(&tree, 2, &mut rng).cost;
+    let max = Strategy::MaxLoad.solve(&tree, 2, &mut rng).cost;
+    let top = Strategy::Top.solve(&tree, 2, &mut rng).cost;
+
+    assert_eq!(soar, 20.0);
+    assert_eq!(level, 21.0);
+    assert_eq!(max, 24.0);
+    assert!(top >= 27.0, "Top should be the worst of the four (paper: 27)");
+    assert!(soar < level && level < max && max < top);
+}
+
+/// Fig. 3: the optimal utilization for k = 1..4 is 35, 20, 15, 11, and the optimal sets
+/// are not monotone in k.
+#[test]
+fn fig3_optimal_costs_and_non_monotone_sets() {
+    let tree = fig2_tree();
+    let costs: Vec<f64> = (0..=4).map(|k| soar::core::solve(&tree, k).cost).collect();
+    assert_eq!(costs, vec![51.0, 35.0, 20.0, 15.0, 11.0]);
+
+    // The unique optima for k = 2 and k = 3 share no common switch: the set of blue
+    // nodes is not monotone in the budget.
+    let k2: std::collections::BTreeSet<_> = soar::core::solve(&tree, 2)
+        .coloring
+        .blue_nodes()
+        .into_iter()
+        .collect();
+    let k3: std::collections::BTreeSet<_> = soar::core::solve(&tree, 3)
+        .coloring
+        .blue_nodes()
+        .into_iter()
+        .collect();
+    assert_eq!(k2, [2usize, 4].into_iter().collect());
+    assert_eq!(k3, [4usize, 5, 6].into_iter().collect());
+    assert!(!k2.is_subset(&k3) || k2 == k3, "k=2 optimum is not contained in the k=3 optimum");
+    assert_eq!(k2.intersection(&k3).count(), 1);
+}
+
+/// Fig. 5: the gather tables of the worked example, read through the public API.
+#[test]
+fn fig5_gather_tables() {
+    let tree = fig2_tree();
+    let tables = soar::core::soar_gather(&tree, 2);
+    // Left internal switch: X(ℓ=0, ·) = (8, 3, 2).
+    assert_eq!(tables.x(1, 0, 0), 8.0);
+    assert_eq!(tables.x(1, 0, 1), 3.0);
+    assert_eq!(tables.x(1, 0, 2), 2.0);
+    // Right internal switch: X(ℓ=0, ·) = (9, 5, 2).
+    assert_eq!(tables.x(2, 0, 0), 9.0);
+    assert_eq!(tables.x(2, 0, 1), 5.0);
+    assert_eq!(tables.x(2, 0, 2), 2.0);
+    // Destination view: the optimum with two blue nodes is 20.
+    assert_eq!(tables.optimum_with_exactly(2), 20.0);
+}
+
+/// The packet-level simulator and the closed form agree on every placement of Fig. 2,
+/// and completion time behaves sensibly (all-blue completes earlier than all-red).
+#[test]
+fn fig2_simulation_cross_check() {
+    let tree = fig2_tree();
+    let n = tree.n_switches();
+    let colorings = vec![
+        Coloring::all_red(n),
+        Coloring::all_blue(n),
+        soar::core::solve(&tree, 2).coloring,
+    ];
+    for coloring in &colorings {
+        let report = sim::simulate(&tree, coloring);
+        assert!((report.total_busy_time - cost::phi(&tree, coloring)).abs() < 1e-9);
+        assert_eq!(report.per_edge_messages, cost::msg_counts(&tree, coloring));
+    }
+    let red = sim::simulate(&tree, &colorings[0]);
+    let blue = sim::simulate(&tree, &colorings[1]);
+    assert!(blue.completion_time < red.completion_time);
+}
+
+/// The distributed dataplane prototype reaches the same Fig. 2 optimum as the
+/// centralized solver.
+#[test]
+fn fig2_distributed_prototype() {
+    let tree = fig2_tree();
+    let report = soar::dataplane::run_inline(&tree, 2);
+    assert_eq!(report.claimed_cost, 20.0);
+    let mut blues = report.coloring.blue_nodes();
+    blues.sort_unstable();
+    assert_eq!(blues, vec![2, 4]);
+    assert_eq!(report.destination_contributors, 17);
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests for the WC / PS application study (Sec. 5.3, Fig. 8):
+//! utilization is application-agnostic, byte complexity is not, and the qualitative
+//! ordering between the two use cases holds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar::apps::UseCase;
+use soar::prelude::*;
+
+fn loaded_bt(n: usize, seed: u64) -> Tree {
+    let mut tree = builders::complete_binary_tree_bt(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    tree.apply_leaf_loads(&LoadSpec::paper_uniform(), &mut rng);
+    tree
+}
+
+/// The utilization curve (Fig. 8a) does not depend on the application — it is a
+/// property of the placement alone.
+#[test]
+fn utilization_is_application_agnostic() {
+    let tree = loaded_bt(64, 1);
+    for k in [1usize, 4, 8] {
+        let solution = soar::core::solve(&tree, k);
+        // Both use cases see exactly the same message counts for the same coloring.
+        let wc = UseCase::word_count_default().byte_report(
+            &tree,
+            &solution.coloring,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let ps = UseCase::parameter_server_default().byte_report(
+            &tree,
+            &solution.coloring,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(wc.total_messages, ps.total_messages);
+        assert_eq!(wc.per_edge_messages, cost::msg_counts(&tree, &solution.coloring));
+    }
+}
+
+/// Byte complexity improves monotonically (within tolerance) with the budget for both
+/// use cases, and SOAR with a few blue nodes already beats all-red substantially.
+#[test]
+fn byte_complexity_improves_with_budget() {
+    let tree = loaded_bt(64, 2);
+    let all_red = Coloring::all_red(tree.n_switches());
+    for use_case in [
+        UseCase::word_count_default(),
+        UseCase::parameter_server_default(),
+    ] {
+        let baseline = use_case
+            .byte_report(&tree, &all_red, &mut StdRng::seed_from_u64(11))
+            .total_bytes as f64;
+        let mut previous = f64::INFINITY;
+        for k in [0usize, 2, 4, 8, 16] {
+            let solution = soar::core::solve(&tree, k);
+            let bytes = use_case
+                .byte_report(&tree, &solution.coloring, &mut StdRng::seed_from_u64(11))
+                .total_bytes as f64;
+            let normalized = bytes / baseline;
+            assert!(
+                normalized <= previous * 1.05,
+                "{}: k = {k} normalized bytes {normalized:.3} regressed vs {previous:.3}",
+                use_case.label()
+            );
+            previous = normalized;
+        }
+        assert!(
+            previous < 0.75,
+            "{}: 16 blue nodes should cut at least a quarter of the bytes",
+            use_case.label()
+        );
+    }
+}
+
+/// The WC use case approaches the all-blue byte complexity faster than PS does
+/// (Fig. 8c): aggregating word-count dictionaries early removes duplicate keys, while
+/// PS gradients barely shrink.
+#[test]
+fn wc_approaches_all_blue_faster_than_ps() {
+    let tree = loaded_bt(64, 3);
+    let k = 8;
+    let solution = soar::core::solve(&tree, k);
+    let all_blue = Coloring::all_blue(tree.n_switches());
+
+    let ratio = |use_case: &UseCase| {
+        let soar_bytes = use_case
+            .byte_report(&tree, &solution.coloring, &mut StdRng::seed_from_u64(17))
+            .total_bytes as f64;
+        let blue_bytes = use_case
+            .byte_report(&tree, &all_blue, &mut StdRng::seed_from_u64(17))
+            .total_bytes as f64;
+        soar_bytes / blue_bytes
+    };
+
+    let wc_ratio = ratio(&UseCase::word_count_default());
+    let ps_ratio = ratio(&UseCase::parameter_server_default());
+    assert!(
+        wc_ratio < ps_ratio,
+        "WC (ratio {wc_ratio:.2}) should sit closer to all-blue than PS (ratio {ps_ratio:.2})"
+    );
+}
+
+/// Under the power-law load distribution SOAR's utilization savings are larger than
+/// under the uniform distribution (the skewness effect discussed around Fig. 8a).
+#[test]
+fn power_law_loads_benefit_more_than_uniform() {
+    let k = 4;
+    let mut uniform_norm = 0.0;
+    let mut power_norm = 0.0;
+    for seed in 0..5u64 {
+        let mut uniform_tree = builders::complete_binary_tree_bt(128);
+        let mut power_tree = builders::complete_binary_tree_bt(128);
+        let mut rng_u = StdRng::seed_from_u64(seed);
+        let mut rng_p = StdRng::seed_from_u64(seed + 100);
+        uniform_tree.apply_leaf_loads(&LoadSpec::paper_uniform(), &mut rng_u);
+        power_tree.apply_leaf_loads(&LoadSpec::paper_power_law(), &mut rng_p);
+        uniform_norm += soar::core::solve(&uniform_tree, k).normalized_cost(&uniform_tree);
+        power_norm += soar::core::solve(&power_tree, k).normalized_cost(&power_tree);
+    }
+    assert!(
+        power_norm < uniform_norm,
+        "power-law ({:.3}) should benefit more than uniform ({:.3})",
+        power_norm / 5.0,
+        uniform_norm / 5.0
+    );
+}
