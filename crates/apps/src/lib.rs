@@ -118,7 +118,11 @@ mod tests {
         ] {
             let mut rng = StdRng::seed_from_u64(7);
             let report = use_case.byte_report(&tree, &coloring, &mut rng);
-            assert!(report.total_bytes > 0, "{} produced no bytes", use_case.label());
+            assert!(
+                report.total_bytes > 0,
+                "{} produced no bytes",
+                use_case.label()
+            );
             assert_eq!(
                 report.total_messages,
                 soar_reduce::cost::message_complexity(&tree, &coloring)

@@ -99,7 +99,11 @@ impl ParameterServerModel {
     }
 
     /// Overrides the sparse / dense encoding sizes.
-    pub fn with_encoding(mut self, bytes_per_sparse_entry: u64, bytes_per_dense_value: u64) -> Self {
+    pub fn with_encoding(
+        mut self,
+        bytes_per_sparse_entry: u64,
+        bytes_per_dense_value: u64,
+    ) -> Self {
         self.bytes_per_sparse_entry = bytes_per_sparse_entry;
         self.bytes_per_dense_value = bytes_per_dense_value;
         self
@@ -222,7 +226,10 @@ mod tests {
         );
         let leaf_bytes = report.per_edge_bytes[3] as f64;
         let root_bytes = report.per_edge_bytes[0] as f64;
-        assert!(root_bytes <= 2.0 * leaf_bytes, "PS aggregates must not balloon");
+        assert!(
+            root_bytes <= 2.0 * leaf_bytes,
+            "PS aggregates must not balloon"
+        );
     }
 
     #[test]

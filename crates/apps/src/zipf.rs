@@ -23,7 +23,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not a finite non-negative number.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one item");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {
@@ -132,7 +135,7 @@ mod tests {
         let few = z.expected_distinct(10);
         let many = z.expected_distinct(10_000);
         assert!(few < many);
-        assert!(few >= 1.0 && few <= 10.0);
+        assert!((1.0..=10.0).contains(&few));
         assert!(many <= 1000.0);
     }
 

@@ -1,0 +1,89 @@
+//! Batch-solving bench: the parallel `solve_batch` / `sweep_budgets_batch` fan-out
+//! of the unified Instance/Solver API versus sequential per-instance solves, and
+//! the single-gather budget sweep versus per-budget gathers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soar_bench::instances::{bt_scenario, LoadKind};
+use soar_core::api::{
+    solve_batch, sweep_budgets, sweep_budgets_batch, Instance, SoarSolver, Solver,
+};
+use soar_topology::rates::RateScheme;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn instance_set(count: u64, n: usize, k: usize) -> Vec<Instance> {
+    (0..count)
+        .map(|seed| {
+            bt_scenario(
+                n,
+                LoadKind::PowerLaw,
+                &RateScheme::paper_constant(),
+                seed,
+                k,
+            )
+        })
+        .collect()
+}
+
+fn parallel_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for &count in &[8u64, 16] {
+        let instances = instance_set(count, 128, 16);
+        group.bench_with_input(
+            BenchmarkId::new("parallel", count),
+            &instances,
+            |b, instances| b.iter(|| black_box(solve_batch(&SoarSolver, instances))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential", count),
+            &instances,
+            |b, instances| {
+                b.iter(|| {
+                    black_box(
+                        instances
+                            .iter()
+                            .map(|instance| SoarSolver.solve(instance))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn budget_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_budgets");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    let budgets = [1usize, 2, 4, 8, 16, 32];
+    let instance = instance_set(1, 256, 32).pop().expect("one instance");
+    group.bench_function("shared_gather", |b| {
+        b.iter(|| black_box(sweep_budgets(&instance, &budgets)))
+    });
+    group.bench_function("per_budget_gathers", |b| {
+        b.iter(|| {
+            black_box(
+                budgets
+                    .iter()
+                    .map(|&k| SoarSolver.solve(&instance.with_budget(k)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+
+    let instances = instance_set(8, 128, 16);
+    group.bench_function("batch_of_sweeps", |b| {
+        b.iter(|| black_box(sweep_budgets_batch(&instances, &budgets)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, parallel_batch, budget_sweep);
+criterion_main!(benches);

@@ -33,7 +33,9 @@ fn parse_args() -> Options {
             "--paper" => config = ExperimentConfig::paper(),
             "--reps" => {
                 let value = args.next().unwrap_or_else(|| usage("--reps needs a value"));
-                config.repetitions = value.parse().unwrap_or_else(|_| usage("--reps needs a number"));
+                config.repetitions = value
+                    .parse()
+                    .unwrap_or_else(|_| usage("--reps needs a number"));
             }
             "--csv" => csv = true,
             "--help" | "-h" => usage(""),
@@ -88,7 +90,11 @@ fn main() {
         "running figures {:?} ({} repetitions, {})",
         options.figures,
         config.repetitions,
-        if config.paper_scale { "paper-scale instances" } else { "quick instances" }
+        if config.paper_scale {
+            "paper-scale instances"
+        } else {
+            "quick instances"
+        }
     );
 
     for figure in &options.figures {

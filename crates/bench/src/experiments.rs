@@ -5,18 +5,23 @@
 //! to the paper's reported numbers. All experiments accept an [`ExperimentConfig`] so
 //! that a *quick* variant (smaller trees / fewer repetitions, suitable for CI and for
 //! `cargo test`) and the *paper-scale* variant share the same code path.
+//!
+//! The experiments are written against the unified `soar_core::api` layer: scenarios
+//! are [`Instance`]s (see [`crate::instances`]), contenders are [`Solver`]s resolved
+//! from the registry, and budget curves come from [`sweep_budgets`], which shares one
+//! SOAR-Gather pass across all budgets of a sweep.
 
-use crate::instances::{bt_instance, rate_schemes, sf_instance, LoadKind};
+use crate::instances::{bt_scenario, rate_schemes, sf_scenario, LoadKind};
 use crate::series::{Chart, Series};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use soar_apps::UseCase;
-use soar_core::{solve_with_tables, Strategy};
+use soar_core::api::{sweep_budgets, Instance, SoarSolver, Solver, StrategySolver};
+use soar_core::Strategy;
 use soar_multitenant::{workloads::MixedWorkloadGenerator, OnlineAllocator};
-use soar_reduce::{cost, Coloring};
+use soar_reduce::Coloring;
 use soar_topology::builders;
 use soar_topology::Tree;
-use std::time::Instant;
 
 /// Knobs shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,8 +82,7 @@ fn fig2_tree() -> Tree {
 
 /// Fig. 2: the motivating example — utilization of the four strategies at `k = 2`.
 pub fn fig2() -> Chart {
-    let tree = fig2_tree();
-    let mut rng = StdRng::seed_from_u64(0);
+    let instance = Instance::from_tree(&fig2_tree(), 2).with_label("fig2");
     let mut chart = Chart::new(
         "Fig. 2: motivating example (7 switches, loads 2/6/5/4, k = 2)",
         "k",
@@ -90,24 +94,26 @@ pub fn fig2() -> Chart {
         Strategy::Level,
         Strategy::Soar,
     ] {
+        let report = StrategySolver::new(strategy).solve(&instance);
         let mut series = Series::new(strategy.name());
-        series.push(2.0, strategy.solve(&tree, 2, &mut rng).cost);
+        series.push(2.0, report.solution.cost);
         chart.push(series);
     }
     chart
 }
 
-/// Fig. 3: optimal utilization of the motivating example for `k = 0..4`.
+/// Fig. 3: optimal utilization of the motivating example for `k = 0..4` — a single
+/// gather pass via [`sweep_budgets`].
 pub fn fig3() -> Chart {
-    let tree = fig2_tree();
+    let instance = Instance::from_tree(&fig2_tree(), 4).with_label("fig3");
     let mut chart = Chart::new(
         "Fig. 3: optimal utilization vs. budget on the motivating example",
         "k",
         "utilization complexity",
     );
     let mut series = Series::new("SOAR (optimal)");
-    for k in 0..=4usize {
-        series.push(k as f64, soar_core::solve(&tree, k).cost);
+    for report in sweep_budgets(&instance, &[0, 1, 2, 3, 4]) {
+        series.push(report.solution.budget as f64, report.solution.cost);
     }
     chart.push(series);
     chart
@@ -141,13 +147,15 @@ pub fn fig6(config: &ExperimentConfig) -> Vec<Chart> {
                 let mut blue_acc = 0.0;
                 let mut acc = vec![0.0; FIG_STRATEGIES.len()];
                 for rep in 0..config.repetitions {
-                    let tree = bt_instance(config.bt_size(), load, &scheme, rep * 31 + k as u64);
-                    let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-                    blue_acc +=
-                        cost::phi(&tree, &Coloring::all_blue(tree.n_switches())) / baseline;
-                    let mut rng = StdRng::seed_from_u64(rep);
+                    let instance =
+                        bt_scenario(config.bt_size(), load, &scheme, rep * 31 + k as u64, k);
+                    blue_acc += StrategySolver::new(Strategy::AllBlue)
+                        .solve(&instance)
+                        .normalized_cost;
                     for (idx, strategy) in FIG_STRATEGIES.iter().enumerate() {
-                        acc[idx] += strategy.solve(&tree, k, &mut rng).cost / baseline;
+                        acc[idx] += StrategySolver::new(*strategy)
+                            .solve(&instance)
+                            .normalized_cost;
                     }
                 }
                 let reps = config.repetitions as f64;
@@ -180,12 +188,18 @@ pub fn fig7(config: &ExperimentConfig) -> Vec<Chart> {
     let mut charts = Vec::new();
 
     for scheme in rate_schemes() {
-        let base = bt_instance(n, LoadKind::Uniform, &scheme, 0).with_loads(&vec![0; n - 1]);
+        // The shared topology carries no load of its own (workloads bring theirs);
+        // build it directly instead of drawing-and-discarding a loaded scenario.
+        let mut base = builders::complete_binary_tree_bt(n);
+        base.apply_rates(&scheme);
         let generator = MixedWorkloadGenerator::paper_default();
 
         // Sweep 1: number of workloads at capacity 4.
         let mut chart = Chart::new(
-            format!("Fig. 7 (top): workloads sweep, {} rates, capacity 4", scheme.label()),
+            format!(
+                "Fig. 7 (top): workloads sweep, {} rates, capacity 4",
+                scheme.label()
+            ),
             "workloads",
             "network utilization (normalized to all-red)",
         );
@@ -198,9 +212,8 @@ pub fn fig7(config: &ExperimentConfig) -> Vec<Chart> {
                 let workloads = generator.draw_sequence(&base, count, &mut rng);
                 for (idx, strategy) in strategies.iter().enumerate() {
                     let mut allocator = OnlineAllocator::new(&base, k, 4);
-                    let mut srng = StdRng::seed_from_u64(rep);
                     acc[idx] += allocator
-                        .run_sequence(&workloads, *strategy, &mut srng)
+                        .run_sequence_with(&workloads, &StrategySolver::new(*strategy))
                         .normalized_total();
                 }
             }
@@ -233,9 +246,8 @@ pub fn fig7(config: &ExperimentConfig) -> Vec<Chart> {
                 let workloads = generator.draw_sequence(&base, 32, &mut rng);
                 for (idx, strategy) in strategies.iter().enumerate() {
                     let mut allocator = OnlineAllocator::new(&base, k, capacity);
-                    let mut srng = StdRng::seed_from_u64(rep);
                     acc[idx] += allocator
-                        .run_sequence(&workloads, *strategy, &mut srng)
+                        .run_sequence_with(&workloads, &StrategySolver::new(*strategy))
                         .normalized_total();
                 }
             }
@@ -290,22 +302,22 @@ pub fn fig8(config: &ExperimentConfig) -> Vec<Chart> {
                 let mut red_acc = 0.0;
                 let mut blue_acc = 0.0;
                 for rep in 0..config.repetitions {
-                    let tree = bt_instance(n, load, &scheme, rep * 97 + k as u64);
-                    let solution = soar_core::solve(&tree, k);
-                    let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-                    util_acc += solution.cost / baseline;
+                    let instance = bt_scenario(n, load, &scheme, rep * 97 + k as u64, k);
+                    let report = SoarSolver.solve(&instance);
+                    util_acc += report.normalized_cost;
 
+                    let tree = instance.tree();
                     let mut rng = StdRng::seed_from_u64(rep);
                     let soar_bytes = use_case
-                        .byte_report(&tree, &solution.coloring, &mut rng)
+                        .byte_report(tree, &report.solution.coloring, &mut rng)
                         .total_bytes as f64;
                     let mut rng = StdRng::seed_from_u64(rep);
                     let red_bytes = use_case
-                        .byte_report(&tree, &Coloring::all_red(tree.n_switches()), &mut rng)
+                        .byte_report(tree, &Coloring::all_red(tree.n_switches()), &mut rng)
                         .total_bytes as f64;
                     let mut rng = StdRng::seed_from_u64(rep);
                     let blue_bytes = use_case
-                        .byte_report(&tree, &Coloring::all_blue(tree.n_switches()), &mut rng)
+                        .byte_report(tree, &Coloring::all_blue(tree.n_switches()), &mut rng)
                         .total_bytes as f64;
                     red_acc += soar_bytes / red_bytes;
                     blue_acc += soar_bytes / blue_bytes;
@@ -323,8 +335,9 @@ pub fn fig8(config: &ExperimentConfig) -> Vec<Chart> {
     vec![utilization, bytes_vs_red, bytes_vs_blue]
 }
 
-/// Fig. 9: wall-clock running time of SOAR-Gather for growing network sizes and
-/// budgets (power-law load, 10 repetitions in the paper).
+/// Fig. 9: wall-clock running time of SOAR for growing network sizes and budgets
+/// (power-law load), read straight from the [`SolveReport`](soar_core::api::SolveReport)
+/// wall times.
 pub fn fig9(config: &ExperimentConfig) -> Chart {
     let sizes: Vec<usize> = if config.paper_scale {
         vec![256, 512, 1024, 2048]
@@ -336,31 +349,76 @@ pub fn fig9(config: &ExperimentConfig) -> Chart {
     } else {
         vec![4, 8, 16, 32]
     };
-    let mut chart = Chart::new(
-        "Fig. 9: SOAR-Gather running time (seconds)",
-        "k",
-        "gather time [s]",
-    );
+    let mut chart = Chart::new("Fig. 9: SOAR solve time (seconds)", "k", "solve time [s]");
     for &n in &sizes {
         let mut series = Series::new(format!("Size {n}"));
         for &k in &budgets {
             let mut total = 0.0;
             for rep in 0..config.repetitions {
-                let tree = bt_instance(
+                let instance = bt_scenario(
                     n,
                     LoadKind::PowerLaw,
                     &soar_topology::rates::RateScheme::paper_constant(),
                     rep * 3 + n as u64,
+                    k,
                 );
-                let start = Instant::now();
-                let tables = soar_core::soar_gather(&tree, k);
-                total += start.elapsed().as_secs_f64();
-                std::hint::black_box(tables.optimum());
+                let report = SoarSolver.solve(&instance);
+                total += report.wall_time.as_secs_f64();
+                std::hint::black_box(report.solution.cost);
             }
             series.push(k as f64, total / config.repetitions as f64);
         }
         chart.push(series);
     }
+    chart
+}
+
+/// The scaling budgets of Figs. 10a / 11c: `{1 % n, log₂ n, √n}`.
+fn scaling_budgets(n: usize) -> [usize; 3] {
+    [
+        ((n as f64) * 0.01).round().max(1.0) as usize,
+        (n as f64).log2().round() as usize,
+        (n as f64).sqrt().round() as usize,
+    ]
+}
+
+/// Shared body of Figs. 10a and 11c: normalized utilization for the scaling budgets
+/// on growing instances, one [`sweep_budgets`] pass per instance.
+fn scaling_chart(
+    title: &str,
+    exponents: &[u32],
+    repetitions: u64,
+    make_instance: impl Fn(usize, u32, u64) -> Instance,
+) -> Chart {
+    let mut chart = Chart::new(title, "n", "network utilization (normalized to all-red)");
+    let mut blue = Series::new("All blue");
+    let mut one_percent = Series::new("k = 1% of n");
+    let mut log_n = Series::new("k = log2 n");
+    let mut sqrt_n = Series::new("k = sqrt n");
+    for &exp in exponents {
+        let n = 2usize.pow(exp);
+        let budgets = scaling_budgets(n);
+        let mut acc = [0.0f64; 3];
+        let mut blue_acc = 0.0;
+        for rep in 0..repetitions {
+            let instance = make_instance(n, exp, rep);
+            blue_acc += StrategySolver::new(Strategy::AllBlue)
+                .solve(&instance)
+                .normalized_cost;
+            for (idx, report) in sweep_budgets(&instance, &budgets).iter().enumerate() {
+                acc[idx] += report.normalized_cost;
+            }
+        }
+        let reps = repetitions as f64;
+        one_percent.push(n as f64, acc[0] / reps);
+        log_n.push(n as f64, acc[1] / reps);
+        sqrt_n.push(n as f64, acc[2] / reps);
+        blue.push(n as f64, blue_acc / reps);
+    }
+    chart.push(blue);
+    chart.push(one_percent);
+    chart.push(log_n);
+    chart.push(sqrt_n);
     chart
 }
 
@@ -372,48 +430,20 @@ pub fn fig10_scaling(config: &ExperimentConfig) -> Chart {
     } else {
         (8..=10).collect()
     };
-    let mut chart = Chart::new(
+    scaling_chart(
         "Fig. 10a: scaling of SOAR on BT(n), power-law load",
-        "n",
-        "network utilization (normalized to all-red)",
-    );
-    let mut blue = Series::new("All blue");
-    let mut one_percent = Series::new("k = 1% of n");
-    let mut log_n = Series::new("k = log2 n");
-    let mut sqrt_n = Series::new("k = sqrt n");
-    for &exp in &exponents {
-        let n = 2usize.pow(exp);
-        let budgets = [
-            ((n as f64) * 0.01).round().max(1.0) as usize,
-            (n as f64).log2().round() as usize,
-            (n as f64).sqrt().round() as usize,
-        ];
-        let mut acc = [0.0f64; 3];
-        let mut blue_acc = 0.0;
-        for rep in 0..config.repetitions {
-            let tree = bt_instance(
+        &exponents,
+        config.repetitions,
+        |n, exp, rep| {
+            bt_scenario(
                 n,
                 LoadKind::PowerLaw,
                 &soar_topology::rates::RateScheme::paper_constant(),
                 rep * 19 + exp as u64,
-            );
-            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-            blue_acc += cost::phi(&tree, &Coloring::all_blue(tree.n_switches())) / baseline;
-            for (idx, &k) in budgets.iter().enumerate() {
-                acc[idx] += soar_core::solve(&tree, k).cost / baseline;
-            }
-        }
-        let reps = config.repetitions as f64;
-        one_percent.push(n as f64, acc[0] / reps);
-        log_n.push(n as f64, acc[1] / reps);
-        sqrt_n.push(n as f64, acc[2] / reps);
-        blue.push(n as f64, blue_acc / reps);
-    }
-    chart.push(blue);
-    chart.push(one_percent);
-    chart.push(log_n);
-    chart.push(sqrt_n);
-    chart
+                0,
+            )
+        },
+    )
 }
 
 /// Fig. 10b (Appendix A): the smallest fraction of blue nodes (in %) needed to reach a
@@ -436,25 +466,24 @@ pub fn fig10_required_fraction(config: &ExperimentConfig) -> Chart {
         .collect();
     for &exp in &exponents {
         let n = 2usize.pow(exp);
-        // Search budgets up to 6% of the network; the paper's curves stay below 5%.
-        let k_max = ((n as f64) * 0.06).ceil() as usize;
+        // Search budgets up to 8% of the network; the paper's curves stay below 5%,
+        // but a single repetition of the heavy-tailed load needs some headroom.
+        let k_max = ((n as f64) * 0.08).ceil() as usize;
+        let all_budgets: Vec<usize> = (0..=k_max).collect();
         let mut acc = [0.0f64; 3];
         for rep in 0..config.repetitions {
-            let tree = bt_instance(
+            let instance = bt_scenario(
                 n,
                 LoadKind::PowerLaw,
                 &soar_topology::rates::RateScheme::paper_constant(),
                 rep * 23 + exp as u64,
+                k_max,
             );
-            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-            let (_, tables) = solve_with_tables(&tree, k_max);
-            // Prefix minimum over exact budgets = optimum with "at most i" nodes.
-            let mut best_so_far = f64::INFINITY;
-            let curve: Vec<f64> = (0..=k_max)
-                .map(|i| {
-                    best_so_far = best_so_far.min(tables.optimum_with_exactly(i));
-                    best_so_far / baseline
-                })
+            // One gather pass; the sweep's per-budget optima already carry the
+            // "at most k" (prefix-minimum) semantics.
+            let curve: Vec<f64> = sweep_budgets(&instance, &all_budgets)
+                .iter()
+                .map(|report| report.normalized_cost)
                 .collect();
             for (t_idx, target) in targets.iter().enumerate() {
                 let needed = curve
@@ -483,15 +512,15 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Chart> {
         "k",
         "utilization complexity",
     );
-    let tree = sf_instance(128, 42);
-    let mut rng = StdRng::seed_from_u64(0);
+    let instance = sf_scenario(128, 42, 4);
     for strategy in [Strategy::MaxDegree, Strategy::Soar] {
+        let report = StrategySolver::new(strategy).solve(&instance);
         let mut series = Series::new(strategy.name());
-        series.push(4.0, strategy.solve(&tree, 4, &mut rng).cost);
+        series.push(4.0, report.solution.cost);
         example.push(series);
     }
     let mut all_red = Series::new("All red");
-    all_red.push(4.0, cost::phi(&tree, &Coloring::all_red(tree.n_switches())));
+    all_red.push(4.0, instance.all_red_cost());
     example.push(all_red);
 
     // Scaling.
@@ -500,47 +529,19 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Chart> {
     } else {
         (8..=10).collect()
     };
-    let mut scaling = Chart::new(
+    let scaling = scaling_chart(
         "Fig. 11c: scaling of SOAR on SF(n), unit loads",
-        "n",
-        "network utilization (normalized to all-red)",
+        &exponents,
+        config.repetitions,
+        |n, exp, rep| sf_scenario(n, rep * 29 + exp as u64, 0),
     );
-    let mut blue = Series::new("All blue");
-    let mut one_percent = Series::new("k = 1% of n");
-    let mut log_n = Series::new("k = log2 n");
-    let mut sqrt_n = Series::new("k = sqrt n");
-    for &exp in &exponents {
-        let n = 2usize.pow(exp);
-        let budgets = [
-            ((n as f64) * 0.01).round().max(1.0) as usize,
-            (n as f64).log2().round() as usize,
-            (n as f64).sqrt().round() as usize,
-        ];
-        let mut acc = [0.0f64; 3];
-        let mut blue_acc = 0.0;
-        for rep in 0..config.repetitions {
-            let tree = sf_instance(n, rep * 29 + exp as u64);
-            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-            blue_acc += cost::phi(&tree, &Coloring::all_blue(tree.n_switches())) / baseline;
-            for (idx, &k) in budgets.iter().enumerate() {
-                acc[idx] += soar_core::solve(&tree, k).cost / baseline;
-            }
-        }
-        let reps = config.repetitions as f64;
-        one_percent.push(n as f64, acc[0] / reps);
-        log_n.push(n as f64, acc[1] / reps);
-        sqrt_n.push(n as f64, acc[2] / reps);
-        blue.push(n as f64, blue_acc / reps);
-    }
-    scaling.push(blue);
-    scaling.push(one_percent);
-    scaling.push(log_n);
-    scaling.push(sqrt_n);
     vec![example, scaling]
 }
 
 /// Ablation called out in `DESIGN.md`: SOAR's exact DP vs. the greedy marginal-gain
-/// heuristic and vs. random placement, on power-law BT instances.
+/// heuristic and vs. random placement, on power-law BT instances. One contender
+/// list drives both the solving and the series labels; the random baseline is
+/// reseeded per repetition so it actually samples placements.
 pub fn ablation(config: &ExperimentConfig) -> Chart {
     let n = config.bt_size();
     let budgets = config.budgets();
@@ -549,21 +550,22 @@ pub fn ablation(config: &ExperimentConfig) -> Chart {
         "k",
         "network utilization (normalized to all-red)",
     );
-    let strategies = [Strategy::Soar, Strategy::Greedy, Strategy::Random];
-    let mut series: Vec<Series> = strategies.iter().map(|s| Series::new(s.name())).collect();
+    let contenders = [Strategy::Soar, Strategy::Greedy, Strategy::Random];
+    let mut series: Vec<Series> = contenders.iter().map(|s| Series::new(s.name())).collect();
     for &k in &budgets {
-        let mut acc = vec![0.0; strategies.len()];
+        let mut acc = vec![0.0; contenders.len()];
         for rep in 0..config.repetitions {
-            let tree = bt_instance(
+            let instance = bt_scenario(
                 n,
                 LoadKind::PowerLaw,
                 &soar_topology::rates::RateScheme::paper_constant(),
                 rep * 41 + k as u64,
+                k,
             );
-            let baseline = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-            let mut rng = StdRng::seed_from_u64(rep);
-            for (idx, strategy) in strategies.iter().enumerate() {
-                acc[idx] += strategy.solve(&tree, k, &mut rng).cost / baseline;
+            for (idx, strategy) in contenders.iter().enumerate() {
+                acc[idx] += StrategySolver::with_seed(*strategy, rep)
+                    .solve(&instance)
+                    .normalized_cost;
             }
         }
         for (idx, s) in series.iter_mut().enumerate() {
@@ -672,7 +674,10 @@ mod tests {
         let fraction = fig10_required_fraction(&tiny());
         for series in &fraction.series {
             for &(_, y) in &series.points {
-                assert!((0.0..=6.0).contains(&y), "required fraction {y}% out of range");
+                assert!(
+                    (0.0..=8.0).contains(&y),
+                    "required fraction {y}% out of range"
+                );
             }
         }
         let fig11_charts = fig11(&tiny());

@@ -1,8 +1,10 @@
 //! Builders for the evaluation instances of Sec. 5 and the appendices.
+//!
+//! The canonical entry points are [`bt_scenario`] and [`sf_scenario`], which return
+//! first-class [`Instance`]s for the unified `soar_core::api` layer; the historical
+//! tree-returning helpers ([`bt_instance`], [`sf_instance`]) delegate to them.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use soar_topology::builders;
+use soar_core::api::{Instance, TopologySpec};
 use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
 use soar_topology::Tree;
@@ -46,27 +48,46 @@ pub fn rate_schemes() -> [RateScheme; 3] {
     ]
 }
 
+/// A `BT(n)` scenario with leaf loads drawn from `load` and the given rate scheme,
+/// as a first-class [`Instance`] with budget `k`.
+pub fn bt_scenario(n: usize, load: LoadKind, rates: &RateScheme, seed: u64, k: usize) -> Instance {
+    Instance::builder()
+        .topology(TopologySpec::CompleteBinaryBt { n })
+        .leaf_loads(load.spec())
+        .rates(rates.clone())
+        .seed(seed)
+        .budget(k)
+        .label(format!("BT({n})/{}/{}#{seed}", load.label(), rates.label()))
+        .build()
+        .expect("BT scenarios are always well-formed")
+}
+
+/// An `SF(n)` (random preferential attachment) scenario with unit load on every
+/// switch and unit rates (Appendix B), as a first-class [`Instance`].
+pub fn sf_scenario(n: usize, seed: u64, k: usize) -> Instance {
+    Instance::builder()
+        .topology(TopologySpec::ScaleFreeSf { n })
+        .loads(LoadSpec::Constant(1), LoadPlacement::AllSwitches)
+        .seed(seed)
+        .budget(k)
+        .label(format!("SF({n})#{seed}"))
+        .build()
+        .expect("SF scenarios are always well-formed")
+}
+
 /// A `BT(n)` instance with leaf loads drawn from `load` and the given rate scheme.
+///
+/// Delegates to [`bt_scenario`]; kept for callers that want a bare [`Tree`].
 pub fn bt_instance(n: usize, load: LoadKind, rates: &RateScheme, seed: u64) -> Tree {
-    let mut tree = builders::complete_binary_tree_bt(n);
-    let mut rng = StdRng::seed_from_u64(seed);
-    tree.apply_leaf_loads(&load.spec(), &mut rng);
-    tree.apply_rates(rates);
-    tree
+    bt_scenario(n, load, rates, seed, 0).tree().clone()
 }
 
 /// An `SF(n)` (random preferential attachment) instance with unit load on every switch
 /// and unit rates, as used in Appendix B.
+///
+/// Delegates to [`sf_scenario`]; kept for callers that want a bare [`Tree`].
 pub fn sf_instance(n: usize, seed: u64) -> Tree {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut tree = builders::scale_free_tree_sf(n, &mut rng);
-    let mut load_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-    tree.apply_loads(
-        &LoadSpec::Constant(1),
-        LoadPlacement::AllSwitches,
-        &mut load_rng,
-    );
-    tree
+    sf_scenario(n, seed, 0).tree().clone()
 }
 
 #[cfg(test)]
@@ -89,6 +110,20 @@ mod tests {
         let tree = sf_instance(128, 7);
         assert_eq!(tree.n_switches(), 127);
         assert_eq!(tree.total_load(), 127);
+    }
+
+    #[test]
+    fn scenarios_wrap_the_same_trees_as_the_legacy_helpers() {
+        let scenario = bt_scenario(64, LoadKind::PowerLaw, &RateScheme::paper_constant(), 9, 4);
+        assert_eq!(scenario.budget(), 4);
+        assert!(scenario.label().starts_with("BT(64)/power-law"));
+        assert_eq!(
+            scenario.tree(),
+            &bt_instance(64, LoadKind::PowerLaw, &RateScheme::paper_constant(), 9)
+        );
+        let sf = sf_scenario(128, 7, 2);
+        assert_eq!(sf.tree(), &sf_instance(128, 7));
+        assert_eq!(sf.budget(), 2);
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "k,SOAR,Top");
         assert!(lines[1].starts_with("1,0.9"));
-        assert!(lines[2].ends_with(','), "missing Top value renders as an empty cell");
+        assert!(
+            lines[2].ends_with(','),
+            "missing Top value renders as an empty cell"
+        );
         assert_eq!(chart.xs(), vec![1.0, 2.0]);
     }
 

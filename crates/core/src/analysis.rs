@@ -43,11 +43,7 @@ impl CostCurve {
 
     /// Optimal cost normalized to the all-red baseline.
     pub fn normalized_at(&self, k: usize) -> f64 {
-        if self.all_red == 0.0 {
-            1.0
-        } else {
-            self.solutions[k].cost / self.all_red
-        }
+        crate::solver::normalize(self.solutions[k].cost, self.all_red)
     }
 
     /// The marginal gain of the `k`-th blue node: `cost(k-1) − cost(k)` (zero for `k = 0`).
@@ -115,12 +111,8 @@ pub fn comparison<R: Rng + ?Sized>(
         outcomes.push(StrategyOutcome {
             strategy,
             cost: cost_value,
-            normalized: if all_red == 0.0 { 1.0 } else { cost_value / all_red },
-            optimality_ratio: if optimal.cost == 0.0 {
-                1.0
-            } else {
-                cost_value / optimal.cost
-            },
+            normalized: crate::solver::normalize(cost_value, all_red),
+            optimality_ratio: crate::solver::normalize(cost_value, optimal.cost),
             coloring,
         });
     };
@@ -131,7 +123,11 @@ pub fn comparison<R: Rng + ?Sized>(
         }
         push(strategy, strategy.place(tree, k, rng));
     }
-    outcomes.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    outcomes.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     outcomes
 }
 

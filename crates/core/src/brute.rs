@@ -137,7 +137,7 @@ mod tests {
             for v in 0..n {
                 tree.set_load(v, rng.random_range(0..7));
                 // Randomize rates and availability too.
-                tree.set_rate(v, [0.5, 1.0, 2.0, 4.0][rng.random_range(0..4)]);
+                tree.set_rate(v, [0.5, 1.0, 2.0, 4.0][rng.random_range(0..4usize)]);
                 tree.set_available(v, rng.random_range(0..4) != 0);
             }
             let k = rng.random_range(0..=4);

@@ -82,7 +82,11 @@ fn assign(
         remaining -= j;
     }
     // The first child receives whatever remains, minus the blue node consumed by v.
-    let first_share = if blue { remaining.saturating_sub(1) } else { remaining };
+    let first_share = if blue {
+        remaining.saturating_sub(1)
+    } else {
+        remaining
+    };
     stack.push((children[0], first_share, child_l));
 }
 

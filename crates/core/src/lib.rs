@@ -10,9 +10,45 @@
 //! > aggregation switches minimizing the utilization complexity
 //! > `φ(T, L, U) = Σ_e msg_e(T, L, U) · ρ(e)` of a Reduce operation.
 //!
-//! The crate provides:
+//! ## The Instance / Solver API
 //!
-//! * [`solve`] / [`solver`] — the end-to-end optimal solver
+//! The recommended entry point is [`api`]: an immutable [`Instance`] bundles the
+//! whole problem `(T, L, Λ, k)`, every placement algorithm implements the
+//! [`Solver`] trait behind the string-keyed registry [`api::solvers`], and
+//! [`api::solve_batch`] / [`api::sweep_budgets`] fan work out across threads while
+//! sharing one SOAR-Gather pass across all budgets of a sweep:
+//!
+//! ```
+//! use soar_core::api::{solvers, Instance, Solver, SoarSolver, TopologySpec};
+//! use soar_topology::load::LoadSpec;
+//!
+//! // The paper's motivating example (Fig. 2): leaf loads 2, 6, 5, 4, budget k = 2.
+//! let instance = Instance::builder()
+//!     .topology(TopologySpec::CompleteKary { arity: 2, n_switches: 7 })
+//!     .leaf_loads(LoadSpec::Explicit(vec![2, 6, 5, 4]))
+//!     .budget(2)
+//!     .build()
+//!     .unwrap();
+//!
+//! let report = SoarSolver.solve(&instance);
+//! assert_eq!(report.solution.cost, 20.0);                       // Fig. 2(d)
+//! assert_eq!(report.solution.coloring.blue_nodes(), vec![2, 4]); // unique optimum
+//!
+//! // The intuitive strategies fall short (Figs. 2(a)-(c)).
+//! let level = solvers::by_name("level").unwrap().solve(&instance);
+//! assert!(level.solution.cost > report.solution.cost);
+//!
+//! // One gather pass yields the whole cost-vs-budget curve (Fig. 3).
+//! let curve = soar_core::api::sweep_budgets(&instance, &[0, 1, 2, 3, 4]);
+//! let costs: Vec<f64> = curve.iter().map(|r| r.solution.cost).collect();
+//! assert_eq!(costs, vec![51.0, 35.0, 20.0, 15.0, 11.0]);
+//! ```
+//!
+//! ## Algorithm layers
+//!
+//! The lower-level pieces remain available for callers that want direct control:
+//!
+//! * [`solve`] / [`solver`] — the end-to-end optimal solver on a bare [`Tree`]
 //!   (`O(n · h(T) · k²)` per Theorem 4.1);
 //! * [`gather`] — SOAR-Gather (Algorithm 3), the bottom-up dynamic program over the
 //!   parameterized potential function, exposing its tables for inspection;
@@ -22,28 +58,18 @@
 //!   random, greedy, all-red, all-blue) behind a single [`Strategy`] enum;
 //! * [`brute`] — an exhaustive oracle used to verify optimality in tests.
 //!
-//! ```
-//! use soar_core::{solve, Strategy};
-//! use soar_topology::builders;
+//! With the `serde` feature enabled, [`Instance`], [`Solution`] and
+//! [`api::SolveReport`] serialize to JSON (via the workspace `serde_json`), so
+//! scenarios and bench results can be persisted and replayed.
 //!
-//! // The paper's motivating example (Fig. 2): leaf loads 2, 6, 5, 4, budget k = 2.
-//! let mut tree = builders::complete_binary_tree(7);
-//! for (leaf, load) in [(3, 2), (4, 6), (5, 5), (6, 4)] {
-//!     tree.set_load(leaf, load);
-//! }
-//! let optimal = solve(&tree, 2);
-//! assert_eq!(optimal.cost, 20.0);                       // Fig. 2(d)
-//! assert_eq!(optimal.coloring.blue_nodes(), vec![2, 4]); // unique optimum (Fig. 3(b))
-//!
-//! // The intuitive strategies fall short (Figs. 2(a)-(c)).
-//! let mut rng = rand::rng();
-//! assert!(Strategy::Level.solve(&tree, 2, &mut rng).cost > optimal.cost);
-//! ```
+//! [`Instance`]: api::Instance
+//! [`Solver`]: api::Solver
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod api;
 pub mod brute;
 pub mod color;
 pub mod gather;
@@ -52,6 +78,10 @@ pub mod solver;
 pub mod strategies;
 pub mod tables;
 
+pub use api::{
+    solve_batch, solve_matrix, sweep_budgets, sweep_budgets_batch, BruteForceSolver, Instance,
+    InstanceBuilder, SoarSolver, SolveReport, Solver, StrategySolver, TopologySpec,
+};
 pub use brute::brute_force;
 pub use color::{soar_color, soar_color_exact};
 pub use gather::soar_gather;
@@ -61,6 +91,10 @@ pub use tables::{Color, GatherTables, NodeTable};
 
 /// Convenient prelude re-exporting the most commonly used items.
 pub mod prelude {
+    pub use crate::api::{
+        solve_batch, solve_matrix, solvers, sweep_budgets, sweep_budgets_batch, Instance,
+        SoarSolver, SolveReport, Solver, StrategySolver, TopologySpec,
+    };
     pub use crate::strategies::Strategy;
     pub use crate::{brute_force, soar_color, soar_gather, solve, Solution};
     pub use soar_reduce::{cost, Coloring};

@@ -170,7 +170,13 @@ pub fn decide_color(table: &NodeTable, l: usize, i: usize) -> Color {
 /// Computes how many blue nodes each child receives when `v` (whose table is given) has
 /// `i` blue nodes to distribute, sits at distance `ℓ*` from its barrier, and takes the
 /// given color. Returns one entry per child, in child order (Alg. 4, lines 9-16).
-pub fn child_budgets(table: &NodeTable, n_children: usize, l: usize, i: usize, color: Color) -> Vec<usize> {
+pub fn child_budgets(
+    table: &NodeTable,
+    n_children: usize,
+    l: usize,
+    i: usize,
+    color: Color,
+) -> Vec<usize> {
     let mut budgets = vec![0usize; n_children];
     let mut remaining = i;
     for m in (2..=n_children).rev() {
@@ -249,7 +255,11 @@ mod tests {
         assert_eq!(decide_color(&table, 1, 1), Color::Red);
         let budgets = child_budgets(&table, 2, 1, 1, Color::Red);
         assert_eq!(budgets.iter().sum::<usize>(), 1);
-        assert_eq!(budgets, vec![0, 1], "the heavy child receives the blue node");
+        assert_eq!(
+            budgets,
+            vec![0, 1],
+            "the heavy child receives the blue node"
+        );
 
         // With i = 0 nothing is distributed.
         assert_eq!(child_budgets(&table, 2, 1, 0, Color::Red), vec![0, 0]);

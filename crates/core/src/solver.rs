@@ -13,6 +13,7 @@ use soar_topology::Tree;
 
 /// The outcome of solving a φ-BIC instance.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Solution {
     /// The chosen set of blue switches.
     pub coloring: Coloring,
@@ -39,11 +40,19 @@ impl Solution {
     /// This solution's cost normalized to the all-red baseline of the same tree.
     pub fn normalized_cost(&self, tree: &Tree) -> f64 {
         let baseline = cost::phi(tree, &Coloring::all_red(tree.n_switches()));
-        if baseline == 0.0 {
-            1.0
-        } else {
-            self.cost / baseline
-        }
+        normalize(self.cost, baseline)
+    }
+}
+
+/// Normalizes a cost to the all-red baseline, with the crate-wide convention that
+/// a zero baseline (no traffic at all) normalizes to `1.0`. The single home of
+/// that convention, shared by [`Solution::normalized_cost`], the reports of
+/// [`crate::api`] and the comparisons of [`crate::analysis`].
+pub(crate) fn normalize(cost: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        1.0
+    } else {
+        cost / baseline
     }
 }
 
@@ -81,28 +90,54 @@ pub fn solve_with_tables(tree: &Tree, k: usize) -> (Solution, GatherTables) {
 
 /// Given tables computed for budget `k`, extracts the optimal solution for every budget
 /// `i = 0 ..= k` (the "cost-vs-k curve" used by Figs. 6, 8 and 10).
+///
+/// The optimum for budget `i` is the best exact-`j` value over `j ≤ i`, which is a
+/// *prefix minimum* of `optimum_with_exactly` — so one running-minimum pass over
+/// `i = 0 ..= k` suffices (the previous implementation rescanned `0 ..= i` per
+/// budget, an `O(k²)` walk over the root row). The SOAR-Color traceback is also
+/// run only when the optimum moves; budgets on a flat stretch of the curve reuse
+/// the previous coloring (the traceback is deterministic, so it would reproduce
+/// it verbatim anyway).
 pub fn solutions_for_all_budgets(tree: &Tree, tables: &GatherTables) -> Vec<Solution> {
-    (0..=tables.k)
-        .map(|i| {
-            // The optimum for budget i is the best exact-j value over j ≤ i.
-            let mut best_j = 0;
-            let mut best = tables.optimum_with_exactly(0);
-            for j in 1..=i {
-                let value = tables.optimum_with_exactly(j);
-                if value < best - 1e-12 {
-                    best = value;
-                    best_j = j;
+    let mut traced: Option<(usize, Coloring)> = None;
+    prefix_min_curve(tables)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (cost, best_j))| {
+            let coloring = match &traced {
+                Some((j, coloring)) if *j == best_j => coloring.clone(),
+                _ => {
+                    let coloring = soar_color_exact(tree, tables, best_j);
+                    traced = Some((best_j, coloring.clone()));
+                    coloring
                 }
-            }
-            let coloring = soar_color_exact(tree, tables, best_j);
+            };
             Solution {
                 blue_used: coloring.n_blue(),
-                cost: best,
+                cost,
                 coloring,
                 budget: i,
             }
         })
         .collect()
+}
+
+/// The "at most `i`" cost curve from gathered tables: entry `i` is the prefix
+/// minimum of `optimum_with_exactly` over `0 ..= i` together with the exact blue
+/// count attaining it. The single home of the strict-improvement epsilon shared by
+/// [`solutions_for_all_budgets`] and the budget sweeps of [`crate::api`].
+pub(crate) fn prefix_min_curve(tables: &GatherTables) -> Vec<(f64, usize)> {
+    let mut curve = Vec::with_capacity(tables.k + 1);
+    let (mut best, mut best_j) = (f64::INFINITY, 0usize);
+    for i in 0..=tables.k {
+        let value = tables.optimum_with_exactly(i);
+        if value < best - 1e-12 {
+            best = value;
+            best_j = i;
+        }
+        curve.push((best, best_j));
+    }
+    curve
 }
 
 #[cfg(test)]
@@ -157,7 +192,10 @@ mod tests {
         assert_eq!(curve.len(), 8);
         let mut prev = f64::INFINITY;
         for (i, solution) in curve.iter().enumerate() {
-            assert!(solution.cost <= prev + 1e-9, "cost must not increase with k");
+            assert!(
+                solution.cost <= prev + 1e-9,
+                "cost must not increase with k"
+            );
             prev = solution.cost;
             let fresh = solve(&tree, i);
             assert!((fresh.cost - solution.cost).abs() < 1e-9);

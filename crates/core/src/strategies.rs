@@ -106,9 +106,7 @@ pub fn greedy(tree: &Tree, k: usize) -> Coloring {
             coloring.set_blue(v);
             let candidate = cost::phi(tree, &coloring);
             coloring.set_red(v);
-            if candidate < current - 1e-12
-                && best.map(|(_, c)| candidate < c).unwrap_or(true)
-            {
+            if candidate < current - 1e-12 && best.map(|(_, c)| candidate < c).unwrap_or(true) {
                 best = Some((v, candidate));
             }
         }
@@ -330,7 +328,11 @@ mod tests {
             Strategy::Greedy,
         ] {
             let c = strategy.place(&tree, 2, &mut rng);
-            assert!(c.n_blue() <= 2, "{} used too many blue nodes", strategy.name());
+            assert!(
+                c.n_blue() <= 2,
+                "{} used too many blue nodes",
+                strategy.name()
+            );
             assert!(
                 c.validate(&tree, 2).is_ok(),
                 "{} violated availability",

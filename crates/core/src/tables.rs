@@ -207,6 +207,13 @@ impl GatherTables {
         self.tables.len()
     }
 
+    /// Total number of `X(ℓ, i)` cells across all per-switch tables — the work
+    /// measure behind the `O(n · h(T) · k²)` bound, reported by
+    /// [`crate::api::DpStats`].
+    pub fn table_cells(&self) -> usize {
+        self.tables.iter().map(|t| t.x.len()).sum()
+    }
+
     /// Total heap footprint of all tables, in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.tables.iter().map(|t| t.memory_bytes()).sum()

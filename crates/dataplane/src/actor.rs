@@ -5,7 +5,7 @@
 //! its parent or children and emits encoded frames towards its parent, its children, or
 //! the destination. The same actor code is driven by the single-threaded
 //! [`crate::runtime::run_inline`] executor and by the thread-per-switch
-//! [`crate::runtime::run_threaded`] executor built on crossbeam channels.
+//! [`crate::runtime::run_threaded`] executor built on std::sync::mpsc channels.
 //!
 //! Protocol phases (all pipelined, no global barriers):
 //!
@@ -209,7 +209,13 @@ impl SwitchActor {
             .iter()
             .map(|x| x.clone().expect("all children reported"))
             .collect();
-        let table = compute_node_table(&self.path_rho, self.load, self.available, self.k, &children_x);
+        let table = compute_node_table(
+            &self.path_rho,
+            self.load,
+            self.available,
+            self.k,
+            &children_x,
+        );
         let frame = Frame::XTable {
             child: self.id as u32,
             n_l: table.n_l as u32,
@@ -302,7 +308,12 @@ impl SwitchActor {
                 out,
             );
         }
-        self.send_up(Frame::Eos { child: self.id as u32 }, out);
+        self.send_up(
+            Frame::Eos {
+                child: self.id as u32,
+            },
+            out,
+        );
     }
 
     fn send_up(&mut self, frame: Frame, out: &mut Vec<OutFrame>) {
@@ -343,7 +354,12 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, Destination::Up);
         match Frame::decode(out[0].1.clone()).unwrap() {
-            Frame::XTable { child, n_l, n_i, values } => {
+            Frame::XTable {
+                child,
+                n_l,
+                n_i,
+                values,
+            } => {
                 assert_eq!(child, 1);
                 assert_eq!(n_l, 3);
                 assert_eq!(n_i, 2);
@@ -387,8 +403,7 @@ mod tests {
         tree.set_load(1, 3);
         tree.set_load(2, 3);
         tree.set_load(3, 3);
-        let mut leaves: Vec<SwitchActor> =
-            (1..4).map(|v| SwitchActor::new(&tree, v, 1)).collect();
+        let mut leaves: Vec<SwitchActor> = (1..4).map(|v| SwitchActor::new(&tree, v, 1)).collect();
         let mut root = SwitchActor::new(&tree, 0, 1);
         let mut scratch = Vec::new();
         for leaf in &mut leaves {
@@ -396,12 +411,26 @@ mod tests {
         }
         let mut root_out = Vec::new();
         for (idx, (_, bytes)) in scratch.iter().enumerate() {
-            root.on_frame(Some(idx), Frame::decode(bytes.clone()).unwrap(), &mut root_out);
+            root.on_frame(
+                Some(idx),
+                Frame::decode(bytes.clone()).unwrap(),
+                &mut root_out,
+            );
         }
         root_out.clear();
 
-        root.on_frame(None, Frame::Assign { budget: 1, distance: 1 }, &mut root_out);
-        assert!(root.is_blue(), "the root is the best single aggregation point");
+        root.on_frame(
+            None,
+            Frame::Assign {
+                budget: 1,
+                distance: 1,
+            },
+            &mut root_out,
+        );
+        assert!(
+            root.is_blue(),
+            "the root is the best single aggregation point"
+        );
         // The root forwarded an Assign with budget 0 to each child.
         let child_assigns: Vec<_> = root_out
             .iter()

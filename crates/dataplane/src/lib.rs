@@ -15,7 +15,7 @@
 //!   dynamic program as the centralized solver
 //!   ([`soar_core::node_dp::compute_node_table`]), guaranteeing the two agree;
 //! * [`runtime`] — two executors: a deterministic single-threaded one
-//!   ([`runtime::run_inline`]) and a thread-per-switch one over crossbeam channels
+//!   ([`runtime::run_inline`]) and a thread-per-switch one over std::sync::mpsc channels
 //!   ([`runtime::run_threaded`]).
 //!
 //! The integration tests cross-check the dataplane against the centralized solver
@@ -45,7 +45,10 @@ pub mod runtime;
 pub mod wire;
 
 pub use actor::{ActorStats, SwitchActor};
-pub use runtime::{run_inline, run_threaded, DataplaneReport};
+pub use runtime::{
+    run_inline, run_inline_instance, run_threaded, run_threaded_instance, DataplaneReport,
+    DistributedSoarSolver,
+};
 pub use wire::{Frame, WireError};
 
 #[cfg(test)]

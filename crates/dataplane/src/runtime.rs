@@ -1,5 +1,5 @@
 //! Executors that drive the switch actors: a deterministic single-threaded executor
-//! ([`run_inline`]) and a thread-per-switch executor over crossbeam channels
+//! ([`run_inline`]) and a thread-per-switch executor over std::sync::mpsc channels
 //! ([`run_threaded`]).
 //!
 //! Both executors run the full pipeline — distributed SOAR-Gather, distributed
@@ -10,12 +10,11 @@
 use crate::actor::{ActorStats, Destination, SwitchActor};
 use crate::wire::Frame;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use soar_reduce::Coloring;
 use soar_topology::{NodeId, Tree, ROOT};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
 /// The outcome of one end-to-end dataplane run.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +37,13 @@ pub struct DataplaneReport {
     /// Total encoded bytes that crossed any link, over all protocol phases.
     pub total_wire_bytes: u64,
 }
+
+/// Payload of a per-switch channel: the sending switch (`None` when the frame
+/// arrives from the parent / destination side) and the encoded frame.
+type LinkPayload = (Option<NodeId>, Bytes);
+
+/// Per-switch results collected by the threaded executor: color + stats.
+type SharedActorResults = Arc<Mutex<Vec<Option<(bool, ActorStats)>>>>;
 
 /// Resolves the child index of `from` within `to`'s child list.
 fn child_index(tree: &Tree, to: NodeId, from: NodeId) -> usize {
@@ -62,6 +68,44 @@ fn best_budget(root_x: &[f64], k: usize) -> (usize, f64) {
     (best_i, best)
 }
 
+/// Runs the whole protocol on a φ-BIC [`Instance`](soar_core::api::Instance) with
+/// the deterministic single-threaded executor.
+pub fn run_inline_instance(instance: &soar_core::api::Instance) -> DataplaneReport {
+    run_inline(instance.tree(), instance.budget())
+}
+
+/// Runs the whole protocol on a φ-BIC [`Instance`](soar_core::api::Instance) with
+/// one OS thread per switch.
+pub fn run_threaded_instance(instance: &soar_core::api::Instance) -> DataplaneReport {
+    run_threaded(instance.tree(), instance.budget())
+}
+
+/// The distributed protocol as a [`Solver`](soar_core::api::Solver): solving an
+/// instance runs the full gather / color / reduce pipeline on the inline executor
+/// and reports the coloring the switches settled on.
+///
+/// Reports under the name `"soar-distributed"`. It is **not** part of the
+/// `soar_core::api::solvers` registry (the core crate cannot depend on this one);
+/// construct it directly. By SOAR's correctness argument its placements coincide
+/// with [`soar_core::api::SoarSolver`], which the integration tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistributedSoarSolver;
+
+impl soar_core::api::Solver for DistributedSoarSolver {
+    fn name(&self) -> &str {
+        "soar-distributed"
+    }
+
+    fn solve(&self, instance: &soar_core::api::Instance) -> soar_core::api::SolveReport {
+        let start = std::time::Instant::now();
+        let report = run_inline_instance(instance);
+        let wall_time = start.elapsed();
+        let solution =
+            soar_core::Solution::from_coloring(instance.tree(), report.coloring, instance.budget());
+        soar_core::api::SolveReport::new(self.name(), instance, solution, wall_time, None)
+    }
+}
+
 /// Runs the whole protocol on a single thread with deterministic FIFO delivery.
 pub fn run_inline(tree: &Tree, k: usize) -> DataplaneReport {
     let n = tree.n_switches();
@@ -69,8 +113,9 @@ pub fn run_inline(tree: &Tree, k: usize) -> DataplaneReport {
 
     // (receiver, sender, encoded frame); receiver None means the destination server.
     let mut queue: VecDeque<(Option<NodeId>, NodeId, Bytes)> = VecDeque::new();
-    let route = |from: NodeId, out: Vec<(Destination, Bytes)>,
-                     queue: &mut VecDeque<(Option<NodeId>, NodeId, Bytes)>| {
+    let route = |from: NodeId,
+                 out: Vec<(Destination, Bytes)>,
+                 queue: &mut VecDeque<(Option<NodeId>, NodeId, Bytes)>| {
         for (dest, bytes) in out {
             match dest {
                 Destination::Up => queue.push_back((tree.parent(from), from, bytes)),
@@ -83,9 +128,9 @@ pub fn run_inline(tree: &Tree, k: usize) -> DataplaneReport {
     };
 
     // Kick off the gather phase at the leaves.
-    for v in 0..n {
+    for (v, actor) in actors.iter_mut().enumerate() {
         let mut out = Vec::new();
-        actors[v].start(&mut out);
+        actor.start(&mut out);
         route(v, out, &mut queue);
     }
 
@@ -190,7 +235,7 @@ fn finalize_report(
     }
 }
 
-/// Runs the whole protocol with one OS thread per switch, connected by crossbeam
+/// Runs the whole protocol with one OS thread per switch, connected by std::sync::mpsc
 /// channels — the closest analogue in this repository to a real asynchronous,
 /// message-passing deployment of the algorithm.
 ///
@@ -200,123 +245,127 @@ pub fn run_threaded(tree: &Tree, k: usize) -> DataplaneReport {
     let n = tree.n_switches();
     // Channel per switch; payload is (from, encoded frame) where `from` is None for
     // frames arriving from the parent / destination side.
-    let mut senders: Vec<Sender<(Option<NodeId>, Bytes)>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<(Option<NodeId>, Bytes)>>> = Vec::with_capacity(n);
+    let mut senders: Vec<Sender<LinkPayload>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<LinkPayload>> = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = unbounded();
         senders.push(tx);
-        receivers.push(Some(rx));
+        receivers.push(rx);
     }
     let (dest_tx, dest_rx) = unbounded::<(NodeId, Bytes)>();
 
-    let results: Arc<Mutex<Vec<Option<(bool, ActorStats)>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let results: SharedActorResults = Arc::new(Mutex::new(vec![None; n]));
 
     let (claimed_cost, destination_sum, destination_contributors, destination_data_messages) =
         std::thread::scope(|scope| {
-        for v in 0..n {
-            let rx = receivers[v].take().expect("each receiver is moved exactly once");
-            let parent = tree.parent(v);
-            let parent_tx = parent.map(|p| senders[p].clone());
-            let child_txs: Vec<Sender<(Option<NodeId>, Bytes)>> = tree
-                .children(v)
-                .iter()
-                .map(|&c| senders[c].clone())
-                .collect();
-            let dest_tx = dest_tx.clone();
-            let results = Arc::clone(&results);
-            let mut actor = SwitchActor::new(tree, v, k);
-            let n_children = tree.children(v).len();
-            scope.spawn(move || {
-                let route = |out: Vec<(Destination, Bytes)>, sent_eos_up: &mut bool| {
-                    for (dest, bytes) in out {
-                        let is_eos = matches!(Frame::decode(bytes.clone()), Ok(Frame::Eos { .. }));
-                        match dest {
-                            Destination::Up => {
-                                if is_eos {
-                                    *sent_eos_up = true;
-                                }
-                                match &parent_tx {
-                                    Some(tx) => {
-                                        let _ = tx.send((Some(v), bytes));
+            for (v, rx) in receivers.into_iter().enumerate() {
+                let parent = tree.parent(v);
+                let parent_tx = parent.map(|p| senders[p].clone());
+                let child_txs: Vec<Sender<LinkPayload>> = tree
+                    .children(v)
+                    .iter()
+                    .map(|&c| senders[c].clone())
+                    .collect();
+                let dest_tx = dest_tx.clone();
+                let results = Arc::clone(&results);
+                let mut actor = SwitchActor::new(tree, v, k);
+                let n_children = tree.children(v).len();
+                scope.spawn(move || {
+                    let route = |out: Vec<(Destination, Bytes)>, sent_eos_up: &mut bool| {
+                        for (dest, bytes) in out {
+                            let is_eos =
+                                matches!(Frame::decode(bytes.clone()), Ok(Frame::Eos { .. }));
+                            match dest {
+                                Destination::Up => {
+                                    if is_eos {
+                                        *sent_eos_up = true;
                                     }
-                                    None => {
-                                        let _ = dest_tx.send((v, bytes));
+                                    match &parent_tx {
+                                        Some(tx) => {
+                                            let _ = tx.send((Some(v), bytes));
+                                        }
+                                        None => {
+                                            let _ = dest_tx.send((v, bytes));
+                                        }
                                     }
                                 }
-                            }
-                            Destination::Child(idx) => {
-                                let _ = child_txs[idx].send((None, bytes));
+                                Destination::Child(idx) => {
+                                    let _ = child_txs[idx].send((None, bytes));
+                                }
                             }
                         }
-                    }
-                };
-
-                let mut sent_eos_up = false;
-                let mut out = Vec::new();
-                actor.start(&mut out);
-                route(out, &mut sent_eos_up);
-
-                // A switch is done once it has propagated its end-of-stream marker.
-                while !sent_eos_up {
-                    let (from, bytes) = rx.recv().expect("peers keep their channels open");
-                    let frame = Frame::decode(bytes).expect("frames always decode");
-                    let from_child = from.map(|f| {
-                        tree.children(v)
-                            .iter()
-                            .position(|&c| c == f)
-                            .expect("sender is one of our children")
-                    });
-                    debug_assert!(from_child.map(|i| i < n_children).unwrap_or(true));
-                    let mut out = Vec::new();
-                    actor.on_frame(from_child, frame, &mut out);
-                    route(out, &mut sent_eos_up);
-                }
-                results.lock()[v] = Some((actor.is_blue(), actor.stats()));
-            });
-        }
-
-        // The destination side runs on the spawning thread.
-        let mut claimed_cost = f64::INFINITY;
-        let mut destination_sum = 0u64;
-        let mut destination_contributors = 0u64;
-        let mut destination_data_messages = 0u64;
-        loop {
-            let (_from, bytes) = dest_rx.recv().expect("the root keeps its channel open");
-            match Frame::decode(bytes).expect("frames always decode") {
-                Frame::XTable { n_i, values, .. } => {
-                    let (best_i, cost) = best_budget(&values, (n_i - 1) as usize);
-                    claimed_cost = cost;
-                    let assign = Frame::Assign {
-                        budget: best_i as u32,
-                        distance: 1,
                     };
-                    let _ = senders[ROOT].send((None, assign.encode()));
-                }
-                Frame::Data {
-                    value,
-                    contributors,
-                } => {
-                    destination_sum += value;
-                    destination_contributors += contributors;
-                    destination_data_messages += 1;
-                }
-                Frame::Eos { .. } => break,
-                Frame::Assign { .. } => unreachable!("the destination never receives Assign"),
-            }
-        }
 
-        // Returning ends the scope, which joins every switch thread.
-        (
-            claimed_cost,
-            destination_sum,
-            destination_contributors,
-            destination_data_messages,
-        )
-    });
+                    let mut sent_eos_up = false;
+                    let mut out = Vec::new();
+                    actor.start(&mut out);
+                    route(out, &mut sent_eos_up);
+
+                    // A switch is done once it has propagated its end-of-stream marker.
+                    while !sent_eos_up {
+                        let (from, bytes) = rx.recv().expect("peers keep their channels open");
+                        let frame = Frame::decode(bytes).expect("frames always decode");
+                        let from_child = from.map(|f| {
+                            tree.children(v)
+                                .iter()
+                                .position(|&c| c == f)
+                                .expect("sender is one of our children")
+                        });
+                        debug_assert!(from_child.map(|i| i < n_children).unwrap_or(true));
+                        let mut out = Vec::new();
+                        actor.on_frame(from_child, frame, &mut out);
+                        route(out, &mut sent_eos_up);
+                    }
+                    results
+                        .lock()
+                        .expect("no thread panicked while holding the lock")[v] =
+                        Some((actor.is_blue(), actor.stats()));
+                });
+            }
+
+            // The destination side runs on the spawning thread.
+            let mut claimed_cost = f64::INFINITY;
+            let mut destination_sum = 0u64;
+            let mut destination_contributors = 0u64;
+            let mut destination_data_messages = 0u64;
+            loop {
+                let (_from, bytes) = dest_rx.recv().expect("the root keeps its channel open");
+                match Frame::decode(bytes).expect("frames always decode") {
+                    Frame::XTable { n_i, values, .. } => {
+                        let (best_i, cost) = best_budget(&values, (n_i - 1) as usize);
+                        claimed_cost = cost;
+                        let assign = Frame::Assign {
+                            budget: best_i as u32,
+                            distance: 1,
+                        };
+                        let _ = senders[ROOT].send((None, assign.encode()));
+                    }
+                    Frame::Data {
+                        value,
+                        contributors,
+                    } => {
+                        destination_sum += value;
+                        destination_contributors += contributors;
+                        destination_data_messages += 1;
+                    }
+                    Frame::Eos { .. } => break,
+                    Frame::Assign { .. } => unreachable!("the destination never receives Assign"),
+                }
+            }
+
+            // Returning ends the scope, which joins every switch thread.
+            (
+                claimed_cost,
+                destination_sum,
+                destination_contributors,
+                destination_data_messages,
+            )
+        });
 
     // All threads have joined (end of scope); collect their stats.
     let per_actor: Vec<(bool, ActorStats)> = results
         .lock()
+        .expect("no thread panicked while holding the lock")
         .iter()
         .map(|entry| entry.expect("every switch thread reported its stats"))
         .collect();

@@ -260,10 +260,7 @@ mod tests {
     fn unknown_kind_is_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u8(99);
-        assert_eq!(
-            Frame::decode(buf.freeze()),
-            Err(WireError::UnknownKind(99))
-        );
+        assert_eq!(Frame::decode(buf.freeze()), Err(WireError::UnknownKind(99)));
     }
 
     #[test]

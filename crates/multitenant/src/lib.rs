@@ -22,6 +22,7 @@ pub mod workloads;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use soar_core::api::{Instance, Solver};
 use soar_core::Strategy;
 use soar_reduce::{cost, Coloring};
 use soar_topology::{NodeId, Tree};
@@ -207,6 +208,65 @@ impl OnlineAllocator {
         &self.capacities
     }
 
+    /// The residual availability set Λ_t: statically available switches that still
+    /// have residual capacity. The single source of truth shared by
+    /// [`OnlineAllocator::handle_workload`] and [`OnlineAllocator::instance_for`].
+    fn residual_availability(&self) -> Vec<bool> {
+        self.static_availability
+            .iter()
+            .enumerate()
+            .map(|(v, &a)| a && self.capacities.residual(v) > 0)
+            .collect()
+    }
+
+    /// Installs the workload's loads and the residual availability set Λ_t on the
+    /// shared tree, returning how many switches were offered.
+    fn stage_workload(&mut self, loads: &[u64]) -> usize {
+        assert_eq!(
+            loads.len(),
+            self.tree.n_switches(),
+            "workload load vector must cover every switch"
+        );
+        let availability = self.residual_availability();
+        let available_switches = availability.iter().filter(|&&a| a).count();
+        self.tree.set_loads(loads);
+        self.tree.set_availability(&availability);
+        available_switches
+    }
+
+    /// Records a placement for the staged workload, consuming capacity.
+    /// `all_red_phi` is the workload's own all-red baseline, computed by the
+    /// caller (the solver path already has it cached on its `Instance`).
+    fn commit_placement(
+        &mut self,
+        index: usize,
+        coloring: Coloring,
+        available_switches: usize,
+        all_red_phi: f64,
+    ) -> WorkloadOutcome {
+        debug_assert!(coloring.validate(&self.tree, usize::MAX).is_ok());
+        let phi = cost::phi(&self.tree, &coloring);
+        self.capacities.consume(&coloring);
+        WorkloadOutcome {
+            index,
+            coloring,
+            phi,
+            all_red_phi,
+            available_switches,
+        }
+    }
+
+    /// The φ-BIC instance the next workload would be solved against: the shared
+    /// topology with the given loads, the residual availability set Λ_t, and the
+    /// per-workload budget. This is the bridge to the unified
+    /// [`soar_core::api`] layer — any [`Solver`] can be applied to it.
+    pub fn instance_for(&self, loads: &[u64]) -> Instance {
+        let mut tree = self.tree.clone();
+        tree.set_loads(loads);
+        tree.set_availability(&self.residual_availability());
+        Instance::from_tree_owned(tree, self.k)
+    }
+
     /// Places aggregation switches for one workload (given as a per-switch load
     /// vector), updates the residual capacities, and reports the outcome.
     pub fn handle_workload<R: Rng + ?Sized>(
@@ -216,38 +276,44 @@ impl OnlineAllocator {
         strategy: Strategy,
         rng: &mut R,
     ) -> WorkloadOutcome {
-        assert_eq!(
-            loads.len(),
-            self.tree.n_switches(),
-            "workload load vector must cover every switch"
-        );
-        // Λ_t: statically available switches with residual capacity.
-        let availability: Vec<bool> = self
-            .static_availability
-            .iter()
-            .enumerate()
-            .map(|(v, &a)| a && self.capacities.residual(v) > 0)
-            .collect();
-        let available_switches = availability.iter().filter(|&&a| a).count();
-
-        self.tree.set_loads(loads);
-        self.tree.set_availability(&availability);
-
+        let available_switches = self.stage_workload(loads);
         let coloring = strategy.place(&self.tree, self.k, rng);
-        debug_assert!(coloring
-            .validate(&self.tree, usize::MAX)
-            .is_ok());
-        let phi = cost::phi(&self.tree, &coloring);
         let all_red_phi = cost::phi(&self.tree, &Coloring::all_red(self.tree.n_switches()));
-        self.capacities.consume(&coloring);
+        self.commit_placement(index, coloring, available_switches, all_red_phi)
+    }
 
-        WorkloadOutcome {
+    /// Like [`OnlineAllocator::handle_workload`], but placing through any
+    /// [`Solver`] from the unified API (e.g. one obtained from
+    /// [`soar_core::api::solvers::by_name`]).
+    ///
+    /// Solvers take an owned, immutable [`Instance`], so this path clones the
+    /// shared tree once per workload — the price of solver pluggability. For
+    /// tight inner loops over deterministic strategies the borrowing
+    /// [`OnlineAllocator::handle_workload`] path remains available.
+    ///
+    /// Solvers are deterministic per instance by contract, so a *randomized*
+    /// solver (e.g. `solvers::by_name("random")`) will pick the **same**
+    /// placement for identical workloads in a sequence; to genuinely sample
+    /// random placements over a sequence, use [`OnlineAllocator::handle_workload`]
+    /// with [`soar_core::Strategy::Random`] and a threaded RNG, or vary the
+    /// solver seed per workload via
+    /// [`soar_core::api::StrategySolver::with_seed`].
+    pub fn handle_workload_with(
+        &mut self,
+        index: usize,
+        loads: &[u64],
+        solver: &dyn Solver,
+    ) -> WorkloadOutcome {
+        let available_switches = self.stage_workload(loads);
+        let instance = Instance::from_tree(&self.tree, self.k);
+        let all_red_phi = instance.all_red_cost();
+        let report = solver.solve(&instance);
+        self.commit_placement(
             index,
-            coloring,
-            phi,
-            all_red_phi,
+            report.solution.coloring,
             available_switches,
-        }
+            all_red_phi,
+        )
     }
 
     /// Serves a whole sequence of workloads and collects the aggregate report.
@@ -261,6 +327,20 @@ impl OnlineAllocator {
             .iter()
             .enumerate()
             .map(|(index, loads)| self.handle_workload(index, loads, strategy, rng))
+            .collect();
+        OnlineReport { outcomes }
+    }
+
+    /// Serves a whole sequence of workloads through a [`Solver`].
+    pub fn run_sequence_with(
+        &mut self,
+        workloads: &[Vec<u64>],
+        solver: &dyn Solver,
+    ) -> OnlineReport {
+        let outcomes = workloads
+            .iter()
+            .enumerate()
+            .map(|(index, loads)| self.handle_workload_with(index, loads, solver))
             .collect();
         OnlineReport { outcomes }
     }
@@ -281,13 +361,7 @@ mod tests {
     fn draw_workloads(tree: &Tree, count: usize, seed: u64) -> Vec<Vec<u64>> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..count)
-            .map(|_| {
-                tree.draw_loads(
-                    &LoadSpec::paper_uniform(),
-                    LoadPlacement::Leaves,
-                    &mut rng,
-                )
-            })
+            .map(|_| tree.draw_loads(&LoadSpec::paper_uniform(), LoadPlacement::Leaves, &mut rng))
             .collect()
     }
 
@@ -357,7 +431,10 @@ mod tests {
         let first = report.outcomes.first().unwrap().normalized();
         let last = report.outcomes.last().unwrap().normalized();
         assert!(first < 0.9);
-        assert!((last - 1.0).abs() < 1e-9, "late workloads run all-red, got {last}");
+        assert!(
+            (last - 1.0).abs() < 1e-9,
+            "late workloads run all-red, got {last}"
+        );
         assert!(report.normalized_total() > first);
         assert!(report.normalized_total() <= 1.0 + 1e-9);
     }
@@ -426,6 +503,41 @@ mod tests {
         assert!(report.is_empty());
         assert_eq!(report.normalized_total(), 1.0);
         assert_eq!(report.total_phi(), 0.0);
+    }
+
+    #[test]
+    fn solver_path_matches_strategy_path_for_deterministic_strategies() {
+        let tree = base_tree();
+        let workloads = draw_workloads(&tree, 12, 21);
+        for (strategy, name) in [
+            (Strategy::Soar, "soar"),
+            (Strategy::Top, "top"),
+            (Strategy::MaxLoad, "max-load"),
+            (Strategy::Level, "level"),
+        ] {
+            let mut via_strategy = OnlineAllocator::new(&tree, 4, 2);
+            let mut rng = StdRng::seed_from_u64(0);
+            let strategy_report = via_strategy.run_sequence(&workloads, strategy, &mut rng);
+            let mut via_solver = OnlineAllocator::new(&tree, 4, 2);
+            let solver = soar_core::api::solvers::by_name(name).expect("registered");
+            let solver_report = via_solver.run_sequence_with(&workloads, solver.as_ref());
+            assert_eq!(strategy_report, solver_report, "{name}");
+        }
+    }
+
+    #[test]
+    fn instance_for_exposes_residual_availability() {
+        let tree = base_tree();
+        let workloads = draw_workloads(&tree, 3, 8);
+        let mut allocator = OnlineAllocator::new(&tree, 2, 1);
+        let outcome = allocator.handle_workload_with(0, &workloads[0], &soar_core::api::SoarSolver);
+        // Capacity 1: the switches just used must vanish from the next instance's Λ.
+        let instance = allocator.instance_for(&workloads[1]);
+        assert_eq!(instance.budget(), 2);
+        for v in outcome.coloring.iter_blue() {
+            assert!(!instance.tree().available(v));
+        }
+        assert_eq!(instance.tree().loads(), workloads[1]);
     }
 
     #[test]

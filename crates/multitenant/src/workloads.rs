@@ -26,7 +26,10 @@ impl MixedWorkloadGenerator {
     ///
     /// Panics if no component is given or all weights are non-positive.
     pub fn new(components: Vec<(f64, LoadSpec)>, placement: LoadPlacement) -> Self {
-        assert!(!components.is_empty(), "at least one load distribution is required");
+        assert!(
+            !components.is_empty(),
+            "at least one load distribution is required"
+        );
         assert!(
             components.iter().any(|(w, _)| *w > 0.0),
             "at least one component must have positive weight"
@@ -97,7 +100,11 @@ mod tests {
             assert_eq!(loads.len(), tree.n_switches());
             for v in tree.node_ids() {
                 if tree.is_leaf(v) {
-                    assert!((1..=63).contains(&loads[v]), "leaf load {} out of range", loads[v]);
+                    assert!(
+                        (1..=63).contains(&loads[v]),
+                        "leaf load {} out of range",
+                        loads[v]
+                    );
                 } else {
                     assert_eq!(loads[v], 0);
                 }
@@ -106,7 +113,10 @@ mod tests {
                 saw_heavy_tail = true; // must have come from the power-law component
             }
         }
-        assert!(saw_heavy_tail, "50 mixed draws should include power-law workloads");
+        assert!(
+            saw_heavy_tail,
+            "50 mixed draws should include power-law workloads"
+        );
     }
 
     #[test]
@@ -144,6 +154,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn all_zero_weights_are_rejected() {
-        let _ = MixedWorkloadGenerator::new(vec![(0.0, LoadSpec::Constant(1))], LoadPlacement::Leaves);
+        let _ =
+            MixedWorkloadGenerator::new(vec![(0.0, LoadSpec::Constant(1))], LoadPlacement::Leaves);
     }
 }

@@ -107,12 +107,7 @@ pub struct ByteReport {
 ///   messages received from children) unchanged;
 /// * a **blue** `v` merges everything it holds into a single message (an empty
 ///   aggregate if it holds nothing) and forwards only that.
-pub fn byte_complexity<M, R>(
-    tree: &Tree,
-    coloring: &Coloring,
-    model: &M,
-    rng: &mut R,
-) -> ByteReport
+pub fn byte_complexity<M, R>(tree: &Tree, coloring: &Coloring, model: &M, rng: &mut R) -> ByteReport
 where
     M: AggregationModel,
     R: Rng + ?Sized,

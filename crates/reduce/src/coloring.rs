@@ -259,7 +259,10 @@ mod tests {
         let wrong_size = Coloring::all_red(3);
         assert_eq!(
             wrong_size.validate(&tree, 3),
-            Err(ColoringError::SizeMismatch { coloring: 3, tree: 7 })
+            Err(ColoringError::SizeMismatch {
+                coloring: 3,
+                tree: 7
+            })
         );
     }
 
@@ -278,8 +281,11 @@ mod tests {
             .to_string()
             .contains("k = 2"));
         assert!(ColoringError::Unavailable(4).to_string().contains('4'));
-        assert!(ColoringError::SizeMismatch { coloring: 1, tree: 2 }
-            .to_string()
-            .contains("tree of 2"));
+        assert!(ColoringError::SizeMismatch {
+            coloring: 1,
+            tree: 2
+        }
+        .to_string()
+        .contains("tree of 2"));
     }
 }

@@ -206,8 +206,7 @@ impl<'a> Simulator<'a> {
                 }
                 Some(p) => {
                     if coloring.is_blue(p) {
-                        state[p].expected_remaining =
-                            state[p].expected_remaining.saturating_sub(1);
+                        state[p].expected_remaining = state[p].expected_remaining.saturating_sub(1);
                         if state[p].expected_remaining == 0 && !state[p].aggregated {
                             state[p].aggregated = true;
                             send_up(

@@ -1,0 +1,270 @@
+//! A minimal implementation of the subset of the `bytes` crate this workspace uses:
+//! [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`] cursor traits, for offline
+//! builds.
+//!
+//! `Bytes` is a cheaply cloneable, sliceable view over shared immutable storage
+//! (`Arc<[u8]>` + offset/length), which preserves the zero-copy `clone`/`slice`
+//! semantics the dataplane relies on when fanning one encoded frame out to several
+//! links.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let arc: Arc<[u8]> = Arc::from(data);
+        Bytes {
+            start: 0,
+            end: arc.len(),
+            data: arc,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view sharing the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let arc: Arc<[u8]> = Arc::from(data.into_boxed_slice());
+        Bytes {
+            start: 0,
+            end: arc.len(),
+            data: arc,
+        }
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte buffer. All `get_*` methods use big-endian order and panic
+/// when the buffer is too short, exactly like the real crate.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `n` bytes from the front.
+    fn take_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = self.as_slice()[..n].to_vec();
+        self.start += n;
+        out
+    }
+}
+
+/// Write cursor over a growable byte buffer; all `put_*` methods use big-endian order.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.data.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(42);
+        buf.put_f64(2.5);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 1 + 4 + 8 + 8);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64(), 42);
+        assert_eq!(bytes.get_f64(), 2.5);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_share_storage_and_clone_cheaply() {
+        let bytes = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let head = bytes.slice(0..2);
+        let tail = bytes.slice(2..);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&tail[..], &[3, 4, 5]);
+        assert_eq!(bytes.clone(), bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut bytes = Bytes::copy_from_slice(&[1]);
+        let _ = bytes.get_u32();
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let bytes = Bytes::copy_from_slice(&[1, 2]);
+        let _ = bytes.slice(0..3);
+    }
+}

@@ -1,0 +1,418 @@
+//! A small data-model-based stand-in for `serde`, sufficient for the derives this
+//! workspace uses, for offline builds.
+//!
+//! Instead of serde's visitor architecture, values convert to and from a single
+//! self-describing [`Value`] tree; `serde_json` (the sibling shim) renders that tree
+//! as JSON. The [`Serialize`] / [`Deserialize`] derive macros are re-exported from
+//! `serde_derive` and generate `Value`-based impls with serde's default encoding
+//! conventions (structs as objects, unit enum variants as strings, data-carrying
+//! variants as single-entry objects). The only field attribute honoured is
+//! `#[serde(default)]`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing value tree (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of an object, or `None`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// For single-entry objects (`{"Variant": ...}`), the key and payload.
+    pub fn as_single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Obj(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up a field in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the shim data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the shim data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        "expected an unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(Error::msg(format!("expected an integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        // serde_json encodes non-finite floats as null.
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::msg(format!("expected a number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected a bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected a string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected an array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::msg(format!("expected a 2-array, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(Error::msg(format!("expected a 3-array, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => render_key(&other),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+fn render_key(value: &Value) -> String {
+    match value {
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(f) => f.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("secs".to_owned(), Value::UInt(self.as_secs())),
+            ("nanos".to_owned(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs = field(value, "secs")?;
+        let nanos: u32 = field(value, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Extracts and deserializes a required object field (type inferred at the call site).
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(inner) => {
+            T::from_value(inner).map_err(|e| Error::msg(format!("field `{name}`: {}", e.0)))
+        }
+        None => Err(Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+/// Extracts an object field marked `#[serde(default)]`, falling back to `Default`.
+pub fn field_or_default<T: Deserialize + Default>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(inner) => {
+            T::from_value(inner).map_err(|e| Error::msg(format!("field `{name}`: {}", e.0)))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&3u8.to_value()), Ok(Some(3)));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn field_helpers() {
+        let obj = Value::Obj(vec![("a".into(), Value::UInt(3))]);
+        assert_eq!(field::<u32>(&obj, "a"), Ok(3));
+        assert!(field::<u32>(&obj, "b").is_err());
+        assert_eq!(field_or_default::<Vec<bool>>(&obj, "b"), Ok(vec![]));
+    }
+}

@@ -1,0 +1,440 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the local serde shim.
+//!
+//! The macros are written against the raw `proc_macro` API (no `syn`/`quote`, which
+//! are unavailable offline). They support what this workspace actually derives:
+//! non-generic structs with named fields and non-generic enums with unit, tuple and
+//! struct variants, plus the `#[serde(default)]` field attribute. Generated impls
+//! convert through `serde::Value` using serde's default encoding conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Parses the derive input into our tiny item model.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                } else if word == "struct" || word == "enum" {
+                    i += 1;
+                    break word;
+                } else {
+                    return Err(format!("unexpected token `{word}` before struct/enum"));
+                }
+            }
+            other => return Err(format!("unexpected derive input near {other:?}")),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the serde shim derive does not support generics (type `{name}`)"
+        ));
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "the serde shim derive does not support tuple structs (type `{name}`)"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("no body found for type `{name}`")),
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_fields(&body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        })
+    }
+}
+
+/// `true` if this `#[...]` attribute group is `serde(... default ...)`.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `attr* vis? name : Type ,` sequences from a brace-group body.
+fn parse_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                default |= is_serde_default(g);
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type up to the next top-level comma (tracking angle brackets).
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or past the end)
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-variant payload group.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(&g.stream().into_iter().collect::<Vec<_>>())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip anything up to the separating comma (e.g. discriminants).
+        while let Some(token) = tokens.get(i) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct_body(fields: &[Field]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from({name:?}), serde::Serialize::to_value(&self.{name}))",
+                name = f.name
+            )
+        })
+        .collect();
+    format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+fn serialize_fields_of_bindings(fields: &[Field]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from({name:?}), serde::Serialize::to_value({name}))",
+                name = f.name
+            )
+        })
+        .collect();
+    format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+fn deserialize_struct_fields(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let helper = if f.default {
+                "field_or_default"
+            } else {
+                "field"
+            };
+            format!("{}: serde::{helper}({source}, {:?})?,", f.name, f.name)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ {} }}\n\
+             }}",
+            serialize_struct_body(fields)
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(String::from({v:?})),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(f0) => serde::Value::Obj(vec![(String::from({v:?}), \
+                         serde::Serialize::to_value(f0))]),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|j| format!("f{j}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => serde::Value::Obj(vec![(String::from({v:?}), \
+                             serde::Value::Arr(vec![{items}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Obj(vec![(String::from({v:?}), {inner})]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            inner = serialize_fields_of_bindings(fields)
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     if value.as_object().is_none() {{\n\
+                         return Err(serde::Error::msg(format!(\
+                             \"expected an object for {name}, got {{value:?}}\")));\n\
+                     }}\n\
+                     Ok({name} {{ {} }})\n\
+                 }}\n\
+             }}",
+            deserialize_struct_fields(fields, "value")
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{v:?} => return Ok({name}::{v}),", v = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "{v:?} => return Ok({name}::{v}(serde::Deserialize::from_value(payload)?)),",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|j| format!("serde::Deserialize::from_value(&items[{j}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match payload {{\n\
+                                 serde::Value::Arr(items) if items.len() == {n} => \
+                                     return Ok({name}::{v}({items})),\n\
+                                 _ => return Err(serde::Error::msg(format!(\
+                                     \"variant {v} of {name} expects a {n}-array\"))),\n\
+                             }},",
+                            v = v.name,
+                            items = items.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => Some(format!(
+                        "{v:?} => return Ok({name}::{v} {{ {} }}),",
+                        deserialize_struct_fields(fields, "payload"),
+                        v = v.name
+                    )),
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         if let Some(s) = value.as_str() {{\n\
+                             match s {{\n\
+                                 {units}\n\
+                                 _ => return Err(serde::Error::msg(format!(\
+                                     \"unknown variant `{{s}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         #[allow(unused_variables)]\n\
+                         if let Some((key, payload)) = value.as_single_entry() {{\n\
+                             match key {{\n\
+                                 {datas}\n\
+                                 _ => return Err(serde::Error::msg(format!(\
+                                     \"unknown variant `{{key}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         Err(serde::Error::msg(format!(\
+                             \"expected a {name} variant, got {{value:?}}\")))\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (shim) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}

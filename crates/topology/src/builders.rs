@@ -41,7 +41,10 @@ pub fn complete_binary_tree(n_switches: usize) -> Tree {
 ///
 /// Panics if `n < 2` (there must be at least the root switch besides `d`).
 pub fn complete_binary_tree_bt(n: usize) -> Tree {
-    assert!(n >= 2, "BT(n) needs at least one switch besides the destination");
+    assert!(
+        n >= 2,
+        "BT(n) needs at least one switch besides the destination"
+    );
     complete_binary_tree(n - 1)
 }
 
@@ -60,7 +63,8 @@ pub fn complete_kary_tree(arity: usize, n_switches: usize) -> Tree {
     for v in 1..n_switches {
         // Heap indexing generalised to arity k: parent(v) = (v - 1) / k.
         let parent = (v - 1) / arity;
-        b.child(parent, 1.0).expect("parent precedes child by construction");
+        b.child(parent, 1.0)
+            .expect("parent precedes child by construction");
     }
     b.build().expect("k-ary construction is always valid")
 }
@@ -150,7 +154,8 @@ pub fn random_tree<R: Rng + ?Sized>(n_switches: usize, rng: &mut R) -> Tree {
         let parent = rng.random_range(0..v);
         b.child(parent, 1.0).expect("parent precedes child");
     }
-    b.build().expect("random recursive construction is always valid")
+    b.build()
+        .expect("random recursive construction is always valid")
 }
 
 /// Builds a random recursive tree whose maximum number of children per switch is
@@ -177,7 +182,8 @@ pub fn random_tree_bounded_degree<R: Rng + ?Sized>(
         child_count[parent] += 1;
         b.child(parent, 1.0).expect("parent precedes child");
     }
-    b.build().expect("bounded-degree construction is always valid")
+    b.build()
+        .expect("bounded-degree construction is always valid")
 }
 
 /// Builds the paper's `SF(n)` scale-free tree via random preferential attachment
@@ -189,7 +195,10 @@ pub fn random_tree_bounded_degree<R: Rng + ?Sized>(
 /// the usual "attach proportional to degree in the full graph including d" reading of
 /// the RPA process on trees).
 pub fn scale_free_tree_sf<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Tree {
-    assert!(n >= 2, "SF(n) needs at least one switch besides the destination");
+    assert!(
+        n >= 2,
+        "SF(n) needs at least one switch besides the destination"
+    );
     scale_free_tree(n - 1, rng)
 }
 
@@ -228,9 +237,7 @@ pub fn scale_free_tree<R: Rng + ?Sized>(n_switches: usize, rng: &mut R) -> Tree 
 /// This matches the degree notion used when discussing the `Max`-by-degree placement
 /// strategy on scale-free trees in Appendix B.
 pub fn degrees(tree: &Tree) -> Vec<usize> {
-    tree.node_ids()
-        .map(|v| tree.n_children(v) + 1)
-        .collect()
+    tree.node_ids().map(|v| tree.n_children(v) + 1).collect()
 }
 
 /// Convenience: the switch ids sorted by decreasing degree (ties broken by id).

@@ -30,9 +30,17 @@ pub fn to_dot(tree: &Tree, options: &DotOptions) -> String {
     let blue: std::collections::HashSet<NodeId> = options.blue.iter().copied().collect();
     writeln!(out, "digraph soar {{").unwrap();
     writeln!(out, "  rankdir=BT;").unwrap();
-    writeln!(out, "  d [shape=box, style=filled, fillcolor=white, label=\"d\"];").unwrap();
+    writeln!(
+        out,
+        "  d [shape=box, style=filled, fillcolor=white, label=\"d\"];"
+    )
+    .unwrap();
     for v in tree.node_ids() {
-        let fill = if blue.contains(&v) { "lightblue" } else { "lightcoral" };
+        let fill = if blue.contains(&v) {
+            "lightblue"
+        } else {
+            "lightcoral"
+        };
         let mut label = format!("s{v}");
         if options.show_loads && tree.load(v) > 0 {
             write!(label, "\\nL={}", tree.load(v)).unwrap();

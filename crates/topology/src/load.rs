@@ -306,7 +306,10 @@ mod tests {
         if let LoadSpec::PowerLaw { min, max, alpha } = spec {
             assert_eq!(min, 1);
             assert_eq!(max, 63);
-            assert!(alpha > 1.0 && alpha < 2.5, "alpha should be moderate, got {alpha}");
+            assert!(
+                alpha > 1.0 && alpha < 2.5,
+                "alpha should be moderate, got {alpha}"
+            );
         } else {
             unreachable!();
         }

@@ -46,12 +46,18 @@ impl RateScheme {
 
     /// The paper's linear scheme (`ω = i`, increasing by 1 per level from 1 at the leaves).
     pub fn paper_linear() -> Self {
-        RateScheme::LinearByLevel { base: 1.0, step: 1.0 }
+        RateScheme::LinearByLevel {
+            base: 1.0,
+            step: 1.0,
+        }
     }
 
     /// The paper's exponential scheme (`ω = 2^i`, doubling per level from 1 at the leaves).
     pub fn paper_exponential() -> Self {
-        RateScheme::ExponentialByLevel { base: 1.0, factor: 2.0 }
+        RateScheme::ExponentialByLevel {
+            base: 1.0,
+            factor: 2.0,
+        }
     }
 
     /// The rate this scheme assigns to the up-link of switch `v` in `tree`.
@@ -155,7 +161,9 @@ mod tests {
     fn labels_are_descriptive() {
         assert!(RateScheme::paper_constant().label().contains("constant"));
         assert!(RateScheme::paper_linear().label().contains("linear"));
-        assert!(RateScheme::paper_exponential().label().contains("exponential"));
+        assert!(RateScheme::paper_exponential()
+            .label()
+            .contains("exponential"));
         assert_eq!(RateScheme::Explicit(vec![1.0]).label(), "explicit");
     }
 

@@ -5,6 +5,11 @@
 //! the WC (word count) application model to translate placements into actual bytes on
 //! the wire.
 //!
+//! The whole scenario is expressed through the unified `Instance`/`Solver` API: one
+//! reproducible [`Instance`] per rate regime, one budget sweep per regime (a single
+//! SOAR-Gather pass shared by all budgets), and parallel fan-out over the regimes
+//! with [`sweep_budgets_batch`].
+//!
 //! Run with:
 //!
 //! ```text
@@ -17,12 +22,29 @@ use soar::apps::UseCase;
 use soar::prelude::*;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2021);
+    // BT(256): 255 switches, 128 ToR leaves, racks sized by the power-law
+    // distribution — one immutable instance per link-rate regime, all sharing the
+    // same seed so the racks are identical across regimes.
+    let schemes = [
+        RateScheme::paper_constant(),
+        RateScheme::paper_linear(),
+        RateScheme::paper_exponential(),
+    ];
+    let instances: Vec<Instance> = schemes
+        .iter()
+        .map(|scheme| {
+            Instance::builder()
+                .topology(TopologySpec::CompleteBinaryBt { n: 256 })
+                .leaf_loads(LoadSpec::paper_power_law())
+                .rates(scheme.clone())
+                .seed(2021)
+                .label(format!("BT(256)/{}", scheme.label()))
+                .build()
+                .expect("the scenario is well-formed")
+        })
+        .collect();
 
-    // BT(256): 255 switches, 128 ToR leaves, racks sized by the power-law distribution.
-    let mut tree = builders::complete_binary_tree_bt(256);
-    tree.apply_leaf_loads(&LoadSpec::paper_power_law(), &mut rng);
-
+    let tree = instances[0].tree();
     println!("== Datacenter reduce: BT(256), power-law racks ==");
     println!(
         "{} switches, {} ToR switches, {} worker servers\n",
@@ -32,40 +54,43 @@ fn main() {
     );
 
     // How much does a small aggregation budget buy, under the three rate regimes?
-    for scheme in [
-        RateScheme::paper_constant(),
-        RateScheme::paper_linear(),
-        RateScheme::paper_exponential(),
-    ] {
-        let tree = tree.with_rates(&scheme);
-        let all_red = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-        println!("-- link rates: {} --", scheme.label());
-        println!("all-red utilization: {all_red:.1}");
-        for k in [1usize, 4, 16, 32] {
-            let solution = soar::core::solve(&tree, k);
+    // One budget sweep per instance, fanned out across threads.
+    let budgets = [1usize, 4, 16, 32];
+    let sweeps = sweep_budgets_batch(&instances, &budgets);
+    for (instance, reports) in instances.iter().zip(&sweeps) {
+        println!("-- instance: {} --", instance.label());
+        println!("all-red utilization: {:.1}", instance.all_red_cost());
+        for report in reports {
             println!(
-                "  SOAR k = {k:>3}: utilization {:>10.1}  ({:.1}% of all-red, {} blue switches)",
-                solution.cost,
-                100.0 * solution.cost / all_red,
-                solution.blue_used
+                "  SOAR k = {:>3}: utilization {:>10.1}  ({:.1}% of all-red, {} blue switches)",
+                report.solution.budget,
+                report.solution.cost,
+                100.0 * report.normalized_cost,
+                report.solution.blue_used
             );
         }
         println!();
     }
 
-    // Translate the constant-rate placements into bytes using the WC application model.
-    let tree = tree.with_rates(&RateScheme::paper_constant());
+    // Translate the constant-rate placements into bytes using the WC application
+    // model; placements come from the SOAR solver through the registry.
+    let constant = &instances[0];
+    let solver = solvers::by_name("soar").expect("SOAR is registered");
     let use_case = UseCase::word_count_default();
-    let all_red = Coloring::all_red(tree.n_switches());
+    let all_red = Coloring::all_red(constant.n_switches());
     let red_bytes = use_case
-        .byte_report(&tree, &all_red, &mut StdRng::seed_from_u64(7))
+        .byte_report(constant.tree(), &all_red, &mut StdRng::seed_from_u64(7))
         .total_bytes;
     println!("-- WC byte complexity (constant rates) --");
     println!("all-red: {:.1} MB on the wire", red_bytes as f64 / 1e6);
     for k in [4usize, 16, 64] {
-        let solution = soar::core::solve(&tree, k);
+        let report = solver.solve(&constant.with_budget(k));
         let bytes = use_case
-            .byte_report(&tree, &solution.coloring, &mut StdRng::seed_from_u64(7))
+            .byte_report(
+                constant.tree(),
+                &report.solution.coloring,
+                &mut StdRng::seed_from_u64(7),
+            )
             .total_bytes;
         println!(
             "SOAR k = {k:>3}: {:.1} MB on the wire ({:.1}% of all-red)",

@@ -35,8 +35,14 @@ fn main() {
     let n = tree.n_switches();
     let placements: Vec<(String, Coloring)> = vec![
         ("all-red (no aggregation)".to_string(), Coloring::all_red(n)),
-        ("SOAR, k = 2".to_string(), soar::core::solve(&tree, 2).coloring),
-        ("SOAR, k = 8".to_string(), soar::core::solve(&tree, 8).coloring),
+        (
+            "SOAR, k = 2".to_string(),
+            soar::core::solve(&tree, 2).coloring,
+        ),
+        (
+            "SOAR, k = 8".to_string(),
+            soar::core::solve(&tree, 8).coloring,
+        ),
         ("all-blue (unbounded)".to_string(), Coloring::all_blue(n)),
     ];
 

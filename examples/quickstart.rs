@@ -70,9 +70,18 @@ fn main() {
     let solution = soar::core::solve(&tree, 2);
     let report = sim::simulate(&tree, &solution.coloring);
     println!("\n-- packet-level simulation of the optimal k = 2 Reduce --");
-    println!("total link busy time (= phi): {:.1}", report.total_busy_time);
-    println!("completion time:              {:.1}", report.completion_time);
-    println!("bottleneck link busy time:    {:.1}", report.max_link_busy_time);
+    println!(
+        "total link busy time (= phi): {:.1}",
+        report.total_busy_time
+    );
+    println!(
+        "completion time:              {:.1}",
+        report.completion_time
+    );
+    println!(
+        "bottleneck link busy time:    {:.1}",
+        report.max_link_busy_time
+    );
     println!(
         "messages at the destination:  {}",
         report.messages_at_destination

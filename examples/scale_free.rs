@@ -27,7 +27,10 @@ fn main() {
     let mut top_degrees: Vec<usize> = degs.clone();
     top_degrees.sort_unstable_by(|a, b| b.cmp(a));
     println!("== Scale-free network SF(128), unit load, k = {k} ==");
-    println!("highest degrees: {:?}\n", &top_degrees[..9.min(top_degrees.len())]);
+    println!(
+        "highest degrees: {:?}\n",
+        &top_degrees[..9.min(top_degrees.len())]
+    );
 
     let mut strategy_rng = StdRng::seed_from_u64(0);
     let all_red = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
@@ -48,7 +51,10 @@ fn main() {
 
     // Scaling study (Fig. 11c): k = 1% of n, log2(n), sqrt(n) for growing sizes.
     println!("\n-- scaling on SF(n), unit loads (normalized to all-red) --");
-    println!("{:>6} {:>10} {:>10} {:>10}", "n", "k=1%", "k=log n", "k=sqrt n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "n", "k=1%", "k=log n", "k=sqrt n"
+    );
     for exponent in 8..=11u32 {
         let n = 2usize.pow(exponent);
         let mut rng = StdRng::seed_from_u64(exponent as u64);

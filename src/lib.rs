@@ -3,26 +3,39 @@
 //! Facade crate for the SOAR reproduction (Segal, Avin, Scalosub — *"SOAR: Minimizing
 //! Network Utilization with Bounded In-network Computing"*, CoNEXT 2021).
 //!
-//! It simply re-exports the workspace crates under one roof so applications can depend
+//! It re-exports the workspace crates under one roof so applications can depend
 //! on a single package:
 //!
 //! * [`topology`] — tree networks, loads, link rates, topology generators;
 //! * [`reduce`] — the Reduce cost model (utilization, messages, bytes) and a
 //!   packet-level simulator;
-//! * [`core`] — the SOAR algorithm, the contending placement strategies and a
-//!   brute-force oracle;
+//! * [`core`] — the unified [`Instance`](core::api::Instance) /
+//!   [`Solver`](core::api::Solver) API, the SOAR algorithm, the contending
+//!   placement strategies and a brute-force oracle;
 //! * [`apps`] — the word-count (WC) and parameter-server (PS) workload models;
 //! * [`multitenant`] — the online multi-workload allocation scenario;
 //! * [`dataplane`] — the distributed message-passing prototype.
 //!
+//! The recommended workflow describes a whole φ-BIC scenario `(T, L, Λ, k)` as one
+//! immutable [`Instance`](core::api::Instance) and hands it to any registered
+//! [`Solver`](core::api::Solver); see `soar::core::api` for batch and budget-sweep
+//! entry points that fan out across threads.
+//!
 //! ```
 //! use soar::prelude::*;
 //!
-//! let mut tree = builders::complete_binary_tree(7);
-//! for (leaf, load) in [(3, 2), (4, 6), (5, 5), (6, 4)] {
-//!     tree.set_load(leaf, load);
-//! }
-//! let solution = soar::core::solve(&tree, 2);
+//! // The paper's motivating example (Fig. 2) as a first-class instance.
+//! let instance = Instance::builder()
+//!     .topology(TopologySpec::CompleteKary { arity: 2, n_switches: 7 })
+//!     .leaf_loads(LoadSpec::Explicit(vec![2, 6, 5, 4]))
+//!     .budget(2)
+//!     .build()
+//!     .unwrap();
+//! let report = SoarSolver.solve(&instance);
+//! assert_eq!(report.solution.cost, 20.0);
+//!
+//! // The classic tree-first entry points still work.
+//! let solution = soar::core::solve(instance.tree(), 2);
 //! assert_eq!(solution.cost, 20.0);
 //! ```
 
@@ -38,6 +51,10 @@ pub use soar_topology as topology;
 
 /// One-stop prelude for examples and applications.
 pub mod prelude {
+    pub use soar_core::api::{
+        solve_batch, solve_matrix, solvers, sweep_budgets, sweep_budgets_batch, Instance,
+        SoarSolver, SolveReport, Solver, StrategySolver, TopologySpec,
+    };
     pub use soar_core::prelude::*;
     pub use soar_core::Strategy;
     pub use soar_reduce::{cost, Coloring};

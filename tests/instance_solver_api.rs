@@ -1,0 +1,256 @@
+//! Integration tests of the unified `Instance`/`Solver` API, exercised through the
+//! facade crate the way a downstream user would:
+//!
+//! * a property test over random small trees asserting that **every** registered
+//!   solver returns a feasible coloring (`blue_used ≤ k`, blue ⊆ Λ) and that the
+//!   SOAR solver matches the brute-force oracle exactly;
+//! * batch and budget-sweep entry points produce identical costs to sequential
+//!   per-instance solves on a fixed-seed instance set;
+//! * the distributed dataplane plugged in as a `Solver` agrees with the
+//!   centralized one;
+//! * JSON round-trips for `Instance`, `Solution` and `SolveReport` (the
+//!   feature-gated serde support).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soar::dataplane::DistributedSoarSolver;
+use soar::prelude::*;
+
+/// A random, availability-restricted instance small enough for the brute-force
+/// oracle, built through `Instance::builder` from a random tree.
+fn random_small_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(2usize..=10);
+    let mut tree = builders::random_tree(n, &mut rng);
+    for v in 0..n {
+        tree.set_load(v, rng.random_range(0u64..7));
+        tree.set_rate(v, [0.5, 1.0, 2.0, 4.0][rng.random_range(0usize..4)]);
+    }
+    let unavailable: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.25)).collect();
+    let k = rng.random_range(0usize..=3);
+    Instance::builder()
+        .tree(&tree)
+        .unavailable(unavailable)
+        .budget(k)
+        .label(format!("random#{seed}"))
+        .build()
+        .expect("random instances are well-formed")
+}
+
+/// Every registered solver returns a feasible coloring on every random instance,
+/// and SOAR matches the exhaustive oracle exactly.
+#[test]
+fn all_registered_solvers_are_feasible_and_soar_is_optimal() {
+    for seed in 0..60u64 {
+        let instance = random_small_instance(seed);
+        let tree = instance.tree();
+        let k = instance.budget();
+
+        let exact = soar::core::brute_force(tree, k);
+        for solver in solvers::all() {
+            let report = solver.solve(&instance);
+            let coloring = &report.solution.coloring;
+            // Feasibility: blue ⊆ Λ always; the budget binds for everyone but the
+            // deliberately unbounded all-blue reference.
+            for v in coloring.iter_blue() {
+                assert!(
+                    tree.available(v),
+                    "{} colored unavailable switch {v} (seed {seed})",
+                    solver.name()
+                );
+            }
+            if solver.name() != "all-blue" {
+                assert!(
+                    report.solution.blue_used <= k,
+                    "{} used {} > k = {k} blue switches (seed {seed})",
+                    solver.name(),
+                    report.solution.blue_used
+                );
+                assert!(coloring.validate(tree, k).is_ok());
+                // No feasible solver can beat the exhaustive optimum.
+                assert!(
+                    exact.cost <= report.solution.cost + 1e-9,
+                    "{} beat the oracle (seed {seed})",
+                    solver.name()
+                );
+            }
+            // The reported cost is the real cost of the reported coloring.
+            assert!((cost::phi(tree, coloring) - report.solution.cost).abs() < 1e-9);
+        }
+
+        let soar_report = SoarSolver.solve(&instance);
+        assert!(
+            (soar_report.solution.cost - exact.cost).abs() < 1e-9,
+            "SOAR {} vs brute force {} (seed {seed})",
+            soar_report.solution.cost,
+            exact.cost
+        );
+    }
+}
+
+/// `solve_batch` / `sweep_budgets` produce identical costs to sequential
+/// per-instance `solve` calls on a fixed-seed instance set.
+#[test]
+fn batch_and_sweep_match_sequential_solves() {
+    let instances: Vec<Instance> = (0..10u64)
+        .map(|seed| {
+            Instance::builder()
+                .topology(TopologySpec::CompleteBinaryBt { n: 64 })
+                .leaf_loads(LoadSpec::paper_power_law())
+                .rates(RateScheme::paper_linear())
+                .seed(seed)
+                .budget(6)
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    // Parallel batch == sequential, report by report.
+    let batch = solve_batch(&SoarSolver, &instances);
+    for (instance, parallel) in instances.iter().zip(&batch) {
+        let sequential = SoarSolver.solve(instance);
+        assert_eq!(sequential.solution, parallel.solution);
+        assert_eq!(sequential.normalized_cost, parallel.normalized_cost);
+        assert_eq!(parallel.instance, instance.label());
+    }
+
+    // Budget sweeps (one gather pass) == per-budget solves.
+    let budgets = [0usize, 1, 2, 4, 6];
+    for (instance, sweep) in instances
+        .iter()
+        .zip(sweep_budgets_batch(&instances, &budgets))
+    {
+        for (&k, report) in budgets.iter().zip(&sweep) {
+            let direct = SoarSolver.solve(&instance.with_budget(k));
+            assert_eq!(direct.solution.cost, report.solution.cost, "budget {k}");
+            assert!(report.solution.blue_used <= k);
+        }
+        // The sweep shares its DP stats across budgets.
+        let dp = sweep[0].dp.expect("sweeps report DP stats");
+        assert_eq!(dp.budget, 6);
+    }
+}
+
+/// The same contenders through `solve_matrix` stay consistent with direct solves.
+#[test]
+fn solve_matrix_is_consistent_with_direct_solves() {
+    let instances: Vec<Instance> = (0..4u64)
+        .map(|seed| {
+            Instance::builder()
+                .topology(TopologySpec::TwoTierFatTree {
+                    aggs: 4,
+                    tors_per_agg: 8,
+                })
+                .leaf_loads(LoadSpec::paper_uniform())
+                .seed(seed)
+                .budget(3)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let contenders: Vec<Box<dyn Solver>> = ["soar", "top", "level"]
+        .iter()
+        .map(|name| solvers::by_name(name).unwrap())
+        .collect();
+    let matrix = solve_matrix(&contenders, &instances);
+    assert_eq!(matrix.len(), contenders.len());
+    for (solver, row) in contenders.iter().zip(&matrix) {
+        assert_eq!(row.len(), instances.len());
+        for (instance, report) in instances.iter().zip(row) {
+            let direct = solver.solve(instance);
+            assert_eq!(direct.solution, report.solution);
+        }
+    }
+}
+
+/// The distributed dataplane, plugged in as a `Solver`, reaches the centralized
+/// optimum on every instance.
+#[test]
+fn distributed_solver_matches_centralized_soar() {
+    for seed in 0..8u64 {
+        let instance = Instance::builder()
+            .topology(TopologySpec::CompleteBinaryBt { n: 32 })
+            .leaf_loads(LoadSpec::paper_uniform())
+            .seed(seed)
+            .budget(4)
+            .build()
+            .unwrap();
+        let centralized = SoarSolver.solve(&instance);
+        let distributed = DistributedSoarSolver.solve(&instance);
+        assert_eq!(distributed.solver, "soar-distributed");
+        assert!(
+            (centralized.solution.cost - distributed.solution.cost).abs() < 1e-9,
+            "seed {seed}"
+        );
+        assert!(distributed
+            .solution
+            .coloring
+            .validate(instance.tree(), instance.budget())
+            .is_ok());
+    }
+}
+
+/// Instances, solutions and reports serialize to JSON and back without loss
+/// (the `serde` feature of `soar-core`, enabled by the facade).
+#[test]
+fn instance_solution_and_report_round_trip_through_json() {
+    let instance = Instance::builder()
+        .topology(TopologySpec::ScaleFreeSf { n: 24 })
+        .loads(LoadSpec::Constant(2), LoadPlacement::AllSwitches)
+        .rates(RateScheme::paper_exponential())
+        .seed(11)
+        .budget(3)
+        .label("roundtrip")
+        .build()
+        .unwrap();
+
+    let json = serde_json::to_string(&instance).unwrap();
+    let parsed: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(instance, parsed);
+    assert_eq!(parsed.label(), "roundtrip");
+    assert_eq!(parsed.budget(), 3);
+    parsed.tree().validate().unwrap();
+
+    let report = SoarSolver.solve(&instance);
+    let solution_json = serde_json::to_string(&report.solution).unwrap();
+    let solution: Solution = serde_json::from_str(&solution_json).unwrap();
+    assert_eq!(solution, report.solution);
+
+    let report_json = serde_json::to_string(&report).unwrap();
+    let parsed_report: SolveReport = serde_json::from_str(&report_json).unwrap();
+    assert_eq!(parsed_report, report);
+    // A solver of the deserialized instance reproduces the persisted cost.
+    assert_eq!(
+        SoarSolver.solve(&parsed).solution.cost,
+        parsed_report.solution.cost
+    );
+}
+
+/// The cached all-red baseline is *derived* state: deserialization recomputes it
+/// from the tree, so a stale or hand-edited scenario file cannot skew
+/// normalization.
+#[test]
+fn deserialization_recomputes_a_tampered_baseline() {
+    let instance = Instance::builder()
+        .topology(TopologySpec::CompleteBinaryBt { n: 16 })
+        .leaf_loads(LoadSpec::Constant(3))
+        .budget(2)
+        .build()
+        .unwrap();
+    let truth = instance.all_red_cost();
+    let json = serde_json::to_string(&instance).unwrap();
+
+    // Corrupt the persisted baseline; the tree itself is untouched. (`{:?}` matches
+    // the JSON float rendering: integer-valued floats keep a trailing `.0`.)
+    let needle = format!("\"all_red_cost\":{truth:?}");
+    assert!(json.contains(&needle), "baseline not found in {json}");
+    let tampered = json.replace(&needle, "\"all_red_cost\":1.0");
+    let parsed: Instance = serde_json::from_str(&tampered).unwrap();
+    assert_eq!(parsed.all_red_cost(), truth);
+
+    // A file missing the field entirely (e.g. written by an older tool) loads too.
+    let missing = json.replace(&format!(",{needle}"), "");
+    assert!(!missing.contains("all_red_cost"));
+    let parsed: Instance = serde_json::from_str(&missing).unwrap();
+    assert_eq!(parsed.all_red_cost(), truth);
+}

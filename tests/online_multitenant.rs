@@ -29,7 +29,10 @@ fn more_workloads_drift_towards_all_red() {
 
     let few = run(&tree, &workloads[..4], Strategy::Soar, 8, 2).normalized_total();
     let many = run(&tree, &workloads, Strategy::Soar, 8, 2).normalized_total();
-    assert!(few < many, "serving more workloads ({many:.3}) must look worse than a few ({few:.3})");
+    assert!(
+        few < many,
+        "serving more workloads ({many:.3}) must look worse than a few ({few:.3})"
+    );
     assert!(many <= 1.0 + 1e-9);
 }
 
@@ -102,7 +105,12 @@ fn capacity_accounting_is_exact() {
     let generator = MixedWorkloadGenerator::paper_default();
     let mut rng = StdRng::seed_from_u64(31);
     let workloads = generator.draw_sequence(&tree, 40, &mut rng);
-    for strategy in [Strategy::Soar, Strategy::MaxLoad, Strategy::Top, Strategy::Level] {
+    for strategy in [
+        Strategy::Soar,
+        Strategy::MaxLoad,
+        Strategy::Top,
+        Strategy::Level,
+    ] {
         let mut allocator = OnlineAllocator::new(&tree, 5, 3);
         let mut strategy_rng = StdRng::seed_from_u64(1);
         let report = allocator.run_sequence(&workloads, strategy, &mut strategy_rng);
@@ -112,7 +120,11 @@ fn capacity_accounting_is_exact() {
                 used[v] += 1;
             }
         }
-        assert!(used.iter().all(|&u| u <= 3), "{} oversubscribed a switch", strategy.name());
+        assert!(
+            used.iter().all(|&u| u <= 3),
+            "{} oversubscribed a switch",
+            strategy.name()
+        );
         assert_eq!(
             allocator.capacities().total_residual(),
             (tree.n_switches() as u64) * 3 - used.iter().map(|&u| u as u64).sum::<u64>()

@@ -1,4 +1,5 @@
-//! Property-based tests of the core invariants:
+//! Property-based tests of the core invariants (hand-rolled generators — the build
+//! environment has no `proptest`):
 //!
 //! * SOAR is optimal (it matches an exhaustive search) on random weighted, loaded,
 //!   availability-restricted trees;
@@ -8,7 +9,8 @@
 //! * SOAR's cost is monotone non-increasing in the budget and bounded by the all-red /
 //!   all-blue extremes.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use soar::prelude::*;
 use soar::reduce::sim;
 
@@ -23,6 +25,24 @@ struct SmallInstance {
 }
 
 impl SmallInstance {
+    fn random(rng: &mut StdRng) -> Self {
+        let n = rng.random_range(2usize..=11);
+        let mut parents = vec![0usize];
+        for v in 1..n {
+            parents.push(rng.random_range(0..v));
+        }
+        let rate_choices = [0.5f64, 1.0, 2.0, 4.0];
+        SmallInstance {
+            parents,
+            rates: (0..n)
+                .map(|_| rate_choices[rng.random_range(0..rate_choices.len())])
+                .collect(),
+            loads: (0..n).map(|_| rng.random_range(0u64..8)).collect(),
+            available: (0..n).map(|_| rng.random_bool(0.8)).collect(),
+            k: rng.random_range(0usize..=4),
+        }
+    }
+
     fn build(&self) -> Tree {
         let mut tree = Tree::from_parents(&self.parents, &self.rates).unwrap();
         tree.set_loads(&self.loads);
@@ -31,135 +51,116 @@ impl SmallInstance {
     }
 }
 
-fn small_instance() -> impl Strategy<Value = SmallInstance> {
-    // 2..=11 switches; the parent of node v is derived from a random seed modulo v, so
-    // parents always precede their children.
-    (2usize..=11)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(any::<u64>(), n - 1),
-                proptest::collection::vec(
-                    prop_oneof![Just(0.5f64), Just(1.0), Just(2.0), Just(4.0)],
-                    n,
-                ),
-                proptest::collection::vec(0u64..8, n),
-                proptest::collection::vec(proptest::bool::weighted(0.8), n),
-                0usize..=4,
-            )
-        })
-        .prop_map(|(parent_seeds, rates, loads, available, k)| {
-            let mut parents = vec![0usize];
-            for (i, seed) in parent_seeds.iter().enumerate() {
-                parents.push((*seed as usize) % (i + 1));
-            }
-            SmallInstance {
-                parents,
-                rates,
-                loads,
-                available,
-                k,
-            }
-        })
-}
-
 /// A random coloring over the instance's switches (ignoring availability — the cost
 /// formulations must agree for *any* set of blue nodes).
-fn coloring_for(n: usize) -> impl Strategy<Value = Vec<bool>> {
-    proptest::collection::vec(proptest::bool::weighted(0.3), n)
+fn random_coloring(n: usize, rng: &mut StdRng) -> Coloring {
+    Coloring::from_blue_nodes(n, (0..n).filter(|_| rng.random_bool(0.3))).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    #[test]
-    fn soar_matches_brute_force(instance in small_instance()) {
+#[test]
+fn soar_matches_brute_force() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = SmallInstance::random(&mut rng);
         let tree = instance.build();
         let soar = soar::core::solve(&tree, instance.k);
         let exact = soar::core::brute_force(&tree, instance.k);
-        prop_assert!((soar.cost - exact.cost).abs() < 1e-9,
-            "SOAR {} vs brute force {} on {:?}", soar.cost, exact.cost, instance);
+        assert!(
+            (soar.cost - exact.cost).abs() < 1e-9,
+            "SOAR {} vs brute force {} on {instance:?}",
+            soar.cost,
+            exact.cost
+        );
         // The reported coloring is feasible and achieves the reported cost.
-        prop_assert!(soar.coloring.validate(&tree, instance.k).is_ok());
-        prop_assert!((cost::phi(&tree, &soar.coloring) - soar.cost).abs() < 1e-9);
+        assert!(soar.coloring.validate(&tree, instance.k).is_ok());
+        assert!((cost::phi(&tree, &soar.coloring) - soar.cost).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn eq1_and_eq3_agree(instance in small_instance(), blues in coloring_for(12)) {
+#[test]
+fn eq1_and_eq3_agree() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let instance = SmallInstance::random(&mut rng);
         let tree = instance.build();
-        let n = tree.n_switches();
-        let coloring = Coloring::from_blue_nodes(
-            n,
-            blues.iter().take(n).enumerate().filter_map(|(v, &b)| if b { Some(v) } else { None }),
-        ).unwrap();
+        let coloring = random_coloring(tree.n_switches(), &mut rng);
         let direct = cost::phi(&tree, &coloring);
         let barrier = soar::reduce::cost::phi_barrier(&tree, &coloring);
-        prop_assert!((direct - barrier).abs() < 1e-9);
+        assert!(
+            (direct - barrier).abs() < 1e-9,
+            "Eq.1 {direct} vs Eq.3 {barrier} on {instance:?}"
+        );
     }
+}
 
-    #[test]
-    fn simulator_reproduces_closed_form(instance in small_instance(), blues in coloring_for(12)) {
+#[test]
+fn simulator_reproduces_closed_form() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let instance = SmallInstance::random(&mut rng);
         let tree = instance.build();
-        let n = tree.n_switches();
-        let coloring = Coloring::from_blue_nodes(
-            n,
-            blues.iter().take(n).enumerate().filter_map(|(v, &b)| if b { Some(v) } else { None }),
-        ).unwrap();
+        let coloring = random_coloring(tree.n_switches(), &mut rng);
         let report = sim::simulate(&tree, &coloring);
-        prop_assert_eq!(report.per_edge_messages, cost::msg_counts(&tree, &coloring));
-        prop_assert!((report.total_busy_time - cost::phi(&tree, &coloring)).abs() < 1e-9);
+        assert_eq!(report.per_edge_messages, cost::msg_counts(&tree, &coloring));
+        assert!((report.total_busy_time - cost::phi(&tree, &coloring)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn soar_cost_is_monotone_in_k_and_bounded(instance in small_instance()) {
+#[test]
+fn soar_cost_is_monotone_in_k_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3_000 + seed);
+        let instance = SmallInstance::random(&mut rng);
         let tree = instance.build();
         let all_red = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
         let all_available_blue = cost::phi(&tree, &Coloring::all_available_blue(&tree));
         let mut previous = f64::INFINITY;
         for k in 0..=instance.k {
             let solution = soar::core::solve(&tree, k);
-            prop_assert!(solution.cost <= previous + 1e-9, "cost must not increase with k");
-            prop_assert!(solution.cost <= all_red + 1e-9);
+            assert!(
+                solution.cost <= previous + 1e-9,
+                "cost must not increase with k"
+            );
+            assert!(solution.cost <= all_red + 1e-9);
             // With "at most k" semantics SOAR can always fall back to fewer blue nodes,
             // so it is never worse than the better of the two extremes.
-            prop_assert!(solution.cost <= all_red.max(all_available_blue) + 1e-9);
-            prop_assert!(solution.blue_used <= k);
+            assert!(solution.cost <= all_red.max(all_available_blue) + 1e-9);
+            assert!(solution.blue_used <= k);
             previous = solution.cost;
         }
     }
+}
 
-    #[test]
-    fn barrier_components_partition_and_sum(instance in small_instance(), blues in coloring_for(12)) {
+#[test]
+fn barrier_components_partition_and_sum() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4_000 + seed);
+        let instance = SmallInstance::random(&mut rng);
         let tree = instance.build();
         let n = tree.n_switches();
-        let coloring = Coloring::from_blue_nodes(
-            n,
-            blues.iter().take(n).enumerate().filter_map(|(v, &b)| if b { Some(v) } else { None }),
-        ).unwrap();
+        let coloring = random_coloring(n, &mut rng);
         let components = soar::reduce::cost::barrier_components(&tree, &coloring);
         let mut seen = vec![false; n];
         let mut total = 0.0;
         for component in &components {
             for &v in &component.members {
-                prop_assert!(!seen[v], "switch {} appears in two components", v);
+                assert!(!seen[v], "switch {v} appears in two components");
                 seen[v] = true;
             }
             total += soar::reduce::cost::component_cost(&tree, &coloring, component);
         }
-        prop_assert!(seen.into_iter().all(|s| s));
-        prop_assert!((total - cost::phi(&tree, &coloring)).abs() < 1e-9);
+        assert!(seen.into_iter().all(|s| s));
+        assert!((total - cost::phi(&tree, &coloring)).abs() < 1e-9);
     }
 }
 
-/// Larger randomized (non-proptest) optimality check on BT topologies with the paper's
-/// load distributions, comparing SOAR to the greedy ablation and the strategies — SOAR
+/// Larger randomized optimality check on BT topologies with the paper's load
+/// distributions, comparing SOAR to the greedy ablation and the strategies — SOAR
 /// must never lose.
 #[test]
 fn soar_dominates_all_strategies_on_bt_instances() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    // `proptest::prelude::Strategy` (the generator trait) shadows the placement enum in
-    // this file, so refer to it explicitly.
-    use soar::core::Strategy;
     let mut rng = StdRng::seed_from_u64(99);
     for seed in 0..6u64 {
         let mut tree = builders::complete_binary_tree_bt(64);

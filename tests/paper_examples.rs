@@ -43,7 +43,10 @@ fn fig2_strategy_comparison() {
     assert_eq!(soar, 20.0);
     assert_eq!(level, 21.0);
     assert_eq!(max, 24.0);
-    assert!(top >= 27.0, "Top should be the worst of the four (paper: 27)");
+    assert!(
+        top >= 27.0,
+        "Top should be the worst of the four (paper: 27)"
+    );
     assert!(soar < level && level < max && max < top);
 }
 
@@ -69,7 +72,10 @@ fn fig3_optimal_costs_and_non_monotone_sets() {
         .collect();
     assert_eq!(k2, [2usize, 4].into_iter().collect());
     assert_eq!(k3, [4usize, 5, 6].into_iter().collect());
-    assert!(!k2.is_subset(&k3) || k2 == k3, "k=2 optimum is not contained in the k=3 optimum");
+    assert!(
+        !k2.is_subset(&k3) || k2 == k3,
+        "k=2 optimum is not contained in the k=3 optimum"
+    );
     assert_eq!(k2.intersection(&k3).count(), 1);
 }
 

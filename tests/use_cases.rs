@@ -33,7 +33,10 @@ fn utilization_is_application_agnostic() {
             &mut StdRng::seed_from_u64(5),
         );
         assert_eq!(wc.total_messages, ps.total_messages);
-        assert_eq!(wc.per_edge_messages, cost::msg_counts(&tree, &solution.coloring));
+        assert_eq!(
+            wc.per_edge_messages,
+            cost::msg_counts(&tree, &solution.coloring)
+        );
     }
 }
 
