@@ -1,12 +1,17 @@
 //! Batch-solving bench: the parallel `solve_batch` / `sweep_budgets_batch` fan-out
-//! of the unified Instance/Solver API versus sequential per-instance solves, and
-//! the single-gather budget sweep versus per-budget gathers.
+//! of the unified Instance/Solver API versus sequential per-instance solves, the
+//! single-gather budget sweep versus per-budget gathers, and the single-instance
+//! `gather` microbench (fresh arena vs warm `SolverWorkspace`) over {1k, 4k, 16k}
+//! switches — the same measurement the `bench_gather` binary snapshots into
+//! `BENCH_gather.json` for CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use soar_bench::instances::{bt_scenario, LoadKind};
+use soar_bench::perf::{gather_bench_instance, GATHER_BENCH_SIZES};
 use soar_core::api::{
     solve_batch, sweep_budgets, sweep_budgets_batch, Instance, SoarSolver, Solver,
 };
+use soar_core::workspace::SolverWorkspace;
 use soar_topology::rates::RateScheme;
 use std::hint::black_box;
 use std::time::Duration;
@@ -85,5 +90,36 @@ fn budget_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, parallel_batch, budget_sweep);
+/// Single-instance SOAR-Gather over growing tree sizes: a fresh arena per call
+/// versus a reused workspace (the allocation-free hot path of this crate).
+fn gather_microbench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for &n in &GATHER_BENCH_SIZES {
+        let instance = gather_bench_instance(n);
+        let (tree, k) = (instance.tree(), instance.budget());
+        group.bench_with_input(BenchmarkId::new("fresh", n), &instance, |b, _| {
+            b.iter(|| black_box(soar_core::soar_gather(tree, k)))
+        });
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather(tree, k);
+        group.bench_with_input(BenchmarkId::new("workspace", n), &instance, |b, _| {
+            b.iter(|| {
+                ws.gather(tree, k);
+                black_box(ws.tables().optimum())
+            })
+        });
+        assert_eq!(
+            ws.last_alloc_events(),
+            0,
+            "warm workspace gather must stay allocation-free"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_batch, budget_sweep, gather_microbench);
 criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Writes the `BENCH_gather.json` perf-tracking snapshot.
+//!
+//! Runs the single-instance gather microbench over the tree sizes of
+//! [`soar_bench::perf::GATHER_BENCH_SIZES`] and records, per size, the fresh and
+//! warm-workspace wall times, the warm pass's allocation count (expected 0) and
+//! the peak arena footprint. The `bench-smoke` CI job runs this binary so every
+//! commit leaves a machine-readable perf data point.
+//!
+//! ```text
+//! cargo run --release -p soar-bench --bin bench_gather [output-path]
+//! ```
+
+use soar_bench::perf::{gather_microbench, to_json_document};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gather.json".to_owned());
+    let points = gather_microbench();
+    for p in &points {
+        println!(
+            "gather n={:>6} k={:>3}  fresh {:>9.3} ms   warm {:>9.3} ms   allocs {}   peak {:.1} MB",
+            p.n_switches,
+            p.budget,
+            p.fresh_seconds * 1e3,
+            p.warm_seconds * 1e3,
+            p.warm_alloc_events,
+            p.peak_arena_bytes as f64 / 1e6,
+        );
+    }
+    let doc = to_json_document(&points);
+    std::fs::write(&out_path, &doc).expect("writing the bench snapshot failed");
+    println!("wrote {out_path}");
+    // A warm pass that allocates is a regression of the allocation-free gather;
+    // fail the smoke job loudly rather than silently recording it.
+    if points.iter().any(|p| p.warm_alloc_events != 0) {
+        eprintln!("error: warm gather performed heap allocations");
+        std::process::exit(1);
+    }
+}

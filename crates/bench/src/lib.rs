@@ -17,4 +17,5 @@
 
 pub mod experiments;
 pub mod instances;
+pub mod perf;
 pub mod series;

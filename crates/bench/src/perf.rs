@@ -1,0 +1,148 @@
+//! The gather microbenchmark behind the `bench-smoke` CI job.
+//!
+//! One instrumented measurement per tree size: wall time of a fresh
+//! (allocate-every-time) SOAR-Gather versus a warm [`SolverWorkspace`] replay,
+//! plus the workspace's allocation count and peak arena footprint. The criterion
+//! bench `batch_solve` (group `gather`) times the same routine interactively; the
+//! `bench_gather` binary runs it briefly and writes `BENCH_gather.json` so the
+//! perf trajectory is tracked commit over commit.
+
+use crate::instances::{bt_scenario, LoadKind};
+use soar_core::api::Instance;
+use soar_core::workspace::SolverWorkspace;
+use soar_topology::rates::RateScheme;
+use std::time::Instant;
+
+/// The budget the microbench solves for (mid-range: large enough that the `k²`
+/// inner loops dominate, small enough that 16k switches stay sub-second).
+pub const GATHER_BENCH_BUDGET: usize = 16;
+
+/// Tree sizes of the microbench, in **switches** (the paper's `BT(n)` counts the
+/// destination, so these are `BT(1024)`, `BT(4096)`, `BT(16384)`).
+pub const GATHER_BENCH_SIZES: [usize; 3] = [1024, 4096, 16384];
+
+/// One measured point of the gather microbench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatherBenchPoint {
+    /// Number of switches in the instance.
+    pub n_switches: usize,
+    /// The budget `k`.
+    pub budget: usize,
+    /// Mean wall time of a fresh gather (new arena every call), in seconds.
+    pub fresh_seconds: f64,
+    /// Mean wall time of a warm-workspace gather, in seconds.
+    pub warm_seconds: f64,
+    /// Buffer (re)allocations of the *last* warm pass — 0 is the invariant the
+    /// allocation-free gather guarantees.
+    pub warm_alloc_events: usize,
+    /// Peak workspace footprint (arena + scratch), in bytes.
+    pub peak_arena_bytes: usize,
+}
+
+impl GatherBenchPoint {
+    /// Serializes the point as a JSON object (hand-rolled: the bench result
+    /// schema is flat and this keeps the bin free of the serde feature).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"n_switches\":{},\"budget\":{},\"fresh_ms\":{:.4},",
+                "\"warm_ms\":{:.4},\"warm_alloc_events\":{},\"peak_arena_bytes\":{}}}"
+            ),
+            self.n_switches,
+            self.budget,
+            self.fresh_seconds * 1e3,
+            self.warm_seconds * 1e3,
+            self.warm_alloc_events,
+            self.peak_arena_bytes,
+        )
+    }
+}
+
+/// The `BT(n)` instance the microbench times (power-law leaf loads, constant
+/// rates, fixed seed — same family as the Fig. 9 scaling study).
+pub fn gather_bench_instance(n: usize) -> Instance {
+    bt_scenario(
+        n,
+        LoadKind::PowerLaw,
+        &RateScheme::paper_constant(),
+        1,
+        GATHER_BENCH_BUDGET,
+    )
+}
+
+/// Times one instance: `reps` fresh gathers vs `reps` warm-workspace gathers
+/// (after one untimed warm-up each).
+pub fn measure_gather(instance: &Instance, reps: usize) -> GatherBenchPoint {
+    let tree = instance.tree();
+    let k = instance.budget();
+    let reps = reps.max(1);
+
+    let _ = soar_core::soar_gather(tree, k);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(soar_core::soar_gather(tree, k));
+    }
+    let fresh_seconds = start.elapsed().as_secs_f64() / reps as f64;
+
+    let mut ws = SolverWorkspace::new();
+    let _ = ws.gather(tree, k);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(ws.gather(tree, k));
+    }
+    let warm_seconds = start.elapsed().as_secs_f64() / reps as f64;
+
+    GatherBenchPoint {
+        n_switches: tree.n_switches(),
+        budget: k,
+        fresh_seconds,
+        warm_seconds,
+        warm_alloc_events: ws.last_alloc_events(),
+        peak_arena_bytes: ws.peak_bytes(),
+    }
+}
+
+/// Runs the whole microbench: one point per size in [`GATHER_BENCH_SIZES`], with
+/// repetition counts scaled down for the larger trees so a smoke run stays fast.
+pub fn gather_microbench() -> Vec<GatherBenchPoint> {
+    GATHER_BENCH_SIZES
+        .iter()
+        .map(|&n| {
+            let reps = (16384 / n).clamp(2, 12);
+            measure_gather(&gather_bench_instance(n), reps)
+        })
+        .collect()
+}
+
+/// Formats the whole result set as the `BENCH_gather.json` document.
+pub fn to_json_document(points: &[GatherBenchPoint]) -> String {
+    let rows: Vec<String> = points.iter().map(GatherBenchPoint::to_json).collect();
+    format!(
+        "{{\"bench\":\"gather\",\"points\":[\n  {}\n]}}\n",
+        rows.join(",\n  ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbench_point_measures_and_serializes() {
+        // A small stand-in instance so the test stays fast; the shape of the
+        // measurement (positive timings, zero warm allocations) is what matters.
+        let instance = bt_scenario(128, LoadKind::PowerLaw, &RateScheme::paper_constant(), 1, 4);
+        let point = measure_gather(&instance, 2);
+        assert_eq!(point.n_switches, 127);
+        assert_eq!(point.budget, 4);
+        assert!(point.fresh_seconds > 0.0 && point.warm_seconds > 0.0);
+        assert_eq!(point.warm_alloc_events, 0, "warm gather must not allocate");
+        assert!(point.peak_arena_bytes > 0);
+        let json = point.to_json();
+        assert!(json.contains("\"n_switches\":127"));
+        assert!(json.contains("\"warm_alloc_events\":0"));
+        let doc = to_json_document(&[point]);
+        assert!(doc.starts_with("{\"bench\":\"gather\""));
+        assert!(doc.ends_with("]}\n"));
+    }
+}

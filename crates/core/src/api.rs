@@ -15,11 +15,15 @@
 //! * [`solvers`] — a string-keyed registry ([`solvers::by_name`]) so benches and
 //!   CLIs can enumerate contenders generically.
 //! * [`SolveReport`] — the [`Solution`] plus wall time, DP-table statistics and the
-//!   cost normalized to the instance's all-red baseline.
+//!   cost normalized to the instance's all-red baseline. [`DpStats`] includes the
+//!   workspace's allocation count, which is **0** for every steady-state solve.
 //! * [`solve_batch`] / [`sweep_budgets`] / [`sweep_budgets_batch`] — batch entry
-//!   points that fan instances out across OS threads (`std::thread::scope`; the
-//!   build environment has no `rayon`) and reuse one SOAR-Gather pass across all
-//!   budgets of a sweep.
+//!   points that fan instances out across the [`soar_pool`] work-stealing pool
+//!   and reuse one SOAR-Gather pass across all budgets of a sweep. Every pool
+//!   worker carries a warm per-thread
+//!   [`SolverWorkspace`](crate::workspace::SolverWorkspace), so batches run
+//!   allocation-free after each worker's first instance, and large instances
+//!   additionally parallelize the gather *within* the tree, level by level.
 //!
 //! ```
 //! use soar_core::api::{solvers, Instance, Solver, SoarSolver};
@@ -45,9 +49,9 @@
 //! }
 //! ```
 
-use crate::gather::soar_gather;
 use crate::solver::{self, Solution};
 use crate::strategies::Strategy;
+use crate::workspace::{with_thread_workspace, SolverWorkspace};
 use crate::{brute_force, tables::GatherTables};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,7 +61,6 @@ use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
 use soar_topology::{NodeId, Tree, TreeError};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 #[cfg(feature = "serde")]
@@ -462,16 +465,42 @@ pub struct DpStats {
     pub table_cells: usize,
     /// Approximate heap footprint of the tables in bytes.
     pub table_bytes: usize,
+    /// High-water heap footprint of the solver workspace (DP arena + scratch)
+    /// over its lifetime, in bytes.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub arena_peak_bytes: usize,
+    /// Buffer (re)allocations the gather behind this report performed — **0 when
+    /// the solve replayed a warm [`SolverWorkspace`]**, which is the steady state
+    /// of every batch/sweep entry point (and the headline property of the
+    /// allocation-free gather: no per-node clones, no per-node scratch).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub alloc_events: usize,
 }
 
 impl DpStats {
-    /// Captures the statistics of a gather pass.
+    /// Captures the statistics of a bare gather pass (no workspace: the
+    /// allocation counters are not tracked and read 0).
     pub fn from_tables(tables: &GatherTables) -> Self {
         DpStats {
             n_switches: tables.n_switches(),
             budget: tables.k,
             table_cells: tables.table_cells(),
             table_bytes: tables.memory_bytes(),
+            arena_peak_bytes: tables.memory_bytes(),
+            alloc_events: 0,
+        }
+    }
+
+    /// Captures the statistics of the most recent gather of a workspace.
+    pub fn from_workspace(workspace: &SolverWorkspace) -> Self {
+        let tables = workspace.tables();
+        DpStats {
+            n_switches: tables.n_switches(),
+            budget: tables.k,
+            table_cells: tables.table_cells(),
+            table_bytes: tables.memory_bytes(),
+            arena_peak_bytes: workspace.peak_bytes(),
+            alloc_events: workspace.last_alloc_events(),
         }
     }
 }
@@ -547,15 +576,17 @@ impl Solver for SoarSolver {
 
     fn solve(&self, instance: &Instance) -> SolveReport {
         let start = Instant::now();
-        let (solution, tables) = solver::solve_with_tables(instance.tree(), instance.budget());
-        let wall_time = start.elapsed();
-        SolveReport::new(
-            self.name(),
-            instance,
-            solution,
-            wall_time,
-            Some(DpStats::from_tables(&tables)),
-        )
+        with_thread_workspace(|ws| {
+            let solution = ws.solve(instance.tree(), instance.budget());
+            let wall_time = start.elapsed();
+            SolveReport::new(
+                self.name(),
+                instance,
+                solution,
+                wall_time,
+                Some(DpStats::from_workspace(ws)),
+            )
+        })
     }
 }
 
@@ -697,53 +728,18 @@ pub mod solvers {
 // Batch entry points
 // ---------------------------------------------------------------------------
 
-/// Maps `f` over `items` on `std::thread::scope` workers (one per core, capped by
-/// the item count), preserving order. Used by every batch entry point; with a
-/// single item or core the call degrades to a plain sequential map.
+/// Maps `f` over `items` on the global [`soar_pool`] work-stealing pool,
+/// preserving order. Used by every batch entry point; the pool's long-lived
+/// workers each carry a warm per-thread [`SolverWorkspace`], so a batch of
+/// same-shaped instances is solved allocation-free after each worker's first
+/// item. With a single worker the call degrades to a plain sequential map.
 fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<U>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    let chunks = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= items.len() {
-                            break out;
-                        }
-                        out.push((index, f(&items[index])));
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("batch worker must not panic"))
-            .collect::<Vec<_>>()
-    });
-    for chunk in chunks {
-        for (index, value) in chunk {
-            results[index] = Some(value);
-        }
-    }
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every index was produced exactly once"))
-        .collect()
+    soar_pool::global().map(items, f)
 }
 
 /// Solves every instance with the given solver, fanning out across threads.
@@ -781,36 +777,38 @@ pub fn sweep_budgets(instance: &Instance, budgets: &[usize]) -> Vec<SolveReport>
         return Vec::new();
     };
     let start = Instant::now();
-    let tables = soar_gather(instance.tree(), k_max);
-    // The "at most k" cost curve (shared epsilon logic lives in solver.rs).
-    let curve = solver::prefix_min_curve(&tables);
-    // Trace one coloring per *distinct* optimal blue count among the requested
-    // budgets — the expensive SOAR-Color walk is skipped for budgets whose
-    // optimum did not move, and for budgets the caller never asked about.
-    let mut colorings: std::collections::HashMap<usize, Coloring> =
-        std::collections::HashMap::new();
-    let solutions: Vec<Solution> = budgets
-        .iter()
-        .map(|&k| {
-            let (cost_k, j) = curve[k];
-            let coloring = colorings
-                .entry(j)
-                .or_insert_with(|| crate::soar_color_exact(instance.tree(), &tables, j))
-                .clone();
-            Solution {
-                blue_used: coloring.n_blue(),
-                cost: cost_k,
-                coloring,
-                budget: k,
-            }
-        })
-        .collect();
-    let wall_time = start.elapsed();
-    let dp = DpStats::from_tables(&tables);
-    solutions
-        .into_iter()
-        .map(|solution| SolveReport::new("soar", instance, solution, wall_time, Some(dp)))
-        .collect()
+    with_thread_workspace(|ws| {
+        let tables = ws.gather_auto(instance.tree(), k_max);
+        // The "at most k" cost curve (shared epsilon logic lives in solver.rs).
+        let curve = solver::prefix_min_curve(tables);
+        // Trace one coloring per *distinct* optimal blue count among the requested
+        // budgets — the expensive SOAR-Color walk is skipped for budgets whose
+        // optimum did not move, and for budgets the caller never asked about.
+        let mut colorings: std::collections::HashMap<usize, Coloring> =
+            std::collections::HashMap::new();
+        let solutions: Vec<Solution> = budgets
+            .iter()
+            .map(|&k| {
+                let (cost_k, j) = curve[k];
+                let coloring = colorings
+                    .entry(j)
+                    .or_insert_with(|| crate::soar_color_exact(instance.tree(), tables, j))
+                    .clone();
+                Solution {
+                    blue_used: coloring.n_blue(),
+                    cost: cost_k,
+                    coloring,
+                    budget: k,
+                }
+            })
+            .collect();
+        let wall_time = start.elapsed();
+        let dp = DpStats::from_workspace(ws);
+        solutions
+            .into_iter()
+            .map(|solution| SolveReport::new("soar", instance, solution, wall_time, Some(dp)))
+            .collect()
+    })
 }
 
 /// [`sweep_budgets`] over many instances, fanned out across threads. The outer

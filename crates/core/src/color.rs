@@ -40,6 +40,9 @@ pub fn soar_color(tree: &Tree, tables: &GatherTables) -> (Coloring, f64) {
 }
 
 /// Processes one switch: decides its color and pushes its children onto the work list.
+///
+/// `tables.node(v)` hands back a borrowed [`NodeTableView`](crate::tables::NodeTableView)
+/// into the gather arena — the traceback allocates nothing beyond its work list.
 fn assign(
     tree: &Tree,
     tables: &GatherTables,

@@ -8,37 +8,259 @@
 //! recursion `Y_v^m` (Lemma 6.1 / the `mCost` procedure), whose arg-min split is
 //! recorded for the coloring phase.
 //!
-//! The implementation is an iterative post-order traversal (no recursion), so trees
-//! with thousands of switches and heights in the tens are handled comfortably; the
-//! complexity is `O(n · h(T) · k²)` time as in Theorem 4.1.
+//! ## Traversal and storage
+//!
+//! The pass walks the tree **level by level, deepest first** — a valid bottom-up
+//! order (all children of a node sit exactly one level deeper) that doubles as the
+//! parallel schedule: nodes of one level touch disjoint arena blocks and only read
+//! the already-finalized deeper region, so [`soar-pool`](soar_pool) can fill a
+//! level's stripes concurrently ([`run_gather_parallel`]). Children's `X` tables
+//! are **borrowed as slices** from the [`GatherTables`] arena — the per-node
+//! `clone()` of every child table that earlier revisions performed is gone, and a
+//! warm [`SolverWorkspace`](crate::workspace::SolverWorkspace) runs the whole pass
+//! without a single heap allocation.
+//!
+//! The complexity is `O(n · h(T) · k²)` time as in Theorem 4.1.
 
-use crate::node_dp::compute_node_table;
+use crate::node_dp::{fill_node, DpScratch, NodeTableMut};
 use crate::tables::GatherTables;
-use soar_topology::Tree;
+use soar_pool::ThreadPool;
+use soar_topology::{NodeId, Tree};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared read-only state for filling the nodes of one level — the single home
+/// of the per-node offset arithmetic, used identically by the sequential pass
+/// (whole-level regions, zero bases) and the parallel pass (carved stripes with
+/// stripe bases), which is what keeps the two bit-identical by construction.
+struct LevelFill<'a> {
+    tree: &'a Tree,
+    n_i: usize,
+    /// Cell offset of the first strictly-deeper node: where `x_children` starts
+    /// in the `X` arena.
+    boundary: usize,
+    x_children: &'a [f64],
+    rho: &'a [f64],
+    n_l: &'a [u32],
+    cell_off: &'a [usize],
+    rho_off: &'a [usize],
+    split_off: &'a [usize],
+    split_len: &'a [usize],
+}
+
+impl LevelFill<'_> {
+    /// Fills node `v`'s table inside region slices whose first cell sits at
+    /// arena offset `cell_base` (respectively `split_base` for the split
+    /// region). Children's `X` tables are borrowed from `x_children`. Returns
+    /// the scratch growth count.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_one(
+        &self,
+        v: NodeId,
+        x: &mut [f64],
+        y_blue: &mut [f64],
+        y_red: &mut [f64],
+        splits: &mut [u32],
+        cell_base: usize,
+        split_base: usize,
+        scratch: &mut DpScratch,
+    ) -> usize {
+        let rows = self.n_l[v] as usize;
+        let cells = rows * self.n_i;
+        let off = self.cell_off[v] - cell_base;
+        let sp_off = self.split_off[v] - split_base;
+        let children = self.tree.children(v);
+        fill_node(
+            NodeTableMut {
+                x: &mut x[off..off + cells],
+                y_blue: &mut y_blue[off..off + cells],
+                y_red: &mut y_red[off..off + cells],
+                splits: &mut splits[sp_off..sp_off + self.split_len[v]],
+            },
+            &self.rho[self.rho_off[v]..self.rho_off[v] + rows],
+            self.tree.load(v),
+            self.tree.available(v),
+            self.n_i,
+            children.len(),
+            children.iter().map(|&c| {
+                let c_cells = self.n_l[c] as usize * self.n_i;
+                let c_off = self.cell_off[c] - self.boundary;
+                &self.x_children[c_off..c_off + c_cells]
+            }),
+            scratch,
+        )
+    }
+}
 
 /// Runs SOAR-Gather for budget `k` over the tree (its loads, rates and availability
 /// set Λ) and returns the full set of DP tables.
+///
+/// Allocates a fresh arena per call; batch and sweep callers should prefer a
+/// [`SolverWorkspace`](crate::workspace::SolverWorkspace), which reuses one arena
+/// across gathers.
 pub fn soar_gather(tree: &Tree, k: usize) -> GatherTables {
     let mut tables = GatherTables::new(tree, k);
-    for v in tree.post_order() {
-        // Snapshot the children's X tables (already finalized by the post-order scan) —
-        // this is exactly the information a child ships to its parent in the
-        // distributed rendition of the algorithm.
-        let children_x: Vec<Vec<f64>> = tree
-            .children(v)
-            .iter()
-            .map(|&c| tables.node(c).x.clone())
-            .collect();
-        let table = compute_node_table(
-            &tree.path_rho(v),
-            tree.load(v),
-            tree.available(v),
-            k,
-            &children_x,
-        );
-        tables.replace_node(v, table);
-    }
+    let mut scratch = DpScratch::new();
+    run_gather(&mut tables, tree, &mut scratch);
     tables
+}
+
+/// Fills already-laid-out tables bottom-up, sequentially. Returns the number of
+/// scratch-buffer growths (0 when `scratch` is warm).
+pub(crate) fn run_gather(tables: &mut GatherTables, tree: &Tree, scratch: &mut DpScratch) -> usize {
+    let mut grew = 0;
+    let n_i = tables.n_i;
+    for d in (0..tables.level_ranges.len()).rev() {
+        let (start, end) = tables.level_ranges[d];
+        let boundary = tables.level_cell_end[d];
+        let GatherTables {
+            x,
+            y_blue,
+            y_red,
+            splits,
+            rho,
+            n_l,
+            cell_off,
+            rho_off,
+            split_off,
+            split_len,
+            level_nodes,
+            ..
+        } = &mut *tables;
+        // Everything at offsets >= boundary belongs to strictly deeper levels:
+        // finalized children, read-only from here on.
+        let (x_level, x_children) = x.split_at_mut(boundary);
+        let ctx = LevelFill {
+            tree,
+            n_i,
+            boundary,
+            x_children,
+            rho,
+            n_l,
+            cell_off,
+            rho_off,
+            split_off,
+            split_len,
+        };
+        for &v in &level_nodes[start..end] {
+            grew += ctx.fill_one(v, x_level, y_blue, y_red, splits, 0, 0, scratch);
+        }
+    }
+    grew
+}
+
+/// Fills already-laid-out tables bottom-up with each level's nodes processed
+/// concurrently on `pool`.
+///
+/// Every level is carved into at most `pool.threads()` contiguous arena stripes
+/// (nodes are laid out level-major, so a run of nodes is a run of cells); each
+/// stripe is an independent job with its own [`DpScratch`] from `scratches`.
+/// Children are always finalized before their parents *by construction* — they
+/// live one level deeper, and levels are separated by the scope barrier. The
+/// per-node computation is identical to [`run_gather`], so the results are
+/// bit-identical to the sequential pass regardless of thread count.
+///
+/// Returns the number of scratch-buffer growths (0 when warm).
+pub(crate) fn run_gather_parallel(
+    tables: &mut GatherTables,
+    tree: &Tree,
+    scratches: &mut Vec<DpScratch>,
+    pool: &ThreadPool,
+) -> usize {
+    let max_stripes = pool.threads();
+    while scratches.len() < max_stripes {
+        // DpScratch::new is heap-free; its buffers grow inside fill_node, where
+        // the growth is counted.
+        scratches.push(DpScratch::new());
+    }
+    let grew = AtomicUsize::new(0);
+    let n_i = tables.n_i;
+    for d in (0..tables.level_ranges.len()).rev() {
+        let (start, end) = tables.level_ranges[d];
+        let n_nodes = end - start;
+        if n_nodes == 0 {
+            continue;
+        }
+        let boundary = tables.level_cell_end[d];
+        let level_cell_start = if d == 0 {
+            0
+        } else {
+            tables.level_cell_end[d - 1]
+        };
+        let level_split_start = if d == 0 {
+            0
+        } else {
+            tables.level_split_end[d - 1]
+        };
+        let level_split_end = tables.level_split_end[d];
+        let per_stripe = n_nodes.div_ceil(max_stripes);
+        let GatherTables {
+            x,
+            y_blue,
+            y_red,
+            splits,
+            rho,
+            n_l,
+            cell_off,
+            rho_off,
+            split_off,
+            split_len,
+            level_nodes,
+            ..
+        } = &mut *tables;
+        let (x_level_all, x_children) = x.split_at_mut(boundary);
+        // Mutable leases on this level's region of each arena; stripes are carved
+        // off the front as the spawn loop walks the level.
+        let mut x_rest = &mut x_level_all[level_cell_start..];
+        let mut yb_rest = &mut y_blue[level_cell_start..boundary];
+        let mut yr_rest = &mut y_red[level_cell_start..boundary];
+        let mut sp_rest = &mut splits[level_split_start..level_split_end];
+        // Shared, read-only state for all stripes.
+        let ctx = &LevelFill {
+            tree,
+            n_i,
+            boundary,
+            x_children,
+            rho,
+            n_l,
+            cell_off,
+            rho_off,
+            split_off,
+            split_len,
+        };
+        let grew = &grew;
+        pool.scope(|s| {
+            for (stripe_nodes, scratch) in level_nodes[start..end]
+                .chunks(per_stripe)
+                .zip(scratches.iter_mut())
+            {
+                let first = stripe_nodes[0];
+                let last = stripe_nodes[stripe_nodes.len() - 1];
+                let cell_base = ctx.cell_off[first];
+                let cell_len = ctx.cell_off[last] + ctx.n_l[last] as usize * n_i - cell_base;
+                let split_base = ctx.split_off[first];
+                let split_total = ctx.split_off[last] + ctx.split_len[last] - split_base;
+                let (x_s, tail) = std::mem::take(&mut x_rest).split_at_mut(cell_len);
+                x_rest = tail;
+                let (yb_s, tail) = std::mem::take(&mut yb_rest).split_at_mut(cell_len);
+                yb_rest = tail;
+                let (yr_s, tail) = std::mem::take(&mut yr_rest).split_at_mut(cell_len);
+                yr_rest = tail;
+                let (sp_s, tail) = std::mem::take(&mut sp_rest).split_at_mut(split_total);
+                sp_rest = tail;
+                s.spawn(move || {
+                    let mut local_grew = 0;
+                    for &v in stripe_nodes {
+                        local_grew +=
+                            ctx.fill_one(v, x_s, yb_s, yr_s, sp_s, cell_base, split_base, scratch);
+                    }
+                    if local_grew > 0 {
+                        grew.fetch_add(local_grew, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    }
+    grew.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -198,5 +420,32 @@ mod tests {
         // own link, the root forwards 1.
         let root_blue: f64 = (1..9).map(|v| v as f64).sum::<f64>() + 1.0;
         assert_eq!(tables.optimum_with_exactly(1), root_blue);
+    }
+
+    #[test]
+    fn parallel_gather_is_bit_identical_to_sequential() {
+        // Several shapes, including high arity and a path, on a multi-worker pool.
+        let pool = ThreadPool::new(4);
+        let trees = vec![fig5_tree(), builders::star(17), builders::path(9), {
+            let mut t = builders::complete_binary_tree(63);
+            for (i, v) in t.leaves().collect::<Vec<_>>().into_iter().enumerate() {
+                t.set_load(v, (i % 7 + 1) as u64);
+            }
+            t
+        }];
+        for tree in &trees {
+            for k in [0usize, 1, 3, 6] {
+                let sequential = soar_gather(tree, k);
+                let mut tables = GatherTables::new(tree, k);
+                let mut scratches = Vec::new();
+                run_gather_parallel(&mut tables, tree, &mut scratches, &pool);
+                assert_eq!(
+                    tables,
+                    sequential,
+                    "parallel gather diverged on n = {}, k = {k}",
+                    tree.n_switches()
+                );
+            }
+        }
     }
 }

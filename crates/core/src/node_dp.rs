@@ -12,104 +12,213 @@
 //! `soar-dataplane` crate drives this same function from message-passing switch actors,
 //! while [`crate::gather`] drives it from a centralized post-order traversal. Keeping a
 //! single implementation guarantees the two agree.
+//!
+//! ## Hot-path shape
+//!
+//! The actual DP lives in [`fill_node`], which writes into caller-provided slices
+//! ([`NodeTableMut`]) and reads children's `X` tables as borrowed slices — in the
+//! centralized gather those are arena stripes, so **no per-node heap allocation**
+//! happens at all once the [`DpScratch`] ping-pong buffers are warm. The `mCost`
+//! inner loops are written against per-row subslices: the row bounds checks are
+//! paid once per `(child, ℓ)` instead of once per `(child, ℓ, i, j)` lookup, and
+//! the child's distance-1 row (the only row the blue recursion ever reads) is
+//! hoisted out of the `ℓ` loop entirely.
+//!
+//! [`compute_node_table`] remains the allocating convenience wrapper used by the
+//! dataplane's switch actors, which own their tables outright.
 
-use crate::tables::{Color, NodeTable, INF};
+use crate::tables::{Color, DpTable, NodeTable, INF};
 
-/// Computes the full DP table of one switch from its children's `X` tables.
+/// Reusable ping-pong buffers for the per-child prefix recursion (`Y^m`).
 ///
-/// * `path_rho[ℓ]` must hold `ρ(v, Aᵉ_v)` for `ℓ = 0 ..= D(v) + 1`.
-/// * `children_x[m]` is the flat `X` table of the `m`-th child (row-major in `ℓ`, with
-///   `k + 1` columns and at least `D(v) + 3` rows — i.e. the child's own table).
+/// One scratch serves any number of consecutive [`fill_node`] calls; buffers only
+/// grow (doubling), so a warm scratch performs no allocation. The buffers are
+/// never cleared between nodes or children: every cell is overwritten before it is
+/// read (the old INF refill between children was dead work — both buffers are
+/// fully rewritten for every `(ℓ, i)` cell on the next child fold).
+#[derive(Debug, Default)]
+pub struct DpScratch {
+    prev_blue: Vec<f64>,
+    prev_red: Vec<f64>,
+    cur_blue: Vec<f64>,
+    cur_red: Vec<f64>,
+}
+
+impl DpScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        DpScratch::default()
+    }
+
+    /// Makes every buffer at least `cells` long. Returns the number of buffers
+    /// that had to (re)allocate — 0 once warm.
+    fn ensure(&mut self, cells: usize) -> usize {
+        let mut grew = 0;
+        for buf in [
+            &mut self.prev_blue,
+            &mut self.prev_red,
+            &mut self.cur_blue,
+            &mut self.cur_red,
+        ] {
+            if buf.len() < cells {
+                if buf.capacity() < cells {
+                    grew += 1;
+                }
+                buf.resize(cells.max(buf.capacity()), INF);
+            }
+        }
+        grew
+    }
+
+    /// Current heap footprint of the scratch buffers, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.prev_blue.capacity()
+            + self.prev_red.capacity()
+            + self.cur_blue.capacity()
+            + self.cur_red.capacity())
+            * 8
+    }
+}
+
+/// Mutable destination slices for one node's table, borrowed from the
+/// [`GatherTables`](crate::tables::GatherTables) arena (or from an owned
+/// [`NodeTable`]'s buffers). All slices are `n_l · n_i` cells, row-major in `ℓ`,
+/// except `splits` which is `(C(v) - 1) · n_l · n_i · 2`.
+pub struct NodeTableMut<'a> {
+    /// `X_v` destination.
+    pub x: &'a mut [f64],
+    /// `Y_v(·, ·, B)` destination.
+    pub y_blue: &'a mut [f64],
+    /// `Y_v(·, ·, R)` destination.
+    pub y_red: &'a mut [f64],
+    /// Split-decision destination (empty for nodes with fewer than two children).
+    pub splits: &'a mut [u32],
+}
+
+/// Fills one switch's DP table in place from its children's `X` tables.
 ///
-/// The returned table contains `X_v`, the final-stage `Y_v(·, ·, B/R)` and the recorded
-/// split decisions for children `m ≥ 2`.
-pub fn compute_node_table(
+/// * `path_rho[ℓ]` must hold `ρ(v, Aᵉ_v)` for `ℓ = 0 ..= D(v) + 1`; its length is
+///   the number of rows `n_l`.
+/// * `n_i` is `k + 1`.
+/// * `children_x` yields each child's flat `X` table in child order (`n_l + 1`
+///   rows of `n_i` columns — i.e. the child's own table); it must yield exactly
+///   `n_children` items.
+///
+/// Returns the number of scratch buffers that had to grow (0 once warm).
+#[allow(clippy::too_many_arguments)]
+pub fn fill_node<'c>(
+    out: NodeTableMut<'_>,
     path_rho: &[f64],
     load: u64,
     available: bool,
-    k: usize,
-    children_x: &[Vec<f64>],
-) -> NodeTable {
-    let n_l = path_rho.len();
-    let mut table = NodeTable::new(n_l, k + 1, children_x.len(), path_rho.to_vec());
-    if children_x.is_empty() {
-        fill_leaf(&mut table, load, available, k);
+    n_i: usize,
+    n_children: usize,
+    children_x: impl Iterator<Item = &'c [f64]>,
+    scratch: &mut DpScratch,
+) -> usize {
+    if n_children == 0 {
+        fill_leaf(out, path_rho, load, available, n_i);
+        0
     } else {
-        fill_internal(&mut table, load, available, k, children_x);
+        fill_internal(
+            out, path_rho, load, available, n_i, n_children, children_x, scratch,
+        )
     }
-    table
 }
 
 /// Base case (Alg. 3, lines 1-9): a leaf aggregates (blue) for `1 · ρ` or forwards its
 /// own workers (red) for `L(v) · ρ`.
-fn fill_leaf(table: &mut NodeTable, load: u64, available: bool, k: usize) {
+fn fill_leaf(out: NodeTableMut<'_>, path_rho: &[f64], load: u64, available: bool, n_i: usize) {
     let load = load as f64;
-    for l in 0..table.n_l {
-        let rho = table.rho_up(l);
+    for (l, &rho) in path_rho.iter().enumerate() {
         let red = rho * load;
         let blue = if available { rho } else { INF };
-        table.set_y(l, 0, Color::Red, red);
-        table.set_y(l, 0, Color::Blue, INF);
-        table.set_x(l, 0, red);
-        for i in 1..=k {
-            table.set_y(l, i, Color::Red, red);
-            table.set_y(l, i, Color::Blue, blue);
-            table.set_x(l, i, red.min(blue));
-        }
+        let row = l * n_i;
+        let x_row = &mut out.x[row..row + n_i];
+        let yb_row = &mut out.y_blue[row..row + n_i];
+        let yr_row = &mut out.y_red[row..row + n_i];
+        yr_row.fill(red);
+        yb_row[0] = INF;
+        yb_row[1..].fill(blue);
+        x_row[0] = red;
+        x_row[1..].fill(red.min(blue));
     }
 }
 
 /// Recursive case (Alg. 3, lines 10-29): fold the children in one at a time through the
 /// prefix recursion `Y^m`, recording the arg-min splits (`mCost`) along the way.
-fn fill_internal(
-    table: &mut NodeTable,
+#[allow(clippy::too_many_arguments)]
+fn fill_internal<'c>(
+    out: NodeTableMut<'_>,
+    path_rho: &[f64],
     load: u64,
     available: bool,
-    k: usize,
-    children_x: &[Vec<f64>],
-) {
-    let n_l = table.n_l;
+    n_i: usize,
+    n_children: usize,
+    mut children_x: impl Iterator<Item = &'c [f64]>,
+    scratch: &mut DpScratch,
+) -> usize {
+    let n_l = path_rho.len();
+    let cells = n_l * n_i;
     let load = load as f64;
-    let n_children = children_x.len();
-    let child_x = |m_index: usize, l: usize, i: usize| children_x[m_index][l * (k + 1) + i];
-
-    let cells = n_l * (k + 1);
-    let mut prev_blue = vec![INF; cells];
-    let mut prev_red = vec![INF; cells];
-    let mut cur_blue = vec![INF; cells];
-    let mut cur_red = vec![INF; cells];
-    let idx = |l: usize, i: usize| l * (k + 1) + i;
+    let grew = scratch.ensure(cells);
 
     for m_index in 0..n_children {
-        let m = m_index + 1; // the paper's 1-based child index
-        if m == 1 {
-            for l in 0..n_l {
-                let rho = table.rho_up(l);
-                for i in 0..=k {
-                    // Blue: v consumes one blue node; c_1 is looked up at distance 1
-                    // with the remaining i - 1 nodes.
-                    let blue = if available && i >= 1 {
-                        child_x(m_index, 1, i - 1) + rho
-                    } else {
-                        INF
-                    };
-                    // Red: c_1 is looked up at distance ℓ + 1; v's own workers travel ℓ
-                    // links to the barrier.
-                    let red = child_x(m_index, l + 1, i) + rho * load;
-                    cur_blue[idx(l, i)] = blue;
-                    cur_red[idx(l, i)] = red;
+        let cx = children_x
+            .next()
+            .expect("children_x yields one table per child");
+        // The only row the blue recursion reads: the child at distance 1.
+        // Hoisted out of the ℓ loop (and its bounds check out of the j loop).
+        let d1_row = &cx[n_i..2 * n_i];
+        if m_index == 0 {
+            // First child: Y^1 is a direct lookup, no split to record.
+            let cur_blue = &mut scratch.cur_blue[..cells];
+            let cur_red = &mut scratch.cur_red[..cells];
+            for (l, &rho) in path_rho.iter().enumerate() {
+                let row = l * n_i;
+                // Red: c_1 is looked up at distance ℓ + 1; v's own workers travel
+                // ℓ links to the barrier.
+                let child_row = &cx[row + n_i..row + 2 * n_i];
+                let cb_row = &mut cur_blue[row..row + n_i];
+                let cr_row = &mut cur_red[row..row + n_i];
+                let red_base = rho * load;
+                for (cr, &c) in cr_row.iter_mut().zip(child_row) {
+                    *cr = c + red_base;
+                }
+                // Blue: v consumes one blue node; c_1 is looked up at distance 1
+                // with the remaining i - 1 nodes.
+                cb_row[0] = INF;
+                if available {
+                    for (cb, &c) in cb_row[1..].iter_mut().zip(d1_row) {
+                        *cb = c + rho;
+                    }
+                } else {
+                    cb_row[1..].fill(INF);
                 }
             }
         } else {
+            let m = m_index + 1; // the paper's 1-based child index
+            let prev_blue = &scratch.prev_blue[..cells];
+            let prev_red = &scratch.prev_red[..cells];
+            let cur_blue = &mut scratch.cur_blue[..cells];
+            let cur_red = &mut scratch.cur_red[..cells];
+            let split_block = &mut out.splits[(m - 2) * cells * 2..(m - 1) * cells * 2];
             for l in 0..n_l {
-                for i in 0..=k {
-                    // mCost for color B: hand j blue nodes to c_m, keep i - j ≥ 1 in the
-                    // prefix (one of them is v itself).
+                let row = l * n_i;
+                let child_row = &cx[row + n_i..row + 2 * n_i];
+                let pb_row = &prev_blue[row..row + n_i];
+                let pr_row = &prev_red[row..row + n_i];
+                let cb_row = &mut cur_blue[row..row + n_i];
+                let cr_row = &mut cur_red[row..row + n_i];
+                let split_row = &mut split_block[row * 2..(row + n_i) * 2];
+                for i in 0..n_i {
+                    // mCost for color B: hand j blue nodes to c_m, keep i - j ≥ 1
+                    // in the prefix (one of them is v itself).
                     let mut best_blue = INF;
                     let mut best_blue_j = 0u32;
                     if available && i >= 1 {
                         for j in 0..i {
-                            let value = prev_blue[idx(l, i - j)] + child_x(m_index, 1, j);
+                            let value = pb_row[i - j] + d1_row[j];
                             if value < best_blue {
                                 best_blue = value;
                                 best_blue_j = j as u32;
@@ -120,46 +229,83 @@ fn fill_internal(
                     let mut best_red = INF;
                     let mut best_red_j = 0u32;
                     for j in 0..=i {
-                        let value = prev_red[idx(l, i - j)] + child_x(m_index, l + 1, j);
+                        let value = pr_row[i - j] + child_row[j];
                         if value < best_red {
                             best_red = value;
                             best_red_j = j as u32;
                         }
                     }
-                    cur_blue[idx(l, i)] = best_blue;
-                    cur_red[idx(l, i)] = best_red;
-                    table.set_split(m, l, i, Color::Blue, best_blue_j);
-                    table.set_split(m, l, i, Color::Red, best_red_j);
+                    cb_row[i] = best_blue;
+                    cr_row[i] = best_red;
+                    split_row[i * 2] = best_blue_j;
+                    split_row[i * 2 + 1] = best_red_j;
                 }
             }
         }
-        std::mem::swap(&mut prev_blue, &mut cur_blue);
-        std::mem::swap(&mut prev_red, &mut cur_red);
-        if m < n_children {
-            for cell in cur_blue.iter_mut() {
-                *cell = INF;
-            }
-            for cell in cur_red.iter_mut() {
-                *cell = INF;
-            }
-        }
+        std::mem::swap(&mut scratch.prev_blue, &mut scratch.cur_blue);
+        std::mem::swap(&mut scratch.prev_red, &mut scratch.cur_red);
     }
 
-    for l in 0..n_l {
-        for i in 0..=k {
-            let blue = prev_blue[idx(l, i)];
-            let red = prev_red[idx(l, i)];
-            table.set_y(l, i, Color::Blue, blue);
-            table.set_y(l, i, Color::Red, red);
-            table.set_x(l, i, blue.min(red));
-        }
+    // Final stage: Y_v = Y^{C(v)}, X_v = min(Y_B, Y_R).
+    let prev_blue = &scratch.prev_blue[..cells];
+    let prev_red = &scratch.prev_red[..cells];
+    for i in 0..cells {
+        let blue = prev_blue[i];
+        let red = prev_red[i];
+        out.y_blue[i] = blue;
+        out.y_red[i] = red;
+        out.x[i] = blue.min(red);
     }
+    grew
+}
+
+/// Computes the full DP table of one switch from its children's `X` tables, as an
+/// owned [`NodeTable`].
+///
+/// * `path_rho[ℓ]` must hold `ρ(v, Aᵉ_v)` for `ℓ = 0 ..= D(v) + 1`.
+/// * `children_x[m]` is the flat `X` table of the `m`-th child (row-major in `ℓ`, with
+///   `k + 1` columns and at least `D(v) + 3` rows — i.e. the child's own table).
+///
+/// The returned table contains `X_v`, the final-stage `Y_v(·, ·, B/R)` and the recorded
+/// split decisions for children `m ≥ 2`. This is the entry point of the
+/// *distributed* rendition (`soar-dataplane`), where every switch owns its table;
+/// the centralized gather instead fills arena slices via [`fill_node`] and never
+/// allocates per node.
+pub fn compute_node_table(
+    path_rho: &[f64],
+    load: u64,
+    available: bool,
+    k: usize,
+    children_x: &[Vec<f64>],
+) -> NodeTable {
+    let n_l = path_rho.len();
+    let mut table = NodeTable::new(n_l, k + 1, children_x.len(), path_rho.to_vec());
+    let mut scratch = DpScratch::new();
+    fill_node(
+        NodeTableMut {
+            x: &mut table.x,
+            y_blue: &mut table.y_blue,
+            y_red: &mut table.y_red,
+            splits: &mut table.splits,
+        },
+        path_rho,
+        load,
+        available,
+        k + 1,
+        children_x.len(),
+        children_x.iter().map(|v| v.as_slice()),
+        &mut scratch,
+    );
+    table
 }
 
 /// Given a switch's own table and its actual distance `ℓ*` to the nearest barrier plus
 /// the number of blue nodes `i` it must distribute, decides the switch's color exactly
 /// as SOAR-Color does (Alg. 4, line 6; leaves are handled by the caller).
-pub fn decide_color(table: &NodeTable, l: usize, i: usize) -> Color {
+///
+/// Generic over [`DpTable`] so it serves both the dataplane's owned tables and the
+/// arena-backed views of the centralized solver.
+pub fn decide_color<T: DpTable + ?Sized>(table: &T, l: usize, i: usize) -> Color {
     if table.y(l, i, Color::Blue) < table.y(l, i, Color::Red) {
         Color::Blue
     } else {
@@ -170,8 +316,8 @@ pub fn decide_color(table: &NodeTable, l: usize, i: usize) -> Color {
 /// Computes how many blue nodes each child receives when `v` (whose table is given) has
 /// `i` blue nodes to distribute, sits at distance `ℓ*` from its barrier, and takes the
 /// given color. Returns one entry per child, in child order (Alg. 4, lines 9-16).
-pub fn child_budgets(
-    table: &NodeTable,
+pub fn child_budgets<T: DpTable + ?Sized>(
+    table: &T,
     n_children: usize,
     l: usize,
     i: usize,
@@ -263,5 +409,64 @@ mod tests {
 
         // With i = 0 nothing is distributed.
         assert_eq!(child_budgets(&table, 2, 1, 0, Color::Red), vec![0, 0]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_allocation_free_and_result_invariant() {
+        let k = 3;
+        let child = |load: f64| -> Vec<f64> {
+            let mut x = vec![0.0; 5 * (k + 1)];
+            for l in 0..5 {
+                x[l * (k + 1)] = load * l as f64;
+                for i in 1..=k {
+                    x[l * (k + 1) + i] = (l as f64).min(load * l as f64);
+                }
+            }
+            x
+        };
+        let children: Vec<Vec<f64>> = vec![child(2.0), child(6.0), child(5.0)];
+        let child_slices: Vec<&[f64]> = children.iter().map(|v| v.as_slice()).collect();
+        let reference = compute_node_table(&[0.0, 1.0, 2.0, 3.0], 1, true, k, &children);
+
+        let mut scratch = DpScratch::new();
+        let n_l = 4;
+        let n_i = k + 1;
+        let cells = n_l * n_i;
+        let mut runs = Vec::new();
+        for round in 0..3 {
+            let mut x = vec![0.0; cells];
+            let mut yb = vec![0.0; cells];
+            let mut yr = vec![0.0; cells];
+            let mut splits = vec![0u32; 2 * cells * 2];
+            let grew = fill_node(
+                NodeTableMut {
+                    x: &mut x,
+                    y_blue: &mut yb,
+                    y_red: &mut yr,
+                    splits: &mut splits,
+                },
+                &[0.0, 1.0, 2.0, 3.0],
+                1,
+                true,
+                n_i,
+                3,
+                child_slices.iter().copied(),
+                &mut scratch,
+            );
+            if round == 0 {
+                assert!(grew > 0, "cold scratch must grow once");
+            } else {
+                assert_eq!(grew, 0, "warm scratch must not allocate");
+            }
+            runs.push((x, yb, yr, splits));
+        }
+        // Every reuse round is bit-identical to the first and to the owned wrapper.
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+        assert_eq!(runs[0].0, reference.x);
+        assert_eq!(runs[0].1, reference.y_blue);
+        assert_eq!(runs[0].2, reference.y_red);
+        assert_eq!(runs[0].3, reference.splits);
+        assert!(scratch.memory_bytes() >= 4 * cells * 8);
     }
 }

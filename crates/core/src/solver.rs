@@ -61,15 +61,16 @@ pub(crate) fn normalize(cost: f64, baseline: f64) -> f64 {
 ///
 /// The availability set Λ and the load are read from the tree itself
 /// (see [`soar_topology::Tree::set_available`] / [`soar_topology::Tree::set_load`]).
+///
+/// Runs on the calling thread's persistent
+/// [`SolverWorkspace`](crate::workspace::SolverWorkspace), so repeated solves on
+/// one thread reuse a single warm DP arena and allocate nothing beyond the
+/// returned [`Solution`]. The flip side: the arena stays resident between
+/// solves (the shrink-on-idle policy reclaims it only across later solves). A
+/// caller done solving on a thread can release it eagerly with
+/// `with_thread_workspace(|ws| ws.clear())`.
 pub fn solve(tree: &Tree, k: usize) -> Solution {
-    let tables = soar_gather(tree, k);
-    let (coloring, cost) = soar_color(tree, &tables);
-    Solution {
-        blue_used: coloring.n_blue(),
-        cost,
-        coloring,
-        budget: k,
-    }
+    crate::workspace::with_thread_workspace(|ws| ws.solve(tree, k))
 }
 
 /// Solves the instance and also returns the gather tables, so callers can extract

@@ -16,6 +16,29 @@
 //!
 //! The parameter ranges are `ℓ ∈ {0, ..., D(v) + 1}` (up to the distance from `v` to
 //! the destination) and `i ∈ {0, ..., k}`.
+//!
+//! ## Storage: one arena per gather pass
+//!
+//! [`GatherTables`] does **not** hold one heap object per switch. All per-switch
+//! tables live in five flat arenas (`X`, `Y_B`, `Y_R`, the ρ prefix sums, and the
+//! split decisions), with per-node offsets precomputed from the tree shape by
+//! [`GatherTables::reset`]. Nodes are laid out **grouped by depth** (shallowest
+//! level first), which gives the gather pass two properties for free:
+//!
+//! * a node's children always live *after* the node's own level in the arena, so
+//!   one `split_at_mut` per level yields disjoint mutable output blocks and shared
+//!   read-only child blocks — children's `X` tables are borrowed as slices, never
+//!   cloned;
+//! * all nodes of one level can be filled **concurrently** (they only read the
+//!   deeper region), which is what `soar-pool`'s level-parallel gather exploits.
+//!
+//! The arenas shrink-by-truncate and grow-by-doubling, so a
+//! [`SolverWorkspace`](crate::workspace::SolverWorkspace) that replays instances of
+//! the same shape performs **zero heap allocations** after its first pass.
+//!
+//! Individual tables are read through the borrowed [`NodeTableView`]; the owned
+//! [`NodeTable`] remains for the distributed dataplane, where each switch actor
+//! holds (only) its own table.
 
 use soar_topology::{NodeId, Tree};
 
@@ -31,8 +54,39 @@ pub enum Color {
     Red,
 }
 
-/// The per-switch DP table.
-#[derive(Debug, Clone)]
+/// Read access to one switch's DP table, implemented by both the owned
+/// [`NodeTable`] (dataplane actors) and the arena-backed [`NodeTableView`]
+/// (centralized gather), so SOAR-Color's decision helpers
+/// ([`crate::node_dp::decide_color`], [`crate::node_dp::child_budgets`]) work on
+/// either representation.
+pub trait DpTable {
+    /// Number of distinct `ℓ` values of this table.
+    fn n_l(&self) -> usize;
+    /// Number of distinct `i` values (`k + 1`).
+    fn n_i(&self) -> usize;
+    /// `X_v(ℓ, i)`.
+    fn x(&self, l: usize, i: usize) -> f64;
+    /// Final-stage `Y_v(ℓ, i, color)`.
+    fn y(&self, l: usize, i: usize, color: Color) -> f64;
+    /// The recorded split for child `c_m` (`m ≥ 2`).
+    fn split(&self, m: usize, l: usize, i: usize, color: Color) -> u32;
+}
+
+#[inline]
+fn color_slot(color: Color) -> usize {
+    match color {
+        Color::Blue => 0,
+        Color::Red => 1,
+    }
+}
+
+/// The per-switch DP table as an owned value.
+///
+/// This is the representation a switch ships around in the *distributed* rendition
+/// of SOAR (`soar-dataplane`), where no shared arena exists. The centralized
+/// gather pass instead writes the same layout directly into the
+/// [`GatherTables`] arena and reads it back through [`NodeTableView`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeTable {
     /// Number of distinct `ℓ` values: `D(v) + 2` (i.e. `0 ..= dist_to_dest(v)`).
     pub n_l: usize,
@@ -46,15 +100,17 @@ pub struct NodeTable {
     pub y_red: Vec<f64>,
     /// `ρ(v, Aᵉ_v)` for `ℓ = 0 ..= D(v) + 1` (prefix sums of ρ up the tree).
     pub path_rho: Vec<f64>,
-    /// Split decisions for children `c_2 ..= c_{C(v)}`: `splits[m - 2]` is a flat
-    /// `(ℓ, i, color)` array holding the number of blue nodes granted to child `c_m`.
-    pub splits: Vec<Vec<u32>>,
+    /// Split decisions for children `c_2 ..= c_{C(v)}`, flat in `(m, ℓ, i, color)`
+    /// order: the block of child `c_m` starts at `(m - 2) · n_l · n_i · 2`.
+    pub splits: Vec<u32>,
+    n_split_children: usize,
 }
 
 impl NodeTable {
     /// Creates an empty (all-zero / all-infinite) table for a node.
     pub fn new(n_l: usize, n_i: usize, n_children: usize, path_rho: Vec<f64>) -> Self {
         let cells = n_l * n_i;
+        let n_split_children = n_children.saturating_sub(1);
         NodeTable {
             n_l,
             n_i,
@@ -62,7 +118,8 @@ impl NodeTable {
             y_blue: vec![INF; cells],
             y_red: vec![INF; cells],
             path_rho,
-            splits: vec![vec![0; cells * 2]; n_children.saturating_sub(1)],
+            splits: vec![0; n_split_children * cells * 2],
+            n_split_children,
         }
     }
 
@@ -111,16 +168,21 @@ impl NodeTable {
     #[inline]
     pub fn split(&self, m: usize, l: usize, i: usize, color: Color) -> u32 {
         debug_assert!(m >= 2, "splits are only recorded for children m >= 2");
-        let idx = self.idx(l, i) * 2 + if matches!(color, Color::Blue) { 0 } else { 1 };
-        self.splits[m - 2][idx]
+        let base = (m - 2) * self.n_l * self.n_i * 2;
+        self.splits[base + self.idx(l, i) * 2 + color_slot(color)]
     }
 
     /// Records the split for child `c_m` (`m ≥ 2`).
     #[inline]
     pub fn set_split(&mut self, m: usize, l: usize, i: usize, color: Color, j: u32) {
         debug_assert!(m >= 2);
-        let idx = self.idx(l, i) * 2 + if matches!(color, Color::Blue) { 0 } else { 1 };
-        self.splits[m - 2][idx] = j;
+        let idx = (m - 2) * self.n_l * self.n_i * 2 + self.idx(l, i) * 2 + color_slot(color);
+        self.splits[idx] = j;
+    }
+
+    /// Number of children with recorded splits (`C(v) - 1` for internal nodes).
+    pub fn n_split_children(&self) -> usize {
+        self.n_split_children
     }
 
     /// `ρ(v, Aᵉ_v)` — the summed transmission time of the first `ℓ` up-links above `v`.
@@ -132,59 +194,300 @@ impl NodeTable {
     /// Approximate heap footprint of this table in bytes (used by diagnostics).
     pub fn memory_bytes(&self) -> usize {
         (self.x.len() + self.y_blue.len() + self.y_red.len() + self.path_rho.len()) * 8
-            + self.splits.iter().map(|s| s.len() * 4).sum::<usize>()
+            + self.splits.len() * 4
     }
 }
 
-/// All per-switch tables produced by one run of SOAR-Gather.
-#[derive(Debug, Clone)]
+impl DpTable for NodeTable {
+    fn n_l(&self) -> usize {
+        self.n_l
+    }
+    fn n_i(&self) -> usize {
+        self.n_i
+    }
+    fn x(&self, l: usize, i: usize) -> f64 {
+        NodeTable::x(self, l, i)
+    }
+    fn y(&self, l: usize, i: usize, color: Color) -> f64 {
+        NodeTable::y(self, l, i, color)
+    }
+    fn split(&self, m: usize, l: usize, i: usize, color: Color) -> u32 {
+        NodeTable::split(self, m, l, i, color)
+    }
+}
+
+/// A borrowed view of one switch's DP table inside the [`GatherTables`] arena.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeTableView<'a> {
+    /// Number of distinct `ℓ` values of this node's table.
+    pub n_l: usize,
+    /// Number of distinct `i` values (`k + 1`).
+    pub n_i: usize,
+    x: &'a [f64],
+    y_blue: &'a [f64],
+    y_red: &'a [f64],
+    rho: &'a [f64],
+    splits: &'a [u32],
+}
+
+impl NodeTableView<'_> {
+    #[inline]
+    fn idx(&self, l: usize, i: usize) -> usize {
+        debug_assert!(l < self.n_l, "l = {l} out of range {}", self.n_l);
+        debug_assert!(i < self.n_i, "i = {i} out of range {}", self.n_i);
+        l * self.n_i + i
+    }
+
+    /// `X_v(ℓ, i)`.
+    #[inline]
+    pub fn x(&self, l: usize, i: usize) -> f64 {
+        self.x[self.idx(l, i)]
+    }
+
+    /// Final-stage `Y_v(ℓ, i, color)`.
+    #[inline]
+    pub fn y(&self, l: usize, i: usize, color: Color) -> f64 {
+        let idx = self.idx(l, i);
+        match color {
+            Color::Blue => self.y_blue[idx],
+            Color::Red => self.y_red[idx],
+        }
+    }
+
+    /// The recorded split for child `c_m` (`m ≥ 2`).
+    #[inline]
+    pub fn split(&self, m: usize, l: usize, i: usize, color: Color) -> u32 {
+        debug_assert!(m >= 2, "splits are only recorded for children m >= 2");
+        let base = (m - 2) * self.n_l * self.n_i * 2;
+        self.splits[base + self.idx(l, i) * 2 + color_slot(color)]
+    }
+
+    /// Number of children with recorded splits (`C(v) - 1` for internal nodes).
+    pub fn n_split_children(&self) -> usize {
+        if self.n_l * self.n_i == 0 {
+            0
+        } else {
+            self.splits.len() / (self.n_l * self.n_i * 2)
+        }
+    }
+
+    /// `ρ(v, Aᵉ_v)` — the summed transmission time of the first `ℓ` up-links above `v`.
+    #[inline]
+    pub fn rho_up(&self, l: usize) -> f64 {
+        self.rho[l]
+    }
+
+    /// The full `X` table of this node as a flat row-major slice (what a child
+    /// ships to its parent in the distributed rendition).
+    pub fn x_slice(&self) -> &[f64] {
+        self.x
+    }
+}
+
+impl DpTable for NodeTableView<'_> {
+    fn n_l(&self) -> usize {
+        self.n_l
+    }
+    fn n_i(&self) -> usize {
+        self.n_i
+    }
+    fn x(&self, l: usize, i: usize) -> f64 {
+        NodeTableView::x(self, l, i)
+    }
+    fn y(&self, l: usize, i: usize, color: Color) -> f64 {
+        NodeTableView::y(self, l, i, color)
+    }
+    fn split(&self, m: usize, l: usize, i: usize, color: Color) -> u32 {
+        NodeTableView::split(self, m, l, i, color)
+    }
+}
+
+/// All per-switch tables produced by one run of SOAR-Gather, stored in flat,
+/// reusable arenas (see the [module docs](self) for the layout).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct GatherTables {
     /// The budget the tables were computed for.
     pub k: usize,
-    tables: Vec<NodeTable>,
+    /// Columns per row: `k + 1`.
+    pub(crate) n_i: usize,
+    // ---- per-node layout, indexed by NodeId ----
+    /// Rows of node `v`'s table: `D(v) + 2`.
+    pub(crate) n_l: Vec<u32>,
+    /// Offset (in cells) of node `v`'s block inside `x` / `y_blue` / `y_red`.
+    pub(crate) cell_off: Vec<usize>,
+    /// Offset of node `v`'s ρ prefix block inside `rho` (length `n_l[v]`).
+    pub(crate) rho_off: Vec<usize>,
+    /// Offset (in `u32`s) of node `v`'s split block inside `splits`.
+    pub(crate) split_off: Vec<usize>,
+    /// Length (in `u32`s) of node `v`'s split block: `(C(v) - 1) · cells · 2`.
+    pub(crate) split_len: Vec<usize>,
+    // ---- level structure (levels laid out shallowest first) ----
+    /// Node ids sorted by `(depth, id)` — the arena order.
+    pub(crate) level_nodes: Vec<NodeId>,
+    /// Per depth `d`: index range of its nodes inside `level_nodes`.
+    pub(crate) level_ranges: Vec<(usize, usize)>,
+    /// Per depth `d`: cell offset one past its last node's block.
+    pub(crate) level_cell_end: Vec<usize>,
+    /// Per depth `d`: split offset one past its last node's block.
+    pub(crate) level_split_end: Vec<usize>,
+    // ---- arenas ----
+    pub(crate) x: Vec<f64>,
+    pub(crate) y_blue: Vec<f64>,
+    pub(crate) y_red: Vec<f64>,
+    pub(crate) rho: Vec<f64>,
+    pub(crate) splits: Vec<u32>,
+}
+
+/// Shrinks or grows `v` to exactly `len` entries, returning `1` when backing
+/// storage had to be (re)allocated. Shrinking truncates (no write, capacity
+/// kept); growing reserves at least double to amortize repeated small growths.
+fn fit<T: Copy>(v: &mut Vec<T>, len: usize, fill: T) -> usize {
+    if len <= v.len() {
+        v.truncate(len);
+        0
+    } else {
+        let grew = if v.capacity() < len {
+            v.reserve(len.max(v.capacity() * 2) - v.len());
+            1
+        } else {
+            0
+        };
+        v.resize(len, fill);
+        grew
+    }
 }
 
 impl GatherTables {
+    /// Creates tables laid out for the tree and budget, with all values zeroed
+    /// (the gather pass overwrites every cell).
     pub(crate) fn new(tree: &Tree, k: usize) -> Self {
-        let tables = tree
-            .node_ids()
-            .map(|v| {
-                NodeTable::new(
-                    tree.dist_to_dest(v) + 1,
-                    k + 1,
-                    tree.n_children(v),
-                    tree.path_rho(v),
-                )
-            })
-            .collect();
-        GatherTables { k, tables }
+        let mut tables = GatherTables::default();
+        tables.reset(tree, k);
+        tables
     }
 
-    /// The table of switch `v`.
-    pub fn node(&self, v: NodeId) -> &NodeTable {
-        &self.tables[v]
+    /// Recomputes the arena layout for `tree` and budget `k`, reusing all backing
+    /// storage. Returns the number of buffers that had to grow (0 once the
+    /// workspace is warm for this shape — the alloc-count fed into
+    /// [`crate::api::DpStats`]).
+    ///
+    /// Only the layout is computed here; values are written by the gather pass,
+    /// which overwrites every cell, so no clearing is needed.
+    pub(crate) fn reset(&mut self, tree: &Tree, k: usize) -> usize {
+        let n = tree.n_switches();
+        let n_i = k + 1;
+        self.k = k;
+        self.n_i = n_i;
+        let mut grew = 0;
+
+        grew += fit(&mut self.n_l, n, 0);
+        grew += fit(&mut self.cell_off, n, 0);
+        grew += fit(&mut self.rho_off, n, 0);
+        grew += fit(&mut self.split_off, n, 0);
+        grew += fit(&mut self.split_len, n, 0);
+        grew += fit(&mut self.level_nodes, n, 0);
+        let n_levels = tree.height() + 1;
+        grew += fit(&mut self.level_ranges, n_levels, (0, 0));
+        grew += fit(&mut self.level_cell_end, n_levels, 0);
+        grew += fit(&mut self.level_split_end, n_levels, 0);
+
+        // Counting sort of the nodes by depth: first counts, then starts, then
+        // placement — all in the reused buffers.
+        for range in self.level_ranges.iter_mut() {
+            *range = (0, 0);
+        }
+        for v in 0..n {
+            self.level_ranges[tree.depth(v)].1 += 1;
+        }
+        let mut cursor = 0;
+        for range in self.level_ranges.iter_mut() {
+            let count = range.1;
+            *range = (cursor, cursor);
+            cursor += count;
+        }
+        for v in 0..n {
+            let d = tree.depth(v);
+            self.level_nodes[self.level_ranges[d].1] = v;
+            self.level_ranges[d].1 += 1;
+        }
+
+        // Arena offsets in level order.
+        let (mut cells, mut rho_cells, mut split_cells) = (0usize, 0usize, 0usize);
+        for d in 0..n_levels {
+            let (start, end) = self.level_ranges[d];
+            for idx in start..end {
+                let v = self.level_nodes[idx];
+                let n_l = tree.dist_to_dest(v) + 1;
+                self.n_l[v] = n_l as u32;
+                self.cell_off[v] = cells;
+                self.rho_off[v] = rho_cells;
+                self.split_off[v] = split_cells;
+                let node_cells = n_l * n_i;
+                let split_len = tree.n_children(v).saturating_sub(1) * node_cells * 2;
+                self.split_len[v] = split_len;
+                cells += node_cells;
+                rho_cells += n_l;
+                split_cells += split_len;
+            }
+            self.level_cell_end[d] = cells;
+            self.level_split_end[d] = split_cells;
+        }
+
+        grew += fit(&mut self.x, cells, 0.0);
+        grew += fit(&mut self.y_blue, cells, 0.0);
+        grew += fit(&mut self.y_red, cells, 0.0);
+        grew += fit(&mut self.rho, rho_cells, 0.0);
+        grew += fit(&mut self.splits, split_cells, 0);
+
+        // The ρ prefix sums are part of the layout (they only depend on the tree):
+        // entry ℓ of node v's block is the summed ρ of the first ℓ up-links,
+        // accumulated in the same order as `Tree::path_rho`.
+        for v in 0..n {
+            let off = self.rho_off[v];
+            let n_l = self.n_l[v] as usize;
+            self.rho[off] = 0.0;
+            let mut acc = 0.0;
+            let mut cur = Some(v);
+            for l in 1..n_l {
+                let u = cur.expect("n_l matches the root-path length");
+                acc += tree.rho(u);
+                self.rho[off + l] = acc;
+                cur = tree.parent(u);
+            }
+        }
+        grew
     }
 
-    /// Replaces the table of switch `v` (used by the gather pass, which computes each
-    /// table via [`crate::node_dp::compute_node_table`]).
-    pub(crate) fn replace_node(&mut self, v: NodeId, table: NodeTable) {
-        self.tables[v] = table;
+    /// The table of switch `v`, as a borrowed view into the arena.
+    pub fn node(&self, v: NodeId) -> NodeTableView<'_> {
+        let n_l = self.n_l[v] as usize;
+        let cells = n_l * self.n_i;
+        let off = self.cell_off[v];
+        NodeTableView {
+            n_l,
+            n_i: self.n_i,
+            x: &self.x[off..off + cells],
+            y_blue: &self.y_blue[off..off + cells],
+            y_red: &self.y_red[off..off + cells],
+            rho: &self.rho[self.rho_off[v]..self.rho_off[v] + n_l],
+            splits: &self.splits[self.split_off[v]..self.split_off[v] + self.split_len[v]],
+        }
     }
 
     /// Shorthand for `X_v(ℓ, i)`.
     pub fn x(&self, v: NodeId, l: usize, i: usize) -> f64 {
-        self.tables[v].x(l, i)
+        self.node(v).x(l, i)
     }
 
     /// Shorthand for the final-stage `Y_v(ℓ, i, color)`.
     pub fn y(&self, v: NodeId, l: usize, i: usize, color: Color) -> f64 {
-        self.tables[v].y(l, i, color)
+        self.node(v).y(l, i, color)
     }
 
     /// The optimal utilization achievable with **exactly** the given number of blue
     /// nodes: `X_r(1, i)` (Eq. 6 of the paper, the destination's view `X_d(0, i)`).
     pub fn optimum_with_exactly(&self, i: usize) -> f64 {
-        self.tables[soar_topology::ROOT].x(1, i)
+        self.x(soar_topology::ROOT, 1, i)
     }
 
     /// The optimal utilization achievable with **at most** `k` blue nodes, together with
@@ -204,19 +507,30 @@ impl GatherTables {
 
     /// Number of switches covered by the tables.
     pub fn n_switches(&self) -> usize {
-        self.tables.len()
+        self.n_l.len()
     }
 
     /// Total number of `X(ℓ, i)` cells across all per-switch tables — the work
     /// measure behind the `O(n · h(T) · k²)` bound, reported by
     /// [`crate::api::DpStats`].
     pub fn table_cells(&self) -> usize {
-        self.tables.iter().map(|t| t.x.len()).sum()
+        self.x.len()
     }
 
-    /// Total heap footprint of all tables, in bytes.
+    /// Total heap footprint of the arenas, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.tables.iter().map(|t| t.memory_bytes()).sum()
+        (self.x.len() + self.y_blue.len() + self.y_red.len() + self.rho.len()) * 8
+            + self.splits.len() * 4
+    }
+
+    /// Total *reserved* heap footprint of the arenas (capacity, not live cells),
+    /// in bytes — what a workspace actually holds on to between gathers. Feeds
+    /// the shrink-on-idle policy of
+    /// [`SolverWorkspace`](crate::workspace::SolverWorkspace).
+    pub(crate) fn capacity_bytes(&self) -> usize {
+        (self.x.capacity() + self.y_blue.capacity() + self.y_red.capacity() + self.rho.capacity())
+            * 8
+            + self.splits.capacity() * 4
     }
 }
 
@@ -239,6 +553,7 @@ mod tests {
         assert_eq!(t.split(2, 1, 2, Color::Blue), 0);
         assert_eq!(t.rho_up(2), 2.0);
         assert!(t.memory_bytes() > 0);
+        assert_eq!(t.n_split_children(), 1);
     }
 
     #[test]
@@ -250,9 +565,57 @@ mod tests {
         assert_eq!(tables.node(0).n_l, 2);
         assert_eq!(tables.node(3).n_l, 4);
         assert_eq!(tables.node(0).n_i, 3);
-        // Binary internal nodes record one split vector (for child m = 2).
-        assert_eq!(tables.node(0).splits.len(), 1);
-        assert_eq!(tables.node(3).splits.len(), 0);
+        // Binary internal nodes record one split block (for child m = 2).
+        assert_eq!(tables.node(0).n_split_children(), 1);
+        assert_eq!(tables.node(3).n_split_children(), 0);
         assert!(tables.memory_bytes() > 0);
+        // Total cells: Σ (D(v) + 2)(k + 1) = (2 + 2·3 + 4·4) · 3.
+        assert_eq!(tables.table_cells(), (2 + 2 * 3 + 4 * 4) * 3);
+    }
+
+    #[test]
+    fn arena_layout_groups_nodes_by_level() {
+        let tree = builders::complete_binary_tree(7);
+        let tables = GatherTables::new(&tree, 1);
+        // Levels are contiguous and shallowest-first.
+        assert_eq!(tables.level_nodes, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(tables.level_ranges, vec![(0, 1), (1, 3), (3, 7)]);
+        // The level boundary sits exactly after the root's block.
+        assert_eq!(tables.level_cell_end[0], 2 * 2);
+        // Offsets are strictly increasing in arena order.
+        for pair in tables.level_nodes.windows(2) {
+            assert!(tables.cell_off[pair[0]] < tables.cell_off[pair[1]]);
+        }
+    }
+
+    #[test]
+    fn reset_reuses_storage_for_the_same_shape() {
+        let tree = builders::complete_binary_tree(31);
+        let mut tables = GatherTables::new(&tree, 4);
+        // Warm: same tree and budget → zero growth.
+        assert_eq!(tables.reset(&tree, 4), 0);
+        // Smaller budget shrinks in place.
+        assert_eq!(tables.reset(&tree, 2), 0);
+        assert_eq!(tables.k, 2);
+        // Growing again within the original capacity is also allocation-free.
+        assert_eq!(tables.reset(&tree, 4), 0);
+        // A genuinely larger shape grows.
+        let big = builders::complete_binary_tree(63);
+        assert!(tables.reset(&big, 4) > 0);
+    }
+
+    #[test]
+    fn rho_blocks_match_tree_path_rho() {
+        let mut tree = builders::complete_binary_tree(7);
+        tree.apply_rates(&soar_topology::rates::RateScheme::paper_exponential());
+        let tables = GatherTables::new(&tree, 1);
+        for v in tree.node_ids() {
+            let expected = tree.path_rho(v);
+            let view = tables.node(v);
+            assert_eq!(view.n_l, expected.len());
+            for (l, &want) in expected.iter().enumerate() {
+                assert_eq!(view.rho_up(l), want, "node {v}, l = {l}");
+            }
+        }
     }
 }

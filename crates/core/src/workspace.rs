@@ -1,0 +1,357 @@
+//! Reusable solver state: the arena behind allocation-free SOAR solves.
+//!
+//! A [`SolverWorkspace`] owns everything a SOAR solve needs besides the instance
+//! itself: the [`GatherTables`] arena (every node's DP table in one flat buffer,
+//! offsets precomputed from the tree shape) and the [`DpScratch`] ping-pong
+//! buffers of the `mCost` recursion. Both are reused across budgets and across
+//! instances — buffers shrink by truncation and grow by doubling, so after one
+//! warm-up pass on the largest shape a sweep touches, **every subsequent solve
+//! performs zero heap allocations**:
+//!
+//! ```
+//! use soar_core::workspace::SolverWorkspace;
+//! use soar_topology::builders;
+//!
+//! let mut tree = builders::complete_binary_tree(31);
+//! for v in tree.leaves().collect::<Vec<_>>() {
+//!     tree.set_load(v, 5);
+//! }
+//! let mut ws = SolverWorkspace::new();
+//! let warm_up = ws.solve(&tree, 4);            // allocates the arena once
+//! let reused = ws.solve(&tree, 4);             // allocation-free replay
+//! assert_eq!(warm_up, reused);
+//! assert_eq!(ws.last_alloc_events(), 0);       // the stat behind DpStats
+//! assert!(ws.peak_bytes() > 0);
+//! ```
+//!
+//! The workspace is deliberately *not* `Sync`: each thread owns one. The
+//! [`with_thread_workspace`] helper hands out a per-thread workspace (used by
+//! [`SoarSolver`](crate::api::SoarSolver) and the sweep entry points), which is
+//! what makes `solve_batch` over a `soar-pool` allocation-free in steady state —
+//! every pool worker warms its workspace on the first instance it touches and
+//! replays it for the rest of the batch.
+
+use crate::color::soar_color;
+use crate::gather::{run_gather, run_gather_parallel};
+use crate::node_dp::DpScratch;
+use crate::solver::Solution;
+use crate::tables::GatherTables;
+use soar_pool::ThreadPool;
+use soar_topology::Tree;
+use std::cell::RefCell;
+
+/// Below this many switches a single gather is cheaper sequentially than the
+/// per-level fork/join of the parallel path (measured on BT instances; levels of
+/// small trees hold too few cells to amortize even a mutex-guarded deque push).
+pub const PARALLEL_GATHER_MIN_SWITCHES: usize = 2048;
+
+/// A pass whose reserved capacity exceeds its live working set by this factor
+/// counts towards the shrink-on-idle streak.
+const SHRINK_FACTOR: usize = 8;
+/// Consecutive oversized passes before the workspace releases its buffers.
+const SHRINK_AFTER_PASSES: u32 = 16;
+/// Workspaces below this reserved footprint never auto-shrink (not worth the
+/// re-warm).
+const SHRINK_MIN_BYTES: usize = 1 << 20;
+
+/// Reusable state for repeated SOAR solves; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    tables: GatherTables,
+    scratches: Vec<DpScratch>,
+    last_alloc_events: usize,
+    total_alloc_events: usize,
+    peak_bytes: usize,
+    /// Consecutive passes whose live working set was a small fraction of the
+    /// reserved capacity — the shrink-on-idle trigger.
+    oversized_streak: u32,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; all buffers are allocated lazily by the first
+    /// gather and reused afterwards.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// Runs SOAR-Gather sequentially, reusing this workspace's buffers. The
+    /// returned tables stay valid (and reusable by [`Self::tables`]) until the
+    /// next gather or solve on this workspace.
+    pub fn gather(&mut self, tree: &Tree, k: usize) -> &GatherTables {
+        self.maybe_shrink();
+        let mut events = self.tables.reset(tree, k);
+        if self.scratches.is_empty() {
+            self.scratches.push(DpScratch::new());
+        }
+        events += run_gather(&mut self.tables, tree, &mut self.scratches[0]);
+        self.finish_pass(events);
+        &self.tables
+    }
+
+    /// Runs SOAR-Gather with each tree level processed concurrently on `pool`
+    /// (bit-identical results to [`Self::gather`]; see
+    /// [`run_gather_parallel`](crate::gather)).
+    pub fn gather_parallel(&mut self, tree: &Tree, k: usize, pool: &ThreadPool) -> &GatherTables {
+        self.maybe_shrink();
+        let mut events = self.tables.reset(tree, k);
+        events += run_gather_parallel(&mut self.tables, tree, &mut self.scratches, pool);
+        self.finish_pass(events);
+        &self.tables
+    }
+
+    /// Gathers with the global pool when the instance is large enough to amortize
+    /// per-level fork/join ([`PARALLEL_GATHER_MIN_SWITCHES`]) and the pool has
+    /// more than one worker; sequentially otherwise.
+    pub fn gather_auto(&mut self, tree: &Tree, k: usize) -> &GatherTables {
+        let pool = soar_pool::global();
+        if pool.threads() > 1 && tree.n_switches() >= PARALLEL_GATHER_MIN_SWITCHES {
+            self.gather_parallel(tree, k, pool)
+        } else {
+            self.gather(tree, k)
+        }
+    }
+
+    /// Solves the instance end to end (gather + color) with this workspace's
+    /// buffers, choosing the gather mode like [`Self::gather_auto`].
+    pub fn solve(&mut self, tree: &Tree, k: usize) -> Solution {
+        self.gather_auto(tree, k);
+        let (coloring, cost) = soar_color(tree, &self.tables);
+        Solution {
+            blue_used: coloring.n_blue(),
+            cost,
+            coloring,
+            budget: k,
+        }
+    }
+
+    /// The tables of the most recent gather (empty before the first one).
+    pub fn tables(&self) -> &GatherTables {
+        &self.tables
+    }
+
+    /// Consumes the workspace, returning the tables of the most recent gather.
+    pub fn into_tables(self) -> GatherTables {
+        self.tables
+    }
+
+    /// Number of buffer (re)allocations the most recent gather performed — the
+    /// headline stat: **0 once the workspace is warm** for the shapes it sees.
+    pub fn last_alloc_events(&self) -> usize {
+        self.last_alloc_events
+    }
+
+    /// Total buffer (re)allocations over this workspace's lifetime (a handful of
+    /// warm-up growths; does not scale with the number of solves).
+    pub fn total_alloc_events(&self) -> usize {
+        self.total_alloc_events
+    }
+
+    /// High-water heap footprint of the workspace (arena + scratch), in bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Releases every retained buffer (arena and scratch), returning the
+    /// workspace to its freshly-constructed footprint.
+    ///
+    /// The reuse policy never shrinks capacity on its own — a thread that once
+    /// solved a 16k-switch instance otherwise keeps tens of megabytes warm for
+    /// its lifetime. Long-lived threads that are done with large instances can
+    /// call this (e.g. through [`with_thread_workspace`]) to give the memory
+    /// back; the next gather simply re-warms. The peak statistic keeps its
+    /// high-water value, the allocation counters are untouched.
+    pub fn clear(&mut self) {
+        self.tables = GatherTables::default();
+        self.scratches.clear();
+        self.scratches.shrink_to_fit();
+        self.oversized_streak = 0;
+    }
+
+    fn finish_pass(&mut self, events: usize) {
+        self.last_alloc_events = events;
+        self.total_alloc_events += events;
+        let scratch_bytes = self
+            .scratches
+            .iter()
+            .map(DpScratch::memory_bytes)
+            .sum::<usize>();
+        let live = self.tables.memory_bytes() + scratch_bytes;
+        let reserved = self.tables.capacity_bytes() + scratch_bytes;
+        self.peak_bytes = self.peak_bytes.max(reserved);
+        if reserved > SHRINK_MIN_BYTES && reserved / SHRINK_FACTOR > live {
+            self.oversized_streak += 1;
+        } else {
+            self.oversized_streak = 0;
+        }
+    }
+
+    /// Shrink-on-idle: persistent workspaces (thread-locals on pool workers live
+    /// as long as the process) must not pin one huge instance's arena forever.
+    /// After enough consecutive passes that used only a sliver of the reserved
+    /// capacity, give the buffers back *before* the next layout; that pass
+    /// re-warms at the current working-set size. Steady workloads never trip
+    /// this (reserved ≈ live), so their allocation-free guarantee is untouched.
+    fn maybe_shrink(&mut self) {
+        if self.oversized_streak >= SHRINK_AFTER_PASSES {
+            self.clear();
+        }
+    }
+}
+
+thread_local! {
+    /// A small stack of idle workspaces per thread. A stack (not a single slot)
+    /// because solves can re-enter on one thread: a pool worker waiting on a
+    /// level-parallel gather *helps* by executing queued jobs, and a stolen
+    /// batch item then solves a second instance mid-solve. Each nesting depth
+    /// gets its own workspace, and all of them are returned here and stay warm —
+    /// a fresh allocation happens only the first time a depth is reached.
+    static IDLE_WORKSPACES: RefCell<Vec<SolverWorkspace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a persistent per-thread [`SolverWorkspace`].
+///
+/// Workspaces live as long as the thread, so repeated solves on one thread — a
+/// budget sweep, a pool worker chewing through a batch — reuse warm arenas.
+/// Re-entrant calls check out a second (equally persistent) workspace instead
+/// of aliasing the outer one. If `f` panics, its workspace is dropped rather
+/// than returned — the memory is released and the next solve simply re-warms.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut SolverWorkspace) -> R) -> R {
+    let mut ws = IDLE_WORKSPACES
+        .with(|cell| cell.borrow_mut().pop())
+        .unwrap_or_default();
+    let result = f(&mut ws);
+    IDLE_WORKSPACES.with(|cell| cell.borrow_mut().push(ws));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::soar_gather;
+    use soar_topology::builders;
+
+    fn fig2_tree() -> Tree {
+        let mut t = builders::complete_binary_tree(7);
+        t.set_load(3, 2);
+        t.set_load(4, 6);
+        t.set_load(5, 5);
+        t.set_load(6, 4);
+        t
+    }
+
+    #[test]
+    fn workspace_gather_matches_fresh_gather() {
+        let tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        for k in [0usize, 2, 4, 7, 1] {
+            let fresh = soar_gather(&tree, k);
+            let reused = ws.gather(&tree, k);
+            assert_eq!(*reused, fresh, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn warm_workspace_performs_zero_allocations() {
+        let tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather(&tree, 4);
+        assert!(ws.last_alloc_events() > 0, "cold pass must allocate");
+        let total_after_warmup = ws.total_alloc_events();
+        for _ in 0..5 {
+            let _ = ws.gather(&tree, 4);
+            assert_eq!(ws.last_alloc_events(), 0);
+        }
+        // Shrinking budgets are free; returning to the warm-up budget too.
+        let _ = ws.gather(&tree, 2);
+        assert_eq!(ws.last_alloc_events(), 0);
+        let _ = ws.gather(&tree, 4);
+        assert_eq!(ws.last_alloc_events(), 0);
+        assert_eq!(ws.total_alloc_events(), total_after_warmup);
+        assert!(ws.peak_bytes() >= ws.tables().memory_bytes());
+    }
+
+    #[test]
+    fn workspace_solve_matches_module_level_solve() {
+        let tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        for k in [2usize, 4, 3, 2] {
+            let solution = ws.solve(&tree, k);
+            let fresh = crate::solver::solve(&tree, k);
+            assert_eq!(solution, fresh, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn parallel_gather_through_workspace_matches() {
+        let pool = ThreadPool::new(3);
+        let tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let sequential = soar_gather(&tree, 3);
+        let parallel = ws.gather_parallel(&tree, 3, &pool);
+        assert_eq!(*parallel, sequential);
+        // Warm parallel replays are allocation-free too.
+        let _ = ws.gather_parallel(&tree, 3, &pool);
+        assert_eq!(ws.last_alloc_events(), 0);
+    }
+
+    #[test]
+    fn idle_workspace_shrinks_after_many_small_passes() {
+        let big = builders::complete_binary_tree_bt(1024);
+        let small = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather(&big, 16);
+        assert!(
+            ws.peak_bytes() > SHRINK_MIN_BYTES,
+            "the big instance must exceed the shrink floor for this test"
+        );
+        // Many consecutive tiny passes: the oversized arena must eventually be
+        // released (visible as a re-warm allocation on a later pass).
+        let mut shrunk = false;
+        for _ in 0..SHRINK_AFTER_PASSES + 2 {
+            let _ = ws.gather(&small, 2);
+            if ws.last_alloc_events() > 0 {
+                shrunk = true;
+            }
+        }
+        assert!(shrunk, "oversized workspace never released its buffers");
+        // Post-shrink results stay correct, and right-sized passes do not trip
+        // the policy again.
+        assert_eq!(*ws.gather(&small, 2), soar_gather(&small, 2));
+        let _ = ws.gather(&small, 2);
+        assert_eq!(ws.last_alloc_events(), 0);
+    }
+
+    #[test]
+    fn clear_releases_buffers_and_rewarms_cleanly() {
+        let tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let fresh = ws.solve(&tree, 3);
+        let peak = ws.peak_bytes();
+        ws.clear();
+        assert_eq!(ws.tables().n_switches(), 0);
+        assert_eq!(ws.peak_bytes(), peak, "peak stat survives a clear");
+        let rewarmed = ws.solve(&tree, 3);
+        assert!(ws.last_alloc_events() > 0, "clear really released buffers");
+        assert_eq!(fresh, rewarmed);
+    }
+
+    #[test]
+    fn thread_workspace_is_reused_and_reentrancy_safe() {
+        let tree = fig2_tree();
+        let first = with_thread_workspace(|ws| {
+            let _ = ws.gather(&tree, 3);
+            ws.total_alloc_events()
+        });
+        let (second_total, nested) = with_thread_workspace(|ws| {
+            let _ = ws.gather(&tree, 3);
+            // A nested call must not panic on the borrowed cell.
+            let nested = with_thread_workspace(|inner| {
+                let _ = inner.gather(&tree, 1);
+                inner.total_alloc_events()
+            });
+            (ws.total_alloc_events(), nested)
+        });
+        assert_eq!(first, second_total, "warm thread workspace did not grow");
+        assert!(nested > 0, "the nested fallback workspace is fresh");
+    }
+}

@@ -7,6 +7,11 @@
 //! a small budget, and under full in-network aggregation, and then runs the distributed
 //! message-passing prototype to show the same placement being computed in-network.
 //!
+//! The scenario is expressed through the unified `Instance`/`Solver` API: the
+//! topology, loads and seed live in one reproducible [`Instance`], placements come
+//! from the [`solvers::by_name`] registry, and a single [`sweep_budgets`] call
+//! yields both SOAR budgets from one shared gather pass.
+//!
 //! Run with:
 //!
 //! ```text
@@ -20,30 +25,53 @@ use soar::dataplane::runtime::run_inline;
 use soar::prelude::*;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut tree = builders::complete_binary_tree_bt(64);
-    tree.apply_leaf_loads(&LoadSpec::paper_uniform(), &mut rng);
+    let instance = Instance::builder()
+        .topology(TopologySpec::CompleteBinaryBt { n: 64 })
+        .leaf_loads(LoadSpec::paper_uniform())
+        .seed(7)
+        .budget(8)
+        .label("PS/BT(64)")
+        .build()
+        .expect("the PS scenario is well-formed");
+    let tree = instance.tree();
 
     println!("== Distributed ML: gradient aggregation towards a parameter server ==");
     println!(
-        "{} switches, {} workers, 10k-feature gradients with 0.5 dropout\n",
-        tree.n_switches(),
+        "{} ({} switches, {} workers), 10k-feature gradients with 0.5 dropout\n",
+        instance.label(),
+        instance.n_switches(),
         tree.total_load()
     );
 
     let use_case = UseCase::parameter_server_default();
-    let n = tree.n_switches();
+    let n = instance.n_switches();
+
+    // Both SOAR budgets come from one gather pass; the reference placements come
+    // from the solver registry.
+    let sweep = sweep_budgets(&instance, &[2, 8]);
+    let all_red = solvers::by_name("all-red")
+        .expect("registered")
+        .solve(&instance);
+    let all_blue = solvers::by_name("all-blue")
+        .expect("registered")
+        .solve(&instance);
     let placements: Vec<(String, Coloring)> = vec![
-        ("all-red (no aggregation)".to_string(), Coloring::all_red(n)),
+        (
+            "all-red (no aggregation)".to_string(),
+            all_red.solution.coloring,
+        ),
         (
             "SOAR, k = 2".to_string(),
-            soar::core::solve(&tree, 2).coloring,
+            sweep[0].solution.coloring.clone(),
         ),
         (
             "SOAR, k = 8".to_string(),
-            soar::core::solve(&tree, 8).coloring,
+            sweep[1].solution.coloring.clone(),
         ),
-        ("all-blue (unbounded)".to_string(), Coloring::all_blue(n)),
+        (
+            "all-blue (unbounded)".to_string(),
+            all_blue.solution.coloring,
+        ),
     ];
 
     println!(
@@ -51,8 +79,8 @@ fn main() {
         "placement", "phi", "total MB", "PS ingress MB"
     );
     for (name, coloring) in &placements {
-        let phi = cost::phi(&tree, coloring);
-        let report = use_case.byte_report(&tree, coloring, &mut StdRng::seed_from_u64(99));
+        let phi = cost::phi(tree, coloring);
+        let report = use_case.byte_report(tree, coloring, &mut StdRng::seed_from_u64(99));
         println!(
             "{:<28} {:>14.1} {:>16.2} {:>18.2}",
             name,
@@ -61,14 +89,16 @@ fn main() {
             report.per_edge_bytes[0] as f64 / 1e6,
         );
     }
+    debug_assert_eq!(placements[0].1.n_blue(), 0);
+    debug_assert_eq!(placements[3].1.n_blue(), n);
 
     // Run the distributed prototype: switches compute the same optimal placement by
     // exchanging control messages along the tree, then execute the Reduce.
     println!("\n-- distributed prototype (k = 8) --");
-    let report = run_inline(&tree, 8);
+    let report = run_inline(tree, 8);
     println!(
-        "distributed SOAR chose {} blue switches, utilization {:.1}",
-        report.blue_used, report.claimed_cost
+        "distributed SOAR chose {} blue switches, utilization {:.1} (centralized: {:.1})",
+        report.blue_used, report.claimed_cost, sweep[1].solution.cost
     );
     println!(
         "reduce dataplane delivered {} aggregated reports covering {} workers",

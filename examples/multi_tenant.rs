@@ -5,6 +5,12 @@
 //! is granted at most `k = 16` aggregation switches. The example compares how well the
 //! placement strategies share the bounded aggregation capacity across 32 tenants.
 //!
+//! Contenders come from the unified [`solvers::by_name`] registry and run through
+//! [`OnlineAllocator::run_sequence_with`], which solves each workload as a
+//! first-class [`Instance`] (topology + residual availability Λ_t + budget) — so
+//! any solver that speaks the `Solver` trait, including the distributed
+//! dataplane's, could be dropped in.
+//!
 //! Run with:
 //!
 //! ```text
@@ -24,24 +30,19 @@ fn main() {
 
     println!("== Multi-tenant online allocation: 32 workloads, k = 16, capacity 4 ==\n");
     println!(
-        "{:<8} {:>22} {:>22}",
-        "strategy", "normalized utilization", "first -> last workload"
+        "{:<10} {:>22} {:>22}",
+        "solver", "normalized utilization", "first -> last workload"
     );
 
-    for strategy in [
-        Strategy::Soar,
-        Strategy::MaxLoad,
-        Strategy::Top,
-        Strategy::Level,
-    ] {
+    for name in ["soar", "max-load", "top", "level"] {
+        let solver = solvers::by_name(name).expect("registered solver");
         let mut allocator = OnlineAllocator::new(&tree, 16, 4);
-        let mut rng = StdRng::seed_from_u64(1);
-        let report = allocator.run_sequence(&workloads, strategy, &mut rng);
-        let first = report.outcomes.first().unwrap().normalized();
-        let last = report.outcomes.last().unwrap().normalized();
+        let report = allocator.run_sequence_with(&workloads, solver.as_ref());
+        let first = report.outcomes.first().expect("32 workloads").normalized();
+        let last = report.outcomes.last().expect("32 workloads").normalized();
         println!(
-            "{:<8} {:>22.3} {:>13.3} -> {:.3}",
-            strategy.name(),
+            "{:<10} {:>22.3} {:>13.3} -> {:.3}",
+            solver.name(),
             report.normalized_total(),
             first,
             last

@@ -4,52 +4,69 @@
 //! `Max` heuristic against SOAR (the paper's example saves roughly 70 % of the
 //! messages), and prints the scaling behaviour for growing network sizes.
 //!
+//! Everything runs through the unified `Instance`/`Solver` API: the random
+//! topology is reproducible from its seed inside an [`Instance`], contenders come
+//! from the [`solvers::by_name`] registry (with `normalized_cost` computed by the
+//! reports), and each scaling row is one [`sweep_budgets`] call — three budgets
+//! out of a single SOAR-Gather pass.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example scale_free
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use soar::prelude::*;
-use soar::topology::builders::{degrees, scale_free_tree_sf};
+use soar::topology::builders::degrees;
+
+/// SF(n) with unit load on every switch, as in Appendix B.
+fn sf_instance(n: usize, seed: u64, k: usize) -> Instance {
+    Instance::builder()
+        .topology(TopologySpec::ScaleFreeSf { n })
+        .loads(LoadSpec::Constant(1), LoadPlacement::AllSwitches)
+        .seed(seed)
+        .budget(k)
+        .build()
+        .expect("SF scenarios are always well-formed")
+}
 
 fn main() {
     let k = 4;
-    let mut rng = StdRng::seed_from_u64(11);
-    let mut tree = scale_free_tree_sf(128, &mut rng);
-    for v in 0..tree.n_switches() {
-        tree.set_load(v, 1);
-    }
+    let instance = sf_instance(128, 11, k);
 
-    let degs = degrees(&tree);
+    let degs = degrees(instance.tree());
     let mut top_degrees: Vec<usize> = degs.clone();
     top_degrees.sort_unstable_by(|a, b| b.cmp(a));
-    println!("== Scale-free network SF(128), unit load, k = {k} ==");
+    println!(
+        "== Scale-free network {}, unit load, k = {k} ==",
+        instance.label()
+    );
     println!(
         "highest degrees: {:?}\n",
         &top_degrees[..9.min(top_degrees.len())]
     );
 
-    let mut strategy_rng = StdRng::seed_from_u64(0);
-    let all_red = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-    let max_deg = Strategy::MaxDegree.solve(&tree, k, &mut strategy_rng);
-    let soar = soar::core::solve(&tree, k);
-    println!("all-red utilization:        {all_red:.0}");
+    let max_deg = solvers::by_name("max-degree")
+        .expect("registered")
+        .solve(&instance);
+    let soar = solvers::by_name("soar")
+        .expect("registered")
+        .solve(&instance);
+    println!("all-red utilization:        {:.0}", instance.all_red_cost());
     println!(
         "Max (highest degree) k = {k}: {:.0}  ({:.0}% of all-red)",
-        max_deg.cost,
-        100.0 * max_deg.cost / all_red
+        max_deg.solution.cost,
+        100.0 * max_deg.normalized_cost
     );
     println!(
         "SOAR k = {k}:                 {:.0}  ({:.0}% of all-red, {:.0}% below Max)",
-        soar.cost,
-        100.0 * soar.cost / all_red,
-        100.0 * (1.0 - soar.cost / max_deg.cost)
+        soar.solution.cost,
+        100.0 * soar.normalized_cost,
+        100.0 * (1.0 - soar.solution.cost / max_deg.solution.cost)
     );
 
     // Scaling study (Fig. 11c): k = 1% of n, log2(n), sqrt(n) for growing sizes.
+    // One sweep_budgets call per size: all three budgets share a gather pass.
     println!("\n-- scaling on SF(n), unit loads (normalized to all-red) --");
     println!(
         "{:>6} {:>10} {:>10} {:>10}",
@@ -57,20 +74,20 @@ fn main() {
     );
     for exponent in 8..=11u32 {
         let n = 2usize.pow(exponent);
-        let mut rng = StdRng::seed_from_u64(exponent as u64);
-        let mut tree = scale_free_tree_sf(n, &mut rng);
-        for v in 0..tree.n_switches() {
-            tree.set_load(v, 1);
-        }
-        let all_red = cost::phi(&tree, &Coloring::all_red(tree.n_switches()));
-        let mut row = format!("{n:>6}");
-        for k in [
+        let budgets: Vec<usize> = [
             ((n as f64) * 0.01).round() as usize,
             (n as f64).log2().round() as usize,
             (n as f64).sqrt().round() as usize,
-        ] {
-            let solution = soar::core::solve(&tree, k.max(1));
-            row.push_str(&format!(" {:>10.3}", solution.cost / all_red));
+        ]
+        .into_iter()
+        .map(|k| k.max(1))
+        .collect();
+        let k_max = *budgets.iter().max().expect("three budgets");
+        let instance = sf_instance(n, exponent as u64, k_max);
+        let reports = sweep_budgets(&instance, &budgets);
+        let mut row = format!("{n:>6}");
+        for report in &reports {
+            row.push_str(&format!(" {:>10.3}", report.normalized_cost));
         }
         println!("{row}");
     }

@@ -14,7 +14,9 @@
 //!   placement strategies and a brute-force oracle;
 //! * [`apps`] — the word-count (WC) and parameter-server (PS) workload models;
 //! * [`multitenant`] — the online multi-workload allocation scenario;
-//! * [`dataplane`] — the distributed message-passing prototype.
+//! * [`dataplane`] — the distributed message-passing prototype;
+//! * [`pool`] — the std-only work-stealing thread pool behind the batch entry
+//!   points and the level-parallel gather.
 //!
 //! The recommended workflow describes a whole φ-BIC scenario `(T, L, Λ, k)` as one
 //! immutable [`Instance`](core::api::Instance) and hands it to any registered
@@ -46,6 +48,7 @@ pub use soar_apps as apps;
 pub use soar_core as core;
 pub use soar_dataplane as dataplane;
 pub use soar_multitenant as multitenant;
+pub use soar_pool as pool;
 pub use soar_reduce as reduce;
 pub use soar_topology as topology;
 
