@@ -3,14 +3,17 @@
 //! Runs the single-instance gather microbench over the tree sizes of
 //! [`soar_bench::perf::GATHER_BENCH_SIZES`] and records, per size, the fresh and
 //! warm-workspace wall times, the warm pass's allocation count (expected 0) and
-//! the peak arena footprint. The `bench-smoke` CI job runs this binary so every
-//! commit leaves a machine-readable perf data point.
+//! the peak arena footprint. The snapshot is a regular
+//! [`RunArtifact`](soar_exp::RunArtifact) JSON document — the same format the
+//! figure experiments persist — so `soar experiment check` can diff it. The
+//! `bench-smoke` CI job runs this binary so every commit leaves a
+//! machine-readable perf data point.
 //!
 //! ```text
 //! cargo run --release -p soar-bench --bin bench_gather [output-path]
 //! ```
 
-use soar_bench::perf::{gather_microbench, to_json_document};
+use soar_bench::perf::{gather_artifact, gather_microbench};
 
 fn main() {
     let out_path = std::env::args()
@@ -28,8 +31,8 @@ fn main() {
             p.peak_arena_bytes as f64 / 1e6,
         );
     }
-    let doc = to_json_document(&points);
-    std::fs::write(&out_path, &doc).expect("writing the bench snapshot failed");
+    let artifact = gather_artifact(&points);
+    std::fs::write(&out_path, artifact.to_json()).expect("writing the bench snapshot failed");
     println!("wrote {out_path}");
     // A warm pass that allocates is a regression of the allocation-free gather;
     // fail the smoke job loudly rather than silently recording it.

@@ -1,27 +1,17 @@
-//! One function per figure of the paper's evaluation.
+//! One function per figure of the paper's evaluation — thin render views over
+//! the declarative [`soar_exp`] experiment layer.
 //!
-//! Every function returns [`Chart`]s (labelled series) so the `figures` binary can
-//! print them as tables and CSV; `EXPERIMENTS.md` records a snapshot of the output next
-//! to the paper's reported numbers. All experiments accept an [`ExperimentConfig`] so
-//! that a *quick* variant (smaller trees / fewer repetitions, suitable for CI and for
-//! `cargo test`) and the *paper-scale* variant share the same code path.
-//!
-//! The experiments are written against the unified `soar_core::api` layer: scenarios
-//! are [`Instance`]s (see [`crate::instances`]), contenders are [`Solver`]s resolved
-//! from the registry, and budget curves come from [`sweep_budgets`], which shares one
-//! SOAR-Gather pass across all budgets of a sweep.
+//! Every figure is defined once, as a named [`ExperimentSpec`] in
+//! [`soar_exp::registry`]; the functions here resolve the spec for an
+//! [`ExperimentConfig`], execute it ([`ExperimentSpec::run`]) and hand back the
+//! resulting [`Chart`]s so the `figures` binary can print them as tables and
+//! CSV. The same specs power the `soar experiment run|list|check` CLI, which
+//! additionally persists the full [`RunArtifact`](soar_exp::RunArtifact) JSON
+//! for golden-snapshot regression checks.
 
-use crate::instances::{bt_scenario, rate_schemes, sf_scenario, LoadKind};
-use crate::series::{Chart, Series};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use soar_apps::UseCase;
-use soar_core::api::{sweep_budgets, Instance, SoarSolver, Solver, StrategySolver};
-use soar_core::Strategy;
-use soar_multitenant::{workloads::MixedWorkloadGenerator, OnlineAllocator};
-use soar_reduce::Coloring;
-use soar_topology::builders;
-use soar_topology::Tree;
+use crate::series::Chart;
+use soar_exp::registry;
+use soar_exp::{ExperimentSpec, RunArtifact, Scale};
 
 /// Knobs shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,531 +41,103 @@ impl ExperimentConfig {
         }
     }
 
-    fn bt_size(&self) -> usize {
+    /// The instance scale this configuration selects.
+    pub fn scale(&self) -> Scale {
         if self.paper_scale {
-            256
+            Scale::Paper
         } else {
-            128
+            Scale::Quick
         }
     }
 
-    fn budgets(&self) -> Vec<usize> {
-        vec![1, 2, 4, 8, 16, 32]
+    /// Resolves a registry spec at this configuration's scale and repetition
+    /// count. Single-shot experiments (fig2, fig3, fig11a, gather-bench) keep
+    /// their intrinsic repetition count of 1.
+    pub fn spec(&self, name: &str) -> ExperimentSpec {
+        let mut spec = registry::by_name(name, self.scale())
+            .unwrap_or_else(|| panic!("unknown registry experiment `{name}`"));
+        if spec.repetitions != 1 {
+            spec.repetitions = self.repetitions;
+        }
+        spec
     }
-}
 
-/// The strategies plotted in Figs. 6 and 7, in the paper's legend order.
-const FIG_STRATEGIES: [Strategy; 4] = [
-    Strategy::MaxLoad,
-    Strategy::Soar,
-    Strategy::Top,
-    Strategy::Level,
-];
-
-fn fig2_tree() -> Tree {
-    let mut tree = builders::complete_binary_tree(7);
-    for (leaf, load) in [(3usize, 2u64), (4, 6), (5, 5), (6, 4)] {
-        tree.set_load(leaf, load);
+    /// Runs a registry spec at this configuration, returning the full artifact.
+    pub fn run(&self, name: &str) -> RunArtifact {
+        self.spec(name).run()
     }
-    tree
 }
 
 /// Fig. 2: the motivating example — utilization of the four strategies at `k = 2`.
 pub fn fig2() -> Chart {
-    let instance = Instance::from_tree(&fig2_tree(), 2).with_label("fig2");
-    let mut chart = Chart::new(
-        "Fig. 2: motivating example (7 switches, loads 2/6/5/4, k = 2)",
-        "k",
-        "utilization complexity",
-    );
-    for strategy in [
-        Strategy::Top,
-        Strategy::MaxLoad,
-        Strategy::Level,
-        Strategy::Soar,
-    ] {
-        let report = StrategySolver::new(strategy).solve(&instance);
-        let mut series = Series::new(strategy.name());
-        series.push(2.0, report.solution.cost);
-        chart.push(series);
-    }
-    chart
+    one_chart(ExperimentConfig::default().run("fig2"))
 }
 
 /// Fig. 3: optimal utilization of the motivating example for `k = 0..4` — a single
-/// gather pass via [`sweep_budgets`].
+/// gather pass via `sweep_budgets`.
 pub fn fig3() -> Chart {
-    let instance = Instance::from_tree(&fig2_tree(), 4).with_label("fig3");
-    let mut chart = Chart::new(
-        "Fig. 3: optimal utilization vs. budget on the motivating example",
-        "k",
-        "utilization complexity",
-    );
-    let mut series = Series::new("SOAR (optimal)");
-    for report in sweep_budgets(&instance, &[0, 1, 2, 3, 4]) {
-        series.push(report.solution.budget as f64, report.solution.cost);
-    }
-    chart.push(series);
-    chart
+    one_chart(ExperimentConfig::default().run("fig3"))
 }
 
 /// Fig. 6: normalized utilization vs. budget for every strategy, for each load
 /// distribution and each link-rate scheme. Returns one chart per (load, rates) pair.
 pub fn fig6(config: &ExperimentConfig) -> Vec<Chart> {
-    let budgets = config.budgets();
-    let mut charts = Vec::new();
-    for load in LoadKind::ALL {
-        for scheme in rate_schemes() {
-            let mut chart = Chart::new(
-                format!(
-                    "Fig. 6: BT({}), {} load, {} rates",
-                    config.bt_size(),
-                    load.label(),
-                    scheme.label()
-                ),
-                "k",
-                "network utilization (normalized to all-red)",
-            );
-            let mut all_blue = Series::new("All blue");
-            let mut all_red = Series::new("All red");
-            let mut per_strategy: Vec<Series> = FIG_STRATEGIES
-                .iter()
-                .map(|s| Series::new(s.name()))
-                .collect();
-
-            for &k in &budgets {
-                let mut blue_acc = 0.0;
-                let mut acc = vec![0.0; FIG_STRATEGIES.len()];
-                for rep in 0..config.repetitions {
-                    let instance =
-                        bt_scenario(config.bt_size(), load, &scheme, rep * 31 + k as u64, k);
-                    blue_acc += StrategySolver::new(Strategy::AllBlue)
-                        .solve(&instance)
-                        .normalized_cost;
-                    for (idx, strategy) in FIG_STRATEGIES.iter().enumerate() {
-                        acc[idx] += StrategySolver::new(*strategy)
-                            .solve(&instance)
-                            .normalized_cost;
-                    }
-                }
-                let reps = config.repetitions as f64;
-                all_blue.push(k as f64, blue_acc / reps);
-                all_red.push(k as f64, 1.0);
-                for (idx, series) in per_strategy.iter_mut().enumerate() {
-                    series.push(k as f64, acc[idx] / reps);
-                }
-            }
-            chart.push(all_blue);
-            chart.push(all_red);
-            for series in per_strategy {
-                chart.push(series);
-            }
-            charts.push(chart);
-        }
-    }
-    charts
+    config.run("fig6").charts
 }
 
 /// Fig. 7: the online multi-workload scenario. Returns, per rate scheme, two charts:
 /// normalized utilization vs. the number of workloads (capacity 4) and vs. the switch
 /// capacity (32 workloads).
 pub fn fig7(config: &ExperimentConfig) -> Vec<Chart> {
-    let n = config.bt_size();
-    let k = 16;
-    let workload_counts = [4usize, 8, 16, 24, 32];
-    let capacities = [2u32, 4, 8, 16, 32];
-    let strategies = FIG_STRATEGIES;
-    let mut charts = Vec::new();
-
-    for scheme in rate_schemes() {
-        // The shared topology carries no load of its own (workloads bring theirs);
-        // build it directly instead of drawing-and-discarding a loaded scenario.
-        let mut base = builders::complete_binary_tree_bt(n);
-        base.apply_rates(&scheme);
-        let generator = MixedWorkloadGenerator::paper_default();
-
-        // Sweep 1: number of workloads at capacity 4.
-        let mut chart = Chart::new(
-            format!(
-                "Fig. 7 (top): workloads sweep, {} rates, capacity 4",
-                scheme.label()
-            ),
-            "workloads",
-            "network utilization (normalized to all-red)",
-        );
-        let mut series: Vec<Series> = strategies.iter().map(|s| Series::new(s.name())).collect();
-        let mut red = Series::new("All red");
-        for &count in &workload_counts {
-            let mut acc = vec![0.0; strategies.len()];
-            for rep in 0..config.repetitions {
-                let mut rng = StdRng::seed_from_u64(rep * 7 + count as u64);
-                let workloads = generator.draw_sequence(&base, count, &mut rng);
-                for (idx, strategy) in strategies.iter().enumerate() {
-                    let mut allocator = OnlineAllocator::new(&base, k, 4);
-                    acc[idx] += allocator
-                        .run_sequence_with(&workloads, &StrategySolver::new(*strategy))
-                        .normalized_total();
-                }
-            }
-            for (idx, s) in series.iter_mut().enumerate() {
-                s.push(count as f64, acc[idx] / config.repetitions as f64);
-            }
-            red.push(count as f64, 1.0);
-        }
-        chart.push(red);
-        for s in series {
-            chart.push(s);
-        }
-        charts.push(chart);
-
-        // Sweep 2: switch capacity with 32 workloads.
-        let mut chart = Chart::new(
-            format!(
-                "Fig. 7 (bottom): capacity sweep, {} rates, 32 workloads",
-                scheme.label()
-            ),
-            "capacity",
-            "network utilization (normalized to all-red)",
-        );
-        let mut series: Vec<Series> = strategies.iter().map(|s| Series::new(s.name())).collect();
-        let mut red = Series::new("All red");
-        for &capacity in &capacities {
-            let mut acc = vec![0.0; strategies.len()];
-            for rep in 0..config.repetitions {
-                let mut rng = StdRng::seed_from_u64(rep * 13 + capacity as u64);
-                let workloads = generator.draw_sequence(&base, 32, &mut rng);
-                for (idx, strategy) in strategies.iter().enumerate() {
-                    let mut allocator = OnlineAllocator::new(&base, k, capacity);
-                    acc[idx] += allocator
-                        .run_sequence_with(&workloads, &StrategySolver::new(*strategy))
-                        .normalized_total();
-                }
-            }
-            for (idx, s) in series.iter_mut().enumerate() {
-                s.push(capacity as f64, acc[idx] / config.repetitions as f64);
-            }
-            red.push(capacity as f64, 1.0);
-        }
-        chart.push(red);
-        for s in series {
-            chart.push(s);
-        }
-        charts.push(chart);
-    }
-    charts
+    config.run("fig7").charts
 }
 
 /// Fig. 8: the WC and PS use cases on constant rates — (a) utilization, (b) bytes
 /// normalized to all-red, (c) bytes normalized to all-blue, each vs. the budget.
 pub fn fig8(config: &ExperimentConfig) -> Vec<Chart> {
-    let n = config.bt_size();
-    let budgets: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
-    let scheme = soar_topology::rates::RateScheme::paper_constant();
-
-    let mut utilization = Chart::new(
-        format!("Fig. 8a: utilization, BT({n}), constant rates"),
-        "k",
-        "network utilization (normalized to all-red)",
-    );
-    let mut bytes_vs_red = Chart::new(
-        format!("Fig. 8b: bytes vs all-red, BT({n})"),
-        "k",
-        "bytes (normalized to all-red)",
-    );
-    let mut bytes_vs_blue = Chart::new(
-        format!("Fig. 8c: bytes vs all-blue, BT({n})"),
-        "k",
-        "bytes (normalized to all-blue)",
-    );
-
-    for load in [LoadKind::Uniform, LoadKind::PowerLaw] {
-        for use_case in [
-            UseCase::word_count_default(),
-            UseCase::parameter_server_default(),
-        ] {
-            let label = format!("{}-{}", use_case.label(), load.label());
-            let mut util_series = Series::new(label.clone());
-            let mut red_series = Series::new(label.clone());
-            let mut blue_series = Series::new(label.clone());
-            for &k in &budgets {
-                let mut util_acc = 0.0;
-                let mut red_acc = 0.0;
-                let mut blue_acc = 0.0;
-                for rep in 0..config.repetitions {
-                    let instance = bt_scenario(n, load, &scheme, rep * 97 + k as u64, k);
-                    let report = SoarSolver.solve(&instance);
-                    util_acc += report.normalized_cost;
-
-                    let tree = instance.tree();
-                    let mut rng = StdRng::seed_from_u64(rep);
-                    let soar_bytes = use_case
-                        .byte_report(tree, &report.solution.coloring, &mut rng)
-                        .total_bytes as f64;
-                    let mut rng = StdRng::seed_from_u64(rep);
-                    let red_bytes = use_case
-                        .byte_report(tree, &Coloring::all_red(tree.n_switches()), &mut rng)
-                        .total_bytes as f64;
-                    let mut rng = StdRng::seed_from_u64(rep);
-                    let blue_bytes = use_case
-                        .byte_report(tree, &Coloring::all_blue(tree.n_switches()), &mut rng)
-                        .total_bytes as f64;
-                    red_acc += soar_bytes / red_bytes;
-                    blue_acc += soar_bytes / blue_bytes;
-                }
-                let reps = config.repetitions as f64;
-                util_series.push(k as f64, util_acc / reps);
-                red_series.push(k as f64, red_acc / reps);
-                blue_series.push(k as f64, blue_acc / reps);
-            }
-            utilization.push(util_series);
-            bytes_vs_red.push(red_series);
-            bytes_vs_blue.push(blue_series);
-        }
-    }
-    vec![utilization, bytes_vs_red, bytes_vs_blue]
+    config.run("fig8").charts
 }
 
 /// Fig. 9: wall-clock running time of SOAR for growing network sizes and budgets
 /// (power-law load), read straight from the [`SolveReport`](soar_core::api::SolveReport)
 /// wall times.
 pub fn fig9(config: &ExperimentConfig) -> Chart {
-    let sizes: Vec<usize> = if config.paper_scale {
-        vec![256, 512, 1024, 2048]
-    } else {
-        vec![256, 512]
-    };
-    let budgets: Vec<usize> = if config.paper_scale {
-        vec![4, 8, 16, 32, 64, 128]
-    } else {
-        vec![4, 8, 16, 32]
-    };
-    let mut chart = Chart::new("Fig. 9: SOAR solve time (seconds)", "k", "solve time [s]");
-    for &n in &sizes {
-        let mut series = Series::new(format!("Size {n}"));
-        for &k in &budgets {
-            let mut total = 0.0;
-            for rep in 0..config.repetitions {
-                let instance = bt_scenario(
-                    n,
-                    LoadKind::PowerLaw,
-                    &soar_topology::rates::RateScheme::paper_constant(),
-                    rep * 3 + n as u64,
-                    k,
-                );
-                let report = SoarSolver.solve(&instance);
-                total += report.wall_time.as_secs_f64();
-                std::hint::black_box(report.solution.cost);
-            }
-            series.push(k as f64, total / config.repetitions as f64);
-        }
-        chart.push(series);
-    }
-    chart
-}
-
-/// The scaling budgets of Figs. 10a / 11c: `{1 % n, log₂ n, √n}`.
-fn scaling_budgets(n: usize) -> [usize; 3] {
-    [
-        ((n as f64) * 0.01).round().max(1.0) as usize,
-        (n as f64).log2().round() as usize,
-        (n as f64).sqrt().round() as usize,
-    ]
-}
-
-/// Shared body of Figs. 10a and 11c: normalized utilization for the scaling budgets
-/// on growing instances, one [`sweep_budgets`] pass per instance.
-fn scaling_chart(
-    title: &str,
-    exponents: &[u32],
-    repetitions: u64,
-    make_instance: impl Fn(usize, u32, u64) -> Instance,
-) -> Chart {
-    let mut chart = Chart::new(title, "n", "network utilization (normalized to all-red)");
-    let mut blue = Series::new("All blue");
-    let mut one_percent = Series::new("k = 1% of n");
-    let mut log_n = Series::new("k = log2 n");
-    let mut sqrt_n = Series::new("k = sqrt n");
-    for &exp in exponents {
-        let n = 2usize.pow(exp);
-        let budgets = scaling_budgets(n);
-        let mut acc = [0.0f64; 3];
-        let mut blue_acc = 0.0;
-        for rep in 0..repetitions {
-            let instance = make_instance(n, exp, rep);
-            blue_acc += StrategySolver::new(Strategy::AllBlue)
-                .solve(&instance)
-                .normalized_cost;
-            for (idx, report) in sweep_budgets(&instance, &budgets).iter().enumerate() {
-                acc[idx] += report.normalized_cost;
-            }
-        }
-        let reps = repetitions as f64;
-        one_percent.push(n as f64, acc[0] / reps);
-        log_n.push(n as f64, acc[1] / reps);
-        sqrt_n.push(n as f64, acc[2] / reps);
-        blue.push(n as f64, blue_acc / reps);
-    }
-    chart.push(blue);
-    chart.push(one_percent);
-    chart.push(log_n);
-    chart.push(sqrt_n);
-    chart
+    one_chart(config.run("fig9"))
 }
 
 /// Fig. 10a (Appendix A): normalized utilization for `k ∈ {1 % n, log₂ n, √n}` on
 /// growing binary trees with power-law load.
 pub fn fig10_scaling(config: &ExperimentConfig) -> Chart {
-    let exponents: Vec<u32> = if config.paper_scale {
-        (8..=12).collect()
-    } else {
-        (8..=10).collect()
-    };
-    scaling_chart(
-        "Fig. 10a: scaling of SOAR on BT(n), power-law load",
-        &exponents,
-        config.repetitions,
-        |n, exp, rep| {
-            bt_scenario(
-                n,
-                LoadKind::PowerLaw,
-                &soar_topology::rates::RateScheme::paper_constant(),
-                rep * 19 + exp as u64,
-                0,
-            )
-        },
-    )
+    one_chart(config.run("fig10a"))
 }
 
 /// Fig. 10b (Appendix A): the smallest fraction of blue nodes (in %) needed to reach a
 /// 30 / 50 / 70 % reduction of the all-red utilization.
 pub fn fig10_required_fraction(config: &ExperimentConfig) -> Chart {
-    let exponents: Vec<u32> = if config.paper_scale {
-        (8..=12).collect()
-    } else {
-        (8..=10).collect()
-    };
-    let targets = [0.30f64, 0.50, 0.70];
-    let mut chart = Chart::new(
-        "Fig. 10b: % of blue nodes needed for a target utilization reduction",
-        "n",
-        "% blue nodes",
-    );
-    let mut series: Vec<Series> = targets
-        .iter()
-        .map(|t| Series::new(format!("{:.0}% saving", t * 100.0)))
-        .collect();
-    for &exp in &exponents {
-        let n = 2usize.pow(exp);
-        // Search budgets up to 8% of the network; the paper's curves stay below 5%,
-        // but a single repetition of the heavy-tailed load needs some headroom.
-        let k_max = ((n as f64) * 0.08).ceil() as usize;
-        let all_budgets: Vec<usize> = (0..=k_max).collect();
-        let mut acc = [0.0f64; 3];
-        for rep in 0..config.repetitions {
-            let instance = bt_scenario(
-                n,
-                LoadKind::PowerLaw,
-                &soar_topology::rates::RateScheme::paper_constant(),
-                rep * 23 + exp as u64,
-                k_max,
-            );
-            // One gather pass; the sweep's per-budget optima already carry the
-            // "at most k" (prefix-minimum) semantics.
-            let curve: Vec<f64> = sweep_budgets(&instance, &all_budgets)
-                .iter()
-                .map(|report| report.normalized_cost)
-                .collect();
-            for (t_idx, target) in targets.iter().enumerate() {
-                let needed = curve
-                    .iter()
-                    .position(|&norm| norm <= 1.0 - target)
-                    .unwrap_or(k_max);
-                acc[t_idx] += 100.0 * needed as f64 / (n as f64);
-            }
-        }
-        for (t_idx, s) in series.iter_mut().enumerate() {
-            s.push(n as f64, acc[t_idx] / config.repetitions as f64);
-        }
-    }
-    for s in series {
-        chart.push(s);
-    }
-    chart
+    one_chart(config.run("fig10b"))
 }
 
 /// Fig. 11 (Appendix B): SOAR on scale-free trees — the SF(128) Max-vs-SOAR example and
 /// the scaling of the normalized utilization for `k ∈ {1 % n, log₂ n, √n}`.
 pub fn fig11(config: &ExperimentConfig) -> Vec<Chart> {
-    // The worked SF(128) example.
-    let mut example = Chart::new(
-        "Fig. 11a/b: SF(128) example, unit loads, k = 4",
-        "k",
-        "utilization complexity",
-    );
-    let instance = sf_scenario(128, 42, 4);
-    for strategy in [Strategy::MaxDegree, Strategy::Soar] {
-        let report = StrategySolver::new(strategy).solve(&instance);
-        let mut series = Series::new(strategy.name());
-        series.push(4.0, report.solution.cost);
-        example.push(series);
-    }
-    let mut all_red = Series::new("All red");
-    all_red.push(4.0, instance.all_red_cost());
-    example.push(all_red);
-
-    // Scaling.
-    let exponents: Vec<u32> = if config.paper_scale {
-        (8..=12).collect()
-    } else {
-        (8..=10).collect()
-    };
-    let scaling = scaling_chart(
-        "Fig. 11c: scaling of SOAR on SF(n), unit loads",
-        &exponents,
-        config.repetitions,
-        |n, exp, rep| sf_scenario(n, rep * 29 + exp as u64, 0),
-    );
-    vec![example, scaling]
+    let mut charts = config.run("fig11a").charts;
+    charts.extend(config.run("fig11c").charts);
+    charts
 }
 
 /// Ablation called out in `DESIGN.md`: SOAR's exact DP vs. the greedy marginal-gain
-/// heuristic and vs. random placement, on power-law BT instances. One contender
-/// list drives both the solving and the series labels; the random baseline is
-/// reseeded per repetition so it actually samples placements.
+/// heuristic and vs. random placement, on power-law BT instances.
 pub fn ablation(config: &ExperimentConfig) -> Chart {
-    let n = config.bt_size();
-    let budgets = config.budgets();
-    let mut chart = Chart::new(
-        format!("Ablation: exact DP vs greedy / random on BT({n}), power-law load"),
-        "k",
-        "network utilization (normalized to all-red)",
-    );
-    let contenders = [Strategy::Soar, Strategy::Greedy, Strategy::Random];
-    let mut series: Vec<Series> = contenders.iter().map(|s| Series::new(s.name())).collect();
-    for &k in &budgets {
-        let mut acc = vec![0.0; contenders.len()];
-        for rep in 0..config.repetitions {
-            let instance = bt_scenario(
-                n,
-                LoadKind::PowerLaw,
-                &soar_topology::rates::RateScheme::paper_constant(),
-                rep * 41 + k as u64,
-                k,
-            );
-            for (idx, strategy) in contenders.iter().enumerate() {
-                acc[idx] += StrategySolver::with_seed(*strategy, rep)
-                    .solve(&instance)
-                    .normalized_cost;
-            }
-        }
-        for (idx, s) in series.iter_mut().enumerate() {
-            s.push(k as f64, acc[idx] / config.repetitions as f64);
-        }
-    }
-    for s in series {
-        chart.push(s);
-    }
-    chart
+    one_chart(config.run("ablation"))
+}
+
+fn one_chart(artifact: RunArtifact) -> Chart {
+    let name = artifact.spec.name.clone();
+    artifact
+        .charts
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("experiment `{name}` produced no charts"))
 }
 
 #[cfg(test)]
@@ -701,5 +263,24 @@ mod tests {
                 assert!(soar.y_at(x).unwrap() <= y + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn artifacts_carry_their_specs_and_env() {
+        let artifact = tiny().run("fig3");
+        assert_eq!(artifact.spec.name, "fig3");
+        assert_eq!(artifact.charts.len(), 1);
+        assert!(!artifact.reports.is_empty(), "fig3 keeps its solve reports");
+        assert!(artifact.dp.is_some());
+        assert!(!artifact.env.os.is_empty());
+        // The config's repetition override reaches the spec (fig6 averages).
+        let spec = ExperimentConfig {
+            repetitions: 7,
+            paper_scale: false,
+        }
+        .spec("fig6");
+        assert_eq!(spec.repetitions, 7);
+        // Single-shot specs keep their intrinsic repetition count.
+        assert_eq!(tiny().spec("fig2").repetitions, 1);
     }
 }

@@ -35,17 +35,15 @@ impl LoadKind {
         }
     }
 
-    /// Both load kinds, in the paper's plotting order (power-law on top).
+    /// Both load kinds, in the paper's plotting order (power-law on top; must
+    /// mirror `soar_exp::registry::paper_loads`, asserted by test).
     pub const ALL: [LoadKind; 2] = [LoadKind::PowerLaw, LoadKind::Uniform];
 }
 
-/// The three link-rate regimes of Sec. 5 (Figs. 6a-6c and 7a-7c).
+/// The three link-rate regimes of Sec. 5 (Figs. 6a-6c and 7a-7c), delegated to
+/// the experiment registry so bench and specs share one ordering.
 pub fn rate_schemes() -> [RateScheme; 3] {
-    [
-        RateScheme::paper_constant(),
-        RateScheme::paper_linear(),
-        RateScheme::paper_exponential(),
-    ]
+    soar_exp::registry::rate_schemes()
 }
 
 /// A `BT(n)` scenario with leaf loads drawn from `load` and the given rate scheme,
@@ -132,5 +130,14 @@ mod tests {
         assert_eq!(LoadKind::PowerLaw.label(), "power-law");
         assert_eq!(LoadKind::ALL.len(), 2);
         assert_eq!(rate_schemes().len(), 3);
+    }
+
+    #[test]
+    fn load_kinds_mirror_the_registry_ordering() {
+        let registry = soar_exp::registry::paper_loads();
+        for (kind, (spec, label)) in LoadKind::ALL.iter().zip(registry) {
+            assert_eq!(kind.spec(), spec);
+            assert_eq!(kind.label(), label);
+        }
     }
 }

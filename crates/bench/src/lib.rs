@@ -1,13 +1,18 @@
 //! # soar-bench
 //!
 //! Experiment harness that regenerates every figure of the SOAR paper's evaluation
-//! (Figs. 2, 3 and 6-11). The library exposes:
+//! (Figs. 2, 3 and 6-11). The figures themselves are defined declaratively as
+//! [`soar_exp::ExperimentSpec`]s in `soar_exp::registry`; this crate is the thin
+//! render layer on top. It exposes:
 //!
-//! * [`series`] — a tiny data-series container with CSV / table printing;
+//! * [`series`] — the [`Chart`](series::Chart) / [`Series`](series::Series) render
+//!   views (re-exported from `soar_exp::chart`);
 //! * [`instances`] — builders for the evaluation instances (BT(n) / SF(n) with the
 //!   paper's load distributions and link-rate schemes);
-//! * [`experiments`] — one function per figure, each returning labelled charts that the
-//!   `figures` binary prints (and `EXPERIMENTS.md` records).
+//! * [`experiments`] — one function per figure, each resolving the registry spec,
+//!   running it and returning the labelled charts the `figures` binary prints;
+//! * [`perf`] — the gather perf snapshot (`BENCH_gather.json`) in the shared
+//!   `RunArtifact` format, with a compat reader for the legacy format.
 //!
 //! Criterion benchmarks (under `benches/`) time the computational kernels themselves —
 //! most importantly SOAR-Gather's `O(n · h · k²)` scaling, which reproduces Fig. 9.

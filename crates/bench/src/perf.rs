@@ -1,131 +1,87 @@
 //! The gather microbenchmark behind the `bench-smoke` CI job.
 //!
-//! One instrumented measurement per tree size: wall time of a fresh
-//! (allocate-every-time) SOAR-Gather versus a warm [`SolverWorkspace`] replay,
-//! plus the workspace's allocation count and peak arena footprint. The criterion
-//! bench `batch_solve` (group `gather`) times the same routine interactively; the
-//! `bench_gather` binary runs it briefly and writes `BENCH_gather.json` so the
-//! perf trajectory is tracked commit over commit.
+//! The measurement itself lives in [`soar_exp::perf`] (re-exported here), and
+//! the snapshot is persisted in the shared [`RunArtifact`] format — the same
+//! JSON schema every figure experiment writes — via [`gather_artifact`]. The
+//! criterion bench `batch_solve` (group `gather`) times the same routine
+//! interactively; the `bench_gather` binary runs it briefly and writes
+//! `BENCH_gather.json` so the perf trajectory is tracked commit over commit.
+//! [`read_snapshot`] additionally understands the legacy hand-rolled
+//! `{"bench":"gather",...}` document that predates the artifact format.
 
-use crate::instances::{bt_scenario, LoadKind};
-use soar_core::api::Instance;
-use soar_core::workspace::SolverWorkspace;
-use soar_topology::rates::RateScheme;
-use std::time::Instant;
-
-/// The budget the microbench solves for (mid-range: large enough that the `k²`
-/// inner loops dominate, small enough that 16k switches stay sub-second).
-pub const GATHER_BENCH_BUDGET: usize = 16;
-
-/// Tree sizes of the microbench, in **switches** (the paper's `BT(n)` counts the
-/// destination, so these are `BT(1024)`, `BT(4096)`, `BT(16384)`).
-pub const GATHER_BENCH_SIZES: [usize; 3] = [1024, 4096, 16384];
-
-/// One measured point of the gather microbench.
-#[derive(Debug, Clone, PartialEq)]
-pub struct GatherBenchPoint {
-    /// Number of switches in the instance.
-    pub n_switches: usize,
-    /// The budget `k`.
-    pub budget: usize,
-    /// Mean wall time of a fresh gather (new arena every call), in seconds.
-    pub fresh_seconds: f64,
-    /// Mean wall time of a warm-workspace gather, in seconds.
-    pub warm_seconds: f64,
-    /// Buffer (re)allocations of the *last* warm pass — 0 is the invariant the
-    /// allocation-free gather guarantees.
-    pub warm_alloc_events: usize,
-    /// Peak workspace footprint (arena + scratch), in bytes.
-    pub peak_arena_bytes: usize,
-}
-
-impl GatherBenchPoint {
-    /// Serializes the point as a JSON object (hand-rolled: the bench result
-    /// schema is flat and this keeps the bin free of the serde feature).
-    pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"n_switches\":{},\"budget\":{},\"fresh_ms\":{:.4},",
-                "\"warm_ms\":{:.4},\"warm_alloc_events\":{},\"peak_arena_bytes\":{}}}"
-            ),
-            self.n_switches,
-            self.budget,
-            self.fresh_seconds * 1e3,
-            self.warm_seconds * 1e3,
-            self.warm_alloc_events,
-            self.peak_arena_bytes,
-        )
-    }
-}
-
-/// The `BT(n)` instance the microbench times (power-law leaf loads, constant
-/// rates, fixed seed — same family as the Fig. 9 scaling study).
-pub fn gather_bench_instance(n: usize) -> Instance {
-    bt_scenario(
-        n,
-        LoadKind::PowerLaw,
-        &RateScheme::paper_constant(),
-        1,
-        GATHER_BENCH_BUDGET,
-    )
-}
-
-/// Times one instance: `reps` fresh gathers vs `reps` warm-workspace gathers
-/// (after one untimed warm-up each).
-pub fn measure_gather(instance: &Instance, reps: usize) -> GatherBenchPoint {
-    let tree = instance.tree();
-    let k = instance.budget();
-    let reps = reps.max(1);
-
-    let _ = soar_core::soar_gather(tree, k);
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(soar_core::soar_gather(tree, k));
-    }
-    let fresh_seconds = start.elapsed().as_secs_f64() / reps as f64;
-
-    let mut ws = SolverWorkspace::new();
-    let _ = ws.gather(tree, k);
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(ws.gather(tree, k));
-    }
-    let warm_seconds = start.elapsed().as_secs_f64() / reps as f64;
-
-    GatherBenchPoint {
-        n_switches: tree.n_switches(),
-        budget: k,
-        fresh_seconds,
-        warm_seconds,
-        warm_alloc_events: ws.last_alloc_events(),
-        peak_arena_bytes: ws.peak_bytes(),
-    }
-}
+pub use soar_exp::perf::{
+    gather_bench_instance, measure_gather, points_from_charts, GatherBenchPoint,
+    GATHER_BENCH_BUDGET, GATHER_BENCH_SIZES,
+};
+use soar_exp::registry;
+use soar_exp::{RunArtifact, Scale};
 
 /// Runs the whole microbench: one point per size in [`GATHER_BENCH_SIZES`], with
 /// repetition counts scaled down for the larger trees so a smoke run stays fast.
 pub fn gather_microbench() -> Vec<GatherBenchPoint> {
-    GATHER_BENCH_SIZES
-        .iter()
-        .map(|&n| {
-            let reps = (16384 / n).clamp(2, 12);
-            measure_gather(&gather_bench_instance(n), reps)
-        })
-        .collect()
+    soar_exp::perf::gather_microbench(&GATHER_BENCH_SIZES, GATHER_BENCH_BUDGET)
 }
 
-/// Formats the whole result set as the `BENCH_gather.json` document.
-pub fn to_json_document(points: &[GatherBenchPoint]) -> String {
-    let rows: Vec<String> = points.iter().map(GatherBenchPoint::to_json).collect();
-    format!(
-        "{{\"bench\":\"gather\",\"points\":[\n  {}\n]}}\n",
-        rows.join(",\n  ")
-    )
+/// Wraps measured points in the shared [`RunArtifact`] snapshot format (the
+/// `gather-bench` registry spec plus the standard chart rendering).
+pub fn gather_artifact(points: &[GatherBenchPoint]) -> RunArtifact {
+    let spec = registry::by_name("gather-bench", Scale::Quick)
+        .expect("the gather microbench is registered");
+    let charts = soar_exp::perf::microbench_charts(points);
+    RunArtifact::new(spec, charts, None)
+}
+
+/// Reads a `BENCH_gather.json` snapshot in either format: the current
+/// [`RunArtifact`] document, or the legacy hand-rolled
+/// `{"bench":"gather","points":[...]}` document written before the artifact
+/// format existed.
+pub fn read_snapshot(json: &str) -> Result<Vec<GatherBenchPoint>, String> {
+    if let Ok(artifact) = RunArtifact::from_json(json) {
+        let mut points = points_from_charts(&artifact.charts)
+            .ok_or_else(|| "artifact is missing the gather chart set".to_owned())?;
+        // The charts carry everything except the budget, which travels in the
+        // spec; restore it so both snapshot formats parse identically.
+        if let soar_exp::ExperimentKind::GatherMicrobench { budget, .. } = &artifact.spec.kind {
+            for point in &mut points {
+                point.budget = *budget;
+            }
+        }
+        return Ok(points);
+    }
+    read_legacy_snapshot(json)
+}
+
+/// Parses the legacy pre-artifact snapshot format.
+fn read_legacy_snapshot(json: &str) -> Result<Vec<GatherBenchPoint>, String> {
+    let value = serde_json::parse_value(json).map_err(|e| e.to_string())?;
+    if value.get("bench").and_then(|b| b.as_str()) != Some("gather") {
+        return Err("not a gather snapshot (no \"bench\": \"gather\" marker)".to_owned());
+    }
+    let Some(serde::Value::Arr(rows)) = value.get("points") else {
+        return Err("legacy snapshot has no points array".to_owned());
+    };
+    rows.iter()
+        .map(|row| {
+            Ok(GatherBenchPoint {
+                n_switches: serde::field(row, "n_switches").map_err(|e| e.to_string())?,
+                budget: serde::field(row, "budget").map_err(|e| e.to_string())?,
+                fresh_seconds: serde::field::<f64>(row, "fresh_ms").map_err(|e| e.to_string())?
+                    / 1e3,
+                warm_seconds: serde::field::<f64>(row, "warm_ms").map_err(|e| e.to_string())? / 1e3,
+                warm_alloc_events: serde::field(row, "warm_alloc_events")
+                    .map_err(|e| e.to_string())?,
+                peak_arena_bytes: serde::field(row, "peak_arena_bytes")
+                    .map_err(|e| e.to_string())?,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instances::{bt_scenario, LoadKind};
+    use soar_topology::rates::RateScheme;
 
     #[test]
     fn microbench_point_measures_and_serializes() {
@@ -138,11 +94,35 @@ mod tests {
         assert!(point.fresh_seconds > 0.0 && point.warm_seconds > 0.0);
         assert_eq!(point.warm_alloc_events, 0, "warm gather must not allocate");
         assert!(point.peak_arena_bytes > 0);
-        let json = point.to_json();
-        assert!(json.contains("\"n_switches\":127"));
-        assert!(json.contains("\"warm_alloc_events\":0"));
-        let doc = to_json_document(&[point]);
-        assert!(doc.starts_with("{\"bench\":\"gather\""));
-        assert!(doc.ends_with("]}\n"));
+
+        let artifact = gather_artifact(std::slice::from_ref(&point));
+        assert_eq!(artifact.spec.name, "gather-bench");
+        assert_eq!(artifact.timing_charts, vec![0]);
+        let json = artifact.to_json();
+        let recovered = read_snapshot(&json).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].n_switches, 127);
+        assert_eq!(recovered[0].warm_alloc_events, 0);
+        assert!((recovered[0].warm_seconds - point.warm_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_snapshots_still_parse() {
+        let legacy = concat!(
+            "{\"bench\":\"gather\",\"points\":[\n  ",
+            "{\"n_switches\":1023,\"budget\":16,\"fresh_ms\":4.3500,",
+            "\"warm_ms\":2.0800,\"warm_alloc_events\":0,\"peak_arena_bytes\":1234567}",
+            "\n]}\n"
+        );
+        let points = read_snapshot(legacy).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].n_switches, 1023);
+        assert_eq!(points[0].budget, 16);
+        assert!((points[0].fresh_seconds - 0.00435).abs() < 1e-12);
+        assert!((points[0].warm_seconds - 0.00208).abs() < 1e-12);
+        assert_eq!(points[0].peak_arena_bytes, 1234567);
+
+        assert!(read_snapshot("{}").is_err());
+        assert!(read_snapshot("not json").is_err());
     }
 }

@@ -1,196 +1,9 @@
-//! Minimal data-series plumbing for the experiment harness: labelled `(x, y)` series
-//! that can be printed as CSV (for external plotting) or as an aligned text table (for
-//! eyeballing and for `EXPERIMENTS.md`).
+//! Data-series plumbing for the experiment harness, re-exported from
+//! [`soar_exp::chart`].
+//!
+//! [`Chart`] and [`Series`] moved into the `soar-exp` crate when the experiment
+//! layer became declarative (they are the render view of a
+//! [`RunArtifact`](soar_exp::RunArtifact) and serialize with it); this module
+//! keeps the historical `soar_bench::series` paths working.
 
-use std::fmt::Write as _;
-
-/// One labelled curve: a sequence of `(x, y)` points.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Series {
-    /// Legend label (e.g. "SOAR", "Top", "All red").
-    pub label: String,
-    /// The `(x, y)` points, in plotting order.
-    pub points: Vec<(f64, f64)>,
-}
-
-impl Series {
-    /// Creates an empty series with the given label.
-    pub fn new(label: impl Into<String>) -> Self {
-        Series {
-            label: label.into(),
-            points: Vec::new(),
-        }
-    }
-
-    /// Appends one point.
-    pub fn push(&mut self, x: f64, y: f64) {
-        self.points.push((x, y));
-    }
-
-    /// The y value recorded for a given x, if any.
-    pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|(px, _)| (px - x).abs() < 1e-9)
-            .map(|(_, y)| *y)
-    }
-}
-
-/// A titled group of series sharing an x axis (one paper sub-figure).
-#[derive(Debug, Clone, PartialEq)]
-pub struct Chart {
-    /// Title of the chart (e.g. "Fig. 6a, power-law load, constant rates").
-    pub title: String,
-    /// Label of the x axis (e.g. "k").
-    pub x_label: String,
-    /// Label of the y axis (e.g. "normalized utilization").
-    pub y_label: String,
-    /// The series of the chart.
-    pub series: Vec<Series>,
-}
-
-impl Chart {
-    /// Creates an empty chart.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        y_label: impl Into<String>,
-    ) -> Self {
-        Chart {
-            title: title.into(),
-            x_label: x_label.into(),
-            y_label: y_label.into(),
-            series: Vec::new(),
-        }
-    }
-
-    /// Adds a series.
-    pub fn push(&mut self, series: Series) {
-        self.series.push(series);
-    }
-
-    /// All distinct x values, in first-seen order.
-    pub fn xs(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = Vec::new();
-        for series in &self.series {
-            for &(x, _) in &series.points {
-                if !xs.iter().any(|&seen| (seen - x).abs() < 1e-9) {
-                    xs.push(x);
-                }
-            }
-        }
-        xs
-    }
-
-    /// Renders the chart as CSV: a header of `x, <label>, <label>, ...` followed by one
-    /// row per x value.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        write!(out, "{}", self.x_label).unwrap();
-        for series in &self.series {
-            write!(out, ",{}", series.label).unwrap();
-        }
-        writeln!(out).unwrap();
-        for x in self.xs() {
-            write!(out, "{x}").unwrap();
-            for series in &self.series {
-                match series.y_at(x) {
-                    Some(y) => write!(out, ",{y:.6}").unwrap(),
-                    None => write!(out, ",").unwrap(),
-                }
-            }
-            writeln!(out).unwrap();
-        }
-        out
-    }
-
-    /// Renders the chart as an aligned, human-readable table.
-    pub fn to_table(&self) -> String {
-        let mut out = String::new();
-        writeln!(out, "== {} ==", self.title).unwrap();
-        write!(out, "{:>12}", self.x_label).unwrap();
-        for series in &self.series {
-            write!(out, " {:>14}", truncate(&series.label, 14)).unwrap();
-        }
-        writeln!(out).unwrap();
-        for x in self.xs() {
-            write!(out, "{x:>12.2}").unwrap();
-            for series in &self.series {
-                match series.y_at(x) {
-                    Some(y) => write!(out, " {y:>14.4}").unwrap(),
-                    None => write!(out, " {:>14}", "-").unwrap(),
-                }
-            }
-            writeln!(out).unwrap();
-        }
-        writeln!(out, "({})", self.y_label).unwrap();
-        out
-    }
-}
-
-fn truncate(label: &str, width: usize) -> String {
-    if label.len() <= width {
-        label.to_string()
-    } else {
-        label.chars().take(width).collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample_chart() -> Chart {
-        let mut chart = Chart::new("demo", "k", "normalized utilization");
-        let mut a = Series::new("SOAR");
-        a.push(1.0, 0.9);
-        a.push(2.0, 0.7);
-        let mut b = Series::new("Top");
-        b.push(1.0, 0.95);
-        chart.push(a);
-        chart.push(b);
-        chart
-    }
-
-    #[test]
-    fn series_lookup() {
-        let mut s = Series::new("x");
-        s.push(1.0, 2.0);
-        assert_eq!(s.y_at(1.0), Some(2.0));
-        assert_eq!(s.y_at(3.0), None);
-        assert_eq!(s.label, "x");
-    }
-
-    #[test]
-    fn csv_contains_all_points_and_gaps() {
-        let chart = sample_chart();
-        let csv = chart.to_csv();
-        let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "k,SOAR,Top");
-        assert!(lines[1].starts_with("1,0.9"));
-        assert!(
-            lines[2].ends_with(','),
-            "missing Top value renders as an empty cell"
-        );
-        assert_eq!(chart.xs(), vec![1.0, 2.0]);
-    }
-
-    #[test]
-    fn table_is_human_readable() {
-        let table = sample_chart().to_table();
-        assert!(table.contains("== demo =="));
-        assert!(table.contains("SOAR"));
-        assert!(table.contains("0.9000"));
-        assert!(table.contains('-'), "missing values are dashed");
-    }
-
-    #[test]
-    fn long_labels_are_truncated_in_tables() {
-        let mut chart = Chart::new("t", "x", "y");
-        let mut s = Series::new("a-very-long-strategy-label");
-        s.push(0.0, 0.0);
-        chart.push(s);
-        let table = chart.to_table();
-        assert!(table.contains("a-very-long-st"));
-    }
-}
+pub use soar_exp::chart::{Chart, Series};

@@ -1,0 +1,63 @@
+//! # soar-exp
+//!
+//! The declarative experiment layer of the SOAR reproduction: **spec → run →
+//! artifact**.
+//!
+//! * [`spec`] — [`ExperimentSpec`]: a named, versioned, serde-backed
+//!   description of one evaluation experiment (topology/load/rate grids, budget
+//!   sweeps, solver sets, explicit seed rules, repetitions). The concrete specs
+//!   for every figure of the paper (Figs. 2, 3, 6–11, the ablation and the
+//!   gather perf microbench) live in [`registry`].
+//! * [`run`] — executes a spec on the unified `soar_core::api` layer
+//!   (`solve_batch` / `sweep_budgets_batch` on the `soar-pool` work-stealing
+//!   pool, warm per-thread workspaces) and renders the results.
+//! * [`artifact`] — [`RunArtifact`]: the persisted JSON outcome (the spec
+//!   itself, an environment stamp, chart data, aggregate DP statistics and —
+//!   for single solves — raw [`SolveReport`](soar_core::api::SolveReport)s),
+//!   plus [`artifact::diff`] for golden-snapshot regression checking within
+//!   [`Tolerances`].
+//! * [`chart`] — [`Chart`] / [`Series`], the render views (CSV and aligned
+//!   tables) of an artifact.
+//! * [`perf`] — the allocation-free gather microbench behind
+//!   `BENCH_gather.json`, persisted in the same artifact format.
+//!
+//! The root `soar` CLI (`soar experiment run|list|check`, `soar solve`,
+//! `soar sweep`, `soar compare`) is a thin shell over this crate.
+//!
+//! ```
+//! use soar_exp::prelude::*;
+//!
+//! // Every paper figure is a named, declarative spec...
+//! let spec = registry::by_name("fig3", Scale::Quick).unwrap();
+//! // ...which runs to a self-describing artifact...
+//! let artifact = spec.run();
+//! assert_eq!(artifact.charts[0].series[0].y_at(0.0), Some(51.0));
+//! assert_eq!(artifact.charts[0].series[0].y_at(4.0), Some(11.0));
+//! // ...that diffs cleanly against itself (the golden-snapshot mechanism)...
+//! assert!(diff(&artifact, &spec.run(), &Tolerances::default()).is_match());
+//! // ...and round-trips through its JSON on-disk format.
+//! let reparsed = RunArtifact::from_json(&artifact.to_json()).unwrap();
+//! assert_eq!(reparsed, artifact);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod chart;
+pub mod perf;
+pub mod registry;
+pub mod run;
+pub mod spec;
+
+pub use artifact::{diff, DiffReport, EnvStamp, RunArtifact, Tolerances};
+pub use chart::{Chart, Series};
+pub use spec::{ExperimentKind, ExperimentSpec, Scale, ScenarioSpec};
+
+/// One-stop imports for experiment drivers (the CLI, `soar-bench`, tests).
+pub mod prelude {
+    pub use crate::artifact::{diff, DiffReport, EnvStamp, RunArtifact, Tolerances};
+    pub use crate::chart::{Chart, Series};
+    pub use crate::registry;
+    pub use crate::spec::{ExperimentKind, ExperimentSpec, Scale, ScenarioSpec};
+}

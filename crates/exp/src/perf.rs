@@ -1,0 +1,193 @@
+//! The allocation-free gather microbench behind `BENCH_gather.json`.
+//!
+//! One instrumented measurement per tree size: wall time of a fresh
+//! (allocate-every-time) SOAR-Gather versus a warm
+//! [`SolverWorkspace`](soar_core::workspace::SolverWorkspace) replay, plus the
+//! workspace's allocation count and peak arena footprint. The measurements are
+//! persisted as a regular [`RunArtifact`](crate::artifact::RunArtifact) (kind
+//! [`GatherMicrobench`](crate::spec::ExperimentKind::GatherMicrobench)), so the
+//! perf trajectory shares the figure experiments' snapshot/diff tooling.
+
+use crate::chart::{Chart, Series};
+use crate::spec::ScenarioSpec;
+use serde::{Deserialize, Serialize};
+use soar_core::workspace::SolverWorkspace;
+use soar_topology::load::LoadSpec;
+use soar_topology::rates::RateScheme;
+use std::time::Instant;
+
+/// The budget the default microbench solves for (mid-range: large enough that
+/// the `k²` inner loops dominate, small enough that 16k switches stay
+/// sub-second).
+pub const GATHER_BENCH_BUDGET: usize = 16;
+
+/// Tree sizes of the default microbench, in **switches** (the paper's `BT(n)`
+/// counts the destination, so these are `BT(1024)`, `BT(4096)`, `BT(16384)`).
+pub const GATHER_BENCH_SIZES: [usize; 3] = [1024, 4096, 16384];
+
+/// One measured point of the gather microbench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatherBenchPoint {
+    /// Number of switches in the instance.
+    pub n_switches: usize,
+    /// The budget `k`.
+    pub budget: usize,
+    /// Mean wall time of a fresh gather (new arena every call), in seconds.
+    pub fresh_seconds: f64,
+    /// Mean wall time of a warm-workspace gather, in seconds.
+    pub warm_seconds: f64,
+    /// Buffer (re)allocations of the *last* warm pass — 0 is the invariant the
+    /// allocation-free gather guarantees.
+    pub warm_alloc_events: usize,
+    /// Peak workspace footprint (arena + scratch), in bytes.
+    pub peak_arena_bytes: usize,
+}
+
+/// The `BT(n)` instance the microbench times (power-law leaf loads, constant
+/// rates, fixed seed — same family as the Fig. 9 scaling study), at the default
+/// [`GATHER_BENCH_BUDGET`].
+pub fn gather_bench_instance(n: usize) -> soar_core::api::Instance {
+    gather_bench_instance_with_budget(n, GATHER_BENCH_BUDGET)
+}
+
+/// [`gather_bench_instance`] with an explicit budget — the single definition of
+/// the benchmark scenario family, shared by the criterion bench, the
+/// `BENCH_gather.json` snapshot and the `gather-bench` registry spec.
+pub fn gather_bench_instance_with_budget(n: usize, budget: usize) -> soar_core::api::Instance {
+    ScenarioSpec::bt(
+        n,
+        LoadSpec::paper_power_law(),
+        RateScheme::paper_constant(),
+        1,
+    )
+    .instance(budget)
+}
+
+/// Times one instance: `reps` fresh gathers vs `reps` warm-workspace gathers
+/// (after one untimed warm-up each).
+pub fn measure_gather(instance: &soar_core::api::Instance, reps: usize) -> GatherBenchPoint {
+    let tree = instance.tree();
+    let k = instance.budget();
+    let reps = reps.max(1);
+
+    let _ = soar_core::soar_gather(tree, k);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(soar_core::soar_gather(tree, k));
+    }
+    let fresh_seconds = start.elapsed().as_secs_f64() / reps as f64;
+
+    let mut ws = SolverWorkspace::new();
+    let _ = ws.gather(tree, k);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(ws.gather(tree, k));
+    }
+    let warm_seconds = start.elapsed().as_secs_f64() / reps as f64;
+
+    GatherBenchPoint {
+        n_switches: tree.n_switches(),
+        budget: k,
+        fresh_seconds,
+        warm_seconds,
+        warm_alloc_events: ws.last_alloc_events(),
+        peak_arena_bytes: ws.peak_bytes(),
+    }
+}
+
+/// Runs the microbench: one point per size, with repetition counts scaled down
+/// for the larger trees so a smoke run stays fast.
+pub fn gather_microbench(sizes: &[usize], budget: usize) -> Vec<GatherBenchPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let reps = (16384 / n.max(1)).clamp(2, 12);
+            measure_gather(&gather_bench_instance_with_budget(n, budget), reps)
+        })
+        .collect()
+}
+
+/// Renders microbench points as the artifact's chart set: wall times (chart 0,
+/// a *timing* chart), warm allocation events (chart 1 — the allocation-free
+/// invariant, diffed exactly) and the peak workspace footprint (chart 2).
+pub fn microbench_charts(points: &[GatherBenchPoint]) -> Vec<Chart> {
+    let mut wall = Chart::new("SOAR-Gather wall time", "n switches", "wall time [ms]");
+    let mut fresh = Series::new("fresh");
+    let mut warm = Series::new("warm");
+    let mut allocs = Chart::new(
+        "warm gather allocation events",
+        "n switches",
+        "allocations per warm pass",
+    );
+    let mut alloc_series = Series::new("warm_alloc_events");
+    let mut peak = Chart::new(
+        "workspace peak footprint",
+        "n switches",
+        "peak arena + scratch [bytes]",
+    );
+    let mut peak_series = Series::new("peak_arena_bytes");
+    for p in points {
+        let x = p.n_switches as f64;
+        fresh.push(x, p.fresh_seconds * 1e3);
+        warm.push(x, p.warm_seconds * 1e3);
+        alloc_series.push(x, p.warm_alloc_events as f64);
+        peak_series.push(x, p.peak_arena_bytes as f64);
+    }
+    wall.push(fresh);
+    wall.push(warm);
+    allocs.push(alloc_series);
+    peak.push(peak_series);
+    vec![wall, allocs, peak]
+}
+
+/// Reads microbench points back out of an artifact's charts (the inverse of
+/// [`microbench_charts`], used by perf-tracking tooling and the legacy-format
+/// compat path in `soar-bench`).
+pub fn points_from_charts(charts: &[Chart]) -> Option<Vec<GatherBenchPoint>> {
+    let wall = charts.first()?;
+    let allocs = charts.get(1)?.series.first()?;
+    let peak = charts.get(2)?.series.first()?;
+    let fresh = wall.series.first()?;
+    let warm = wall.series.get(1)?;
+    let mut points = Vec::new();
+    for (idx, &(x, fresh_ms)) in fresh.points.iter().enumerate() {
+        let &(_, warm_ms) = warm.points.get(idx)?;
+        let &(_, alloc_events) = allocs.points.get(idx)?;
+        let &(_, peak_bytes) = peak.points.get(idx)?;
+        points.push(GatherBenchPoint {
+            n_switches: x as usize,
+            budget: 0, // budget travels in the spec, not the charts
+            fresh_seconds: fresh_ms / 1e3,
+            warm_seconds: warm_ms / 1e3,
+            warm_alloc_events: alloc_events as usize,
+            peak_arena_bytes: peak_bytes as usize,
+        });
+    }
+    Some(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbench_measures_and_renders() {
+        let points = gather_microbench(&[128], 4);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.n_switches, 127);
+        assert_eq!(p.budget, 4);
+        assert!(p.fresh_seconds > 0.0 && p.warm_seconds > 0.0);
+        assert_eq!(p.warm_alloc_events, 0, "warm gather must not allocate");
+        assert!(p.peak_arena_bytes > 0);
+
+        let charts = microbench_charts(&points);
+        assert_eq!(charts.len(), 3);
+        assert_eq!(charts[0].series.len(), 2);
+        let recovered = points_from_charts(&charts).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].n_switches, 127);
+        assert_eq!(recovered[0].warm_alloc_events, 0);
+        assert!((recovered[0].fresh_seconds - p.fresh_seconds).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,739 @@
+//! Executes [`ExperimentSpec`]s into [`RunArtifact`]s.
+//!
+//! Every runner is written against the unified `soar_core::api` layer:
+//! scenarios materialize as [`Instance`]s, contenders are resolved from the
+//! [`solvers`] registry, repetition fans out through [`solve_batch`] /
+//! [`sweep_budgets_batch`] on the `soar-pool` work-stealing pool (whose workers
+//! carry warm per-thread `SolverWorkspace`s), and budget curves come from
+//! single-gather sweeps. All numeric outputs are deterministic: instance seeds
+//! follow the spec's explicit seed rules, solver randomness is derived from
+//! fixed seeds, and pooled batches return reports in submission order.
+
+use crate::artifact::RunArtifact;
+use crate::chart::{Chart, Series};
+use crate::perf;
+use crate::spec::{
+    ByteSeriesSpec, ExperimentKind, ExperimentSpec, GridCell, OnlineCell, OnlineSweep,
+    ScalingFamily, ScenarioSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_core::api::{
+    solve_batch, solvers, sweep_budgets, sweep_budgets_batch, DpStats, Instance, SoarSolver,
+    SolveReport, Solver, StrategySolver,
+};
+use soar_core::Strategy;
+use soar_multitenant::{workloads::MixedWorkloadGenerator, OnlineAllocator};
+use soar_reduce::Coloring;
+use soar_topology::builders;
+use soar_topology::load::LoadPlacement;
+use soar_topology::rates::RateScheme;
+
+/// The paper's legend label for a solver registry name (used for chart series).
+pub fn paper_label(name: &str) -> &str {
+    match name {
+        "soar" => "SOAR",
+        "top" => "Top",
+        "max-load" => "Max",
+        "max-degree" => "Max-degree",
+        "level" => "Level",
+        "random" => "Random",
+        "greedy" => "Greedy",
+        "all-red" => "All red",
+        "all-blue" => "All blue",
+        "brute-force" => "Brute force",
+        other => other,
+    }
+}
+
+/// Resolves a registry name back to the underlying placement [`Strategy`]
+/// (needed when a spec reseeds randomized strategies per repetition).
+fn strategy_by_name(name: &str) -> Option<Strategy> {
+    Some(match name {
+        "soar" => Strategy::Soar,
+        "top" => Strategy::Top,
+        "max-load" => Strategy::MaxLoad,
+        "max-degree" => Strategy::MaxDegree,
+        "level" => Strategy::Level,
+        "random" => Strategy::Random,
+        "greedy" => Strategy::Greedy,
+        "all-red" => Strategy::AllRed,
+        "all-blue" => Strategy::AllBlue,
+        _ => return None,
+    })
+}
+
+fn resolve(name: &str) -> Box<dyn Solver> {
+    solvers::by_name(name)
+        .unwrap_or_else(|| panic!("experiment spec references unknown solver `{name}`"))
+}
+
+/// Tracks the largest DP table statistics seen across a run, canonicalized for
+/// artifacts (the workspace-lifetime counters depend on scheduling history, not
+/// on the spec, so they are zeroed; see [`RunArtifact::dp`]).
+#[derive(Default)]
+struct DpAggregate(Option<DpStats>);
+
+/// Canonicalizes a report for storage inside a figure artifact: the wall time
+/// and the workspace-lifetime DP counters are machine/scheduling noise, and
+/// zeroing them is what makes cost-based artifacts byte-identical run to run
+/// (timing experiments chart their wall times explicitly instead).
+fn canonical_report(mut report: SolveReport) -> SolveReport {
+    report.wall_time = std::time::Duration::ZERO;
+    report.dp = report.dp.map(crate::artifact::canonical_dp);
+    report
+}
+
+impl DpAggregate {
+    fn note_report(&mut self, report: &SolveReport) {
+        let Some(dp) = report.dp.map(crate::artifact::canonical_dp) else {
+            return;
+        };
+        match &self.0 {
+            Some(best) if best.table_cells >= dp.table_cells => {}
+            _ => self.0 = Some(dp),
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Executes the spec and bundles the outcome into a [`RunArtifact`].
+    pub fn run(&self) -> RunArtifact {
+        let mut dp = DpAggregate::default();
+        let mut reports = Vec::new();
+        let charts = match &self.kind {
+            ExperimentKind::SolverComparison {
+                title,
+                scenario,
+                budget,
+                solvers,
+                include_all_red,
+            } => run_solver_comparison(
+                title,
+                scenario,
+                *budget,
+                solvers,
+                *include_all_red,
+                &mut dp,
+                &mut reports,
+            ),
+            ExperimentKind::BudgetCurve {
+                title,
+                scenario,
+                budgets,
+                series_label,
+            } => run_budget_curve(
+                title,
+                scenario,
+                budgets,
+                series_label,
+                &mut dp,
+                &mut reports,
+            ),
+            ExperimentKind::StrategyGrid {
+                n,
+                cells,
+                budgets,
+                solvers,
+                seed_stride,
+                per_rep_solver_seed,
+                include_baselines,
+            } => run_strategy_grid(
+                self,
+                *n,
+                cells,
+                budgets,
+                solvers,
+                *seed_stride,
+                *per_rep_solver_seed,
+                *include_baselines,
+                &mut dp,
+            ),
+            ExperimentKind::OnlineMultitenant {
+                n,
+                budget,
+                solvers,
+                cells,
+            } => run_online(self, *n, *budget, solvers, cells),
+            ExperimentKind::UseCaseBytes {
+                n,
+                budgets,
+                seed_stride,
+                rates,
+                titles,
+                series,
+            } => run_use_case_bytes(
+                self,
+                *n,
+                budgets,
+                *seed_stride,
+                rates,
+                titles,
+                series,
+                &mut dp,
+            ),
+            ExperimentKind::SolveTime {
+                title,
+                sizes,
+                budgets,
+                seed_stride,
+            } => run_solve_time(self, title, sizes, budgets, *seed_stride, &mut dp),
+            ExperimentKind::ScalingBudgets {
+                title,
+                family,
+                exponents,
+                seed_stride,
+            } => run_scaling(self, title, *family, exponents, *seed_stride, &mut dp),
+            ExperimentKind::RequiredFraction {
+                title,
+                exponents,
+                targets,
+                search_fraction,
+                seed_stride,
+            } => run_required_fraction(
+                self,
+                title,
+                exponents,
+                targets,
+                *search_fraction,
+                *seed_stride,
+                &mut dp,
+            ),
+            ExperimentKind::GatherMicrobench { sizes, budget } => {
+                perf::microbench_charts(&perf::gather_microbench(sizes, *budget))
+            }
+            ExperimentKind::Adhoc { command, .. } => panic!(
+                "ad-hoc `{command}` artifacts record a CLI run over an explicit instance \
+                 and are not re-runnable"
+            ),
+        };
+        let mut artifact = RunArtifact::new(self.clone(), charts, dp.0);
+        artifact.reports = reports;
+        artifact
+    }
+}
+
+fn run_solver_comparison(
+    title: &str,
+    scenario: &ScenarioSpec,
+    budget: usize,
+    solver_names: &[String],
+    include_all_red: bool,
+    dp: &mut DpAggregate,
+    reports: &mut Vec<SolveReport>,
+) -> Vec<Chart> {
+    let instance = scenario.instance(budget);
+    let mut chart = Chart::new(title, "k", "utilization complexity");
+    for name in solver_names {
+        let report = resolve(name).solve(&instance);
+        dp.note_report(&report);
+        let mut series = Series::new(paper_label(name));
+        series.push(budget as f64, report.solution.cost);
+        chart.push(series);
+        reports.push(canonical_report(report));
+    }
+    if include_all_red {
+        let mut all_red = Series::new("All red");
+        all_red.push(budget as f64, instance.all_red_cost());
+        chart.push(all_red);
+    }
+    vec![chart]
+}
+
+fn run_budget_curve(
+    title: &str,
+    scenario: &ScenarioSpec,
+    budgets: &[usize],
+    series_label: &str,
+    dp: &mut DpAggregate,
+    reports: &mut Vec<SolveReport>,
+) -> Vec<Chart> {
+    let k_max = budgets.iter().copied().max().unwrap_or(0);
+    let instance = scenario.instance(k_max);
+    let mut chart = Chart::new(title, "k", "utilization complexity");
+    let mut series = Series::new(series_label);
+    for report in sweep_budgets(&instance, budgets) {
+        dp.note_report(&report);
+        series.push(report.solution.budget as f64, report.solution.cost);
+        reports.push(canonical_report(report));
+    }
+    chart.push(series);
+    vec![chart]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_strategy_grid(
+    spec: &ExperimentSpec,
+    n: usize,
+    cells: &[GridCell],
+    budgets: &[usize],
+    solver_names: &[String],
+    seed_stride: u64,
+    per_rep_solver_seed: bool,
+    include_baselines: bool,
+    dp: &mut DpAggregate,
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let mut charts = Vec::new();
+    for cell in cells {
+        let mut chart = Chart::new(
+            &cell.title,
+            "k",
+            "network utilization (normalized to all-red)",
+        );
+        let mut all_blue = Series::new("All blue");
+        let mut all_red = Series::new("All red");
+        let mut per_solver: Vec<Series> = solver_names
+            .iter()
+            .map(|name| Series::new(paper_label(name)))
+            .collect();
+        let scenario_for = |seed: u64| ScenarioSpec {
+            topology: soar_core::api::TopologySpec::CompleteBinaryBt { n },
+            load: Some(cell.load.clone()),
+            placement: Some(LoadPlacement::Leaves),
+            rates: Some(cell.rates.clone()),
+            seed,
+        };
+        for &k in budgets {
+            let instances: Vec<Instance> = (0..reps)
+                .map(|rep| scenario_for(spec.base_seed + rep * seed_stride + k as u64).instance(k))
+                .collect();
+            if include_baselines {
+                let blue_reports = solve_batch(&StrategySolver::new(Strategy::AllBlue), &instances);
+                let blue_mean =
+                    blue_reports.iter().map(|r| r.normalized_cost).sum::<f64>() / reps as f64;
+                all_blue.push(k as f64, blue_mean);
+                all_red.push(k as f64, 1.0);
+            }
+            for (idx, name) in solver_names.iter().enumerate() {
+                let solver_reports: Vec<SolveReport> = if per_rep_solver_seed {
+                    let strategy = strategy_by_name(name).unwrap_or_else(|| {
+                        panic!("per-repetition seeding needs a strategy solver, got `{name}`")
+                    });
+                    instances
+                        .iter()
+                        .enumerate()
+                        .map(|(rep, instance)| {
+                            StrategySolver::with_seed(strategy, rep as u64).solve(instance)
+                        })
+                        .collect()
+                } else {
+                    solve_batch(resolve(name).as_ref(), &instances)
+                };
+                for report in &solver_reports {
+                    dp.note_report(report);
+                }
+                let mean = solver_reports
+                    .iter()
+                    .map(|r| r.normalized_cost)
+                    .sum::<f64>()
+                    / reps as f64;
+                per_solver[idx].push(k as f64, mean);
+            }
+        }
+        if include_baselines {
+            chart.push(all_blue);
+            chart.push(all_red);
+        }
+        for series in per_solver {
+            chart.push(series);
+        }
+        charts.push(chart);
+    }
+    charts
+}
+
+fn run_online(
+    spec: &ExperimentSpec,
+    n: usize,
+    budget: usize,
+    solver_names: &[String],
+    cells: &[OnlineCell],
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let generator = MixedWorkloadGenerator::paper_default();
+    let solvers: Vec<Box<dyn Solver>> = solver_names.iter().map(|name| resolve(name)).collect();
+    let mut charts = Vec::new();
+    for cell in cells {
+        let mut base = builders::complete_binary_tree_bt(n);
+        base.apply_rates(&cell.rates);
+        // Per x value: (seed key, per-switch capacity, workload count).
+        let (x_label, grid): (&str, Vec<(u64, u32, usize)>) = match &cell.sweep {
+            OnlineSweep::Workloads { counts, capacity } => (
+                "workloads",
+                counts.iter().map(|&c| (c as u64, *capacity, c)).collect(),
+            ),
+            OnlineSweep::Capacity {
+                capacities,
+                workloads,
+            } => (
+                "capacity",
+                capacities
+                    .iter()
+                    .map(|&c| (c as u64, c, *workloads))
+                    .collect(),
+            ),
+        };
+        let mut chart = Chart::new(
+            &cell.title,
+            x_label,
+            "network utilization (normalized to all-red)",
+        );
+        let mut series: Vec<Series> = solver_names
+            .iter()
+            .map(|name| Series::new(paper_label(name)))
+            .collect();
+        let mut red = Series::new("All red");
+        for &(x, capacity, workload_count) in &grid {
+            let mut acc = vec![0.0; solvers.len()];
+            for rep in 0..reps {
+                let mut rng = StdRng::seed_from_u64(spec.base_seed + rep * cell.seed_stride + x);
+                let workloads = generator.draw_sequence(&base, workload_count, &mut rng);
+                for (idx, solver) in solvers.iter().enumerate() {
+                    let mut allocator = OnlineAllocator::new(&base, budget, capacity);
+                    acc[idx] += allocator
+                        .run_sequence_with(&workloads, solver.as_ref())
+                        .normalized_total();
+                }
+            }
+            for (idx, s) in series.iter_mut().enumerate() {
+                s.push(x as f64, acc[idx] / reps as f64);
+            }
+            red.push(x as f64, 1.0);
+        }
+        chart.push(red);
+        for s in series {
+            chart.push(s);
+        }
+        charts.push(chart);
+    }
+    charts
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_use_case_bytes(
+    spec: &ExperimentSpec,
+    n: usize,
+    budgets: &[usize],
+    seed_stride: u64,
+    rates: &RateScheme,
+    titles: &[String],
+    series_specs: &[ByteSeriesSpec],
+    dp: &mut DpAggregate,
+) -> Vec<Chart> {
+    assert_eq!(titles.len(), 3, "UseCaseBytes needs exactly three titles");
+    let reps = spec.repetitions.max(1);
+    let mut utilization = Chart::new(
+        &titles[0],
+        "k",
+        "network utilization (normalized to all-red)",
+    );
+    let mut bytes_vs_red = Chart::new(&titles[1], "k", "bytes (normalized to all-red)");
+    let mut bytes_vs_blue = Chart::new(&titles[2], "k", "bytes (normalized to all-blue)");
+    for series_spec in series_specs {
+        let use_case = series_spec.use_case.use_case();
+        let mut util_series = Series::new(series_spec.label.clone());
+        let mut red_series = Series::new(series_spec.label.clone());
+        let mut blue_series = Series::new(series_spec.label.clone());
+        for &k in budgets {
+            let mut util_acc = 0.0;
+            let mut red_acc = 0.0;
+            let mut blue_acc = 0.0;
+            for rep in 0..reps {
+                let scenario = ScenarioSpec::bt(
+                    n,
+                    series_spec.load.clone(),
+                    rates.clone(),
+                    spec.base_seed + rep * seed_stride + k as u64,
+                );
+                let instance = scenario.instance(k);
+                let report = SoarSolver.solve(&instance);
+                dp.note_report(&report);
+                util_acc += report.normalized_cost;
+
+                let tree = instance.tree();
+                let mut rng = StdRng::seed_from_u64(rep);
+                let soar_bytes = use_case
+                    .byte_report(tree, &report.solution.coloring, &mut rng)
+                    .total_bytes as f64;
+                let mut rng = StdRng::seed_from_u64(rep);
+                let red_bytes = use_case
+                    .byte_report(tree, &Coloring::all_red(tree.n_switches()), &mut rng)
+                    .total_bytes as f64;
+                let mut rng = StdRng::seed_from_u64(rep);
+                let blue_bytes = use_case
+                    .byte_report(tree, &Coloring::all_blue(tree.n_switches()), &mut rng)
+                    .total_bytes as f64;
+                red_acc += soar_bytes / red_bytes;
+                blue_acc += soar_bytes / blue_bytes;
+            }
+            let reps_f = reps as f64;
+            util_series.push(k as f64, util_acc / reps_f);
+            red_series.push(k as f64, red_acc / reps_f);
+            blue_series.push(k as f64, blue_acc / reps_f);
+        }
+        utilization.push(util_series);
+        bytes_vs_red.push(red_series);
+        bytes_vs_blue.push(blue_series);
+    }
+    vec![utilization, bytes_vs_red, bytes_vs_blue]
+}
+
+fn run_solve_time(
+    spec: &ExperimentSpec,
+    title: &str,
+    sizes: &[usize],
+    budgets: &[usize],
+    seed_stride: u64,
+    dp: &mut DpAggregate,
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let mut chart = Chart::new(title, "k", "solve time [s]");
+    for &n in sizes {
+        let mut series = Series::new(format!("Size {n}"));
+        for &k in budgets {
+            let mut total = 0.0;
+            for rep in 0..reps {
+                let scenario = ScenarioSpec::bt(
+                    n,
+                    soar_topology::load::LoadSpec::paper_power_law(),
+                    RateScheme::paper_constant(),
+                    spec.base_seed + rep * seed_stride + n as u64,
+                );
+                let instance = scenario.instance(k);
+                let report = SoarSolver.solve(&instance);
+                dp.note_report(&report);
+                total += report.wall_time.as_secs_f64();
+                std::hint::black_box(report.solution.cost);
+            }
+            series.push(k as f64, total / reps as f64);
+        }
+        chart.push(series);
+    }
+    vec![chart]
+}
+
+/// The scaling budgets of Figs. 10a / 11c: `{1 % n, log₂ n, √n}`.
+pub fn scaling_budgets(n: usize) -> [usize; 3] {
+    [
+        ((n as f64) * 0.01).round().max(1.0) as usize,
+        (n as f64).log2().round() as usize,
+        (n as f64).sqrt().round() as usize,
+    ]
+}
+
+fn run_scaling(
+    spec: &ExperimentSpec,
+    title: &str,
+    family: ScalingFamily,
+    exponents: &[u32],
+    seed_stride: u64,
+    dp: &mut DpAggregate,
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let mut chart = Chart::new(title, "n", "network utilization (normalized to all-red)");
+    let mut blue = Series::new("All blue");
+    let mut one_percent = Series::new("k = 1% of n");
+    let mut log_n = Series::new("k = log2 n");
+    let mut sqrt_n = Series::new("k = sqrt n");
+    for &exp in exponents {
+        let n = 2usize.pow(exp);
+        let budgets = scaling_budgets(n);
+        let instances: Vec<Instance> = (0..reps)
+            .map(|rep| family.instance(n, spec.base_seed + rep * seed_stride + exp as u64, 0))
+            .collect();
+        let blue_reports = solve_batch(&StrategySolver::new(Strategy::AllBlue), &instances);
+        let sweeps = sweep_budgets_batch(&instances, &budgets);
+        let mut acc = [0.0f64; 3];
+        let mut blue_acc = 0.0;
+        for (blue_report, sweep) in blue_reports.iter().zip(&sweeps) {
+            blue_acc += blue_report.normalized_cost;
+            for (idx, report) in sweep.iter().enumerate() {
+                dp.note_report(report);
+                acc[idx] += report.normalized_cost;
+            }
+        }
+        let reps_f = reps as f64;
+        one_percent.push(n as f64, acc[0] / reps_f);
+        log_n.push(n as f64, acc[1] / reps_f);
+        sqrt_n.push(n as f64, acc[2] / reps_f);
+        blue.push(n as f64, blue_acc / reps_f);
+    }
+    chart.push(blue);
+    chart.push(one_percent);
+    chart.push(log_n);
+    chart.push(sqrt_n);
+    vec![chart]
+}
+
+fn run_required_fraction(
+    spec: &ExperimentSpec,
+    title: &str,
+    exponents: &[u32],
+    targets: &[f64],
+    search_fraction: f64,
+    seed_stride: u64,
+    dp: &mut DpAggregate,
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let mut chart = Chart::new(title, "n", "% blue nodes");
+    let mut series: Vec<Series> = targets
+        .iter()
+        .map(|t| Series::new(format!("{:.0}% saving", t * 100.0)))
+        .collect();
+    for &exp in exponents {
+        let n = 2usize.pow(exp);
+        let k_max = ((n as f64) * search_fraction).ceil() as usize;
+        let all_budgets: Vec<usize> = (0..=k_max).collect();
+        let instances: Vec<Instance> = (0..reps)
+            .map(|rep| {
+                ScalingFamily::BtPowerLaw.instance(
+                    n,
+                    spec.base_seed + rep * seed_stride + exp as u64,
+                    k_max,
+                )
+            })
+            .collect();
+        let sweeps = sweep_budgets_batch(&instances, &all_budgets);
+        let mut acc = vec![0.0f64; targets.len()];
+        for sweep in &sweeps {
+            let curve: Vec<f64> = sweep
+                .iter()
+                .map(|report| {
+                    dp.note_report(report);
+                    report.normalized_cost
+                })
+                .collect();
+            for (t_idx, target) in targets.iter().enumerate() {
+                let needed = curve
+                    .iter()
+                    .position(|&norm| norm <= 1.0 - target)
+                    .unwrap_or(k_max);
+                acc[t_idx] += 100.0 * needed as f64 / (n as f64);
+            }
+        }
+        for (t_idx, s) in series.iter_mut().enumerate() {
+            s.push(n as f64, acc[t_idx] / reps as f64);
+        }
+    }
+    for s in series {
+        chart.push(s);
+    }
+    vec![chart]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentKind;
+    use soar_topology::load::LoadSpec;
+
+    fn fig2_scenario() -> ScenarioSpec {
+        ScenarioSpec {
+            topology: soar_core::api::TopologySpec::CompleteKary {
+                arity: 2,
+                n_switches: 7,
+            },
+            load: Some(LoadSpec::Explicit(vec![2, 6, 5, 4])),
+            placement: Some(LoadPlacement::Leaves),
+            rates: None,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn solver_comparison_reproduces_fig2() {
+        let spec = ExperimentSpec::new(
+            "fig2-test",
+            "fig2",
+            1,
+            ExperimentKind::SolverComparison {
+                title: "fig2".into(),
+                scenario: fig2_scenario(),
+                budget: 2,
+                solvers: vec![
+                    "top".into(),
+                    "max-load".into(),
+                    "level".into(),
+                    "soar".into(),
+                ],
+                include_all_red: false,
+            },
+        );
+        let artifact = spec.run();
+        assert_eq!(artifact.charts.len(), 1);
+        let chart = &artifact.charts[0];
+        let soar = chart.series.iter().find(|s| s.label == "SOAR").unwrap();
+        assert_eq!(soar.y_at(2.0), Some(20.0));
+        let level = chart.series.iter().find(|s| s.label == "Level").unwrap();
+        assert_eq!(level.y_at(2.0), Some(21.0));
+        assert_eq!(artifact.reports.len(), 4);
+        let dp = artifact.dp.expect("SOAR ran, so dp stats are present");
+        assert_eq!(dp.n_switches, 7);
+        assert_eq!(dp.alloc_events, 0, "artifact dp is canonicalized");
+    }
+
+    #[test]
+    fn budget_curve_reproduces_fig3() {
+        let spec = ExperimentSpec::new(
+            "fig3-test",
+            "fig3",
+            1,
+            ExperimentKind::BudgetCurve {
+                title: "fig3".into(),
+                scenario: fig2_scenario(),
+                budgets: vec![0, 1, 2, 3, 4],
+                series_label: "SOAR (optimal)".into(),
+            },
+        );
+        let artifact = spec.run();
+        let curve = &artifact.charts[0].series[0];
+        assert_eq!(curve.y_at(0.0), Some(51.0));
+        assert_eq!(curve.y_at(1.0), Some(35.0));
+        assert_eq!(curve.y_at(4.0), Some(11.0));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = ExperimentSpec::new(
+            "grid-test",
+            "tiny grid",
+            2,
+            ExperimentKind::StrategyGrid {
+                n: 32,
+                cells: vec![GridCell {
+                    title: "tiny".into(),
+                    load: LoadSpec::paper_power_law(),
+                    rates: RateScheme::paper_constant(),
+                }],
+                budgets: vec![1, 2],
+                solvers: vec!["soar".into(), "top".into()],
+                seed_stride: 31,
+                per_rep_solver_seed: false,
+                include_baselines: true,
+            },
+        );
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a.to_json(), b.to_json(), "artifact JSON is byte-identical");
+    }
+
+    #[test]
+    fn paper_labels_cover_the_registry() {
+        for name in solvers::NAMES {
+            assert_ne!(paper_label(name), name, "{name} should have a paper label");
+        }
+        assert_eq!(paper_label("custom"), "custom");
+    }
+
+    #[test]
+    fn strategy_lookup_matches_registry_names() {
+        for name in solvers::NAMES {
+            if name == "brute-force" {
+                assert!(strategy_by_name(name).is_none());
+            } else {
+                assert!(strategy_by_name(name).is_some(), "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] is a named, versioned, fully self-contained description
+//! of one evaluation experiment: which scenarios to build (topology / load /
+//! rate grids), which solvers to run, which budgets to sweep, and — crucially —
+//! the explicit seed rules for every random draw, so a spec re-run anywhere
+//! reproduces the same numbers. Specs serialize to JSON, which is what the
+//! `soar experiment` CLI subcommands read and write.
+//!
+//! The concrete per-figure specs of the paper live in [`crate::registry`];
+//! running a spec ([`ExperimentSpec::run`]) produces a
+//! [`RunArtifact`](crate::artifact::RunArtifact).
+
+use serde::{Deserialize, Serialize};
+use soar_core::api::{Instance, TopologySpec};
+use soar_topology::load::{LoadPlacement, LoadSpec};
+use soar_topology::rates::RateScheme;
+
+/// Version stamp of the spec/artifact schema; bumped on incompatible changes so
+/// [`diff`](crate::artifact::diff) can refuse to compare apples to oranges.
+pub const SPEC_VERSION: u32 = 1;
+
+/// Instance sizing: the quick sizes used by CI and `cargo test`, or the paper's
+/// full evaluation sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Shrunken instances; the full suite finishes in well under a minute.
+    Quick,
+    /// The instance sizes reported in the paper (Sec. 5 and the appendices).
+    Paper,
+}
+
+/// One declarative scenario: a topology plus optional loads and rates.
+///
+/// Building an [`Instance`] additionally takes a seed (scenarios inside a spec
+/// are re-drawn per repetition with seeds derived from the spec's seed rule) and
+/// a budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The topology family and size.
+    pub topology: TopologySpec,
+    /// Load distribution, if any load is to be placed.
+    pub load: Option<LoadSpec>,
+    /// Where the load goes (required when `load` is set; defaults to leaves).
+    #[serde(default)]
+    pub placement: Option<LoadPlacement>,
+    /// Link-rate scheme (unit rates when absent).
+    pub rates: Option<RateScheme>,
+    /// Base seed for the scenario's random draws.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A `BT(n)` scenario with the given leaf loads and rates (the Sec. 5 shape).
+    pub fn bt(n: usize, load: LoadSpec, rates: RateScheme, seed: u64) -> Self {
+        ScenarioSpec {
+            topology: TopologySpec::CompleteBinaryBt { n },
+            load: Some(load),
+            placement: Some(LoadPlacement::Leaves),
+            rates: Some(rates),
+            seed,
+        }
+    }
+
+    /// An `SF(n)` scenario with unit load on every switch (the Appendix B shape).
+    pub fn sf(n: usize, seed: u64) -> Self {
+        ScenarioSpec {
+            topology: TopologySpec::ScaleFreeSf { n },
+            load: Some(LoadSpec::Constant(1)),
+            placement: Some(LoadPlacement::AllSwitches),
+            rates: None,
+            seed,
+        }
+    }
+
+    /// Materializes an [`Instance`] with this scenario's own seed.
+    pub fn instance(&self, budget: usize) -> Instance {
+        self.instance_seeded(self.seed, budget)
+    }
+
+    /// Materializes an [`Instance`], overriding the seed (used by repetition
+    /// loops, which derive per-repetition seeds from the spec's seed rule).
+    pub fn instance_seeded(&self, seed: u64, budget: usize) -> Instance {
+        let mut builder = Instance::builder()
+            .topology(self.topology.clone())
+            .seed(seed)
+            .budget(budget);
+        if let Some(load) = &self.load {
+            let placement = self.placement.unwrap_or(LoadPlacement::Leaves);
+            builder = builder.loads(load.clone(), placement);
+        }
+        if let Some(rates) = &self.rates {
+            builder = builder.rates(rates.clone());
+        }
+        builder
+            .build()
+            .expect("scenario specs describe well-formed instances")
+    }
+}
+
+/// One cell of a [`ExperimentKind::StrategyGrid`]: a chart title plus the load /
+/// rate pair drawn for every instance of the cell (the topology and budgets are
+/// shared across the grid).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Title of the chart this cell renders to.
+    pub title: String,
+    /// Leaf-load distribution of the cell.
+    pub load: LoadSpec,
+    /// Link-rate scheme of the cell.
+    pub rates: RateScheme,
+}
+
+/// The WC / PS use cases of Fig. 8, as serializable names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UseCaseSpec {
+    /// The word-count use case.
+    WordCount,
+    /// The ML parameter-server use case.
+    ParameterServer,
+}
+
+impl UseCaseSpec {
+    /// The concrete workload model.
+    pub fn use_case(&self) -> soar_apps::UseCase {
+        match self {
+            UseCaseSpec::WordCount => soar_apps::UseCase::word_count_default(),
+            UseCaseSpec::ParameterServer => soar_apps::UseCase::parameter_server_default(),
+        }
+    }
+}
+
+/// One series of a [`ExperimentKind::UseCaseBytes`] experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ByteSeriesSpec {
+    /// Legend label (e.g. "WC-uniform").
+    pub label: String,
+    /// Leaf-load distribution of the series' instances.
+    pub load: LoadSpec,
+    /// The application use case measured.
+    pub use_case: UseCaseSpec,
+}
+
+/// The sweep axis of one [`ExperimentKind::OnlineMultitenant`] cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OnlineSweep {
+    /// Sweep the number of arriving workloads at a fixed per-switch capacity.
+    Workloads {
+        /// The workload counts on the x axis.
+        counts: Vec<usize>,
+        /// The fixed per-switch workload capacity.
+        capacity: u32,
+    },
+    /// Sweep the per-switch capacity at a fixed number of workloads.
+    Capacity {
+        /// The capacities on the x axis.
+        capacities: Vec<u32>,
+        /// The fixed number of arriving workloads.
+        workloads: usize,
+    },
+}
+
+/// One chart of a [`ExperimentKind::OnlineMultitenant`] experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineCell {
+    /// Title of the chart this cell renders to.
+    pub title: String,
+    /// Link-rate scheme applied to the shared base topology.
+    pub rates: RateScheme,
+    /// What the cell sweeps.
+    pub sweep: OnlineSweep,
+    /// Seed stride: workload sequence `rep` at x value `x` is drawn with seed
+    /// `rep * seed_stride + x`.
+    pub seed_stride: u64,
+}
+
+/// The instance family of a [`ExperimentKind::ScalingBudgets`] experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingFamily {
+    /// `BT(n)` with power-law leaf loads and constant rates (Fig. 10a).
+    BtPowerLaw,
+    /// `SF(n)` with unit loads (Fig. 11c).
+    SfUnit,
+}
+
+impl ScalingFamily {
+    /// Builds one instance of the family (`budget` is the gather budget).
+    pub fn instance(&self, n: usize, seed: u64, budget: usize) -> Instance {
+        let scenario = match self {
+            ScalingFamily::BtPowerLaw => ScenarioSpec::bt(
+                n,
+                LoadSpec::paper_power_law(),
+                RateScheme::paper_constant(),
+                seed,
+            ),
+            ScalingFamily::SfUnit => ScenarioSpec::sf(n, seed),
+        };
+        scenario.instance(budget)
+    }
+}
+
+/// The executable body of an experiment. Each variant maps onto one family of
+/// the paper's figures; the runner for every variant lives in [`crate::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// A fixed scenario solved by several solvers at one budget, plotting raw
+    /// utilization (Figs. 2 and 11a).
+    SolverComparison {
+        /// Chart title.
+        title: String,
+        /// The single scenario.
+        scenario: ScenarioSpec,
+        /// The budget `k`.
+        budget: usize,
+        /// Registry names of the solvers, in legend order.
+        solvers: Vec<String>,
+        /// Append an "All red" baseline series at the instance's all-red cost.
+        include_all_red: bool,
+    },
+    /// The optimal cost-vs-budget curve of one scenario, from a single
+    /// SOAR-Gather pass (Fig. 3).
+    BudgetCurve {
+        /// Chart title.
+        title: String,
+        /// The single scenario.
+        scenario: ScenarioSpec,
+        /// The budgets on the x axis.
+        budgets: Vec<usize>,
+        /// Legend label of the curve.
+        series_label: String,
+    },
+    /// Budgets × solvers on a grid of (load, rates) cells over `BT(n)`, plotting
+    /// mean normalized utilization (Fig. 6 and the ablation).
+    StrategyGrid {
+        /// The `BT(n)` size shared by every cell.
+        n: usize,
+        /// One chart per cell.
+        cells: Vec<GridCell>,
+        /// The budgets on the x axis.
+        budgets: Vec<usize>,
+        /// Registry names of the solvers, in legend order.
+        solvers: Vec<String>,
+        /// Instance seed for repetition `rep` at budget `k` is
+        /// `rep * seed_stride + k`.
+        seed_stride: u64,
+        /// Reseed randomized solvers with the repetition index (the ablation's
+        /// random baseline); `false` keeps the fixed default solver seed.
+        per_rep_solver_seed: bool,
+        /// Prepend measured "All blue" and constant "All red" baseline series.
+        include_baselines: bool,
+    },
+    /// The online multi-workload scenario (Fig. 7).
+    OnlineMultitenant {
+        /// The `BT(n)` size of the shared base topology.
+        n: usize,
+        /// The aggregation budget `k` given to every allocator.
+        budget: usize,
+        /// Registry names of the placement solvers, in legend order.
+        solvers: Vec<String>,
+        /// One chart per cell.
+        cells: Vec<OnlineCell>,
+    },
+    /// The WC / PS byte-volume experiment (Fig. 8): three charts (utilization,
+    /// bytes vs all-red, bytes vs all-blue) sharing one budget axis.
+    UseCaseBytes {
+        /// The `BT(n)` size.
+        n: usize,
+        /// The budgets on the x axis.
+        budgets: Vec<usize>,
+        /// Instance seed for repetition `rep` at budget `k` is
+        /// `rep * seed_stride + k`.
+        seed_stride: u64,
+        /// Link-rate scheme of every instance.
+        rates: RateScheme,
+        /// Titles of the three charts, in order (utilization, vs-red, vs-blue).
+        titles: Vec<String>,
+        /// The plotted series.
+        series: Vec<ByteSeriesSpec>,
+    },
+    /// SOAR wall-clock solve time for growing sizes and budgets (Fig. 9).
+    /// The resulting chart is a *timing* chart: goldens compare it structurally,
+    /// not value for value.
+    SolveTime {
+        /// Chart title.
+        title: String,
+        /// Tree sizes (one series each).
+        sizes: Vec<usize>,
+        /// The budgets on the x axis.
+        budgets: Vec<usize>,
+        /// Instance seed for repetition `rep` at size `n` is
+        /// `rep * seed_stride + n`.
+        seed_stride: u64,
+    },
+    /// Normalized utilization of the scaling budgets `{1 % n, log₂ n, √n}` on
+    /// growing instances (Figs. 10a and 11c), one sweep per instance.
+    ScalingBudgets {
+        /// Chart title.
+        title: String,
+        /// The instance family.
+        family: ScalingFamily,
+        /// Sizes are `2^exp` for each exponent.
+        exponents: Vec<u32>,
+        /// Instance seed for repetition `rep` at exponent `exp` is
+        /// `rep * seed_stride + exp`.
+        seed_stride: u64,
+    },
+    /// The smallest blue fraction reaching a target utilization saving
+    /// (Fig. 10b).
+    RequiredFraction {
+        /// Chart title.
+        title: String,
+        /// Sizes are `2^exp` for each exponent.
+        exponents: Vec<u32>,
+        /// The savings targets (fractions of the all-red cost).
+        targets: Vec<f64>,
+        /// Budgets are searched up to `search_fraction · n`.
+        search_fraction: f64,
+        /// Instance seed for repetition `rep` at exponent `exp` is
+        /// `rep * seed_stride + exp`.
+        seed_stride: u64,
+    },
+    /// The allocation-free gather microbench behind `BENCH_gather.json`: fresh
+    /// vs warm-workspace wall times, warm allocation events and peak arena
+    /// footprint per tree size. Wall-time charts are *timing* charts.
+    GatherMicrobench {
+        /// Tree sizes in switches.
+        sizes: Vec<usize>,
+        /// The gather budget.
+        budget: usize,
+    },
+    /// Provenance record of a CLI run over an explicit serialized `Instance`
+    /// (`soar solve` / `sweep` / `compare`). The instance itself is not
+    /// reconstructible from the spec — the artifact's reports and charts carry
+    /// the outcome — so ad-hoc specs are **not re-runnable**.
+    Adhoc {
+        /// The CLI subcommand that produced the artifact.
+        command: String,
+        /// Label of the instance operated on.
+        instance: String,
+        /// Registry names of the solvers involved.
+        solvers: Vec<String>,
+        /// The budgets involved.
+        budgets: Vec<usize>,
+    },
+}
+
+/// A named, versioned, declarative experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Registry name (e.g. "fig6"); also the artifact's file stem.
+    pub name: String,
+    /// One-line human description.
+    pub title: String,
+    /// Schema version ([`SPEC_VERSION`]).
+    pub version: u32,
+    /// Number of random repetitions averaged per point.
+    pub repetitions: u64,
+    /// Base seed added to every derived instance seed (0 for the paper specs).
+    #[serde(default)]
+    pub base_seed: u64,
+    /// The executable body.
+    pub kind: ExperimentKind,
+}
+
+impl ExperimentSpec {
+    /// Wraps a kind with the given name/title and the defaults shared by the
+    /// paper specs (version [`SPEC_VERSION`], base seed 0).
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        repetitions: u64,
+        kind: ExperimentKind,
+    ) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            title: title.into(),
+            version: SPEC_VERSION,
+            repetitions,
+            base_seed: 0,
+            kind,
+        }
+    }
+
+    /// Indices (into the artifact's chart list) of wall-clock timing charts,
+    /// which golden diffs compare structurally rather than value for value.
+    pub fn timing_chart_indices(&self) -> Vec<usize> {
+        match &self.kind {
+            ExperimentKind::SolveTime { .. } => vec![0],
+            // Chart 0 of the microbench is the fresh/warm wall-time chart.
+            ExperimentKind::GatherMicrobench { .. } => vec![0],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_specs_build_reproducible_instances() {
+        let scenario = ScenarioSpec::bt(
+            64,
+            LoadSpec::paper_power_law(),
+            RateScheme::paper_constant(),
+            7,
+        );
+        let a = scenario.instance(4);
+        let b = scenario.instance(4);
+        assert_eq!(a, b);
+        assert_eq!(a.budget(), 4);
+        assert_eq!(a.n_switches(), 63);
+        // A different seed draws different loads.
+        let c = scenario.instance_seeded(8, 4);
+        assert_ne!(a.tree(), c.tree());
+    }
+
+    #[test]
+    fn sf_scenarios_have_unit_loads() {
+        let tree_owner = ScenarioSpec::sf(128, 3).instance(0);
+        assert_eq!(tree_owner.tree().total_load(), 127);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let spec = ExperimentSpec::new(
+            "demo",
+            "a demo spec",
+            3,
+            ExperimentKind::BudgetCurve {
+                title: "demo curve".into(),
+                scenario: ScenarioSpec::bt(
+                    32,
+                    LoadSpec::paper_uniform(),
+                    RateScheme::paper_linear(),
+                    1,
+                ),
+                budgets: vec![0, 1, 2],
+                series_label: "SOAR".into(),
+            },
+        );
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let parsed: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn timing_charts_are_flagged_per_kind() {
+        let timing = ExperimentSpec::new(
+            "t",
+            "t",
+            1,
+            ExperimentKind::SolveTime {
+                title: "t".into(),
+                sizes: vec![64],
+                budgets: vec![2],
+                seed_stride: 3,
+            },
+        );
+        assert_eq!(timing.timing_chart_indices(), vec![0]);
+        let cost = ExperimentSpec::new(
+            "c",
+            "c",
+            1,
+            ExperimentKind::SolverComparison {
+                title: "c".into(),
+                scenario: ScenarioSpec::sf(32, 0),
+                budget: 1,
+                solvers: vec!["soar".into()],
+                include_all_red: false,
+            },
+        );
+        assert!(cost.timing_chart_indices().is_empty());
+    }
+}

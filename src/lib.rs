@@ -16,7 +16,16 @@
 //! * [`multitenant`] — the online multi-workload allocation scenario;
 //! * [`dataplane`] — the distributed message-passing prototype;
 //! * [`pool`] — the std-only work-stealing thread pool behind the batch entry
-//!   points and the level-parallel gather.
+//!   points and the level-parallel gather;
+//! * [`exp`] — the declarative experiment layer
+//!   ([`ExperimentSpec`](exp::ExperimentSpec) → [`RunArtifact`](exp::RunArtifact)
+//!   with golden-snapshot diffing) behind the `soar` CLI binary and the
+//!   `soar-bench` figure harness.
+//!
+//! The package also ships the `soar` CLI (`cargo run --bin soar -- --help`):
+//! `solve` / `sweep` / `compare` over serialized
+//! [`Instance`](core::api::Instance) JSON, and `experiment run|list|check` for
+//! the declarative figure pipeline.
 //!
 //! The recommended workflow describes a whole φ-BIC scenario `(T, L, Λ, k)` as one
 //! immutable [`Instance`](core::api::Instance) and hands it to any registered
@@ -47,6 +56,7 @@
 pub use soar_apps as apps;
 pub use soar_core as core;
 pub use soar_dataplane as dataplane;
+pub use soar_exp as exp;
 pub use soar_multitenant as multitenant;
 pub use soar_pool as pool;
 pub use soar_reduce as reduce;

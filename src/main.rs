@@ -1,0 +1,532 @@
+//! The `soar` CLI: solve φ-BIC instances and drive the declarative experiment
+//! pipeline from the shell.
+//!
+//! ```text
+//! soar solve   --in instance.json [--solver soar] [--out report.json]
+//! soar sweep   --in instance.json --budgets 1,2,4,8 [--out artifact.json]
+//! soar compare --in instance.json [--solvers soar,top,max-load] [--out artifact.json]
+//! soar experiment list [--paper]
+//! soar experiment run <name>... [--paper] [--reps N] [--out-dir DIR] [--csv]
+//! soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]
+//! ```
+//!
+//! Instances and artifacts are JSON documents (the feature-gated serde support
+//! of `soar-core` plus the `soar-exp` artifact format). Exit codes: `0` on
+//! success, `1` on operational failures (missing files, invalid JSON, a failed
+//! golden check), `2` on usage errors. Argument parsing is hand-rolled — the
+//! build environment is offline, so no external CLI crates.
+
+use soar::core::api::{solvers, Instance, SolveReport, Solver};
+use soar::exp::prelude::*;
+use soar::exp::spec::ExperimentKind;
+
+/// A CLI failure: either bad usage (exit 2) or an operational error (exit 1).
+enum CliError {
+    Usage(String),
+    Failure(String),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    fn failure(message: impl Into<String>) -> Self {
+        CliError::Failure(message.into())
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
+const TOP_USAGE: &str = "usage: soar <solve|sweep|compare|experiment> [options]
+       soar --help
+
+subcommands:
+  solve       solve one serialized Instance with one solver
+  sweep       optimal solutions for a list of budgets (single gather pass)
+  compare     run several solvers on one instance
+  experiment  list, run and check the declarative paper experiments";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match dispatch(&args) {
+        Ok(()) => 0,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!("{TOP_USAGE}");
+            2
+        }
+        Err(CliError::Failure(message)) => {
+            eprintln!("error: {message}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn dispatch(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{TOP_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!("unknown subcommand `{other}`"))),
+        None => Err(CliError::usage("no subcommand given")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared option plumbing
+// ---------------------------------------------------------------------------
+
+/// Pulls the value of `--flag value` style options out of an argument list.
+struct Options<'a> {
+    args: &'a [String],
+    cursor: usize,
+}
+
+impl<'a> Options<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Options { args, cursor: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let arg = self.args.get(self.cursor)?;
+        self.cursor += 1;
+        Some(arg.as_str())
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        let value = self
+            .args
+            .get(self.cursor)
+            .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))?;
+        self.cursor += 1;
+        Ok(value.as_str())
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(value: &str, what: &str) -> Result<Vec<T>, CliError> {
+    value
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<T>()
+                .map_err(|_| CliError::usage(format!("invalid {what} `{part}`")))
+        })
+        .collect()
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::failure(format!("reading {path}: {e}")))
+}
+
+fn write_file(path: &str, contents: &str) -> CliResult {
+    std::fs::write(path, contents).map_err(|e| CliError::failure(format!("writing {path}: {e}")))
+}
+
+fn read_instance(path: &str) -> Result<Instance, CliError> {
+    serde_json::from_str::<Instance>(&read_file(path)?)
+        .map_err(|e| CliError::failure(format!("{path} is not an Instance document: {e}")))
+}
+
+fn read_artifact(path: &str) -> Result<RunArtifact, CliError> {
+    RunArtifact::from_json(&read_file(path)?)
+        .map_err(|e| CliError::failure(format!("{path} is not a RunArtifact document: {e}")))
+}
+
+fn resolve_solver(name: &str) -> Result<Box<dyn Solver>, CliError> {
+    solvers::by_name(name).ok_or_else(|| {
+        CliError::failure(format!(
+            "unknown solver `{name}` (registered: {})",
+            solvers::NAMES.join(", ")
+        ))
+    })
+}
+
+fn print_report(report: &SolveReport) {
+    println!(
+        "{:<12} instance {:<24} cost {:>12.4}  normalized {:>8.5}  blue {:>4}/{:<4}  wall {:>9.3} ms",
+        report.solver,
+        report.instance,
+        report.solution.cost,
+        report.normalized_cost,
+        report.solution.blue_used,
+        report.solution.budget,
+        report.wall_time.as_secs_f64() * 1e3,
+    );
+    if let Some(dp) = &report.dp {
+        println!(
+            "{:<12} dp: {} switches, {} cells, {:.1} kB tables",
+            "",
+            dp.n_switches,
+            dp.table_cells,
+            dp.table_bytes as f64 / 1e3
+        );
+    }
+}
+
+/// Provenance spec for artifacts produced from an explicit instance file.
+fn adhoc_spec(
+    command: &str,
+    instance: &Instance,
+    solver_names: Vec<String>,
+    budgets: Vec<usize>,
+) -> ExperimentSpec {
+    ExperimentSpec::new(
+        format!("adhoc-{command}"),
+        format!("CLI {command} of instance `{}`", instance.label()),
+        1,
+        ExperimentKind::Adhoc {
+            command: command.to_owned(),
+            instance: instance.label().to_owned(),
+            solvers: solver_names,
+            budgets,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// solve / sweep / compare
+// ---------------------------------------------------------------------------
+
+fn cmd_solve(args: &[String]) -> CliResult {
+    let mut input: Option<&str> = None;
+    let mut solver_name = "soar";
+    let mut out: Option<&str> = None;
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--in" | "-i" => input = Some(options.value_for("--in")?),
+            "--solver" | "-s" => solver_name = options.value_for("--solver")?,
+            "--out" | "-o" => out = Some(options.value_for("--out")?),
+            "--help" | "-h" => {
+                println!("usage: soar solve --in <instance.json> [--solver <name>] [--out <report.json>]");
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "solve: unknown argument `{other}`"
+                )))
+            }
+        }
+    }
+    let input = input.ok_or_else(|| CliError::usage("solve needs --in <instance.json>"))?;
+    let instance = read_instance(input)?;
+    let solver = resolve_solver(solver_name)?;
+    let report = solver.solve(&instance);
+    print_report(&report);
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::failure(format!("serializing the report: {e}")))?;
+        write_file(path, &(json + "\n"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> CliResult {
+    let mut input: Option<&str> = None;
+    let mut budgets: Option<Vec<usize>> = None;
+    let mut out: Option<&str> = None;
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--in" | "-i" => input = Some(options.value_for("--in")?),
+            "--budgets" | "-b" => {
+                budgets = Some(parse_list(options.value_for("--budgets")?, "budget")?)
+            }
+            "--out" | "-o" => out = Some(options.value_for("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: soar sweep --in <instance.json> --budgets <k1,k2,...> [--out <artifact.json>]"
+                );
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "sweep: unknown argument `{other}`"
+                )))
+            }
+        }
+    }
+    let input = input.ok_or_else(|| CliError::usage("sweep needs --in <instance.json>"))?;
+    let budgets = budgets.ok_or_else(|| CliError::usage("sweep needs --budgets <k1,k2,...>"))?;
+    if budgets.is_empty() {
+        return Err(CliError::usage("sweep needs at least one budget"));
+    }
+    let instance = read_instance(input)?;
+    let reports = soar::core::api::sweep_budgets(&instance, &budgets);
+
+    let mut chart = Chart::new(
+        format!("Budget sweep of `{}`", instance.label()),
+        "k",
+        "utilization complexity",
+    );
+    let mut cost = Series::new("SOAR (optimal)");
+    let mut normalized = Series::new("normalized to all-red");
+    for report in &reports {
+        cost.push(report.solution.budget as f64, report.solution.cost);
+        normalized.push(report.solution.budget as f64, report.normalized_cost);
+    }
+    chart.push(cost);
+    chart.push(normalized);
+    print!("{}", chart.to_table());
+
+    if let Some(path) = out {
+        let spec = adhoc_spec("sweep", &instance, vec!["soar".into()], budgets);
+        let dp = reports.iter().find_map(|r| r.dp);
+        let mut artifact = RunArtifact::new(spec, vec![chart], dp);
+        artifact.reports = reports;
+        write_file(path, &artifact.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> CliResult {
+    let mut input: Option<&str> = None;
+    let mut names: Vec<String> = vec!["soar".into(), "top".into(), "max-load".into()];
+    let mut out: Option<&str> = None;
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--in" | "-i" => input = Some(options.value_for("--in")?),
+            "--solvers" | "-s" => names = parse_list(options.value_for("--solvers")?, "solver")?,
+            "--out" | "-o" => out = Some(options.value_for("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: soar compare --in <instance.json> [--solvers <a,b,...>] [--out <artifact.json>]"
+                );
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "compare: unknown argument `{other}`"
+                )))
+            }
+        }
+    }
+    let input = input.ok_or_else(|| CliError::usage("compare needs --in <instance.json>"))?;
+    let instance = read_instance(input)?;
+    let mut chart = Chart::new(
+        format!(
+            "Solver comparison on `{}` (k = {})",
+            instance.label(),
+            instance.budget()
+        ),
+        "k",
+        "utilization complexity",
+    );
+    let mut reports = Vec::new();
+    for name in &names {
+        let solver = resolve_solver(name)?;
+        let report = solver.solve(&instance);
+        print_report(&report);
+        let mut series = Series::new(soar::exp::run::paper_label(name));
+        series.push(instance.budget() as f64, report.solution.cost);
+        chart.push(series);
+        reports.push(report);
+    }
+    if let Some(path) = out {
+        let budgets = vec![instance.budget()];
+        let spec = adhoc_spec("compare", &instance, names, budgets);
+        let dp = reports.iter().find_map(|r| r.dp);
+        let mut artifact = RunArtifact::new(spec, vec![chart], dp);
+        artifact.reports = reports;
+        write_file(path, &artifact.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// experiment list / run / check
+// ---------------------------------------------------------------------------
+
+const EXPERIMENT_USAGE: &str = "usage: soar experiment list [--paper]
+       soar experiment run <name>... [--paper] [--reps N] [--out-dir DIR] [--csv]
+       soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]";
+
+fn cmd_experiment(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_experiment_list(&args[1..]),
+        Some("run") => cmd_experiment_run(&args[1..]),
+        Some("check") => cmd_experiment_check(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{EXPERIMENT_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown experiment subcommand `{other}`"
+        ))),
+        None => Err(CliError::usage(
+            "experiment needs a subcommand (list, run, check)",
+        )),
+    }
+}
+
+fn parse_scale(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--paper")
+}
+
+fn cmd_experiment_list(args: &[String]) -> CliResult {
+    let scale = if parse_scale(args) {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    for arg in args {
+        if arg != "--paper" {
+            return Err(CliError::usage(format!("list: unknown argument `{arg}`")));
+        }
+    }
+    println!("{:<14} {:>4}  description", "name", "reps");
+    for spec in registry::all(scale) {
+        println!("{:<14} {:>4}  {}", spec.name, spec.repetitions, spec.title);
+    }
+    Ok(())
+}
+
+fn cmd_experiment_run(args: &[String]) -> CliResult {
+    let mut names: Vec<&str> = Vec::new();
+    let mut paper = false;
+    let mut reps: Option<u64> = None;
+    let mut out_dir = "artifacts";
+    let mut csv = false;
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--paper" => paper = true,
+            "--reps" => {
+                reps = Some(
+                    options
+                        .value_for("--reps")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--reps needs a number"))?,
+                )
+            }
+            "--out-dir" | "-o" => out_dir = options.value_for("--out-dir")?,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!("{EXPERIMENT_USAGE}");
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!("run: unknown argument `{flag}`")))
+            }
+            name => names.push(name),
+        }
+    }
+    if names.is_empty() {
+        return Err(CliError::usage(format!(
+            "run needs at least one experiment name (registered: {})",
+            registry::NAMES.join(", ")
+        )));
+    }
+    let scale = if paper { Scale::Paper } else { Scale::Quick };
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::failure(format!("creating {out_dir}: {e}")))?;
+    for name in names {
+        let mut spec = registry::by_name(name, scale).ok_or_else(|| {
+            CliError::failure(format!(
+                "unknown experiment `{name}` (registered: {})",
+                registry::NAMES.join(", ")
+            ))
+        })?;
+        // Single-shot specs (fig2, fig3, fig11a, gather-bench) average nothing,
+        // so overriding their repetition count would only make the stored spec
+        // deviate from goldens without changing any value; same guard as
+        // `soar_bench::ExperimentConfig::spec`.
+        if let Some(reps) = reps {
+            if spec.repetitions != 1 {
+                spec.repetitions = reps;
+            }
+        }
+        eprintln!(
+            "running {name} ({} repetitions, {} scale)",
+            spec.repetitions,
+            if paper { "paper" } else { "quick" }
+        );
+        let artifact = spec.run();
+        for chart in &artifact.charts {
+            if csv {
+                println!("# {}", chart.title);
+                print!("{}", chart.to_csv());
+            } else {
+                println!("{}", chart.to_table());
+            }
+        }
+        let path = format!("{}/{name}.json", out_dir.trim_end_matches('/'));
+        write_file(&path, &artifact.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_experiment_check(args: &[String]) -> CliResult {
+    let mut artifact_path: Option<&str> = None;
+    let mut golden_path: Option<&str> = None;
+    let mut tol = Tolerances::default();
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--golden" | "-g" => golden_path = Some(options.value_for("--golden")?),
+            "--rel" => {
+                tol.rel = options
+                    .value_for("--rel")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--rel needs a number"))?
+            }
+            "--abs" => {
+                tol.abs = options
+                    .value_for("--abs")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--abs needs a number"))?
+            }
+            "--timing-rel" => {
+                tol.timing_rel = Some(
+                    options
+                        .value_for("--timing-rel")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--timing-rel needs a number"))?,
+                )
+            }
+            "--help" | "-h" => {
+                println!("{EXPERIMENT_USAGE}");
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!("check: unknown argument `{flag}`")))
+            }
+            path if artifact_path.is_none() => artifact_path = Some(path),
+            other => {
+                return Err(CliError::usage(format!(
+                    "check takes one artifact path, got a second: `{other}`"
+                )))
+            }
+        }
+    }
+    let artifact_path =
+        artifact_path.ok_or_else(|| CliError::usage("check needs an artifact path"))?;
+    let golden_path = golden_path.ok_or_else(|| CliError::usage("check needs --golden <path>"))?;
+    let new = read_artifact(artifact_path)?;
+    let golden = read_artifact(golden_path)?;
+    let report = diff(&golden, &new, &tol);
+    if report.is_match() {
+        println!(
+            "OK: {artifact_path} matches {golden_path} (rel {}, abs {})",
+            tol.rel, tol.abs
+        );
+        Ok(())
+    } else {
+        Err(CliError::failure(format!(
+            "{artifact_path} deviates from {golden_path}: {report}"
+        )))
+    }
+}

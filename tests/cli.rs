@@ -1,0 +1,305 @@
+//! Integration tests for the `soar` CLI: subcommand parsing, exit codes, JSON
+//! round-trips through temp files, and golden checking of self-generated
+//! artifacts.
+
+use soar::core::api::{Instance, SolveReport, TopologySpec};
+use soar::exp::RunArtifact;
+use soar::topology::load::LoadSpec;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn soar_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_soar"))
+}
+
+fn run(args: &[&str]) -> Output {
+    soar_bin().args(args).output().expect("spawning soar")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A scratch directory, removed on drop so test reruns stay clean.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("soar-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("creating temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+
+    fn path_str(&self, name: &str) -> String {
+        self.path(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write_instance(path: &Path, budget: usize) -> Instance {
+    let instance = Instance::builder()
+        .topology(TopologySpec::CompleteKary {
+            arity: 2,
+            n_switches: 7,
+        })
+        .leaf_loads(LoadSpec::Explicit(vec![2, 6, 5, 4]))
+        .budget(budget)
+        .label("cli-fig2")
+        .build()
+        .unwrap();
+    let json = serde_json::to_string_pretty(&instance).unwrap();
+    std::fs::write(path, json).expect("writing instance JSON");
+    instance
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["solve"][..],
+        &["sweep", "--in", "x.json"][..],
+        &["experiment"][..],
+        &["experiment", "run"][..],
+        &["experiment", "check"][..],
+        &["solve", "--unknown-flag"][..],
+    ] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?}: expected usage exit, stderr: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn operational_failures_exit_1() {
+    let tmp = TempDir::new("fail");
+    let garbage = tmp.path_str("garbage.json");
+    std::fs::write(tmp.path("garbage.json"), "this is not json").unwrap();
+    for args in [
+        &["solve", "--in", "/nonexistent-instance.json"][..],
+        &["solve", "--in", &garbage][..],
+        &["experiment", "run", "no-such-experiment"][..],
+        &[
+            "experiment",
+            "check",
+            "/nonexistent-a.json",
+            "--golden",
+            "/nonexistent-b.json",
+        ][..],
+    ] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "args {args:?}: expected failure exit, stderr: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn help_flags_exit_0() {
+    for args in [
+        &["--help"][..],
+        &["solve", "--help"][..],
+        &["sweep", "-h"][..],
+        &["compare", "-h"][..],
+        &["experiment", "--help"][..],
+        &["experiment", "run", "--help"][..],
+    ] {
+        let output = run(args);
+        assert_eq!(output.status.code(), Some(0), "args {args:?}");
+    }
+}
+
+#[test]
+fn solve_round_trips_a_report_through_a_tempfile() {
+    let tmp = TempDir::new("solve");
+    let instance_path = tmp.path_str("instance.json");
+    write_instance(&tmp.path("instance.json"), 2);
+    let report_path = tmp.path_str("report.json");
+
+    let output = run(&["solve", "--in", &instance_path, "--out", &report_path]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    assert!(stdout(&output).contains("soar"));
+
+    let report: SolveReport =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report.solver, "soar");
+    assert_eq!(report.instance, "cli-fig2");
+    assert_eq!(report.solution.cost, 20.0);
+    assert!(report.dp.is_some());
+
+    // A non-SOAR solver works and reports a (weakly) worse cost.
+    let output = run(&["solve", "--in", &instance_path, "--solver", "top"]);
+    assert_eq!(output.status.code(), Some(0));
+    // An unregistered solver is an operational failure.
+    let output = run(&["solve", "--in", &instance_path, "--solver", "nonsense"]);
+    assert_eq!(output.status.code(), Some(1));
+}
+
+#[test]
+fn sweep_writes_a_self_checking_artifact() {
+    let tmp = TempDir::new("sweep");
+    let instance_path = tmp.path_str("instance.json");
+    write_instance(&tmp.path("instance.json"), 4);
+    let artifact_path = tmp.path_str("sweep.json");
+
+    let output = run(&[
+        "sweep",
+        "--in",
+        &instance_path,
+        "--budgets",
+        "0,1,2,3,4",
+        "--out",
+        &artifact_path,
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+
+    let artifact =
+        RunArtifact::from_json(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    assert_eq!(artifact.spec.name, "adhoc-sweep");
+    assert_eq!(artifact.reports.len(), 5);
+    let curve = &artifact.charts[0].series[0];
+    assert_eq!(curve.y_at(0.0), Some(51.0));
+    assert_eq!(curve.y_at(2.0), Some(20.0));
+    assert_eq!(curve.y_at(4.0), Some(11.0));
+
+    // The sweep artifact checks against itself.
+    let output = run(&[
+        "experiment",
+        "check",
+        &artifact_path,
+        "--golden",
+        &artifact_path,
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+}
+
+#[test]
+fn compare_reports_all_requested_solvers() {
+    let tmp = TempDir::new("compare");
+    let instance_path = tmp.path_str("instance.json");
+    write_instance(&tmp.path("instance.json"), 2);
+    let artifact_path = tmp.path_str("compare.json");
+
+    let output = run(&[
+        "compare",
+        "--in",
+        &instance_path,
+        "--solvers",
+        "soar,top,level",
+        "--out",
+        &artifact_path,
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let artifact =
+        RunArtifact::from_json(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    assert_eq!(artifact.reports.len(), 3);
+    let chart = &artifact.charts[0];
+    assert_eq!(chart.series.len(), 3);
+    let soar = chart.series.iter().find(|s| s.label == "SOAR").unwrap();
+    let level = chart.series.iter().find(|s| s.label == "Level").unwrap();
+    assert_eq!(soar.y_at(2.0), Some(20.0));
+    assert_eq!(level.y_at(2.0), Some(21.0));
+}
+
+#[test]
+fn experiment_run_and_check_pass_on_a_self_generated_golden() {
+    let tmp = TempDir::new("exp");
+    let dir_a = tmp.path_str("a");
+    let dir_b = tmp.path_str("b");
+
+    for dir in [&dir_a, &dir_b] {
+        let output = run(&["experiment", "run", "fig3", "--out-dir", dir]);
+        assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    }
+    let a = format!("{dir_a}/fig3.json");
+    let b = format!("{dir_b}/fig3.json");
+
+    // Cost-based experiments are byte-identical run to run...
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap(),
+        "fig3 artifacts are deterministic"
+    );
+    // ...and a fresh run checks cleanly against the self-generated golden.
+    let output = run(&["experiment", "check", &a, "--golden", &b]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+
+    // A perturbed artifact fails the check with exit 1.
+    let tampered = std::fs::read_to_string(&a).unwrap().replace("51.0", "50.0");
+    assert_ne!(tampered, std::fs::read_to_string(&a).unwrap());
+    std::fs::write(tmp.path("tampered.json"), tampered).unwrap();
+    let tampered_path = tmp.path_str("tampered.json");
+    let output = run(&["experiment", "check", &tampered_path, "--golden", &b]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("deviates"), "{}", stderr(&output));
+}
+
+#[test]
+fn fresh_runs_match_the_committed_goldens() {
+    let tmp = TempDir::new("golden");
+    let dir = tmp.path_str("out");
+    let goldens = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/exp/goldens");
+    for (name, golden_file) in [
+        ("fig3", "fig3.quick.json"),
+        ("fig9-smoke", "fig9-smoke.quick.json"),
+    ] {
+        let output = run(&["experiment", "run", name, "--out-dir", &dir]);
+        assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+        let fresh = format!("{dir}/{name}.json");
+        let golden = goldens.join(golden_file).to_string_lossy().into_owned();
+        let output = run(&["experiment", "check", &fresh, "--golden", &golden]);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "{name} deviates from its committed golden: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn experiment_list_names_every_registry_entry() {
+    let output = run(&["experiment", "list"]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = stdout(&output);
+    for name in soar::exp::registry::NAMES {
+        assert!(text.contains(name), "missing {name} in list output");
+    }
+}
+
+#[test]
+fn timing_experiments_check_structurally_against_goldens() {
+    let tmp = TempDir::new("timing");
+    let dir_a = tmp.path_str("a");
+    let dir_b = tmp.path_str("b");
+    // fig9-smoke is tiny but still a wall-clock measurement: two runs differ in
+    // their timings yet check cleanly, because timing charts diff structurally.
+    for dir in [&dir_a, &dir_b] {
+        let output = run(&["experiment", "run", "fig9-smoke", "--out-dir", dir]);
+        assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    }
+    let a = format!("{dir_a}/fig9-smoke.json");
+    let b = format!("{dir_b}/fig9-smoke.json");
+    let output = run(&["experiment", "check", &a, "--golden", &b]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+}

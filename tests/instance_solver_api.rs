@@ -219,6 +219,24 @@ fn instance_solution_and_report_round_trip_through_json() {
     let report_json = serde_json::to_string(&report).unwrap();
     let parsed_report: SolveReport = serde_json::from_str(&report_json).unwrap();
     assert_eq!(parsed_report, report);
+
+    // DpStats round-trips on its own too (it travels inside RunArtifacts), and
+    // its workspace counters survive both present and absent (serde(default)).
+    let dp = report.dp.expect("SOAR reports DP stats");
+    let dp_json = serde_json::to_string(&dp).unwrap();
+    let parsed_dp: soar::core::api::DpStats = serde_json::from_str(&dp_json).unwrap();
+    assert_eq!(parsed_dp, dp);
+    let legacy = dp_json
+        .replace(
+            &format!("\"arena_peak_bytes\":{},", dp.arena_peak_bytes),
+            "",
+        )
+        .replace(&format!("\"alloc_events\":{}", dp.alloc_events), "");
+    let legacy = legacy.trim_end_matches(",}").to_owned() + "}";
+    let parsed_legacy: soar::core::api::DpStats =
+        serde_json::from_str(&legacy.replace(",}", "}")).unwrap();
+    assert_eq!(parsed_legacy.table_cells, dp.table_cells);
+    assert_eq!(parsed_legacy.alloc_events, 0);
     // A solver of the deserialized instance reproduces the persisted cost.
     assert_eq!(
         SoarSolver.solve(&parsed).solution.cost,
