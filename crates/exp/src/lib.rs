@@ -16,6 +16,12 @@
 //!   for single solves — raw [`SolveReport`](soar_core::api::SolveReport)s),
 //!   plus [`artifact::diff`] for golden-snapshot regression checking within
 //!   [`Tolerances`].
+//! * [`history`] — artifact **trajectories**: align an ordered series of
+//!   artifacts of one spec by chart point ([`history::Trajectory`]), report
+//!   per-metric deltas and best-so-far, and gate a new artifact against a
+//!   baseline ([`history::check`]) with relative tolerance on wall-clock
+//!   metrics and exact tolerance on everything else. This is the CI
+//!   perf-regression gate behind `soar history check`.
 //! * [`chart`] — [`Chart`] / [`Series`], the render views (CSV and aligned
 //!   tables) of an artifact.
 //! * [`perf`] — the allocation-free gather microbench behind
@@ -45,6 +51,7 @@
 
 pub mod artifact;
 pub mod chart;
+pub mod history;
 pub mod perf;
 pub mod registry;
 pub mod run;
@@ -52,12 +59,19 @@ pub mod spec;
 
 pub use artifact::{diff, DiffReport, EnvStamp, RunArtifact, Tolerances};
 pub use chart::{Chart, Series};
-pub use spec::{ExperimentKind, ExperimentSpec, Scale, ScenarioSpec};
+pub use history::{HistoryError, RegressionPolicy, RegressionReport, Trajectory};
+pub use spec::{ExperimentKind, ExperimentSpec, Scale, ScenarioSpec, SpecValidationError};
 
 /// One-stop imports for experiment drivers (the CLI, `soar-bench`, tests).
 pub mod prelude {
     pub use crate::artifact::{diff, DiffReport, EnvStamp, RunArtifact, Tolerances};
     pub use crate::chart::{Chart, Series};
+    pub use crate::history::{
+        HistoryError, MetricKey, MetricTrajectory, Regression, RegressionPolicy, RegressionReport,
+        Trajectory,
+    };
     pub use crate::registry;
-    pub use crate::spec::{ExperimentKind, ExperimentSpec, Scale, ScenarioSpec};
+    pub use crate::spec::{
+        ExperimentKind, ExperimentSpec, Scale, ScenarioSpec, SpecValidationError,
+    };
 }

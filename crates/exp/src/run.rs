@@ -86,7 +86,14 @@ fn canonical_report(mut report: SolveReport) -> SolveReport {
 
 impl DpAggregate {
     fn note_report(&mut self, report: &SolveReport) {
-        let Some(dp) = report.dp.map(crate::artifact::canonical_dp) else {
+        self.note(report.dp);
+    }
+
+    /// Like [`DpAggregate::note_report`] for bare statistics (used when pooled
+    /// repetition loops hand back only the DP stats of their reports). Must be
+    /// called in submission order so ties keep the historical first-seen winner.
+    fn note(&mut self, dp: Option<DpStats>) {
+        let Some(dp) = dp.map(crate::artifact::canonical_dp) else {
             return;
         };
         match &self.0 {
@@ -384,16 +391,37 @@ fn run_online(
             .map(|name| Series::new(paper_label(name)))
             .collect();
         let mut red = Series::new("All red");
-        for &(x, capacity, workload_count) in &grid {
-            let mut acc = vec![0.0; solvers.len()];
-            for rep in 0..reps {
-                let mut rng = StdRng::seed_from_u64(spec.base_seed + rep * cell.seed_stride + x);
-                let workloads = generator.draw_sequence(&base, workload_count, &mut rng);
-                for (idx, solver) in solvers.iter().enumerate() {
+        // Fan the (x value, repetition) pairs of the whole cell out across the
+        // pool: each pair draws its own workload sequence (seeds are explicit,
+        // so scheduling cannot change them) and runs every allocator on it. The
+        // results come back in submission order — grid-major, repetition-minor,
+        // exactly the historical sequential loop order — so the per-point float
+        // accumulation below adds the same values in the same order and the
+        // rendered chart (and its CSV) stays byte-identical.
+        let pairs: Vec<(usize, u64)> = (0..grid.len())
+            .flat_map(|gi| (0..reps).map(move |rep| (gi, rep)))
+            .collect();
+        let per_pair: Vec<Vec<f64>> = soar_pool::global().map(&pairs, |&(gi, rep)| {
+            let (x, capacity, workload_count) = grid[gi];
+            let mut rng = StdRng::seed_from_u64(spec.base_seed + rep * cell.seed_stride + x);
+            let workloads = generator.draw_sequence(&base, workload_count, &mut rng);
+            solvers
+                .iter()
+                .map(|solver| {
                     let mut allocator = OnlineAllocator::new(&base, budget, capacity);
-                    acc[idx] += allocator
+                    allocator
                         .run_sequence_with(&workloads, solver.as_ref())
-                        .normalized_total();
+                        .normalized_total()
+                })
+                .collect()
+        });
+        let mut pair_results = per_pair.into_iter();
+        for &(x, _, _) in &grid {
+            let mut acc = vec![0.0; solvers.len()];
+            for _rep in 0..reps {
+                let totals = pair_results.next().expect("one result per pair");
+                for (idx, total) in totals.into_iter().enumerate() {
+                    acc[idx] += total;
                 }
             }
             for (idx, s) in series.iter_mut().enumerate() {
@@ -435,11 +463,18 @@ fn run_use_case_bytes(
         let mut util_series = Series::new(series_spec.label.clone());
         let mut red_series = Series::new(series_spec.label.clone());
         let mut blue_series = Series::new(series_spec.label.clone());
-        for &k in budgets {
-            let mut util_acc = 0.0;
-            let mut red_acc = 0.0;
-            let mut blue_acc = 0.0;
-            for rep in 0..reps {
+        // One pooled task per (budget, repetition) pair of the series. Instance
+        // seeds and the byte-report RNG streams are explicit functions of
+        // (k, rep), so the parallel fan-out draws exactly the sequential
+        // numbers; results return in submission order (budget-major,
+        // repetition-minor), keeping the float accumulation — and therefore the
+        // CSV output — byte-identical to the historical sequential loops.
+        let pairs: Vec<(usize, u64)> = budgets
+            .iter()
+            .flat_map(|&k| (0..reps).map(move |rep| (k, rep)))
+            .collect();
+        let results: Vec<(Option<DpStats>, f64, f64, f64)> =
+            soar_pool::global().map(&pairs, |&(k, rep)| {
                 let scenario = ScenarioSpec::bt(
                     n,
                     series_spec.load.clone(),
@@ -448,8 +483,6 @@ fn run_use_case_bytes(
                 );
                 let instance = scenario.instance(k);
                 let report = SoarSolver.solve(&instance);
-                dp.note_report(&report);
-                util_acc += report.normalized_cost;
 
                 let tree = instance.tree();
                 let mut rng = StdRng::seed_from_u64(rep);
@@ -464,8 +497,25 @@ fn run_use_case_bytes(
                 let blue_bytes = use_case
                     .byte_report(tree, &Coloring::all_blue(tree.n_switches()), &mut rng)
                     .total_bytes as f64;
-                red_acc += soar_bytes / red_bytes;
-                blue_acc += soar_bytes / blue_bytes;
+                (
+                    report.dp,
+                    report.normalized_cost,
+                    soar_bytes / red_bytes,
+                    soar_bytes / blue_bytes,
+                )
+            });
+        let mut pair_results = results.into_iter();
+        for &k in budgets {
+            let mut util_acc = 0.0;
+            let mut red_acc = 0.0;
+            let mut blue_acc = 0.0;
+            for _rep in 0..reps {
+                let (report_dp, util, red_ratio, blue_ratio) =
+                    pair_results.next().expect("one result per pair");
+                dp.note(report_dp);
+                util_acc += util;
+                red_acc += red_ratio;
+                blue_acc += blue_ratio;
             }
             let reps_f = reps as f64;
             util_series.push(k as f64, util_acc / reps_f);
@@ -716,6 +766,56 @@ mod tests {
         let a = spec.run();
         let b = spec.run();
         assert_eq!(a.to_json(), b.to_json(), "artifact JSON is byte-identical");
+    }
+
+    #[test]
+    fn pooled_online_and_byte_runs_are_deterministic() {
+        // Tiny fig7- and fig8-shaped specs: the per-repetition loops fan out on
+        // the pool, and the artifact JSON must stay byte-identical run to run.
+        let online = ExperimentSpec::new(
+            "online-test",
+            "tiny online multitenant",
+            2,
+            ExperimentKind::OnlineMultitenant {
+                n: 32,
+                budget: 4,
+                solvers: vec!["soar".into(), "top".into()],
+                cells: vec![OnlineCell {
+                    title: "tiny workloads sweep".into(),
+                    rates: RateScheme::paper_constant(),
+                    sweep: OnlineSweep::Workloads {
+                        counts: vec![2, 4],
+                        capacity: 2,
+                    },
+                    seed_stride: 7,
+                }],
+            },
+        );
+        let a = online.run();
+        assert_eq!(a.to_json(), online.run().to_json());
+        assert_eq!(a.charts[0].series.len(), 3, "All red + two solvers");
+
+        let bytes = ExperimentSpec::new(
+            "bytes-test",
+            "tiny use-case bytes",
+            2,
+            ExperimentKind::UseCaseBytes {
+                n: 32,
+                budgets: vec![1, 2],
+                seed_stride: 97,
+                rates: RateScheme::paper_constant(),
+                titles: vec!["util".into(), "vs-red".into(), "vs-blue".into()],
+                series: vec![crate::spec::ByteSeriesSpec {
+                    label: "WC-uniform".into(),
+                    load: LoadSpec::paper_uniform(),
+                    use_case: crate::spec::UseCaseSpec::WordCount,
+                }],
+            },
+        );
+        let a = bytes.run();
+        assert_eq!(a.to_json(), bytes.run().to_json());
+        assert_eq!(a.charts.len(), 3);
+        assert!(a.dp.is_some(), "SOAR ran, so dp stats aggregate");
     }
 
     #[test]

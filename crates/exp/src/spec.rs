@@ -391,6 +391,368 @@ impl ExperimentSpec {
             _ => Vec::new(),
         }
     }
+
+    /// Validates the spec before running it, collecting **every** problem rather
+    /// than stopping at the first: unknown solver names, empty grids, seed
+    /// strides that would alias repetitions, schema-version mismatches and
+    /// degenerate scenario sizes all come back as one actionable error.
+    ///
+    /// The registry specs always validate; the check exists for user-authored
+    /// spec files (`soar experiment run path/to/spec.json`), where a typo should
+    /// fail fast with a message naming the field instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), SpecValidationError> {
+        let mut problems = Vec::new();
+        if self.name.trim().is_empty() {
+            problems.push("spec name is empty".to_owned());
+        } else if self.name.contains('/') || self.name.contains('\\') || self.name.contains("..") {
+            // The name becomes the artifact's file stem; a separator would let a
+            // spec document write outside the chosen --out-dir.
+            problems.push(format!(
+                "spec name `{}` must not contain path separators or `..` \
+                 (it becomes the artifact file name)",
+                self.name
+            ));
+        }
+        if self.version != SPEC_VERSION {
+            problems.push(format!(
+                "spec version {} does not match this binary's schema version {SPEC_VERSION}",
+                self.version
+            ));
+        }
+        if self.repetitions == 0 {
+            problems.push("repetitions must be at least 1".to_owned());
+        }
+        self.kind.collect_problems(self.repetitions, &mut problems);
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(SpecValidationError { problems })
+        }
+    }
+}
+
+/// A failed [`ExperimentSpec::validate`]: one actionable message per problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecValidationError {
+    /// Every problem found, in field order.
+    pub problems: Vec<String>,
+}
+
+impl std::fmt::Display for SpecValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "invalid experiment spec ({} problem(s)):",
+            self.problems.len()
+        )?;
+        for p in &self.problems {
+            writeln!(f, "  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SpecValidationError {}
+
+/// `true` when the registry resolves the solver name **and** a per-repetition
+/// reseed is possible for it (everything but the brute-force oracle).
+fn is_strategy_name(name: &str) -> bool {
+    soar_core::api::solvers::by_name(name).is_some() && name != "brute-force"
+}
+
+fn check_solvers(solvers: &[String], problems: &mut Vec<String>) {
+    if solvers.is_empty() {
+        problems.push("solver list is empty (give at least one registry name)".to_owned());
+    }
+    for name in solvers {
+        if soar_core::api::solvers::by_name(name).is_none() {
+            problems.push(format!(
+                "unknown solver `{name}` (registered: {})",
+                soar_core::api::solvers::NAMES.join(", ")
+            ));
+        }
+    }
+}
+
+fn check_stride(what: &str, stride: u64, repetitions: u64, problems: &mut Vec<String>) {
+    if stride == 0 && repetitions > 1 {
+        problems.push(format!(
+            "{what} is 0 with {repetitions} repetitions: every repetition would draw \
+             identical instances (use a positive stride or 1 repetition)"
+        ));
+    }
+}
+
+fn check_scenario(scenario: &ScenarioSpec, problems: &mut Vec<String>) {
+    let too_small = match scenario.topology {
+        // BT(n)/SF(n) count the destination server, so the switch tree needs n >= 2.
+        TopologySpec::CompleteBinaryBt { n } | TopologySpec::ScaleFreeSf { n } => n < 2,
+        TopologySpec::CompleteKary { arity, n_switches } => arity < 1 || n_switches < 1,
+        TopologySpec::RandomRecursive { n_switches }
+        | TopologySpec::Path { n_switches }
+        | TopologySpec::Star { n_switches } => n_switches < 1,
+        TopologySpec::RandomBoundedDegree {
+            n_switches,
+            max_children,
+        } => n_switches < 1 || max_children < 1,
+        TopologySpec::TwoTierFatTree { aggs, tors_per_agg } => aggs < 1 || tors_per_agg < 1,
+    };
+    if too_small {
+        problems.push(format!(
+            "topology `{}` is too small to build (paper families count the destination, \
+             so BT/SF need n >= 2; everything else needs at least 1 switch)",
+            scenario.topology.label()
+        ));
+    }
+    if let Some(load) = &scenario.load {
+        check_load("scenario load", load, problems);
+    }
+    if let Some(rates) = &scenario.rates {
+        check_rates("scenario rates", rates, problems);
+    }
+}
+
+/// Serde bypasses the `LoadSpec` constructor asserts, so a hand-edited spec
+/// file can carry draws that would panic mid-run (e.g. an empty uniform range);
+/// catch them here with the context of where the load sits.
+fn check_load(what: &str, load: &LoadSpec, problems: &mut Vec<String>) {
+    match load {
+        LoadSpec::Uniform { min, max } if min > max => {
+            problems.push(format!(
+                "{what}: uniform load needs min <= max, got [{min}, {max}]"
+            ));
+        }
+        LoadSpec::PowerLaw { min, max, alpha } => {
+            if *min < 1 || min > max {
+                problems.push(format!(
+                    "{what}: power-law load needs 1 <= min <= max, got [{min}, {max}]"
+                ));
+            }
+            if !(alpha.is_finite() && *alpha > 0.0) {
+                problems.push(format!(
+                    "{what}: power-law exponent must be positive and finite, got {alpha}"
+                ));
+            }
+        }
+        LoadSpec::Explicit(values) if values.is_empty() => {
+            problems.push(format!(
+                "{what}: explicit load list is empty (every switch would get 0)"
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Same serde-bypass problem for rates: every scheme must yield positive,
+/// finite link rates, or costs and normalizations become meaningless.
+fn check_rates(what: &str, rates: &RateScheme, problems: &mut Vec<String>) {
+    let bad = match rates {
+        RateScheme::Constant(w) => !(w.is_finite() && *w > 0.0),
+        RateScheme::LinearByLevel { base, step } => {
+            !(base.is_finite() && step.is_finite() && *base > 0.0 && *step >= 0.0)
+        }
+        RateScheme::ExponentialByLevel { base, factor } => {
+            !(base.is_finite() && factor.is_finite() && *base > 0.0 && *factor > 0.0)
+        }
+        RateScheme::Explicit(values) => {
+            values.is_empty() || values.iter().any(|r| !(r.is_finite() && *r > 0.0))
+        }
+    };
+    if bad {
+        problems.push(format!(
+            "{what}: `{}` does not yield positive finite rates on every level",
+            rates.label()
+        ));
+    }
+}
+
+impl ExperimentKind {
+    fn collect_problems(&self, repetitions: u64, problems: &mut Vec<String>) {
+        match self {
+            ExperimentKind::SolverComparison {
+                scenario, solvers, ..
+            } => {
+                check_scenario(scenario, problems);
+                check_solvers(solvers, problems);
+            }
+            ExperimentKind::BudgetCurve {
+                scenario, budgets, ..
+            } => {
+                check_scenario(scenario, problems);
+                if budgets.is_empty() {
+                    problems.push("budget grid is empty (give at least one budget)".to_owned());
+                }
+            }
+            ExperimentKind::StrategyGrid {
+                n,
+                cells,
+                budgets,
+                solvers,
+                seed_stride,
+                per_rep_solver_seed,
+                ..
+            } => {
+                if *n < 2 {
+                    problems.push(format!("BT({n}) is too small (n counts the destination)"));
+                }
+                if cells.is_empty() {
+                    problems
+                        .push("cell grid is empty (give at least one load/rate cell)".to_owned());
+                }
+                for cell in cells {
+                    check_load(&format!("cell `{}` load", cell.title), &cell.load, problems);
+                    check_rates(
+                        &format!("cell `{}` rates", cell.title),
+                        &cell.rates,
+                        problems,
+                    );
+                }
+                if budgets.is_empty() {
+                    problems.push("budget grid is empty (give at least one budget)".to_owned());
+                }
+                check_solvers(solvers, problems);
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+                if *per_rep_solver_seed {
+                    for name in solvers {
+                        if soar_core::api::solvers::by_name(name).is_some()
+                            && !is_strategy_name(name)
+                        {
+                            problems.push(format!(
+                                "per_rep_solver_seed requires strategy solvers, and `{name}` \
+                                 is not one"
+                            ));
+                        }
+                    }
+                }
+            }
+            ExperimentKind::OnlineMultitenant {
+                n, solvers, cells, ..
+            } => {
+                if *n < 2 {
+                    problems.push(format!("BT({n}) is too small (n counts the destination)"));
+                }
+                check_solvers(solvers, problems);
+                if cells.is_empty() {
+                    problems.push("cell grid is empty (give at least one sweep cell)".to_owned());
+                }
+                for cell in cells {
+                    let empty = match &cell.sweep {
+                        OnlineSweep::Workloads { counts, .. } => counts.is_empty(),
+                        OnlineSweep::Capacity { capacities, .. } => capacities.is_empty(),
+                    };
+                    if empty {
+                        problems.push(format!(
+                            "cell `{}` sweeps an empty grid (give at least one x value)",
+                            cell.title
+                        ));
+                    }
+                    check_rates(
+                        &format!("cell `{}` rates", cell.title),
+                        &cell.rates,
+                        problems,
+                    );
+                    check_stride(
+                        &format!("cell `{}` seed_stride", cell.title),
+                        cell.seed_stride,
+                        repetitions,
+                        problems,
+                    );
+                }
+            }
+            ExperimentKind::UseCaseBytes {
+                n,
+                budgets,
+                seed_stride,
+                rates,
+                titles,
+                series,
+                ..
+            } => {
+                check_rates("rates", rates, problems);
+                if *n < 2 {
+                    problems.push(format!("BT({n}) is too small (n counts the destination)"));
+                }
+                if budgets.is_empty() {
+                    problems.push("budget grid is empty (give at least one budget)".to_owned());
+                }
+                if titles.len() != 3 {
+                    problems.push(format!(
+                        "UseCaseBytes needs exactly three chart titles \
+                         (utilization, vs-red, vs-blue), got {}",
+                        titles.len()
+                    ));
+                }
+                if series.is_empty() {
+                    problems.push("series list is empty (give at least one series)".to_owned());
+                }
+                for s in series {
+                    check_load(&format!("series `{}` load", s.label), &s.load, problems);
+                }
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
+            ExperimentKind::SolveTime {
+                sizes,
+                budgets,
+                seed_stride,
+                ..
+            } => {
+                if sizes.is_empty() {
+                    problems.push("size grid is empty (give at least one tree size)".to_owned());
+                }
+                if budgets.is_empty() {
+                    problems.push("budget grid is empty (give at least one budget)".to_owned());
+                }
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
+            ExperimentKind::ScalingBudgets {
+                exponents,
+                seed_stride,
+                ..
+            } => {
+                if exponents.is_empty() {
+                    problems.push("exponent grid is empty (give at least one exponent)".to_owned());
+                }
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
+            ExperimentKind::RequiredFraction {
+                exponents,
+                targets,
+                search_fraction,
+                seed_stride,
+                ..
+            } => {
+                if exponents.is_empty() {
+                    problems.push("exponent grid is empty (give at least one exponent)".to_owned());
+                }
+                if targets.is_empty() {
+                    problems
+                        .push("target list is empty (give at least one saving target)".to_owned());
+                }
+                for t in targets {
+                    if !(0.0..1.0).contains(t) {
+                        problems.push(format!("saving target {t} is outside [0, 1)"));
+                    }
+                }
+                if !(search_fraction.is_finite() && *search_fraction > 0.0) {
+                    problems.push(format!(
+                        "search_fraction {search_fraction} must be a positive finite fraction"
+                    ));
+                }
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
+            ExperimentKind::GatherMicrobench { sizes, .. } => {
+                if sizes.is_empty() {
+                    problems.push("size grid is empty (give at least one tree size)".to_owned());
+                }
+            }
+            ExperimentKind::Adhoc { command, .. } => {
+                problems.push(format!(
+                    "ad-hoc `{command}` specs record the provenance of a CLI run over an \
+                     explicit instance and are not re-runnable"
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +804,181 @@ mod tests {
         let json = serde_json::to_string_pretty(&spec).unwrap();
         let parsed: ExperimentSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn validation_accepts_every_registry_spec() {
+        for scale in [Scale::Quick, Scale::Paper] {
+            for spec in crate::registry::all(scale) {
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("registry spec {} rejected: {e}", spec.name));
+            }
+        }
+    }
+
+    #[test]
+    fn validation_collects_every_problem() {
+        let mut spec = ExperimentSpec::new(
+            "bad",
+            "a deliberately broken grid",
+            3,
+            ExperimentKind::StrategyGrid {
+                n: 64,
+                cells: Vec::new(),
+                budgets: Vec::new(),
+                solvers: vec!["soar".into(), "frobnicate".into()],
+                seed_stride: 0,
+                per_rep_solver_seed: false,
+                include_baselines: false,
+            },
+        );
+        spec.version = 99;
+        let err = spec.validate().unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("version 99"), "{text}");
+        assert!(text.contains("unknown solver `frobnicate`"), "{text}");
+        assert!(text.contains("cell grid is empty"), "{text}");
+        assert!(text.contains("budget grid is empty"), "{text}");
+        assert!(text.contains("seed_stride is 0"), "{text}");
+        assert_eq!(err.problems.len(), 5, "{text}");
+    }
+
+    #[test]
+    fn validation_flags_strides_reps_and_adhoc() {
+        let mut spec = ExperimentSpec::new(
+            "t",
+            "solve-time stride",
+            2,
+            ExperimentKind::SolveTime {
+                title: "t".into(),
+                sizes: vec![64],
+                budgets: vec![2],
+                seed_stride: 0,
+            },
+        );
+        assert!(spec.validate().is_err(), "stride 0 with 2 reps aliases");
+        spec.repetitions = 1;
+        assert!(spec.validate().is_ok(), "stride 0 is fine for 1 repetition");
+        spec.repetitions = 0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("repetitions must be at least 1"));
+
+        spec.repetitions = 1;
+        for evil in ["../evil", "a/b", "a\\b"] {
+            spec.name = evil.into();
+            assert!(
+                spec.validate()
+                    .unwrap_err()
+                    .to_string()
+                    .contains("path separators"),
+                "{evil} should be rejected as an artifact file stem"
+            );
+        }
+
+        let adhoc = ExperimentSpec::new(
+            "adhoc-solve",
+            "provenance only",
+            1,
+            ExperimentKind::Adhoc {
+                command: "solve".into(),
+                instance: "x".into(),
+                solvers: vec!["soar".into()],
+                budgets: vec![1],
+            },
+        );
+        assert!(adhoc
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("not re-runnable"));
+    }
+
+    #[test]
+    fn validation_flags_degenerate_loads_and_rates() {
+        // Serde bypasses the constructor asserts, so validate() must catch the
+        // draws that would panic mid-run.
+        let mut scenario = ScenarioSpec::bt(
+            32,
+            LoadSpec::Uniform { min: 6, max: 4 },
+            RateScheme::Constant(0.0),
+            1,
+        );
+        let spec = |scenario: ScenarioSpec| {
+            ExperimentSpec::new(
+                "degenerate",
+                "degenerate load/rates",
+                1,
+                ExperimentKind::BudgetCurve {
+                    title: "t".into(),
+                    scenario,
+                    budgets: vec![1],
+                    series_label: "SOAR".into(),
+                },
+            )
+        };
+        let text = spec(scenario.clone()).validate().unwrap_err().to_string();
+        assert!(text.contains("uniform load needs min <= max"), "{text}");
+        assert!(text.contains("positive finite rates"), "{text}");
+
+        scenario.load = Some(LoadSpec::PowerLaw {
+            min: 0,
+            max: 63,
+            alpha: -1.0,
+        });
+        scenario.rates = Some(RateScheme::LinearByLevel {
+            base: -5.0,
+            step: 1.0,
+        });
+        let text = spec(scenario).validate().unwrap_err().to_string();
+        assert!(text.contains("power-law load needs 1 <= min"), "{text}");
+        assert!(text.contains("power-law exponent"), "{text}");
+        assert!(text.contains("positive finite rates"), "{text}");
+    }
+
+    #[test]
+    fn validation_flags_oracle_reseeding_and_tiny_topologies() {
+        let spec = ExperimentSpec::new(
+            "brute-reseed",
+            "per-rep reseed of the oracle",
+            2,
+            ExperimentKind::StrategyGrid {
+                n: 1,
+                cells: vec![GridCell {
+                    title: "c".into(),
+                    load: LoadSpec::paper_uniform(),
+                    rates: RateScheme::paper_constant(),
+                }],
+                budgets: vec![1],
+                solvers: vec!["brute-force".into()],
+                seed_stride: 7,
+                per_rep_solver_seed: true,
+                include_baselines: false,
+            },
+        );
+        let text = spec.validate().unwrap_err().to_string();
+        assert!(text.contains("per_rep_solver_seed"), "{text}");
+        assert!(text.contains("BT(1) is too small"), "{text}");
+
+        let tiny = ExperimentSpec::new(
+            "tiny-sf",
+            "degenerate scale-free scenario",
+            1,
+            ExperimentKind::SolverComparison {
+                title: "t".into(),
+                scenario: ScenarioSpec::sf(1, 0),
+                budget: 1,
+                solvers: vec!["soar".into()],
+                include_all_red: false,
+            },
+        );
+        assert!(tiny
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("too small to build"));
     }
 
     #[test]

@@ -93,6 +93,101 @@ impl LoadSpec {
         LoadSpec::power_law_with_mean(1, 63, 5.0)
     }
 
+    /// Parses the compact CLI syntax used by `soar instance --load`:
+    ///
+    /// * `power-law` — the paper's heavy-tailed distribution
+    ///   ([`LoadSpec::paper_power_law`]); `power-law:<min>,<max>,<mean>` solves
+    ///   the exponent for an explicit support and mean;
+    /// * `uniform` — the paper's `[4, 6]` draw; `uniform:<min>,<max>` for an
+    ///   explicit range;
+    /// * `constant:<c>` — every selected switch gets load `c` (bare `constant`
+    ///   means 1);
+    /// * `explicit:<v1>,<v2>,...` — explicit per-switch values, cycled.
+    ///
+    /// Errors are human-readable and name the offending piece.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (kind, args) = match text.split_once(':') {
+            Some((kind, args)) => (kind, Some(args)),
+            None => (text, None),
+        };
+        let numbers = |args: Option<&str>| -> Result<Vec<u64>, String> {
+            args.map_or(Ok(Vec::new()), |args| {
+                args.split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(|part| {
+                        part.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("invalid load value `{part}` in `{text}`"))
+                    })
+                    .collect()
+            })
+        };
+        match kind {
+            "power-law" => match args {
+                None => Ok(LoadSpec::paper_power_law()),
+                Some(args) => {
+                    let parts: Vec<&str> = args.split(',').collect();
+                    if parts.len() != 3 {
+                        return Err(format!(
+                            "`power-law` takes `min,max,mean` (e.g. power-law:1,63,5), got `{args}`"
+                        ));
+                    }
+                    let min = parts[0]
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid power-law min `{}`", parts[0]))?;
+                    let max = parts[1]
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid power-law max `{}`", parts[1]))?;
+                    let mean = parts[2]
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("invalid power-law mean `{}`", parts[2]))?;
+                    if min < 1 || min > max {
+                        return Err(format!(
+                            "power-law support needs 1 <= min <= max, got [{min}, {max}]"
+                        ));
+                    }
+                    if !(mean > min as f64 && mean < max as f64) {
+                        return Err(format!(
+                            "power-law mean {mean} is outside the open support ({min}, {max})"
+                        ));
+                    }
+                    Ok(LoadSpec::power_law_with_mean(min, max, mean))
+                }
+            },
+            "uniform" => match numbers(args)?.as_slice() {
+                [] => Ok(LoadSpec::paper_uniform()),
+                [min, max] if min <= max => Ok(LoadSpec::uniform(*min, *max)),
+                [min, max] => Err(format!("uniform load needs min <= max, got [{min}, {max}]")),
+                _ => Err(format!(
+                    "`uniform` takes `min,max` (e.g. uniform:4,6), got `{text}`"
+                )),
+            },
+            "constant" => match numbers(args)?.as_slice() {
+                [] => Ok(LoadSpec::Constant(1)),
+                [c] => Ok(LoadSpec::Constant(*c)),
+                _ => Err(format!(
+                    "`constant` takes one value (e.g. constant:5), got `{text}`"
+                )),
+            },
+            "explicit" => {
+                let values = numbers(args)?;
+                if values.is_empty() {
+                    return Err(format!(
+                        "`explicit` needs at least one value (e.g. explicit:2,6,5,4), got `{text}`"
+                    ));
+                }
+                Ok(LoadSpec::Explicit(values))
+            }
+            other => Err(format!(
+                "unknown load distribution `{other}` \
+                 (choose power-law, uniform, constant:<c> or explicit:<v1,v2,...>)"
+            )),
+        }
+    }
+
     /// Draws one load value.
     pub fn sample<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> u64 {
         match self {
@@ -406,6 +501,40 @@ mod tests {
         let loads = tree.draw_loads(&LoadSpec::Constant(2), LoadPlacement::Leaves, &mut rng);
         assert_eq!(loads.iter().sum::<u64>(), 8);
         assert_eq!(tree.total_load(), 0);
+    }
+
+    #[test]
+    fn cli_syntax_parses_into_specs() {
+        assert_eq!(
+            LoadSpec::parse("power-law"),
+            Ok(LoadSpec::paper_power_law())
+        );
+        assert_eq!(LoadSpec::parse("uniform"), Ok(LoadSpec::paper_uniform()));
+        assert_eq!(LoadSpec::parse("uniform:2,9"), Ok(LoadSpec::uniform(2, 9)));
+        assert_eq!(LoadSpec::parse("constant"), Ok(LoadSpec::Constant(1)));
+        assert_eq!(LoadSpec::parse("constant:7"), Ok(LoadSpec::Constant(7)));
+        assert_eq!(
+            LoadSpec::parse("explicit:2,6,5,4"),
+            Ok(LoadSpec::Explicit(vec![2, 6, 5, 4]))
+        );
+        assert_eq!(
+            LoadSpec::parse("power-law:1,63,5"),
+            Ok(LoadSpec::paper_power_law())
+        );
+        for bad in [
+            "zipf",
+            "uniform:9,2",
+            "uniform:1,2,3",
+            "constant:x",
+            "constant:1,2",
+            "explicit:",
+            "power-law:1,63",
+            "power-law:0,63,5",
+            "power-law:1,63,100",
+        ] {
+            let err = LoadSpec::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad} should fail with a message");
+        }
     }
 
     #[test]

@@ -60,6 +60,76 @@ impl RateScheme {
         }
     }
 
+    /// Parses the compact CLI syntax used by `soar instance --rates`:
+    ///
+    /// * `constant` — the paper's `ω = 1`; `constant:<w>` for an explicit rate;
+    /// * `linear` — the paper's `ω = 1 + level`; `linear:<base>,<step>`;
+    /// * `exponential` — the paper's `ω = 2^level`;
+    ///   `exponential:<base>,<factor>`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (kind, args) = match text.split_once(':') {
+            Some((kind, args)) => (kind, Some(args)),
+            None => (text, None),
+        };
+        let numbers = |args: Option<&str>| -> Result<Vec<f64>, String> {
+            args.map_or(Ok(Vec::new()), |args| {
+                args.split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(|part| {
+                        part.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|r| r.is_finite())
+                            .ok_or_else(|| format!("invalid rate value `{part}` in `{text}`"))
+                    })
+                    .collect()
+            })
+        };
+        match kind {
+            "constant" => match numbers(args)?.as_slice() {
+                [] => Ok(RateScheme::paper_constant()),
+                [w] if *w > 0.0 => Ok(RateScheme::Constant(*w)),
+                [w] => Err(format!("constant rate must be positive, got {w}")),
+                _ => Err(format!(
+                    "`constant` takes one rate (e.g. constant:2), got `{text}`"
+                )),
+            },
+            "linear" => match numbers(args)?.as_slice() {
+                [] => Ok(RateScheme::paper_linear()),
+                // base > 0 and step >= 0 keep every level's rate positive.
+                [base, step] if *base > 0.0 && *step >= 0.0 => Ok(RateScheme::LinearByLevel {
+                    base: *base,
+                    step: *step,
+                }),
+                [base, step] => Err(format!(
+                    "linear rates need base > 0 and step >= 0, got base {base}, step {step}"
+                )),
+                _ => Err(format!(
+                    "`linear` takes `base,step` (e.g. linear:1,1), got `{text}`"
+                )),
+            },
+            "exponential" => match numbers(args)?.as_slice() {
+                [] => Ok(RateScheme::paper_exponential()),
+                [base, factor] if *base > 0.0 && *factor > 0.0 => {
+                    Ok(RateScheme::ExponentialByLevel {
+                        base: *base,
+                        factor: *factor,
+                    })
+                }
+                [base, factor] => Err(format!(
+                    "exponential rates need base > 0 and factor > 0, got base {base}, \
+                     factor {factor}"
+                )),
+                _ => Err(format!(
+                    "`exponential` takes `base,factor` (e.g. exponential:1,2), got `{text}`"
+                )),
+            },
+            other => Err(format!(
+                "unknown rate scheme `{other}` (choose constant, linear or exponential)"
+            )),
+        }
+    }
+
     /// The rate this scheme assigns to the up-link of switch `v` in `tree`.
     pub fn rate_for(&self, tree: &Tree, v: NodeId) -> f64 {
         let level = (tree.height() - tree.depth(v)) as f64;
@@ -105,6 +175,50 @@ impl Tree {
 mod tests {
     use super::*;
     use crate::builders;
+
+    #[test]
+    fn cli_syntax_parses_into_schemes() {
+        assert_eq!(
+            RateScheme::parse("constant"),
+            Ok(RateScheme::paper_constant())
+        );
+        assert_eq!(
+            RateScheme::parse("constant:2"),
+            Ok(RateScheme::Constant(2.0))
+        );
+        assert_eq!(RateScheme::parse("linear"), Ok(RateScheme::paper_linear()));
+        assert_eq!(
+            RateScheme::parse("linear:1,0.5"),
+            Ok(RateScheme::LinearByLevel {
+                base: 1.0,
+                step: 0.5
+            })
+        );
+        assert_eq!(
+            RateScheme::parse("exponential"),
+            Ok(RateScheme::paper_exponential())
+        );
+        assert_eq!(
+            RateScheme::parse("exponential:1,3"),
+            Ok(RateScheme::ExponentialByLevel {
+                base: 1.0,
+                factor: 3.0
+            })
+        );
+        for bad in [
+            "quadratic",
+            "constant:0",
+            "constant:x",
+            "linear:1",
+            "linear:-5,1",
+            "linear:1,-1",
+            "exponential:0,2",
+            "exponential:1,-2",
+            "exponential:1,2,3",
+        ] {
+            assert!(RateScheme::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
 
     #[test]
     fn constant_rates() {

@@ -2,33 +2,50 @@
 //! pipeline from the shell.
 //!
 //! ```text
-//! soar solve   --in instance.json [--solver soar] [--out report.json]
-//! soar sweep   --in instance.json --budgets 1,2,4,8 [--out artifact.json]
-//! soar compare --in instance.json [--solvers soar,top,max-load] [--out artifact.json]
+//! soar solve    --in instance.json [--solver soar] [--out report.json]
+//! soar sweep    --in instance.json --budgets 1,2,4,8 [--out artifact.json]
+//! soar compare  --in instance.json [--solvers soar,top,max-load] [--out artifact.json]
+//! soar instance --topology bt --switches 128 [--load power-law] [--rates constant]
+//!               [--seed N] [--budget K] [--out instance.json]
 //! soar experiment list [--paper]
-//! soar experiment run <name>... [--paper] [--reps N] [--out-dir DIR] [--csv]
+//! soar experiment run <name|spec.json>... [--paper] [--reps N] [--out-dir DIR] [--csv]
 //! soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]
+//! soar history report <artifact.json>...
+//! soar history check <new.json> --baseline <old.json> [--max-regress 25%]
 //! ```
 //!
 //! Instances and artifacts are JSON documents (the feature-gated serde support
-//! of `soar-core` plus the `soar-exp` artifact format). Exit codes: `0` on
-//! success, `1` on operational failures (missing files, invalid JSON, a failed
-//! golden check), `2` on usage errors. Argument parsing is hand-rolled — the
-//! build environment is offline, so no external CLI crates.
+//! of `soar-core` plus the `soar-exp` artifact format). `experiment run` takes
+//! registry names *or* paths to user-authored spec files (anything ending in
+//! `.json` or containing a path separator), which are validated before running.
+//! Exit codes: `0` on success, `1` on operational failures (missing files, a
+//! failed golden check, a perf regression), `2` on usage errors and invalid
+//! spec documents. Argument parsing is hand-rolled — the build environment is
+//! offline, so no external CLI crates.
 
-use soar::core::api::{solvers, Instance, SolveReport, Solver};
+use soar::core::api::{solvers, Instance, SolveReport, Solver, TopologySpec};
+use soar::exp::history;
 use soar::exp::prelude::*;
 use soar::exp::spec::ExperimentKind;
+use soar::topology::load::{LoadPlacement, LoadSpec};
+use soar::topology::rates::RateScheme;
 
-/// A CLI failure: either bad usage (exit 2) or an operational error (exit 1).
+/// A CLI failure: bad usage (exit 2, prints the usage banner), an invalid
+/// user-authored document (exit 2, prints only the actionable message), or an
+/// operational error (exit 1).
 enum CliError {
     Usage(String),
+    Invalid(String),
     Failure(String),
 }
 
 impl CliError {
     fn usage(message: impl Into<String>) -> Self {
         CliError::Usage(message.into())
+    }
+
+    fn invalid(message: impl Into<String>) -> Self {
+        CliError::Invalid(message.into())
     }
 
     fn failure(message: impl Into<String>) -> Self {
@@ -38,14 +55,16 @@ impl CliError {
 
 type CliResult = Result<(), CliError>;
 
-const TOP_USAGE: &str = "usage: soar <solve|sweep|compare|experiment> [options]
+const TOP_USAGE: &str = "usage: soar <solve|sweep|compare|instance|experiment|history> [options]
        soar --help
 
 subcommands:
   solve       solve one serialized Instance with one solver
   sweep       optimal solutions for a list of budgets (single gather pass)
   compare     run several solvers on one instance
-  experiment  list, run and check the declarative paper experiments";
+  instance    mint Instance JSON from topology/load/rate flags
+  experiment  list, run and check the declarative experiments (registry names or spec files)
+  history     trajectory reports and regression gates over artifact series";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +73,10 @@ fn main() {
         Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprintln!("{TOP_USAGE}");
+            2
+        }
+        Err(CliError::Invalid(message)) => {
+            eprintln!("error: {message}");
             2
         }
         Err(CliError::Failure(message)) => {
@@ -69,7 +92,9 @@ fn dispatch(args: &[String]) -> CliResult {
         Some("solve") => cmd_solve(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("instance") => cmd_instance(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{TOP_USAGE}");
             Ok(())
@@ -346,12 +371,233 @@ fn cmd_compare(args: &[String]) -> CliResult {
 }
 
 // ---------------------------------------------------------------------------
+// instance
+// ---------------------------------------------------------------------------
+
+const INSTANCE_USAGE: &str = "usage: soar instance --topology <family> [sizing] [options]
+
+families and their sizing flags:
+  bt           --switches N             the paper's BT(N) (N counts the destination server)
+  scale-free   --switches N             the paper's SF(N) preferential-attachment tree
+  kary         --switches N [--arity A] complete A-ary tree over N switches (default arity 2)
+  path         --switches N             a path (maximum height)
+  star         --switches N             a star (maximum branching)
+  random       --switches N             a uniformly random recursive tree
+  bounded      --switches N --max-children C
+  fat-tree     --aggs A --tors-per-agg T
+
+options:
+  --load DIST        power-law | power-law:min,max,mean | uniform | uniform:min,max |
+                     constant:<c> | explicit:v1,v2,...   (no load when omitted)
+  --placement WHERE  leaves (default) | all
+  --rates SCHEME     constant[:w] | linear[:base,step] | exponential[:base,factor]
+  --seed N           seed for all random draws (default 0)
+  --budget K         the aggregation budget k (default 0)
+  --label NAME       instance label (defaults to the topology label)
+  --out FILE         write the Instance JSON there (stdout when omitted)
+
+The emitted JSON feeds `soar solve|sweep|compare --in` unmodified.";
+
+fn cmd_instance(args: &[String]) -> CliResult {
+    let mut topology: Option<&str> = None;
+    let mut switches: Option<usize> = None;
+    let mut arity = 2usize;
+    let mut max_children: Option<usize> = None;
+    let mut aggs: Option<usize> = None;
+    let mut tors_per_agg: Option<usize> = None;
+    let mut load: Option<&str> = None;
+    let mut placement_name = "leaves";
+    let mut rates: Option<&str> = None;
+    let mut seed = 0u64;
+    let mut budget = 0usize;
+    let mut label: Option<&str> = None;
+    let mut out: Option<&str> = None;
+
+    let parse_num = |flag: &str, value: &str| -> Result<usize, CliError> {
+        value.parse::<usize>().map_err(|_| {
+            CliError::usage(format!("{flag} needs a non-negative number, got `{value}`"))
+        })
+    };
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--topology" | "-t" => topology = Some(options.value_for("--topology")?),
+            "--switches" | "-n" => {
+                switches = Some(parse_num("--switches", options.value_for("--switches")?)?)
+            }
+            "--arity" => arity = parse_num("--arity", options.value_for("--arity")?)?,
+            "--max-children" => {
+                max_children = Some(parse_num(
+                    "--max-children",
+                    options.value_for("--max-children")?,
+                )?)
+            }
+            "--aggs" => aggs = Some(parse_num("--aggs", options.value_for("--aggs")?)?),
+            "--tors-per-agg" => {
+                tors_per_agg = Some(parse_num(
+                    "--tors-per-agg",
+                    options.value_for("--tors-per-agg")?,
+                )?)
+            }
+            "--load" | "-l" => load = Some(options.value_for("--load")?),
+            "--placement" => placement_name = options.value_for("--placement")?,
+            "--rates" | "-r" => rates = Some(options.value_for("--rates")?),
+            "--seed" => {
+                seed = options
+                    .value_for("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--seed needs a number"))?
+            }
+            "--budget" | "-k" => budget = parse_num("--budget", options.value_for("--budget")?)?,
+            "--label" => label = Some(options.value_for("--label")?),
+            "--out" | "-o" => out = Some(options.value_for("--out")?),
+            "--help" | "-h" => {
+                println!("{INSTANCE_USAGE}");
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "instance: unknown argument `{other}`"
+                )))
+            }
+        }
+    }
+
+    let topology = topology.ok_or_else(|| {
+        CliError::usage(
+            "instance needs --topology <bt|scale-free|kary|path|star|random|bounded|fat-tree>",
+        )
+    })?;
+    let need_switches = |switches: Option<usize>| -> Result<usize, CliError> {
+        switches.ok_or_else(|| CliError::usage(format!("topology `{topology}` needs --switches N")))
+    };
+    let spec = match topology {
+        "bt" => {
+            let n = need_switches(switches)?;
+            if n < 2 {
+                return Err(CliError::usage(
+                    "BT(n) counts the destination server, so it needs --switches >= 2",
+                ));
+            }
+            TopologySpec::CompleteBinaryBt { n }
+        }
+        "scale-free" | "sf" => {
+            let n = need_switches(switches)?;
+            if n < 2 {
+                return Err(CliError::usage(
+                    "SF(n) counts the destination server, so it needs --switches >= 2",
+                ));
+            }
+            TopologySpec::ScaleFreeSf { n }
+        }
+        "kary" => {
+            let n_switches = need_switches(switches)?;
+            if arity < 1 || n_switches < 1 {
+                return Err(CliError::usage(
+                    "kary needs --switches >= 1 and --arity >= 1",
+                ));
+            }
+            TopologySpec::CompleteKary { arity, n_switches }
+        }
+        "path" | "star" | "random" => {
+            let n_switches = need_switches(switches)?;
+            if n_switches < 1 {
+                return Err(CliError::usage(format!(
+                    "topology `{topology}` needs --switches >= 1"
+                )));
+            }
+            match topology {
+                "path" => TopologySpec::Path { n_switches },
+                "star" => TopologySpec::Star { n_switches },
+                _ => TopologySpec::RandomRecursive { n_switches },
+            }
+        }
+        "bounded" => {
+            let n_switches = need_switches(switches)?;
+            let max_children = max_children
+                .ok_or_else(|| CliError::usage("topology `bounded` needs --max-children C"))?;
+            if n_switches < 1 || max_children < 1 {
+                return Err(CliError::usage(
+                    "bounded needs --switches >= 1 and --max-children >= 1",
+                ));
+            }
+            TopologySpec::RandomBoundedDegree {
+                n_switches,
+                max_children,
+            }
+        }
+        "fat-tree" => {
+            let aggs = aggs.ok_or_else(|| CliError::usage("topology `fat-tree` needs --aggs A"))?;
+            let tors_per_agg = tors_per_agg
+                .ok_or_else(|| CliError::usage("topology `fat-tree` needs --tors-per-agg T"))?;
+            if aggs < 1 || tors_per_agg < 1 {
+                return Err(CliError::usage(
+                    "fat-tree needs --aggs >= 1 and --tors-per-agg >= 1",
+                ));
+            }
+            TopologySpec::TwoTierFatTree { aggs, tors_per_agg }
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown topology family `{other}` \
+                 (choose bt, scale-free, kary, path, star, random, bounded or fat-tree)"
+            )))
+        }
+    };
+
+    let placement = match placement_name {
+        "leaves" => LoadPlacement::Leaves,
+        "all" => LoadPlacement::AllSwitches,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown placement `{other}` (choose leaves or all)"
+            )))
+        }
+    };
+    let mut builder = Instance::builder().topology(spec).seed(seed).budget(budget);
+    if let Some(load) = load {
+        builder = builder.loads(LoadSpec::parse(load).map_err(CliError::usage)?, placement);
+    }
+    if let Some(rates) = rates {
+        builder = builder.rates(RateScheme::parse(rates).map_err(CliError::usage)?);
+    }
+    if let Some(label) = label {
+        builder = builder.label(label);
+    }
+    let instance = builder
+        .build()
+        .map_err(|e| CliError::invalid(format!("instance configuration is invalid: {e}")))?;
+    let json = serde_json::to_string_pretty(&instance)
+        .map_err(|e| CliError::failure(format!("serializing the instance: {e}")))?
+        + "\n";
+    match out {
+        Some(path) => {
+            write_file(path, &json)?;
+            eprintln!(
+                "wrote {path}: `{}` ({} switches, k = {})",
+                instance.label(),
+                instance.n_switches(),
+                instance.budget()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // experiment list / run / check
 // ---------------------------------------------------------------------------
 
 const EXPERIMENT_USAGE: &str = "usage: soar experiment list [--paper]
-       soar experiment run <name>... [--paper] [--reps N] [--out-dir DIR] [--csv]
-       soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]";
+       soar experiment run <name|spec.json>... [--paper] [--reps N] [--out-dir DIR] [--csv]
+       soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]
+
+`run` arguments ending in .json (or containing a path separator) are loaded as
+user-authored ExperimentSpec documents, validated (unknown solvers, empty
+grids, aliasing seed strides, ... exit with code 2 and an actionable message)
+and executed exactly like registry specs; `check` treats the resulting
+artifacts identically to registry-produced ones.";
 
 fn cmd_experiment(args: &[String]) -> CliResult {
     match args.first().map(String::as_str) {
@@ -404,12 +650,14 @@ fn cmd_experiment_run(args: &[String]) -> CliResult {
         match arg {
             "--paper" => paper = true,
             "--reps" => {
-                reps = Some(
-                    options
-                        .value_for("--reps")?
-                        .parse()
-                        .map_err(|_| CliError::usage("--reps needs a number"))?,
-                )
+                let parsed: u64 = options
+                    .value_for("--reps")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--reps needs a positive number"))?;
+                if parsed == 0 {
+                    return Err(CliError::usage("--reps needs at least one repetition"));
+                }
+                reps = Some(parsed);
             }
             "--out-dir" | "-o" => out_dir = options.value_for("--out-dir")?,
             "--csv" => csv = true,
@@ -425,7 +673,7 @@ fn cmd_experiment_run(args: &[String]) -> CliResult {
     }
     if names.is_empty() {
         return Err(CliError::usage(format!(
-            "run needs at least one experiment name (registered: {})",
+            "run needs at least one experiment name or spec file (registered: {})",
             registry::NAMES.join(", ")
         )));
     }
@@ -433,23 +681,30 @@ fn cmd_experiment_run(args: &[String]) -> CliResult {
     std::fs::create_dir_all(out_dir)
         .map_err(|e| CliError::failure(format!("creating {out_dir}: {e}")))?;
     for name in names {
-        let mut spec = registry::by_name(name, scale).ok_or_else(|| {
-            CliError::failure(format!(
-                "unknown experiment `{name}` (registered: {})",
-                registry::NAMES.join(", ")
-            ))
-        })?;
-        // Single-shot specs (fig2, fig3, fig11a, gather-bench) average nothing,
-        // so overriding their repetition count would only make the stored spec
-        // deviate from goldens without changing any value; same guard as
-        // `soar_bench::ExperimentConfig::spec`.
+        let from_file = is_spec_path(name);
+        let mut spec = load_spec(name, scale)?;
+        // For *registry* names the override skips single-shot specs (fig2,
+        // fig3, fig11a, gather-bench): they average nothing, so changing their
+        // repetition count would only make the stored spec deviate from goldens
+        // without changing any value (same guard as
+        // `soar_bench::ExperimentConfig::spec`). User spec files always honor
+        // an explicit --reps — the author asked for it.
         if let Some(reps) = reps {
-            if spec.repetitions != 1 {
+            if from_file || spec.repetitions != 1 {
                 spec.repetitions = reps;
+                // The override changes what validate() saw (e.g. a stride that
+                // was fine for the file's repetition count may now alias), and
+                // the artifact embeds the effective spec — so re-check it.
+                if from_file {
+                    spec.validate().map_err(|e| {
+                        CliError::invalid(format!("{name} (with --reps {reps}): {e}"))
+                    })?;
+                }
             }
         }
         eprintln!(
-            "running {name} ({} repetitions, {} scale)",
+            "running {} ({} repetitions, {} scale)",
+            spec.name,
             spec.repetitions,
             if paper { "paper" } else { "quick" }
         );
@@ -462,11 +717,40 @@ fn cmd_experiment_run(args: &[String]) -> CliResult {
                 println!("{}", chart.to_table());
             }
         }
-        let path = format!("{}/{name}.json", out_dir.trim_end_matches('/'));
+        let path = format!("{}/{}.json", out_dir.trim_end_matches('/'), spec.name);
         write_file(&path, &artifact.to_json())?;
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// `true` when an `experiment run` argument denotes a spec *file* rather than a
+/// registry name: anything ending in `.json` or containing a path separator
+/// (registry names never do either, so the namespaces cannot collide).
+fn is_spec_path(name: &str) -> bool {
+    name.ends_with(".json") || name.contains('/') || name.contains(std::path::MAIN_SEPARATOR)
+}
+
+/// Resolves one `experiment run` argument: registry names come from the
+/// compiled-in registry; paths are loaded as user-authored spec documents,
+/// which are parsed and validated (both reject with exit code 2 — a malformed
+/// spec is the CLI-file equivalent of a usage error).
+fn load_spec(name: &str, scale: Scale) -> Result<ExperimentSpec, CliError> {
+    if !is_spec_path(name) {
+        return registry::by_name(name, scale).ok_or_else(|| {
+            CliError::failure(format!(
+                "unknown experiment `{name}` (registered: {}; paths ending in .json \
+                 load user-authored spec files)",
+                registry::NAMES.join(", ")
+            ))
+        });
+    }
+    let json = read_file(name)?;
+    let spec: ExperimentSpec = serde_json::from_str(&json)
+        .map_err(|e| CliError::invalid(format!("{name} is not an ExperimentSpec document: {e}")))?;
+    spec.validate()
+        .map_err(|e| CliError::invalid(format!("{name}: {e}")))?;
+    Ok(spec)
 }
 
 fn cmd_experiment_check(args: &[String]) -> CliResult {
@@ -527,6 +811,145 @@ fn cmd_experiment_check(args: &[String]) -> CliResult {
     } else {
         Err(CliError::failure(format!(
             "{artifact_path} deviates from {golden_path}: {report}"
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// history report / check
+// ---------------------------------------------------------------------------
+
+const HISTORY_USAGE: &str = "usage: soar history report <artifact.json>...
+       soar history check <new.json> --baseline <baseline.json> [--max-regress 25%] [--exact-abs X]
+
+`report` aligns an ordered series of artifacts of one spec (oldest first) by
+chart point and prints every metric's trajectory, newest delta and best-so-far.
+`check` gates the new artifact against the baseline: wall-clock metrics may
+drift up to --max-regress (relative, default 25%), every other metric — costs,
+allocation counts, footprints — must not increase at all. Improvements always
+pass; a regression exits with code 1.";
+
+fn cmd_history(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_history_report(&args[1..]),
+        Some("check") => cmd_history_check(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{HISTORY_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown history subcommand `{other}`"
+        ))),
+        None => Err(CliError::usage(
+            "history needs a subcommand (report, check)",
+        )),
+    }
+}
+
+/// Parses a tolerance given either as a bare fraction (`0.25`) or as a
+/// percentage (`25%`). A percent-less value above 1 is almost certainly a
+/// forgotten `%` (`--max-regress 25` would mean a 2500 % headroom and silently
+/// neuter the gate), so it is rejected with a hint.
+fn parse_fraction(value: &str, flag: &str) -> Result<f64, CliError> {
+    let (digits, percent) = match value.strip_suffix('%') {
+        Some(digits) => (digits, true),
+        None => (value, false),
+    };
+    let parsed: f64 = digits.trim().parse().map_err(|_| {
+        CliError::usage(format!(
+            "{flag} needs a number or percentage, got `{value}`"
+        ))
+    })?;
+    if !percent && parsed > 1.0 {
+        return Err(CliError::usage(format!(
+            "{flag} {value} looks like a forgotten percent sign — write `{value}%` \
+             for {value} percent, or a fraction <= 1"
+        )));
+    }
+    let fraction = if percent { parsed / 100.0 } else { parsed };
+    if !(fraction.is_finite() && fraction >= 0.0) {
+        return Err(CliError::usage(format!(
+            "{flag} must be a non-negative finite tolerance, got `{value}`"
+        )));
+    }
+    Ok(fraction)
+}
+
+fn cmd_history_report(args: &[String]) -> CliResult {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--help" | "-h" => {
+                println!("{HISTORY_USAGE}");
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!(
+                    "report: unknown argument `{flag}`"
+                )))
+            }
+            path => paths.push(path),
+        }
+    }
+    if paths.is_empty() {
+        return Err(CliError::usage(
+            "report needs at least one artifact path (oldest first)",
+        ));
+    }
+    let mut entries = Vec::new();
+    for path in paths {
+        entries.push((path.to_owned(), read_artifact(path)?));
+    }
+    let trajectory = Trajectory::build(&entries)
+        .map_err(|e| CliError::failure(format!("artifacts do not align: {e}")))?;
+    print!("{}", trajectory.to_table());
+    Ok(())
+}
+
+fn cmd_history_check(args: &[String]) -> CliResult {
+    let mut new_path: Option<&str> = None;
+    let mut baseline_path: Option<&str> = None;
+    let mut policy = history::RegressionPolicy::default();
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--baseline" | "-b" => baseline_path = Some(options.value_for("--baseline")?),
+            "--max-regress" => {
+                policy.max_regress =
+                    parse_fraction(options.value_for("--max-regress")?, "--max-regress")?
+            }
+            "--exact-abs" => {
+                policy.exact_abs = parse_fraction(options.value_for("--exact-abs")?, "--exact-abs")?
+            }
+            "--help" | "-h" => {
+                println!("{HISTORY_USAGE}");
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!("check: unknown argument `{flag}`")))
+            }
+            path if new_path.is_none() => new_path = Some(path),
+            other => {
+                return Err(CliError::usage(format!(
+                    "check takes one new artifact path, got a second: `{other}`"
+                )))
+            }
+        }
+    }
+    let new_path = new_path.ok_or_else(|| CliError::usage("check needs a new artifact path"))?;
+    let baseline_path =
+        baseline_path.ok_or_else(|| CliError::usage("check needs --baseline <path>"))?;
+    let new = read_artifact(new_path)?;
+    let baseline = read_artifact(baseline_path)?;
+    let report = history::check(&baseline, &new, &policy)
+        .map_err(|e| CliError::failure(format!("artifacts do not align: {e}")))?;
+    if report.passed() {
+        println!("OK: {new_path} vs {baseline_path}: {report}");
+        Ok(())
+    } else {
+        Err(CliError::failure(format!(
+            "{new_path} regressed against {baseline_path}: {report}"
         )))
     }
 }

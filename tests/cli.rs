@@ -287,6 +287,452 @@ fn experiment_list_names_every_registry_entry() {
     }
 }
 
+/// A minimal, valid user-authored spec document (exists only on disk, never in
+/// the registry): a budget curve over a BT(32) with uniform leaf loads.
+fn user_spec_json(name: &str, budgets: &str) -> String {
+    format!(
+        r#"{{
+  "name": "{name}",
+  "title": "user-authored budget curve",
+  "version": 1,
+  "repetitions": 1,
+  "base_seed": 0,
+  "kind": {{
+    "BudgetCurve": {{
+      "title": "user curve",
+      "scenario": {{
+        "topology": {{ "CompleteBinaryBt": {{ "n": 32 }} }},
+        "load": {{ "Uniform": {{ "min": 4, "max": 6 }} }},
+        "placement": "Leaves",
+        "rates": {{ "Constant": 1.0 }},
+        "seed": 3
+      }},
+      "budgets": [{budgets}],
+      "series_label": "SOAR"
+    }}
+  }}
+}}
+"#
+    )
+}
+
+#[test]
+fn instance_output_feeds_solve_and_sweep_unmodified() {
+    let tmp = TempDir::new("instance");
+    let path = tmp.path_str("minted.json");
+    let output = run(&[
+        "instance",
+        "--topology",
+        "bt",
+        "--switches",
+        "64",
+        "--load",
+        "power-law",
+        "--rates",
+        "linear",
+        "--seed",
+        "7",
+        "--budget",
+        "4",
+        "--out",
+        &path,
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+
+    // The minted JSON is a regular Instance document...
+    let instance: Instance =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(instance.n_switches(), 63);
+    assert_eq!(instance.budget(), 4);
+
+    // ...and feeds solve and sweep unmodified.
+    let output = run(&["solve", "--in", &path]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    assert!(stdout(&output).contains("soar"));
+    let output = run(&["sweep", "--in", &path, "--budgets", "1,2,4"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+
+    // Without --out the document goes to stdout and is the same instance.
+    let output = run(&[
+        "instance",
+        "--topology",
+        "bt",
+        "--switches",
+        "64",
+        "--load",
+        "power-law",
+        "--rates",
+        "linear",
+        "--seed",
+        "7",
+        "--budget",
+        "4",
+    ]);
+    assert_eq!(output.status.code(), Some(0));
+    let stdout_instance: Instance = serde_json::from_str(&stdout(&output)).unwrap();
+    assert_eq!(stdout_instance, instance);
+
+    // Other families work too (explicit loads on a fat-tree, all-switch placement).
+    let output = run(&[
+        "instance",
+        "--topology",
+        "fat-tree",
+        "--aggs",
+        "2",
+        "--tors-per-agg",
+        "3",
+        "--load",
+        "constant:2",
+        "--placement",
+        "all",
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let fat: Instance = serde_json::from_str(&stdout(&output)).unwrap();
+    assert_eq!(fat.n_switches(), 9, "core + 2 aggs + 6 ToRs");
+}
+
+#[test]
+fn instance_usage_errors_exit_2() {
+    for args in [
+        &["instance"][..],
+        &["instance", "--topology", "nope", "--switches", "4"][..],
+        &["instance", "--topology", "bt"][..],
+        &["instance", "--topology", "bt", "--switches", "1"][..],
+        &["instance", "--topology", "fat-tree", "--aggs", "2"][..],
+        &[
+            "instance",
+            "--topology",
+            "bt",
+            "--switches",
+            "8",
+            "--load",
+            "zipf",
+        ][..],
+        &[
+            "instance",
+            "--topology",
+            "bt",
+            "--switches",
+            "8",
+            "--load",
+            "uniform:9,2",
+        ][..],
+        &[
+            "instance",
+            "--topology",
+            "bt",
+            "--switches",
+            "8",
+            "--rates",
+            "quadratic",
+        ][..],
+        &[
+            "instance",
+            "--topology",
+            "bt",
+            "--switches",
+            "8",
+            "--placement",
+            "roots",
+        ][..],
+    ] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?}: expected usage exit, stderr: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn user_spec_files_run_and_check_like_registry_specs() {
+    let tmp = TempDir::new("user-spec");
+    let spec_path = tmp.path_str("my-curve.json");
+    std::fs::write(
+        tmp.path("my-curve.json"),
+        user_spec_json("my-curve", "0, 1, 2, 4"),
+    )
+    .unwrap();
+
+    let dir_a = tmp.path_str("a");
+    let dir_b = tmp.path_str("b");
+    for dir in [&dir_a, &dir_b] {
+        let output = run(&["experiment", "run", &spec_path, "--out-dir", dir]);
+        assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    }
+    // The artifact file is named after the spec, not the file path...
+    let a = format!("{dir_a}/my-curve.json");
+    let b = format!("{dir_b}/my-curve.json");
+    // ...is deterministic...
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap()
+    );
+    // ...embeds the user spec...
+    let artifact = RunArtifact::from_json(&std::fs::read_to_string(&a).unwrap()).unwrap();
+    assert_eq!(artifact.spec.name, "my-curve");
+    // ...and checks symmetrically against a self-generated golden.
+    let output = run(&["experiment", "check", &a, "--golden", &b]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+
+    // --reps is honored for user spec files even when the file says 1 (the
+    // registry-only single-shot guard does not apply to explicit requests).
+    let dir_c = tmp.path_str("c");
+    let output = run(&[
+        "experiment",
+        "run",
+        &spec_path,
+        "--reps",
+        "2",
+        "--out-dir",
+        &dir_c,
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let c =
+        RunArtifact::from_json(&std::fs::read_to_string(format!("{dir_c}/my-curve.json")).unwrap())
+            .unwrap();
+    assert_eq!(c.spec.repetitions, 2);
+
+    // --reps 0 is a usage error, not a silently clamped run.
+    let output = run(&["experiment", "run", &spec_path, "--reps", "0"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+}
+
+#[test]
+fn malformed_spec_files_are_rejected_with_exit_2() {
+    let tmp = TempDir::new("rejects");
+    // (file name, document, expected error fragment)
+    let corpus: [(&str, String, &str); 7] = [
+        (
+            "empty-budgets.json",
+            user_spec_json("x", ""),
+            "budget grid is empty",
+        ),
+        (
+            "negative-reps.json",
+            user_spec_json("x", "1").replace(r#""repetitions": 1"#, r#""repetitions": -3"#),
+            "not an ExperimentSpec document",
+        ),
+        (
+            "zero-reps.json",
+            user_spec_json("x", "1").replace(r#""repetitions": 1"#, r#""repetitions": 0"#),
+            "repetitions must be at least 1",
+        ),
+        (
+            "version-mismatch.json",
+            user_spec_json("x", "1").replace(r#""version": 1"#, r#""version": 99"#),
+            "version 99",
+        ),
+        (
+            "not-a-spec.json",
+            "{\"hello\": \"world\"}".to_owned(),
+            "not an ExperimentSpec document",
+        ),
+        (
+            "empty-uniform.json",
+            user_spec_json("x", "1").replace(
+                r#""load": { "Uniform": { "min": 4, "max": 6 } }"#,
+                r#""load": { "Uniform": { "min": 6, "max": 4 } }"#,
+            ),
+            "uniform load needs min <= max",
+        ),
+        (
+            "path-name.json",
+            user_spec_json("x", "1").replace(r#""name": "x""#, r#""name": "../evil""#),
+            "path separators",
+        ),
+    ];
+    for (file, contents, expected) in &corpus {
+        std::fs::write(tmp.path(file), contents).unwrap();
+        let path = tmp.path_str(file);
+        let output = run(&["experiment", "run", &path]);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{file}: expected exit 2, stderr: {}",
+            stderr(&output)
+        );
+        assert!(
+            stderr(&output).contains(expected),
+            "{file}: missing `{expected}` in: {}",
+            stderr(&output)
+        );
+    }
+
+    // A spec naming an unregistered solver (a SolverComparison, which carries a
+    // solver list) is caught by validation, with the registry in the message.
+    let unknown_solver = r#"{
+  "name": "bad-solver",
+  "title": "unknown solver",
+  "version": 1,
+  "repetitions": 1,
+  "base_seed": 0,
+  "kind": {
+    "SolverComparison": {
+      "title": "t",
+      "scenario": {
+        "topology": { "CompleteBinaryBt": { "n": 32 } },
+        "load": { "Uniform": { "min": 4, "max": 6 } },
+        "placement": "Leaves",
+        "rates": { "Constant": 1.0 },
+        "seed": 3
+      },
+      "budget": 2,
+      "solvers": ["soar", "frobnicate"],
+      "include_all_red": false
+    }
+  }
+}"#;
+    std::fs::write(tmp.path("unknown-solver.json"), unknown_solver).unwrap();
+    let path = tmp.path_str("unknown-solver.json");
+    let output = run(&["experiment", "run", &path]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("unknown solver `frobnicate`"),
+        "{}",
+        stderr(&output)
+    );
+
+    // A *missing* spec file stays an operational failure (exit 1), like every
+    // other missing input file.
+    let output = run(&["experiment", "run", "/does/not/exist.json"]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+}
+
+#[test]
+fn history_reports_and_gates_artifact_series() {
+    let tmp = TempDir::new("history");
+    let spec_path = tmp.path_str("curve.json");
+    std::fs::write(tmp.path("curve.json"), user_spec_json("curve", "0, 1, 2")).unwrap();
+    let dir_a = tmp.path_str("a");
+    let dir_b = tmp.path_str("b");
+    for dir in [&dir_a, &dir_b] {
+        let output = run(&["experiment", "run", &spec_path, "--out-dir", dir]);
+        assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    }
+    let a = format!("{dir_a}/curve.json");
+    let b = format!("{dir_b}/curve.json");
+
+    // The trajectory report aligns the series and prints deltas.
+    let output = run(&["history", "report", &a, &b]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("history of `curve` over 2 run(s)"), "{text}");
+    assert!(text.contains("best so far"), "{text}");
+
+    // An identical artifact passes the regression gate...
+    let output = run(&["history", "check", &b, "--baseline", &a]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+
+    // ...an injected cost regression fails it with exit 1 (costs are exact)...
+    let artifact = std::fs::read_to_string(&a).unwrap();
+    let mut parsed = RunArtifact::from_json(&artifact).unwrap();
+    parsed.charts[0].series[0].points[1].1 += 1.0;
+    std::fs::write(tmp.path("regressed.json"), parsed.to_json()).unwrap();
+    let regressed = tmp.path_str("regressed.json");
+    let output = run(&["history", "check", &regressed, "--baseline", &a]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("exact metric increased"),
+        "{}",
+        stderr(&output)
+    );
+
+    // ...an improvement passes...
+    let mut improved = RunArtifact::from_json(&artifact).unwrap();
+    improved.charts[0].series[0].points[1].1 -= 1.0;
+    std::fs::write(tmp.path("improved.json"), improved.to_json()).unwrap();
+    let improved_path = tmp.path_str("improved.json");
+    let output = run(&["history", "check", &improved_path, "--baseline", &a]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    assert!(
+        stdout(&output).contains("1 improved"),
+        "{}",
+        stdout(&output)
+    );
+
+    // ...and misaligned histories (renamed series) are operational failures.
+    let mut renamed = RunArtifact::from_json(&artifact).unwrap();
+    renamed.charts[0].series[0].label = "renamed".into();
+    std::fs::write(tmp.path("renamed.json"), renamed.to_json()).unwrap();
+    let renamed_path = tmp.path_str("renamed.json");
+    let output = run(&["history", "report", &a, &renamed_path]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("do not align"),
+        "{}",
+        stderr(&output)
+    );
+}
+
+#[test]
+fn history_check_gates_timing_metrics_relatively() {
+    let tmp = TempDir::new("history-timing");
+    // gather-bench at a tiny size: chart 0 is a timing chart, charts 1-2 exact.
+    let spec = r#"{
+  "name": "tiny-bench",
+  "title": "tiny gather microbench",
+  "version": 1,
+  "repetitions": 1,
+  "base_seed": 0,
+  "kind": { "GatherMicrobench": { "sizes": [64], "budget": 4 } }
+}"#;
+    std::fs::write(tmp.path("bench.json"), spec).unwrap();
+    let spec_path = tmp.path_str("bench.json");
+    let dir = tmp.path_str("out");
+    let output = run(&["experiment", "run", &spec_path, "--out-dir", &dir]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let artifact_path = format!("{dir}/tiny-bench.json");
+    let artifact = std::fs::read_to_string(&artifact_path).unwrap();
+
+    // A 10x wall-time slowdown fails the default 25 % headroom...
+    let mut slow = RunArtifact::from_json(&artifact).unwrap();
+    assert_eq!(slow.timing_charts, vec![0]);
+    for series in &mut slow.charts[0].series {
+        for point in &mut series.points {
+            point.1 *= 10.0;
+        }
+    }
+    std::fs::write(tmp.path("slow.json"), slow.to_json()).unwrap();
+    let slow_path = tmp.path_str("slow.json");
+    let output = run(&["history", "check", &slow_path, "--baseline", &artifact_path]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+
+    // ...but passes when the caller grants 10x headroom (1000 %).
+    let output = run(&[
+        "history",
+        "check",
+        &slow_path,
+        "--baseline",
+        &artifact_path,
+        "--max-regress",
+        "1000%",
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+
+    // Bad tolerances are usage errors — including a forgotten percent sign,
+    // which would otherwise mean a 2500 % headroom.
+    for bad in ["lots", "25", "-1"] {
+        let output = run(&[
+            "history",
+            "check",
+            &slow_path,
+            "--baseline",
+            &artifact_path,
+            "--max-regress",
+            bad,
+        ]);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "--max-regress {bad}: {}",
+            stderr(&output)
+        );
+    }
+}
+
 #[test]
 fn timing_experiments_check_structurally_against_goldens() {
     let tmp = TempDir::new("timing");
