@@ -1,0 +1,88 @@
+//! Dynamic-churn bench: the `soar-online` incremental epoch re-solve versus a
+//! from-scratch warm-workspace solve of the same snapshot.
+//!
+//! The headline acceptance number of the online subsystem: a **single-leaf
+//! rate change** on a 4k-switch `BT` instance refills only the root-to-leaf
+//! path — `O(h · k²)` DP cells instead of `O(n · h · k²)` — which this bench
+//! measures in wall time and asserts in cell writes (≥ 5× fewer, via
+//! `DpStats`). The same measurement is persisted declaratively by the
+//! `dynamic-churn` registry spec (`soar experiment run dynamic-churn`), whose
+//! artifact charts the per-epoch cell writes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soar_bench::perf::gather_bench_instance_with_budget;
+use soar_core::workspace::SolverWorkspace;
+use soar_multitenant::churn::ChurnEvent;
+use soar_online::{DynamicInstance, IncrementalSolver};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BUDGET: usize = 16;
+
+fn dynamic_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_churn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[1024usize, 4096] {
+        let instance = gather_bench_instance_with_budget(n, BUDGET);
+        let leaf = instance.tree().leaves().next().expect("BT has leaves");
+
+        // Incremental: one epoch = flip one leaf's rate, refill its root path.
+        let mut dynamic = DynamicInstance::from_instance(&instance);
+        let mut solver = IncrementalSolver::new();
+        let _ = solver.solve_epoch(&mut dynamic); // prime the workspace
+        let mut toggle = false;
+        group.bench_function(BenchmarkId::new("incremental_single_leaf", n), |b| {
+            b.iter(|| {
+                toggle = !toggle;
+                dynamic
+                    .apply(&ChurnEvent::LeafRateChange {
+                        leaf,
+                        load: if toggle { 40 } else { 3 },
+                    })
+                    .expect("leaf event applies");
+                black_box(solver.solve_epoch(&mut dynamic).cost)
+            })
+        });
+
+        // One controlled epoch for the acceptance numbers.
+        toggle = !toggle;
+        dynamic
+            .apply(&ChurnEvent::LeafRateChange {
+                leaf,
+                load: if toggle { 40 } else { 3 },
+            })
+            .expect("leaf event applies");
+        let outcome = solver.solve_epoch(&mut dynamic);
+        let ratio = outcome.dp.table_cells as f64 / outcome.dp.cells_written as f64;
+        assert!(outcome.incremental, "steady-state epochs are incremental");
+        assert_eq!(
+            outcome.dp.alloc_events, 0,
+            "warm online epochs must stay allocation-free"
+        );
+        assert!(
+            outcome.dp.table_cells >= 5 * outcome.dp.cells_written,
+            "single-leaf update on {n} switches wrote {} of {} cells (ratio {ratio:.1}, need >= 5x)",
+            outcome.dp.cells_written,
+            outcome.dp.table_cells,
+        );
+        println!(
+            "dynamic_churn/{n}: single-leaf update writes {} of {} DP cells ({ratio:.1}x fewer)",
+            outcome.dp.cells_written, outcome.dp.table_cells,
+        );
+
+        // From-scratch reference: a warm workspace full solve of the snapshot.
+        let tree = dynamic.tree().clone();
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.solve(&tree, BUDGET);
+        group.bench_function(BenchmarkId::new("from_scratch", n), |b| {
+            b.iter(|| black_box(ws.solve(&tree, BUDGET).cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dynamic_churn);
+criterion_main!(benches);

@@ -10,8 +10,8 @@
 //! `{"bench":"gather",...}` document that predates the artifact format.
 
 pub use soar_exp::perf::{
-    gather_bench_instance, measure_gather, points_from_charts, GatherBenchPoint,
-    GATHER_BENCH_BUDGET, GATHER_BENCH_SIZES,
+    gather_bench_instance, gather_bench_instance_with_budget, measure_gather, points_from_charts,
+    GatherBenchPoint, GATHER_BENCH_BUDGET, GATHER_BENCH_SIZES,
 };
 use soar_exp::registry;
 use soar_exp::{RunArtifact, Scale};

@@ -475,6 +475,13 @@ pub struct DpStats {
     /// allocation-free gather: no per-node clones, no per-node scratch).
     #[cfg_attr(feature = "serde", serde(default))]
     pub alloc_events: usize,
+    /// `X` cells the gather behind this report actually wrote. Equals
+    /// `table_cells` for a from-scratch gather; an **incremental** update
+    /// (`SolverWorkspace::gather_update`, the `soar-online` epoch path) writes
+    /// only the dirty nodes' cells — the ratio `table_cells / cells_written` is
+    /// the incremental-solve speedup reported by the `dynamic_churn` bench.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub cells_written: usize,
 }
 
 impl DpStats {
@@ -488,6 +495,7 @@ impl DpStats {
             table_bytes: tables.memory_bytes(),
             arena_peak_bytes: tables.memory_bytes(),
             alloc_events: 0,
+            cells_written: tables.table_cells(),
         }
     }
 
@@ -501,6 +509,7 @@ impl DpStats {
             table_bytes: tables.memory_bytes(),
             arena_peak_bytes: workspace.peak_bytes(),
             alloc_events: workspace.last_alloc_events(),
+            cells_written: workspace.last_cells_written(),
         }
     }
 }
@@ -778,22 +787,28 @@ pub fn sweep_budgets(instance: &Instance, budgets: &[usize]) -> Vec<SolveReport>
     };
     let start = Instant::now();
     with_thread_workspace(|ws| {
-        let tables = ws.gather_auto(instance.tree(), k_max);
+        ws.gather_auto(instance.tree(), k_max);
         // The "at most k" cost curve (shared epsilon logic lives in solver.rs).
-        let curve = solver::prefix_min_curve(tables);
+        let curve = solver::prefix_min_curve(ws.tables());
         // Trace one coloring per *distinct* optimal blue count among the requested
         // budgets — the expensive SOAR-Color walk is skipped for budgets whose
         // optimum did not move, and for budgets the caller never asked about.
+        // Traces stream through the workspace's reusable buffers (no per-trace
+        // `Coloring` allocation); the single clone per distinct blue count is
+        // what the returned `Solution`s own.
         let mut colorings: std::collections::HashMap<usize, Coloring> =
             std::collections::HashMap::new();
         let solutions: Vec<Solution> = budgets
             .iter()
             .map(|&k| {
                 let (cost_k, j) = curve[k];
-                let coloring = colorings
-                    .entry(j)
-                    .or_insert_with(|| crate::soar_color_exact(instance.tree(), tables, j))
-                    .clone();
+                let coloring = match colorings.entry(j) {
+                    std::collections::hash_map::Entry::Occupied(entry) => entry.get().clone(),
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        ws.trace_exact(instance.tree(), j);
+                        entry.insert(ws.coloring().clone()).clone()
+                    }
+                };
                 Solution {
                     blue_used: coloring.n_blue(),
                     cost: cost_k,

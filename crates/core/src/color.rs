@@ -17,18 +17,45 @@ use soar_topology::{NodeId, Tree, ROOT};
 ///
 /// Returns the resulting coloring; its utilization equals `X_r(1, i)`.
 pub fn soar_color_exact(tree: &Tree, tables: &GatherTables, i: usize) -> Coloring {
+    let mut coloring = Coloring::all_red(0);
+    let mut stack = Vec::new();
+    soar_color_exact_into(tree, tables, i, &mut coloring, &mut stack);
+    coloring
+}
+
+/// Like [`soar_color_exact`], but tracing into caller-provided buffers: the
+/// coloring is reset to all-red in place and the work list reuses `stack`'s
+/// storage, so a warm caller performs **zero heap allocations** per trace.
+///
+/// Returns the number of buffers that had to grow (0 once warm) — the same
+/// convention as the gather allocation counters, which is how the solver
+/// workspace folds color-phase allocations into
+/// [`DpStats::alloc_events`](crate::api::DpStats::alloc_events). This is the
+/// streaming path behind sweep-heavy callers and `soar-online`'s epoch loop.
+pub fn soar_color_exact_into(
+    tree: &Tree,
+    tables: &GatherTables,
+    i: usize,
+    coloring: &mut Coloring,
+    stack: &mut Vec<(NodeId, usize, usize)>,
+) -> usize {
     assert!(
         i <= tables.k,
         "requested {i} blue nodes but the tables were computed for k = {}",
         tables.k
     );
-    let mut coloring = Coloring::all_red(tree.n_switches());
+    let mut grew = coloring.reset_all_red(tree.n_switches());
     // Work list of (node, blue nodes to place in its subtree, distance to barrier).
-    let mut stack: Vec<(NodeId, usize, usize)> = vec![(ROOT, i, 1)];
-    while let Some((v, budget, l)) = stack.pop() {
-        assign(tree, tables, v, budget, l, &mut coloring, &mut stack);
+    stack.clear();
+    if stack.capacity() == 0 {
+        grew += 1;
     }
-    coloring
+    stack.push((ROOT, i, 1));
+    let stack_capacity = stack.capacity();
+    while let Some((v, budget, l)) = stack.pop() {
+        assign(tree, tables, v, budget, l, coloring, stack);
+    }
+    grew + usize::from(stack.capacity() != stack_capacity)
 }
 
 /// Runs SOAR-Color for the best budget `i ≤ k` (the "at most k" semantics of the φ-BIC
@@ -156,6 +183,22 @@ mod tests {
                 "exact i = {i}"
             );
             assert!(coloring.n_blue() <= i);
+        }
+    }
+
+    #[test]
+    fn streaming_trace_reuses_buffers_and_matches_the_owned_path() {
+        let tree = fig2_tree();
+        let tables = soar_gather(&tree, 4);
+        let mut coloring = Coloring::all_red(0);
+        let mut stack = Vec::new();
+        let cold = soar_color_exact_into(&tree, &tables, 2, &mut coloring, &mut stack);
+        assert!(cold > 0, "the first trace must allocate its buffers");
+        assert_eq!(coloring, soar_color_exact(&tree, &tables, 2));
+        for i in [0usize, 1, 3, 4, 2] {
+            let grew = soar_color_exact_into(&tree, &tables, i, &mut coloring, &mut stack);
+            assert_eq!(grew, 0, "warm traces are allocation-free (i = {i})");
+            assert_eq!(coloring, soar_color_exact(&tree, &tables, i));
         }
     }
 

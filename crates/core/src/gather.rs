@@ -148,6 +148,77 @@ pub(crate) fn run_gather(tables: &mut GatherTables, tree: &Tree, scratch: &mut D
     grew
 }
 
+/// Refills only the given nodes of already-gathered tables, bottom-up — the
+/// incremental update behind `soar-online`'s epoch solves.
+///
+/// `dirty` must be **ancestor-closed** (if a node's inputs changed, every
+/// ancestor up to the root is also in the set — a parent reads its children's
+/// `X` tables, so a stale ancestor would fold refreshed child values into an
+/// old table) and **sorted deepest-first**, so a node's dirty children are
+/// refilled before the node itself. Nodes *not* in the set keep their values
+/// from the previous pass; since their loads, availability, ρ blocks and child
+/// tables are unchanged, those values are exactly what a from-scratch gather
+/// would recompute — the partial pass is bit-identical to a full one by
+/// construction. The layout (tree shape, rates, budget) must match the pass
+/// that filled the tables; callers go through
+/// [`SolverWorkspace::gather_update`](crate::workspace::SolverWorkspace::gather_update),
+/// which checks that.
+///
+/// Returns the number of scratch-buffer growths (0 when `scratch` is warm).
+pub(crate) fn run_gather_partial(
+    tables: &mut GatherTables,
+    tree: &Tree,
+    dirty: &[NodeId],
+    scratch: &mut DpScratch,
+) -> usize {
+    let mut grew = 0;
+    let n_i = tables.n_i;
+    let mut idx = 0;
+    while idx < dirty.len() {
+        let d = tree.depth(dirty[idx]);
+        let mut end = idx + 1;
+        while end < dirty.len() && tree.depth(dirty[end]) == d {
+            end += 1;
+        }
+        debug_assert!(
+            end == dirty.len() || tree.depth(dirty[end]) < d,
+            "dirty nodes must be sorted deepest-first"
+        );
+        let boundary = tables.level_cell_end[d];
+        let GatherTables {
+            x,
+            y_blue,
+            y_red,
+            splits,
+            rho,
+            n_l,
+            cell_off,
+            rho_off,
+            split_off,
+            split_len,
+            ..
+        } = &mut *tables;
+        let (x_level, x_children) = x.split_at_mut(boundary);
+        let ctx = LevelFill {
+            tree,
+            n_i,
+            boundary,
+            x_children,
+            rho,
+            n_l,
+            cell_off,
+            rho_off,
+            split_off,
+            split_len,
+        };
+        for &v in &dirty[idx..end] {
+            grew += ctx.fill_one(v, x_level, y_blue, y_red, splits, 0, 0, scratch);
+        }
+        idx = end;
+    }
+    grew
+}
+
 /// Fills already-laid-out tables bottom-up with each level's nodes processed
 /// concurrently on `pool`.
 ///
@@ -420,6 +491,28 @@ mod tests {
         // own link, the root forwards 1.
         let root_blue: f64 = (1..9).map(|v| v as f64).sum::<f64>() + 1.0;
         assert_eq!(tables.optimum_with_exactly(1), root_blue);
+    }
+
+    #[test]
+    fn partial_regather_of_a_dirty_path_matches_a_fresh_gather() {
+        let mut tree = fig5_tree();
+        let mut tables = soar_gather(&tree, 3);
+        let mut scratch = DpScratch::new();
+        // Change one leaf's load: only its root path (leaf 4 -> 1 -> 0) is dirty.
+        tree.set_load(4, 9);
+        let grew = run_gather_partial(&mut tables, &tree, &[4, 1, 0], &mut scratch);
+        let _ = grew; // scratch growth is covered by the workspace tests
+        assert_eq!(tables, soar_gather(&tree, 3));
+
+        // Availability changes update through the same path.
+        tree.set_available(5, false);
+        run_gather_partial(&mut tables, &tree, &[5, 2, 0], &mut scratch);
+        assert_eq!(tables, soar_gather(&tree, 3));
+
+        // An empty dirty set leaves the tables untouched.
+        let before = tables.clone();
+        run_gather_partial(&mut tables, &tree, &[], &mut scratch);
+        assert_eq!(tables, before);
     }
 
     #[test]

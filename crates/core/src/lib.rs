@@ -95,6 +95,15 @@
 //! per gather (verified by the `alloc_events` stat and the `bench-smoke` CI
 //! job, which fails if a warm pass ever allocates again).
 //!
+//! For *dynamic* workloads the workspace additionally supports **incremental
+//! updates**: [`workspace::SolverWorkspace::gather_update`] refills only an
+//! ancestor-closed set of dirty nodes (a localized change invalidates only
+//! root-to-leaf paths of the tree DP), bit-identical to a from-scratch gather,
+//! and SOAR-Color streams through the workspace's reusable coloring
+//! ([`workspace::SolverWorkspace::trace_best`]). The `soar-online` crate
+//! builds its epoch loop on exactly these two entry points;
+//! [`api::DpStats::cells_written`] reports the per-pass work.
+//!
 //! [`Instance`]: api::Instance
 //! [`Solver`]: api::Solver
 

@@ -510,6 +510,23 @@ impl GatherTables {
         self.n_l.len()
     }
 
+    /// Number of `X(ℓ, i)` cells of node `v`'s table — what one refill of the
+    /// node writes (the unit of the incremental-update work measure).
+    pub(crate) fn node_cells(&self, v: NodeId) -> usize {
+        self.n_l[v] as usize * self.n_i
+    }
+
+    /// Number of rows (`ℓ` values) of node `v`'s table: `D(v) + 2` under the
+    /// layout this arena was last reset for.
+    pub(crate) fn node_rows(&self, v: NodeId) -> usize {
+        self.n_l[v] as usize
+    }
+
+    /// Number of tree levels the current layout describes.
+    pub(crate) fn n_levels(&self) -> usize {
+        self.level_ranges.len()
+    }
+
     /// Total number of `X(ℓ, i)` cells across all per-switch tables — the work
     /// measure behind the `O(n · h(T) · k²)` bound, reported by
     /// [`crate::api::DpStats`].

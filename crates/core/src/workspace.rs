@@ -31,13 +31,14 @@
 //! every pool worker warms its workspace on the first instance it touches and
 //! replays it for the rest of the batch.
 
-use crate::color::soar_color;
-use crate::gather::{run_gather, run_gather_parallel};
+use crate::color::soar_color_exact_into;
+use crate::gather::{run_gather, run_gather_parallel, run_gather_partial};
 use crate::node_dp::DpScratch;
 use crate::solver::Solution;
 use crate::tables::GatherTables;
 use soar_pool::ThreadPool;
-use soar_topology::Tree;
+use soar_reduce::Coloring;
+use soar_topology::{NodeId, Tree};
 use std::cell::RefCell;
 
 /// Below this many switches a single gather is cheaper sequentially than the
@@ -59,8 +60,19 @@ const SHRINK_MIN_BYTES: usize = 1 << 20;
 pub struct SolverWorkspace {
     tables: GatherTables,
     scratches: Vec<DpScratch>,
+    /// The streaming SOAR-Color destination: traces write here in place, so
+    /// sweep-heavy callers and online epoch loops run without a per-trace
+    /// `Coloring` allocation.
+    coloring: Coloring,
+    /// Reusable work list of the SOAR-Color traceback.
+    trace_stack: Vec<(NodeId, usize, usize)>,
     last_alloc_events: usize,
     total_alloc_events: usize,
+    /// `X` cells written by the most recent gather: the full table for a fresh
+    /// or replayed pass, only the dirty nodes' cells for a
+    /// [`Self::gather_update`] — the work measure behind the incremental-solve
+    /// speedup reported by [`DpStats`](crate::api::DpStats).
+    last_cells_written: usize,
     peak_bytes: usize,
     /// Consecutive passes whose live working set was a small fraction of the
     /// reserved capacity — the shrink-on-idle trigger.
@@ -84,7 +96,66 @@ impl SolverWorkspace {
             self.scratches.push(DpScratch::new());
         }
         events += run_gather(&mut self.tables, tree, &mut self.scratches[0]);
-        self.finish_pass(events);
+        let cells = self.tables.table_cells();
+        self.finish_pass(events, cells);
+        &self.tables
+    }
+
+    /// Incrementally refreshes this workspace's tables after a *localized*
+    /// change to the tree: only the nodes in `dirty` are refilled, every other
+    /// node's table is reused as-is. This is the `soar-online` epoch hot path —
+    /// a single-leaf change on a tree of height `h` rewrites `O(h · k²)` cells
+    /// instead of the full `O(n · h · k²)` pass, and a warm workspace does it
+    /// with **zero heap allocations**.
+    ///
+    /// `dirty` must be ancestor-closed and sorted deepest-first (see
+    /// [`run_gather_partial`](crate::gather)); the tree's *shape*, link rates
+    /// and the budget must be unchanged since the full gather that filled this
+    /// workspace (only loads and availability may differ — those are inputs of
+    /// the per-node fill, not of the arena layout). The result is bit-identical
+    /// to a from-scratch [`Self::gather`] on the same tree.
+    ///
+    /// The cheap layout checks below (switch count, budget, height, and every
+    /// dirty node's row count) catch a workspace warmed on a *different* tree
+    /// shape; they cannot see shape or rate drift at clean nodes, which is
+    /// exactly the contract above — clean nodes are trusted verbatim.
+    /// `soar-online` upholds it by fixing the topology and rates for a
+    /// [`DynamicInstance`]'s lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace does not currently hold tables laid out for
+    /// this tree shape and budget — run a full [`Self::gather`] first.
+    pub fn gather_update(&mut self, tree: &Tree, k: usize, dirty: &[NodeId]) -> &GatherTables {
+        assert!(
+            self.tables.n_switches() == tree.n_switches()
+                && self.tables.k == k
+                && self.tables.n_levels() == tree.height() + 1,
+            "gather_update needs a prior full gather of the same tree shape and budget \
+             (workspace holds {} switches at k = {}, asked for {} at k = {k})",
+            self.tables.n_switches(),
+            self.tables.k,
+            tree.n_switches(),
+        );
+        for &v in dirty {
+            assert!(
+                self.tables.node_rows(v) == tree.dist_to_dest(v) + 1,
+                "gather_update: node {v}'s table layout does not match the tree \
+                 (the workspace was warmed on a different shape)"
+            );
+            // The closure contract (parents of dirty nodes are dirty too) is a
+            // caller invariant; O(d²) to check, so debug builds only.
+            debug_assert!(
+                tree.parent(v).is_none_or(|p| dirty.contains(&p)),
+                "gather_update: dirty set is not ancestor-closed (node {v}'s parent is clean)"
+            );
+        }
+        if self.scratches.is_empty() {
+            self.scratches.push(DpScratch::new());
+        }
+        let events = run_gather_partial(&mut self.tables, tree, dirty, &mut self.scratches[0]);
+        let cells = dirty.iter().map(|&v| self.tables.node_cells(v)).sum();
+        self.finish_pass(events, cells);
         &self.tables
     }
 
@@ -95,7 +166,8 @@ impl SolverWorkspace {
         self.maybe_shrink();
         let mut events = self.tables.reset(tree, k);
         events += run_gather_parallel(&mut self.tables, tree, &mut self.scratches, pool);
-        self.finish_pass(events);
+        let cells = self.tables.table_cells();
+        self.finish_pass(events, cells);
         &self.tables
     }
 
@@ -113,15 +185,54 @@ impl SolverWorkspace {
 
     /// Solves the instance end to end (gather + color) with this workspace's
     /// buffers, choosing the gather mode like [`Self::gather_auto`].
+    ///
+    /// The coloring is traced through the workspace's streaming buffers and
+    /// cloned once into the returned [`Solution`]; callers that only need to
+    /// *read* the placement (sweeps, online epoch loops) should use
+    /// [`Self::trace_best`] / [`Self::coloring`] instead, which allocate
+    /// nothing once warm.
     pub fn solve(&mut self, tree: &Tree, k: usize) -> Solution {
         self.gather_auto(tree, k);
-        let (coloring, cost) = soar_color(tree, &self.tables);
+        let (cost, _) = self.trace_best(tree);
         Solution {
-            blue_used: coloring.n_blue(),
+            blue_used: self.coloring.n_blue(),
             cost,
-            coloring,
+            coloring: self.coloring.clone(),
             budget: k,
         }
+    }
+
+    /// Runs SOAR-Color for the best blue count `i ≤ k` of the current tables,
+    /// tracing into this workspace's reusable coloring (readable via
+    /// [`Self::coloring`] until the next trace). Returns `(cost, best_i)`.
+    /// Allocation-free once warm; buffer growths are folded into
+    /// [`Self::last_alloc_events`].
+    pub fn trace_best(&mut self, tree: &Tree) -> (f64, usize) {
+        let (best_i, best_cost) = self.tables.optimum();
+        self.trace_exact(tree, best_i);
+        (best_cost, best_i)
+    }
+
+    /// Runs SOAR-Color for **exactly** `i` blue nodes through the workspace's
+    /// reusable buffers (see [`Self::trace_best`]); returns the traced cost
+    /// `X_r(1, i)`.
+    pub fn trace_exact(&mut self, tree: &Tree, i: usize) -> f64 {
+        let events = soar_color_exact_into(
+            tree,
+            &self.tables,
+            i,
+            &mut self.coloring,
+            &mut self.trace_stack,
+        );
+        self.last_alloc_events += events;
+        self.total_alloc_events += events;
+        self.tables.optimum_with_exactly(i)
+    }
+
+    /// The coloring of the most recent [`Self::trace_best`] /
+    /// [`Self::trace_exact`] / [`Self::solve`] (empty before the first trace).
+    pub fn coloring(&self) -> &Coloring {
+        &self.coloring
     }
 
     /// The tables of the most recent gather (empty before the first one).
@@ -146,6 +257,14 @@ impl SolverWorkspace {
         self.total_alloc_events
     }
 
+    /// `X` cells written by the most recent gather on this workspace: the full
+    /// table for [`Self::gather`] / [`Self::gather_parallel`], only the dirty
+    /// nodes' cells for [`Self::gather_update`]. Fed into
+    /// [`DpStats::cells_written`](crate::api::DpStats::cells_written).
+    pub fn last_cells_written(&self) -> usize {
+        self.last_cells_written
+    }
+
     /// High-water heap footprint of the workspace (arena + scratch), in bytes.
     pub fn peak_bytes(&self) -> usize {
         self.peak_bytes
@@ -164,12 +283,15 @@ impl SolverWorkspace {
         self.tables = GatherTables::default();
         self.scratches.clear();
         self.scratches.shrink_to_fit();
+        self.coloring = Coloring::default();
+        self.trace_stack = Vec::new();
         self.oversized_streak = 0;
     }
 
-    fn finish_pass(&mut self, events: usize) {
+    fn finish_pass(&mut self, events: usize, cells_written: usize) {
         self.last_alloc_events = events;
         self.total_alloc_events += events;
+        self.last_cells_written = cells_written;
         let scratch_bytes = self
             .scratches
             .iter()
@@ -291,6 +413,70 @@ mod tests {
         assert_eq!(*parallel, sequential);
         // Warm parallel replays are allocation-free too.
         let _ = ws.gather_parallel(&tree, 3, &pool);
+        assert_eq!(ws.last_alloc_events(), 0);
+    }
+
+    #[test]
+    fn gather_update_is_bit_identical_and_allocation_free() {
+        let mut tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather(&tree, 3);
+        let full_cells = ws.last_cells_written();
+        assert_eq!(full_cells, ws.tables().table_cells());
+
+        // A single-leaf change: refill only the root path, bit-identical to a
+        // fresh gather, strictly fewer cells, zero allocations.
+        tree.set_load(4, 11);
+        let updated = ws.gather_update(&tree, 3, &[4, 1, 0]);
+        assert_eq!(*updated, soar_gather(&tree, 3));
+        assert_eq!(ws.last_alloc_events(), 0);
+        assert!(ws.last_cells_written() < full_cells);
+        assert!(ws.last_cells_written() > 0);
+
+        // The traced solution out of the updated tables matches a fresh solve.
+        let (cost, _) = ws.trace_best(&tree);
+        let fresh = crate::solver::solve(&tree, 3);
+        assert_eq!(cost, fresh.cost);
+        assert_eq!(*ws.coloring(), fresh.coloring);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior full gather")]
+    fn gather_update_without_a_prior_gather_panics() {
+        let tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather_update(&tree, 3, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn gather_update_on_a_same_size_different_shape_tree_panics() {
+        // Same switch count, budget *and* height as the fig2 tree, but node 3
+        // sits at depth 1 instead of 2 — the per-dirty-node row check must
+        // catch the layout mismatch before any table is overwritten.
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather(&fig2_tree(), 2);
+        let lopsided = Tree::from_parents_unit(&[0, 0, 0, 0, 0, 1, 1]).unwrap();
+        assert_eq!(lopsided.height(), 2);
+        let _ = ws.gather_update(&lopsided, 2, &[3, 0]);
+    }
+
+    #[test]
+    fn traces_through_the_workspace_are_warm_after_one_solve() {
+        let tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let first = ws.solve(&tree, 4);
+        let total = ws.total_alloc_events();
+        for _ in 0..3 {
+            let again = ws.solve(&tree, 4);
+            assert_eq!(again, first);
+            assert_eq!(ws.last_alloc_events(), 0, "warm solve allocates nothing");
+        }
+        assert_eq!(ws.total_alloc_events(), total);
+        // Exact traces reuse the same buffers.
+        let cost = ws.trace_exact(&tree, 2);
+        assert_eq!(cost, 20.0);
+        assert_eq!(ws.coloring().n_blue(), 2);
         assert_eq!(ws.last_alloc_events(), 0);
     }
 

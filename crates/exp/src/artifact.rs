@@ -73,12 +73,15 @@ pub struct RunArtifact {
 }
 
 /// Canonicalizes DP statistics for storage in an artifact: the
-/// workspace-lifetime counters (`arena_peak_bytes`, `alloc_events`) depend on
-/// scheduling history rather than on the spec, and [`diff`] compares `dp`
-/// exactly, so they are zeroed before persisting.
+/// workspace-lifetime counters (`arena_peak_bytes`, `alloc_events`,
+/// `cells_written`) depend on scheduling / warm-up history rather than on the
+/// spec, and [`diff`] compares `dp` exactly, so they are zeroed before
+/// persisting. (The dynamic-churn experiments chart their per-epoch cell
+/// writes explicitly instead.)
 pub fn canonical_dp(mut dp: DpStats) -> DpStats {
     dp.arena_peak_bytes = 0;
     dp.alloc_events = 0;
+    dp.cells_written = 0;
     dp
 }
 

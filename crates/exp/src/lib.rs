@@ -10,7 +10,10 @@
 //!   gather perf microbench) live in [`registry`].
 //! * [`run`] — executes a spec on the unified `soar_core::api` layer
 //!   (`solve_batch` / `sweep_budgets_batch` on the `soar-pool` work-stealing
-//!   pool, warm per-thread workspaces) and renders the results.
+//!   pool, warm per-thread workspaces) and renders the results. Dynamic
+//!   scenarios ([`ExperimentKind::DynamicChurn`]) replay churn timelines on
+//!   the `soar-online` incremental engine, each epoch verified bit-identical
+//!   to a from-scratch solve.
 //! * [`artifact`] — [`RunArtifact`]: the persisted JSON outcome (the spec
 //!   itself, an environment stamp, chart data, aggregate DP statistics and —
 //!   for single solves — raw [`SolveReport`](soar_core::api::SolveReport)s),

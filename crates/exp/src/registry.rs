@@ -17,7 +17,7 @@ use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
 
 /// Registry names of all predefined experiments, in run order.
-pub const NAMES: [&str; 13] = [
+pub const NAMES: [&str; 14] = [
     "fig2",
     "fig3",
     "fig6",
@@ -31,6 +31,7 @@ pub const NAMES: [&str; 13] = [
     "fig11c",
     "ablation",
     "gather-bench",
+    "dynamic-churn",
 ];
 
 /// The paper's `BT(n)` evaluation size for a scale.
@@ -379,6 +380,32 @@ fn gather_bench() -> ExperimentSpec {
     )
 }
 
+fn dynamic_churn(scale: Scale) -> ExperimentSpec {
+    let n = bt_size(scale);
+    let epochs = match scale {
+        Scale::Paper => 40,
+        Scale::Quick => 10,
+    };
+    ExperimentSpec::new(
+        "dynamic-churn",
+        "Online re-optimization under tenant churn: cost, moves and DP cell writes per epoch",
+        default_repetitions(scale),
+        ExperimentKind::DynamicChurn {
+            title: format!("Dynamic churn on BT({n}), k = 16"),
+            scenario: ScenarioSpec::bt(
+                n,
+                LoadSpec::paper_uniform(),
+                RateScheme::paper_constant(),
+                5,
+            ),
+            budget: 16,
+            epochs,
+            model: soar_multitenant::churn::ChurnModel::paper_default(),
+            seed_stride: 53,
+        },
+    )
+}
+
 /// Looks up a predefined experiment by registry name.
 pub fn by_name(name: &str, scale: Scale) -> Option<ExperimentSpec> {
     Some(match name {
@@ -395,6 +422,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "fig11c" => fig11c(scale),
         "ablation" => ablation(scale),
         "gather-bench" => gather_bench(),
+        "dynamic-churn" => dynamic_churn(scale),
         _ => return None,
     })
 }

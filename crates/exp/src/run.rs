@@ -23,7 +23,9 @@ use soar_core::api::{
     SolveReport, Solver, StrategySolver,
 };
 use soar_core::Strategy;
+use soar_multitenant::churn::ChurnModel;
 use soar_multitenant::{workloads::MixedWorkloadGenerator, OnlineAllocator};
+use soar_online::{DynamicInstance, OnlineDriver, Verify};
 use soar_reduce::Coloring;
 use soar_topology::builders;
 use soar_topology::load::LoadPlacement;
@@ -209,6 +211,14 @@ impl ExperimentSpec {
             ExperimentKind::GatherMicrobench { sizes, budget } => {
                 perf::microbench_charts(&perf::gather_microbench(sizes, *budget))
             }
+            ExperimentKind::DynamicChurn {
+                title,
+                scenario,
+                budget,
+                epochs,
+                model,
+                seed_stride,
+            } => run_dynamic_churn(self, title, scenario, *budget, *epochs, model, *seed_stride),
             ExperimentKind::Adhoc { command, .. } => panic!(
                 "ad-hoc `{command}` artifacts record a CLI run over an explicit instance \
                  and are not re-runnable"
@@ -529,6 +539,78 @@ fn run_use_case_bytes(
     vec![utilization, bytes_vs_red, bytes_vs_blue]
 }
 
+/// Replays the churn timeline once per repetition on the `soar-online`
+/// incremental engine — every epoch verified bit-identical to a from-scratch
+/// solve — and charts the mean placement trajectory. The (rep) replays fan out
+/// on the pool; per-epoch metrics fold in submission order, so the chart data
+/// is deterministic regardless of scheduling.
+fn run_dynamic_churn(
+    spec: &ExperimentSpec,
+    title: &str,
+    scenario: &ScenarioSpec,
+    budget: usize,
+    epochs: usize,
+    model: &ChurnModel,
+    seed_stride: u64,
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let rep_ids: Vec<u64> = (0..reps).collect();
+    let reports: Vec<soar_online::ChurnReport> = soar_pool::global().map(&rep_ids, |&rep| {
+        let seed = spec.base_seed + rep * seed_stride;
+        let instance = scenario.instance_seeded(scenario.seed.wrapping_add(seed), budget);
+        let timeline = model.generate(
+            instance.tree(),
+            epochs,
+            // A distinct stream so the timeline does not depend on how many
+            // random numbers the instance draw consumed.
+            &mut StdRng::seed_from_u64(seed.wrapping_add(0xD11E)),
+        );
+        let mut dynamic = DynamicInstance::from_instance(&instance);
+        OnlineDriver::with_verification(Verify::Solution)
+            .run(&mut dynamic, &timeline)
+            .expect("generated timelines replay cleanly")
+    });
+
+    let mut cost_chart = Chart::new(
+        format!("{title}: cost over time"),
+        "epoch",
+        "utilization complexity",
+    );
+    let mut cost = Series::new("SOAR (incremental)");
+    let mut all_red = Series::new("All red");
+    let mut moves_chart = Chart::new(
+        format!("{title}: placement churn"),
+        "epoch",
+        "placement moves",
+    );
+    let mut moves = Series::new("moves");
+    let mut cells_chart = Chart::new(
+        format!("{title}: DP cell writes"),
+        "epoch",
+        "X cells written",
+    );
+    let mut incremental_cells = Series::new("incremental");
+    let mut full_cells = Series::new("from-scratch");
+    let reps_f = reps as f64;
+    for epoch in 0..epochs {
+        let mean = |f: &dyn Fn(&soar_online::EpochMetrics) -> f64| {
+            reports.iter().map(|r| f(&r.epochs[epoch])).sum::<f64>() / reps_f
+        };
+        let x = epoch as f64;
+        cost.push(x, mean(&|e| e.cost));
+        all_red.push(x, mean(&|e| e.all_red_cost));
+        moves.push(x, mean(&|e| e.moves as f64));
+        incremental_cells.push(x, mean(&|e| e.cells_written as f64));
+        full_cells.push(x, mean(&|e| e.cells_full as f64));
+    }
+    cost_chart.push(cost);
+    cost_chart.push(all_red);
+    moves_chart.push(moves);
+    cells_chart.push(incremental_cells);
+    cells_chart.push(full_cells);
+    vec![cost_chart, moves_chart, cells_chart]
+}
+
 fn run_solve_time(
     spec: &ExperimentSpec,
     title: &str,
@@ -816,6 +898,50 @@ mod tests {
         assert_eq!(a.to_json(), bytes.run().to_json());
         assert_eq!(a.charts.len(), 3);
         assert!(a.dp.is_some(), "SOAR ran, so dp stats aggregate");
+    }
+
+    #[test]
+    fn dynamic_churn_runs_are_deterministic_and_charted() {
+        let spec = ExperimentSpec::new(
+            "churn-test",
+            "tiny dynamic churn",
+            2,
+            ExperimentKind::DynamicChurn {
+                title: "tiny churn".into(),
+                scenario: ScenarioSpec::bt(
+                    32,
+                    LoadSpec::paper_uniform(),
+                    RateScheme::paper_constant(),
+                    3,
+                ),
+                budget: 4,
+                epochs: 6,
+                model: ChurnModel::paper_default(),
+                seed_stride: 17,
+            },
+        );
+        let a = spec.run();
+        assert_eq!(a.to_json(), spec.run().to_json(), "byte-identical rerun");
+        assert_eq!(a.charts.len(), 3, "cost / moves / cell-writes");
+        assert!(a.timing_charts.is_empty(), "all churn charts are exact");
+        let cells = &a.charts[2];
+        let incremental = &cells.series[0];
+        let full = &cells.series[1];
+        assert_eq!(incremental.points.len(), 6);
+        // Epoch 0 is the full solve; later epochs write strictly fewer cells.
+        assert_eq!(incremental.points[0].1, full.points[0].1);
+        for idx in 1..6 {
+            assert!(
+                incremental.points[idx].1 < full.points[idx].1,
+                "epoch {idx} should be incremental"
+            );
+        }
+        // The cost curve never exceeds its all-red baseline.
+        let cost = &a.charts[0].series[0];
+        let red = &a.charts[0].series[1];
+        for (c, r) in cost.points.iter().zip(&red.points) {
+            assert!(c.1 <= r.1 + 1e-9);
+        }
     }
 
     #[test]

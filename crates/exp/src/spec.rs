@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 use soar_core::api::{Instance, TopologySpec};
+use soar_multitenant::churn::ChurnModel;
 use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
 
@@ -327,6 +328,28 @@ pub enum ExperimentKind {
         sizes: Vec<usize>,
         /// The gather budget.
         budget: usize,
+    },
+    /// A dynamic-workload scenario replayed by the `soar-online` incremental
+    /// re-optimization engine: a base snapshot plus a seeded churn timeline,
+    /// re-solved epoch by epoch (each epoch verified bit-identical to a
+    /// from-scratch solve). Charts the placement trajectory: cost over time,
+    /// placement moves per epoch, and DP cell writes incremental
+    /// vs from-scratch. All values are deterministic — goldens diff exactly.
+    DynamicChurn {
+        /// Chart-title prefix.
+        title: String,
+        /// The base snapshot the churn starts from.
+        scenario: ScenarioSpec,
+        /// The starting aggregation budget `k`.
+        budget: usize,
+        /// Number of epochs replayed.
+        epochs: usize,
+        /// The churn model generating the timeline.
+        model: ChurnModel,
+        /// Timeline/instance seed for repetition `rep` is
+        /// `base_seed + rep * seed_stride` (plus the scenario seed for the
+        /// instance draw).
+        seed_stride: u64,
     },
     /// Provenance record of a CLI run over an explicit serialized `Instance`
     /// (`soar solve` / `sweep` / `compare`). The instance itself is not
@@ -745,6 +768,39 @@ impl ExperimentKind {
                     problems.push("size grid is empty (give at least one tree size)".to_owned());
                 }
             }
+            ExperimentKind::DynamicChurn {
+                scenario,
+                epochs,
+                model,
+                seed_stride,
+                ..
+            } => {
+                check_scenario(scenario, problems);
+                if *epochs == 0 {
+                    problems.push("epochs must be at least 1".to_owned());
+                }
+                if !(model.mean_lifetime.is_finite() && model.mean_lifetime >= 1.0) {
+                    problems.push(format!(
+                        "churn mean_lifetime must be at least one epoch, got {}",
+                        model.mean_lifetime
+                    ));
+                }
+                for (what, value) in [
+                    ("arrivals_per_epoch", model.arrivals_per_epoch),
+                    ("rate_changes_per_epoch", model.rate_changes_per_epoch),
+                ] {
+                    if !(value.is_finite() && value >= 0.0) {
+                        problems.push(format!(
+                            "churn {what} must be a non-negative finite rate, got {value}"
+                        ));
+                    }
+                }
+                if model.tenant_leaves == 0 {
+                    problems.push("churn tenant_leaves must be at least 1".to_owned());
+                }
+                check_load("churn load", &model.load, problems);
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
             ExperimentKind::Adhoc { command, .. } => {
                 problems.push(format!(
                     "ad-hoc `{command}` specs record the provenance of a CLI run over an \
@@ -979,6 +1035,38 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("too small to build"));
+    }
+
+    #[test]
+    fn validation_flags_degenerate_churn_models() {
+        let mut model = ChurnModel::paper_default();
+        model.mean_lifetime = 0.5;
+        model.arrivals_per_epoch = f64::NAN;
+        model.tenant_leaves = 0;
+        let spec = ExperimentSpec::new(
+            "bad-churn",
+            "degenerate churn model",
+            2,
+            ExperimentKind::DynamicChurn {
+                title: "t".into(),
+                scenario: ScenarioSpec::bt(
+                    32,
+                    LoadSpec::paper_uniform(),
+                    RateScheme::paper_constant(),
+                    1,
+                ),
+                budget: 4,
+                epochs: 0,
+                model,
+                seed_stride: 0,
+            },
+        );
+        let text = spec.validate().unwrap_err().to_string();
+        assert!(text.contains("epochs must be at least 1"), "{text}");
+        assert!(text.contains("mean_lifetime"), "{text}");
+        assert!(text.contains("arrivals_per_epoch"), "{text}");
+        assert!(text.contains("tenant_leaves"), "{text}");
+        assert!(text.contains("seed_stride is 0"), "{text}");
     }
 
     #[test]

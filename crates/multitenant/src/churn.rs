@@ -1,0 +1,286 @@
+//! Churn timelines: the event streams driving `soar-online`'s dynamic
+//! workloads.
+//!
+//! The multi-tenant scenario of Sec. 5.2 serves workloads that *arrive once
+//! and stay*; real datacenter aggregation additionally sees **churn** — tenants
+//! come and go, and a tenant's per-rack sending rate drifts while it runs. A
+//! [`ChurnTimeline`] captures that as a sequence of epochs, each a batch of
+//! [`ChurnEvent`]s, and [`ChurnModel`] generates reproducible timelines from a
+//! seed: tenant arrivals (a footprint of leaf switches with drawn loads, using
+//! the paper's ½-uniform/½-power-law mixture like
+//! [`MixedWorkloadGenerator`](crate::workloads::MixedWorkloadGenerator)),
+//! geometric departures, and single-leaf rate re-draws.
+//!
+//! The events themselves are plain data — `soar-online` applies them to a
+//! [`DynamicInstance`](https://docs.rs/soar-online) and re-optimizes
+//! incrementally.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use soar_topology::load::LoadSpec;
+use soar_topology::{NodeId, Tree};
+
+/// Identifier of a tenant across its arrive/depart events.
+pub type TenantId = u64;
+
+/// One dynamic-workload event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A leaf's sending rate changed: its load `L(v)` is replaced by `load`
+    /// (the non-tenant "background" load in `soar-online`'s bookkeeping).
+    LeafRateChange {
+        /// The leaf switch whose rate changed.
+        leaf: NodeId,
+        /// The new load value.
+        load: u64,
+    },
+    /// A tenant arrives with a footprint of per-switch loads, added on top of
+    /// the background load.
+    TenantArrive {
+        /// The tenant's identifier (must be unique among active tenants).
+        tenant: TenantId,
+        /// The tenant's per-switch loads, one entry per occupied switch.
+        loads: Vec<(NodeId, u64)>,
+    },
+    /// A previously-arrived tenant departs; its loads are removed.
+    TenantDepart {
+        /// The departing tenant.
+        tenant: TenantId,
+    },
+    /// The aggregation budget `k` changes (e.g. switches freed or reclaimed by
+    /// the operator). Forces a full re-solve — the DP table shape depends on
+    /// `k`.
+    BudgetChange {
+        /// The new budget.
+        budget: usize,
+    },
+}
+
+/// The events of one epoch, applied together before the epoch's re-solve.
+pub type Epoch = Vec<ChurnEvent>;
+
+/// A whole churn history: one event batch per epoch.
+pub type ChurnTimeline = Vec<Epoch>;
+
+/// A reproducible generator of churn timelines over a fixed topology.
+///
+/// All counts are *expected* values per epoch: the integer part always
+/// happens, the fractional part is a Bernoulli draw — deterministic given the
+/// RNG, and simple enough that a spec stays human-auditable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    /// Expected tenant arrivals per epoch.
+    pub arrivals_per_epoch: f64,
+    /// Mean tenant lifetime in epochs (each active tenant departs with
+    /// probability `1 / mean_lifetime` per epoch). Must be at least 1.
+    pub mean_lifetime: f64,
+    /// Expected single-leaf rate re-draws per epoch.
+    pub rate_changes_per_epoch: f64,
+    /// Number of distinct leaf switches in a tenant's footprint.
+    pub tenant_leaves: usize,
+    /// Load distribution of background rate re-draws, and of tenant footprints
+    /// when `mixed_tenants` is off.
+    pub load: LoadSpec,
+    /// Draw each tenant's footprint from the paper's ½-uniform/½-power-law
+    /// mixture (the Sec. 5.2 arrival model) instead of `load`.
+    pub mixed_tenants: bool,
+}
+
+impl ChurnModel {
+    /// The default model: one arrival per epoch, mean lifetime of four epochs,
+    /// two single-leaf rate changes per epoch, four-leaf tenant footprints,
+    /// paper-uniform background loads and mixed tenant draws.
+    pub fn paper_default() -> Self {
+        ChurnModel {
+            arrivals_per_epoch: 1.0,
+            mean_lifetime: 4.0,
+            rate_changes_per_epoch: 2.0,
+            tenant_leaves: 4,
+            load: LoadSpec::paper_uniform(),
+            mixed_tenants: true,
+        }
+    }
+
+    /// Generates a timeline of `epochs` event batches over `tree`,
+    /// deterministic for a given RNG state.
+    ///
+    /// Tenant ids are allocated sequentially; every `TenantDepart` refers to a
+    /// previously-arrived, still-active tenant, so the timeline replays
+    /// cleanly.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        tree: &Tree,
+        epochs: usize,
+        rng: &mut R,
+    ) -> ChurnTimeline {
+        assert!(
+            self.mean_lifetime >= 1.0,
+            "mean_lifetime must be at least one epoch"
+        );
+        let depart_probability = 1.0 / self.mean_lifetime;
+        // The leaf set is collected once per timeline (not per event — a
+        // paper-scale run draws hundreds of events) and sampled exactly like
+        // `Tree::random_leaf` / `Tree::sample_leaves`, so seeded timelines are
+        // unchanged by the hoisting.
+        let leaf_pool: Vec<NodeId> = tree.leaves().collect();
+        let mut footprint = leaf_pool.clone();
+        let mut next_tenant: TenantId = 0;
+        let mut active: Vec<TenantId> = Vec::new();
+        let mut timeline = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut epoch = Epoch::new();
+            // Departures first: a tenant never arrives and departs in one epoch.
+            let mut idx = 0;
+            while idx < active.len() {
+                if rng.random::<f64>() < depart_probability {
+                    epoch.push(ChurnEvent::TenantDepart {
+                        tenant: active.swap_remove(idx),
+                    });
+                } else {
+                    idx += 1;
+                }
+            }
+            for _ in 0..count(self.arrivals_per_epoch, rng) {
+                let spec = self.tenant_load_spec(rng);
+                // Partial Fisher-Yates over the reused pool copy — the same
+                // draw `Tree::sample_leaves` performs.
+                footprint.copy_from_slice(&leaf_pool);
+                let take = self.tenant_leaves.min(footprint.len());
+                for slot in 0..take {
+                    let pick = rng.random_range(slot..footprint.len());
+                    footprint.swap(slot, pick);
+                }
+                footprint[..take].sort_unstable();
+                let loads = footprint[..take]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &leaf)| (leaf, spec.sample(i, rng).max(1)))
+                    .collect();
+                epoch.push(ChurnEvent::TenantArrive {
+                    tenant: next_tenant,
+                    loads,
+                });
+                active.push(next_tenant);
+                next_tenant += 1;
+            }
+            for _ in 0..count(self.rate_changes_per_epoch, rng) {
+                let leaf = leaf_pool[rng.random_range(0..leaf_pool.len())];
+                epoch.push(ChurnEvent::LeafRateChange {
+                    leaf,
+                    load: self.load.sample(leaf, rng),
+                });
+            }
+            timeline.push(epoch);
+        }
+        timeline
+    }
+
+    /// The load distribution of one arriving tenant.
+    fn tenant_load_spec<R: Rng + ?Sized>(&self, rng: &mut R) -> LoadSpec {
+        if self.mixed_tenants {
+            if rng.random::<f64>() < 0.5 {
+                LoadSpec::paper_uniform()
+            } else {
+                LoadSpec::paper_power_law()
+            }
+        } else {
+            self.load.clone()
+        }
+    }
+}
+
+/// Draws an integer with the given expectation: the integer part always
+/// happens, the fractional part with matching probability.
+fn count<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> usize {
+    let base = mean.max(0.0).floor();
+    let extra = usize::from(rng.random::<f64>() < mean.max(0.0) - base);
+    base as usize + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soar_topology::builders;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn timelines_are_seed_deterministic_and_replay_cleanly() {
+        let tree = builders::complete_binary_tree_bt(64);
+        let model = ChurnModel::paper_default();
+        let a = model.generate(&tree, 20, &mut StdRng::seed_from_u64(3));
+        let b = model.generate(&tree, 20, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b, "same seed, same timeline");
+        assert_eq!(a.len(), 20);
+
+        // Every departure names an active tenant; arrivals are unique.
+        let mut active: BTreeSet<TenantId> = BTreeSet::new();
+        let mut saw_arrival = false;
+        let mut saw_rate_change = false;
+        for epoch in &a {
+            for event in epoch {
+                match event {
+                    ChurnEvent::TenantArrive { tenant, loads } => {
+                        assert!(active.insert(*tenant), "tenant {tenant} arrived twice");
+                        assert_eq!(loads.len(), model.tenant_leaves);
+                        assert!(loads.iter().all(|&(v, load)| tree.is_leaf(v) && load > 0));
+                        saw_arrival = true;
+                    }
+                    ChurnEvent::TenantDepart { tenant } => {
+                        assert!(active.remove(tenant), "tenant {tenant} departed twice");
+                    }
+                    ChurnEvent::LeafRateChange { leaf, .. } => {
+                        assert!(tree.is_leaf(*leaf));
+                        saw_rate_change = true;
+                    }
+                    ChurnEvent::BudgetChange { .. } => {}
+                }
+            }
+        }
+        assert!(saw_arrival && saw_rate_change);
+    }
+
+    #[test]
+    fn fractional_rates_hit_their_expectation_roughly() {
+        let tree = builders::complete_binary_tree_bt(32);
+        let model = ChurnModel {
+            arrivals_per_epoch: 0.5,
+            mean_lifetime: 1.0, // depart immediately the next epoch
+            rate_changes_per_epoch: 0.0,
+            tenant_leaves: 2,
+            load: LoadSpec::Constant(3),
+            mixed_tenants: false,
+        };
+        let timeline = model.generate(&tree, 400, &mut StdRng::seed_from_u64(11));
+        let arrivals: usize = timeline
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, ChurnEvent::TenantArrive { .. }))
+            .count();
+        // E = 200; a generous band keeps the test robust across RNG streams.
+        assert!((120..=280).contains(&arrivals), "arrivals = {arrivals}");
+        // Constant loads come through verbatim when mixing is off.
+        for event in timeline.iter().flatten() {
+            if let ChurnEvent::TenantArrive { loads, .. } = event {
+                assert!(loads.iter().all(|&(_, load)| load == 3));
+            }
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events: Epoch = vec![
+            ChurnEvent::LeafRateChange { leaf: 3, load: 7 },
+            ChurnEvent::TenantArrive {
+                tenant: 1,
+                loads: vec![(3, 5), (4, 2)],
+            },
+            ChurnEvent::TenantDepart { tenant: 1 },
+            ChurnEvent::BudgetChange { budget: 8 },
+        ];
+        let json = serde_json::to_string(&events).unwrap();
+        let parsed: Epoch = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, events);
+    }
+}

@@ -13,11 +13,15 @@
 //! The [`OnlineAllocator`] drives this process for any placement
 //! [`soar_core::Strategy`]; the [`workloads::MixedWorkloadGenerator`] reproduces the
 //! paper's arrival model (each workload drawn from the uniform or the power-law load
-//! distribution with probability ½).
+//! distribution with probability ½). The [`churn`] module extends the arrival
+//! model into full **churn timelines** (tenants arriving *and departing*, leaf
+//! rates drifting, budgets changing) — the event streams consumed by the
+//! `soar-online` incremental re-optimization engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod workloads;
 
 use rand::Rng;

@@ -59,6 +59,14 @@ pub struct Coloring {
     n_blue: usize,
 }
 
+impl Default for Coloring {
+    /// An empty coloring over zero switches — the seed of the buffer-reuse
+    /// APIs ([`Coloring::reset_all_red`] grows it to size on first use).
+    fn default() -> Self {
+        Coloring::all_red(0)
+    }
+}
+
 impl Coloring {
     /// The all-red coloring (`U = ∅`) over `n` switches.
     pub fn all_red(n: usize) -> Self {
@@ -145,6 +153,47 @@ impl Coloring {
         }
     }
 
+    /// Resets this coloring in place to all-red over `n` switches, reusing the
+    /// backing storage. Returns `1` when the buffer had to grow (i.e. performed
+    /// a heap allocation), `0` otherwise — the same convention as the solver
+    /// workspace's allocation counters, which is what lets sweep-heavy callers
+    /// trace SOAR-Color through a reused coloring without a per-trace
+    /// allocation.
+    pub fn reset_all_red(&mut self, n: usize) -> usize {
+        let grew = usize::from(self.blue.capacity() < n);
+        self.blue.clear();
+        self.blue.resize(n, false);
+        self.n_blue = 0;
+        grew
+    }
+
+    /// Overwrites this coloring with `other`, reusing the backing storage
+    /// (allocates only if `other` is larger than this coloring's capacity).
+    pub fn copy_from(&mut self, other: &Coloring) {
+        self.blue.clear();
+        self.blue.extend_from_slice(&other.blue);
+        self.n_blue = other.n_blue;
+    }
+
+    /// Number of switches whose color differs between the two colorings — the
+    /// "placement moves" metric of the online re-optimization driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the colorings cover a different number of switches.
+    pub fn count_differences(&self, other: &Coloring) -> usize {
+        assert_eq!(
+            self.blue.len(),
+            other.blue.len(),
+            "colorings must cover the same switches to be compared"
+        );
+        self.blue
+            .iter()
+            .zip(&other.blue)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
     /// The blue switch ids, in increasing order.
     pub fn blue_nodes(&self) -> Vec<NodeId> {
         self.blue
@@ -224,6 +273,34 @@ mod tests {
         c.set_red(2);
         c.set_red(2);
         assert_eq!(c.n_blue(), 0);
+    }
+
+    #[test]
+    fn reset_copy_and_diff_reuse_storage() {
+        let mut c = Coloring::from_blue_nodes(6, [1, 4]).unwrap();
+        // First reset to a larger size may grow; the second never does.
+        assert_eq!(c.reset_all_red(8), 1);
+        assert_eq!(c.n_blue(), 0);
+        assert_eq!(c.len(), 8);
+        c.set_blue(2);
+        assert_eq!(c.reset_all_red(8), 0, "warm reset is allocation-free");
+        assert_eq!(c.reset_all_red(3), 0, "shrinking reuses the buffer");
+        assert_eq!(c.len(), 3);
+
+        let other = Coloring::from_blue_nodes(3, [0, 2]).unwrap();
+        c.copy_from(&other);
+        assert_eq!(c, other);
+        c.set_red(0);
+        assert_eq!(c.count_differences(&other), 1);
+        assert_eq!(other.count_differences(&other), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same switches")]
+    fn diff_of_mismatched_sizes_panics() {
+        let a = Coloring::all_red(3);
+        let b = Coloring::all_red(4);
+        let _ = a.count_differences(&b);
     }
 
     #[test]

@@ -480,6 +480,32 @@ impl Tree {
         self.node_ids().filter(move |&v| !self.is_leaf(v))
     }
 
+    /// A uniformly random leaf switch (every valid tree has at least one — a
+    /// childless root is its own leaf).
+    ///
+    /// The workhorse of the churn generators: leaf-rate-change events and
+    /// tenant footprints pick their switches through this.
+    pub fn random_leaf<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        let leaves: Vec<NodeId> = self.leaves().collect();
+        leaves[rng.random_range(0..leaves.len())]
+    }
+
+    /// Samples `count` *distinct* leaf switches uniformly (all leaves when the
+    /// tree has fewer than `count`), in increasing id order — a deterministic
+    /// order so that seeded churn timelines are reproducible.
+    pub fn sample_leaves<R: rand::Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<NodeId> {
+        let mut leaves: Vec<NodeId> = self.leaves().collect();
+        // Partial Fisher-Yates: move a random remaining leaf into each slot.
+        let take = count.min(leaves.len());
+        for slot in 0..take {
+            let pick = rng.random_range(slot..leaves.len());
+            leaves.swap(slot, pick);
+        }
+        leaves.truncate(take);
+        leaves.sort_unstable();
+        leaves
+    }
+
     /// Post-order traversal: every node appears after all nodes of its subtree.
     ///
     /// Because the arena stores parents before children, the reversed id order is a
@@ -856,6 +882,29 @@ mod tests {
     #[test]
     fn validate_accepts_built_trees() {
         assert!(fig2_tree().validate().is_ok());
+    }
+
+    #[test]
+    fn leaf_sampling_is_distinct_in_range_and_seed_deterministic() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let tree = fig2_tree();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let v = tree.random_leaf(&mut rng);
+            assert!(tree.is_leaf(v));
+        }
+        let sample = tree.sample_leaves(3, &mut rng);
+        assert_eq!(sample.len(), 3);
+        assert!(sample.windows(2).all(|w| w[0] < w[1]), "distinct + sorted");
+        assert!(sample.iter().all(|&v| tree.is_leaf(v)));
+        // Asking for more leaves than exist returns them all.
+        let all = tree.sample_leaves(99, &mut rng);
+        assert_eq!(all, tree.leaves().collect::<Vec<_>>());
+        // Same seed, same draw.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(tree.sample_leaves(2, &mut a), tree.sample_leaves(2, &mut b));
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   [`Solver`](core::api::Solver) API, the SOAR algorithm, the contending
 //!   placement strategies and a brute-force oracle;
 //! * [`apps`] — the word-count (WC) and parameter-server (PS) workload models;
-//! * [`multitenant`] — the online multi-workload allocation scenario;
+//! * [`multitenant`] — the online multi-workload allocation scenario and the
+//!   churn-timeline generators;
+//! * [`online`] — the incremental re-optimization engine for dynamic
+//!   workloads ([`DynamicInstance`](online::DynamicInstance) +
+//!   [`OnlineDriver`](online::OnlineDriver): epoch re-solves refill only the
+//!   dirty root-to-leaf paths of the DP, bit-identical to a full solve);
 //! * [`dataplane`] — the distributed message-passing prototype;
 //! * [`pool`] — the std-only work-stealing thread pool behind the batch entry
 //!   points and the level-parallel gather;
@@ -58,6 +63,7 @@ pub use soar_core as core;
 pub use soar_dataplane as dataplane;
 pub use soar_exp as exp;
 pub use soar_multitenant as multitenant;
+pub use soar_online as online;
 pub use soar_pool as pool;
 pub use soar_reduce as reduce;
 pub use soar_topology as topology;

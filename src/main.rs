@@ -10,7 +10,9 @@
 //! soar experiment list [--paper]
 //! soar experiment run <name|spec.json>... [--paper] [--reps N] [--out-dir DIR] [--csv]
 //! soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]
-//! soar history report <artifact.json>...
+//! soar online run [--switches N] [--budget K] [--epochs E] [--seed S] [--out artifact.json]
+//! soar online replay <artifact.json>
+//! soar history report <artifact.json>... | --dir DIR [--spec NAME]
 //! soar history check <new.json> --baseline <old.json> [--max-regress 25%]
 //! ```
 //!
@@ -55,7 +57,8 @@ impl CliError {
 
 type CliResult = Result<(), CliError>;
 
-const TOP_USAGE: &str = "usage: soar <solve|sweep|compare|instance|experiment|history> [options]
+const TOP_USAGE: &str =
+    "usage: soar <solve|sweep|compare|instance|experiment|online|history> [options]
        soar --help
 
 subcommands:
@@ -64,6 +67,7 @@ subcommands:
   compare     run several solvers on one instance
   instance    mint Instance JSON from topology/load/rate flags
   experiment  list, run and check the declarative experiments (registry names or spec files)
+  online      replay dynamic churn timelines on the incremental re-optimization engine
   history     trajectory reports and regression gates over artifact series";
 
 fn main() {
@@ -94,6 +98,7 @@ fn dispatch(args: &[String]) -> CliResult {
         Some("compare") => cmd_compare(&args[1..]),
         Some("instance") => cmd_instance(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
+        Some("online") => cmd_online(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{TOP_USAGE}");
@@ -816,14 +821,254 @@ fn cmd_experiment_check(args: &[String]) -> CliResult {
 }
 
 // ---------------------------------------------------------------------------
+// online run / replay
+// ---------------------------------------------------------------------------
+
+const ONLINE_USAGE: &str = "usage: soar online run [options]
+       soar online replay <artifact.json> [--csv]
+
+`run` builds a BT(--switches) base snapshot, generates a seeded churn timeline
+(tenant arrivals/departures, single-leaf rate changes) and replays it on the
+incremental re-optimization engine — every epoch verified bit-identical to a
+from-scratch solve. Prints the placement trajectory (cost over time, placement
+moves, DP cell writes incremental vs from-scratch).
+
+run options:
+  --switches N       BT(N) base topology, counts the destination (default 128)
+  --budget K         starting aggregation budget (default 16)
+  --epochs E         epochs to replay (default 12)
+  --seed S           base seed of instance + timeline draws (default 0)
+  --reps R           averaged repetitions (default 1)
+  --arrivals A       expected tenant arrivals per epoch (default 1.0)
+  --lifetime L       mean tenant lifetime in epochs (default 4.0)
+  --rate-changes C   expected single-leaf rate re-draws per epoch (default 2.0)
+  --tenant-leaves T  leaves per tenant footprint (default 4)
+  --load DIST        background load distribution (soar instance syntax; default uniform)
+  --csv              print charts as CSV instead of aligned tables
+  --out FILE         write the RunArtifact JSON there
+
+`replay` re-runs the dynamic spec embedded in an artifact and checks the fresh
+trajectory against the stored one (exit 1 on deviation) — the determinism gate
+behind the online-smoke CI job.";
+
+fn cmd_online(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_online_run(&args[1..]),
+        Some("replay") => cmd_online_replay(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{ONLINE_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown online subcommand `{other}`"
+        ))),
+        None => Err(CliError::usage("online needs a subcommand (run, replay)")),
+    }
+}
+
+fn cmd_online_run(args: &[String]) -> CliResult {
+    let mut switches = 128usize;
+    let mut budget = 16usize;
+    let mut epochs = 12usize;
+    let mut seed = 0u64;
+    let mut reps = 1u64;
+    let mut model = soar::multitenant::churn::ChurnModel::paper_default();
+    let mut load: Option<&str> = None;
+    let mut csv = false;
+    let mut out: Option<&str> = None;
+
+    let parse_num = |flag: &str, value: &str| -> Result<usize, CliError> {
+        value
+            .parse::<usize>()
+            .map_err(|_| CliError::usage(format!("{flag} needs a non-negative number")))
+    };
+    let parse_rate = |flag: &str, value: &str| -> Result<f64, CliError> {
+        value
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| CliError::usage(format!("{flag} needs a non-negative number")))
+    };
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--switches" | "-n" => {
+                switches = parse_num("--switches", options.value_for("--switches")?)?
+            }
+            "--budget" | "-k" => budget = parse_num("--budget", options.value_for("--budget")?)?,
+            "--epochs" | "-e" => epochs = parse_num("--epochs", options.value_for("--epochs")?)?,
+            "--seed" => {
+                seed = options
+                    .value_for("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--seed needs a number"))?
+            }
+            "--reps" => {
+                reps = options
+                    .value_for("--reps")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&r| r > 0)
+                    .ok_or_else(|| CliError::usage("--reps needs a positive number"))?
+            }
+            "--arrivals" => {
+                model.arrivals_per_epoch =
+                    parse_rate("--arrivals", options.value_for("--arrivals")?)?
+            }
+            "--lifetime" => {
+                let value = parse_rate("--lifetime", options.value_for("--lifetime")?)?;
+                if value < 1.0 {
+                    return Err(CliError::usage("--lifetime must be at least one epoch"));
+                }
+                model.mean_lifetime = value;
+            }
+            "--rate-changes" => {
+                model.rate_changes_per_epoch =
+                    parse_rate("--rate-changes", options.value_for("--rate-changes")?)?
+            }
+            "--tenant-leaves" => {
+                let value = parse_num("--tenant-leaves", options.value_for("--tenant-leaves")?)?;
+                if value == 0 {
+                    return Err(CliError::usage("--tenant-leaves must be at least 1"));
+                }
+                model.tenant_leaves = value;
+            }
+            "--load" | "-l" => load = Some(options.value_for("--load")?),
+            "--csv" => csv = true,
+            "--out" | "-o" => out = Some(options.value_for("--out")?),
+            "--help" | "-h" => {
+                println!("{ONLINE_USAGE}");
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "online run: unknown argument `{other}`"
+                )))
+            }
+        }
+    }
+    if switches < 2 {
+        return Err(CliError::usage(
+            "BT(n) counts the destination server, so --switches must be >= 2",
+        ));
+    }
+    if epochs == 0 {
+        return Err(CliError::usage("--epochs must be at least 1"));
+    }
+    let background = match load {
+        Some(text) => LoadSpec::parse(text).map_err(CliError::usage)?,
+        None => LoadSpec::paper_uniform(),
+    };
+    model.load = background.clone();
+    let mut spec = ExperimentSpec::new(
+        "online-run",
+        format!("CLI dynamic churn replay over BT({switches})"),
+        reps,
+        ExperimentKind::DynamicChurn {
+            title: format!("Dynamic churn on BT({switches}), k = {budget}"),
+            scenario: soar::exp::ScenarioSpec::bt(
+                switches,
+                background,
+                soar::topology::rates::RateScheme::paper_constant(),
+                seed,
+            ),
+            budget,
+            epochs,
+            model,
+            seed_stride: 61,
+        },
+    );
+    spec.base_seed = seed;
+    spec.validate()
+        .map_err(|e| CliError::invalid(format!("online run configuration: {e}")))?;
+    let artifact = spec.run();
+    print_online_charts(&artifact, csv);
+    if let Some(path) = out {
+        write_file(path, &artifact.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn print_online_charts(artifact: &RunArtifact, csv: bool) {
+    for chart in &artifact.charts {
+        if csv {
+            println!("# {}", chart.title);
+            print!("{}", chart.to_csv());
+        } else {
+            println!("{}", chart.to_table());
+        }
+    }
+}
+
+fn cmd_online_replay(args: &[String]) -> CliResult {
+    let mut path: Option<&str> = None;
+    let mut csv = false;
+    let mut options = Options::new(args);
+    while let Some(arg) = options.next() {
+        match arg {
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!("{ONLINE_USAGE}");
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!(
+                    "online replay: unknown argument `{flag}`"
+                )))
+            }
+            p if path.is_none() => path = Some(p),
+            other => {
+                return Err(CliError::usage(format!(
+                    "replay takes one artifact path, got a second: `{other}`"
+                )))
+            }
+        }
+    }
+    let path = path.ok_or_else(|| CliError::usage("replay needs an artifact path"))?;
+    let stored = read_artifact(path)?;
+    if !matches!(stored.spec.kind, ExperimentKind::DynamicChurn { .. }) {
+        return Err(CliError::invalid(format!(
+            "{path} is not a dynamic-churn artifact (spec `{}` has a different kind)",
+            stored.spec.name
+        )));
+    }
+    stored
+        .spec
+        .validate()
+        .map_err(|e| CliError::invalid(format!("{path}: embedded spec is invalid: {e}")))?;
+    eprintln!(
+        "replaying {} ({} repetitions)",
+        stored.spec.name, stored.spec.repetitions
+    );
+    let fresh = stored.spec.run();
+    print_online_charts(&fresh, csv);
+    let report = diff(&stored, &fresh, &Tolerances::default());
+    if report.is_match() {
+        println!("OK: replay of {path} reproduced the stored trajectory");
+        Ok(())
+    } else {
+        Err(CliError::failure(format!(
+            "replay of {path} deviates from the stored trajectory: {report}"
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // history report / check
 // ---------------------------------------------------------------------------
 
 const HISTORY_USAGE: &str = "usage: soar history report <artifact.json>...
+       soar history report --dir <DIR> [--spec NAME]
        soar history check <new.json> --baseline <baseline.json> [--max-regress 25%] [--exact-abs X]
 
 `report` aligns an ordered series of artifacts of one spec (oldest first) by
 chart point and prints every metric's trajectory, newest delta and best-so-far.
+With --dir it scans a directory of nightly-trend artifact sets instead: every
+*.json artifact in DIR and its immediate subdirectories (sorted by path, so
+date-stamped nightly directories read oldest first) is grouped by spec name and
+rendered as one long-horizon trajectory per spec (--spec restricts to one).
+Non-artifact JSON files (e.g. RUN_STAMP.json) are skipped with a note.
 `check` gates the new artifact against the baseline: wall-clock metrics may
 drift up to --max-regress (relative, default 25%), every other metric — costs,
 allocation counts, footprints — must not increase at all. Improvements always
@@ -877,9 +1122,13 @@ fn parse_fraction(value: &str, flag: &str) -> Result<f64, CliError> {
 
 fn cmd_history_report(args: &[String]) -> CliResult {
     let mut paths: Vec<&str> = Vec::new();
+    let mut dir: Option<&str> = None;
+    let mut spec_filter: Option<&str> = None;
     let mut options = Options::new(args);
     while let Some(arg) = options.next() {
         match arg {
+            "--dir" | "-d" => dir = Some(options.value_for("--dir")?),
+            "--spec" | "-s" => spec_filter = Some(options.value_for("--spec")?),
             "--help" | "-h" => {
                 println!("{HISTORY_USAGE}");
                 return Ok(());
@@ -892,18 +1141,110 @@ fn cmd_history_report(args: &[String]) -> CliResult {
             path => paths.push(path),
         }
     }
-    if paths.is_empty() {
-        return Err(CliError::usage(
-            "report needs at least one artifact path (oldest first)",
-        ));
+    match dir {
+        Some(dir) => {
+            if !paths.is_empty() {
+                return Err(CliError::usage(
+                    "report takes either explicit artifact paths or --dir, not both",
+                ));
+            }
+            cmd_history_report_dir(dir, spec_filter)
+        }
+        None => {
+            if spec_filter.is_some() {
+                return Err(CliError::usage("--spec only applies to --dir mode"));
+            }
+            if paths.is_empty() {
+                return Err(CliError::usage(
+                    "report needs at least one artifact path (oldest first) or --dir",
+                ));
+            }
+            let mut entries = Vec::new();
+            for path in paths {
+                entries.push((path.to_owned(), read_artifact(path)?));
+            }
+            let trajectory = Trajectory::build(&entries)
+                .map_err(|e| CliError::failure(format!("artifacts do not align: {e}")))?;
+            print!("{}", trajectory.to_table());
+            Ok(())
+        }
     }
-    let mut entries = Vec::new();
-    for path in paths {
-        entries.push((path.to_owned(), read_artifact(path)?));
+}
+
+/// The `--dir` mode of `history report`: scans a directory of nightly-trend
+/// artifact sets (loose `*.json` files plus one level of subdirectories,
+/// sorted by path so date-stamped nightly directories read oldest first),
+/// groups the artifacts by spec name and prints one long-horizon trajectory
+/// per spec.
+fn cmd_history_report_dir(dir: &str, spec_filter: Option<&str>) -> CliResult {
+    let mut candidates: Vec<std::path::PathBuf> = Vec::new();
+    let mut top: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::failure(format!("reading {dir}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    top.sort();
+    for path in top {
+        if path.is_dir() {
+            let mut nested: Vec<std::path::PathBuf> = match std::fs::read_dir(&path) {
+                Ok(entries) => entries.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+                Err(_) => continue,
+            };
+            nested.sort();
+            candidates.extend(
+                nested
+                    .into_iter()
+                    .filter(|p| p.is_file() && p.extension().is_some_and(|ext| ext == "json")),
+            );
+        } else if path.extension().is_some_and(|ext| ext == "json") {
+            candidates.push(path);
+        }
     }
-    let trajectory = Trajectory::build(&entries)
-        .map_err(|e| CliError::failure(format!("artifacts do not align: {e}")))?;
-    print!("{}", trajectory.to_table());
+
+    // Group parseable artifacts by spec name, keeping scan (= time) order.
+    let mut groups: Vec<(String, Vec<(String, RunArtifact)>)> = Vec::new();
+    for path in candidates {
+        let label = path.display().to_string();
+        let Ok(json) = std::fs::read_to_string(&path) else {
+            eprintln!("note: skipping unreadable {label}");
+            continue;
+        };
+        let Ok(artifact) = RunArtifact::from_json(&json) else {
+            eprintln!("note: skipping non-artifact JSON {label}");
+            continue;
+        };
+        if spec_filter.is_some_and(|want| want != artifact.spec.name) {
+            continue;
+        }
+        let name = artifact.spec.name.clone();
+        match groups.iter_mut().find(|(spec, _)| *spec == name) {
+            Some((_, entries)) => entries.push((label, artifact)),
+            None => groups.push((name, vec![(label, artifact)])),
+        }
+    }
+    if groups.is_empty() {
+        return Err(CliError::failure(match spec_filter {
+            Some(spec) => format!("no artifacts of spec `{spec}` found under {dir}"),
+            None => format!("no artifacts found under {dir}"),
+        }));
+    }
+    // One misaligned spec (e.g. a version bump or renamed series mid-history)
+    // must not make every *other* spec's trajectory unreadable: skip it with a
+    // note and fail only when nothing could be rendered at all.
+    let mut rendered = 0usize;
+    for (spec, entries) in &groups {
+        match Trajectory::build(entries) {
+            Ok(trajectory) => {
+                print!("{}", trajectory.to_table());
+                rendered += 1;
+            }
+            Err(e) => eprintln!("note: skipping `{spec}`: artifacts do not align: {e}"),
+        }
+    }
+    if rendered == 0 {
+        return Err(CliError::failure(format!(
+            "no artifact series under {dir} aligned into a trajectory"
+        )));
+    }
     Ok(())
 }
 

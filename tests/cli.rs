@@ -262,6 +262,7 @@ fn fresh_runs_match_the_committed_goldens() {
     for (name, golden_file) in [
         ("fig3", "fig3.quick.json"),
         ("fig9-smoke", "fig9-smoke.quick.json"),
+        ("dynamic-churn", "dynamic-churn.quick.json"),
     ] {
         let output = run(&["experiment", "run", name, "--out-dir", &dir]);
         assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
@@ -731,6 +732,171 @@ fn history_check_gates_timing_metrics_relatively() {
             stderr(&output)
         );
     }
+}
+
+#[test]
+fn online_run_writes_a_replayable_artifact() {
+    let tmp = TempDir::new("online");
+    let artifact_path = tmp.path_str("churn.json");
+    let output = run(&[
+        "online",
+        "run",
+        "--switches",
+        "64",
+        "--budget",
+        "6",
+        "--epochs",
+        "5",
+        "--seed",
+        "9",
+        "--out",
+        &artifact_path,
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("cost over time"), "{text}");
+    assert!(text.contains("DP cell writes"), "{text}");
+
+    let artifact =
+        RunArtifact::from_json(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    assert_eq!(artifact.spec.name, "online-run");
+    assert_eq!(artifact.charts.len(), 3);
+    // Incremental epochs write fewer cells than a from-scratch solve.
+    let cells = &artifact.charts[2];
+    let incremental = &cells.series[0];
+    let full = &cells.series[1];
+    for idx in 1..incremental.points.len() {
+        assert!(
+            incremental.points[idx].1 < full.points[idx].1,
+            "epoch {idx}"
+        );
+    }
+
+    // The replay gate reproduces the stored trajectory (the determinism gate
+    // of the online-smoke CI job).
+    let output = run(&["online", "replay", &artifact_path]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    assert!(
+        stdout(&output).contains("OK: replay"),
+        "{}",
+        stdout(&output)
+    );
+
+    // A tampered trajectory fails the replay with exit 1.
+    let mut tampered = artifact.clone();
+    tampered.charts[0].series[0].points[1].1 += 1.0;
+    std::fs::write(tmp.path("tampered.json"), tampered.to_json()).unwrap();
+    let tampered_path = tmp.path_str("tampered.json");
+    let output = run(&["online", "replay", &tampered_path]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    assert!(stderr(&output).contains("deviates"), "{}", stderr(&output));
+
+    // Replaying a non-churn artifact is rejected as invalid input (exit 2).
+    let dir = tmp.path_str("fig3");
+    let output = run(&["experiment", "run", "fig3", "--out-dir", &dir]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let fig3 = format!("{dir}/fig3.json");
+    let output = run(&["online", "replay", &fig3]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+}
+
+#[test]
+fn online_usage_errors_exit_2() {
+    for args in [
+        &["online"][..],
+        &["online", "frobnicate"][..],
+        &["online", "run", "--switches", "1"][..],
+        &["online", "run", "--epochs", "0"][..],
+        &["online", "run", "--reps", "0"][..],
+        &["online", "run", "--lifetime", "0.5"][..],
+        &["online", "run", "--tenant-leaves", "0"][..],
+        &["online", "replay"][..],
+    ] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?}: expected usage exit, stderr: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn history_report_dir_renders_long_horizon_trajectories() {
+    let tmp = TempDir::new("history-dir");
+    // Two nightly-style subdirectories (date-sorted), each holding the same
+    // two specs, plus a RUN_STAMP.json that must be skipped, plus one loose
+    // artifact at the top level.
+    let spec_path = tmp.path_str("curve.json");
+    std::fs::write(tmp.path("curve.json"), user_spec_json("curve", "0, 1, 2")).unwrap();
+    let nightly = tmp.path_str("nightly");
+    for night in ["2026-07-26", "2026-07-27"] {
+        let dir = format!("{nightly}/{night}");
+        for spec in [&spec_path, &"fig3".to_owned()] {
+            let output = run(&["experiment", "run", spec, "--out-dir", &dir]);
+            assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+        }
+        std::fs::write(format!("{dir}/RUN_STAMP.json"), r#"{"commit": "abc"}"#).unwrap();
+    }
+
+    let output = run(&["history", "report", "--dir", &nightly]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("history of `curve` over 2 run(s)"), "{text}");
+    assert!(text.contains("history of `fig3` over 2 run(s)"), "{text}");
+    assert!(text.contains("2026-07-26"), "oldest first: {text}");
+    assert!(
+        stderr(&output).contains("skipping non-artifact JSON"),
+        "{}",
+        stderr(&output)
+    );
+
+    // --spec restricts the report to one trajectory.
+    let output = run(&["history", "report", "--dir", &nightly, "--spec", "fig3"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("history of `fig3`"), "{text}");
+    assert!(!text.contains("history of `curve`"), "{text}");
+
+    // One misaligned spec (a renamed series mid-history) is skipped with a
+    // note; every other spec's trajectory still renders.
+    let curve_b = format!("{nightly}/2026-07-27/curve.json");
+    let mut renamed = RunArtifact::from_json(&std::fs::read_to_string(&curve_b).unwrap()).unwrap();
+    renamed.charts[0].series[0].label = "renamed".into();
+    std::fs::write(&curve_b, renamed.to_json()).unwrap();
+    let output = run(&["history", "report", "--dir", &nightly]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(!text.contains("history of `curve`"), "{text}");
+    assert!(text.contains("history of `fig3` over 2 run(s)"), "{text}");
+    assert!(
+        stderr(&output).contains("skipping `curve`"),
+        "{}",
+        stderr(&output)
+    );
+    // ...but when *nothing* aligns, the report is an operational failure.
+    let output = run(&["history", "report", "--dir", &nightly, "--spec", "curve"]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("aligned into a trajectory"),
+        "{}",
+        stderr(&output)
+    );
+
+    // An unknown spec filter / an empty directory are operational failures.
+    let output = run(&["history", "report", "--dir", &nightly, "--spec", "nope"]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    let empty = tmp.path_str("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let output = run(&["history", "report", "--dir", &empty]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+
+    // Mixing --dir with explicit paths, or --spec without --dir, is a usage error.
+    let output = run(&["history", "report", "--dir", &nightly, "extra.json"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    let output = run(&["history", "report", "--spec", "fig3", "a.json"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
 }
 
 #[test]
