@@ -1,0 +1,275 @@
+//! Length-prefixed stream framing shared by the dataplane codec and the
+//! `soar-serve` wire protocol.
+//!
+//! [`wire`](crate::wire) defines *message* encoding — what the bytes of one
+//! frame mean. This module defines how frames travel over a byte stream: every
+//! frame is a 4-byte big-endian length prefix followed by exactly that many
+//! payload bytes. The reader is deliberately paranoid, because it faces the
+//! network:
+//!
+//! * a declared length above the caller's cap is rejected **before any
+//!   allocation** ([`FramingError::Oversized`]) — a hostile or corrupt peer
+//!   cannot make the server reserve gigabytes with four bytes;
+//! * a stream that ends mid-prefix or mid-payload is a typed
+//!   [`FramingError::Truncated`], never a panic;
+//! * end-of-stream exactly on a frame boundary is the clean-shutdown signal
+//!   (`Ok(false)`), distinct from truncation.
+//!
+//! Payload *content* errors (garbage bytes) are the next layer's job: both
+//! [`wire::Frame::decode`](crate::wire::Frame::decode) and the serve protocol
+//! return typed errors for those, so no byte sequence on the wire can panic
+//! the process. The malformed-frame corpus test at the bottom pins all three
+//! failure classes.
+
+use std::io::{self, Read, Write};
+
+/// Size of the length prefix in bytes.
+pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// Default cap on a declared frame length (16 MiB) — far above any legitimate
+/// SOAR message, far below anything that could hurt the process.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// A stream-framing failure. `Io` carries transport errors; the other variants
+/// are protocol violations by the peer.
+#[derive(Debug)]
+pub enum FramingError {
+    /// The stream ended inside a length prefix or inside a payload.
+    Truncated {
+        /// Bytes the frame still owed when the stream ended.
+        missing: usize,
+    },
+    /// The peer declared a frame longer than the reader's cap. Detected before
+    /// any buffer is grown.
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+        /// The reader's cap.
+        max: usize,
+    },
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FramingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FramingError::Truncated { missing } => {
+                write!(f, "stream truncated mid-frame ({missing} byte(s) missing)")
+            }
+            FramingError::Oversized { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            FramingError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FramingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FramingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FramingError {
+    fn from(e: io::Error) -> Self {
+        FramingError::Io(e)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length prefix, then the payload.
+///
+/// The caller decides buffering; `soar-serve` wraps its sockets in
+/// `BufWriter` and flushes per response batch.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX bytes",
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame into `buf` (cleared and reused across calls — steady-state
+/// reads allocate nothing once `buf` reached the high-water mark).
+///
+/// Returns `Ok(true)` with the payload in `buf`, or `Ok(false)` on a clean
+/// end-of-stream at a frame boundary. Any other shortfall is
+/// [`FramingError::Truncated`]; a declared length above `max_len` is
+/// [`FramingError::Oversized`] and consumes nothing further.
+pub fn read_frame<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    max_len: usize,
+) -> Result<bool, FramingError> {
+    let mut prefix = [0u8; LEN_PREFIX_BYTES];
+    let mut got = 0;
+    while got < LEN_PREFIX_BYTES {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(false), // clean EOF between frames
+            Ok(0) => {
+                return Err(FramingError::Truncated {
+                    missing: LEN_PREFIX_BYTES - got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(FramingError::Oversized {
+            declared: len as u64,
+            max: max_len,
+        });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FramingError::Truncated {
+                    missing: len - filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Frame, WireError};
+    use bytes::Bytes;
+
+    fn read_all(stream: &[u8]) -> Result<Vec<Vec<u8>>, FramingError> {
+        let mut r = stream;
+        let mut buf = Vec::new();
+        let mut frames = Vec::new();
+        while read_frame(&mut r, &mut buf, MAX_FRAME_LEN)? {
+            frames.push(buf.clone());
+        }
+        Ok(frames)
+    }
+
+    #[test]
+    fn round_trips_multiple_frames() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[7u8; 1000]).unwrap();
+        let frames = read_all(&stream).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"alpha");
+        assert_eq!(frames[1], b"");
+        assert_eq!(frames[2], vec![7u8; 1000]);
+    }
+
+    /// The malformed-frame corpus: every hostile shape a peer can put on the
+    /// stream maps to a typed error, never a panic, never an allocation bomb.
+    #[test]
+    fn malformed_frame_corpus() {
+        // 1. Truncated length prefix: stream dies after 2 of 4 prefix bytes.
+        match read_all(&[0x00, 0x00]) {
+            Err(FramingError::Truncated { missing: 2 }) => {}
+            other => panic!("truncated prefix: {other:?}"),
+        }
+
+        // 2. Truncated payload: prefix promises 8 bytes, stream carries 3.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&8u32.to_be_bytes());
+        stream.extend_from_slice(&[1, 2, 3]);
+        match read_all(&stream) {
+            Err(FramingError::Truncated { missing: 5 }) => {}
+            other => panic!("truncated payload: {other:?}"),
+        }
+
+        // 3. Oversized declared length: a 4 GiB-minus-one claim is rejected
+        //    before any buffer is touched (the stream has no payload at all,
+        //    which would otherwise read as truncation).
+        let stream = u32::MAX.to_be_bytes();
+        match read_all(&stream) {
+            Err(FramingError::Oversized {
+                declared,
+                max: MAX_FRAME_LEN,
+            }) => assert_eq!(declared, u64::from(u32::MAX)),
+            other => panic!("oversized: {other:?}"),
+        }
+
+        // 4. Garbage payload: frames fine, content rotten. The next layer
+        //    (here the dataplane message codec) returns a typed error.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[0xFF, 0xAA, 0x55]).unwrap();
+        let frames = read_all(&stream).unwrap();
+        assert_eq!(frames.len(), 1);
+        match Frame::decode(Bytes::from(frames[0].clone())) {
+            Err(WireError::UnknownKind(0xFF)) => {}
+            other => panic!("garbage payload: {other:?}"),
+        }
+
+        // 5. Empty garbage: a zero-length frame is valid framing; decoding it
+        //    as a message is a typed truncation, not a panic.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"").unwrap();
+        let frames = read_all(&stream).unwrap();
+        match Frame::decode(Bytes::from(frames[0].clone())) {
+            Err(WireError::Truncated) => {}
+            other => panic!("empty payload decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_respects_custom_cap() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[0u8; 100]).unwrap();
+        let mut r = &stream[..];
+        let mut buf = Vec::new();
+        match read_frame(&mut r, &mut buf, 64) {
+            Err(FramingError::Oversized {
+                declared: 100,
+                max: 64,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried() {
+        /// A reader yielding one byte per call with an Interrupted error
+        /// before each — the retry loop must absorb them.
+        struct Choppy<'a>(&'a [u8], bool);
+        impl Read for Choppy<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if !self.1 {
+                    self.1 = true;
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+                }
+                self.1 = false;
+                if self.0.is_empty() || out.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"chop").unwrap();
+        let mut r = Choppy(&stream, false);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf, MAX_FRAME_LEN).unwrap());
+        assert_eq!(buf, b"chop");
+        assert!(!read_frame(&mut r, &mut buf, MAX_FRAME_LEN).unwrap());
+    }
+}

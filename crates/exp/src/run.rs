@@ -219,6 +219,10 @@ impl ExperimentSpec {
                 model,
                 seed_stride,
             } => run_dynamic_churn(self, title, scenario, *budget, *epochs, model, *seed_stride),
+            ExperimentKind::ServeBench { .. } => panic!(
+                "serve-bench artifacts are produced by `soar loadtest` against a live \
+                 server and are not re-runnable"
+            ),
             ExperimentKind::Adhoc { command, .. } => panic!(
                 "ad-hoc `{command}` artifacts record a CLI run over an explicit instance \
                  and are not re-runnable"

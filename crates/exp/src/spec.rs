@@ -351,6 +351,31 @@ pub enum ExperimentKind {
         /// instance draw).
         seed_stride: u64,
     },
+    /// Provenance record of a `soar loadtest` run against a `soar serve`
+    /// daemon (the `BENCH_serve.json` artifact). Like [`Self::Adhoc`] it is
+    /// **not re-runnable** through `experiment run` — the loadtest harness
+    /// produces it and `soar history check` gates it; the spec fields record
+    /// the load shape so baselines only compare like with like.
+    ServeBench {
+        /// Service tenants registered (each one resident `DynamicInstance`).
+        tenants: u64,
+        /// `BT(n)` size parameter of every tenant's tree.
+        switches: u32,
+        /// Aggregation budget `k` per tenant.
+        budget: u32,
+        /// Concurrent client connections.
+        connections: usize,
+        /// In-flight request window per connection (closed loop).
+        window: usize,
+        /// Churn events per request batch.
+        events_per_batch: usize,
+        /// A solve interleaved after every N churn batches (0 = never).
+        solve_every: u64,
+        /// Total churn batches sent across all tenants.
+        batches: u64,
+        /// Open-loop target events/sec (0 = closed-loop).
+        rate: f64,
+    },
     /// Provenance record of a CLI run over an explicit serialized `Instance`
     /// (`soar solve` / `sweep` / `compare`). The instance itself is not
     /// reconstructible from the spec — the artifact's reports and charts carry
@@ -411,6 +436,9 @@ impl ExperimentSpec {
             ExperimentKind::SolveTime { .. } => vec![0],
             // Chart 0 of the microbench is the fresh/warm wall-time chart.
             ExperimentKind::GatherMicrobench { .. } => vec![0],
+            // Charts 0 (latency percentiles) and 1 (ns per churn event) are
+            // wall-clock; chart 2 (sheds/errors) diffs exactly.
+            ExperimentKind::ServeBench { .. } => vec![0, 1],
             _ => Vec::new(),
         }
     }
@@ -800,6 +828,14 @@ impl ExperimentKind {
                 }
                 check_load("churn load", &model.load, problems);
                 check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
+            ExperimentKind::ServeBench { .. } => {
+                problems.push(
+                    "serve-bench specs record the provenance of a `soar loadtest` run \
+                     against a live server and are not re-runnable via `experiment run` \
+                     (re-run the loadtest instead)"
+                        .to_owned(),
+                );
             }
             ExperimentKind::Adhoc { command, .. } => {
                 problems.push(format!(

@@ -1,0 +1,610 @@
+//! # soar-loadtest
+//!
+//! A client harness for `soar serve`: synthesizes churn for thousands of
+//! tenants from [`ChurnStream`]s, drives the daemon over its wire protocol
+//! with open- or closed-loop arrival control, and reports sustained
+//! events/sec plus client-side p50/p99/p999 latency — both human-readable and
+//! as a `BENCH_serve.json` [`RunArtifact`] that `soar history check` gates.
+//!
+//! Shape of a run:
+//!
+//! 1. every connection thread registers its share of the tenants (awaiting
+//!    each ack — registration is the one strictly-ordered step);
+//! 2. senders stream churn batches (one request per accumulated
+//!    [`ChurnStream`] epoch run, sized by `events_per_batch`), optionally
+//!    interleaving solves, while a receiver thread per connection correlates
+//!    responses by `req_id` and records end-to-end latency into
+//!    [`LatencyHistogram`]s;
+//! 3. **closed loop** (`rate == 0`): at most `window` requests in flight per
+//!    connection — throughput is whatever the server sustains. **Open loop**
+//!    (`rate > 0`): batches are injected on a wall-clock schedule regardless
+//!    of completions — an overloaded server then *sheds* (explicit
+//!    `Overloaded` responses) rather than queueing without bound, and the
+//!    report counts the sheds;
+//! 4. the harness fetches the server's [`MetricsSnapshot`] over a fresh
+//!    control connection and folds both sides into the report/artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_exp::spec::ExperimentKind;
+use soar_exp::{Chart, ExperimentSpec, RunArtifact, Series};
+use soar_multitenant::churn::{ChurnEvent, ChurnModel, ChurnStream};
+use soar_pool::hist::LatencyHistogram;
+use soar_serve::metrics::{LatencySummary, MetricsSnapshot};
+use soar_serve::protocol::{Request, RequestBody, ResponseBody};
+use soar_serve::server::{Client, ClientError};
+use soar_topology::builders;
+use soar_topology::load::LoadSpec;
+use soar_topology::Tree;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Loadtest knobs. `Default` is a small smoke-sized run; the CLI maps flags
+/// onto every field.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// The server to drive.
+    pub addr: SocketAddr,
+    /// Service tenants to register (spread round-robin over connections).
+    pub tenants: u64,
+    /// `BT(n)` size of every tenant's tree.
+    pub switches: u32,
+    /// Aggregation budget `k` of every tenant.
+    pub budget: u32,
+    /// Concurrent client connections (clamped to the tenant count).
+    pub connections: usize,
+    /// Closed-loop in-flight window per connection.
+    pub window: usize,
+    /// Minimum churn events per request batch (the churn model is sized to
+    /// emit roughly this many per epoch).
+    pub events_per_batch: usize,
+    /// Total churn batches across all connections.
+    pub batches: u64,
+    /// Interleave one `Solve` after every N churn batches per connection
+    /// (0 = never).
+    pub solve_every: u64,
+    /// Open-loop target in churn events/sec across the whole run
+    /// (0 = closed loop).
+    pub rate: f64,
+    /// Base seed; tenant `t`'s instance seed and churn stream derive from it.
+    pub seed: u64,
+    /// Send `Shutdown` when done (the CI smoke asserts the daemon then exits
+    /// cleanly).
+    pub shutdown: bool,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        LoadtestConfig {
+            addr: "127.0.0.1:7171".parse().unwrap(),
+            tenants: 32,
+            switches: 256,
+            budget: 8,
+            connections: 2,
+            window: 32,
+            events_per_batch: 100,
+            batches: 200,
+            solve_every: 8,
+            rate: 0.0,
+            seed: 1,
+            shutdown: false,
+        }
+    }
+}
+
+/// What one run measured. All latencies are client-side end-to-end
+/// (send → response decoded), which upper-bounds the server's own numbers.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Wall time of the churn-driving phase (registration excluded).
+    pub elapsed: Duration,
+    /// Churn events acknowledged as applied by the server.
+    pub events_applied: u64,
+    /// Churn batches sent.
+    pub batches_sent: u64,
+    /// Solves completed.
+    pub solves: u64,
+    /// Requests shed (`Overloaded` responses).
+    pub sheds: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Client-side churn-batch latency.
+    pub churn_latency: LatencySummary,
+    /// Client-side solve latency.
+    pub solve_latency: LatencySummary,
+    /// The server's own metrics snapshot, fetched at the end of the run.
+    pub server: MetricsSnapshot,
+}
+
+impl LoadtestReport {
+    /// Sustained applied-events throughput.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events_applied as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The same throughput inverted into a *lower-is-better* metric — this is
+    /// what the gated artifact chart carries, because the history gate treats
+    /// every tracked value as a cost.
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events_applied > 0 {
+            self.elapsed.as_nanos() as f64 / self.events_applied as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the human-readable summary block the CLI prints.
+    pub fn render(&self) -> String {
+        let lat = |s: &LatencySummary| {
+            format!(
+                "p50 {:>9.1} us   p99 {:>9.1} us   p999 {:>9.1} us   max {:>9.1} us   (n={})",
+                s.p50_us, s.p99_us, s.p999_us, s.max_us, s.count
+            )
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events applied   {:>12}   in {:.2?}\n",
+            self.events_applied, self.elapsed
+        ));
+        out.push_str(&format!(
+            "throughput       {:>12.0} events/sec   ({:.0} ns/event)\n",
+            self.events_per_sec(),
+            self.ns_per_event()
+        ));
+        out.push_str(&format!("churn latency    {}\n", lat(&self.churn_latency)));
+        if self.solve_latency.count > 0 {
+            out.push_str(&format!("solve latency    {}\n", lat(&self.solve_latency)));
+        }
+        out.push_str(&format!(
+            "batches {}   solves {}   sheds {}   errors {}\n",
+            self.batches_sent, self.solves, self.sheds, self.errors
+        ));
+        out.push_str(&format!(
+            "server: requests {}   events {}   sheds {}   errors {}   io_errors {}   \
+             cells_written {}   alloc_events {}   resident {}\n",
+            self.server.requests,
+            self.server.events_applied,
+            self.server.sheds(),
+            self.server.errors,
+            self.server.io_errors,
+            self.server.cells_written,
+            self.server.alloc_events,
+            self.server.resident_tenants
+        ));
+        out
+    }
+}
+
+/// A failed loadtest run.
+#[derive(Debug)]
+pub enum LoadtestError {
+    /// Transport/protocol failure against the server.
+    Client(ClientError),
+    /// The server answered a request with something structurally unexpected.
+    Protocol(String),
+}
+
+impl std::fmt::Display for LoadtestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadtestError::Client(e) => write!(f, "{e}"),
+            LoadtestError::Protocol(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadtestError {}
+
+impl From<ClientError> for LoadtestError {
+    fn from(e: ClientError) -> Self {
+        LoadtestError::Client(e)
+    }
+}
+
+impl From<std::io::Error> for LoadtestError {
+    fn from(e: std::io::Error) -> Self {
+        LoadtestError::Client(ClientError::from(e))
+    }
+}
+
+/// The churn model a loadtest tenant streams from: sized so one epoch emits
+/// roughly `events_per_batch` rate re-draws, with a slow trickle of
+/// intra-instance tenant arrivals and departures on top.
+fn batch_model(events_per_batch: usize) -> ChurnModel {
+    ChurnModel {
+        arrivals_per_epoch: 0.5,
+        mean_lifetime: 50.0,
+        rate_changes_per_epoch: events_per_batch.saturating_sub(1).max(1) as f64,
+        tenant_leaves: 4,
+        load: LoadSpec::paper_uniform(),
+        mixed_tenants: true,
+    }
+}
+
+/// The bookkeeping for one in-flight request: when it was sent and whether it
+/// was a solve (routes the latency sample to the right histogram).
+type Pending = HashMap<u64, (Instant, bool)>;
+
+/// Per-connection in-flight accounting: a condvar-guarded window for the
+/// closed loop plus the `req_id → (sent_at, is_solve)` correlation map.
+struct Window {
+    inflight: Mutex<(usize, Pending)>,
+    cv: Condvar,
+}
+
+impl Window {
+    fn new() -> Self {
+        Window {
+            inflight: Mutex::new((0, HashMap::new())),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Closed loop: block until a slot frees. Open loop (`cap == None`): just
+    /// book the request.
+    fn acquire(&self, req_id: u64, is_solve: bool, cap: Option<usize>) {
+        let mut guard = self.inflight.lock().unwrap();
+        if let Some(cap) = cap {
+            while guard.0 >= cap {
+                guard = self.cv.wait(guard).unwrap();
+            }
+        }
+        guard.0 += 1;
+        guard.1.insert(req_id, (Instant::now(), is_solve));
+    }
+
+    fn release(&self, req_id: u64) -> Option<(Instant, bool)> {
+        let mut guard = self.inflight.lock().unwrap();
+        let entry = guard.1.remove(&req_id);
+        if entry.is_some() {
+            guard.0 -= 1;
+            self.cv.notify_one();
+        }
+        entry
+    }
+}
+
+/// Shared tallies across every connection's receiver.
+#[derive(Default)]
+struct Tally {
+    events_applied: AtomicU64,
+    solves: AtomicU64,
+    sheds: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Effective connection count (never more connections than tenants).
+fn effective_connections(config: &LoadtestConfig) -> usize {
+    config.connections.min(config.tenants as usize).max(1)
+}
+
+/// Runs the loadtest to completion against an already-listening server.
+pub fn run(config: &LoadtestConfig) -> Result<LoadtestReport, LoadtestError> {
+    assert!(config.tenants > 0, "need at least one tenant");
+    assert!(config.connections > 0, "need at least one connection");
+    assert!(
+        config.rate > 0.0 || config.window > 0,
+        "closed loop needs a nonzero window"
+    );
+    let shape = builders::complete_binary_tree_bt(config.switches as usize);
+    let tally = Tally::default();
+    let churn_hist = LatencyHistogram::new();
+    let solve_hist = LatencyHistogram::new();
+    let conns = effective_connections(config);
+
+    let started = Instant::now();
+    let batches_sent = std::thread::scope(|scope| -> Result<u64, LoadtestError> {
+        let mut workers = Vec::new();
+        for conn_idx in 0..conns {
+            let my_tenants: Vec<u64> = (0..config.tenants)
+                .filter(|t| (*t as usize) % conns == conn_idx)
+                .collect();
+            let my_batches = config.batches / conns as u64
+                + u64::from((config.batches % conns as u64) > conn_idx as u64);
+            let (shape, tally) = (&shape, &tally);
+            let (churn_hist, solve_hist) = (&churn_hist, &solve_hist);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("loadtest-conn-{conn_idx}"))
+                    .spawn_scoped(scope, move || {
+                        drive_connection(
+                            config,
+                            shape,
+                            conn_idx,
+                            &my_tenants,
+                            my_batches,
+                            tally,
+                            churn_hist,
+                            solve_hist,
+                        )
+                    })
+                    .expect("spawn connection thread"),
+            );
+        }
+        let mut sent = 0u64;
+        for worker in workers {
+            sent += worker
+                .join()
+                .map_err(|_| LoadtestError::Protocol("connection thread panicked".into()))??;
+        }
+        Ok(sent)
+    })?;
+    let elapsed = started.elapsed();
+
+    // Control tail: fetch server metrics (and optionally shut the server
+    // down) on a fresh connection.
+    let mut control = Client::connect(&config.addr)?;
+    let resp = control.call(&Request {
+        req_id: u64::MAX,
+        body: RequestBody::Metrics,
+    })?;
+    let ResponseBody::MetricsReport { json } = resp.body else {
+        return Err(LoadtestError::Protocol(format!(
+            "expected MetricsReport, got {:?}",
+            resp.body
+        )));
+    };
+    let server: MetricsSnapshot = serde_json::from_str(&json)
+        .map_err(|e| LoadtestError::Protocol(format!("bad metrics JSON: {e}")))?;
+    if config.shutdown {
+        let resp = control.call(&Request {
+            req_id: u64::MAX,
+            body: RequestBody::Shutdown,
+        })?;
+        if resp.body != ResponseBody::ShuttingDown {
+            return Err(LoadtestError::Protocol(format!(
+                "expected ShuttingDown, got {:?}",
+                resp.body
+            )));
+        }
+    }
+
+    Ok(LoadtestReport {
+        elapsed,
+        events_applied: tally.events_applied.load(Ordering::Relaxed),
+        batches_sent,
+        solves: tally.solves.load(Ordering::Relaxed),
+        sheds: tally.sheds.load(Ordering::Relaxed),
+        errors: tally.errors.load(Ordering::Relaxed),
+        churn_latency: LatencySummary::of(&churn_hist),
+        solve_latency: LatencySummary::of(&solve_hist),
+        server,
+    })
+}
+
+/// One connection's whole lifecycle: register its tenants, pipeline churn
+/// (and interleaved solves) under the loop discipline, drain every response.
+/// Returns the churn batches it sent.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    config: &LoadtestConfig,
+    shape: &Tree,
+    conn_idx: usize,
+    tenants: &[u64],
+    batches: u64,
+    tally: &Tally,
+    churn_hist: &LatencyHistogram,
+    solve_hist: &LatencyHistogram,
+) -> Result<u64, LoadtestError> {
+    let mut client = Client::connect(&config.addr)?;
+
+    // Register this connection's tenants, strictly ordered (each ack awaited
+    // before the tenant is referenced).
+    for &tenant in tenants {
+        let resp = client.call(&Request {
+            req_id: tenant,
+            body: RequestBody::Register {
+                tenant,
+                switches: config.switches,
+                budget: config.budget,
+                seed: config.seed.wrapping_add(tenant),
+            },
+        })?;
+        match resp.body {
+            ResponseBody::Registered { .. } => {}
+            other => {
+                return Err(LoadtestError::Protocol(format!(
+                    "register of tenant {tenant} answered {other:?}"
+                )))
+            }
+        }
+    }
+    if batches == 0 {
+        return Ok(0);
+    }
+
+    // One churn stream per tenant, seeded off the tenant id.
+    let model = batch_model(config.events_per_batch);
+    let mut streams: Vec<ChurnStream<StdRng>> = tenants
+        .iter()
+        .map(|&t| {
+            ChurnStream::new(
+                model.clone(),
+                shape,
+                StdRng::seed_from_u64(config.seed.wrapping_add(t) ^ 0x5eed_cafe),
+            )
+        })
+        .collect();
+
+    // The receiver drains exactly as many correlated responses as the sender
+    // books — both sides derive the count from the same arithmetic, so
+    // termination needs no extra signalling.
+    let solves = batches.checked_div(config.solve_every).unwrap_or(0);
+    let expected = batches + solves;
+    let window = Window::new();
+    let (mut tx, mut rx) = client.split()?;
+
+    std::thread::scope(|scope| -> Result<u64, LoadtestError> {
+        let window = &window;
+        let receiver = std::thread::Builder::new()
+            .name(format!("loadtest-rx-{conn_idx}"))
+            .spawn_scoped(scope, move || -> Result<(), LoadtestError> {
+                let mut seen = 0u64;
+                while seen < expected {
+                    let Some(resp) = rx.recv()? else {
+                        return Err(LoadtestError::Protocol(
+                            "server closed the connection mid-run".into(),
+                        ));
+                    };
+                    let Some((sent_at, is_solve)) = window.release(resp.req_id) else {
+                        continue;
+                    };
+                    seen += 1;
+                    let nanos = sent_at.elapsed().as_nanos() as u64;
+                    if is_solve {
+                        solve_hist.record(nanos);
+                    } else {
+                        churn_hist.record(nanos);
+                    }
+                    match resp.body {
+                        ResponseBody::ChurnApplied { applied, .. } => {
+                            tally
+                                .events_applied
+                                .fetch_add(u64::from(applied), Ordering::Relaxed);
+                        }
+                        ResponseBody::Solved(_) => {
+                            tally.solves.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ResponseBody::Overloaded { .. } => {
+                            tally.sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ResponseBody::Error { .. } => {
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => {
+                            return Err(LoadtestError::Protocol(format!(
+                                "unexpected response {other:?}"
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            })
+            .expect("spawn receiver thread");
+
+        // Sender: closed loop honors the window; open loop paces on the wall
+        // clock, trusting the server to shed what it cannot absorb.
+        let cap = if config.rate > 0.0 {
+            None
+        } else {
+            Some(config.window)
+        };
+        let per_conn_rate = config.rate / effective_connections(config) as f64;
+        let batch_secs = if config.rate > 0.0 {
+            config.events_per_batch as f64 / per_conn_rate
+        } else {
+            0.0
+        };
+        let t0 = Instant::now();
+        let mut req_id = (1u64 << 32).wrapping_add((conn_idx as u64) << 24);
+        let mut sent = 0u64;
+        let mut events: Vec<ChurnEvent> = Vec::new();
+        for batch in 0..batches {
+            if config.rate > 0.0 {
+                let due = t0 + Duration::from_secs_f64(batch as f64 * batch_secs);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+            }
+            let slot = (batch as usize) % tenants.len();
+            let tenant = tenants[slot];
+            events.clear();
+            while events.len() < config.events_per_batch {
+                events.extend(streams[slot].next_epoch());
+            }
+            req_id += 1;
+            window.acquire(req_id, false, cap);
+            tx.send(&Request {
+                req_id,
+                body: RequestBody::Churn {
+                    tenant,
+                    events: events.clone(),
+                },
+            })?;
+            sent += 1;
+            if config.solve_every > 0 && (batch + 1) % config.solve_every == 0 {
+                req_id += 1;
+                window.acquire(req_id, true, cap);
+                tx.send(&Request {
+                    req_id,
+                    body: RequestBody::Solve { tenant },
+                })?;
+            }
+        }
+        receiver
+            .join()
+            .map_err(|_| LoadtestError::Protocol("receiver thread panicked".into()))??;
+        Ok(sent)
+    })
+}
+
+/// Builds the gated `BENCH_serve.json` artifact: latency and inverse
+/// throughput as *timing* charts (structural + relative-band comparison),
+/// sheds and errors as exact charts (any increase fails the gate).
+pub fn artifact(config: &LoadtestConfig, report: &LoadtestReport) -> RunArtifact {
+    let spec = ExperimentSpec::new(
+        "serve-bench",
+        "soar serve under loadtest churn",
+        1,
+        ExperimentKind::ServeBench {
+            tenants: config.tenants,
+            switches: config.switches,
+            budget: config.budget,
+            connections: effective_connections(config),
+            window: config.window,
+            events_per_batch: config.events_per_batch,
+            solve_every: config.solve_every,
+            batches: config.batches,
+            rate: config.rate,
+        },
+    );
+    let x = config.tenants as f64;
+
+    let mut latency = Chart::new(
+        "serve request latency",
+        "tenants",
+        "client-side latency [us]",
+    );
+    for (label, value) in [
+        ("churn p50", report.churn_latency.p50_us),
+        ("churn p99", report.churn_latency.p99_us),
+        ("churn p999", report.churn_latency.p999_us),
+        ("solve p50", report.solve_latency.p50_us),
+        ("solve p99", report.solve_latency.p99_us),
+        ("solve p999", report.solve_latency.p999_us),
+    ] {
+        let mut series = Series::new(label);
+        series.push(x, value);
+        latency.push(series);
+    }
+
+    let mut throughput = Chart::new("serve churn throughput", "tenants", "ns per applied event");
+    let mut series = Series::new("ns per event");
+    series.push(x, report.ns_per_event());
+    throughput.push(series);
+
+    let mut counters = Chart::new("serve failure counters", "tenants", "count");
+    for (label, value) in [
+        ("sheds", report.sheds as f64),
+        ("errors", report.errors as f64),
+        ("server io_errors", report.server.io_errors as f64),
+    ] {
+        let mut series = Series::new(label);
+        series.push(x, value);
+        counters.push(series);
+    }
+
+    RunArtifact::new(spec, vec![latency, throughput, counters], None)
+}

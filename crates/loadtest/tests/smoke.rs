@@ -1,0 +1,91 @@
+//! End-to-end smoke: an in-process server driven by a small closed-loop
+//! loadtest run, then a deliberately tiny-queue overload run that must shed
+//! instead of buffer.
+
+use soar_loadtest::{artifact, run, LoadtestConfig};
+use soar_serve::server::{start, ServeConfig};
+
+#[test]
+fn closed_loop_run_applies_events_cleanly() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let config = LoadtestConfig {
+        addr: handle.addr(),
+        tenants: 8,
+        switches: 64,
+        budget: 4,
+        connections: 2,
+        window: 8,
+        events_per_batch: 20,
+        batches: 40,
+        solve_every: 4,
+        shutdown: true,
+        ..LoadtestConfig::default()
+    };
+    let report = run(&config).unwrap();
+    let snap = handle.join();
+
+    assert_eq!(report.batches_sent, 40);
+    assert!(report.events_applied >= 40 * 20, "{report:?}");
+    assert_eq!(report.sheds, 0, "closed loop at low load must not shed");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.solves, 40 / 4);
+    assert!(report.events_per_sec() > 0.0);
+    assert!(report.churn_latency.count >= 40);
+    assert_eq!(snap.io_errors, 0);
+    assert_eq!(snap.errors, 0);
+    assert_eq!(snap.events_applied, report.events_applied);
+
+    // The artifact mirrors the report: 3 charts, finite timing values,
+    // zeroed failure counters.
+    let art = artifact(&config, &report);
+    assert_eq!(art.charts.len(), 3);
+    assert_eq!(art.spec.timing_chart_indices(), vec![0, 1]);
+    for series in &art.charts[2].series {
+        assert_eq!(series.points[0].1, 0.0, "{}", series.label);
+    }
+    assert!(art.charts[1].series[0].points[0].1.is_finite());
+}
+
+#[test]
+fn overloaded_open_loop_sheds_instead_of_buffering() {
+    let handle = start(ServeConfig {
+        queue_cap: 2,
+        tenant_inflight_cap: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let config = LoadtestConfig {
+        addr: handle.addr(),
+        tenants: 2,
+        switches: 512,
+        budget: 8,
+        connections: 1,
+        window: 1,
+        events_per_batch: 50,
+        batches: 64,
+        solve_every: 1,
+        rate: 1e9, // effectively "as fast as possible", open loop
+        shutdown: true,
+        ..LoadtestConfig::default()
+    };
+    let report = run(&config).unwrap();
+    let snap = handle.join();
+
+    assert!(
+        report.sheds > 0,
+        "open loop against cap 2 must shed: {report:?}"
+    );
+    assert_eq!(
+        report.sheds,
+        snap.sheds(),
+        "client and server shed counts agree"
+    );
+    // Shed batches may break churn-stream continuity (dropped TenantArrive →
+    // later TenantDepart errors), so errors are tolerated here — but the
+    // transport must stay healthy and work must still flow.
+    assert_eq!(snap.io_errors, 0);
+    assert!(
+        report.events_applied > 0,
+        "some batches still get through under overload"
+    );
+}

@@ -113,66 +113,8 @@ impl ChurnModel {
         epochs: usize,
         rng: &mut R,
     ) -> ChurnTimeline {
-        assert!(
-            self.mean_lifetime >= 1.0,
-            "mean_lifetime must be at least one epoch"
-        );
-        let depart_probability = 1.0 / self.mean_lifetime;
-        // The leaf set is collected once per timeline (not per event — a
-        // paper-scale run draws hundreds of events) and sampled exactly like
-        // `Tree::random_leaf` / `Tree::sample_leaves`, so seeded timelines are
-        // unchanged by the hoisting.
-        let leaf_pool: Vec<NodeId> = tree.leaves().collect();
-        let mut footprint = leaf_pool.clone();
-        let mut next_tenant: TenantId = 0;
-        let mut active: Vec<TenantId> = Vec::new();
-        let mut timeline = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
-            let mut epoch = Epoch::new();
-            // Departures first: a tenant never arrives and departs in one epoch.
-            let mut idx = 0;
-            while idx < active.len() {
-                if rng.random::<f64>() < depart_probability {
-                    epoch.push(ChurnEvent::TenantDepart {
-                        tenant: active.swap_remove(idx),
-                    });
-                } else {
-                    idx += 1;
-                }
-            }
-            for _ in 0..count(self.arrivals_per_epoch, rng) {
-                let spec = self.tenant_load_spec(rng);
-                // Partial Fisher-Yates over the reused pool copy — the same
-                // draw `Tree::sample_leaves` performs.
-                footprint.copy_from_slice(&leaf_pool);
-                let take = self.tenant_leaves.min(footprint.len());
-                for slot in 0..take {
-                    let pick = rng.random_range(slot..footprint.len());
-                    footprint.swap(slot, pick);
-                }
-                footprint[..take].sort_unstable();
-                let loads = footprint[..take]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &leaf)| (leaf, spec.sample(i, rng).max(1)))
-                    .collect();
-                epoch.push(ChurnEvent::TenantArrive {
-                    tenant: next_tenant,
-                    loads,
-                });
-                active.push(next_tenant);
-                next_tenant += 1;
-            }
-            for _ in 0..count(self.rate_changes_per_epoch, rng) {
-                let leaf = leaf_pool[rng.random_range(0..leaf_pool.len())];
-                epoch.push(ChurnEvent::LeafRateChange {
-                    leaf,
-                    load: self.load.sample(leaf, rng),
-                });
-            }
-            timeline.push(epoch);
-        }
-        timeline
+        let mut stream = ChurnStream::new(self.clone(), tree, rng);
+        (0..epochs).map(|_| stream.next_epoch()).collect()
     }
 
     /// The load distribution of one arriving tenant.
@@ -186,6 +128,108 @@ impl ChurnModel {
         } else {
             self.load.clone()
         }
+    }
+}
+
+/// An incremental churn generator: the lazy form of [`ChurnModel::generate`].
+///
+/// [`ChurnModel::generate`] materializes a whole timeline up front, which is
+/// right for experiment specs (bounded, serialized into artifacts) but wrong
+/// for a load generator that drives *millions* of events across thousands of
+/// tenants — there the stream keeps the arrival/departure bookkeeping (active
+/// tenant set, next tenant id) alive across draws and emits one epoch at a
+/// time in O(epoch) memory.
+///
+/// Draw-order compatible with `generate`: collecting `n` epochs from a fresh
+/// stream yields byte-identical events to `generate(tree, n, rng)` from the
+/// same RNG state (`generate` *is* this stream, collected — a golden-pinned
+/// guarantee, see `crates/exp` dynamic-churn goldens).
+#[derive(Debug, Clone)]
+pub struct ChurnStream<R> {
+    model: ChurnModel,
+    rng: R,
+    depart_probability: f64,
+    // The leaf set is collected once per stream (not per event — a
+    // paper-scale run draws hundreds of events) and sampled exactly like
+    // `Tree::random_leaf` / `Tree::sample_leaves`, so seeded timelines are
+    // unchanged by the hoisting.
+    leaf_pool: Vec<NodeId>,
+    footprint: Vec<NodeId>,
+    next_tenant: TenantId,
+    active: Vec<TenantId>,
+}
+
+impl<R: Rng> ChurnStream<R> {
+    /// A stream over `tree` owning its RNG. Panics if `model.mean_lifetime`
+    /// is below one epoch.
+    pub fn new(model: ChurnModel, tree: &Tree, rng: R) -> Self {
+        assert!(
+            model.mean_lifetime >= 1.0,
+            "mean_lifetime must be at least one epoch"
+        );
+        let leaf_pool: Vec<NodeId> = tree.leaves().collect();
+        ChurnStream {
+            depart_probability: 1.0 / model.mean_lifetime,
+            footprint: leaf_pool.clone(),
+            leaf_pool,
+            model,
+            rng,
+            next_tenant: 0,
+            active: Vec::new(),
+        }
+    }
+
+    /// Number of tenants currently active (arrived, not yet departed).
+    pub fn active_tenants(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Draws the next epoch's event batch.
+    pub fn next_epoch(&mut self) -> Epoch {
+        let rng = &mut self.rng;
+        let mut epoch = Epoch::new();
+        // Departures first: a tenant never arrives and departs in one epoch.
+        let mut idx = 0;
+        while idx < self.active.len() {
+            if rng.random::<f64>() < self.depart_probability {
+                epoch.push(ChurnEvent::TenantDepart {
+                    tenant: self.active.swap_remove(idx),
+                });
+            } else {
+                idx += 1;
+            }
+        }
+        for _ in 0..count(self.model.arrivals_per_epoch, rng) {
+            let spec = self.model.tenant_load_spec(rng);
+            // Partial Fisher-Yates over the reused pool copy — the same
+            // draw `Tree::sample_leaves` performs.
+            self.footprint.copy_from_slice(&self.leaf_pool);
+            let take = self.model.tenant_leaves.min(self.footprint.len());
+            for slot in 0..take {
+                let pick = rng.random_range(slot..self.footprint.len());
+                self.footprint.swap(slot, pick);
+            }
+            self.footprint[..take].sort_unstable();
+            let loads = self.footprint[..take]
+                .iter()
+                .enumerate()
+                .map(|(i, &leaf)| (leaf, spec.sample(i, rng).max(1)))
+                .collect();
+            epoch.push(ChurnEvent::TenantArrive {
+                tenant: self.next_tenant,
+                loads,
+            });
+            self.active.push(self.next_tenant);
+            self.next_tenant += 1;
+        }
+        for _ in 0..count(self.model.rate_changes_per_epoch, rng) {
+            let leaf = self.leaf_pool[rng.random_range(0..self.leaf_pool.len())];
+            epoch.push(ChurnEvent::LeafRateChange {
+                leaf,
+                load: self.model.load.sample(leaf, rng),
+            });
+        }
+        epoch
     }
 }
 
@@ -265,6 +309,26 @@ mod tests {
             if let ChurnEvent::TenantArrive { loads, .. } = event {
                 assert!(loads.iter().all(|&(_, load)| load == 3));
             }
+        }
+    }
+
+    #[test]
+    fn stream_matches_generate_draw_for_draw() {
+        let tree = builders::complete_binary_tree_bt(64);
+        let model = ChurnModel::paper_default();
+        let timeline = model.generate(&tree, 50, &mut StdRng::seed_from_u64(9));
+        let mut stream = ChurnStream::new(model, &tree, StdRng::seed_from_u64(9));
+        let mut active = 0usize;
+        for (i, epoch) in timeline.iter().enumerate() {
+            assert_eq!(&stream.next_epoch(), epoch, "epoch {i}");
+            for event in epoch {
+                match event {
+                    ChurnEvent::TenantArrive { .. } => active += 1,
+                    ChurnEvent::TenantDepart { .. } => active -= 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(stream.active_tenants(), active);
         }
     }
 

@@ -1,0 +1,293 @@
+//! A fixed-bucket latency histogram with an allocation-free record path.
+//!
+//! `soar serve` records one latency sample per request on its hot path, so the
+//! recorder must be wait-free-ish and must never allocate: [`LatencyHistogram`]
+//! pre-allocates a fixed array of atomic counters at construction and
+//! [`LatencyHistogram::record`] is a single index computation plus one relaxed
+//! atomic increment. Quantile queries walk the counters and are meant for
+//! metrics snapshots, not hot paths.
+//!
+//! The bucket layout is HDR-style logarithmic: values below
+//! [`SUB_BUCKETS`] are exact; above that, each power-of-two magnitude is split
+//! into [`SUB_BUCKETS`] equal sub-buckets, so the relative quantization error
+//! is bounded by `1 / SUB_BUCKETS` (6.25%) at any magnitude up to `u64::MAX`.
+//! Reported quantiles use the *upper edge* of the winning bucket and therefore
+//! never understate a latency.
+//!
+//! ```
+//! use soar_pool::hist::LatencyHistogram;
+//!
+//! let h = LatencyHistogram::new();
+//! for nanos in [120, 450, 450, 90_000, 2_000_000] {
+//!     h.record(nanos);
+//! }
+//! assert_eq!(h.len(), 5);
+//! assert!(h.quantile(0.5) >= 450);
+//! assert!(h.max() >= 2_000_000);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two magnitude; also the exact-value range floor.
+pub const SUB_BUCKETS: u64 = 16;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+
+/// Total bucket count: 16 exact small-value buckets plus 16 per magnitude for
+/// magnitudes 4..=63.
+const BUCKETS: usize = (SUB_BUCKETS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A concurrent fixed-bucket histogram of `u64` samples (typically
+/// nanoseconds). See the [module docs](self) for the bucket layout.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    total: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. Allocates its (fixed-size) counter array once, here.
+    pub fn new() -> Self {
+        // `[AtomicU64; N]` has no Copy-based array literal; build via a Vec and
+        // fix the size with a TryInto that cannot fail.
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let counts: Box<[AtomicU64; BUCKETS]> = counts.into_boxed_slice().try_into().unwrap();
+        LatencyHistogram {
+            counts,
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of a value. Values below [`SUB_BUCKETS`] are exact; above,
+    /// the top [`SUB_BITS`]+1 significant bits select the bucket.
+    #[inline]
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS
+        let sub = (value >> (magnitude - SUB_BITS)) & (SUB_BUCKETS - 1);
+        ((magnitude - SUB_BITS + 1) as u64 * SUB_BUCKETS + sub) as usize
+    }
+
+    /// Upper edge (inclusive) of a bucket: the largest value mapping to it.
+    fn upper_edge(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return index;
+        }
+        let magnitude = index / SUB_BUCKETS - 1 + SUB_BITS as u64;
+        let sub = index % SUB_BUCKETS;
+        let base = 1u64 << magnitude;
+        let width = 1u64 << (magnitude - SUB_BITS as u64);
+        // base + (sub+1)*width - 1; the topmost bucket's exclusive end is
+        // 2^64, so a checked add that overflows means "up to u64::MAX".
+        match base.checked_add((sub + 1) * width) {
+            Some(end) => end - 1,
+            None => u64::MAX,
+        }
+    }
+
+    /// Records one sample. Allocation-free: one index computation and two
+    /// relaxed atomic updates (three when the running maximum advances).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[Self::index(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Whether no samples were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound off by at most
+    /// `1/`[`SUB_BUCKETS`] relative error. Returns 0 for an empty histogram.
+    ///
+    /// A concurrent recorder may move the answer; snapshots taken while
+    /// recording are approximate in count but never off in bucket placement.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.len();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the q-quantile, 1-based, clamped into [1, total].
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::upper_edge(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every bucket of `other` into `self` (used to fold per-connection
+    /// client histograms into one report).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The common service percentiles `(p50, p99, p999)`.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p50, p99, p999) = self.percentiles();
+        f.debug_struct("LatencyHistogram")
+            .field("len", &self.len())
+            .field("p50", &p50)
+            .field("p99", &p99)
+            .field("p999", &p999)
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact quantile from a sorted sample vector, same rank convention as
+    /// [`LatencyHistogram::quantile`].
+    fn oracle(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// A cheap deterministic PRNG (xorshift*) so the test needs no rand dep.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS {
+            let q = (v + 1) as f64 / SUB_BUCKETS as f64;
+            assert_eq!(h.quantile(q), v, "q={q}");
+        }
+        assert_eq!(h.len(), SUB_BUCKETS);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantiles_match_sorted_vector_oracle_within_bucket_resolution() {
+        // Samples spanning six orders of magnitude, heavy-tailed like real
+        // service latencies: mostly ~1us with a tail into tens of ms.
+        let mut rng = XorShift(0x5EED_0001);
+        let h = LatencyHistogram::new();
+        let mut samples = Vec::new();
+        for _ in 0..100_000 {
+            let r = rng.next();
+            let v = match r % 100 {
+                0..=89 => 500 + r % 2_000,       // bulk: 0.5–2.5 us
+                90..=98 => 20_000 + r % 200_000, // slow: 20–220 us
+                _ => 5_000_000 + r % 50_000_000, // tail: 5–55 ms
+            };
+            h.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for &q in &[0.5, 0.9, 0.99, 0.999, 1.0] {
+            let want = oracle(&samples, q);
+            let got = h.quantile(q);
+            // Upper-edge reporting: got >= exact, within one sub-bucket above.
+            assert!(got >= want, "q={q}: got {got} < oracle {want}");
+            let bound = want + want / SUB_BUCKETS + 1;
+            assert!(got <= bound, "q={q}: got {got} > bound {bound}");
+        }
+        assert_eq!(h.len(), samples.len() as u64);
+        assert_eq!(h.max(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut rng = XorShift(42);
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let whole = LatencyHistogram::new();
+        for i in 0..10_000 {
+            let v = rng.next() % 1_000_000;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), whole.len());
+        assert_eq!(a.max(), whole.max());
+        for &q in &[0.25, 0.5, 0.75, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn extreme_magnitudes_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        h.record(0);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.01), 0);
+    }
+}

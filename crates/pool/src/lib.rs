@@ -48,6 +48,8 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

@@ -1,0 +1,183 @@
+//! Server-side counters and latency histograms, snapshotted on demand.
+//!
+//! Every counter is a relaxed atomic and both histograms are
+//! [`LatencyHistogram`]s, so the request hot path records metrics without
+//! locks or allocation. A [`MetricsSnapshot`] is the serde-friendly frozen
+//! view that travels in a [`MetricsReport`](crate::protocol::ResponseBody::MetricsReport)
+//! response; `soar-loadtest` folds it into the `BENCH_serve.json` artifact
+//! that `soar history check` gates.
+
+use serde::{Deserialize, Serialize};
+use soar_pool::hist::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live server metrics. One instance per server, shared by every thread.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub accepted_conns: AtomicU64,
+    /// Well-framed requests read off the wire.
+    pub requests: AtomicU64,
+    /// Responses written (including sheds and errors).
+    pub responses: AtomicU64,
+    /// Churn events applied across all tenants.
+    pub events_applied: AtomicU64,
+    /// Completed solves.
+    pub solves: AtomicU64,
+    /// Completed sweeps.
+    pub sweeps: AtomicU64,
+    /// Tenants registered.
+    pub registers: AtomicU64,
+    /// Tenants evicted.
+    pub evictions: AtomicU64,
+    /// Requests shed because the global queue was full.
+    pub shed_global: AtomicU64,
+    /// Requests shed at the per-tenant in-flight cap.
+    pub shed_tenant: AtomicU64,
+    /// Requests answered with a protocol/semantic error.
+    pub errors: AtomicU64,
+    /// Response writes that failed (peer gone mid-flight).
+    pub io_errors: AtomicU64,
+    /// DP cells written by solves/sweeps (`SolverWorkspace::last_cells_written`).
+    pub cells_written: AtomicU64,
+    /// Workspace heap allocation events — stays at the warm-up floor when the
+    /// per-thread workspaces actually run allocation-free.
+    pub alloc_events: AtomicU64,
+    /// Queue-wait + service latency of churn batches, in nanoseconds.
+    pub churn_latency: LatencyHistogram,
+    /// Queue-wait + service latency of solves/sweeps, in nanoseconds.
+    pub solve_latency: LatencyHistogram,
+}
+
+/// Bumps a counter by `n` (relaxed; metrics tolerate torn cross-counter reads).
+#[inline]
+pub(crate) fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+impl ServeMetrics {
+    /// Freezes the current values. `queue_depth` and `resident_tenants` are
+    /// gauges owned by the server proper and passed in.
+    pub fn snapshot(&self, queue_depth: usize, resident_tenants: usize) -> MetricsSnapshot {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            accepted_conns: c(&self.accepted_conns),
+            requests: c(&self.requests),
+            responses: c(&self.responses),
+            events_applied: c(&self.events_applied),
+            solves: c(&self.solves),
+            sweeps: c(&self.sweeps),
+            registers: c(&self.registers),
+            evictions: c(&self.evictions),
+            shed_global: c(&self.shed_global),
+            shed_tenant: c(&self.shed_tenant),
+            errors: c(&self.errors),
+            io_errors: c(&self.io_errors),
+            cells_written: c(&self.cells_written),
+            alloc_events: c(&self.alloc_events),
+            queue_depth,
+            resident_tenants,
+            churn_latency: LatencySummary::of(&self.churn_latency),
+            solve_latency: LatencySummary::of(&self.solve_latency),
+        }
+    }
+}
+
+/// The frozen, serializable form of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Connections accepted.
+    pub accepted_conns: u64,
+    /// Requests read.
+    pub requests: u64,
+    /// Responses written.
+    pub responses: u64,
+    /// Churn events applied.
+    pub events_applied: u64,
+    /// Solves completed.
+    pub solves: u64,
+    /// Sweeps completed.
+    pub sweeps: u64,
+    /// Tenants registered.
+    pub registers: u64,
+    /// Tenants evicted.
+    pub evictions: u64,
+    /// Global-queue sheds.
+    pub shed_global: u64,
+    /// Per-tenant in-flight sheds.
+    pub shed_tenant: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Failed response writes.
+    pub io_errors: u64,
+    /// DP cells written.
+    pub cells_written: u64,
+    /// Workspace allocation events.
+    pub alloc_events: u64,
+    /// Global queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Resident tenants at snapshot time.
+    pub resident_tenants: usize,
+    /// Churn-batch latency percentiles.
+    pub churn_latency: LatencySummary,
+    /// Solve/sweep latency percentiles.
+    pub solve_latency: LatencySummary,
+}
+
+impl MetricsSnapshot {
+    /// Total sheds, both scopes.
+    pub fn sheds(&self) -> u64 {
+        self.shed_global + self.shed_tenant
+    }
+}
+
+/// p50/p99/p999 percentiles of one histogram, in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: f64,
+    /// Largest sample, microseconds.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a nanosecond histogram into microsecond percentiles.
+    pub fn of(hist: &LatencyHistogram) -> Self {
+        let (p50, p99, p999) = hist.percentiles();
+        LatencySummary {
+            count: hist.len(),
+            p50_us: p50 as f64 / 1e3,
+            p99_us: p99 as f64 / 1e3,
+            p999_us: p999 as f64 / 1e3,
+            max_us: hist.max() as f64 / 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = ServeMetrics::default();
+        add(&m.requests, 5);
+        add(&m.events_applied, 1000);
+        m.churn_latency.record(1_500);
+        m.churn_latency.record(2_000_000);
+        let snap = m.snapshot(3, 42);
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.resident_tenants, 42);
+        assert_eq!(snap.churn_latency.count, 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,1150 @@
+//! The daemon: resident tenants, a bounded request queue, and a dispatcher
+//! that batches work across tenants onto the global `soar-pool`.
+//!
+//! # Threading model
+//!
+//! ```text
+//!  acceptor ──► one reader thread per connection
+//!                  │  decode + admission control (shed here, never buffer)
+//!                  ▼
+//!            bounded global queue  ──►  dispatcher thread
+//!                                         │  drain a batch, group by tenant
+//!                                         ▼
+//!                                  soar_pool::global().scope(..)
+//!                                    one job per tenant in the batch,
+//!                                    each solving on its worker's
+//!                                    persistent warm SolverWorkspace
+//! ```
+//!
+//! Per-tenant state is one [`DynamicInstance`] behind a mutex — cheap enough
+//! to keep thousands resident. Solver state is **not** per tenant: all
+//! instances of one shape share the per-thread warm workspaces
+//! ([`with_thread_workspace`]), so a solve is a warm, allocation-free full
+//! gather regardless of which tenant it serves.
+//!
+//! # Admission control
+//!
+//! The reader thread sheds *before* queueing: a full global queue or a tenant
+//! already at its in-flight cap answers [`ResponseBody::Overloaded`]
+//! immediately. Memory is therefore bounded by
+//! `queue_cap × largest frame` regardless of offered load — an overloaded
+//! server degrades to fast explicit rejections, not to an unbounded buffer.
+//!
+//! Ordering: requests of one tenant on one connection execute in send order.
+//! Cross-tenant order is unspecified (that's where the parallelism is).
+//! `Register`/`Evict` act as batch-wide barriers so a register is visible to
+//! every later request in the stream that named the tenant.
+
+use crate::metrics::{add, MetricsSnapshot, ServeMetrics};
+use crate::protocol::{
+    DecodeError, ErrorCode, Request, RequestBody, Response, ResponseBody, ShedScope, SolveOutcome,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soar_core::workspace::with_thread_workspace;
+use soar_dataplane::framing::{self, FramingError};
+use soar_online::{DynamicInstance, OnlineError};
+use soar_topology::builders;
+use soar_topology::load::LoadSpec;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tunables. The defaults suit a localhost loadtest; the CLI exposes
+/// each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port; see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Global queue bound: requests beyond it are shed.
+    pub queue_cap: usize,
+    /// Per-tenant in-flight bound: queued-but-unfinished requests of one
+    /// tenant beyond it are shed.
+    pub tenant_inflight_cap: usize,
+    /// Resident-tenant bound: registers beyond it fail with `Capacity`.
+    pub max_tenants: usize,
+    /// Largest accepted wire frame.
+    pub max_frame_len: usize,
+    /// Most requests the dispatcher drains into one batch.
+    pub batch_cap: usize,
+    /// Largest `BT(n)` parameter a register may ask for.
+    pub max_switches: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_cap: 1024,
+            tenant_inflight_cap: 64,
+            max_tenants: 65_536,
+            max_frame_len: framing::MAX_FRAME_LEN,
+            batch_cap: 128,
+            max_switches: 1 << 20,
+        }
+    }
+}
+
+/// One resident tenant: its dynamic instance plus the admission gauge.
+struct TenantEntry {
+    state: Mutex<DynamicInstance>,
+    inflight: AtomicUsize,
+}
+
+/// One accepted connection. Responses from any thread serialize on `writer`;
+/// `reader` is the same socket, kept for targeted shutdown.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    peer_gone: AtomicBool,
+}
+
+impl Conn {
+    /// Encodes and writes one response frame (single `write_all`, so frames
+    /// from concurrent completions never interleave).
+    fn send(&self, shared: &Shared, resp: &Response) {
+        let mut frame = Vec::with_capacity(64);
+        frame.extend_from_slice(&[0; framing::LEN_PREFIX_BYTES]);
+        resp.encode(&mut frame);
+        let len = (frame.len() - framing::LEN_PREFIX_BYTES) as u32;
+        frame[..framing::LEN_PREFIX_BYTES].copy_from_slice(&len.to_be_bytes());
+        let mut w = self.writer.lock().unwrap();
+        if w.write_all(&frame).is_err() {
+            // Peer went away mid-flight: remember it so the reader stops, but
+            // keep serving everyone else.
+            self.peer_gone.store(true, Ordering::Relaxed);
+            add(&shared.metrics.io_errors, 1);
+        } else {
+            add(&shared.metrics.responses, 1);
+        }
+    }
+}
+
+/// One queued request.
+struct Work {
+    conn: Arc<Conn>,
+    req_id: u64,
+    body: RequestBody,
+    /// The tenant entry resolved at admission (for the in-flight gauge); the
+    /// dispatcher re-resolves by id so eviction ordering stays strict.
+    gauge: Option<Arc<TenantEntry>>,
+    enqueued: Instant,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    config: ServeConfig,
+    tenants: RwLock<HashMap<u64, Arc<TenantEntry>>>,
+    queue: Mutex<VecDeque<Work>>,
+    queue_cv: Condvar,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<Weak<TcpStream>>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let depth = self.queue.lock().unwrap().len();
+        let resident = self.tenants.read().unwrap().len();
+        self.metrics.snapshot(depth, resident)
+    }
+
+    /// Flips the shutdown flag and unblocks every thread: the dispatcher via
+    /// the condvar, the readers by closing their sockets, the acceptor by a
+    /// self-connection.
+    fn begin_shutdown(&self, addr: SocketAddr) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue_cv.notify_all();
+        for stream in self.conns.lock().unwrap().iter().filter_map(Weak::upgrade) {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        // Wake the blocking `accept` — the acceptor sees the flag and exits.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] (or send a `Shutdown` request) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    dispatcher: JoinHandle<()>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (the resolved port when the config asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown: stop accepting, drain the queue, answer
+    /// everything already admitted.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown(self.addr);
+    }
+
+    /// Waits for every server thread to exit and returns the final metrics.
+    /// Call [`Self::shutdown`] first (or have a client send `Shutdown`).
+    pub fn join(self) -> MetricsSnapshot {
+        let _ = self.acceptor.join();
+        let _ = self.dispatcher.join();
+        // Readers exit once their sockets close; new ones cannot appear after
+        // the acceptor is gone.
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for r in readers {
+            let _ = r.join();
+        }
+        self.shared.snapshot()
+    }
+
+    /// The live metrics, snapshotted now.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+}
+
+/// Binds and starts the server threads. Returns once the listener is live.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        config,
+        tenants: RwLock::new(HashMap::new()),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        metrics: ServeMetrics::default(),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+        next_conn: AtomicU64::new(0),
+    });
+    let readers = Arc::new(Mutex::new(Vec::new()));
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("soar-serve-dispatch".into())
+            .spawn(move || dispatch_loop(&shared))?
+    };
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let readers = Arc::clone(&readers);
+        std::thread::Builder::new()
+            .name("soar-serve-accept".into())
+            .spawn(move || accept_loop(listener, addr, &shared, &readers))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor,
+        dispatcher,
+        readers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        add(&shared.metrics.accepted_conns, 1);
+        let read_half = match stream.try_clone() {
+            Ok(s) => Arc::new(s),
+            Err(_) => continue,
+        };
+        shared
+            .conns
+            .lock()
+            .unwrap()
+            .push(Arc::downgrade(&read_half));
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(stream),
+            peer_gone: AtomicBool::new(false),
+        });
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("soar-serve-conn-{id}"))
+            .spawn(move || reader_loop(&read_half, &conn, &shared, addr));
+        if let Ok(handle) = handle {
+            readers.lock().unwrap().push(handle);
+        }
+    }
+}
+
+fn reader_loop(stream: &TcpStream, conn: &Arc<Conn>, shared: &Arc<Shared>, addr: SocketAddr) {
+    let mut stream = stream;
+    let mut buf = Vec::new();
+    loop {
+        if conn.peer_gone.load(Ordering::Relaxed) {
+            break;
+        }
+        match framing::read_frame(&mut stream, &mut buf, shared.config.max_frame_len) {
+            Ok(false) => break, // clean disconnect
+            Ok(true) => {
+                add(&shared.metrics.requests, 1);
+                match Request::decode(&buf) {
+                    Ok(req) => handle_request(conn, shared, addr, req),
+                    Err(e) => {
+                        // A desynced stream cannot be trusted further: answer
+                        // once (best effort, req_id 0) and drop the peer.
+                        add(&shared.metrics.errors, 1);
+                        conn.send(
+                            shared,
+                            &Response {
+                                req_id: 0,
+                                body: ResponseBody::Error {
+                                    code: ErrorCode::BadRequest,
+                                    message: format!("malformed request: {e}"),
+                                },
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
+            Err(FramingError::Oversized { declared, max }) => {
+                add(&shared.metrics.errors, 1);
+                conn.send(
+                    shared,
+                    &Response {
+                        req_id: 0,
+                        body: ResponseBody::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!("frame of {declared} bytes exceeds cap {max}"),
+                        },
+                    },
+                );
+                break;
+            }
+            // Truncation/IO mid-stream: the peer died or we are shutting down.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Decode succeeded — apply admission control and queue (or answer inline).
+fn handle_request(conn: &Arc<Conn>, shared: &Arc<Shared>, addr: SocketAddr, req: Request) {
+    let Request { req_id, body } = req;
+    match &body {
+        // Metrics are read-only and answered from the reader thread — they
+        // must work *especially* when the queue is jammed.
+        RequestBody::Metrics => {
+            let json = serde_json::to_string(&shared.snapshot()).expect("snapshot serializes");
+            conn.send(
+                shared,
+                &Response {
+                    req_id,
+                    body: ResponseBody::MetricsReport { json },
+                },
+            );
+            return;
+        }
+        RequestBody::Shutdown => {
+            conn.send(
+                shared,
+                &Response {
+                    req_id,
+                    body: ResponseBody::ShuttingDown,
+                },
+            );
+            shared.begin_shutdown(addr);
+            return;
+        }
+        _ => {}
+    }
+
+    if shared.shutdown.load(Ordering::SeqCst) {
+        add(&shared.metrics.errors, 1);
+        conn.send(
+            shared,
+            &Response {
+                req_id,
+                body: ResponseBody::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining".to_owned(),
+                },
+            },
+        );
+        return;
+    }
+
+    // Tenant-targeted requests: resolve the entry for the in-flight gauge.
+    let tenant = body.tenant().expect("non-tenant requests handled above");
+    let gauge = shared.tenants.read().unwrap().get(&tenant).cloned();
+    let is_register = matches!(body, RequestBody::Register { .. });
+    if gauge.is_none() && !is_register {
+        add(&shared.metrics.errors, 1);
+        conn.send(
+            shared,
+            &Response {
+                req_id,
+                body: ResponseBody::Error {
+                    code: ErrorCode::UnknownTenant,
+                    message: format!("tenant {tenant} is not resident"),
+                },
+            },
+        );
+        return;
+    }
+    if let Some(entry) = &gauge {
+        if entry.inflight.load(Ordering::Relaxed) >= shared.config.tenant_inflight_cap {
+            add(&shared.metrics.shed_tenant, 1);
+            conn.send(
+                shared,
+                &Response {
+                    req_id,
+                    body: ResponseBody::Overloaded {
+                        scope: ShedScope::TenantInflight,
+                    },
+                },
+            );
+            return;
+        }
+    }
+
+    let work = Work {
+        conn: Arc::clone(conn),
+        req_id,
+        body,
+        gauge,
+        enqueued: Instant::now(),
+    };
+    {
+        let mut queue = shared.queue.lock().unwrap();
+        // Re-checked under the queue lock: the dispatcher's exit check
+        // (queue empty && shutdown) also runs under it, so a request can
+        // never slip into a queue nobody will drain.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
+            add(&shared.metrics.errors, 1);
+            conn.send(
+                shared,
+                &Response {
+                    req_id: work.req_id,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".to_owned(),
+                    },
+                },
+            );
+            return;
+        }
+        if queue.len() >= shared.config.queue_cap {
+            drop(queue);
+            add(&shared.metrics.shed_global, 1);
+            conn.send(
+                shared,
+                &Response {
+                    req_id: work.req_id,
+                    body: ResponseBody::Overloaded {
+                        scope: ShedScope::GlobalQueue,
+                    },
+                },
+            );
+            return;
+        }
+        if let Some(entry) = &work.gauge {
+            entry.inflight.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push_back(work);
+    }
+    shared.queue_cv.notify_one();
+}
+
+/// `Register`/`Evict` mutate the tenant map and order against *every* tenant's
+/// stream, so they split a batch into independently-parallel segments.
+fn is_barrier(work: &Work) -> bool {
+    matches!(
+        work.body,
+        RequestBody::Register { .. } | RequestBody::Evict { .. }
+    )
+}
+
+fn dispatch_loop(shared: &Arc<Shared>) {
+    let pool = soar_pool::global();
+    loop {
+        let mut batch: VecDeque<Work> = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // drained and draining stopped: done
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+            let take = queue.len().min(shared.config.batch_cap);
+            queue.drain(..take).collect()
+        };
+
+        while let Some(work) = batch.pop_front() {
+            if is_barrier(&work) {
+                process_barrier(shared, work);
+                continue;
+            }
+            // Collect the run of non-barrier requests, grouped by tenant in
+            // arrival order, and fan the groups out across the pool. Each
+            // group runs on one worker, keeping per-tenant FIFO order.
+            let mut order: Vec<u64> = Vec::new();
+            let mut groups: HashMap<u64, Vec<Work>> = HashMap::new();
+            let mut push = |w: Work| {
+                let tenant = w.body.tenant().expect("barriers filtered");
+                groups.entry(tenant).or_insert_with(|| {
+                    order.push(tenant);
+                    Vec::new()
+                });
+                groups.get_mut(&tenant).unwrap().push(w);
+            };
+            push(work);
+            while batch.front().is_some_and(|w| !is_barrier(w)) {
+                push(batch.pop_front().unwrap());
+            }
+            pool.scope(|s| {
+                for tenant in order.drain(..) {
+                    let run = groups.remove(&tenant).unwrap();
+                    s.spawn(move || {
+                        for w in run {
+                            process_tenant_work(shared, w);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Maps an [`OnlineError`] from a churn apply onto the wire error codes.
+fn online_error(e: &OnlineError) -> ErrorCode {
+    match e {
+        OnlineError::UnknownSwitch(_) | OnlineError::NotALeaf(_) => ErrorCode::BadSwitch,
+        OnlineError::DuplicateTenant(_) => ErrorCode::DuplicateTenant,
+        OnlineError::UnknownTenant(_) => ErrorCode::UnknownTenant,
+    }
+}
+
+fn process_barrier(shared: &Arc<Shared>, work: Work) {
+    let Work {
+        conn,
+        req_id,
+        body,
+        gauge,
+        enqueued,
+    } = work;
+    let respond = |body: ResponseBody| conn.send(shared, &Response { req_id, body });
+    match body {
+        RequestBody::Register {
+            tenant,
+            switches,
+            budget,
+            seed,
+        } => {
+            let fail = |message: String, code| {
+                add(&shared.metrics.errors, 1);
+                conn.send(
+                    shared,
+                    &Response {
+                        req_id,
+                        body: ResponseBody::Error { code, message },
+                    },
+                );
+            };
+            if switches == 0 || switches > shared.config.max_switches {
+                fail(
+                    format!(
+                        "switches {} outside 1..={}",
+                        switches, shared.config.max_switches
+                    ),
+                    ErrorCode::BadRequest,
+                );
+            } else if shared.tenants.read().unwrap().len() >= shared.config.max_tenants {
+                fail(
+                    format!("resident-tenant cap {} reached", shared.config.max_tenants),
+                    ErrorCode::Capacity,
+                );
+            } else {
+                // Deterministic build: BT(switches) with seeded paper-uniform
+                // leaf loads — the contract the offline-replay tests lean on.
+                let instance = build_tenant(switches, budget, seed);
+                let n_switches = instance.n_switches() as u32;
+                let entry = Arc::new(TenantEntry {
+                    state: Mutex::new(instance),
+                    inflight: AtomicUsize::new(0),
+                });
+                use std::collections::hash_map::Entry;
+                match shared.tenants.write().unwrap().entry(tenant) {
+                    Entry::Occupied(_) => fail(
+                        format!("tenant {tenant} is already resident"),
+                        ErrorCode::DuplicateTenant,
+                    ),
+                    Entry::Vacant(v) => {
+                        v.insert(entry);
+                        add(&shared.metrics.registers, 1);
+                        respond(ResponseBody::Registered { tenant, n_switches });
+                    }
+                }
+            }
+        }
+        RequestBody::Evict { tenant } => {
+            if shared.tenants.write().unwrap().remove(&tenant).is_some() {
+                add(&shared.metrics.evictions, 1);
+                respond(ResponseBody::Evicted { tenant });
+            } else {
+                add(&shared.metrics.errors, 1);
+                respond(ResponseBody::Error {
+                    code: ErrorCode::UnknownTenant,
+                    message: format!("tenant {tenant} is not resident"),
+                });
+            }
+        }
+        _ => unreachable!("only Register/Evict are barriers"),
+    }
+    shared
+        .metrics
+        .churn_latency
+        .record(enqueued.elapsed().as_nanos() as u64);
+    if let Some(entry) = gauge {
+        entry.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The deterministic tenant constructor shared (by contract) with offline
+/// replays: `BT(switches)` + paper-uniform loads from `seed`, wrapped at
+/// `budget`.
+pub fn build_tenant(switches: u32, budget: u32, seed: u64) -> DynamicInstance {
+    let mut tree = builders::complete_binary_tree_bt(switches as usize);
+    tree.apply_leaf_loads(&LoadSpec::paper_uniform(), &mut StdRng::seed_from_u64(seed));
+    DynamicInstance::new(&tree, budget as usize)
+}
+
+fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
+    let Work {
+        conn,
+        req_id,
+        body,
+        gauge,
+        enqueued,
+    } = work;
+    let tenant = body.tenant().expect("tenant work");
+    let respond = |body: ResponseBody| conn.send(shared, &Response { req_id, body });
+    // Re-resolve: a same-batch evict (barrier) may have removed the tenant
+    // after admission.
+    let entry = shared.tenants.read().unwrap().get(&tenant).cloned();
+    let Some(entry) = entry else {
+        add(&shared.metrics.errors, 1);
+        respond(ResponseBody::Error {
+            code: ErrorCode::UnknownTenant,
+            message: format!("tenant {tenant} is not resident"),
+        });
+        if let Some(g) = gauge {
+            g.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+        return;
+    };
+
+    match body {
+        RequestBody::Churn { events, .. } => {
+            let mut state = entry.state.lock().unwrap();
+            let mut applied = 0u32;
+            let mut failed: Option<OnlineError> = None;
+            for event in &events {
+                // A budget change re-shapes the DP tables; allow it — the next
+                // solve simply pays a fresh table layout.
+                match state.apply(event) {
+                    Ok(()) => applied += 1,
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(state);
+            add(&shared.metrics.events_applied, u64::from(applied));
+            match failed {
+                None => respond(ResponseBody::ChurnApplied { tenant, applied }),
+                Some(e) => {
+                    add(&shared.metrics.errors, 1);
+                    respond(ResponseBody::Error {
+                        code: online_error(&e),
+                        message: format!("event {applied} failed: {e}"),
+                    });
+                }
+            }
+            shared
+                .metrics
+                .churn_latency
+                .record(enqueued.elapsed().as_nanos() as u64);
+        }
+        RequestBody::Solve { .. } => {
+            let state = entry.state.lock().unwrap();
+            let outcome = with_thread_workspace(|ws| {
+                let t0 = Instant::now();
+                ws.gather_auto(state.tree(), state.budget());
+                let (cost, _) = ws.trace_best(state.tree());
+                SolveOutcome {
+                    tenant,
+                    cost,
+                    all_red_cost: ws.tables().optimum_with_exactly(0),
+                    blue_used: ws.coloring().n_blue() as u32,
+                    cells_written: ws.last_cells_written() as u64,
+                    alloc_events: ws.last_alloc_events() as u64,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                }
+            });
+            drop(state);
+            add(&shared.metrics.solves, 1);
+            add(&shared.metrics.cells_written, outcome.cells_written);
+            add(&shared.metrics.alloc_events, outcome.alloc_events);
+            respond(ResponseBody::Solved(outcome));
+            shared
+                .metrics
+                .solve_latency
+                .record(enqueued.elapsed().as_nanos() as u64);
+        }
+        RequestBody::Sweep { budgets, .. } => {
+            let state = entry.state.lock().unwrap();
+            let kmax = budgets.iter().copied().max().unwrap_or(0) as usize;
+            let (costs, cells, allocs) = with_thread_workspace(|ws| {
+                // One gather at the largest budget serves every requested k:
+                // the optimum at budget k is the running minimum of
+                // X_r(1, i) over i ≤ k (the sweep identity from soar-core).
+                ws.gather_auto(state.tree(), kmax);
+                let mut best = f64::INFINITY;
+                let mut by_exact = vec![f64::INFINITY; kmax + 1];
+                for (i, slot) in by_exact.iter_mut().enumerate() {
+                    best = best.min(ws.tables().optimum_with_exactly(i));
+                    *slot = best;
+                }
+                let costs: Vec<(u32, f64)> = budgets
+                    .iter()
+                    .map(|&k| (k, by_exact[(k as usize).min(kmax)]))
+                    .collect();
+                (
+                    costs,
+                    ws.last_cells_written() as u64,
+                    ws.last_alloc_events() as u64,
+                )
+            });
+            drop(state);
+            add(&shared.metrics.sweeps, 1);
+            add(&shared.metrics.cells_written, cells);
+            add(&shared.metrics.alloc_events, allocs);
+            respond(ResponseBody::SweepResult { tenant, costs });
+            shared
+                .metrics
+                .solve_latency
+                .record(enqueued.elapsed().as_nanos() as u64);
+        }
+        RequestBody::Register { .. }
+        | RequestBody::Evict { .. }
+        | RequestBody::Metrics
+        | RequestBody::Shutdown => {
+            unreachable!("handled as barriers / inline")
+        }
+    }
+
+    if let Some(g) = gauge {
+        g.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A blocking single-connection client — the shared building block of the
+/// CLI, the loadtest harness, and the tests. Supports pipelining: `send` and
+/// `recv` may be driven from two threads via [`Client::split`].
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: &SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            max_frame_len: framing::MAX_FRAME_LEN,
+        })
+    }
+
+    /// Sends one request frame.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(64);
+        req.encode(&mut payload);
+        framing::write_frame(&mut self.stream, &payload)
+    }
+
+    /// Receives the next response frame (blocking). `Ok(None)` on clean EOF.
+    pub fn recv(&mut self) -> Result<Option<Response>, ClientError> {
+        if !framing::read_frame(&mut self.stream, &mut self.buf, self.max_frame_len)? {
+            return Ok(None);
+        }
+        Ok(Some(Response::decode(&self.buf)?))
+    }
+
+    /// One request, one response — the non-pipelined convenience used by
+    /// register/control paths.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()?.ok_or(ClientError::Disconnected)
+    }
+
+    /// Splits into independently-usable send and receive halves (two socket
+    /// handles onto one connection), enabling windowed pipelining.
+    pub fn split(self) -> io::Result<(ClientSender, ClientReceiver)> {
+        let send_half = self.stream.try_clone()?;
+        Ok((
+            ClientSender { stream: send_half },
+            ClientReceiver {
+                stream: self.stream,
+                buf: self.buf,
+                max_frame_len: self.max_frame_len,
+            },
+        ))
+    }
+}
+
+/// The sending half of a split [`Client`].
+pub struct ClientSender {
+    stream: TcpStream,
+}
+
+impl ClientSender {
+    /// Sends one request frame.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(64);
+        req.encode(&mut payload);
+        framing::write_frame(&mut self.stream, &payload)
+    }
+}
+
+/// The receiving half of a split [`Client`].
+pub struct ClientReceiver {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame_len: usize,
+}
+
+impl ClientReceiver {
+    /// Receives the next response frame (blocking). `Ok(None)` on clean EOF.
+    pub fn recv(&mut self) -> Result<Option<Response>, ClientError> {
+        if !framing::read_frame(&mut self.stream, &mut self.buf, self.max_frame_len)? {
+            return Ok(None);
+        }
+        Ok(Some(Response::decode(&self.buf)?))
+    }
+}
+
+/// A client-side failure: transport, framing, or a malformed response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The stream framing failed (includes IO errors).
+    Framing(FramingError),
+    /// A well-framed but undecodable response.
+    Decode(DecodeError),
+    /// The server closed the connection mid-call.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Framing(e) => write!(f, "{e}"),
+            ClientError::Decode(e) => write!(f, "bad response: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FramingError> for ClientError {
+    fn from(e: FramingError) -> Self {
+        ClientError::Framing(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Framing(FramingError::Io(e))
+    }
+}
+
+/// Replays the exact server-side solve on a local instance — the offline
+/// oracle for response-bit-identity tests and a convenient library entry for
+/// users who want server-equivalent numbers without a server.
+pub fn solve_offline(instance: &DynamicInstance, tenant: u64) -> SolveOutcome {
+    with_thread_workspace(|ws| {
+        let t0 = Instant::now();
+        ws.gather_auto(instance.tree(), instance.budget());
+        let (cost, _) = ws.trace_best(instance.tree());
+        SolveOutcome {
+            tenant,
+            cost,
+            all_red_cost: ws.tables().optimum_with_exactly(0),
+            blue_used: ws.coloring().n_blue() as u32,
+            cells_written: ws.last_cells_written() as u64,
+            alloc_events: ws.last_alloc_events() as u64,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        }
+    })
+}
+
+/// Like [`solve_offline`] but only the churn-independent fields are
+/// meaningful for comparison (wall time and allocation counts are
+/// machine/warmth-dependent).
+pub fn comparable(outcome: &SolveOutcome) -> (u64, u64, u64, u32, u64) {
+    (
+        outcome.tenant,
+        outcome.cost.to_bits(),
+        outcome.all_red_cost.to_bits(),
+        outcome.blue_used,
+        outcome.cells_written,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RequestBody;
+    use soar_multitenant::churn::ChurnEvent;
+
+    fn request(req_id: u64, body: RequestBody) -> Request {
+        Request { req_id, body }
+    }
+
+    #[test]
+    fn register_churn_solve_evict_round_trip() {
+        let handle = start(ServeConfig::default()).unwrap();
+        let mut client = Client::connect(&handle.addr()).unwrap();
+
+        let resp = client
+            .call(&request(
+                1,
+                RequestBody::Register {
+                    tenant: 7,
+                    switches: 64,
+                    budget: 4,
+                    seed: 11,
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            resp.body,
+            ResponseBody::Registered {
+                tenant: 7,
+                n_switches: 63
+            }
+        );
+
+        // Duplicate register fails typed.
+        let resp = client
+            .call(&request(
+                2,
+                RequestBody::Register {
+                    tenant: 7,
+                    switches: 64,
+                    budget: 4,
+                    seed: 11,
+                },
+            ))
+            .unwrap();
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::DuplicateTenant,
+                ..
+            }
+        ));
+
+        let resp = client
+            .call(&request(
+                3,
+                RequestBody::Churn {
+                    tenant: 7,
+                    events: vec![
+                        ChurnEvent::LeafRateChange { leaf: 62, load: 9 },
+                        ChurnEvent::TenantArrive {
+                            tenant: 0,
+                            loads: vec![(60, 5), (61, 5)],
+                        },
+                    ],
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            resp.body,
+            ResponseBody::ChurnApplied {
+                tenant: 7,
+                applied: 2
+            }
+        );
+
+        let resp = client
+            .call(&request(4, RequestBody::Solve { tenant: 7 }))
+            .unwrap();
+        let ResponseBody::Solved(outcome) = &resp.body else {
+            panic!("{resp:?}");
+        };
+        // Bit-identical to the offline replay of the same event stream.
+        let mut offline = build_tenant(64, 4, 11);
+        offline
+            .apply(&ChurnEvent::LeafRateChange { leaf: 62, load: 9 })
+            .unwrap();
+        offline
+            .apply(&ChurnEvent::TenantArrive {
+                tenant: 0,
+                loads: vec![(60, 5), (61, 5)],
+            })
+            .unwrap();
+        assert_eq!(comparable(outcome), comparable(&solve_offline(&offline, 7)));
+
+        let resp = client
+            .call(&request(
+                5,
+                RequestBody::Sweep {
+                    tenant: 7,
+                    budgets: vec![1, 2, 4],
+                },
+            ))
+            .unwrap();
+        let ResponseBody::SweepResult { costs, .. } = &resp.body else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(costs.len(), 3);
+        // More budget never costs more.
+        assert!(costs.windows(2).all(|w| w[1].1 <= w[0].1));
+        // The sweep at the solve's budget agrees with the solve.
+        assert_eq!(costs[2].1.to_bits(), outcome.cost.to_bits());
+
+        let resp = client.call(&request(6, RequestBody::Metrics)).unwrap();
+        let ResponseBody::MetricsReport { json } = &resp.body else {
+            panic!("{resp:?}");
+        };
+        let snap: MetricsSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(snap.resident_tenants, 1);
+        assert_eq!(snap.solves, 1);
+        assert_eq!(snap.sweeps, 1);
+        assert_eq!(snap.events_applied, 2);
+        assert_eq!(snap.sheds(), 0);
+
+        let resp = client
+            .call(&request(7, RequestBody::Evict { tenant: 7 }))
+            .unwrap();
+        assert_eq!(resp.body, ResponseBody::Evicted { tenant: 7 });
+        let resp = client
+            .call(&request(8, RequestBody::Solve { tenant: 7 }))
+            .unwrap();
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::UnknownTenant,
+                ..
+            }
+        ));
+
+        let resp = client.call(&request(9, RequestBody::Shutdown)).unwrap();
+        assert_eq!(resp.body, ResponseBody::ShuttingDown);
+        let final_snap = handle.join();
+        assert_eq!(final_snap.evictions, 1);
+        assert_eq!(final_snap.io_errors, 0);
+    }
+
+    #[test]
+    fn malformed_wire_bytes_get_typed_error_then_disconnect() {
+        let handle = start(ServeConfig::default()).unwrap();
+        let mut client = Client::connect(&handle.addr()).unwrap();
+        // A well-framed frame full of garbage.
+        framing::write_frame(&mut client.stream, &[0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5]).unwrap();
+        let resp = client.recv().unwrap().unwrap();
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        // The server hung up on the desynced stream.
+        assert!(client.recv().unwrap().is_none());
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded_not_buffering() {
+        // A queue of 2 and a server whose dispatcher is blocked by a churn on
+        // a tenant whose lock we... cannot grab from here; instead, jam the
+        // queue with a tiny cap and a stream of solves on a real tenant, and
+        // verify at least one Overloaded comes back while nothing is lost.
+        let config = ServeConfig {
+            queue_cap: 2,
+            tenant_inflight_cap: 1024,
+            ..ServeConfig::default()
+        };
+        let handle = start(config).unwrap();
+        let mut client = Client::connect(&handle.addr()).unwrap();
+        client
+            .call(&request(
+                0,
+                RequestBody::Register {
+                    tenant: 1,
+                    switches: 1024,
+                    budget: 8,
+                    seed: 3,
+                },
+            ))
+            .unwrap();
+        const N: u64 = 64;
+        let (mut tx, mut rx) = client.split().unwrap();
+        let sender = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(&request(100 + i, RequestBody::Solve { tenant: 1 }))
+                    .unwrap();
+            }
+            tx
+        });
+        let mut solved = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..N {
+            match rx.recv().unwrap().unwrap().body {
+                ResponseBody::Solved(_) => solved += 1,
+                ResponseBody::Overloaded { .. } => shed += 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        sender.join().unwrap();
+        assert_eq!(solved + shed, N, "every request answered exactly once");
+        assert!(solved > 0, "some work got through");
+        let snap = handle.snapshot();
+        assert_eq!(snap.sheds(), shed);
+        handle.shutdown();
+        handle.join();
+    }
+}

@@ -20,6 +20,11 @@
 //!   [`OnlineDriver`](online::OnlineDriver): epoch re-solves refill only the
 //!   dirty root-to-leaf paths of the DP, bit-identical to a full solve);
 //! * [`dataplane`] — the distributed message-passing prototype;
+//! * [`serve`] — the long-running `soar serve` daemon: resident per-tenant
+//!   [`DynamicInstance`](online::DynamicInstance)s behind a length-prefixed
+//!   binary protocol, with admission control that sheds under overload;
+//! * [`loadtest`] — the churn-synthesizing client harness reporting sustained
+//!   events/sec and latency percentiles as gated `BENCH_serve.json` artifacts;
 //! * [`pool`] — the std-only work-stealing thread pool behind the batch entry
 //!   points and the level-parallel gather;
 //! * [`exp`] — the declarative experiment layer
@@ -62,10 +67,12 @@ pub use soar_apps as apps;
 pub use soar_core as core;
 pub use soar_dataplane as dataplane;
 pub use soar_exp as exp;
+pub use soar_loadtest as loadtest;
 pub use soar_multitenant as multitenant;
 pub use soar_online as online;
 pub use soar_pool as pool;
 pub use soar_reduce as reduce;
+pub use soar_serve as serve;
 pub use soar_topology as topology;
 
 /// One-stop prelude for examples and applications.

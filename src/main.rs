@@ -12,6 +12,8 @@
 //! soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]
 //! soar online run [--switches N] [--budget K] [--epochs E] [--seed S] [--out artifact.json]
 //! soar online replay <artifact.json>
+//! soar serve [--addr HOST:PORT] [--queue-cap N] [--inflight-cap N] [--metrics-out FILE]
+//! soar loadtest --addr HOST:PORT [--tenants N] [--batches N] [--rate R] [--out BENCH_serve.json]
 //! soar history report <artifact.json>... | --dir DIR [--spec NAME]
 //! soar history check <new.json> --baseline <old.json> [--max-regress 25%]
 //! ```
@@ -58,7 +60,7 @@ impl CliError {
 type CliResult = Result<(), CliError>;
 
 const TOP_USAGE: &str =
-    "usage: soar <solve|sweep|compare|instance|experiment|online|history> [options]
+    "usage: soar <solve|sweep|compare|instance|experiment|online|serve|loadtest|history> [options]
        soar --help
 
 subcommands:
@@ -68,6 +70,8 @@ subcommands:
   instance    mint Instance JSON from topology/load/rate flags
   experiment  list, run and check the declarative experiments (registry names or spec files)
   online      replay dynamic churn timelines on the incremental re-optimization engine
+  serve       long-running solve/churn daemon with resident tenants and admission control
+  loadtest    drive a running server with synthesized churn; report throughput and latency
   history     trajectory reports and regression gates over artifact series";
 
 fn main() {
@@ -99,6 +103,8 @@ fn dispatch(args: &[String]) -> CliResult {
         Some("instance") => cmd_instance(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("online") => cmd_online(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{TOP_USAGE}");
@@ -1052,6 +1058,162 @@ fn cmd_online_replay(args: &[String]) -> CliResult {
             "replay of {path} deviates from the stored trajectory: {report}"
         )))
     }
+}
+
+// ---------------------------------------------------------------------------
+// serve / loadtest
+// ---------------------------------------------------------------------------
+
+const SERVE_USAGE: &str = "usage: soar serve [--addr HOST:PORT] [--queue-cap N] [--inflight-cap N]
+                  [--max-tenants N] [--batch-cap N] [--metrics-out FILE]
+
+Runs the long-running solve/churn daemon: clients register tenants (each one a
+resident DynamicInstance), stream churn batches and request warm re-solves over
+a length-prefixed binary protocol. A full global queue or a tenant at its
+in-flight cap sheds with an explicit Overloaded response instead of buffering.
+Blocks until a client sends Shutdown; then drains, optionally writes the final
+metrics snapshot JSON to --metrics-out, and exits 0.";
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut config = soar::serve::ServeConfig {
+        addr: "127.0.0.1:7171".to_owned(),
+        ..soar::serve::ServeConfig::default()
+    };
+    let mut metrics_out: Option<&str> = None;
+    let mut options = Options::new(args);
+    while let Some(flag) = options.next() {
+        match flag {
+            "--addr" => config.addr = options.value_for(flag)?.to_owned(),
+            "--queue-cap" => config.queue_cap = parse_num(options.value_for(flag)?, flag)?,
+            "--inflight-cap" => {
+                config.tenant_inflight_cap = parse_num(options.value_for(flag)?, flag)?
+            }
+            "--max-tenants" => config.max_tenants = parse_num(options.value_for(flag)?, flag)?,
+            "--batch-cap" => config.batch_cap = parse_num(options.value_for(flag)?, flag)?,
+            "--metrics-out" => metrics_out = Some(options.value_for(flag)?),
+            "--help" | "-h" => {
+                println!("{SERVE_USAGE}");
+                return Ok(());
+            }
+            other => return Err(CliError::usage(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    let handle = soar::serve::start(config.clone())
+        .map_err(|e| CliError::failure(format!("binding {}: {e}", config.addr)))?;
+    println!("soar serve listening on {}", handle.addr());
+    let snapshot = handle.join();
+    println!(
+        "served {} requests ({} events applied, {} solves, {} sheds, {} errors)",
+        snapshot.requests,
+        snapshot.events_applied,
+        snapshot.solves,
+        snapshot.sheds(),
+        snapshot.errors
+    );
+    if let Some(path) = metrics_out {
+        let json = serde_json::to_string_pretty(&snapshot)
+            .map_err(|e| CliError::failure(format!("encoding metrics: {e}")))?;
+        write_file(path, &json)?;
+        println!("metrics snapshot written to {path}");
+    }
+    Ok(())
+}
+
+const LOADTEST_USAGE: &str = "usage: soar loadtest --addr HOST:PORT [--tenants N] [--switches N]
+                  [--budget K] [--connections N] [--window N] [--events-per-batch N]
+                  [--batches N] [--solve-every N] [--rate EVENTS_PER_SEC] [--seed S]
+                  [--out BENCH_serve.json] [--shutdown]
+                  [--assert-zero-sheds] [--assert-sheds]
+
+Drives a running `soar serve` with synthesized churn: registers --tenants
+resident instances, streams --batches churn batches (ChurnStream epochs of
+about --events-per-batch events) over --connections pipelined connections and
+interleaves a warm solve every --solve-every batches. Default is a closed loop
+with --window requests in flight per connection; --rate switches to an open
+loop that injects on a wall-clock schedule and expects the server to shed what
+it cannot absorb. Prints throughput and client-side latency percentiles, and
+with --out writes the gated artifact for `soar history check`. --shutdown
+sends Shutdown when done. The --assert-* flags turn expectations about sheds
+into exit codes for CI.";
+
+fn cmd_loadtest(args: &[String]) -> CliResult {
+    let mut config = soar::loadtest::LoadtestConfig::default();
+    let mut out: Option<&str> = None;
+    let mut assert_zero_sheds = false;
+    let mut assert_sheds = false;
+    let mut options = Options::new(args);
+    while let Some(flag) = options.next() {
+        match flag {
+            "--addr" => {
+                let value = options.value_for(flag)?;
+                config.addr = value
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("invalid address `{value}`")))?;
+            }
+            "--tenants" => config.tenants = parse_num(options.value_for(flag)?, flag)?,
+            "--switches" => config.switches = parse_num(options.value_for(flag)?, flag)?,
+            "--budget" => config.budget = parse_num(options.value_for(flag)?, flag)?,
+            "--connections" => config.connections = parse_num(options.value_for(flag)?, flag)?,
+            "--window" => config.window = parse_num(options.value_for(flag)?, flag)?,
+            "--events-per-batch" => {
+                config.events_per_batch = parse_num(options.value_for(flag)?, flag)?
+            }
+            "--batches" => config.batches = parse_num(options.value_for(flag)?, flag)?,
+            "--solve-every" => config.solve_every = parse_num(options.value_for(flag)?, flag)?,
+            "--rate" => {
+                let value = options.value_for(flag)?;
+                config.rate = value
+                    .parse::<f64>()
+                    .map_err(|_| CliError::usage(format!("invalid rate `{value}`")))?;
+            }
+            "--seed" => config.seed = parse_num(options.value_for(flag)?, flag)?,
+            "--out" => out = Some(options.value_for(flag)?),
+            "--shutdown" => config.shutdown = true,
+            "--assert-zero-sheds" => assert_zero_sheds = true,
+            "--assert-sheds" => assert_sheds = true,
+            "--help" | "-h" => {
+                println!("{LOADTEST_USAGE}");
+                return Ok(());
+            }
+            other => return Err(CliError::usage(format!("unknown loadtest flag `{other}`"))),
+        }
+    }
+    let report = soar::loadtest::run(&config)
+        .map_err(|e| CliError::failure(format!("loadtest against {}: {e}", config.addr)))?;
+    print!("{}", report.render());
+    if let Some(path) = out {
+        let artifact = soar::loadtest::artifact(&config, &report);
+        write_file(path, &artifact.to_json())?;
+        println!("artifact written to {path}");
+    }
+    if assert_zero_sheds && report.sheds > 0 {
+        return Err(CliError::failure(format!(
+            "expected zero sheds at this load, saw {}",
+            report.sheds
+        )));
+    }
+    if assert_sheds && report.sheds == 0 {
+        return Err(CliError::failure(
+            "expected the overloaded run to shed, but nothing was shed".to_owned(),
+        ));
+    }
+    // Shed churn batches break stream continuity (a dropped TenantArrive makes
+    // a later TenantDepart fail), so error responses only fail the run when
+    // nothing was shed — in a clean run they indicate a real bug.
+    if report.errors > 0 && report.sheds == 0 {
+        return Err(CliError::failure(format!(
+            "{} requests answered with errors",
+            report.errors
+        )));
+    }
+    Ok(())
+}
+
+/// Parses any unsigned integer flag value.
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {
+    value
+        .parse::<T>()
+        .map_err(|_| CliError::usage(format!("invalid value `{value}` for {flag}")))
 }
 
 // ---------------------------------------------------------------------------
