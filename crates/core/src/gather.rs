@@ -159,10 +159,18 @@ pub(crate) fn run_gather(tables: &mut GatherTables, tree: &Tree, scratch: &mut D
 /// from the previous pass; since their loads, availability, ρ blocks and child
 /// tables are unchanged, those values are exactly what a from-scratch gather
 /// would recompute — the partial pass is bit-identical to a full one by
-/// construction. The layout (tree shape, rates, budget) must match the pass
-/// that filled the tables; callers go through
+/// construction. The layout (tree shape, budget) must match the pass that
+/// filled the tables; callers go through
 /// [`SolverWorkspace::gather_update`](crate::workspace::SolverWorkspace::gather_update),
 /// which checks that.
+///
+/// Link *rates* may have changed since the filling pass: every dirty node's ρ
+/// prefix block is recomputed here before the refill (the partial rho-arena
+/// reset), which is bit-identical to the stored block when the rates are
+/// unchanged — the same additions in the same order. The rate-change contract
+/// is the caller's: a changed up-link of `w` moves the ρ blocks of exactly
+/// `subtree(w)`, so that whole subtree (plus the usual ancestor closure) must
+/// be in `dirty`.
 ///
 /// Returns the number of scratch-buffer growths (0 when `scratch` is warm).
 pub(crate) fn run_gather_partial(
@@ -172,6 +180,9 @@ pub(crate) fn run_gather_partial(
     scratch: &mut DpScratch,
 ) -> usize {
     let mut grew = 0;
+    for &v in dirty {
+        tables.refresh_rho_node(tree, v);
+    }
     let n_i = tables.n_i;
     let mut idx = 0;
     while idx < dirty.len() {
@@ -513,6 +524,16 @@ mod tests {
         let before = tables.clone();
         run_gather_partial(&mut tables, &tree, &[], &mut scratch);
         assert_eq!(tables, before);
+
+        // A link-rate change: the ρ blocks of the link's whole subtree move,
+        // so that subtree (plus the ancestor closure) is the dirty set and the
+        // partial rho-arena reset brings the pass back to bit-identity.
+        tree.set_rate(1, 0.5);
+        let mut dirty: Vec<_> = tree.subtree(1);
+        dirty.push(0);
+        dirty.sort_by_key(|&v| (std::cmp::Reverse(tree.depth(v)), v));
+        run_gather_partial(&mut tables, &tree, &dirty, &mut scratch);
+        assert_eq!(tables, soar_gather(&tree, 3));
     }
 
     #[test]

@@ -458,6 +458,27 @@ impl GatherTables {
         grew
     }
 
+    /// Recomputes node `v`'s ρ prefix block against the tree's *current* link
+    /// rates — the same accumulation as [`Self::reset`], restricted to one
+    /// node, so the stored values are bit-identical when the rates are
+    /// unchanged. This is the partial rho-arena reset behind link-rate (ω)
+    /// churn: a rate change on the up-link of `w` moves the blocks of exactly
+    /// the nodes in `subtree(w)`, and the partial gather refreshes each dirty
+    /// node's block before refilling it.
+    pub(crate) fn refresh_rho_node(&mut self, tree: &Tree, v: NodeId) {
+        let off = self.rho_off[v];
+        let n_l = self.n_l[v] as usize;
+        self.rho[off] = 0.0;
+        let mut acc = 0.0;
+        let mut cur = Some(v);
+        for l in 1..n_l {
+            let u = cur.expect("n_l matches the root-path length");
+            acc += tree.rho(u);
+            self.rho[off + l] = acc;
+            cur = tree.parent(u);
+        }
+    }
+
     /// The table of switch `v`, as a borrowed view into the arena.
     pub fn node(&self, v: NodeId) -> NodeTableView<'_> {
         let n_l = self.n_l[v] as usize;

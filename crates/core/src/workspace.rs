@@ -109,18 +109,23 @@ impl SolverWorkspace {
     /// with **zero heap allocations**.
     ///
     /// `dirty` must be ancestor-closed and sorted deepest-first (see
-    /// [`run_gather_partial`](crate::gather)); the tree's *shape*, link rates
-    /// and the budget must be unchanged since the full gather that filled this
-    /// workspace (only loads and availability may differ — those are inputs of
-    /// the per-node fill, not of the arena layout). The result is bit-identical
-    /// to a from-scratch [`Self::gather`] on the same tree.
+    /// [`run_gather_partial`](crate::gather)); the tree's *shape* and the
+    /// budget must be unchanged since the full gather that filled this
+    /// workspace. Loads and availability may differ freely — those are inputs
+    /// of the per-node fill, not of the arena layout. Link rates may differ
+    /// too, because every dirty node's ρ prefix block is recomputed before its
+    /// refill (the partial rho-arena reset); the rate-change contract is that
+    /// a changed up-link of `w` dirties all of `subtree(w)` — exactly the
+    /// nodes whose ρ blocks the change moves. The result is bit-identical to a
+    /// from-scratch [`Self::gather`] on the same tree.
     ///
     /// The cheap layout checks below (switch count, budget, height, and every
     /// dirty node's row count) catch a workspace warmed on a *different* tree
-    /// shape; they cannot see shape or rate drift at clean nodes, which is
-    /// exactly the contract above — clean nodes are trusted verbatim.
-    /// `soar-online` upholds it by fixing the topology and rates for a
-    /// [`DynamicInstance`]'s lifetime.
+    /// shape; they cannot see shape drift or rate drift at clean nodes, which
+    /// is exactly the contract above — clean nodes are trusted verbatim.
+    /// `soar-online` upholds it by fixing the topology for a
+    /// [`DynamicInstance`]'s lifetime and marking the whole affected subtree
+    /// dirty on link-rate events.
     ///
     /// # Panics
     ///
@@ -432,6 +437,32 @@ mod tests {
         assert_eq!(ws.last_alloc_events(), 0);
         assert!(ws.last_cells_written() < full_cells);
         assert!(ws.last_cells_written() > 0);
+
+        // The traced solution out of the updated tables matches a fresh solve.
+        let (cost, _) = ws.trace_best(&tree);
+        let fresh = crate::solver::solve(&tree, 3);
+        assert_eq!(cost, fresh.cost);
+        assert_eq!(*ws.coloring(), fresh.coloring);
+    }
+
+    #[test]
+    fn gather_update_absorbs_link_rate_changes_with_subtree_closure() {
+        let mut tree = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather(&tree, 3);
+
+        // Slow the up-link of internal node 1 (ω: 1 → 0.5). The ρ prefix
+        // blocks of subtree(1) = {1, 3, 4} move, so the dirty set is that
+        // subtree plus the ancestor closure — deepest-first.
+        tree.set_rate(1, 0.5);
+        let updated = ws.gather_update(&tree, 3, &[3, 4, 1, 0]);
+        assert_eq!(*updated, soar_gather(&tree, 3));
+        assert_eq!(ws.last_alloc_events(), 0, "warm rate update allocates");
+
+        // A leaf up-link only moves its own block: dirty = root path.
+        tree.set_rate(6, 0.25);
+        let updated = ws.gather_update(&tree, 3, &[6, 2, 0]);
+        assert_eq!(*updated, soar_gather(&tree, 3));
 
         // The traced solution out of the updated tables matches a fresh solve.
         let (cost, _) = ws.trace_best(&tree);

@@ -223,6 +223,10 @@ impl ExperimentSpec {
                 "serve-bench artifacts are produced by `soar loadtest` against a live \
                  server and are not re-runnable"
             ),
+            ExperimentKind::ChaosBench { .. } => panic!(
+                "chaos-bench artifacts are produced by `soar loadtest --chaos` against a \
+                 live server and are not re-runnable"
+            ),
             ExperimentKind::Adhoc { command, .. } => panic!(
                 "ad-hoc `{command}` artifacts record a CLI run over an explicit instance \
                  and are not re-runnable"

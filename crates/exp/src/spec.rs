@@ -376,6 +376,35 @@ pub enum ExperimentKind {
         /// Open-loop target events/sec (0 = closed-loop).
         rate: f64,
     },
+    /// Provenance of a `soar loadtest --chaos` resilience run: fault-injected
+    /// churn against a live (possibly killed-and-recovered) daemon. Like
+    /// [`ExperimentKind::ServeBench`] it is **not re-runnable** through
+    /// `experiment run`; the spec records the load and fault mix so the
+    /// `BENCH_chaos.json` baseline only compares like with like.
+    ChaosBench {
+        /// Service tenants registered.
+        tenants: u64,
+        /// `BT(n)` size parameter of every tenant's tree.
+        switches: u32,
+        /// Aggregation budget `k` per tenant.
+        budget: u32,
+        /// Concurrent client connections.
+        connections: usize,
+        /// Churn events per request batch.
+        events_per_batch: usize,
+        /// Total churn batches generated across all tenants.
+        batches: u64,
+        /// Injection probability: close the connection before sending.
+        drop_before_send: f64,
+        /// Injection probability: send, then close before reading the ack.
+        drop_after_send: f64,
+        /// Injection probability: write a torn frame, then close.
+        kill_mid_frame: f64,
+        /// Injection probability: send an undecodable payload first.
+        malformed_frame: f64,
+        /// Injection probability: stall before reading the response.
+        stall: f64,
+    },
     /// Provenance record of a CLI run over an explicit serialized `Instance`
     /// (`soar solve` / `sweep` / `compare`). The instance itself is not
     /// reconstructible from the spec — the artifact's reports and charts carry
@@ -439,6 +468,9 @@ impl ExperimentSpec {
             // Charts 0 (latency percentiles) and 1 (ns per churn event) are
             // wall-clock; chart 2 (sheds/errors) diffs exactly.
             ExperimentKind::ServeBench { .. } => vec![0, 1],
+            // Charts 0 (latency) and 1 (ns/event + recovery replay) are
+            // wall-clock; chart 2 (lost/unaccounted batches) diffs exactly.
+            ExperimentKind::ChaosBench { .. } => vec![0, 1],
             _ => Vec::new(),
         }
     }
@@ -834,6 +866,14 @@ impl ExperimentKind {
                     "serve-bench specs record the provenance of a `soar loadtest` run \
                      against a live server and are not re-runnable via `experiment run` \
                      (re-run the loadtest instead)"
+                        .to_owned(),
+                );
+            }
+            ExperimentKind::ChaosBench { .. } => {
+                problems.push(
+                    "chaos-bench specs record the provenance of a `soar loadtest --chaos` \
+                     run against a live server and are not re-runnable via `experiment run` \
+                     (re-run the chaos loadtest instead)"
                         .to_owned(),
                 );
             }

@@ -1,8 +1,9 @@
 //! End-to-end smoke: an in-process server driven by a small closed-loop
-//! loadtest run, then a deliberately tiny-queue overload run that must shed
-//! instead of buffer.
+//! loadtest run, a deliberately tiny-queue overload run that must shed
+//! instead of buffer, and a chaos run whose delivery accounting must balance
+//! exactly.
 
-use soar_loadtest::{artifact, run, LoadtestConfig};
+use soar_loadtest::{artifact, chaos_artifact, run, ChaosConfig, LoadtestConfig};
 use soar_serve::server::{start, ServeConfig};
 
 #[test]
@@ -88,4 +89,66 @@ fn overloaded_open_loop_sheds_instead_of_buffering() {
         report.events_applied > 0,
         "some batches still get through under overload"
     );
+}
+
+#[test]
+fn chaos_run_accounts_for_every_batch_exactly() {
+    let state_dir = std::env::temp_dir().join(format!("soar-chaos-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let handle = start(ServeConfig {
+        state_dir: Some(state_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let config = LoadtestConfig {
+        addr: handle.addr(),
+        tenants: 4,
+        switches: 64,
+        budget: 4,
+        connections: 2,
+        events_per_batch: 10,
+        batches: 80,
+        solve_every: 8,
+        chaos: Some(ChaosConfig::standard()),
+        shutdown: true,
+        ..LoadtestConfig::default()
+    };
+    let report = run(&config).unwrap();
+    let snap = handle.join();
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let r = report.resilience.as_ref().expect("resilient run");
+    // The exactly-once contract: every generated batch is accounted, and with
+    // the server up throughout, none may be lost.
+    assert_eq!(r.batches_generated, 80);
+    assert_eq!(r.unaccounted(), 0, "{r:?}");
+    assert_eq!(r.batches_lost, 0, "{r:?}");
+    assert_eq!(r.batches_applied, 80, "{r:?}");
+    // ~20% injection over 80 batches: statistically certain to fire, and the
+    // run must have healed (retries reconnect through every fault class).
+    let injected = r.injected_drops
+        + r.injected_mid_frame_kills
+        + r.injected_malformed_frames
+        + r.injected_stalls;
+    assert!(injected > 0, "{r:?}");
+    assert!(r.retries > 0 && r.reconnects > 0, "{r:?}");
+    // Deduped replays equal the server's own count of duplicate acks.
+    assert_eq!(r.duplicates, snap.duplicate_churns, "{r:?}");
+    // Retried-until-applied batches keep churn-stream continuity, so no
+    // application errors; the client's applied-event count misses only
+    // batches whose ack was destroyed (deduped on replay with applied=0).
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert!(report.events_applied <= snap.events_applied);
+    // Every batch applied exactly once with >= events_per_batch events.
+    assert!(snap.events_applied >= 80 * 10, "{snap:?}");
+    // WAL persisted every consumed batch: registers + churn (incl. probes).
+    assert!(snap.wal_records >= 4 + 80);
+    assert_eq!(snap.wal_errors, 0);
+
+    let art = chaos_artifact(&config, &report);
+    assert_eq!(art.charts.len(), 3);
+    assert_eq!(art.spec.timing_chart_indices(), vec![0, 1]);
+    for series in &art.charts[2].series {
+        assert_eq!(series.points[0].1, 0.0, "{}", series.label);
+    }
 }

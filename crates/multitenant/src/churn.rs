@@ -54,6 +54,26 @@ pub enum ChurnEvent {
         /// The new budget.
         budget: usize,
     },
+    /// A switch exhausts (`available = false`) or regains (`true`) its
+    /// in-network compute capacity. An unavailable switch degrades to
+    /// forwarding-only — the DP can no longer color it blue (`Λ` shrinks), so
+    /// its root-to-leaf closure is re-solved.
+    SwitchAvailability {
+        /// The switch whose capacity state flipped.
+        switch: NodeId,
+        /// Whether the switch can aggregate after the event.
+        available: bool,
+    },
+    /// The rate ω of the up-link of `switch` changed (link degradation or
+    /// repair). This moves the transmission time ρ = 1/ω of that link, and
+    /// with it the ρ prefix blocks of *every* switch below it — the whole
+    /// subtree is re-solved through the partial rho-arena reset.
+    LinkRateChange {
+        /// The switch whose up-link rate changed.
+        switch: NodeId,
+        /// The new rate ω (must be positive and finite).
+        rate: f64,
+    },
 }
 
 /// The events of one epoch, applied together before the epoch's re-solve.
@@ -84,6 +104,27 @@ pub struct ChurnModel {
     /// Draw each tenant's footprint from the paper's ½-uniform/½-power-law
     /// mixture (the Sec. 5.2 arrival model) instead of `load`.
     pub mixed_tenants: bool,
+    /// Expected switch-availability flaps per epoch (failure-domain churn). A
+    /// flap toggles a uniformly-drawn switch between available and exhausted;
+    /// the stream tracks which switches are down, so every exhaustion is
+    /// eventually paired with a recovery draw. Defaults to 0 — existing seeded
+    /// timelines consume no extra RNG draws and stay byte-identical.
+    #[serde(default)]
+    pub switch_flaps_per_epoch: f64,
+    /// Expected link-rate (ω) re-draws per epoch (failure-domain churn), each
+    /// re-drawing a uniformly-chosen switch's up-link rate from `link_rates`.
+    /// Defaults to 0 with the same draw-order guarantee as
+    /// `switch_flaps_per_epoch`.
+    #[serde(default)]
+    pub link_rate_changes_per_epoch: f64,
+    /// `(min, max)` of the uniform link-rate re-draw. Defaults to `(0.5, 2.0)`
+    /// — degraded to half speed or upgraded to double.
+    #[serde(default = "default_link_rates")]
+    pub link_rates: (f64, f64),
+}
+
+fn default_link_rates() -> (f64, f64) {
+    (0.5, 2.0)
 }
 
 impl ChurnModel {
@@ -98,6 +139,20 @@ impl ChurnModel {
             tenant_leaves: 4,
             load: LoadSpec::paper_uniform(),
             mixed_tenants: true,
+            switch_flaps_per_epoch: 0.0,
+            link_rate_changes_per_epoch: 0.0,
+            link_rates: default_link_rates(),
+        }
+    }
+
+    /// The [`Self::paper_default`] model with failure-domain churn switched
+    /// on: one switch-availability flap and one link-rate re-draw per epoch on
+    /// top of the default load/tenant churn.
+    pub fn failure_default() -> Self {
+        ChurnModel {
+            switch_flaps_per_epoch: 1.0,
+            link_rate_changes_per_epoch: 1.0,
+            ..ChurnModel::paper_default()
         }
     }
 
@@ -157,6 +212,10 @@ pub struct ChurnStream<R> {
     footprint: Vec<NodeId>,
     next_tenant: TenantId,
     active: Vec<TenantId>,
+    /// Switch count of the tree — the draw pool of failure-domain events.
+    n_switches: usize,
+    /// Switches currently exhausted, so flaps toggle instead of re-failing.
+    down: Vec<NodeId>,
 }
 
 impl<R: Rng> ChurnStream<R> {
@@ -176,6 +235,8 @@ impl<R: Rng> ChurnStream<R> {
             rng,
             next_tenant: 0,
             active: Vec::new(),
+            n_switches: tree.n_switches(),
+            down: Vec::new(),
         }
     }
 
@@ -229,6 +290,42 @@ impl<R: Rng> ChurnStream<R> {
                 load: self.model.load.sample(leaf, rng),
             });
         }
+        // Failure-domain draws come last and are gated on their expectations
+        // being non-zero: a zeroed model consumes no extra RNG draws, so the
+        // golden-pinned timelines of pre-failure models are byte-identical.
+        if self.model.switch_flaps_per_epoch > 0.0 {
+            for _ in 0..count(self.model.switch_flaps_per_epoch, rng) {
+                let switch = rng.random_range(0..self.n_switches);
+                match self.down.iter().position(|&s| s == switch) {
+                    Some(at) => {
+                        self.down.swap_remove(at);
+                        epoch.push(ChurnEvent::SwitchAvailability {
+                            switch,
+                            available: true,
+                        });
+                    }
+                    None => {
+                        self.down.push(switch);
+                        epoch.push(ChurnEvent::SwitchAvailability {
+                            switch,
+                            available: false,
+                        });
+                    }
+                }
+            }
+        }
+        if self.model.link_rate_changes_per_epoch > 0.0 {
+            let (lo, hi) = self.model.link_rates;
+            assert!(
+                lo.is_finite() && lo > 0.0 && hi >= lo,
+                "link_rates must be a positive, ordered range, got ({lo}, {hi})"
+            );
+            for _ in 0..count(self.model.link_rate_changes_per_epoch, rng) {
+                let switch = rng.random_range(0..self.n_switches);
+                let rate = lo + (hi - lo) * rng.random::<f64>();
+                epoch.push(ChurnEvent::LinkRateChange { switch, rate });
+            }
+        }
         epoch
     }
 }
@@ -279,6 +376,9 @@ mod tests {
                         saw_rate_change = true;
                     }
                     ChurnEvent::BudgetChange { .. } => {}
+                    ChurnEvent::SwitchAvailability { .. } | ChurnEvent::LinkRateChange { .. } => {
+                        panic!("paper_default draws no failure-domain events")
+                    }
                 }
             }
         }
@@ -295,6 +395,7 @@ mod tests {
             tenant_leaves: 2,
             load: LoadSpec::Constant(3),
             mixed_tenants: false,
+            ..ChurnModel::paper_default()
         };
         let timeline = model.generate(&tree, 400, &mut StdRng::seed_from_u64(11));
         let arrivals: usize = timeline
@@ -333,6 +434,52 @@ mod tests {
     }
 
     #[test]
+    fn failure_model_draws_paired_flaps_and_bounded_rates() {
+        let tree = builders::complete_binary_tree_bt(64);
+        let model = ChurnModel::failure_default();
+        let timeline = model.generate(&tree, 200, &mut StdRng::seed_from_u64(21));
+
+        // Flaps toggle: a switch that goes down is down until its next flap,
+        // so the per-switch event sequence strictly alternates.
+        let mut down: BTreeSet<NodeId> = BTreeSet::new();
+        let mut saw_flap = false;
+        let mut saw_rate = false;
+        for event in timeline.iter().flatten() {
+            match event {
+                ChurnEvent::SwitchAvailability { switch, available } => {
+                    saw_flap = true;
+                    assert!(*switch < tree.n_switches());
+                    if *available {
+                        assert!(down.remove(switch), "recovery of an up switch");
+                    } else {
+                        assert!(down.insert(*switch), "failure of a down switch");
+                    }
+                }
+                ChurnEvent::LinkRateChange { switch, rate } => {
+                    saw_rate = true;
+                    assert!(*switch < tree.n_switches());
+                    assert!((0.5..=2.0).contains(rate), "rate {rate} out of range");
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_flap && saw_rate);
+
+        // Zeroing the failure fields reproduces the pre-failure draw stream:
+        // the gated draws consume no RNG state.
+        let quiet = ChurnModel::paper_default();
+        assert_eq!(
+            quiet.generate(&tree, 50, &mut StdRng::seed_from_u64(9)),
+            ChurnModel {
+                switch_flaps_per_epoch: 0.0,
+                link_rate_changes_per_epoch: 0.0,
+                ..ChurnModel::failure_default()
+            }
+            .generate(&tree, 50, &mut StdRng::seed_from_u64(9)),
+        );
+    }
+
+    #[test]
     fn events_round_trip_through_json() {
         let events: Epoch = vec![
             ChurnEvent::LeafRateChange { leaf: 3, load: 7 },
@@ -342,6 +489,14 @@ mod tests {
             },
             ChurnEvent::TenantDepart { tenant: 1 },
             ChurnEvent::BudgetChange { budget: 8 },
+            ChurnEvent::SwitchAvailability {
+                switch: 2,
+                available: false,
+            },
+            ChurnEvent::LinkRateChange {
+                switch: 1,
+                rate: 0.75,
+            },
         ];
         let json = serde_json::to_string(&events).unwrap();
         let parsed: Epoch = serde_json::from_str(&json).unwrap();

@@ -17,7 +17,8 @@
 //!
 //! * [`DynamicInstance`] — a mutable φ-BIC instance that applies
 //!   [`ChurnEvent`]s (leaf rate changes, tenant arrivals/departures, budget
-//!   changes) and tracks the **dirty subtree closure** with reusable buffers;
+//!   changes, and the failure-domain events below) and tracks the **dirty
+//!   subtree closure** with reusable buffers;
 //! * [`IncrementalSolver`] — wraps a
 //!   [`SolverWorkspace`](soar_core::workspace::SolverWorkspace) and re-solves
 //!   an epoch by refilling only the dirty nodes
@@ -28,6 +29,25 @@
 //!   every epoch against a from-scratch solve (bit-identical by construction),
 //!   and reports the placement trajectory: cost over time, placement moves per
 //!   epoch, and DP cells written incrementally vs from-scratch.
+//!
+//! ## Failure-domain churn
+//!
+//! Two event kinds model the network degrading rather than the workload
+//! moving:
+//!
+//! * [`ChurnEvent::SwitchAvailability`] — a switch exhausts or regains its
+//!   in-network compute capacity. An exhausted switch degrades to
+//!   **forwarding-only**: the DP can no longer color it blue (its `Y_blue`
+//!   row is infinite), traffic still flows through it. Availability is an
+//!   input of the per-node table fill, so the event dirties just the switch's
+//!   root-to-leaf closure — as cheap as a leaf-load change.
+//! * [`ChurnEvent::LinkRateChange`] — the rate ω of a switch's up-link moves
+//!   (degradation or repair). The transmission time ρ = 1/ω of that link sits
+//!   in the ρ prefix block of **every node below it**, so the event dirties
+//!   the link's whole subtree; the partial gather then recomputes those
+//!   blocks in place (the partial rho-arena reset) before refilling. Epochs
+//!   stay bit-identical to from-scratch solves, and still touch only the
+//!   affected region.
 //!
 //! ```
 //! use soar_multitenant::churn::ChurnModel;
@@ -79,6 +99,9 @@ pub enum OnlineError {
     DuplicateTenant(TenantId),
     /// A `TenantDepart` named a tenant that is not active.
     UnknownTenant(TenantId),
+    /// A `LinkRateChange` carried a non-positive or non-finite rate for the
+    /// up-link of this switch.
+    InvalidRate(NodeId),
 }
 
 impl fmt::Display for OnlineError {
@@ -90,6 +113,12 @@ impl fmt::Display for OnlineError {
             }
             OnlineError::DuplicateTenant(t) => write!(f, "tenant {t} is already active"),
             OnlineError::UnknownTenant(t) => write!(f, "tenant {t} is not active"),
+            OnlineError::InvalidRate(v) => {
+                write!(
+                    f,
+                    "link-rate change for switch {v} is not a positive finite rate"
+                )
+            }
         }
     }
 }
@@ -108,6 +137,8 @@ struct DirtyTracker {
     touched: Vec<NodeId>,
     /// The last computed closure, sorted deepest-first.
     closure: Vec<NodeId>,
+    /// DFS scratch of [`Self::mark_subtree`].
+    stack: Vec<NodeId>,
     /// The budget changed: the DP table shape is stale, a full re-gather is
     /// required regardless of the dirty set.
     budget_changed: bool,
@@ -119,6 +150,7 @@ impl DirtyTracker {
             marked: vec![false; n],
             touched: Vec::with_capacity(n),
             closure: Vec::with_capacity(n),
+            stack: Vec::with_capacity(n),
             budget_changed: false,
         }
     }
@@ -127,6 +159,19 @@ impl DirtyTracker {
         if !self.marked[v] {
             self.marked[v] = true;
             self.touched.push(v);
+        }
+    }
+
+    /// Marks every node of the subtree rooted at `v` (inclusive) — the dirty
+    /// footprint of a link-rate change on `v`'s up-link: the ρ prefix block of
+    /// exactly these nodes contains the changed link, and the partial gather
+    /// recomputes a dirty node's block before refilling it.
+    fn mark_subtree(&mut self, tree: &Tree, v: NodeId) {
+        self.stack.clear();
+        self.stack.push(v);
+        while let Some(u) = self.stack.pop() {
+            self.mark(u);
+            self.stack.extend_from_slice(tree.children(u));
         }
     }
 
@@ -165,9 +210,11 @@ impl DirtyTracker {
 /// and budget, the active tenants, and the dirty-subtree bookkeeping that
 /// makes epoch re-solves incremental.
 ///
-/// The tree's *shape* and link rates are fixed for the instance's lifetime
-/// (events change loads and the budget only), which is what keeps the DP arena
-/// layout — and every clean node's table — valid across epochs.
+/// The tree's *shape* is fixed for the instance's lifetime — that is what
+/// keeps the DP arena layout valid across epochs. Loads, the budget, switch
+/// availability and link rates all churn through events; a clean node's table
+/// stays valid because none of its fill inputs (own load/availability, ρ
+/// prefix block, children's tables) moved.
 #[derive(Debug, Clone)]
 pub struct DynamicInstance {
     tree: Tree,
@@ -269,6 +316,30 @@ impl DynamicInstance {
                     self.dirty.budget_changed = true;
                 }
             }
+            ChurnEvent::SwitchAvailability { switch, available } => {
+                if *switch >= n {
+                    return Err(OnlineError::UnknownSwitch(*switch));
+                }
+                if self.tree.available(*switch) != *available {
+                    self.tree.set_available(*switch, *available);
+                    self.dirty.mark(*switch);
+                }
+            }
+            ChurnEvent::LinkRateChange { switch, rate } => {
+                if *switch >= n {
+                    return Err(OnlineError::UnknownSwitch(*switch));
+                }
+                if !(rate.is_finite() && *rate > 0.0) {
+                    return Err(OnlineError::InvalidRate(*switch));
+                }
+                if self.tree.rate(*switch) != *rate {
+                    self.tree.set_rate(*switch, *rate);
+                    // The changed link sits in the ρ prefix block of every
+                    // node below it: dirty the whole subtree so the partial
+                    // gather's rho-arena reset reaches each moved block.
+                    self.dirty.mark_subtree(&self.tree, *switch);
+                }
+            }
         }
         Ok(())
     }
@@ -294,6 +365,90 @@ impl DynamicInstance {
     pub fn snapshot(&self) -> Instance {
         Instance::from_tree(&self.tree, self.budget)
     }
+
+    /// Captures everything churn can move into a plain-data [`InstanceImage`].
+    ///
+    /// Restoring the image onto a freshly built instance of the same shape
+    /// ([`Self::restore_image`]) reproduces this instance's solver-visible
+    /// state **exactly** — loads, link rates (bit-for-bit), availability,
+    /// budget and the active-tenant registry — which is what makes crash
+    /// recovery from a snapshot bit-identical to never having crashed.
+    pub fn image(&self) -> InstanceImage {
+        let n = self.tree.n_switches();
+        InstanceImage {
+            budget: self.budget,
+            base_loads: self.base_loads.clone(),
+            rates: (0..n).map(|v| self.tree.rate(v)).collect(),
+            available: (0..n).map(|v| self.tree.available(v)).collect(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|(t, loads)| (*t, loads.clone()))
+                .collect(),
+        }
+    }
+
+    /// Overwrites this instance's mutable state from an image captured by
+    /// [`Self::image`] on an instance of the same shape. The next solve is
+    /// forced full (everything is stale), after which epochs are incremental
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// If the image's vectors do not match this instance's switch count or
+    /// name switches outside the tree, or a rate is not positive and finite —
+    /// callers deserializing untrusted bytes must validate first.
+    pub fn restore_image(&mut self, image: &InstanceImage) {
+        let n = self.tree.n_switches();
+        assert_eq!(image.base_loads.len(), n, "image shape mismatch (loads)");
+        assert_eq!(image.rates.len(), n, "image shape mismatch (rates)");
+        assert_eq!(
+            image.available.len(),
+            n,
+            "image shape mismatch (availability)"
+        );
+        self.budget = image.budget;
+        self.base_loads.copy_from_slice(&image.base_loads);
+        self.tenant_loads.iter_mut().for_each(|l| *l = 0);
+        self.tenants.clear();
+        for (tenant, loads) in &image.tenants {
+            for &(v, load) in loads {
+                assert!(
+                    v < n,
+                    "image tenant footprint names switch {v} outside the tree"
+                );
+                self.tenant_loads[v] += load;
+            }
+            self.tenants.insert(*tenant, loads.clone());
+        }
+        for v in 0..n {
+            self.tree
+                .set_load(v, self.base_loads[v] + self.tenant_loads[v]);
+            self.tree.set_rate(v, image.rates[v]);
+            self.tree.set_available(v, image.available[v]);
+        }
+        // Everything is potentially stale relative to any warm solver state:
+        // force the next epoch full, exactly like a budget change does.
+        self.dirty.reset_epoch();
+        self.dirty.budget_changed = true;
+    }
+}
+
+/// A plain-data image of a [`DynamicInstance`]'s mutable state — the
+/// serialization boundary of crash-safe daemons. See
+/// [`DynamicInstance::image`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceImage {
+    /// The aggregation budget `k` at capture time.
+    pub budget: usize,
+    /// Per-switch background load (tenant contributions excluded).
+    pub base_loads: Vec<u64>,
+    /// Per-switch up-link rate ω (compare bit-for-bit, not approximately).
+    pub rates: Vec<f64>,
+    /// Per-switch availability `v ∈ Λ`.
+    pub available: Vec<bool>,
+    /// Active tenants and their footprints, in increasing tenant order.
+    pub tenants: Vec<(TenantId, Vec<(NodeId, u64)>)>,
 }
 
 /// The outcome of one epoch's re-solve (the coloring itself is read through
@@ -681,6 +836,130 @@ mod tests {
     }
 
     #[test]
+    fn failure_events_stay_incremental_and_bit_identical() {
+        let tree = bt_with_loads(128, 7);
+        let internal = tree
+            .internal_nodes()
+            .find(|&v| v != soar_topology::ROOT)
+            .unwrap();
+        let leaf = tree.leaves().next().unwrap();
+        let timeline: ChurnTimeline = vec![
+            vec![],
+            // A switch exhausts its compute capacity: forwarding-only.
+            vec![ChurnEvent::SwitchAvailability {
+                switch: internal,
+                available: false,
+            }],
+            // Its up-link degrades to half rate while it is down.
+            vec![ChurnEvent::LinkRateChange {
+                switch: internal,
+                rate: 0.5,
+            }],
+            // Capacity recovers; a leaf link degrades in the same epoch.
+            vec![
+                ChurnEvent::SwitchAvailability {
+                    switch: internal,
+                    available: true,
+                },
+                ChurnEvent::LinkRateChange {
+                    switch: leaf,
+                    rate: 0.25,
+                },
+            ],
+            // Repair back to the original rate.
+            vec![ChurnEvent::LinkRateChange {
+                switch: internal,
+                rate: 1.0,
+            }],
+        ];
+        let mut instance = DynamicInstance::new(&tree, 6);
+        let report = OnlineDriver::with_verification(Verify::Tables)
+            .run(&mut instance, &timeline)
+            .unwrap();
+        for epoch in &report.epochs[1..] {
+            assert!(epoch.incremental, "epoch {} went full", epoch.epoch);
+            assert!(
+                epoch.cells_written < epoch.cells_full,
+                "epoch {}: failure events must not touch the whole table",
+                epoch.epoch
+            );
+            assert_eq!(epoch.alloc_events, 0, "warm epochs are allocation-free");
+        }
+        assert!(instance.tree().available(internal));
+        assert_eq!(instance.tree().rate(internal), 1.0);
+        assert_eq!(instance.tree().rate(leaf), 0.25);
+    }
+
+    #[test]
+    fn degraded_switch_is_never_colored_blue() {
+        let tree = bt_with_loads(64, 11);
+        let mut instance = DynamicInstance::new(&tree, 8);
+        let mut solver = IncrementalSolver::new();
+        let _ = solver.solve_epoch(&mut instance);
+        // Exhaust every switch the first solve colored blue: the re-solve must
+        // degrade all of them to forwarding-only.
+        let blues: Vec<NodeId> = (0..tree.n_switches())
+            .filter(|&v| solver.coloring().is_blue(v))
+            .collect();
+        assert!(!blues.is_empty());
+        for &v in &blues {
+            instance
+                .apply(&ChurnEvent::SwitchAvailability {
+                    switch: v,
+                    available: false,
+                })
+                .unwrap();
+        }
+        let outcome = solver.solve_epoch(&mut instance);
+        assert!(outcome.incremental);
+        for &v in &blues {
+            assert!(
+                !solver.coloring().is_blue(v),
+                "switch {v} is exhausted but still aggregating"
+            );
+        }
+        let fresh = soar_core::solve(instance.tree(), instance.budget());
+        assert_eq!(outcome.cost, fresh.cost);
+    }
+
+    #[test]
+    fn failure_events_are_validated() {
+        let tree = bt_with_loads(32, 13);
+        let mut instance = DynamicInstance::new(&tree, 4);
+        assert_eq!(
+            instance.apply(&ChurnEvent::SwitchAvailability {
+                switch: 999,
+                available: false
+            }),
+            Err(OnlineError::UnknownSwitch(999))
+        );
+        assert_eq!(
+            instance.apply(&ChurnEvent::LinkRateChange {
+                switch: 999,
+                rate: 1.0
+            }),
+            Err(OnlineError::UnknownSwitch(999))
+        );
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                instance.apply(&ChurnEvent::LinkRateChange {
+                    switch: 1,
+                    rate: bad
+                }),
+                Err(OnlineError::InvalidRate(1)),
+                "rate {bad} must be rejected"
+            );
+        }
+        // Rejected events leave the instance clean: the next solve is full
+        // (first) then a no-op epoch stays incremental with zero cells.
+        let mut solver = IncrementalSolver::new();
+        let _ = solver.solve_epoch(&mut instance);
+        let outcome = solver.solve_epoch(&mut instance);
+        assert!(outcome.incremental);
+        assert_eq!(outcome.dp.cells_written, 0);
+    }
+
+    #[test]
     fn budget_changes_force_a_full_resolve_then_go_incremental_again() {
         let tree = bt_with_loads(64, 5);
         let leaf = tree.leaves().next().unwrap();
@@ -715,6 +994,74 @@ mod tests {
         assert_eq!(report.epochs[1].cells_written, 0, "nothing dirty, no work");
         assert_eq!(report.epochs[1].moves, 0);
         assert_eq!(report.epochs[1].cost, report.epochs[0].cost);
+    }
+
+    #[test]
+    fn image_restore_reproduces_solver_state_bit_for_bit() {
+        let tree = bt_with_loads(64, 21);
+        let mut instance = DynamicInstance::new(&tree, 5);
+        let leaf = tree.leaves().next().unwrap();
+        let internal = tree
+            .internal_nodes()
+            .find(|&v| v != soar_topology::ROOT)
+            .unwrap();
+        for event in [
+            ChurnEvent::LeafRateChange { leaf, load: 33 },
+            ChurnEvent::TenantArrive {
+                tenant: 2,
+                loads: vec![(leaf, 4)],
+            },
+            ChurnEvent::SwitchAvailability {
+                switch: internal,
+                available: false,
+            },
+            ChurnEvent::LinkRateChange {
+                switch: internal,
+                rate: 0.3,
+            },
+            ChurnEvent::BudgetChange { budget: 7 },
+        ] {
+            instance.apply(&event).unwrap();
+        }
+
+        let image = instance.image();
+        let mut restored = DynamicInstance::new(&tree, 5);
+        restored.restore_image(&image);
+
+        assert_eq!(restored.budget(), 7);
+        assert_eq!(restored.active_tenants(), vec![2]);
+        for v in 0..tree.n_switches() {
+            assert_eq!(restored.tree().load(v), instance.tree().load(v), "load {v}");
+            assert_eq!(
+                restored.tree().rate(v).to_bits(),
+                instance.tree().rate(v).to_bits(),
+                "rate {v}"
+            );
+            assert_eq!(
+                restored.tree().available(v),
+                instance.tree().available(v),
+                "availability {v}"
+            );
+        }
+        // Solves of original and restored instance are bit-identical, and the
+        // restored instance keeps absorbing events (incl. a departure of the
+        // restored tenant registry's entry).
+        let a = soar_core::solve(instance.tree(), instance.budget());
+        let b = soar_core::solve(restored.tree(), restored.budget());
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.coloring, b.coloring);
+        restored
+            .apply(&ChurnEvent::TenantDepart { tenant: 2 })
+            .unwrap();
+        instance
+            .apply(&ChurnEvent::TenantDepart { tenant: 2 })
+            .unwrap();
+        assert_eq!(restored.tree().load(leaf), instance.tree().load(leaf));
+        // A restored instance's first solve is full, then incremental again.
+        let mut solver = IncrementalSolver::new();
+        let _ = solver.solve_epoch(&mut restored);
+        let first = solver.solve_epoch(&mut restored);
+        assert!(first.incremental);
     }
 
     #[test]

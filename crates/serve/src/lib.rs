@@ -22,7 +22,11 @@
 //!   [`soar_pool`]; plus the blocking [`Client`](server::Client);
 //! * [`metrics`] — lock-free counters and latency histograms, snapshotted
 //!   into the JSON that `soar-loadtest` turns into a `BENCH_serve.json`
-//!   artifact for `soar history check`.
+//!   artifact for `soar history check`;
+//! * [`wal`] — crash-safe tenant state: a CRC-checked write-ahead log of
+//!   accepted registers/evicts/churn batches plus periodic snapshots, so
+//!   `soar serve --state-dir DIR --recover` resumes with solves bit-identical
+//!   to an uninterrupted run.
 //!
 //! Start one in-process (tests, benches) or via `soar serve` (CLI):
 //!
@@ -49,6 +53,7 @@
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod wal;
 
 pub use metrics::{LatencySummary, MetricsSnapshot, ServeMetrics};
 pub use protocol::{Request, RequestBody, Response, ResponseBody};

@@ -36,8 +36,27 @@ pub struct ServeMetrics {
     pub shed_tenant: AtomicU64,
     /// Requests answered with a protocol/semantic error.
     pub errors: AtomicU64,
-    /// Response writes that failed (peer gone mid-flight).
+    /// Response writes that failed (peer gone mid-flight, or a slow reader
+    /// blew the per-connection write deadline).
     pub io_errors: AtomicU64,
+    /// Churn batches answered `duplicate: true` (idempotent-replay dedupe).
+    pub duplicate_churns: AtomicU64,
+    /// WAL records appended (registers + evicts + churn batches).
+    pub wal_records: AtomicU64,
+    /// WAL appends that failed (the request was rejected with `Internal`).
+    pub wal_errors: AtomicU64,
+    /// Snapshots written (including the one at startup and at shutdown).
+    pub snapshots: AtomicU64,
+    /// Tenants rebuilt by `--recover` at startup.
+    pub recovered_tenants: AtomicU64,
+    /// WAL records replayed by `--recover` at startup.
+    pub replayed_wal_records: AtomicU64,
+    /// `1` when recovery hit a bad record (torn/corrupt tail) and stopped
+    /// there; everything before it was kept.
+    pub recovery_truncated: AtomicU64,
+    /// Wall time `--recover` spent reading the snapshot and replaying the WAL,
+    /// in nanoseconds (0 when the daemon started fresh).
+    pub recovery_replay_ns: AtomicU64,
     /// DP cells written by solves/sweeps (`SolverWorkspace::last_cells_written`).
     pub cells_written: AtomicU64,
     /// Workspace heap allocation events — stays at the warm-up floor when the
@@ -73,6 +92,14 @@ impl ServeMetrics {
             shed_tenant: c(&self.shed_tenant),
             errors: c(&self.errors),
             io_errors: c(&self.io_errors),
+            duplicate_churns: c(&self.duplicate_churns),
+            wal_records: c(&self.wal_records),
+            wal_errors: c(&self.wal_errors),
+            snapshots: c(&self.snapshots),
+            recovered_tenants: c(&self.recovered_tenants),
+            replayed_wal_records: c(&self.replayed_wal_records),
+            recovery_truncated: c(&self.recovery_truncated),
+            recovery_replay_ns: c(&self.recovery_replay_ns),
             cells_written: c(&self.cells_written),
             alloc_events: c(&self.alloc_events),
             queue_depth,
@@ -110,6 +137,30 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Failed response writes.
     pub io_errors: u64,
+    /// Deduplicated (replayed) churn batches.
+    #[serde(default)]
+    pub duplicate_churns: u64,
+    /// WAL records appended.
+    #[serde(default)]
+    pub wal_records: u64,
+    /// Failed WAL appends.
+    #[serde(default)]
+    pub wal_errors: u64,
+    /// Snapshots written.
+    #[serde(default)]
+    pub snapshots: u64,
+    /// Tenants rebuilt at startup.
+    #[serde(default)]
+    pub recovered_tenants: u64,
+    /// WAL records replayed at startup.
+    #[serde(default)]
+    pub replayed_wal_records: u64,
+    /// Whether recovery stopped at a bad record (0/1).
+    #[serde(default)]
+    pub recovery_truncated: u64,
+    /// Wall time recovery replay took, in nanoseconds.
+    #[serde(default)]
+    pub recovery_replay_ns: u64,
     /// DP cells written.
     pub cells_written: u64,
     /// Workspace allocation events.

@@ -22,6 +22,7 @@
 //!     req_id: 42,
 //!     body: RequestBody::Churn {
 //!         tenant: 7,
+//!         seq: 1,
 //!         events: vec![
 //!             ChurnEvent::LeafRateChange { leaf: 3, load: 9 },
 //!             ChurnEvent::TenantDepart { tenant: 1 },
@@ -74,16 +75,16 @@ impl std::error::Error for DecodeError {}
 /// Checked big-endian read cursor. Unlike the `bytes` cursor (which panics on
 /// underflow and allocates per read), every getter is fallible and
 /// allocation-free — this is the server's untrusted-input path.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len()
     }
 
@@ -96,7 +97,7 @@ impl<'a> Cursor<'a> {
         Ok(head.try_into().unwrap())
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take::<1>()?[0])
     }
 
@@ -104,22 +105,26 @@ impl<'a> Cursor<'a> {
         Ok(u16::from_be_bytes(self.take()?))
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_be_bytes(self.take()?))
     }
 
-    fn u64(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_be_bytes(self.take()?))
     }
 
-    fn f64(&mut self) -> Result<f64, DecodeError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
     /// Guards a declared element count: `count * min_bytes_each` must fit in
     /// the remaining payload, so a hostile count can never drive a huge
     /// `Vec::with_capacity`.
-    fn check_count(&self, count: u64, min_bytes_each: usize) -> Result<usize, DecodeError> {
+    pub(crate) fn check_count(
+        &self,
+        count: u64,
+        min_bytes_each: usize,
+    ) -> Result<usize, DecodeError> {
         if count.saturating_mul(min_bytes_each as u64) > self.remaining() as u64 {
             return Err(DecodeError::BadLength(count));
         }
@@ -152,11 +157,11 @@ fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
@@ -169,10 +174,11 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Smallest possible encoded [`ChurnEvent`] (`TenantDepart`: tag + tenant).
-const MIN_EVENT_BYTES: usize = 9;
+/// Smallest possible encoded [`ChurnEvent`] (`BudgetChange`: tag + u32), the
+/// per-event bound backing `check_count` on churn batches.
+pub(crate) const MIN_EVENT_BYTES: usize = 5;
 
-fn encode_event(out: &mut Vec<u8>, event: &ChurnEvent) {
+pub(crate) fn encode_event(out: &mut Vec<u8>, event: &ChurnEvent) {
     match event {
         ChurnEvent::LeafRateChange { leaf, load } => {
             out.push(0);
@@ -196,10 +202,20 @@ fn encode_event(out: &mut Vec<u8>, event: &ChurnEvent) {
             out.push(3);
             put_u32(out, *budget as u32);
         }
+        ChurnEvent::SwitchAvailability { switch, available } => {
+            out.push(4);
+            put_u32(out, *switch as u32);
+            out.push(u8::from(*available));
+        }
+        ChurnEvent::LinkRateChange { switch, rate } => {
+            out.push(5);
+            put_u32(out, *switch as u32);
+            put_f64(out, *rate);
+        }
     }
 }
 
-fn decode_event(cur: &mut Cursor) -> Result<ChurnEvent, DecodeError> {
+pub(crate) fn decode_event(cur: &mut Cursor) -> Result<ChurnEvent, DecodeError> {
     match cur.u8()? {
         0 => Ok(ChurnEvent::LeafRateChange {
             leaf: cur.u32()? as usize,
@@ -218,6 +234,19 @@ fn decode_event(cur: &mut Cursor) -> Result<ChurnEvent, DecodeError> {
         2 => Ok(ChurnEvent::TenantDepart { tenant: cur.u64()? }),
         3 => Ok(ChurnEvent::BudgetChange {
             budget: cur.u32()? as usize,
+        }),
+        4 => {
+            let switch = cur.u32()? as usize;
+            let available = match cur.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(DecodeError::UnknownTag(t)),
+            };
+            Ok(ChurnEvent::SwitchAvailability { switch, available })
+        }
+        5 => Ok(ChurnEvent::LinkRateChange {
+            switch: cur.u32()? as usize,
+            rate: cur.f64()?,
         }),
         t => Err(DecodeError::UnknownTag(t)),
     }
@@ -250,6 +279,14 @@ pub enum RequestBody {
     Churn {
         /// The target tenant.
         tenant: u64,
+        /// Client-assigned batch sequence number, strictly increasing per
+        /// tenant from 1. The server remembers each tenant's highest applied
+        /// `seq` and answers a batch at or below it with
+        /// [`ResponseBody::ChurnApplied`]`{ duplicate: true }` **without
+        /// re-applying it** — the idempotent-replay guarantee that lets a
+        /// client blindly resend unacknowledged batches after a reconnect.
+        /// `seq == 0` opts out of deduplication (an unsequenced batch).
+        seq: u64,
         /// The events, applied in order.
         events: Vec<ChurnEvent>,
     },
@@ -316,9 +353,14 @@ impl Request {
                 out.push(2);
                 put_u64(out, *tenant);
             }
-            RequestBody::Churn { tenant, events } => {
+            RequestBody::Churn {
+                tenant,
+                seq,
+                events,
+            } => {
                 out.push(3);
                 put_u64(out, *tenant);
+                put_u64(out, *seq);
                 put_u32(out, events.len() as u32);
                 for event in events {
                     encode_event(out, event);
@@ -355,13 +397,18 @@ impl Request {
             2 => RequestBody::Evict { tenant: cur.u64()? },
             3 => {
                 let tenant = cur.u64()?;
+                let seq = cur.u64()?;
                 let declared = cur.u32()?;
                 let count = cur.check_count(u64::from(declared), MIN_EVENT_BYTES)?;
                 let mut events = Vec::with_capacity(count);
                 for _ in 0..count {
                     events.push(decode_event(&mut cur)?);
                 }
-                RequestBody::Churn { tenant, events }
+                RequestBody::Churn {
+                    tenant,
+                    seq,
+                    events,
+                }
             }
             4 => RequestBody::Solve { tenant: cur.u64()? },
             5 => {
@@ -410,6 +457,9 @@ pub enum ErrorCode {
     BadRequest,
     /// The server is shutting down and takes no new work.
     ShuttingDown,
+    /// The server failed internally (e.g. its write-ahead log could not be
+    /// appended); the request had no effect.
+    Internal,
 }
 
 impl ErrorCode {
@@ -421,6 +471,7 @@ impl ErrorCode {
             ErrorCode::Capacity => 4,
             ErrorCode::BadRequest => 5,
             ErrorCode::ShuttingDown => 6,
+            ErrorCode::Internal => 7,
         }
     }
 
@@ -432,6 +483,7 @@ impl ErrorCode {
             4 => ErrorCode::Capacity,
             5 => ErrorCode::BadRequest,
             6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Internal,
             t => return Err(DecodeError::UnknownTag(t)),
         })
     }
@@ -473,12 +525,18 @@ pub enum ResponseBody {
         /// The dropped tenant.
         tenant: u64,
     },
-    /// A churn batch was applied.
+    /// A churn batch was applied (or recognized as an already-applied replay).
     ChurnApplied {
         /// The target tenant.
         tenant: u64,
-        /// Events applied (the full batch unless an event failed).
+        /// Events applied (the full batch unless an event failed; `0` for a
+        /// deduplicated replay).
         applied: u32,
+        /// `true` when the batch's sequence number was at or below the
+        /// tenant's high-water mark: the batch had already been applied and
+        /// was **not** re-applied. The replaying client counts it as
+        /// delivered exactly once.
+        duplicate: bool,
     },
     /// A solve completed.
     Solved(SolveOutcome),
@@ -535,10 +593,15 @@ impl Response {
                 out.push(2);
                 put_u64(out, *tenant);
             }
-            ResponseBody::ChurnApplied { tenant, applied } => {
+            ResponseBody::ChurnApplied {
+                tenant,
+                applied,
+                duplicate,
+            } => {
                 out.push(3);
                 put_u64(out, *tenant);
                 put_u32(out, *applied);
+                out.push(u8::from(*duplicate));
             }
             ResponseBody::Solved(o) => {
                 out.push(4);
@@ -592,6 +655,11 @@ impl Response {
             3 => ResponseBody::ChurnApplied {
                 tenant: cur.u64()?,
                 applied: cur.u32()?,
+                duplicate: match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(DecodeError::UnknownTag(t)),
+                },
             },
             4 => ResponseBody::Solved(SolveOutcome {
                 tenant: cur.u64()?,
@@ -672,6 +740,7 @@ mod tests {
             req_id: u64::MAX,
             body: RequestBody::Churn {
                 tenant: 3,
+                seq: 17,
                 events: vec![
                     ChurnEvent::LeafRateChange { leaf: 12, load: 99 },
                     ChurnEvent::TenantArrive {
@@ -680,6 +749,18 @@ mod tests {
                     },
                     ChurnEvent::TenantDepart { tenant: 40 },
                     ChurnEvent::BudgetChange { budget: 8 },
+                    ChurnEvent::SwitchAvailability {
+                        switch: 5,
+                        available: false,
+                    },
+                    ChurnEvent::SwitchAvailability {
+                        switch: 5,
+                        available: true,
+                    },
+                    ChurnEvent::LinkRateChange {
+                        switch: 2,
+                        rate: 0.5,
+                    },
                 ],
             },
         });
@@ -713,6 +794,14 @@ mod tests {
                 alloc_events: 0,
                 wall_ns: 11_000_000,
             }),
+        });
+        round_trip_response(Response {
+            req_id: 13,
+            body: ResponseBody::ChurnApplied {
+                tenant: 2,
+                applied: 0,
+                duplicate: true,
+            },
         });
         round_trip_response(Response {
             req_id: 9,
@@ -749,11 +838,25 @@ mod tests {
         put_u64(&mut buf, 1); // req_id
         buf.push(3); // Churn
         put_u64(&mut buf, 7); // tenant
+        put_u64(&mut buf, 1); // seq
         put_u32(&mut buf, u32::MAX); // declared event count
         match Request::decode(&buf) {
             Err(DecodeError::BadLength(n)) => assert_eq!(n, u64::from(u32::MAX)),
             other => panic!("{other:?}"),
         }
+
+        // A SwitchAvailability event with a flag byte that is neither 0 nor 1.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 2); // req_id
+        buf.push(3); // Churn
+        put_u64(&mut buf, 7); // tenant
+        put_u64(&mut buf, 2); // seq
+        put_u32(&mut buf, 1); // one event
+        buf.push(4); // SwitchAvailability
+        put_u32(&mut buf, 0); // switch
+        buf.push(2); // bad flag
+        buf.extend_from_slice(&[0u8; 8]); // padding past check_count
+        assert_eq!(Request::decode(&buf), Err(DecodeError::UnknownTag(2)));
 
         // Trailing garbage after a valid message is rejected.
         let mut buf = Vec::new();

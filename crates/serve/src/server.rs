@@ -39,6 +39,7 @@ use crate::metrics::{add, MetricsSnapshot, ServeMetrics};
 use crate::protocol::{
     DecodeError, ErrorCode, Request, RequestBody, Response, ResponseBody, ShedScope, SolveOutcome,
 };
+use crate::wal::{self, TenantParams, TenantRecord, WalWriter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use soar_core::workspace::with_thread_workspace;
@@ -49,10 +50,11 @@ use soar_topology::load::LoadSpec;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server tunables. The defaults suit a localhost loadtest; the CLI exposes
 /// each as a flag.
@@ -74,6 +76,18 @@ pub struct ServeConfig {
     pub batch_cap: usize,
     /// Largest `BT(n)` parameter a register may ask for.
     pub max_switches: u32,
+    /// Directory for the write-ahead log and snapshots. `None` (the default)
+    /// runs without durability, exactly as before.
+    pub state_dir: Option<PathBuf>,
+    /// Replay `state_dir`'s snapshot + WAL at startup. Without this flag an
+    /// existing state dir is **replaced** by a fresh empty log.
+    pub recover: bool,
+    /// WAL records between snapshots (`0` snapshots after every batch).
+    pub snapshot_every: u64,
+    /// Per-connection write deadline: a response write blocked longer than
+    /// this counts as an `io_error` and drops the connection, so one slow
+    /// reader can never head-of-line-block a worker. `None` blocks forever.
+    pub write_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -86,14 +100,31 @@ impl Default for ServeConfig {
             max_frame_len: framing::MAX_FRAME_LEN,
             batch_cap: 128,
             max_switches: 1 << 20,
+            state_dir: None,
+            recover: false,
+            snapshot_every: 1024,
+            write_deadline: Some(Duration::from_secs(5)),
         }
     }
 }
 
-/// One resident tenant: its dynamic instance plus the admission gauge.
+/// One resident tenant: its mutable state behind a mutex, the immutable
+/// build parameters, and the admission gauge.
 struct TenantEntry {
-    state: Mutex<DynamicInstance>,
+    state: Mutex<TenantState>,
+    /// The deterministic build parameters of the register, kept so snapshots
+    /// can rebuild the tree shape.
+    params: TenantParams,
     inflight: AtomicUsize,
+}
+
+/// The lock-protected part of a tenant.
+struct TenantState {
+    instance: DynamicInstance,
+    /// Highest churn-batch `seq` applied (0 until the first sequenced batch).
+    /// Batches at or below it are answered `duplicate: true` without being
+    /// re-applied — and without reaching the WAL.
+    last_seq: u64,
 }
 
 /// One accepted connection. Responses from any thread serialize on `writer`;
@@ -114,9 +145,11 @@ impl Conn {
         frame[..framing::LEN_PREFIX_BYTES].copy_from_slice(&len.to_be_bytes());
         let mut w = self.writer.lock().unwrap();
         if w.write_all(&frame).is_err() {
-            // Peer went away mid-flight: remember it so the reader stops, but
-            // keep serving everyone else.
+            // Peer gone, or a slow reader filled the socket buffer past the
+            // write deadline. Either way the stream may be desynced: count
+            // it, drop the connection cleanly, keep serving everyone else.
             self.peer_gone.store(true, Ordering::Relaxed);
+            let _ = w.shutdown(std::net::Shutdown::Both);
             add(&shared.metrics.io_errors, 1);
         } else {
             add(&shared.metrics.responses, 1);
@@ -142,6 +175,8 @@ struct Shared {
     queue: Mutex<VecDeque<Work>>,
     queue_cv: Condvar,
     metrics: ServeMetrics,
+    /// Durable logging, when `config.state_dir` is set.
+    wal: Option<Mutex<WalWriter>>,
     shutdown: AtomicBool,
     conns: Mutex<Vec<Weak<TcpStream>>>,
     next_conn: AtomicU64,
@@ -217,12 +252,66 @@ impl ServerHandle {
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+
+    // Durable state: optionally recover, then begin a fresh snapshot + WAL
+    // (this also truncates any torn tail the previous run left behind).
+    let metrics = ServeMetrics::default();
+    let mut tenants = HashMap::new();
+    let wal = match &config.state_dir {
+        None => None,
+        Some(dir) => {
+            let mut records: Vec<TenantRecord> = Vec::new();
+            let mut next_index = 0;
+            if config.recover {
+                let replay_started = Instant::now();
+                let recovery = wal::recover(dir).map_err(io::Error::other)?;
+                add(
+                    &metrics.recovery_replay_ns,
+                    replay_started.elapsed().as_nanos() as u64,
+                );
+                next_index = recovery.next_index;
+                add(&metrics.recovered_tenants, recovery.tenants.len() as u64);
+                add(
+                    &metrics.replayed_wal_records,
+                    recovery.stats.replayed_records,
+                );
+                add(
+                    &metrics.recovery_truncated,
+                    u64::from(recovery.stats.truncated),
+                );
+                for t in recovery.tenants {
+                    records.push(TenantRecord {
+                        tenant: t.tenant,
+                        params: t.params,
+                        last_seq: t.last_seq,
+                        image: t.instance.image(),
+                    });
+                    tenants.insert(
+                        t.tenant,
+                        Arc::new(TenantEntry {
+                            state: Mutex::new(TenantState {
+                                instance: t.instance,
+                                last_seq: t.last_seq,
+                            }),
+                            params: t.params,
+                            inflight: AtomicUsize::new(0),
+                        }),
+                    );
+                }
+            }
+            let writer = WalWriter::begin(dir, next_index, &records).map_err(io::Error::other)?;
+            add(&metrics.snapshots, 1);
+            Some(Mutex::new(writer))
+        }
+    };
+
     let shared = Arc::new(Shared {
         config,
-        tenants: RwLock::new(HashMap::new()),
+        tenants: RwLock::new(tenants),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
-        metrics: ServeMetrics::default(),
+        metrics,
+        wal,
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         next_conn: AtomicU64::new(0),
@@ -265,6 +354,7 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(shared.config.write_deadline);
         add(&shared.metrics.accepted_conns, 1);
         let read_half = match stream.try_clone() {
             Ok(s) => Arc::new(s),
@@ -489,7 +579,11 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                     break;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // drained and draining stopped: done
+                    // Drained and draining stopped: leave a final snapshot so
+                    // a restart with --recover replays nothing.
+                    drop(queue);
+                    write_snapshot_now(shared);
+                    return;
                 }
                 queue = shared.queue_cv.wait(queue).unwrap();
             }
@@ -530,15 +624,81 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                 }
             });
         }
+        maybe_snapshot(shared);
+    }
+}
+
+/// Snapshots when enough WAL records accumulated. Dispatcher-only, between
+/// batches.
+fn maybe_snapshot(shared: &Arc<Shared>) {
+    let Some(wal) = &shared.wal else { return };
+    let due = wal.lock().unwrap().records_since_snapshot() > shared.config.snapshot_every;
+    if due {
+        write_snapshot_now(shared);
+    }
+}
+
+/// Writes a snapshot of every resident tenant and rotates the WAL.
+///
+/// Called only from the dispatcher **between** batches (and at shutdown):
+/// no pool worker holds a tenant lock then, so locking the tenants one at a
+/// time reads a consistent cut of the whole map.
+fn write_snapshot_now(shared: &Arc<Shared>) {
+    let Some(wal) = &shared.wal else { return };
+    let entries: Vec<(u64, Arc<TenantEntry>)> = {
+        let map = shared.tenants.read().unwrap();
+        let mut v: Vec<_> = map.iter().map(|(t, e)| (*t, Arc::clone(e))).collect();
+        v.sort_unstable_by_key(|&(t, _)| t);
+        v
+    };
+    let records: Vec<TenantRecord> = entries
+        .iter()
+        .map(|(tenant, entry)| {
+            let state = entry.state.lock().unwrap();
+            TenantRecord {
+                tenant: *tenant,
+                params: entry.params,
+                last_seq: state.last_seq,
+                image: state.instance.image(),
+            }
+        })
+        .collect();
+    match wal.lock().unwrap().write_snapshot(&records) {
+        Ok(()) => add(&shared.metrics.snapshots, 1),
+        Err(_) => add(&shared.metrics.wal_errors, 1),
     }
 }
 
 /// Maps an [`OnlineError`] from a churn apply onto the wire error codes.
 fn online_error(e: &OnlineError) -> ErrorCode {
     match e {
-        OnlineError::UnknownSwitch(_) | OnlineError::NotALeaf(_) => ErrorCode::BadSwitch,
+        OnlineError::UnknownSwitch(_) | OnlineError::NotALeaf(_) | OnlineError::InvalidRate(_) => {
+            ErrorCode::BadSwitch
+        }
         OnlineError::DuplicateTenant(_) => ErrorCode::DuplicateTenant,
         OnlineError::UnknownTenant(_) => ErrorCode::UnknownTenant,
+    }
+}
+
+/// Appends one WAL record (no-op without a state dir). On failure the
+/// caller must reject the request — the mutation must not happen, or replay
+/// would diverge.
+fn append_wal(
+    shared: &Arc<Shared>,
+    f: impl FnOnce(&mut WalWriter) -> Result<(), wal::WalError>,
+) -> Result<(), String> {
+    let Some(wal) = &shared.wal else {
+        return Ok(());
+    };
+    match f(&mut wal.lock().unwrap()) {
+        Ok(()) => {
+            add(&shared.metrics.wal_records, 1);
+            Ok(())
+        }
+        Err(e) => {
+            add(&shared.metrics.wal_errors, 1);
+            Err(format!("wal append failed: {e}"))
+        }
     }
 }
 
@@ -584,10 +744,19 @@ fn process_barrier(shared: &Arc<Shared>, work: Work) {
             } else {
                 // Deterministic build: BT(switches) with seeded paper-uniform
                 // leaf loads — the contract the offline-replay tests lean on.
+                let params = TenantParams {
+                    switches,
+                    budget,
+                    seed,
+                };
                 let instance = build_tenant(switches, budget, seed);
                 let n_switches = instance.n_switches() as u32;
                 let entry = Arc::new(TenantEntry {
-                    state: Mutex::new(instance),
+                    state: Mutex::new(TenantState {
+                        instance,
+                        last_seq: 0,
+                    }),
+                    params,
                     inflight: AtomicUsize::new(0),
                 });
                 use std::collections::hash_map::Entry;
@@ -597,18 +766,41 @@ fn process_barrier(shared: &Arc<Shared>, work: Work) {
                         ErrorCode::DuplicateTenant,
                     ),
                     Entry::Vacant(v) => {
-                        v.insert(entry);
-                        add(&shared.metrics.registers, 1);
-                        respond(ResponseBody::Registered { tenant, n_switches });
+                        // Log before insert: once the record is durable the
+                        // tenant WILL exist after any crash.
+                        match append_wal(shared, |w| w.append_register(tenant, params)) {
+                            Err(msg) => fail(msg, ErrorCode::Internal),
+                            Ok(()) => {
+                                v.insert(entry);
+                                add(&shared.metrics.registers, 1);
+                                respond(ResponseBody::Registered { tenant, n_switches });
+                            }
+                        }
                     }
                 }
             }
         }
         RequestBody::Evict { tenant } => {
-            if shared.tenants.write().unwrap().remove(&tenant).is_some() {
-                add(&shared.metrics.evictions, 1);
-                respond(ResponseBody::Evicted { tenant });
+            let mut map = shared.tenants.write().unwrap();
+            if map.contains_key(&tenant) {
+                match append_wal(shared, |w| w.append_evict(tenant)) {
+                    Err(msg) => {
+                        drop(map);
+                        add(&shared.metrics.errors, 1);
+                        respond(ResponseBody::Error {
+                            code: ErrorCode::Internal,
+                            message: msg,
+                        });
+                    }
+                    Ok(()) => {
+                        map.remove(&tenant);
+                        drop(map);
+                        add(&shared.metrics.evictions, 1);
+                        respond(ResponseBody::Evicted { tenant });
+                    }
+                }
             } else {
+                drop(map);
                 add(&shared.metrics.errors, 1);
                 respond(ResponseBody::Error {
                     code: ErrorCode::UnknownTenant,
@@ -662,31 +854,62 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
     };
 
     match body {
-        RequestBody::Churn { events, .. } => {
+        RequestBody::Churn { events, seq, .. } => {
             let mut state = entry.state.lock().unwrap();
-            let mut applied = 0u32;
-            let mut failed: Option<OnlineError> = None;
-            for event in &events {
-                // A budget change re-shapes the DP tables; allow it — the next
-                // solve simply pays a fresh table layout.
-                match state.apply(event) {
-                    Ok(()) => applied += 1,
-                    Err(e) => {
-                        failed = Some(e);
-                        break;
+            if seq != 0 && seq <= state.last_seq {
+                // Idempotent replay: the batch (or a later one) was already
+                // applied. Answer success without touching instance or WAL.
+                drop(state);
+                add(&shared.metrics.duplicate_churns, 1);
+                respond(ResponseBody::ChurnApplied {
+                    tenant,
+                    applied: 0,
+                    duplicate: true,
+                });
+            } else if let Err(msg) = append_wal(shared, |w| w.append_churn(tenant, seq, &events)) {
+                // Log-before-apply failed: reject without mutating, or a
+                // post-crash replay would miss this batch.
+                drop(state);
+                add(&shared.metrics.errors, 1);
+                respond(ResponseBody::Error {
+                    code: ErrorCode::Internal,
+                    message: msg,
+                });
+            } else {
+                if seq != 0 {
+                    // The batch consumes its seq even if an event fails below:
+                    // the WAL record is durable and replay will reproduce the
+                    // same partial application.
+                    state.last_seq = seq;
+                }
+                let mut applied = 0u32;
+                let mut failed: Option<OnlineError> = None;
+                for event in &events {
+                    // A budget change re-shapes the DP tables; allow it — the
+                    // next solve simply pays a fresh table layout.
+                    match state.instance.apply(event) {
+                        Ok(()) => applied += 1,
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
                     }
                 }
-            }
-            drop(state);
-            add(&shared.metrics.events_applied, u64::from(applied));
-            match failed {
-                None => respond(ResponseBody::ChurnApplied { tenant, applied }),
-                Some(e) => {
-                    add(&shared.metrics.errors, 1);
-                    respond(ResponseBody::Error {
-                        code: online_error(&e),
-                        message: format!("event {applied} failed: {e}"),
-                    });
+                drop(state);
+                add(&shared.metrics.events_applied, u64::from(applied));
+                match failed {
+                    None => respond(ResponseBody::ChurnApplied {
+                        tenant,
+                        applied,
+                        duplicate: false,
+                    }),
+                    Some(e) => {
+                        add(&shared.metrics.errors, 1);
+                        respond(ResponseBody::Error {
+                            code: online_error(&e),
+                            message: format!("event {applied} failed: {e}"),
+                        });
+                    }
                 }
             }
             shared
@@ -698,8 +921,8 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
             let state = entry.state.lock().unwrap();
             let outcome = with_thread_workspace(|ws| {
                 let t0 = Instant::now();
-                ws.gather_auto(state.tree(), state.budget());
-                let (cost, _) = ws.trace_best(state.tree());
+                ws.gather_auto(state.instance.tree(), state.instance.budget());
+                let (cost, _) = ws.trace_best(state.instance.tree());
                 SolveOutcome {
                     tenant,
                     cost,
@@ -727,7 +950,7 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
                 // One gather at the largest budget serves every requested k:
                 // the optimum at budget k is the running minimum of
                 // X_r(1, i) over i ≤ k (the sweep identity from soar-core).
-                ws.gather_auto(state.tree(), kmax);
+                ws.gather_auto(state.instance.tree(), kmax);
                 let mut best = f64::INFINITY;
                 let mut by_exact = vec![f64::INFINITY; kmax + 1];
                 for (i, slot) in by_exact.iter_mut().enumerate() {
@@ -808,6 +1031,20 @@ impl Client {
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.send(req)?;
         self.recv()?.ok_or(ClientError::Disconnected)
+    }
+
+    /// Bounds how long a single `recv` read may block (`None` restores the
+    /// default of blocking forever). The resilient loadtest path sets this so
+    /// a dead server surfaces as a timed-out `Err` instead of a hang.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(dur)
+    }
+
+    /// Writes raw bytes to the connection, bypassing request encoding and
+    /// framing entirely. This is the chaos-injection escape hatch (torn
+    /// frames, garbage payloads); well-behaved clients never need it.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
     }
 
     /// Splits into independently-usable send and receive halves (two socket
@@ -984,26 +1221,35 @@ mod tests {
             }
         ));
 
-        let resp = client
-            .call(&request(
-                3,
-                RequestBody::Churn {
-                    tenant: 7,
-                    events: vec![
-                        ChurnEvent::LeafRateChange { leaf: 62, load: 9 },
-                        ChurnEvent::TenantArrive {
-                            tenant: 0,
-                            loads: vec![(60, 5), (61, 5)],
-                        },
-                    ],
+        let churn = RequestBody::Churn {
+            tenant: 7,
+            seq: 1,
+            events: vec![
+                ChurnEvent::LeafRateChange { leaf: 62, load: 9 },
+                ChurnEvent::TenantArrive {
+                    tenant: 0,
+                    loads: vec![(60, 5), (61, 5)],
                 },
-            ))
-            .unwrap();
+            ],
+        };
+        let resp = client.call(&request(3, churn.clone())).unwrap();
         assert_eq!(
             resp.body,
             ResponseBody::ChurnApplied {
                 tenant: 7,
-                applied: 2
+                applied: 2,
+                duplicate: false
+            }
+        );
+        // Blind resend of the same sequenced batch (what a reconnecting client
+        // does): deduplicated, not re-applied.
+        let resp = client.call(&request(103, churn)).unwrap();
+        assert_eq!(
+            resp.body,
+            ResponseBody::ChurnApplied {
+                tenant: 7,
+                applied: 0,
+                duplicate: true
             }
         );
 
@@ -1052,7 +1298,11 @@ mod tests {
         assert_eq!(snap.resident_tenants, 1);
         assert_eq!(snap.solves, 1);
         assert_eq!(snap.sweeps, 1);
-        assert_eq!(snap.events_applied, 2);
+        assert_eq!(
+            snap.events_applied, 2,
+            "the replayed batch was not re-applied"
+        );
+        assert_eq!(snap.duplicate_churns, 1);
         assert_eq!(snap.sheds(), 0);
 
         let resp = client

@@ -30,6 +30,7 @@ fn tenant_batches(tenant: u64) -> Vec<Vec<ChurnEvent>> {
         tenant_leaves: 3,
         load: LoadSpec::paper_uniform(),
         mixed_tenants: true,
+        ..ChurnModel::paper_default()
     };
     let tree = builders::complete_binary_tree_bt(SWITCHES as usize);
     let mut stream = ChurnStream::new(model, &tree, StdRng::seed_from_u64(SEED ^ tenant));
@@ -74,6 +75,9 @@ fn interleaved_tenants_match_sequential_offline_replay() {
                 req_id: churn_id(round, tenant),
                 body: RequestBody::Churn {
                     tenant,
+                    // Per-tenant strictly increasing batch seq, as a resilient
+                    // client would assign.
+                    seq: round as u64 + 1,
                     events: batches[tenant as usize][round].clone(),
                 },
             })
@@ -100,9 +104,14 @@ fn interleaved_tenants_match_sequential_offline_replay() {
                 offline.apply(event).unwrap();
             }
             match &responses[&churn_id(round, tenant)] {
-                ResponseBody::ChurnApplied { tenant: t, applied } => {
+                ResponseBody::ChurnApplied {
+                    tenant: t,
+                    applied,
+                    duplicate,
+                } => {
                     assert_eq!(*t, tenant);
                     assert_eq!(*applied as usize, batch.len());
+                    assert!(!duplicate);
                 }
                 other => panic!("tenant {tenant} round {round}: {other:?}"),
             }

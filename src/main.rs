@@ -1066,13 +1066,24 @@ fn cmd_online_replay(args: &[String]) -> CliResult {
 
 const SERVE_USAGE: &str = "usage: soar serve [--addr HOST:PORT] [--queue-cap N] [--inflight-cap N]
                   [--max-tenants N] [--batch-cap N] [--metrics-out FILE]
+                  [--state-dir DIR [--recover] [--snapshot-every N]]
+                  [--write-deadline-ms MS]
 
 Runs the long-running solve/churn daemon: clients register tenants (each one a
 resident DynamicInstance), stream churn batches and request warm re-solves over
 a length-prefixed binary protocol. A full global queue or a tenant at its
 in-flight cap sheds with an explicit Overloaded response instead of buffering.
 Blocks until a client sends Shutdown; then drains, optionally writes the final
-metrics snapshot JSON to --metrics-out, and exits 0.";
+metrics snapshot JSON to --metrics-out, and exits 0.
+
+--state-dir makes tenant state crash-safe: every accepted register/evict/churn
+batch is appended to a CRC-checked write-ahead log before it is applied, with
+a tenant snapshot every --snapshot-every records. --recover replays
+snapshot+WAL from that directory on startup (post-recovery solves are
+bit-identical to an uninterrupted run); without it an existing state dir is
+replaced by a fresh empty log. --write-deadline-ms bounds how long one slow
+reader may block a response write (0 = no deadline) before the connection is
+dropped and counted in io_errors.";
 
 fn cmd_serve(args: &[String]) -> CliResult {
     let mut config = soar::serve::ServeConfig {
@@ -1091,12 +1102,28 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "--max-tenants" => config.max_tenants = parse_num(options.value_for(flag)?, flag)?,
             "--batch-cap" => config.batch_cap = parse_num(options.value_for(flag)?, flag)?,
             "--metrics-out" => metrics_out = Some(options.value_for(flag)?),
+            "--state-dir" => {
+                config.state_dir = Some(std::path::PathBuf::from(options.value_for(flag)?))
+            }
+            "--recover" => config.recover = true,
+            "--snapshot-every" => {
+                config.snapshot_every = parse_num(options.value_for(flag)?, flag)?
+            }
+            "--write-deadline-ms" => {
+                let ms: u64 = parse_num(options.value_for(flag)?, flag)?;
+                config.write_deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!("{SERVE_USAGE}");
                 return Ok(());
             }
             other => return Err(CliError::usage(format!("unknown serve flag `{other}`"))),
         }
+    }
+    if config.recover && config.state_dir.is_none() {
+        return Err(CliError::usage(
+            "--recover needs --state-dir (there is nothing to recover from)",
+        ));
     }
     let handle = soar::serve::start(config.clone())
         .map_err(|e| CliError::failure(format!("binding {}: {e}", config.addr)))?;
@@ -1123,7 +1150,9 @@ const LOADTEST_USAGE: &str = "usage: soar loadtest --addr HOST:PORT [--tenants N
                   [--budget K] [--connections N] [--window N] [--events-per-batch N]
                   [--batches N] [--solve-every N] [--rate EVENTS_PER_SEC] [--seed S]
                   [--out BENCH_serve.json] [--shutdown]
-                  [--assert-zero-sheds] [--assert-sheds]
+                  [--chaos | --resilient] [--timeout-ms MS] [--backoff-base-ms MS]
+                  [--backoff-cap-ms MS] [--max-attempts N] [--stall-ms MS]
+                  [--assert-zero-sheds] [--assert-sheds] [--assert-no-loss]
 
 Drives a running `soar serve` with synthesized churn: registers --tenants
 resident instances, streams --batches churn batches (ChurnStream epochs of
@@ -1134,13 +1163,26 @@ loop that injects on a wall-clock schedule and expects the server to shed what
 it cannot absorb. Prints throughput and client-side latency percentiles, and
 with --out writes the gated artifact for `soar history check`. --shutdown
 sends Shutdown when done. The --assert-* flags turn expectations about sheds
-into exit codes for CI.";
+into exit codes for CI.
+
+--resilient switches every connection to the fault-tolerant driver:
+per-request timeouts (--timeout-ms), reconnect with capped exponential backoff
+(--backoff-base-ms doubling up to --backoff-cap-ms, --max-attempts per batch),
+and per-tenant sequence numbers so unacknowledged batches replay idempotently
+(the server dedupes). --chaos additionally injects faults around the real
+traffic — connection drops before/after send, torn frames, undecodable frames,
+and --stall-ms slow-reader stalls — while keeping exact accounting: every
+batch ends applied exactly once or explicitly lost; --assert-no-loss turns any
+lost or unaccounted batch into exit code 1. In these modes --out writes the
+BENCH_chaos.json artifact instead (lost/unaccounted batches gate exactly).";
 
 fn cmd_loadtest(args: &[String]) -> CliResult {
     let mut config = soar::loadtest::LoadtestConfig::default();
     let mut out: Option<&str> = None;
     let mut assert_zero_sheds = false;
     let mut assert_sheds = false;
+    let mut assert_no_loss = false;
+    let mut stall_ms: Option<u64> = None;
     let mut options = Options::new(args);
     while let Some(flag) = options.next() {
         match flag {
@@ -1169,8 +1211,29 @@ fn cmd_loadtest(args: &[String]) -> CliResult {
             "--seed" => config.seed = parse_num(options.value_for(flag)?, flag)?,
             "--out" => out = Some(options.value_for(flag)?),
             "--shutdown" => config.shutdown = true,
+            "--chaos" => config.chaos = Some(soar::loadtest::ChaosConfig::standard()),
+            "--resilient" => {
+                config
+                    .chaos
+                    .get_or_insert_with(soar::loadtest::ChaosConfig::default);
+            }
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(options.value_for(flag)?, flag)?;
+                config.request_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--backoff-base-ms" => {
+                let ms: u64 = parse_num(options.value_for(flag)?, flag)?;
+                config.backoff_base = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--backoff-cap-ms" => {
+                let ms: u64 = parse_num(options.value_for(flag)?, flag)?;
+                config.backoff_cap = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--max-attempts" => config.max_attempts = parse_num(options.value_for(flag)?, flag)?,
+            "--stall-ms" => stall_ms = Some(parse_num(options.value_for(flag)?, flag)?),
             "--assert-zero-sheds" => assert_zero_sheds = true,
             "--assert-sheds" => assert_sheds = true,
+            "--assert-no-loss" => assert_no_loss = true,
             "--help" | "-h" => {
                 println!("{LOADTEST_USAGE}");
                 return Ok(());
@@ -1178,13 +1241,35 @@ fn cmd_loadtest(args: &[String]) -> CliResult {
             other => return Err(CliError::usage(format!("unknown loadtest flag `{other}`"))),
         }
     }
+    if let (Some(ms), Some(chaos)) = (stall_ms, config.chaos.as_mut()) {
+        chaos.stall_for = std::time::Duration::from_millis(ms);
+    }
     let report = soar::loadtest::run(&config)
         .map_err(|e| CliError::failure(format!("loadtest against {}: {e}", config.addr)))?;
     print!("{}", report.render());
     if let Some(path) = out {
-        let artifact = soar::loadtest::artifact(&config, &report);
+        let artifact = if config.chaos.is_some() {
+            soar::loadtest::chaos_artifact(&config, &report)
+        } else {
+            soar::loadtest::artifact(&config, &report)
+        };
         write_file(path, &artifact.to_json())?;
         println!("artifact written to {path}");
+    }
+    if assert_no_loss {
+        let Some(r) = &report.resilience else {
+            return Err(CliError::usage(
+                "--assert-no-loss needs --chaos or --resilient".to_owned(),
+            ));
+        };
+        if r.batches_lost > 0 || r.unaccounted() > 0 {
+            return Err(CliError::failure(format!(
+                "delivery accounting failed: {} lost, {} unaccounted of {} batches",
+                r.batches_lost,
+                r.unaccounted(),
+                r.batches_generated
+            )));
+        }
     }
     if assert_zero_sheds && report.sheds > 0 {
         return Err(CliError::failure(format!(

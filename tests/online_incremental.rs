@@ -30,8 +30,10 @@ fn random_loaded_tree(rng: &mut StdRng) -> Tree {
     tree
 }
 
-/// A random event stream over `tree`: churn-model events plus explicitly
-/// injected budget changes (which the generator never emits on its own).
+/// A random event stream over `tree`: churn-model events — including the
+/// failure-domain draws (switch-availability flaps and link-rate re-draws) —
+/// plus explicitly injected budget changes (which the generator never emits on
+/// its own).
 fn random_timeline(tree: &Tree, epochs: usize, rng: &mut StdRng) -> ChurnTimeline {
     let model = ChurnModel {
         arrivals_per_epoch: 0.8,
@@ -40,6 +42,9 @@ fn random_timeline(tree: &Tree, epochs: usize, rng: &mut StdRng) -> ChurnTimelin
         tenant_leaves: rng.random_range(1..=3),
         load: LoadSpec::paper_uniform(),
         mixed_tenants: true,
+        switch_flaps_per_epoch: 0.7,
+        link_rate_changes_per_epoch: 0.7,
+        ..ChurnModel::paper_default()
     };
     let mut timeline = model.generate(tree, epochs, rng);
     for epoch in timeline.iter_mut() {
