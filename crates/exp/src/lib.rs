@@ -6,8 +6,10 @@
 //! * [`spec`] — [`ExperimentSpec`]: a named, versioned, serde-backed
 //!   description of one evaluation experiment (topology/load/rate grids, budget
 //!   sweeps, solver sets, explicit seed rules, repetitions). The concrete specs
-//!   for every figure of the paper (Figs. 2, 3, 6–11, the ablation and the
-//!   gather perf microbench) live in [`registry`].
+//!   for every figure of the paper (Figs. 2, 3, 6–11, the ablation, the
+//!   gather perf microbench and the sequel-paper fabric experiments) live in
+//!   [`registry`]. User-authored spec files may factor shared scenario
+//!   fragments out with [`template`]'s `$include` directive.
 //! * [`run`] — executes a spec on the unified `soar_core::api` layer
 //!   (`solve_batch` / `sweep_budgets_batch` on the `soar-pool` work-stealing
 //!   pool, warm per-thread workspaces) and renders the results. Dynamic
@@ -59,11 +61,13 @@ pub mod perf;
 pub mod registry;
 pub mod run;
 pub mod spec;
+pub mod template;
 
 pub use artifact::{diff, DiffReport, EnvStamp, RunArtifact, Tolerances};
 pub use chart::{Chart, Series};
 pub use history::{HistoryError, RegressionPolicy, RegressionReport, Trajectory};
 pub use spec::{ExperimentKind, ExperimentSpec, Scale, ScenarioSpec, SpecValidationError};
+pub use template::TemplateError;
 
 /// One-stop imports for experiment drivers (the CLI, `soar-bench`, tests).
 pub mod prelude {

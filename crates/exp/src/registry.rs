@@ -13,11 +13,12 @@ use crate::spec::{
     ScalingFamily, ScenarioSpec, UseCaseSpec,
 };
 use soar_core::api::TopologySpec;
+use soar_fabric::{FabricSpec, FabricTopology};
 use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
 
 /// Registry names of all predefined experiments, in run order.
-pub const NAMES: [&str; 14] = [
+pub const NAMES: [&str; 16] = [
     "fig2",
     "fig3",
     "fig6",
@@ -32,6 +33,8 @@ pub const NAMES: [&str; 14] = [
     "ablation",
     "gather-bench",
     "dynamic-churn",
+    "fabric",
+    "fabric-sweep",
 ];
 
 /// The paper's `BT(n)` evaluation size for a scale.
@@ -406,6 +409,91 @@ fn dynamic_churn(scale: Scale) -> ExperimentSpec {
     )
 }
 
+/// The sequel-paper fabric of a scale. Quick stays small enough for the
+/// exhaustive `fabric-brute` oracle (20 switches at budget 4 enumerate in
+/// milliseconds), which is what lets the quick registry spec double as the
+/// solver-vs-oracle CI gate; paper scale is a 4-core, 8-pod fat-tree.
+fn fabric_spec(scale: Scale) -> FabricSpec {
+    let (topology, budget, congestion_bound) = match scale {
+        Scale::Quick => (
+            FabricTopology::MultiCoreFatTree {
+                cores: 2,
+                pods: 3,
+                aggs_per_pod: 2,
+                tors_per_agg: 2,
+            },
+            4,
+            2,
+        ),
+        Scale::Paper => (
+            FabricTopology::MultiCoreFatTree {
+                cores: 4,
+                pods: 8,
+                aggs_per_pod: 4,
+                tors_per_agg: 8,
+            },
+            16,
+            4,
+        ),
+    };
+    FabricSpec {
+        topology,
+        load: LoadSpec::paper_uniform(),
+        rates: RateScheme::paper_constant(),
+        seed: 61,
+        budget,
+        congestion_bound,
+        congestion_weight: 0.5,
+    }
+}
+
+fn fabric(scale: Scale) -> ExperimentSpec {
+    let fabric = fabric_spec(scale);
+    let solvers = match scale {
+        // Both solvers: equal cost points certify the decomposition against
+        // exhaustive enumeration on every CI run of the quick spec.
+        Scale::Quick => vec!["fabric-soar".into(), "fabric-brute".into()],
+        Scale::Paper => vec!["fabric-soar".into()],
+    };
+    ExperimentSpec::new(
+        "fabric",
+        "Congestion-constrained fabric placement: exact decomposition (vs oracle at quick scale)",
+        default_repetitions(scale),
+        ExperimentKind::FabricSolve {
+            title: format!("Fabric {}, k = {}", fabric.topology.label(), fabric.budget),
+            fabric,
+            solvers,
+            seed_stride: 59,
+        },
+    )
+}
+
+fn fabric_sweep(scale: Scale) -> ExperimentSpec {
+    let mut fabric = fabric_spec(scale);
+    let bounds = match scale {
+        Scale::Quick => vec![1, 2, 3],
+        Scale::Paper => vec![1, 2, 4, 8],
+    };
+    // Give the sweep budget headroom so the bound, not k, is what binds at
+    // the relaxed end; the spec's own bound is overridden per x value.
+    fabric.budget = match scale {
+        Scale::Quick => 6,
+        Scale::Paper => 32,
+    };
+    fabric.congestion_bound = *bounds.last().expect("bounds are non-empty");
+    ExperimentSpec::new(
+        "fabric-sweep",
+        "Congestion-bound sweep: fabric cost vs core congestion trade-off",
+        default_repetitions(scale),
+        ExperimentKind::FabricCongestionSweep {
+            title: format!("Fabric {}, k = {}", fabric.topology.label(), fabric.budget),
+            fabric,
+            bounds,
+            seed_stride: 67,
+        },
+    )
+}
+
 /// Looks up a predefined experiment by registry name.
 pub fn by_name(name: &str, scale: Scale) -> Option<ExperimentSpec> {
     Some(match name {
@@ -423,6 +511,8 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "ablation" => ablation(scale),
         "gather-bench" => gather_bench(),
         "dynamic-churn" => dynamic_churn(scale),
+        "fabric" => fabric(scale),
+        "fabric-sweep" => fabric_sweep(scale),
         _ => return None,
     })
 }
@@ -477,5 +567,38 @@ mod tests {
         }
         assert_eq!(default_repetitions(Scale::Paper), 10);
         assert_eq!(bt_size(Scale::Quick), 128);
+    }
+
+    #[test]
+    fn fabric_specs_gate_the_oracle_by_scale() {
+        let quick = by_name("fabric", Scale::Quick).unwrap();
+        let paper = by_name("fabric", Scale::Paper).unwrap();
+        match (&quick.kind, &paper.kind) {
+            (
+                ExperimentKind::FabricSolve { solvers: sq, .. },
+                ExperimentKind::FabricSolve {
+                    solvers: sp,
+                    fabric,
+                    ..
+                },
+            ) => {
+                assert!(
+                    sq.iter().any(|s| s == "fabric-brute"),
+                    "quick scale cross-checks against the oracle"
+                );
+                assert!(
+                    !sp.iter().any(|s| s == "fabric-brute"),
+                    "paper scale must not run the exhaustive oracle"
+                );
+                assert!(fabric.topology.n_switches() > 100, "paper scale is big");
+            }
+            _ => panic!("fabric is a FabricSolve spec"),
+        }
+        // Both scales of both fabric specs validate (the paper sweep included).
+        for name in ["fabric", "fabric-sweep"] {
+            for scale in [Scale::Quick, Scale::Paper] {
+                by_name(name, scale).unwrap().validate().unwrap();
+            }
+        }
     }
 }

@@ -23,6 +23,7 @@ use soar_core::api::{
     SolveReport, Solver, StrategySolver,
 };
 use soar_core::Strategy;
+use soar_fabric::FabricSolver;
 use soar_multitenant::churn::ChurnModel;
 use soar_multitenant::{workloads::MixedWorkloadGenerator, OnlineAllocator};
 use soar_online::{DynamicInstance, OnlineDriver, Verify};
@@ -44,6 +45,8 @@ pub fn paper_label(name: &str) -> &str {
         "all-red" => "All red",
         "all-blue" => "All blue",
         "brute-force" => "Brute force",
+        "fabric-soar" => "SOAR (fabric)",
+        "fabric-brute" => "Fabric oracle",
         other => other,
     }
 }
@@ -219,6 +222,18 @@ impl ExperimentSpec {
                 model,
                 seed_stride,
             } => run_dynamic_churn(self, title, scenario, *budget, *epochs, model, *seed_stride),
+            ExperimentKind::FabricSolve {
+                title,
+                fabric,
+                solvers,
+                seed_stride,
+            } => run_fabric_solve(self, title, fabric, solvers, *seed_stride),
+            ExperimentKind::FabricCongestionSweep {
+                title,
+                fabric,
+                bounds,
+                seed_stride,
+            } => run_fabric_sweep(self, title, fabric, bounds, *seed_stride),
             ExperimentKind::ServeBench { .. } => panic!(
                 "serve-bench artifacts are produced by `soar loadtest` against a live \
                  server and are not re-runnable"
@@ -619,6 +634,126 @@ fn run_dynamic_churn(
     vec![cost_chart, moves_chart, cells_chart]
 }
 
+/// Rebuilds a fabric with the repetition's load redraw folded into its seed.
+/// The repetitions stay a sequential outer loop: [`soar_fabric::DecomposeSolver`]
+/// already fans its per-tree DP out on the global pool, and nesting pool maps
+/// buys nothing at 3–10 repetitions.
+fn fabric_for_rep(
+    fabric: &soar_fabric::FabricSpec,
+    base_seed: u64,
+    rep: u64,
+    seed_stride: u64,
+) -> soar_fabric::FabricInstance {
+    soar_fabric::FabricSpec {
+        seed: fabric.seed.wrapping_add(base_seed + rep * seed_stride),
+        ..fabric.clone()
+    }
+    .build()
+    .expect("validated fabric specs build")
+}
+
+/// One fabric scenario through every listed fabric solver: chart 0 is the
+/// normalized objective at the fabric's budget, chart 1 the core up-link
+/// congestion. When the spec lists both `fabric-soar` and `fabric-brute`,
+/// equal cost points double as the solver-vs-oracle cross-check (the CI
+/// fabric-smoke gate asserts exactly that on the committed golden).
+fn run_fabric_solve(
+    spec: &ExperimentSpec,
+    title: &str,
+    fabric: &soar_fabric::FabricSpec,
+    solver_names: &[String],
+    seed_stride: u64,
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let mut cost_chart = Chart::new(
+        format!("{title}: fabric objective"),
+        "k",
+        "fabric objective (normalized to all-red)",
+    );
+    let mut congestion_chart = Chart::new(
+        format!("{title}: core congestion"),
+        "k",
+        "summed core up-link utilization",
+    );
+    let x = fabric.budget as f64;
+    for name in solver_names {
+        let solver = soar_fabric::solvers::by_name(name)
+            .unwrap_or_else(|| panic!("experiment spec references unknown fabric solver `{name}`"));
+        let mut cost_acc = 0.0;
+        let mut congestion_acc = 0.0;
+        for rep in 0..reps {
+            let instance = fabric_for_rep(fabric, spec.base_seed, rep, seed_stride);
+            let solution = solver.solve(&instance);
+            assert!(
+                solution.is_feasible(),
+                "fabric solver `{name}` returned an infeasible placement"
+            );
+            cost_acc += solution.normalized_cost;
+            congestion_acc += solution.congestion;
+        }
+        let mut cost_series = Series::new(paper_label(name));
+        cost_series.push(x, cost_acc / reps as f64);
+        cost_chart.push(cost_series);
+        let mut congestion_series = Series::new(paper_label(name));
+        congestion_series.push(x, congestion_acc / reps as f64);
+        congestion_chart.push(congestion_series);
+    }
+    vec![cost_chart, congestion_chart]
+}
+
+/// Sweeps the per-core congestion bound `c` over a fixed fabric with the
+/// exact `fabric-soar` decomposition, charting the cost/congestion trade-off
+/// (cost can only improve as the bound relaxes; congestion is what it buys).
+fn run_fabric_sweep(
+    spec: &ExperimentSpec,
+    title: &str,
+    fabric: &soar_fabric::FabricSpec,
+    bounds: &[usize],
+    seed_stride: u64,
+) -> Vec<Chart> {
+    let reps = spec.repetitions.max(1);
+    let mut cost_chart = Chart::new(
+        format!("{title}: cost vs congestion bound"),
+        "c",
+        "fabric objective (normalized to all-red)",
+    );
+    let mut congestion_chart = Chart::new(
+        format!("{title}: congestion vs congestion bound"),
+        "c",
+        "core up-link utilization",
+    );
+    let mut cost = Series::new("SOAR (fabric)");
+    let mut all_red = Series::new("All red");
+    let mut total_congestion = Series::new("summed core up-links");
+    let mut max_congestion = Series::new("most-utilized core up-link");
+    for &c in bounds {
+        let mut cost_acc = 0.0;
+        let mut total_acc = 0.0;
+        let mut max_acc = 0.0;
+        for rep in 0..reps {
+            let swept = soar_fabric::FabricSpec {
+                congestion_bound: c,
+                ..fabric.clone()
+            };
+            let instance = fabric_for_rep(&swept, spec.base_seed, rep, seed_stride);
+            let solution = soar_fabric::DecomposeSolver.solve(&instance);
+            cost_acc += solution.normalized_cost;
+            total_acc += solution.congestion;
+            max_acc += solution.max_core_utilization;
+        }
+        let reps_f = reps as f64;
+        cost.push(c as f64, cost_acc / reps_f);
+        all_red.push(c as f64, 1.0);
+        total_congestion.push(c as f64, total_acc / reps_f);
+        max_congestion.push(c as f64, max_acc / reps_f);
+    }
+    cost_chart.push(cost);
+    cost_chart.push(all_red);
+    congestion_chart.push(total_congestion);
+    congestion_chart.push(max_congestion);
+    vec![cost_chart, congestion_chart]
+}
+
 fn run_solve_time(
     spec: &ExperimentSpec,
     title: &str,
@@ -949,6 +1084,84 @@ mod tests {
         let red = &a.charts[0].series[1];
         for (c, r) in cost.points.iter().zip(&red.points) {
             assert!(c.1 <= r.1 + 1e-9);
+        }
+    }
+
+    fn tiny_fabric() -> soar_fabric::FabricSpec {
+        soar_fabric::FabricSpec {
+            topology: soar_fabric::FabricTopology::MultiCoreFatTree {
+                cores: 2,
+                pods: 3,
+                aggs_per_pod: 2,
+                tors_per_agg: 2,
+            },
+            load: LoadSpec::paper_uniform(),
+            rates: RateScheme::paper_constant(),
+            seed: 11,
+            budget: 4,
+            congestion_bound: 2,
+            congestion_weight: 0.5,
+        }
+    }
+
+    #[test]
+    fn fabric_runs_are_deterministic_and_solver_matches_oracle() {
+        let spec = ExperimentSpec::new(
+            "fabric-test",
+            "tiny fabric solve",
+            2,
+            ExperimentKind::FabricSolve {
+                title: "tiny fabric".into(),
+                fabric: tiny_fabric(),
+                solvers: vec!["fabric-soar".into(), "fabric-brute".into()],
+                seed_stride: 59,
+            },
+        );
+        spec.validate().expect("the tiny fabric spec validates");
+        let a = spec.run();
+        assert_eq!(a.to_json(), spec.run().to_json(), "byte-identical rerun");
+        assert_eq!(a.charts.len(), 2, "objective + congestion");
+        assert!(a.timing_charts.is_empty(), "fabric charts are exact");
+        let chart = &a.charts[0];
+        let soar = &chart.series[0];
+        let oracle = &chart.series[1];
+        assert_eq!(soar.label, "SOAR (fabric)");
+        assert_eq!(oracle.label, "Fabric oracle");
+        // The exact decomposition cost-matches exhaustive enumeration.
+        assert!(
+            (soar.points[0].1 - oracle.points[0].1).abs() < 1e-9,
+            "solver {} vs oracle {}",
+            soar.points[0].1,
+            oracle.points[0].1
+        );
+        assert!(soar.points[0].1 <= 1.0, "never worse than all-red");
+    }
+
+    #[test]
+    fn fabric_sweep_relaxing_the_bound_only_helps() {
+        let spec = ExperimentSpec::new(
+            "fabric-sweep-test",
+            "tiny congestion sweep",
+            2,
+            ExperimentKind::FabricCongestionSweep {
+                title: "tiny sweep".into(),
+                fabric: tiny_fabric(),
+                bounds: vec![1, 2, 3],
+                seed_stride: 67,
+            },
+        );
+        spec.validate().expect("the tiny sweep spec validates");
+        let a = spec.run();
+        assert_eq!(a.to_json(), spec.run().to_json(), "byte-identical rerun");
+        assert_eq!(a.charts.len(), 2);
+        let cost = &a.charts[0].series[0];
+        assert_eq!(cost.points.len(), 3);
+        for window in cost.points.windows(2) {
+            assert!(
+                window[1].1 <= window[0].1 + 1e-12,
+                "relaxing c must not increase the optimal cost: {:?}",
+                cost.points
+            );
         }
     }
 

@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 use soar_core::api::{Instance, TopologySpec};
+use soar_fabric::FabricSpec;
 use soar_multitenant::churn::ChurnModel;
 use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
@@ -351,6 +352,37 @@ pub enum ExperimentKind {
         /// instance draw).
         seed_stride: u64,
     },
+    /// One congestion-constrained fabric scenario (the 2022 sequel paper)
+    /// solved by the registered fabric solvers, charting the normalized
+    /// fabric objective and the core up-link congestion. Repetition `rep`
+    /// redraws the loads with seed `base_seed + rep * seed_stride` added to
+    /// the fabric's own seed.
+    FabricSolve {
+        /// Chart-title prefix.
+        title: String,
+        /// The fabric scenario (topology, loads, rates, `k`, `c`, γ).
+        fabric: FabricSpec,
+        /// Registry names of the fabric solvers (see `soar_fabric::solvers`),
+        /// in legend order.
+        solvers: Vec<String>,
+        /// Per-repetition seed stride of the load redraws.
+        seed_stride: u64,
+    },
+    /// Sweep of the per-core congestion bound `c` over a fixed fabric,
+    /// charting how tightening the bound trades fabric cost against core
+    /// congestion (the sequel paper's central tension). Solved by the exact
+    /// `fabric-soar` decomposition at every bound.
+    FabricCongestionSweep {
+        /// Chart-title prefix.
+        title: String,
+        /// The fabric scenario; its own `congestion_bound` is overridden by
+        /// each x value of the sweep.
+        fabric: FabricSpec,
+        /// The congestion bounds on the x axis (each must be ≥ 1).
+        bounds: Vec<usize>,
+        /// Per-repetition seed stride of the load redraws.
+        seed_stride: u64,
+    },
     /// Provenance record of a `soar loadtest` run against a `soar serve`
     /// daemon (the `BENCH_serve.json` artifact). Like [`Self::Adhoc`] it is
     /// **not re-runnable** through `experiment run` — the loadtest harness
@@ -649,6 +681,59 @@ fn check_rates(what: &str, rates: &RateScheme, problems: &mut Vec<String>) {
     }
 }
 
+/// Field-level validation of an embedded [`FabricSpec`]: degenerate topology
+/// dimensions, a zero congestion bound and a non-finite/negative γ are exactly
+/// the rejections `FabricSpec::build` would return — caught here so a
+/// hand-edited spec file fails fast at the CLI (exit 2) with the same
+/// actionable messages instead of erroring mid-run.
+fn check_fabric(what: &str, fabric: &FabricSpec, problems: &mut Vec<String>) {
+    if let Err(e) = fabric.topology.check() {
+        problems.push(format!("{what}: {e}"));
+    }
+    if fabric.congestion_bound == 0 {
+        problems.push(format!(
+            "{what}: {}",
+            soar_fabric::FabricError::ZeroCongestionBound
+        ));
+    }
+    if !(fabric.congestion_weight.is_finite() && fabric.congestion_weight >= 0.0) {
+        problems.push(format!(
+            "{what}: {}",
+            soar_fabric::FabricError::InvalidCongestionWeight(fabric.congestion_weight)
+        ));
+    }
+    check_load(&format!("{what} load"), &fabric.load, problems);
+    check_rates(&format!("{what} rates"), &fabric.rates, problems);
+}
+
+fn check_fabric_solvers(solvers: &[String], fabric: &FabricSpec, problems: &mut Vec<String>) {
+    if solvers.is_empty() {
+        problems.push(format!(
+            "fabric solver list is empty (registered: {})",
+            soar_fabric::solvers::NAMES.join(", ")
+        ));
+    }
+    for name in solvers {
+        if soar_fabric::solvers::by_name(name).is_none() {
+            problems.push(format!(
+                "unknown fabric solver `{name}` (registered: {})",
+                soar_fabric::solvers::NAMES.join(", ")
+            ));
+        }
+    }
+    if solvers.iter().any(|name| name == "fabric-brute")
+        && !soar_fabric::oracle_is_tractable(fabric.topology.n_switches(), fabric.budget)
+    {
+        problems.push(format!(
+            "`fabric-brute` cannot enumerate a {}-switch fabric at budget {} — the \
+             exhaustive oracle is for small cross-checks only (drop it from the solver \
+             list or shrink the fabric to quick scale)",
+            fabric.topology.n_switches(),
+            fabric.budget
+        ));
+    }
+}
+
 impl ExperimentKind {
     fn collect_problems(&self, repetitions: u64, problems: &mut Vec<String>) {
         match self {
@@ -859,6 +944,37 @@ impl ExperimentKind {
                     problems.push("churn tenant_leaves must be at least 1".to_owned());
                 }
                 check_load("churn load", &model.load, problems);
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
+            ExperimentKind::FabricSolve {
+                fabric,
+                solvers,
+                seed_stride,
+                ..
+            } => {
+                check_fabric("fabric", fabric, problems);
+                check_fabric_solvers(solvers, fabric, problems);
+                check_stride("seed_stride", *seed_stride, repetitions, problems);
+            }
+            ExperimentKind::FabricCongestionSweep {
+                fabric,
+                bounds,
+                seed_stride,
+                ..
+            } => {
+                check_fabric("fabric", fabric, problems);
+                if bounds.is_empty() {
+                    problems.push(
+                        "congestion-bound grid is empty (give at least one bound)".to_owned(),
+                    );
+                }
+                if bounds.contains(&0) {
+                    problems.push(
+                        "congestion bound 0 is in the sweep grid (every bound must \
+                         admit at least one blue switch per core tree)"
+                            .to_owned(),
+                    );
+                }
                 check_stride("seed_stride", *seed_stride, repetitions, problems);
             }
             ExperimentKind::ServeBench { .. } => {
@@ -1143,6 +1259,139 @@ mod tests {
         assert!(text.contains("arrivals_per_epoch"), "{text}");
         assert!(text.contains("tenant_leaves"), "{text}");
         assert!(text.contains("seed_stride is 0"), "{text}");
+    }
+
+    #[test]
+    fn validation_flags_degenerate_fabrics() {
+        use soar_fabric::{FabricSpec, FabricTopology};
+
+        let good_fabric = FabricSpec {
+            topology: FabricTopology::MultiCoreFatTree {
+                cores: 2,
+                pods: 3,
+                aggs_per_pod: 2,
+                tors_per_agg: 2,
+            },
+            load: LoadSpec::paper_uniform(),
+            rates: RateScheme::paper_constant(),
+            seed: 1,
+            budget: 4,
+            congestion_bound: 2,
+            congestion_weight: 0.5,
+        };
+        let wrap = |fabric: FabricSpec, solvers: Vec<String>| {
+            ExperimentSpec::new(
+                "fabric-test",
+                "fabric validation",
+                1,
+                ExperimentKind::FabricSolve {
+                    title: "t".into(),
+                    fabric,
+                    solvers,
+                    seed_stride: 1,
+                },
+            )
+        };
+        assert!(wrap(good_fabric.clone(), vec!["fabric-soar".into()])
+            .validate()
+            .is_ok());
+
+        // Zero cores.
+        let mut fabric = good_fabric.clone();
+        fabric.topology = FabricTopology::MultiCoreFatTree {
+            cores: 0,
+            pods: 3,
+            aggs_per_pod: 2,
+            tors_per_agg: 2,
+        };
+        let text = wrap(fabric, vec!["fabric-soar".into()])
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("at least one core switch"), "{text}");
+
+        // Degenerate pods (an agg with no ToRs below it).
+        let mut fabric = good_fabric.clone();
+        fabric.topology = FabricTopology::MultiCoreFatTree {
+            cores: 2,
+            pods: 3,
+            aggs_per_pod: 2,
+            tors_per_agg: 0,
+        };
+        let text = wrap(fabric, vec!["fabric-soar".into()])
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("at least one ToR"), "{text}");
+
+        // Congestion bound 0 and a bad γ collect together with a bad solver.
+        let mut fabric = good_fabric.clone();
+        fabric.congestion_bound = 0;
+        fabric.congestion_weight = f64::NAN;
+        let err = wrap(fabric, vec!["frobnicate".into()])
+            .validate()
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("congestion bound must be at least 1"),
+            "{text}"
+        );
+        assert!(text.contains("finite, non-negative"), "{text}");
+        assert!(
+            text.contains("unknown fabric solver `frobnicate`"),
+            "{text}"
+        );
+        assert_eq!(err.problems.len(), 3, "{text}");
+
+        // The exhaustive oracle is rejected at paper scale.
+        let mut fabric = good_fabric.clone();
+        fabric.topology = FabricTopology::MultiCoreFatTree {
+            cores: 4,
+            pods: 8,
+            aggs_per_pod: 4,
+            tors_per_agg: 8,
+        };
+        fabric.budget = 16;
+        let text = wrap(fabric, vec!["fabric-soar".into(), "fabric-brute".into()])
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("cannot enumerate"), "{text}");
+        assert!(text.contains("small cross-checks only"), "{text}");
+
+        // An empty sweep grid and a zero bound inside it are both flagged.
+        let sweep = ExperimentSpec::new(
+            "fabric-sweep-test",
+            "sweep validation",
+            1,
+            ExperimentKind::FabricCongestionSweep {
+                title: "t".into(),
+                fabric: good_fabric.clone(),
+                bounds: Vec::new(),
+                seed_stride: 1,
+            },
+        );
+        assert!(sweep
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("congestion-bound grid is empty"));
+        let sweep_zero = ExperimentSpec::new(
+            "fabric-sweep-test",
+            "sweep validation",
+            1,
+            ExperimentKind::FabricCongestionSweep {
+                title: "t".into(),
+                fabric: good_fabric,
+                bounds: vec![0, 1],
+                seed_stride: 1,
+            },
+        );
+        assert!(sweep_zero
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("congestion bound 0 is in the sweep grid"));
     }
 
     #[test]

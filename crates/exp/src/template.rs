@@ -1,0 +1,387 @@
+//! `$include` templating for user-authored spec files.
+//!
+//! Grid sweeps share most of their scenario (topology dimensions, load and
+//! rate schemes, seeds) and differ in one or two knobs. Rather than inventing
+//! a template language, spec documents may factor the shared part into a
+//! *fragment file* and pull it in with an `$include` directive:
+//!
+//! ```json
+//! { "$include": "fragments/fabric-base.json", "budget": 8 }
+//! ```
+//!
+//! Resolution rules (applied to the parsed [`Value`] tree, before the document
+//! is deserialized into an [`ExperimentSpec`] — so fragments compose at *any*
+//! nesting level, not just the top):
+//!
+//! * The `$include` path is resolved **relative to the directory of the file
+//!   containing the directive**, so spec bundles can be moved as a unit.
+//! * Fragments are resolved recursively — a fragment may itself `$include`
+//!   others — with a depth cap of [`MAX_INCLUDE_DEPTH`] to turn include
+//!   cycles into an actionable error instead of a stack overflow.
+//! * Sibling keys next to `$include` **override** the fragment's keys (or
+//!   extend it, for keys the fragment lacks). The fragment must resolve to an
+//!   object when siblings are present; an object whose *only* key is
+//!   `$include` is replaced by the fragment value verbatim (any JSON type, so
+//!   shared budget grids and solver lists work too).
+//!
+//! The root CLI routes every user spec file through
+//! [`spec_from_document`]; fragment problems surface as exit-2 messages the
+//! same way schema problems do.
+
+use crate::spec::ExperimentSpec;
+use serde::{Deserialize, Value};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The directive key that pulls a fragment file into an object.
+pub const INCLUDE_KEY: &str = "$include";
+
+/// Maximum depth of nested `$include` resolution. Deep include chains are
+/// almost always cycles (`a.json` → `b.json` → `a.json`), so the cap exists
+/// to report them as errors rather than recurse forever.
+pub const MAX_INCLUDE_DEPTH: usize = 16;
+
+/// Why `$include` resolution (or the final spec conversion) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateError {
+    /// An included fragment file could not be read.
+    Read {
+        /// The fragment path after relative-path resolution.
+        path: PathBuf,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// A document or fragment is not valid JSON.
+    Parse {
+        /// The file that failed to parse.
+        path: PathBuf,
+        /// The parser's message.
+        message: String,
+    },
+    /// An `$include` directive is malformed (non-string path, or sibling keys
+    /// next to a fragment that is not an object).
+    Directive {
+        /// The file containing the bad directive.
+        path: PathBuf,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The include chain exceeded [`MAX_INCLUDE_DEPTH`] levels.
+    TooDeep {
+        /// The fragment at which the cap tripped.
+        path: PathBuf,
+    },
+    /// The resolved document does not deserialize into an [`ExperimentSpec`].
+    NotASpec {
+        /// The deserializer's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Read { path, message } => {
+                write!(
+                    f,
+                    "cannot read included fragment {}: {message}",
+                    path.display()
+                )
+            }
+            TemplateError::Parse { path, message } => {
+                write!(f, "{} is not valid JSON: {message}", path.display())
+            }
+            TemplateError::Directive { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            TemplateError::TooDeep { path } => write!(
+                f,
+                "$include chain deeper than {MAX_INCLUDE_DEPTH} levels at {} — \
+                 is there an include cycle?",
+                path.display()
+            ),
+            TemplateError::NotASpec { message } => {
+                write!(f, "not an ExperimentSpec document: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Parses `text` (the contents of the spec file at `path`) and resolves every
+/// `$include` directive, returning the expanded [`Value`] tree.
+pub fn resolve_document(text: &str, path: &Path) -> Result<Value, TemplateError> {
+    let value = serde_json::parse_value(text).map_err(|e| TemplateError::Parse {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    resolve(&value, path, &dir_of(path), 0)
+}
+
+/// Parses `text` with [`resolve_document`] and deserializes the expanded tree
+/// into an [`ExperimentSpec`]. This does **not** call
+/// [`validate`](ExperimentSpec::validate) — semantic checks stay with the
+/// caller, which knows the context to report them in.
+pub fn spec_from_document(text: &str, path: &Path) -> Result<ExperimentSpec, TemplateError> {
+    let value = resolve_document(text, path)?;
+    ExperimentSpec::from_value(&value).map_err(|e| TemplateError::NotASpec { message: e.0 })
+}
+
+/// The directory `$include` paths inside `file` resolve against.
+fn dir_of(file: &Path) -> PathBuf {
+    match file.parent() {
+        Some(parent) if parent != Path::new("") => parent.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+fn kind_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::UInt(_) | Value::Int(_) | Value::Float(_) => "a number",
+        Value::Str(_) => "a string",
+        Value::Arr(_) => "an array",
+        Value::Obj(_) => "an object",
+    }
+}
+
+/// Reads, parses and recursively resolves one fragment file.
+fn load_fragment(path: &Path, depth: usize) -> Result<Value, TemplateError> {
+    if depth > MAX_INCLUDE_DEPTH {
+        return Err(TemplateError::TooDeep {
+            path: path.to_path_buf(),
+        });
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| TemplateError::Read {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let value = serde_json::parse_value(&text).map_err(|e| TemplateError::Parse {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    resolve(&value, path, &dir_of(path), depth)
+}
+
+/// Walks one value of `file`, expanding `$include` directives. `base_dir` is
+/// the directory of `file` (relative include paths resolve against it) and
+/// `depth` the number of include levels already on the stack.
+fn resolve(
+    value: &Value,
+    file: &Path,
+    base_dir: &Path,
+    depth: usize,
+) -> Result<Value, TemplateError> {
+    let entries = match value {
+        Value::Arr(items) => {
+            let resolved = items
+                .iter()
+                .map(|item| resolve(item, file, base_dir, depth))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Value::Arr(resolved));
+        }
+        Value::Obj(entries) => entries,
+        scalar => return Ok(scalar.clone()),
+    };
+
+    let Some((_, target)) = entries.iter().find(|(key, _)| key == INCLUDE_KEY) else {
+        let resolved = entries
+            .iter()
+            .map(|(key, item)| Ok((key.clone(), resolve(item, file, base_dir, depth)?)))
+            .collect::<Result<Vec<_>, TemplateError>>()?;
+        return Ok(Value::Obj(resolved));
+    };
+    let Value::Str(relative) = target else {
+        return Err(TemplateError::Directive {
+            path: file.to_path_buf(),
+            message: format!(
+                "`{INCLUDE_KEY}` needs a string path to a fragment file, got {}",
+                kind_name(target)
+            ),
+        });
+    };
+    let fragment = load_fragment(&base_dir.join(relative), depth + 1)?;
+    let overrides = entries
+        .iter()
+        .filter(|(key, _)| key != INCLUDE_KEY)
+        .map(|(key, item)| Ok((key.clone(), resolve(item, file, base_dir, depth)?)))
+        .collect::<Result<Vec<(String, Value)>, TemplateError>>()?;
+    if overrides.is_empty() {
+        // `{"$include": "..."}` alone is replaced by the fragment verbatim,
+        // whatever its type.
+        return Ok(fragment);
+    }
+    let Value::Obj(mut merged) = fragment else {
+        return Err(TemplateError::Directive {
+            path: file.to_path_buf(),
+            message: format!(
+                "`{relative}` resolves to {}, but the keys next to `{INCLUDE_KEY}` ({}) \
+                 can only override an object fragment",
+                kind_name(&fragment),
+                overrides
+                    .iter()
+                    .map(|(key, _)| key.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    };
+    for (key, item) in overrides {
+        match merged.iter_mut().find(|(existing, _)| *existing == key) {
+            Some(slot) => slot.1 = item,
+            None => merged.push((key, item)),
+        }
+    }
+    Ok(Value::Obj(merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use crate::spec::Scale;
+
+    /// A fresh scratch directory; recreated empty on every call.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("soar-template-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write(dir: &Path, name: &str, contents: &str) -> PathBuf {
+        let path = dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn sibling_keys_override_and_extend_the_fragment() {
+        let dir = scratch("override");
+        write(&dir, "frag.json", r#"{"a": 1, "b": 2}"#);
+        let doc = r#"{"$include": "frag.json", "b": 5, "c": 7}"#;
+        let value = resolve_document(doc, &dir.join("spec.json")).unwrap();
+        assert_eq!(value.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(value.get("b"), Some(&Value::UInt(5)));
+        assert_eq!(value.get("c"), Some(&Value::UInt(7)));
+        // Fragment key order is preserved; new keys append.
+        let keys: Vec<&str> = value
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lone_include_substitutes_any_fragment_type() {
+        let dir = scratch("verbatim");
+        write(&dir, "budgets.json", "[1, 2, 4, 8]");
+        let doc = r#"{"grid": {"$include": "budgets.json"}}"#;
+        let value = resolve_document(doc, &dir.join("spec.json")).unwrap();
+        assert_eq!(
+            value.get("grid"),
+            Some(&Value::Arr(vec![
+                Value::UInt(1),
+                Value::UInt(2),
+                Value::UInt(4),
+                Value::UInt(8)
+            ]))
+        );
+    }
+
+    #[test]
+    fn fragments_nest_and_resolve_relative_to_their_own_file() {
+        let dir = scratch("nested");
+        // spec.json → shared/outer.json → inner.json (sibling of outer, so the
+        // path only works if resolution is relative to outer's directory).
+        write(&dir, "shared/inner.json", r#"{"deep": true}"#);
+        write(
+            &dir,
+            "shared/outer.json",
+            r#"{"nested": {"$include": "inner.json"}, "x": 1}"#,
+        );
+        let doc = r#"{"$include": "shared/outer.json", "x": 2}"#;
+        let value = resolve_document(doc, &dir.join("spec.json")).unwrap();
+        assert_eq!(value.get("x"), Some(&Value::UInt(2)));
+        assert_eq!(
+            value.get("nested").and_then(|n| n.get("deep")),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn include_cycles_hit_the_depth_cap() {
+        let dir = scratch("cycle");
+        write(&dir, "a.json", r#"{"$include": "b.json"}"#);
+        write(&dir, "b.json", r#"{"$include": "a.json"}"#);
+        let err =
+            resolve_document(r#"{"$include": "a.json"}"#, &dir.join("spec.json")).unwrap_err();
+        assert!(matches!(err, TemplateError::TooDeep { .. }), "{err}");
+        assert!(err.to_string().contains("include cycle"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_malformed_fragments_are_reported_with_their_path() {
+        let dir = scratch("errors");
+        let err =
+            resolve_document(r#"{"$include": "nope.json"}"#, &dir.join("spec.json")).unwrap_err();
+        assert!(matches!(err, TemplateError::Read { .. }), "{err}");
+        assert!(err.to_string().contains("nope.json"), "{err}");
+
+        write(&dir, "broken.json", "{");
+        let err =
+            resolve_document(r#"{"$include": "broken.json"}"#, &dir.join("spec.json")).unwrap_err();
+        assert!(matches!(err, TemplateError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("broken.json"), "{err}");
+    }
+
+    #[test]
+    fn bad_directives_are_rejected() {
+        let dir = scratch("directives");
+        let spec_path = dir.join("spec.json");
+        // Non-string include target.
+        let err = resolve_document(r#"{"$include": 3}"#, &spec_path).unwrap_err();
+        assert!(err.to_string().contains("needs a string path"), "{err}");
+        // Sibling overrides next to a non-object fragment.
+        write(&dir, "list.json", "[1, 2]");
+        let err = resolve_document(r#"{"$include": "list.json", "k": 1}"#, &spec_path).unwrap_err();
+        assert!(err.to_string().contains("an array"), "{err}");
+        assert!(err.to_string().contains('k'), "{err}");
+    }
+
+    #[test]
+    fn a_real_spec_round_trips_through_a_fragment() {
+        // Factor a registry spec's whole body into a fragment and override its
+        // name from the including document — the resolved document must
+        // deserialize to the same spec (modulo the overridden field) and
+        // validate cleanly.
+        let dir = scratch("spec");
+        let original = registry::by_name("fabric", Scale::Quick).unwrap();
+        write(
+            &dir,
+            "base.json",
+            &serde_json::to_string_pretty(&original).unwrap(),
+        );
+        let doc = r#"{"$include": "base.json", "name": "fabric-derived"}"#;
+        let spec = spec_from_document(doc, &dir.join("spec.json")).unwrap();
+        assert_eq!(spec.name, "fabric-derived");
+        assert_eq!(spec.kind, original.kind);
+        assert_eq!(spec.repetitions, original.repetitions);
+        spec.validate().unwrap();
+
+        // And a fragment that is not a spec reports the deserializer message.
+        let err = spec_from_document(
+            r#"{"$include": "base.json", "kind": 3}"#,
+            &dir.join("s.json"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TemplateError::NotASpec { .. }), "{err}");
+    }
+}

@@ -1,0 +1,264 @@
+//! The immutable congestion-constrained fabric problem.
+
+use soar_reduce::{cost, Coloring};
+use soar_topology::{Tree, ROOT};
+
+use crate::FabricError;
+
+/// A congestion-constrained placement problem on a multi-root fabric.
+///
+/// The fabric is a forest of vertex-disjoint per-core aggregation trees
+/// `T_0, ..., T_{m-1}` (multipath routing resolved into its deterministic
+/// tree decomposition). A placement is one blue set `U_t` per tree, and the
+/// objective extends SOAR's utilization complexity with a **per-link
+/// congestion term** on the core up-links:
+///
+/// ```text
+/// Φ(U) = Σ_t φ(T_t, U_t)  +  γ · Σ_t util(core_t, U_t)
+/// ```
+///
+/// where `util(core_t, U_t) = msg(root_t) · ρ(root_t)` is the utilization of
+/// core `t`'s up-link towards the destination — the most contended link of
+/// the decomposed fabric. Because message counts do not depend on link rates,
+/// the term folds into φ *exactly* by reweighting only the core up-link:
+/// with `ω'(root_t) = ω(root_t) / (1 + γ)` (i.e. `ρ' = (1 + γ) ρ`),
+///
+/// ```text
+/// φ(T'_t, U_t) = φ(T_t, U_t) + γ · util(core_t, U_t)
+/// ```
+///
+/// so any exact tree solver run on the reweighted trees optimizes Φ. The
+/// [`Self::weighted_trees`] accessor exposes that reweighting; solvers and the
+/// brute-force oracle both work on it, keeping them comparable bit for bit.
+///
+/// Two constraints bound a feasible placement:
+///
+/// * the fabric-wide **budget** `Σ_t |U_t| ≤ k`, as in SOAR;
+/// * the **congestion bound** `|U_t| ≤ c` per core tree — the tractable
+///   instantiation of the sequel paper's per-core processing-capacity
+///   constraint (each core's region can host only so much in-network
+///   computation before its switches saturate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricInstance {
+    label: String,
+    trees: Vec<Tree>,
+    weighted: Vec<Tree>,
+    budget: usize,
+    congestion_bound: usize,
+    congestion_weight: f64,
+}
+
+impl FabricInstance {
+    /// Builds a fabric problem from explicit per-core trees.
+    ///
+    /// Validates the constraint parameters; the trees themselves are already
+    /// validated by construction ([`soar_topology::Tree`] invariants).
+    pub fn new(
+        label: impl Into<String>,
+        trees: Vec<Tree>,
+        budget: usize,
+        congestion_bound: usize,
+        congestion_weight: f64,
+    ) -> Result<Self, FabricError> {
+        if trees.is_empty() {
+            return Err(FabricError::Degenerate(
+                "a fabric needs at least one core tree".to_owned(),
+            ));
+        }
+        if congestion_bound == 0 {
+            return Err(FabricError::ZeroCongestionBound);
+        }
+        if !(congestion_weight.is_finite() && congestion_weight >= 0.0) {
+            return Err(FabricError::InvalidCongestionWeight(congestion_weight));
+        }
+        let weighted = trees
+            .iter()
+            .map(|tree| {
+                let mut w = tree.clone();
+                w.set_rate(ROOT, tree.rate(ROOT) / (1.0 + congestion_weight));
+                w
+            })
+            .collect();
+        Ok(FabricInstance {
+            label: label.into(),
+            trees,
+            weighted,
+            budget,
+            congestion_bound,
+            congestion_weight,
+        })
+    }
+
+    /// Human-readable label of the fabric (topology dimensions).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The per-core aggregation trees, with their real link rates.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// The congestion-reweighted trees (`ρ'(root) = (1 + γ) ρ(root)`, all
+    /// other links untouched): φ on these equals the fabric objective term.
+    pub fn weighted_trees(&self) -> &[Tree] {
+        &self.weighted
+    }
+
+    /// Number of per-core trees `m`.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total number of switches across the fabric.
+    pub fn n_switches(&self) -> usize {
+        self.trees.iter().map(Tree::n_switches).sum()
+    }
+
+    /// The fabric-wide aggregation budget `k`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The per-core-tree cap `c` on blue switches.
+    pub fn congestion_bound(&self) -> usize {
+        self.congestion_bound
+    }
+
+    /// The congestion weight γ.
+    pub fn congestion_weight(&self) -> f64 {
+        self.congestion_weight
+    }
+
+    /// Utilization `msg · ρ` of core `t`'s up-link under `coloring` — the
+    /// congestion term contributed by tree `t`, measured on the *real* rates.
+    pub fn core_utilization(&self, t: usize, coloring: &Coloring) -> f64 {
+        cost::link_utilization(&self.trees[t], coloring)[ROOT]
+    }
+
+    /// The full objective `Φ(U) = Σ_t φ(T'_t, U_t)` of a fabric placement
+    /// (one coloring per tree, aligned with [`Self::trees`]).
+    pub fn objective(&self, colorings: &[Coloring]) -> f64 {
+        assert_eq!(colorings.len(), self.trees.len(), "one coloring per tree");
+        self.weighted
+            .iter()
+            .zip(colorings)
+            .map(|(tree, coloring)| cost::phi(tree, coloring))
+            .sum()
+    }
+
+    /// The all-red baseline of the objective (no in-network aggregation
+    /// anywhere), used to normalize fabric costs the way `SolveReport` does.
+    pub fn baseline(&self) -> f64 {
+        self.weighted
+            .iter()
+            .map(|tree| cost::phi(tree, &Coloring::all_red(tree.n_switches())))
+            .sum()
+    }
+
+    /// Whether a placement respects the budget, the congestion bound, and
+    /// per-tree availability.
+    pub fn is_feasible(&self, colorings: &[Coloring]) -> bool {
+        colorings.len() == self.trees.len()
+            && colorings.iter().map(Coloring::n_blue).sum::<usize>() <= self.budget
+            && colorings.iter().zip(&self.trees).all(|(coloring, tree)| {
+                coloring.n_blue() <= self.congestion_bound
+                    && coloring.validate(tree, self.congestion_bound).is_ok()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soar_topology::builders;
+
+    fn two_tree_fabric(gamma: f64) -> FabricInstance {
+        let mut t0 = builders::two_tier_fat_tree(2, 2);
+        let mut t1 = builders::two_tier_fat_tree(2, 2);
+        for v in t0.leaves().collect::<Vec<_>>() {
+            t0.set_load(v, 3);
+        }
+        for v in t1.leaves().collect::<Vec<_>>() {
+            t1.set_load(v, 5);
+        }
+        FabricInstance::new("test", vec![t0, t1], 3, 2, gamma).unwrap()
+    }
+
+    #[test]
+    fn reweighting_is_exact() {
+        // φ(T', U) must equal φ(T, U) + γ·util(core, U) for every coloring.
+        let fabric = two_tree_fabric(0.75);
+        for t in 0..fabric.n_trees() {
+            let tree = &fabric.trees()[t];
+            let weighted = &fabric.weighted_trees()[t];
+            let n = tree.n_switches();
+            let colorings = [
+                Coloring::all_red(n),
+                Coloring::from_blue_nodes(n, [0usize]).unwrap(),
+                Coloring::from_blue_nodes(n, [1usize, 2]).unwrap(),
+            ];
+            for coloring in &colorings {
+                let direct = cost::phi(weighted, coloring);
+                let composed =
+                    cost::phi(tree, coloring) + 0.75 * fabric.core_utilization(t, coloring);
+                assert!(
+                    (direct - composed).abs() < 1e-9,
+                    "tree {t}: {direct} vs {composed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_gamma_leaves_trees_untouched() {
+        let fabric = two_tree_fabric(0.0);
+        assert_eq!(fabric.trees(), fabric.weighted_trees());
+    }
+
+    #[test]
+    fn feasibility_checks_budget_and_bound() {
+        let fabric = two_tree_fabric(0.5);
+        let n = fabric.trees()[0].n_switches();
+        let all_red = vec![Coloring::all_red(n), Coloring::all_red(n)];
+        assert!(fabric.is_feasible(&all_red));
+        // Per-tree bound violated: 3 blues in one tree with c = 2.
+        let over_bound = vec![
+            Coloring::from_blue_nodes(n, [0usize, 1, 2]).unwrap(),
+            Coloring::all_red(n),
+        ];
+        assert!(!fabric.is_feasible(&over_bound));
+        // Budget violated: 2 + 2 = 4 > k = 3.
+        let over_budget = vec![
+            Coloring::from_blue_nodes(n, [0usize, 1]).unwrap(),
+            Coloring::from_blue_nodes(n, [0usize, 1]).unwrap(),
+        ];
+        assert!(!fabric.is_feasible(&over_budget));
+    }
+
+    #[test]
+    fn baseline_sums_all_red_costs() {
+        let fabric = two_tree_fabric(0.5);
+        let n = fabric.trees()[0].n_switches();
+        let all_red = vec![Coloring::all_red(n), Coloring::all_red(n)];
+        assert!((fabric.baseline() - fabric.objective(&all_red)).abs() < 1e-12);
+        assert!(fabric.baseline() > 0.0);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_parameters() {
+        let tree = builders::star(3);
+        assert!(matches!(
+            FabricInstance::new("x", vec![], 1, 1, 0.0),
+            Err(FabricError::Degenerate(_))
+        ));
+        assert_eq!(
+            FabricInstance::new("x", vec![tree.clone()], 1, 0, 0.0).unwrap_err(),
+            FabricError::ZeroCongestionBound
+        );
+        assert!(matches!(
+            FabricInstance::new("x", vec![tree], 1, 1, f64::NAN),
+            Err(FabricError::InvalidCongestionWeight(_))
+        ));
+    }
+}

@@ -1,0 +1,107 @@
+//! # soar-fabric
+//!
+//! Congestion-constrained in-network computing on **multi-root datacenter
+//! fabrics** — the sequel scenario space of *Constrained In-network Computing
+//! with Low Congestion in Datacenter Networks* (Segal, Avin, Scalosub, 2022)
+//! implemented on the SOAR reproduction's substrate.
+//!
+//! The original SOAR problem places at most `k` aggregation points on **one**
+//! rooted tree. A datacenter fabric has several core switches: multipath
+//! routing sends each pod's reduce traffic through a deterministic core, so
+//! the fabric decomposes into vertex-disjoint per-core aggregation trees (see
+//! [`soar_topology::builders::multi_core_fat_tree`]). This crate models that
+//! decomposition as a first-class problem kind:
+//!
+//! * [`FabricSpec`] / [`FabricTopology`] — a declarative, serde-round-trippable
+//!   description of a fabric scenario (multi-root forests and multi-core
+//!   k-ary fat-trees, loads, link rates, budget `k`, congestion bound `c`,
+//!   congestion weight `γ`), materialized into a [`FabricInstance`].
+//! * [`FabricInstance`] — the immutable problem: the per-core trees plus the
+//!   congestion-extended objective
+//!   `Φ(U) = Σ_t φ(T_t, U_t) + γ · Σ_t util(core_t, U_t)`, where
+//!   `util(core_t, U_t)` is the utilization `msg · ρ` of core `t`'s up-link —
+//!   the per-link congestion term of the sequel paper. The congestion
+//!   **bound** `c` caps the blue switches placed in any single core's tree
+//!   (the tractable per-core capacity constraint; see [`FabricInstance`]).
+//! * [`DecomposeSolver`] — the exact solver: it folds the congestion term
+//!   into each tree by reweighting the core up-link (`ω' = ω / (1 + γ)`, so
+//!   `φ(T'_t, U_t) = φ(T_t, U_t) + γ · util_t` **exactly**), runs the warm
+//!   arena DP ([`soar_core::SolverWorkspace`]) per tree fanned out on
+//!   `soar-pool`, and composes the per-tree budget curves with an exact
+//!   knapsack subject to `Σ_t j_t ≤ k`, `j_t ≤ c`.
+//! * [`FabricBruteForce`] — an exhaustive oracle over all fabric-wide
+//!   placements at small sizes, used by the property tests to certify the
+//!   decomposition + knapsack + reweighting pipeline end to end.
+//! * [`solvers`] — a `by_name` registry mirroring `soar_core::api::solvers`.
+//!
+//! ## Example
+//!
+//! ```
+//! use soar_fabric::{DecomposeSolver, FabricSolver, FabricSpec, FabricTopology};
+//! use soar_topology::load::LoadSpec;
+//! use soar_topology::rates::RateScheme;
+//!
+//! // A 2-core fat-tree fabric: 4 pods of 2 aggregation switches with 2 ToRs
+//! // each, uniform leaf load, budget k = 4, at most c = 2 blue switches per
+//! // core tree, congestion weight γ = 0.5.
+//! let spec = FabricSpec {
+//!     topology: FabricTopology::MultiCoreFatTree {
+//!         cores: 2,
+//!         pods: 4,
+//!         aggs_per_pod: 2,
+//!         tors_per_agg: 2,
+//!     },
+//!     load: LoadSpec::uniform(4, 6),
+//!     rates: RateScheme::Constant(1.0),
+//!     seed: 7,
+//!     budget: 4,
+//!     congestion_bound: 2,
+//!     congestion_weight: 0.5,
+//! };
+//! let fabric = spec.build().unwrap();
+//! assert_eq!(fabric.n_trees(), 2);
+//!
+//! let solution = DecomposeSolver.solve(&fabric);
+//! assert!(solution.is_feasible());
+//! assert!(solution.blue_used <= 4);
+//! assert!(solution.per_tree_blue.iter().all(|&b| b <= 2));
+//! assert!(solution.normalized_cost <= 1.0); // never worse than all-red
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instance;
+mod oracle;
+mod solver;
+mod spec;
+
+pub use instance::FabricInstance;
+pub use oracle::{oracle_is_tractable, FabricBruteForce};
+pub use solver::{DecomposeSolver, FabricSolution, FabricSolver};
+pub use spec::{FabricError, FabricSpec, FabricTopology};
+
+/// Registry of fabric solvers by name, mirroring `soar_core::api::solvers`.
+pub mod solvers {
+    use crate::{DecomposeSolver, FabricBruteForce, FabricSolver};
+
+    /// Names of every registered fabric solver, in registry order.
+    pub const NAMES: [&str; 2] = ["fabric-soar", "fabric-brute"];
+
+    /// Looks a fabric solver up by registry name.
+    pub fn by_name(name: &str) -> Option<Box<dyn FabricSolver>> {
+        match name {
+            "fabric-soar" => Some(Box::new(DecomposeSolver)),
+            "fabric-brute" => Some(Box::new(FabricBruteForce)),
+            _ => None,
+        }
+    }
+
+    /// All registered fabric solvers, in registry order.
+    pub fn all() -> Vec<Box<dyn FabricSolver>> {
+        NAMES
+            .iter()
+            .map(|name| by_name(name).expect("registry names resolve"))
+            .collect()
+    }
+}

@@ -1,0 +1,218 @@
+//! Exhaustive reference solver for the fabric problem.
+//!
+//! Enumerates every fabric-wide placement `U = (U_0, ..., U_{m-1})` with
+//! `Σ_t |U_t| ≤ k` and `|U_t| ≤ c`, evaluating the congestion-extended
+//! objective directly. Like [`soar_core::brute_force`] this is strictly a
+//! testing oracle: the property tests use it to certify the decomposition +
+//! knapsack + reweighting pipeline of [`crate::DecomposeSolver`] end to end
+//! on random small fabrics.
+
+use soar_core::brute::MAX_SUBSETS;
+use soar_reduce::Coloring;
+use soar_topology::NodeId;
+
+use crate::{FabricInstance, FabricSolution, FabricSolver};
+
+/// Number of subsets of size at most `k` from a ground set of `n` elements
+/// (saturating early once past [`MAX_SUBSETS`]). Upper-bounds the oracle's
+/// enumeration — the per-tree cap `c` only prunes further.
+fn subset_count(n: usize, k: usize) -> u128 {
+    let mut total: u128 = 0;
+    let mut binom: u128 = 1;
+    for i in 0..=k.min(n) {
+        if i > 0 {
+            binom = binom * (n as u128 - i as u128 + 1) / i as u128;
+        }
+        total = total.saturating_add(binom);
+        if total > MAX_SUBSETS {
+            return total;
+        }
+    }
+    total
+}
+
+/// Whether [`FabricBruteForce`] can enumerate a fabric of `n_candidates`
+/// available switches at budget `k` without tripping its [`MAX_SUBSETS`]
+/// guard. The experiment validation layer uses this to reject oracle runs at
+/// paper scale with an actionable message instead of panicking mid-run.
+pub fn oracle_is_tractable(n_candidates: usize, budget: usize) -> bool {
+    subset_count(n_candidates, budget) <= MAX_SUBSETS
+}
+
+/// Finds an optimal feasible fabric placement by exhaustive enumeration.
+///
+/// # Panics
+///
+/// [`FabricSolver::solve`] panics if the number of candidate subsets exceeds
+/// [`MAX_SUBSETS`] — a guard against accidentally running the oracle on a
+/// real fabric (the experiment validation layer rejects oracle runs at paper
+/// scale before they get here).
+pub struct FabricBruteForce;
+
+impl FabricSolver for FabricBruteForce {
+    fn name(&self) -> &'static str {
+        "fabric-brute"
+    }
+
+    fn solve(&self, fabric: &FabricInstance) -> FabricSolution {
+        // Flatten the fabric's available switches into (tree, node) candidates.
+        let candidates: Vec<(usize, NodeId)> = fabric
+            .trees()
+            .iter()
+            .enumerate()
+            .flat_map(|(t, tree)| {
+                tree.node_ids()
+                    .filter(|&v| tree.available(v))
+                    .map(move |v| (t, v))
+            })
+            .collect();
+        let count = subset_count(candidates.len(), fabric.budget());
+        assert!(
+            count <= MAX_SUBSETS,
+            "the fabric oracle would enumerate up to {count} placements; \
+             it is for small tests only"
+        );
+
+        let mut colorings: Vec<Coloring> = fabric
+            .trees()
+            .iter()
+            .map(|tree| Coloring::all_red(tree.n_switches()))
+            .collect();
+        let mut per_tree = vec![0usize; fabric.n_trees()];
+        let mut best_cost = fabric.objective(&colorings);
+        let mut best = colorings.clone();
+        enumerate(
+            fabric,
+            &candidates,
+            0,
+            fabric.budget(),
+            &mut per_tree,
+            &mut colorings,
+            &mut best_cost,
+            &mut best,
+        );
+
+        let per_tree_blue: Vec<usize> = best.iter().map(Coloring::n_blue).collect();
+        FabricSolution::from_colorings(fabric, best, per_tree_blue)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    fabric: &FabricInstance,
+    candidates: &[(usize, NodeId)],
+    start: usize,
+    remaining: usize,
+    per_tree: &mut [usize],
+    colorings: &mut [Coloring],
+    best_cost: &mut f64,
+    best: &mut Vec<Coloring>,
+) {
+    if remaining == 0 || start == candidates.len() {
+        return;
+    }
+    for idx in start..candidates.len() {
+        let (t, v) = candidates[idx];
+        if per_tree[t] == fabric.congestion_bound() {
+            continue;
+        }
+        per_tree[t] += 1;
+        colorings[t].set_blue(v);
+        let value = fabric.objective(colorings);
+        // Same strict-improvement epsilon as `soar_core::brute_force`, so the
+        // two oracles break float ties identically.
+        if value < *best_cost - 1e-12 {
+            *best_cost = value;
+            best.clone_from_slice(colorings);
+        }
+        enumerate(
+            fabric,
+            candidates,
+            idx + 1,
+            remaining - 1,
+            per_tree,
+            colorings,
+            best_cost,
+            best,
+        );
+        colorings[t].set_red(v);
+        per_tree[t] -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soar_topology::builders;
+
+    fn small_fabric(budget: usize, bound: usize, gamma: f64) -> FabricInstance {
+        let mut trees = vec![
+            builders::two_tier_fat_tree(2, 2),
+            builders::two_tier_fat_tree(2, 2),
+        ];
+        for (offset, tree) in trees.iter_mut().enumerate() {
+            for (i, v) in tree.leaves().collect::<Vec<_>>().into_iter().enumerate() {
+                tree.set_load(v, 2 + (i + offset) as u64);
+            }
+        }
+        FabricInstance::new("small", trees, budget, bound, gamma).unwrap()
+    }
+
+    #[test]
+    fn budget_zero_is_all_red() {
+        let fabric = small_fabric(0, 1, 0.5);
+        let solution = FabricBruteForce.solve(&fabric);
+        assert_eq!(solution.blue_used, 0);
+        assert!((solution.cost - fabric.baseline()).abs() < 1e-12);
+        assert!((solution.normalized_cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_the_congestion_bound() {
+        // With a generous budget but c = 1, no tree may take two blues.
+        let fabric = small_fabric(4, 1, 0.0);
+        let solution = FabricBruteForce.solve(&fabric);
+        assert!(solution.is_feasible());
+        assert!(solution.per_tree_blue.iter().all(|&b| b <= 1));
+        // Relaxing the bound can only help.
+        let relaxed = FabricBruteForce.solve(&small_fabric(4, 4, 0.0));
+        assert!(relaxed.cost <= solution.cost + 1e-12);
+    }
+
+    #[test]
+    fn respects_availability() {
+        let mut trees = vec![builders::star(4), builders::star(4)];
+        for tree in &mut trees {
+            for v in tree.leaves().collect::<Vec<_>>() {
+                tree.set_load(v, 5);
+            }
+            // Only the root of each tree may aggregate.
+            for v in 1..tree.n_switches() {
+                tree.set_available(v, false);
+            }
+        }
+        let fabric = FabricInstance::new("gated", trees, 4, 2, 0.0).unwrap();
+        let solution = FabricBruteForce.solve(&fabric);
+        for (coloring, tree) in solution.colorings.iter().zip(fabric.trees()) {
+            for v in coloring.blue_nodes() {
+                assert!(tree.available(v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "for small tests only")]
+    fn oversized_fabrics_are_rejected() {
+        let trees = builders::multi_core_fat_tree(2, 8, 4, 8);
+        let fabric = FabricInstance::new("big", trees, 16, 8, 0.5).unwrap();
+        let _ = FabricBruteForce.solve(&fabric);
+    }
+
+    #[test]
+    fn subset_count_matches_binomials() {
+        assert_eq!(subset_count(5, 0), 1);
+        assert_eq!(subset_count(5, 1), 6);
+        assert_eq!(subset_count(5, 2), 16);
+        assert_eq!(subset_count(4, 4), 16);
+    }
+}

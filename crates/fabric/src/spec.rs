@@ -1,0 +1,392 @@
+//! Declarative description of a congestion-constrained fabric scenario.
+//!
+//! [`FabricSpec`] is to [`FabricInstance`] what `soar_core::api::Instance`'s
+//! builder inputs are to the instance itself: a small, serde-round-trippable
+//! document that materializes deterministically (same spec + same seed → the
+//! same fabric, bit for bit). The experiment pipeline embeds it verbatim in
+//! `ExperimentSpec` kinds, so every validation here maps to an actionable
+//! exit-2 message at the CLI.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use soar_topology::builders;
+use soar_topology::load::LoadSpec;
+use soar_topology::rates::RateScheme;
+use soar_topology::Tree;
+use std::fmt;
+
+use crate::FabricInstance;
+
+/// Why a fabric description was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// A fabric dimension that must be at least one was zero.
+    Degenerate(String),
+    /// The congestion bound must admit at least one blue switch per core tree.
+    ZeroCongestionBound,
+    /// The congestion weight γ must be finite and non-negative.
+    InvalidCongestionWeight(f64),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Degenerate(what) => write!(f, "degenerate fabric: {what}"),
+            FabricError::ZeroCongestionBound => write!(
+                f,
+                "the congestion bound must be at least 1 (it caps the blue switches \
+                 per core tree; 0 would forbid aggregation everywhere — use budget 0 \
+                 to model that)"
+            ),
+            FabricError::InvalidCongestionWeight(gamma) => write!(
+                f,
+                "the congestion weight must be a finite, non-negative γ, got {gamma}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// The fabric topology families a [`FabricSpec`] can instantiate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FabricTopology {
+    /// `roots` vertex-disjoint complete binary trees of `switches_per_tree`
+    /// switches each — the generic multi-root forest (every core serves an
+    /// identical-shape region).
+    MultiRootForest {
+        /// Number of core (root) switches, i.e. trees in the forest.
+        roots: usize,
+        /// Switches per tree (heap-shaped complete binary tree).
+        switches_per_tree: usize,
+    },
+    /// The multi-core k-ary fat-tree of
+    /// [`soar_topology::builders::multi_core_fat_tree`]: pod `p` routes
+    /// through core `p % cores`.
+    MultiCoreFatTree {
+        /// Number of core switches.
+        cores: usize,
+        /// Number of pods, assigned to cores round-robin.
+        pods: usize,
+        /// Aggregation switches per pod.
+        aggs_per_pod: usize,
+        /// ToR switches per aggregation switch (the load-carrying leaves).
+        tors_per_agg: usize,
+    },
+}
+
+impl FabricTopology {
+    /// A short human-readable label, used for instance labels and chart titles.
+    pub fn label(&self) -> String {
+        match self {
+            FabricTopology::MultiRootForest {
+                roots,
+                switches_per_tree,
+            } => format!("forest({roots}xBT{switches_per_tree})"),
+            FabricTopology::MultiCoreFatTree {
+                cores,
+                pods,
+                aggs_per_pod,
+                tors_per_agg,
+            } => format!("fat-tree(c{cores},p{pods},a{aggs_per_pod},t{tors_per_agg})"),
+        }
+    }
+
+    /// Rejects dimensions the builders would panic on, with actionable messages.
+    pub fn check(&self) -> Result<(), FabricError> {
+        let degenerate = |what: &str| Err(FabricError::Degenerate(what.to_owned()));
+        match *self {
+            FabricTopology::MultiRootForest {
+                roots,
+                switches_per_tree,
+            } => {
+                if roots == 0 {
+                    return degenerate("a multi-root forest needs at least one root (core) switch");
+                }
+                if switches_per_tree == 0 {
+                    return degenerate("every tree of the forest needs at least its root switch");
+                }
+            }
+            FabricTopology::MultiCoreFatTree {
+                cores,
+                pods,
+                aggs_per_pod,
+                tors_per_agg,
+            } => {
+                if cores == 0 {
+                    return degenerate("a fat-tree fabric needs at least one core switch");
+                }
+                if pods == 0 {
+                    return degenerate("a fat-tree fabric needs at least one pod");
+                }
+                if aggs_per_pod == 0 {
+                    return degenerate("every pod needs at least one aggregation switch");
+                }
+                if tors_per_agg == 0 {
+                    return degenerate(
+                        "every aggregation switch needs at least one ToR below it \
+                         (the ToRs carry the load)",
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of switches across the whole fabric.
+    pub fn n_switches(&self) -> usize {
+        match *self {
+            FabricTopology::MultiRootForest {
+                roots,
+                switches_per_tree,
+            } => roots * switches_per_tree,
+            FabricTopology::MultiCoreFatTree {
+                cores,
+                pods,
+                aggs_per_pod,
+                tors_per_agg,
+            } => cores + pods * aggs_per_pod * (1 + tors_per_agg),
+        }
+    }
+
+    /// Materializes the per-core trees (unit rates, zero load).
+    fn build_trees(&self) -> Vec<Tree> {
+        match *self {
+            FabricTopology::MultiRootForest {
+                roots,
+                switches_per_tree,
+            } => (0..roots)
+                .map(|_| builders::complete_binary_tree(switches_per_tree))
+                .collect(),
+            FabricTopology::MultiCoreFatTree {
+                cores,
+                pods,
+                aggs_per_pod,
+                tors_per_agg,
+            } => builders::multi_core_fat_tree(cores, pods, aggs_per_pod, tors_per_agg),
+        }
+    }
+}
+
+/// A whole congestion-constrained placement scenario, declaratively.
+///
+/// `budget` is the fabric-wide cap `k` on blue (aggregation) switches,
+/// `congestion_bound` the per-core-tree cap `c ≥ 1`, and `congestion_weight`
+/// the γ ≥ 0 weighting of the per-link congestion term in the objective (see
+/// [`FabricInstance`]). Loads are drawn per tree from `seed + tree_index`, so
+/// the materialization is deterministic and every core's draw is independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// The fabric topology family and its dimensions.
+    pub topology: FabricTopology,
+    /// Load distribution applied to the leaves of every core tree.
+    pub load: LoadSpec,
+    /// Link-rate scheme applied to every core tree.
+    pub rates: RateScheme,
+    /// Base seed of the per-tree load draws.
+    pub seed: u64,
+    /// Fabric-wide aggregation budget `k`.
+    pub budget: usize,
+    /// Per-core-tree cap `c` on blue switches (must be ≥ 1).
+    pub congestion_bound: usize,
+    /// Weight γ of the congestion term in the objective (must be ≥ 0, finite).
+    pub congestion_weight: f64,
+}
+
+impl FabricSpec {
+    /// Materializes the spec into an immutable [`FabricInstance`].
+    pub fn build(&self) -> Result<FabricInstance, FabricError> {
+        self.topology.check()?;
+        let mut trees = self.topology.build_trees();
+        for (t, tree) in trees.iter_mut().enumerate() {
+            tree.apply_rates(&self.rates);
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(t as u64));
+            tree.apply_leaf_loads(&self.load, &mut rng);
+        }
+        FabricInstance::new(
+            self.topology.label(),
+            trees,
+            self.budget,
+            self.congestion_bound,
+            self.congestion_weight,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FabricSpec {
+        FabricSpec {
+            topology: FabricTopology::MultiCoreFatTree {
+                cores: 2,
+                pods: 4,
+                aggs_per_pod: 2,
+                tors_per_agg: 3,
+            },
+            load: LoadSpec::uniform(4, 6),
+            rates: RateScheme::Constant(1.0),
+            seed: 11,
+            budget: 4,
+            congestion_bound: 2,
+            congestion_weight: 0.5,
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = spec().build().unwrap();
+        let b = spec().build().unwrap();
+        assert_eq!(a.trees(), b.trees());
+        assert_eq!(a.weighted_trees(), b.weighted_trees());
+    }
+
+    #[test]
+    fn fat_tree_dimensions() {
+        let fabric = spec().build().unwrap();
+        assert_eq!(fabric.n_trees(), 2);
+        assert_eq!(fabric.n_switches(), spec().topology.n_switches());
+        assert_eq!(fabric.n_switches(), 2 + 4 * 2 * 4);
+        // Only ToR leaves carry load.
+        for tree in fabric.trees() {
+            for v in tree.node_ids() {
+                if !tree.is_leaf(v) {
+                    assert_eq!(tree.load(v), 0);
+                }
+            }
+            assert!(tree.total_load() >= 4 * tree.leaves().count() as u64);
+        }
+    }
+
+    #[test]
+    fn forest_topology_builds_identical_shapes() {
+        let fabric = FabricSpec {
+            topology: FabricTopology::MultiRootForest {
+                roots: 3,
+                switches_per_tree: 7,
+            },
+            ..spec()
+        }
+        .build()
+        .unwrap();
+        assert_eq!(fabric.n_trees(), 3);
+        for tree in fabric.trees() {
+            assert_eq!(tree.n_switches(), 7);
+        }
+        // Per-tree seeds differ, so the load draws are independent.
+        let loads: Vec<Vec<u64>> = fabric.trees().iter().map(|t| t.loads()).collect();
+        assert!(loads[0] != loads[1] || loads[1] != loads[2]);
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_rejected() {
+        let reject = |topology: FabricTopology| {
+            let err = FabricSpec { topology, ..spec() }.build().unwrap_err();
+            assert!(matches!(err, FabricError::Degenerate(_)), "{err}");
+        };
+        reject(FabricTopology::MultiRootForest {
+            roots: 0,
+            switches_per_tree: 7,
+        });
+        reject(FabricTopology::MultiRootForest {
+            roots: 2,
+            switches_per_tree: 0,
+        });
+        reject(FabricTopology::MultiCoreFatTree {
+            cores: 0,
+            pods: 2,
+            aggs_per_pod: 1,
+            tors_per_agg: 1,
+        });
+        reject(FabricTopology::MultiCoreFatTree {
+            cores: 2,
+            pods: 0,
+            aggs_per_pod: 1,
+            tors_per_agg: 1,
+        });
+        reject(FabricTopology::MultiCoreFatTree {
+            cores: 2,
+            pods: 2,
+            aggs_per_pod: 0,
+            tors_per_agg: 1,
+        });
+        reject(FabricTopology::MultiCoreFatTree {
+            cores: 2,
+            pods: 2,
+            aggs_per_pod: 1,
+            tors_per_agg: 0,
+        });
+    }
+
+    #[test]
+    fn invalid_constraints_are_rejected() {
+        let err = FabricSpec {
+            congestion_bound: 0,
+            ..spec()
+        }
+        .build()
+        .unwrap_err();
+        assert_eq!(err, FabricError::ZeroCongestionBound);
+        for gamma in [-0.5, f64::NAN, f64::INFINITY] {
+            let err = FabricSpec {
+                congestion_weight: gamma,
+                ..spec()
+            }
+            .build()
+            .unwrap_err();
+            assert!(
+                matches!(err, FabricError::InvalidCongestionWeight(_)),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        assert!(FabricError::ZeroCongestionBound
+            .to_string()
+            .contains("at least 1"));
+        assert!(FabricError::InvalidCongestionWeight(-1.0)
+            .to_string()
+            .contains("-1"));
+        assert!(FabricError::Degenerate("x".into())
+            .to_string()
+            .contains('x'));
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        for topology in [
+            FabricTopology::MultiRootForest {
+                roots: 2,
+                switches_per_tree: 15,
+            },
+            FabricTopology::MultiCoreFatTree {
+                cores: 3,
+                pods: 6,
+                aggs_per_pod: 2,
+                tors_per_agg: 4,
+            },
+        ] {
+            let original = FabricSpec { topology, ..spec() };
+            let json = serde_json::to_string(&original).unwrap();
+            let back: FabricSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(original, back);
+        }
+    }
+
+    #[test]
+    fn labels_name_the_dimensions() {
+        assert_eq!(
+            FabricTopology::MultiRootForest {
+                roots: 4,
+                switches_per_tree: 31
+            }
+            .label(),
+            "forest(4xBT31)"
+        );
+        assert_eq!(spec().topology.label(), "fat-tree(c2,p4,a2,t3)");
+    }
+}

@@ -9,6 +9,9 @@
 //!   uniformly random existing node), handy for property testing.
 //! * [`two_tier_fat_tree`] — a two-tier ToR/aggregation topology resembling the leaf
 //!   level of a fat-tree pod.
+//! * [`multi_core_fat_tree`] — a k-ary fat-tree fabric with multiple core switches,
+//!   decomposed into one vertex-disjoint aggregation tree per core (pods assigned
+//!   round-robin), the substrate of the `soar-fabric` congestion-constrained solver.
 //! * [`path`], [`star`], [`caterpillar`] — degenerate shapes used in unit and property
 //!   tests (they exercise the extreme cases of the dynamic program: maximum height and
 //!   maximum branching).
@@ -128,7 +131,10 @@ pub fn caterpillar(spine: usize, legs: usize) -> Tree {
 /// `aggs` aggregation switches below it, and `tors_per_agg` top-of-rack switches below
 /// each aggregation switch. Only the ToR switches are expected to carry load.
 pub fn two_tier_fat_tree(aggs: usize, tors_per_agg: usize) -> Tree {
-    assert!(aggs >= 1);
+    assert!(
+        aggs >= 1,
+        "a fat-tree needs at least one aggregation switch"
+    );
     let mut b = TreeBuilder::new();
     let r = b.root(1.0);
     for _ in 0..aggs {
@@ -138,6 +144,58 @@ pub fn two_tier_fat_tree(aggs: usize, tors_per_agg: usize) -> Tree {
         }
     }
     b.build().expect("two-tier construction is always valid")
+}
+
+/// Builds a multi-core k-ary fat-tree fabric as a *forest* of per-core
+/// aggregation trees.
+///
+/// The fabric has `cores` core switches, `pods` pods of `aggs_per_pod`
+/// aggregation switches each, and `tors_per_agg` top-of-rack switches below
+/// every aggregation switch. Multipath routing is modelled by its
+/// deterministic tree decomposition: pod `p` sends its reduce traffic through
+/// core `p % cores` (round-robin over pods), so the fabric decomposes into
+/// `cores` vertex-disjoint trees, one rooted at each core switch. Within a
+/// core's tree the assigned pods appear in increasing pod index, their
+/// aggregation switches in pod-local order and the ToR leaves in agg-local
+/// order — the layout is fully deterministic, which the experiment pipeline's
+/// byte-identical artifact gate relies on.
+///
+/// `multi_core_fat_tree(1, 1, aggs, tors)` is exactly [`two_tier_fat_tree`]
+/// `(aggs, tors)`. A core left without pods (when `pods < cores`) still yields
+/// a valid single-switch tree. Only ToR switches are expected to carry load.
+///
+/// # Panics
+///
+/// Panics if `cores == 0`, `pods == 0` or `aggs_per_pod == 0`
+/// (`tors_per_agg == 0` is permitted: the aggregation switches become the
+/// leaves, mirroring `two_tier_fat_tree`).
+pub fn multi_core_fat_tree(
+    cores: usize,
+    pods: usize,
+    aggs_per_pod: usize,
+    tors_per_agg: usize,
+) -> Vec<Tree> {
+    assert!(cores >= 1, "a fabric needs at least one core switch");
+    assert!(pods >= 1, "a fabric needs at least one pod");
+    assert!(
+        aggs_per_pod >= 1,
+        "a pod needs at least one aggregation switch"
+    );
+    (0..cores)
+        .map(|core| {
+            let mut b = TreeBuilder::new();
+            let r = b.root(1.0);
+            for _pod in (core..pods).step_by(cores) {
+                for _ in 0..aggs_per_pod {
+                    let a = b.child(r, 1.0).expect("root exists");
+                    for _ in 0..tors_per_agg {
+                        b.child(a, 1.0).expect("agg exists");
+                    }
+                }
+            }
+            b.build().expect("fat-tree construction is always valid")
+        })
+        .collect()
 }
 
 /// Builds a random recursive tree with `n_switches` switches: switch `v` (for `v ≥ 1`)
@@ -346,6 +404,88 @@ mod tests {
         for agg in t.children(ROOT) {
             assert_eq!(t.n_children(*agg), 8);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggregation switch")]
+    fn two_tier_zero_aggs_panics() {
+        // 0 aggs is a fabric/tree with no aggregation layer at all — rejected.
+        two_tier_fat_tree(0, 8);
+    }
+
+    #[test]
+    fn two_tier_zero_tors_degenerates_to_a_star() {
+        // 0 ToRs per agg leaves the aggregation switches as the leaves: a star.
+        let t = two_tier_fat_tree(4, 0);
+        assert_eq!(t.n_switches(), 1 + 4);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaves().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_core_fat_tree_shape_invariants() {
+        // 2 cores, 5 pods, 3 aggs/pod, 2 tors/agg: pods 0,2,4 -> core 0 and
+        // pods 1,3 -> core 1.
+        let forest = multi_core_fat_tree(2, 5, 3, 2);
+        assert_eq!(forest.len(), 2);
+        let pod_switches = 3 * (1 + 2);
+        assert_eq!(forest[0].n_switches(), 1 + 3 * pod_switches);
+        assert_eq!(forest[1].n_switches(), 1 + 2 * pod_switches);
+        let total: usize = forest.iter().map(Tree::n_switches).sum();
+        assert_eq!(total, 2 + 5 * pod_switches);
+        for tree in &forest {
+            tree.validate().unwrap();
+            // Level grouping: root at depth 0, aggs at 1, ToRs at 2.
+            let levels = tree.levels();
+            assert_eq!(levels.len(), 3);
+            assert_eq!(levels[0], vec![ROOT]);
+            assert_eq!(levels[1].len(), tree.n_children(ROOT));
+            for &agg in tree.children(ROOT) {
+                assert_eq!(tree.n_children(agg), 2);
+            }
+            // The leaves are exactly the depth-2 ToRs, in id order.
+            let leaves: Vec<NodeId> = tree.leaves().collect();
+            assert_eq!(leaves, levels[2]);
+        }
+    }
+
+    #[test]
+    fn multi_core_fat_tree_is_deterministic() {
+        assert_eq!(
+            multi_core_fat_tree(3, 7, 2, 4),
+            multi_core_fat_tree(3, 7, 2, 4)
+        );
+    }
+
+    #[test]
+    fn multi_core_single_core_matches_two_tier() {
+        assert_eq!(
+            multi_core_fat_tree(1, 1, 4, 8),
+            vec![two_tier_fat_tree(4, 8)]
+        );
+    }
+
+    #[test]
+    fn multi_core_more_cores_than_pods_yields_bare_roots() {
+        let forest = multi_core_fat_tree(4, 2, 2, 1);
+        assert_eq!(forest.len(), 4);
+        // Cores 2 and 3 get no pod: a single-switch tree each.
+        assert_eq!(forest[2].n_switches(), 1);
+        assert_eq!(forest[3].n_switches(), 1);
+        assert_eq!(forest[0].n_switches(), 1 + 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pod")]
+    fn multi_core_zero_pods_panics() {
+        multi_core_fat_tree(2, 0, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn multi_core_zero_cores_panics() {
+        multi_core_fat_tree(0, 2, 2, 2);
     }
 
     #[test]

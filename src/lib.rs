@@ -25,6 +25,11 @@
 //!   binary protocol, with admission control that sheds under overload;
 //! * [`loadtest`] — the churn-synthesizing client harness reporting sustained
 //!   events/sec and latency percentiles as gated `BENCH_serve.json` artifacts;
+//! * [`fabric`] — congestion-constrained placement on multi-root datacenter
+//!   fabrics (the 2022 sequel paper): [`FabricSpec`](fabric::FabricSpec) →
+//!   [`FabricInstance`](fabric::FabricInstance), the exact
+//!   [`DecomposeSolver`](fabric::DecomposeSolver) (per-tree arena DP +
+//!   knapsack composition) and an exhaustive small-size oracle;
 //! * [`pool`] — the std-only work-stealing thread pool behind the batch entry
 //!   points and the level-parallel gather;
 //! * [`exp`] — the declarative experiment layer
@@ -67,6 +72,7 @@ pub use soar_apps as apps;
 pub use soar_core as core;
 pub use soar_dataplane as dataplane;
 pub use soar_exp as exp;
+pub use soar_fabric as fabric;
 pub use soar_loadtest as loadtest;
 pub use soar_multitenant as multitenant;
 pub use soar_online as online;

@@ -12,6 +12,9 @@
 //! soar experiment check <artifact.json> --golden <golden.json> [--rel X] [--abs X] [--timing-rel X]
 //! soar online run [--switches N] [--budget K] [--epochs E] [--seed S] [--out artifact.json]
 //! soar online replay <artifact.json>
+//! soar fabric solve [--cores C --pods P --aggs A --tors T | --roots R --tree-switches N]
+//!                   [--budget K] [--bound C] [--gamma G] [--solvers LIST] [--out artifact.json]
+//! soar fabric sweep --bounds 1,2,4 [same topology/budget flags] [--out artifact.json]
 //! soar serve [--addr HOST:PORT] [--queue-cap N] [--inflight-cap N] [--metrics-out FILE]
 //! soar loadtest --addr HOST:PORT [--tenants N] [--batches N] [--rate R] [--out BENCH_serve.json]
 //! soar history report <artifact.json>... | --dir DIR [--spec NAME]
@@ -22,6 +25,8 @@
 //! of `soar-core` plus the `soar-exp` artifact format). `experiment run` takes
 //! registry names *or* paths to user-authored spec files (anything ending in
 //! `.json` or containing a path separator), which are validated before running.
+//! Spec files may pull shared scenario fragments in with `$include` directives
+//! (see `soar_exp::template`), resolved relative to the including file.
 //! Exit codes: `0` on success, `1` on operational failures (missing files, a
 //! failed golden check, a perf regression), `2` on usage errors and invalid
 //! spec documents. Argument parsing is hand-rolled — the build environment is
@@ -60,7 +65,7 @@ impl CliError {
 type CliResult = Result<(), CliError>;
 
 const TOP_USAGE: &str =
-    "usage: soar <solve|sweep|compare|instance|experiment|online|serve|loadtest|history> [options]
+    "usage: soar <solve|sweep|compare|instance|experiment|online|fabric|serve|loadtest|history> [options]
        soar --help
 
 subcommands:
@@ -70,6 +75,7 @@ subcommands:
   instance    mint Instance JSON from topology/load/rate flags
   experiment  list, run and check the declarative experiments (registry names or spec files)
   online      replay dynamic churn timelines on the incremental re-optimization engine
+  fabric      congestion-constrained placement on multi-root fabrics (solve, sweep)
   serve       long-running solve/churn daemon with resident tenants and admission control
   loadtest    drive a running server with synthesized churn; report throughput and latency
   history     trajectory reports and regression gates over artifact series";
@@ -103,6 +109,7 @@ fn dispatch(args: &[String]) -> CliResult {
         Some("instance") => cmd_instance(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("online") => cmd_online(&args[1..]),
+        Some("fabric") => cmd_fabric(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
@@ -757,8 +764,8 @@ fn load_spec(name: &str, scale: Scale) -> Result<ExperimentSpec, CliError> {
         });
     }
     let json = read_file(name)?;
-    let spec: ExperimentSpec = serde_json::from_str(&json)
-        .map_err(|e| CliError::invalid(format!("{name} is not an ExperimentSpec document: {e}")))?;
+    let spec = soar::exp::template::spec_from_document(&json, std::path::Path::new(name))
+        .map_err(|e| CliError::invalid(format!("{name}: {e}")))?;
     spec.validate()
         .map_err(|e| CliError::invalid(format!("{name}: {e}")))?;
     Ok(spec)
@@ -988,7 +995,7 @@ fn cmd_online_run(args: &[String]) -> CliResult {
     spec.validate()
         .map_err(|e| CliError::invalid(format!("online run configuration: {e}")))?;
     let artifact = spec.run();
-    print_online_charts(&artifact, csv);
+    print_charts(&artifact, csv);
     if let Some(path) = out {
         write_file(path, &artifact.to_json())?;
         println!("wrote {path}");
@@ -996,7 +1003,7 @@ fn cmd_online_run(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn print_online_charts(artifact: &RunArtifact, csv: bool) {
+fn print_charts(artifact: &RunArtifact, csv: bool) {
     for chart in &artifact.charts {
         if csv {
             println!("# {}", chart.title);
@@ -1048,7 +1055,7 @@ fn cmd_online_replay(args: &[String]) -> CliResult {
         stored.spec.name, stored.spec.repetitions
     );
     let fresh = stored.spec.run();
-    print_online_charts(&fresh, csv);
+    print_charts(&fresh, csv);
     let report = diff(&stored, &fresh, &Tolerances::default());
     if report.is_match() {
         println!("OK: replay of {path} reproduced the stored trajectory");
@@ -1058,6 +1065,243 @@ fn cmd_online_replay(args: &[String]) -> CliResult {
             "replay of {path} deviates from the stored trajectory: {report}"
         )))
     }
+}
+
+// ---------------------------------------------------------------------------
+// fabric solve / sweep
+// ---------------------------------------------------------------------------
+
+const FABRIC_USAGE: &str = "usage: soar fabric solve [options]
+       soar fabric sweep --bounds C1,C2,... [options]
+
+Congestion-constrained placement on a multi-root fabric (the sequel paper's
+scenario): multipath routing decomposes the fabric into vertex-disjoint
+per-core aggregation trees. `solve` places at most --budget blue switches
+fabric-wide with at most --bound per core tree, weighting every core up-link's
+utilization by --gamma in the objective. `sweep` re-solves the same fabric
+under each bound of --bounds and charts cost and congestion against the bound.
+Both print chart tables and write standard RunArtifacts (usable with
+`soar experiment check` and `soar history`).
+
+topology (the fat-tree family is the default; --roots switches to the forest):
+  --cores C          fat-tree core switches (default 2)
+  --pods P           fat-tree pods, assigned to cores round-robin (default 4)
+  --aggs A           aggregation switches per pod (default 2)
+  --tors T           ToR switches per aggregation switch (default 2)
+  --roots R          multi-root forest: R disjoint complete binary trees
+  --tree-switches N  switches per forest tree (default 15; needs --roots)
+
+scenario:
+  --load DIST        leaf load distribution (soar instance syntax; default uniform)
+  --rates SCHEME     constant[:w] | linear[:base,step] | exponential[:base,factor]
+  --seed S           base seed of the per-tree load draws (default 0)
+  --budget K         fabric-wide blue budget (default 4)
+  --bound C          per-core-tree blue cap (solve only; default 2)
+  --bounds LIST      congestion-bound grid (sweep only; required)
+  --gamma G          congestion weight γ ≥ 0 (default 0.5)
+  --solvers LIST     solve only: fabric solvers to run, default fabric-soar
+                     (registered: fabric-soar, fabric-brute)
+  --reps R           averaged repetitions (default 1)
+  --csv              print charts as CSV instead of aligned tables
+  --out FILE         write the RunArtifact JSON there";
+
+fn cmd_fabric(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_fabric_run(&args[1..], false),
+        Some("sweep") => cmd_fabric_run(&args[1..], true),
+        Some("--help") | Some("-h") => {
+            println!("{FABRIC_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown fabric subcommand `{other}`"
+        ))),
+        None => Err(CliError::usage("fabric needs a subcommand (solve, sweep)")),
+    }
+}
+
+/// `soar fabric solve` and `soar fabric sweep` share every flag except the
+/// congestion-bound shape (one `--bound` vs a `--bounds` grid) and `--solvers`,
+/// so both run through here; `sweep` selects the grid kind.
+fn cmd_fabric_run(args: &[String], sweep: bool) -> CliResult {
+    use soar::fabric::{FabricSpec, FabricTopology};
+
+    let command = if sweep {
+        "fabric sweep"
+    } else {
+        "fabric solve"
+    };
+    let mut cores: Option<usize> = None;
+    let mut pods: Option<usize> = None;
+    let mut aggs: Option<usize> = None;
+    let mut tors: Option<usize> = None;
+    let mut roots: Option<usize> = None;
+    let mut tree_switches: Option<usize> = None;
+    let mut load: Option<&str> = None;
+    let mut rates: Option<&str> = None;
+    let mut seed = 0u64;
+    let mut budget = 4usize;
+    let mut bound: Option<usize> = None;
+    let mut bounds: Option<Vec<usize>> = None;
+    let mut gamma = 0.5f64;
+    let mut reps = 1u64;
+    let mut solvers: Option<&str> = None;
+    let mut csv = false;
+    let mut out: Option<&str> = None;
+    let mut options = Options::new(args);
+    while let Some(flag) = options.next() {
+        match flag {
+            "--cores" => cores = Some(parse_num(options.value_for(flag)?, flag)?),
+            "--pods" => pods = Some(parse_num(options.value_for(flag)?, flag)?),
+            "--aggs" => aggs = Some(parse_num(options.value_for(flag)?, flag)?),
+            "--tors" => tors = Some(parse_num(options.value_for(flag)?, flag)?),
+            "--roots" => roots = Some(parse_num(options.value_for(flag)?, flag)?),
+            "--tree-switches" => tree_switches = Some(parse_num(options.value_for(flag)?, flag)?),
+            "--load" | "-l" => load = Some(options.value_for(flag)?),
+            "--rates" | "-r" => rates = Some(options.value_for(flag)?),
+            "--seed" => seed = parse_num(options.value_for(flag)?, flag)?,
+            "--budget" | "-k" => budget = parse_num(options.value_for(flag)?, flag)?,
+            "--bound" | "-c" => bound = Some(parse_num(options.value_for(flag)?, flag)?),
+            "--bounds" => bounds = Some(parse_list(options.value_for(flag)?, "congestion bound")?),
+            "--gamma" | "-g" => {
+                gamma = options
+                    .value_for(flag)?
+                    .parse()
+                    .map_err(|_| CliError::usage("--gamma needs a number"))?
+            }
+            "--solvers" => solvers = Some(options.value_for(flag)?),
+            "--reps" => {
+                reps = options
+                    .value_for(flag)?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&r| r > 0)
+                    .ok_or_else(|| CliError::usage("--reps needs a positive number"))?
+            }
+            "--csv" => csv = true,
+            "--out" | "-o" => out = Some(options.value_for(flag)?),
+            "--help" | "-h" => {
+                println!("{FABRIC_USAGE}");
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "{command}: unknown argument `{other}`"
+                )))
+            }
+        }
+    }
+
+    let fat_tree_flags = cores.is_some() || pods.is_some() || aggs.is_some() || tors.is_some();
+    if roots.is_some() && fat_tree_flags {
+        return Err(CliError::usage(
+            "--roots selects the multi-root forest family; it cannot be combined \
+             with fat-tree dimensions (--cores/--pods/--aggs/--tors)",
+        ));
+    }
+    if tree_switches.is_some() && roots.is_none() {
+        return Err(CliError::usage(
+            "--tree-switches only applies to the forest family (give --roots too)",
+        ));
+    }
+    if sweep {
+        if bound.is_some() {
+            return Err(CliError::usage(
+                "fabric sweep varies the congestion bound — give the grid with \
+                 --bounds, not a single --bound",
+            ));
+        }
+        if solvers.is_some() {
+            return Err(CliError::usage(
+                "fabric sweep always runs fabric-soar; --solvers applies to fabric solve",
+            ));
+        }
+    } else if bounds.is_some() {
+        return Err(CliError::usage(
+            "--bounds belongs to fabric sweep; fabric solve takes one --bound",
+        ));
+    }
+
+    let topology = match roots {
+        Some(roots) => FabricTopology::MultiRootForest {
+            roots,
+            switches_per_tree: tree_switches.unwrap_or(15),
+        },
+        None => FabricTopology::MultiCoreFatTree {
+            cores: cores.unwrap_or(2),
+            pods: pods.unwrap_or(4),
+            aggs_per_pod: aggs.unwrap_or(2),
+            tors_per_agg: tors.unwrap_or(2),
+        },
+    };
+    let load = match load {
+        Some(text) => LoadSpec::parse(text).map_err(CliError::usage)?,
+        None => LoadSpec::paper_uniform(),
+    };
+    let rates = match rates {
+        Some(text) => RateScheme::parse(text).map_err(CliError::usage)?,
+        None => RateScheme::paper_constant(),
+    };
+    let bounds = if sweep {
+        Some(bounds.ok_or_else(|| CliError::usage("fabric sweep needs --bounds C1,C2,..."))?)
+    } else {
+        None
+    };
+    let fabric = FabricSpec {
+        topology,
+        load,
+        rates,
+        seed,
+        budget,
+        // For a sweep the runner re-instantiates the fabric at each grid
+        // point; the embedded bound is the widest one so the spec validates
+        // self-consistently (mirrors the registry's sweep specs).
+        congestion_bound: match &bounds {
+            Some(grid) => bound.unwrap_or_else(|| grid.iter().copied().max().unwrap_or(1)),
+            None => bound.unwrap_or(2),
+        },
+        congestion_weight: gamma,
+    };
+    let label = fabric.topology.label();
+    let kind = match bounds {
+        Some(bounds) => ExperimentKind::FabricCongestionSweep {
+            title: format!("Fabric {label} vs congestion bound"),
+            fabric,
+            bounds,
+            seed_stride: 67,
+        },
+        None => {
+            let solvers: Vec<String> = match solvers {
+                Some(text) => parse_list(text, "fabric solver name")?,
+                None => vec!["fabric-soar".to_owned()],
+            };
+            ExperimentKind::FabricSolve {
+                title: format!("Fabric {label}, k = {budget}"),
+                fabric,
+                solvers,
+                seed_stride: 59,
+            }
+        }
+    };
+    let spec = ExperimentSpec::new(
+        if sweep {
+            "fabric-bound-sweep"
+        } else {
+            "fabric-solve"
+        },
+        format!("CLI {command} of {label}"),
+        reps,
+        kind,
+    );
+    spec.validate()
+        .map_err(|e| CliError::invalid(format!("{command} configuration: {e}")))?;
+    let artifact = spec.run();
+    print_charts(&artifact, csv);
+    if let Some(path) = out {
+        write_file(path, &artifact.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -263,6 +263,8 @@ fn fresh_runs_match_the_committed_goldens() {
         ("fig3", "fig3.quick.json"),
         ("fig9-smoke", "fig9-smoke.quick.json"),
         ("dynamic-churn", "dynamic-churn.quick.json"),
+        ("fabric", "fabric.quick.json"),
+        ("fabric-sweep", "fabric-sweep.quick.json"),
     ] {
         let output = run(&["experiment", "run", name, "--out-dir", &dir]);
         assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
@@ -897,6 +899,292 @@ fn history_report_dir_renders_long_horizon_trajectories() {
     assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
     let output = run(&["history", "report", "--spec", "fig3", "a.json"]);
     assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+}
+
+/// A user-authored fabric-solve spec document; knobs cover the rejection corpus.
+fn fabric_spec_json(name: &str, cores: usize, bound: usize, solvers: &str) -> String {
+    format!(
+        r#"{{
+  "name": "{name}",
+  "title": "user fabric solve",
+  "version": 1,
+  "repetitions": 1,
+  "base_seed": 0,
+  "kind": {{
+    "FabricSolve": {{
+      "title": "user fabric",
+      "fabric": {{
+        "topology": {{ "MultiCoreFatTree": {{ "cores": {cores}, "pods": 3, "aggs_per_pod": 2, "tors_per_agg": 2 }} }},
+        "load": {{ "Uniform": {{ "min": 4, "max": 6 }} }},
+        "rates": {{ "Constant": 1.0 }},
+        "seed": 7,
+        "budget": 4,
+        "congestion_bound": {bound},
+        "congestion_weight": 0.5
+      }},
+      "solvers": [{solvers}],
+      "seed_stride": 59
+    }}
+  }}
+}}
+"#
+    )
+}
+
+#[test]
+fn malformed_fabric_spec_files_are_rejected_with_exit_2() {
+    let tmp = TempDir::new("fabric-rejects");
+    let corpus = [
+        (
+            "zero-cores.json",
+            fabric_spec_json("x", 0, 2, r#""fabric-soar""#),
+            "at least one core switch",
+        ),
+        (
+            "zero-bound.json",
+            fabric_spec_json("x", 2, 0, r#""fabric-soar""#),
+            "congestion bound must be at least 1",
+        ),
+        (
+            "unknown-solver.json",
+            fabric_spec_json("x", 2, 2, r#""frobnicate""#),
+            "unknown fabric solver `frobnicate`",
+        ),
+        (
+            "no-solvers.json",
+            fabric_spec_json("x", 2, 2, ""),
+            "solver list is empty",
+        ),
+        (
+            // The exhaustive oracle at paper scale: 74 switches at budget 16
+            // overflows the subset guard, so validation rejects it up front.
+            "oracle-at-scale.json",
+            fabric_spec_json("x", 2, 2, r#""fabric-soar", "fabric-brute""#)
+                .replace(r#""pods": 3"#, r#""pods": 12"#)
+                .replace(r#""budget": 4"#, r#""budget": 16"#),
+            "cannot enumerate",
+        ),
+        (
+            "nan-gamma.json",
+            fabric_spec_json("x", 2, 2, r#""fabric-soar""#).replace(
+                r#""congestion_weight": 0.5"#,
+                r#""congestion_weight": -1.0"#,
+            ),
+            "finite, non-negative",
+        ),
+    ];
+    for (file, contents, expected) in &corpus {
+        std::fs::write(tmp.path(file), contents).unwrap();
+        let path = tmp.path_str(file);
+        let output = run(&["experiment", "run", &path]);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{file}: expected exit 2, stderr: {}",
+            stderr(&output)
+        );
+        assert!(
+            stderr(&output).contains(expected),
+            "{file}: missing `{expected}` in: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn fabric_cli_rejections_exit_2() {
+    for args in [
+        &["fabric"][..],
+        &["fabric", "frobnicate"][..],
+        &["fabric", "solve", "--cores", "0"][..],
+        &["fabric", "solve", "--gamma", "lots"][..],
+        &["fabric", "solve", "--reps", "0"][..],
+        // Topology families cannot be mixed, and forest-only flags need --roots.
+        &["fabric", "solve", "--roots", "2", "--cores", "2"][..],
+        &["fabric", "solve", "--tree-switches", "7"][..],
+        // --bounds / --bound / --solvers belong to one mode each.
+        &["fabric", "solve", "--bounds", "1,2"][..],
+        &["fabric", "sweep", "--bounds", "1", "--bound", "1"][..],
+        &[
+            "fabric",
+            "sweep",
+            "--bounds",
+            "1,2",
+            "--solvers",
+            "fabric-soar",
+        ][..],
+        &["fabric", "sweep"][..],
+        // Grid and solver contents are validated like spec files.
+        &["fabric", "sweep", "--bounds", "0,1"][..],
+        &["fabric", "solve", "--solvers", "frobnicate"][..],
+    ] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?}: expected exit 2, stderr: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn fabric_solve_and_sweep_write_history_compatible_artifacts() {
+    let tmp = TempDir::new("fabric");
+    let a = tmp.path_str("a.json");
+    let b = tmp.path_str("b.json");
+    for path in [&a, &b] {
+        let output = run(&[
+            "fabric",
+            "solve",
+            "--pods",
+            "3",
+            "--solvers",
+            "fabric-soar,fabric-brute",
+            "--seed",
+            "5",
+            "--out",
+            path,
+        ]);
+        assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    }
+    // Fabric runs are deterministic end to end...
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap()
+    );
+    let artifact = RunArtifact::from_json(&std::fs::read_to_string(&a).unwrap()).unwrap();
+    assert_eq!(artifact.spec.name, "fabric-solve");
+    assert_eq!(artifact.charts.len(), 2);
+    assert!(artifact.timing_charts.is_empty(), "fabric kinds are exact");
+    // ...and the decomposition solver matches the exhaustive oracle.
+    let objective = &artifact.charts[0];
+    let soar = objective
+        .series
+        .iter()
+        .find(|s| s.label == "SOAR (fabric)")
+        .unwrap();
+    let oracle = objective
+        .series
+        .iter()
+        .find(|s| s.label == "Fabric oracle")
+        .unwrap();
+    assert_eq!(soar.y_at(4.0), oracle.y_at(4.0));
+    assert!(soar.y_at(4.0).unwrap() <= 1.0, "never worse than all-red");
+
+    // The artifact flows through the standard golden check and history gates.
+    let output = run(&["experiment", "check", &a, "--golden", &b]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let output = run(&["history", "report", &a, &b]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    assert!(
+        stdout(&output).contains("history of `fabric-solve` over 2 run(s)"),
+        "{}",
+        stdout(&output)
+    );
+
+    // The sweep charts cost against the congestion bound; relaxing the bound
+    // only helps.
+    let sweep_path = tmp.path_str("sweep.json");
+    let output = run(&[
+        "fabric",
+        "sweep",
+        "--bounds",
+        "1,2,3",
+        "--pods",
+        "3",
+        "--budget",
+        "5",
+        "--out",
+        &sweep_path,
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    assert!(
+        stdout(&output).contains("cost vs congestion bound"),
+        "{}",
+        stdout(&output)
+    );
+    let sweep = RunArtifact::from_json(&std::fs::read_to_string(&sweep_path).unwrap()).unwrap();
+    assert_eq!(sweep.spec.name, "fabric-bound-sweep");
+    let costs = &sweep.charts[0].series[0].points;
+    assert_eq!(costs.len(), 3);
+    for window in costs.windows(2) {
+        assert!(window[1].1 <= window[0].1 + 1e-12, "{costs:?}");
+    }
+}
+
+#[test]
+fn spec_files_resolve_include_fragments() {
+    let tmp = TempDir::new("include");
+    std::fs::write(
+        tmp.path("base.json"),
+        user_spec_json("base-curve", "0, 1, 2"),
+    )
+    .unwrap();
+    std::fs::write(
+        tmp.path("derived.json"),
+        r#"{"$include": "base.json", "name": "derived-curve"}"#,
+    )
+    .unwrap();
+
+    // The derived spec runs like an inline one and is named by its override...
+    let dir = tmp.path_str("out");
+    for spec in ["derived.json", "base.json"] {
+        let path = tmp.path_str(spec);
+        let output = run(&["experiment", "run", &path, "--out-dir", &dir]);
+        assert_eq!(output.status.code(), Some(0), "{spec}: {}", stderr(&output));
+    }
+    let derived = RunArtifact::from_json(
+        &std::fs::read_to_string(format!("{dir}/derived-curve.json")).unwrap(),
+    )
+    .unwrap();
+    let base =
+        RunArtifact::from_json(&std::fs::read_to_string(format!("{dir}/base-curve.json")).unwrap())
+            .unwrap();
+    assert_eq!(derived.spec.name, "derived-curve");
+    // ...and produces the same results as the fragment run inline.
+    assert_eq!(derived.charts, base.charts);
+
+    // Fragment problems are document errors: exit 2 with the fragment's path.
+    std::fs::write(
+        tmp.path("dangling.json"),
+        r#"{"$include": "missing.json", "name": "d"}"#,
+    )
+    .unwrap();
+    let path = tmp.path_str("dangling.json");
+    let output = run(&["experiment", "run", &path]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("cannot read included fragment"),
+        "{}",
+        stderr(&output)
+    );
+
+    std::fs::write(tmp.path("loop-a.json"), r#"{"$include": "loop-b.json"}"#).unwrap();
+    std::fs::write(tmp.path("loop-b.json"), r#"{"$include": "loop-a.json"}"#).unwrap();
+    let path = tmp.path_str("loop-a.json");
+    let output = run(&["experiment", "run", &path]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("include cycle"),
+        "{}",
+        stderr(&output)
+    );
+
+    std::fs::write(tmp.path("grid.json"), "[1, 2]").unwrap();
+    std::fs::write(
+        tmp.path("bad-merge.json"),
+        r#"{"$include": "grid.json", "name": "x"}"#,
+    )
+    .unwrap();
+    let path = tmp.path_str("bad-merge.json");
+    let output = run(&["experiment", "run", &path]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("can only override an object fragment"),
+        "{}",
+        stderr(&output)
+    );
 }
 
 #[test]
