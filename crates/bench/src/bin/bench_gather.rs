@@ -1,28 +1,47 @@
 //! Writes the `BENCH_gather.json` perf-tracking snapshot.
 //!
-//! Runs the single-instance gather microbench over the tree sizes of
-//! [`soar_bench::perf::GATHER_BENCH_SIZES`] and records, per size, the fresh and
-//! warm-workspace wall times, the warm pass's allocation count (expected 0) and
-//! the peak arena footprint. The snapshot is a regular
-//! [`RunArtifact`](soar_exp::RunArtifact) JSON document — the same format the
-//! figure experiments persist — so `soar experiment check` can diff it. The
-//! `bench-smoke` CI job runs this binary so every commit leaves a
-//! machine-readable perf data point.
+//! Runs the single-instance gather microbench of a registered
+//! [`GatherMicrobench`](soar_exp::ExperimentKind::GatherMicrobench) spec —
+//! `gather-bench` by default (the `BT(n)` sizes of
+//! [`soar_bench::perf::GATHER_BENCH_SIZES`]), or `gather-scale` for the
+//! large-tree CI gate (100k switches, 16-ary, compressed arena) — and records,
+//! per size, the fresh and warm-workspace wall times, the warm pass's
+//! allocation count (expected 0) and the peak arena footprint. The snapshot is
+//! a regular [`RunArtifact`](soar_exp::RunArtifact) JSON document — the same
+//! format the figure experiments persist — so `soar experiment check` and
+//! `soar history check` can diff and gate it. The `bench-smoke` and
+//! `scale-smoke` CI jobs run this binary so every commit leaves
+//! machine-readable perf data points.
 //!
 //! ```text
-//! cargo run --release -p soar-bench --bin bench_gather [output-path]
+//! cargo run --release -p soar-bench --bin bench_gather [output-path] [--spec NAME]
 //! ```
 
-use soar_bench::perf::{gather_artifact, gather_microbench};
+use soar_bench::perf::{gather_artifact_named, gather_microbench_named};
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_gather.json".to_owned());
-    let points = gather_microbench();
+    let mut out_path = "BENCH_gather.json".to_owned();
+    let mut spec_name = "gather-bench".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => match args.next() {
+                Some(name) => spec_name = name,
+                None => {
+                    eprintln!("error: --spec needs a registry spec name");
+                    std::process::exit(2);
+                }
+            },
+            _ => out_path = arg,
+        }
+    }
+    let points = gather_microbench_named(&spec_name).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     for p in &points {
         println!(
-            "gather n={:>6} k={:>3}  fresh {:>9.3} ms   warm {:>9.3} ms   allocs {}   peak {:.1} MB",
+            "gather n={:>8} k={:>3}  fresh {:>9.3} ms   warm {:>9.3} ms   allocs {}   peak {:.1} MB",
             p.n_switches,
             p.budget,
             p.fresh_seconds * 1e3,
@@ -31,7 +50,7 @@ fn main() {
             p.peak_arena_bytes as f64 / 1e6,
         );
     }
-    let artifact = gather_artifact(&points);
+    let artifact = gather_artifact_named(&points, &spec_name);
     std::fs::write(&out_path, artifact.to_json()).expect("writing the bench snapshot failed");
     println!("wrote {out_path}");
     // A warm pass that allocates is a regression of the allocation-free gather;

@@ -10,8 +10,9 @@
 //! `{"bench":"gather",...}` document that predates the artifact format.
 
 pub use soar_exp::perf::{
-    gather_bench_instance, gather_bench_instance_with_budget, measure_gather, points_from_charts,
-    GatherBenchPoint, GATHER_BENCH_BUDGET, GATHER_BENCH_SIZES,
+    gather_bench_instance, gather_bench_instance_shaped, gather_bench_instance_with_budget,
+    gather_microbench_shaped, measure_gather, points_from_charts, GatherBenchPoint,
+    GATHER_BENCH_BUDGET, GATHER_BENCH_SIZES,
 };
 use soar_exp::registry;
 use soar_exp::{RunArtifact, Scale};
@@ -25,10 +26,38 @@ pub fn gather_microbench() -> Vec<GatherBenchPoint> {
 /// Wraps measured points in the shared [`RunArtifact`] snapshot format (the
 /// `gather-bench` registry spec plus the standard chart rendering).
 pub fn gather_artifact(points: &[GatherBenchPoint]) -> RunArtifact {
-    let spec = registry::by_name("gather-bench", Scale::Quick)
-        .expect("the gather microbench is registered");
+    gather_artifact_named(points, "gather-bench")
+}
+
+/// [`gather_artifact`] under an explicit registry spec name (`gather-bench`
+/// or `gather-scale` — any registered [`GatherMicrobench`] spec).
+///
+/// [`GatherMicrobench`]: soar_exp::ExperimentKind::GatherMicrobench
+pub fn gather_artifact_named(points: &[GatherBenchPoint], name: &str) -> RunArtifact {
+    let spec =
+        registry::by_name(name, Scale::Quick).expect("the gather microbench spec is registered");
     let charts = soar_exp::perf::microbench_charts(points);
     RunArtifact::new(spec, charts, None)
+}
+
+/// Runs the microbench described by a registered [`GatherMicrobench`] spec
+/// (`gather-bench`, `gather-scale`, ...) at quick scale: the sizes, budget and
+/// tree shape all come from the spec, so the CI gates and a local
+/// `soar experiment run <name>` measure exactly the same scenarios.
+///
+/// [`GatherMicrobench`]: soar_exp::ExperimentKind::GatherMicrobench
+pub fn gather_microbench_named(name: &str) -> Result<Vec<GatherBenchPoint>, String> {
+    let spec = registry::by_name(name, Scale::Quick)
+        .ok_or_else(|| format!("unknown registry spec `{name}`"))?;
+    let soar_exp::ExperimentKind::GatherMicrobench {
+        sizes,
+        budget,
+        arity,
+    } = &spec.kind
+    else {
+        return Err(format!("spec `{name}` is not a gather microbench"));
+    };
+    Ok(gather_microbench_shaped(sizes, *budget, *arity))
 }
 
 /// Reads a `BENCH_gather.json` snapshot in either format: the current

@@ -22,7 +22,7 @@
 //!
 //! The complexity is `O(n · h(T) · k²)` time as in Theorem 4.1.
 
-use crate::node_dp::{fill_node, DpScratch, NodeTableMut};
+use crate::node_dp::{fill_node, DpKernel, DpScratch, NodeTableMut};
 use crate::tables::GatherTables;
 use soar_pool::ThreadPool;
 use soar_topology::{NodeId, Tree};
@@ -35,6 +35,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 struct LevelFill<'a> {
     tree: &'a Tree,
     n_i: usize,
+    /// Whether ≤1-child nodes' `Y` blocks are elided (compressed arena).
+    compressed: bool,
+    /// The `mCost` kernel every node of the pass runs.
+    kernel: DpKernel,
     /// Cell offset of the first strictly-deeper node: where `x_children` starts
     /// in the `X` arena.
     boundary: usize,
@@ -42,6 +46,7 @@ struct LevelFill<'a> {
     rho: &'a [f64],
     n_l: &'a [u32],
     cell_off: &'a [usize],
+    y_off: &'a [usize],
     rho_off: &'a [usize],
     split_off: &'a [usize],
     split_len: &'a [usize],
@@ -49,9 +54,9 @@ struct LevelFill<'a> {
 
 impl LevelFill<'_> {
     /// Fills node `v`'s table inside region slices whose first cell sits at
-    /// arena offset `cell_base` (respectively `split_base` for the split
-    /// region). Children's `X` tables are borrowed from `x_children`. Returns
-    /// the scratch growth count.
+    /// arena offset `cell_base` (respectively `y_base` / `split_base` for the
+    /// `Y` and split regions). Children's `X` tables are borrowed from
+    /// `x_children`. Returns the scratch growth count.
     #[allow(clippy::too_many_arguments)]
     fn fill_one(
         &self,
@@ -61,6 +66,7 @@ impl LevelFill<'_> {
         y_red: &mut [f64],
         splits: &mut [u32],
         cell_base: usize,
+        y_base: usize,
         split_base: usize,
         scratch: &mut DpScratch,
     ) -> usize {
@@ -69,11 +75,19 @@ impl LevelFill<'_> {
         let off = self.cell_off[v] - cell_base;
         let sp_off = self.split_off[v] - split_base;
         let children = self.tree.children(v);
+        // Elided nodes get empty `Y` destinations; fill_node skips the writes
+        // and `GatherTables::y_value` recomputes the values on demand.
+        let y_cells = if self.compressed && children.len() <= 1 {
+            0
+        } else {
+            cells
+        };
+        let yo = self.y_off[v] - y_base;
         fill_node(
             NodeTableMut {
                 x: &mut x[off..off + cells],
-                y_blue: &mut y_blue[off..off + cells],
-                y_red: &mut y_red[off..off + cells],
+                y_blue: &mut y_blue[yo..yo + y_cells],
+                y_red: &mut y_red[yo..yo + y_cells],
                 splits: &mut splits[sp_off..sp_off + self.split_len[v]],
             },
             &self.rho[self.rho_off[v]..self.rho_off[v] + rows],
@@ -87,6 +101,7 @@ impl LevelFill<'_> {
                 &self.x_children[c_off..c_off + c_cells]
             }),
             scratch,
+            self.kernel,
         )
     }
 }
@@ -100,18 +115,24 @@ impl LevelFill<'_> {
 pub fn soar_gather(tree: &Tree, k: usize) -> GatherTables {
     let mut tables = GatherTables::new(tree, k);
     let mut scratch = DpScratch::new();
-    run_gather(&mut tables, tree, &mut scratch);
+    run_gather(&mut tables, tree, &mut scratch, DpKernel::Auto);
     tables
 }
 
 /// Fills already-laid-out tables bottom-up, sequentially. Returns the number of
 /// scratch-buffer growths (0 when `scratch` is warm).
-pub(crate) fn run_gather(tables: &mut GatherTables, tree: &Tree, scratch: &mut DpScratch) -> usize {
+pub(crate) fn run_gather(
+    tables: &mut GatherTables,
+    tree: &Tree,
+    scratch: &mut DpScratch,
+    kernel: DpKernel,
+) -> usize {
     let mut grew = 0;
     let n_i = tables.n_i;
     for d in (0..tables.level_ranges.len()).rev() {
         let (start, end) = tables.level_ranges[d];
         let boundary = tables.level_cell_end[d];
+        let compressed = tables.compressed;
         let GatherTables {
             x,
             y_blue,
@@ -120,6 +141,7 @@ pub(crate) fn run_gather(tables: &mut GatherTables, tree: &Tree, scratch: &mut D
             rho,
             n_l,
             cell_off,
+            y_off,
             rho_off,
             split_off,
             split_len,
@@ -132,17 +154,20 @@ pub(crate) fn run_gather(tables: &mut GatherTables, tree: &Tree, scratch: &mut D
         let ctx = LevelFill {
             tree,
             n_i,
+            compressed,
+            kernel,
             boundary,
             x_children,
             rho,
             n_l,
             cell_off,
+            y_off,
             rho_off,
             split_off,
             split_len,
         };
         for &v in &level_nodes[start..end] {
-            grew += ctx.fill_one(v, x_level, y_blue, y_red, splits, 0, 0, scratch);
+            grew += ctx.fill_one(v, x_level, y_blue, y_red, splits, 0, 0, 0, scratch);
         }
     }
     grew
@@ -178,6 +203,7 @@ pub(crate) fn run_gather_partial(
     tree: &Tree,
     dirty: &[NodeId],
     scratch: &mut DpScratch,
+    kernel: DpKernel,
 ) -> usize {
     let mut grew = 0;
     for &v in dirty {
@@ -196,6 +222,7 @@ pub(crate) fn run_gather_partial(
             "dirty nodes must be sorted deepest-first"
         );
         let boundary = tables.level_cell_end[d];
+        let compressed = tables.compressed;
         let GatherTables {
             x,
             y_blue,
@@ -204,6 +231,7 @@ pub(crate) fn run_gather_partial(
             rho,
             n_l,
             cell_off,
+            y_off,
             rho_off,
             split_off,
             split_len,
@@ -213,17 +241,20 @@ pub(crate) fn run_gather_partial(
         let ctx = LevelFill {
             tree,
             n_i,
+            compressed,
+            kernel,
             boundary,
             x_children,
             rho,
             n_l,
             cell_off,
+            y_off,
             rho_off,
             split_off,
             split_len,
         };
         for &v in &dirty[idx..end] {
-            grew += ctx.fill_one(v, x_level, y_blue, y_red, splits, 0, 0, scratch);
+            grew += ctx.fill_one(v, x_level, y_blue, y_red, splits, 0, 0, 0, scratch);
         }
         idx = end;
     }
@@ -247,6 +278,7 @@ pub(crate) fn run_gather_parallel(
     tree: &Tree,
     scratches: &mut Vec<DpScratch>,
     pool: &ThreadPool,
+    kernel: DpKernel,
 ) -> usize {
     let max_stripes = pool.threads();
     while scratches.len() < max_stripes {
@@ -274,6 +306,9 @@ pub(crate) fn run_gather_parallel(
             tables.level_split_end[d - 1]
         };
         let level_split_end = tables.level_split_end[d];
+        let level_y_start = if d == 0 { 0 } else { tables.level_y_end[d - 1] };
+        let level_y_end = tables.level_y_end[d];
+        let compressed = tables.compressed;
         let per_stripe = n_nodes.div_ceil(max_stripes);
         let GatherTables {
             x,
@@ -283,6 +318,7 @@ pub(crate) fn run_gather_parallel(
             rho,
             n_l,
             cell_off,
+            y_off,
             rho_off,
             split_off,
             split_len,
@@ -291,20 +327,24 @@ pub(crate) fn run_gather_parallel(
         } = &mut *tables;
         let (x_level_all, x_children) = x.split_at_mut(boundary);
         // Mutable leases on this level's region of each arena; stripes are carved
-        // off the front as the spawn loop walks the level.
+        // off the front as the spawn loop walks the level. The `Y` region has its
+        // own (compression-aware) extent, bounded by `level_y_end`.
         let mut x_rest = &mut x_level_all[level_cell_start..];
-        let mut yb_rest = &mut y_blue[level_cell_start..boundary];
-        let mut yr_rest = &mut y_red[level_cell_start..boundary];
+        let mut yb_rest = &mut y_blue[level_y_start..level_y_end];
+        let mut yr_rest = &mut y_red[level_y_start..level_y_end];
         let mut sp_rest = &mut splits[level_split_start..level_split_end];
         // Shared, read-only state for all stripes.
         let ctx = &LevelFill {
             tree,
             n_i,
+            compressed,
+            kernel,
             boundary,
             x_children,
             rho,
             n_l,
             cell_off,
+            y_off,
             rho_off,
             split_off,
             split_len,
@@ -321,19 +361,27 @@ pub(crate) fn run_gather_parallel(
                 let cell_len = ctx.cell_off[last] + ctx.n_l[last] as usize * n_i - cell_base;
                 let split_base = ctx.split_off[first];
                 let split_total = ctx.split_off[last] + ctx.split_len[last] - split_base;
+                let y_base = ctx.y_off[first];
+                let last_y_cells = if compressed && ctx.split_len[last] == 0 {
+                    0
+                } else {
+                    ctx.n_l[last] as usize * n_i
+                };
+                let y_len = ctx.y_off[last] + last_y_cells - y_base;
                 let (x_s, tail) = std::mem::take(&mut x_rest).split_at_mut(cell_len);
                 x_rest = tail;
-                let (yb_s, tail) = std::mem::take(&mut yb_rest).split_at_mut(cell_len);
+                let (yb_s, tail) = std::mem::take(&mut yb_rest).split_at_mut(y_len);
                 yb_rest = tail;
-                let (yr_s, tail) = std::mem::take(&mut yr_rest).split_at_mut(cell_len);
+                let (yr_s, tail) = std::mem::take(&mut yr_rest).split_at_mut(y_len);
                 yr_rest = tail;
                 let (sp_s, tail) = std::mem::take(&mut sp_rest).split_at_mut(split_total);
                 sp_rest = tail;
                 s.spawn(move || {
                     let mut local_grew = 0;
                     for &v in stripe_nodes {
-                        local_grew +=
-                            ctx.fill_one(v, x_s, yb_s, yr_s, sp_s, cell_base, split_base, scratch);
+                        local_grew += ctx.fill_one(
+                            v, x_s, yb_s, yr_s, sp_s, cell_base, y_base, split_base, scratch,
+                        );
                     }
                     if local_grew > 0 {
                         grew.fetch_add(local_grew, Ordering::Relaxed);
@@ -511,18 +559,18 @@ mod tests {
         let mut scratch = DpScratch::new();
         // Change one leaf's load: only its root path (leaf 4 -> 1 -> 0) is dirty.
         tree.set_load(4, 9);
-        let grew = run_gather_partial(&mut tables, &tree, &[4, 1, 0], &mut scratch);
+        let grew = run_gather_partial(&mut tables, &tree, &[4, 1, 0], &mut scratch, DpKernel::Auto);
         let _ = grew; // scratch growth is covered by the workspace tests
         assert_eq!(tables, soar_gather(&tree, 3));
 
         // Availability changes update through the same path.
         tree.set_available(5, false);
-        run_gather_partial(&mut tables, &tree, &[5, 2, 0], &mut scratch);
+        run_gather_partial(&mut tables, &tree, &[5, 2, 0], &mut scratch, DpKernel::Auto);
         assert_eq!(tables, soar_gather(&tree, 3));
 
         // An empty dirty set leaves the tables untouched.
         let before = tables.clone();
-        run_gather_partial(&mut tables, &tree, &[], &mut scratch);
+        run_gather_partial(&mut tables, &tree, &[], &mut scratch, DpKernel::Auto);
         assert_eq!(tables, before);
 
         // A link-rate change: the ρ blocks of the link's whole subtree move,
@@ -532,7 +580,7 @@ mod tests {
         let mut dirty: Vec<_> = tree.subtree(1);
         dirty.push(0);
         dirty.sort_by_key(|&v| (std::cmp::Reverse(tree.depth(v)), v));
-        run_gather_partial(&mut tables, &tree, &dirty, &mut scratch);
+        run_gather_partial(&mut tables, &tree, &dirty, &mut scratch, DpKernel::Auto);
         assert_eq!(tables, soar_gather(&tree, 3));
     }
 
@@ -552,7 +600,7 @@ mod tests {
                 let sequential = soar_gather(tree, k);
                 let mut tables = GatherTables::new(tree, k);
                 let mut scratches = Vec::new();
-                run_gather_parallel(&mut tables, tree, &mut scratches, &pool);
+                run_gather_parallel(&mut tables, tree, &mut scratches, &pool, DpKernel::Auto);
                 assert_eq!(
                     tables,
                     sequential,

@@ -95,6 +95,37 @@
 //! per gather (verified by the `alloc_events` stat and the `bench-smoke` CI
 //! job, which fails if a warm pass ever allocates again).
 //!
+//! The `mCost` inner loop itself comes in three exact kernels behind
+//! [`node_dp::DpKernel`] — `Scalar` (the textbook reference), `Pruned`
+//! (monotonicity-based split pruning: DP rows are non-increasing in the item
+//! index, so the effective row width and a tail early-exit bound the scan
+//! without ever changing a value *or* a recorded arg-min split), and `Tiled`
+//! (64-column blocks folded through an `f64x4`-style shim, with whole tiles
+//! skipped by the same monotone bound). All three are **bit-identical** —
+//! values and splits — which the `kernel_identity` property tests pin across
+//! adversarial shapes, budgets straddling the lane and tile widths, and
+//! incremental updates. `Auto` (the default) resolves to `Pruned`, the
+//! measured winner: on the warm `BT(16 383)` point above it takes 32 ms vs
+//! 68 ms scalar and 35 ms tiled. Force a kernel per workspace with
+//! [`workspace::SolverWorkspace::set_kernel`] or globally with
+//! `SOAR_GATHER_KERNEL=scalar|pruned|tiled`; [`api::DpStats::kernel`],
+//! [`api::DpStats::tiles`] and [`api::DpStats::pruned_splits`] report what
+//! actually ran.
+//!
+//! At 100k–1M switches the arena itself is the bottleneck, so trees with at
+//! least [`workspace::COMPRESS_MIN_SWITCHES`] switches lay out a **compressed
+//! arena**: nodes with at most one child skip their `Y` blocks entirely
+//! (their `Y` row is a cheap function of the child's `X` row, recomputed
+//! bit-identically on demand by [`GatherTables::y_value`]). On a complete
+//! 16-ary tree — where ~94 % of switches are leaves — this cuts the arena
+//! roughly 3×: a 100k-switch, `k = 16` solve peaks at 166 MB and replays
+//! warm in 82 ms, and a million-switch solve fits comfortably in memory and
+//! stays allocation-free when warm (the `scale-smoke` CI job gates both, and
+//! the ignored `scale_1m` test runs the 1M case end to end). After a big
+//! solve the workspace gives the memory back: arenas past
+//! [`workspace::SHRINK_BIG_BYTES`] are truncated to the live size once they
+//! sit idle for [`workspace::SHRINK_BIG_AFTER_PASSES`] smaller passes.
+//!
 //! For *dynamic* workloads the workspace additionally supports **incremental
 //! updates**: [`workspace::SolverWorkspace::gather_update`] refills only an
 //! ancestor-closed set of dirty nodes (a localized change invalidates only
@@ -128,6 +159,7 @@ pub use api::{
 pub use brute::brute_force;
 pub use color::{soar_color, soar_color_exact};
 pub use gather::soar_gather;
+pub use node_dp::DpKernel;
 pub use solver::{solutions_for_all_budgets, solve, solve_with_tables, Solution};
 pub use strategies::Strategy;
 pub use tables::{Color, DpTable, GatherTables, NodeTable, NodeTableView};

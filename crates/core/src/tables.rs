@@ -304,17 +304,40 @@ impl DpTable for NodeTableView<'_> {
 
 /// All per-switch tables produced by one run of SOAR-Gather, stored in flat,
 /// reusable arenas (see the [module docs](self) for the layout).
+///
+/// ## Compressed mode
+///
+/// For very large trees the arena supports **per-level compression**: nodes with
+/// at most one child (every leaf and every node of a path-like chain) do not
+/// store their final-stage `Y` rows at all. Such a node's `Y` values are a
+/// closed-form function of its own ρ block, load, availability and (for a
+/// single-child node) its child's `X` table — exactly the expressions the
+/// gather's leaf base case / first-child fold evaluates — so
+/// [`GatherTables::y_value`] recomputes them bit-identically on demand and
+/// SOAR-Color never notices the elision. The `X` arena stays dense (parents
+/// fold children's `X` rows), but `Y` memory scales with the tree's *effective
+/// width* (number of multi-child nodes) rather than its node count: on a
+/// leaf-dominated fat-tree this removes the majority of `Y` storage, and on a
+/// path it removes all of it. Compression is chosen per layout by
+/// [`GatherTables::reset`]; the solver workspace enables it automatically above
+/// [`crate::workspace::COMPRESS_MIN_SWITCHES`] switches.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct GatherTables {
     /// The budget the tables were computed for.
     pub k: usize,
     /// Columns per row: `k + 1`.
     pub(crate) n_i: usize,
+    /// Whether ≤1-child nodes' `Y` rows are elided from the `y_*` arenas.
+    pub(crate) compressed: bool,
     // ---- per-node layout, indexed by NodeId ----
     /// Rows of node `v`'s table: `D(v) + 2`.
     pub(crate) n_l: Vec<u32>,
     /// Offset (in cells) of node `v`'s block inside `x` / `y_blue` / `y_red`.
     pub(crate) cell_off: Vec<usize>,
+    /// Offset (in cells) of node `v`'s block inside `y_blue` / `y_red`. Equal to
+    /// `cell_off` in full mode; in compressed mode a running cursor that elided
+    /// nodes share with their successor (zero-length blocks keep slicing uniform).
+    pub(crate) y_off: Vec<usize>,
     /// Offset of node `v`'s ρ prefix block inside `rho` (length `n_l[v]`).
     pub(crate) rho_off: Vec<usize>,
     /// Offset (in `u32`s) of node `v`'s split block inside `splits`.
@@ -328,6 +351,8 @@ pub struct GatherTables {
     pub(crate) level_ranges: Vec<(usize, usize)>,
     /// Per depth `d`: cell offset one past its last node's block.
     pub(crate) level_cell_end: Vec<usize>,
+    /// Per depth `d`: `y` offset one past its last node's block.
+    pub(crate) level_y_end: Vec<usize>,
     /// Per depth `d`: split offset one past its last node's block.
     pub(crate) level_split_end: Vec<usize>,
     // ---- arenas ----
@@ -359,10 +384,10 @@ fn fit<T: Copy>(v: &mut Vec<T>, len: usize, fill: T) -> usize {
 
 impl GatherTables {
     /// Creates tables laid out for the tree and budget, with all values zeroed
-    /// (the gather pass overwrites every cell).
+    /// (the gather pass overwrites every cell). Full (uncompressed) mode.
     pub(crate) fn new(tree: &Tree, k: usize) -> Self {
         let mut tables = GatherTables::default();
-        tables.reset(tree, k);
+        tables.reset(tree, k, false);
         tables
     }
 
@@ -371,17 +396,23 @@ impl GatherTables {
     /// workspace is warm for this shape — the alloc-count fed into
     /// [`crate::api::DpStats`]).
     ///
+    /// `compressed` selects the `Y`-elision layout for ≤1-child nodes (see the
+    /// [type docs](GatherTables)); it must be decided per layout, before any
+    /// values are written.
+    ///
     /// Only the layout is computed here; values are written by the gather pass,
     /// which overwrites every cell, so no clearing is needed.
-    pub(crate) fn reset(&mut self, tree: &Tree, k: usize) -> usize {
+    pub(crate) fn reset(&mut self, tree: &Tree, k: usize, compressed: bool) -> usize {
         let n = tree.n_switches();
         let n_i = k + 1;
         self.k = k;
         self.n_i = n_i;
+        self.compressed = compressed;
         let mut grew = 0;
 
         grew += fit(&mut self.n_l, n, 0);
         grew += fit(&mut self.cell_off, n, 0);
+        grew += fit(&mut self.y_off, n, 0);
         grew += fit(&mut self.rho_off, n, 0);
         grew += fit(&mut self.split_off, n, 0);
         grew += fit(&mut self.split_len, n, 0);
@@ -389,6 +420,7 @@ impl GatherTables {
         let n_levels = tree.height() + 1;
         grew += fit(&mut self.level_ranges, n_levels, (0, 0));
         grew += fit(&mut self.level_cell_end, n_levels, 0);
+        grew += fit(&mut self.level_y_end, n_levels, 0);
         grew += fit(&mut self.level_split_end, n_levels, 0);
 
         // Counting sort of the nodes by depth: first counts, then starts, then
@@ -411,8 +443,11 @@ impl GatherTables {
             self.level_ranges[d].1 += 1;
         }
 
-        // Arena offsets in level order.
-        let (mut cells, mut rho_cells, mut split_cells) = (0usize, 0usize, 0usize);
+        // Arena offsets in level order. The `y` cursor skips elided nodes in
+        // compressed mode (they keep a zero-length block at the running cursor,
+        // so slicing stays uniform and per-level `y` regions stay contiguous).
+        let (mut cells, mut y_cells, mut rho_cells, mut split_cells) =
+            (0usize, 0usize, 0usize, 0usize);
         for d in 0..n_levels {
             let (start, end) = self.level_ranges[d];
             for idx in start..end {
@@ -420,22 +455,27 @@ impl GatherTables {
                 let n_l = tree.dist_to_dest(v) + 1;
                 self.n_l[v] = n_l as u32;
                 self.cell_off[v] = cells;
+                self.y_off[v] = y_cells;
                 self.rho_off[v] = rho_cells;
                 self.split_off[v] = split_cells;
                 let node_cells = n_l * n_i;
                 let split_len = tree.n_children(v).saturating_sub(1) * node_cells * 2;
                 self.split_len[v] = split_len;
                 cells += node_cells;
+                if !(compressed && tree.n_children(v) <= 1) {
+                    y_cells += node_cells;
+                }
                 rho_cells += n_l;
                 split_cells += split_len;
             }
             self.level_cell_end[d] = cells;
+            self.level_y_end[d] = y_cells;
             self.level_split_end[d] = split_cells;
         }
 
         grew += fit(&mut self.x, cells, 0.0);
-        grew += fit(&mut self.y_blue, cells, 0.0);
-        grew += fit(&mut self.y_red, cells, 0.0);
+        grew += fit(&mut self.y_blue, y_cells, 0.0);
+        grew += fit(&mut self.y_red, y_cells, 0.0);
         grew += fit(&mut self.rho, rho_cells, 0.0);
         grew += fit(&mut self.splits, split_cells, 0);
 
@@ -479,19 +519,80 @@ impl GatherTables {
         }
     }
 
+    /// Whether node `v`'s final-stage `Y` rows are elided from the arenas
+    /// (compressed mode, ≤ 1 child). Elided values are served by
+    /// [`GatherTables::y_value`].
+    #[inline]
+    pub fn y_elided(&self, v: NodeId) -> bool {
+        self.compressed && self.split_len[v] == 0
+    }
+
+    /// Cells of node `v`'s block in the `y` arenas: its table size, or 0 when
+    /// elided.
+    #[inline]
+    pub(crate) fn y_cells_of(&self, v: NodeId) -> usize {
+        if self.y_elided(v) {
+            0
+        } else {
+            self.n_l[v] as usize * self.n_i
+        }
+    }
+
     /// The table of switch `v`, as a borrowed view into the arena.
+    ///
+    /// In compressed mode an elided node's view carries **empty** `Y` slices;
+    /// its `X`, ρ and split accessors stay valid, and `Y` reads must go through
+    /// [`GatherTables::y_value`].
     pub fn node(&self, v: NodeId) -> NodeTableView<'_> {
         let n_l = self.n_l[v] as usize;
         let cells = n_l * self.n_i;
         let off = self.cell_off[v];
+        let y_off = self.y_off[v];
+        let y_cells = self.y_cells_of(v);
         NodeTableView {
             n_l,
             n_i: self.n_i,
             x: &self.x[off..off + cells],
-            y_blue: &self.y_blue[off..off + cells],
-            y_red: &self.y_red[off..off + cells],
+            y_blue: &self.y_blue[y_off..y_off + y_cells],
+            y_red: &self.y_red[y_off..y_off + y_cells],
             rho: &self.rho[self.rho_off[v]..self.rho_off[v] + n_l],
             splits: &self.splits[self.split_off[v]..self.split_off[v] + self.split_len[v]],
+        }
+    }
+
+    /// Final-stage `Y_v(ℓ, i, color)`, whether stored or elided.
+    ///
+    /// For an elided node (compressed mode, ≤ 1 child) the value is recomputed
+    /// from the same inputs with the same f64 expressions the gather pass uses —
+    /// the leaf base case, or the first-child fold against the child's stored
+    /// `X` table — so the result is **bit-identical** to what a full-mode arena
+    /// would hold. `tree` must be the tree the tables were gathered for.
+    pub fn y_value(&self, tree: &Tree, v: NodeId, l: usize, i: usize, color: Color) -> f64 {
+        if !self.y_elided(v) {
+            return self.node(v).y(l, i, color);
+        }
+        let rho = self.rho[self.rho_off[v] + l];
+        let load = tree.load(v) as f64;
+        let children = tree.children(v);
+        match (color, children.first()) {
+            // Leaf base case (fill_leaf).
+            (Color::Red, None) => rho * load,
+            (Color::Blue, None) => {
+                if tree.available(v) && i >= 1 {
+                    rho
+                } else {
+                    INF
+                }
+            }
+            // Single child: Y = Y^1, the first-child fold (no split recorded).
+            (Color::Red, Some(&c)) => self.x(c, l + 1, i) + rho * load,
+            (Color::Blue, Some(&c)) => {
+                if tree.available(v) && i >= 1 {
+                    self.x(c, 1, i - 1) + rho
+                } else {
+                    INF
+                }
+            }
         }
     }
 
@@ -570,6 +671,46 @@ impl GatherTables {
             * 8
             + self.splits.capacity() * 4
     }
+
+    /// Whether this layout elides ≤1-child nodes' `Y` rows.
+    pub fn is_compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// Releases arena capacity beyond the current layout (shrink-by-truncate):
+    /// every backing vector keeps its live prefix and drops the reserved tail.
+    /// Unlike a full clear this keeps the workspace warm for the *current*
+    /// shape — only a later, larger shape pays a growth again. Returns the
+    /// number of buffers that actually reallocated (counted as alloc events by
+    /// the workspace so shrinks stay visible in [`crate::api::DpStats`]).
+    pub(crate) fn shrink_to_live(&mut self) -> usize {
+        let mut shrunk = 0;
+        macro_rules! trim {
+            ($field:expr) => {
+                if $field.capacity() > $field.len() {
+                    $field.shrink_to_fit();
+                    shrunk += 1;
+                }
+            };
+        }
+        trim!(self.x);
+        trim!(self.y_blue);
+        trim!(self.y_red);
+        trim!(self.rho);
+        trim!(self.splits);
+        trim!(self.n_l);
+        trim!(self.cell_off);
+        trim!(self.y_off);
+        trim!(self.rho_off);
+        trim!(self.split_off);
+        trim!(self.split_len);
+        trim!(self.level_nodes);
+        trim!(self.level_ranges);
+        trim!(self.level_cell_end);
+        trim!(self.level_y_end);
+        trim!(self.level_split_end);
+        shrunk
+    }
 }
 
 #[cfg(test)]
@@ -631,15 +772,15 @@ mod tests {
         let tree = builders::complete_binary_tree(31);
         let mut tables = GatherTables::new(&tree, 4);
         // Warm: same tree and budget → zero growth.
-        assert_eq!(tables.reset(&tree, 4), 0);
+        assert_eq!(tables.reset(&tree, 4, false), 0);
         // Smaller budget shrinks in place.
-        assert_eq!(tables.reset(&tree, 2), 0);
+        assert_eq!(tables.reset(&tree, 2, false), 0);
         assert_eq!(tables.k, 2);
         // Growing again within the original capacity is also allocation-free.
-        assert_eq!(tables.reset(&tree, 4), 0);
+        assert_eq!(tables.reset(&tree, 4, false), 0);
         // A genuinely larger shape grows.
         let big = builders::complete_binary_tree(63);
-        assert!(tables.reset(&big, 4) > 0);
+        assert!(tables.reset(&big, 4, false) > 0);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use crate::color::soar_color_exact_into;
 use crate::gather::{run_gather, run_gather_parallel, run_gather_partial};
-use crate::node_dp::DpScratch;
+use crate::node_dp::{DpKernel, DpScratch};
 use crate::solver::Solution;
 use crate::tables::GatherTables;
 use soar_pool::ThreadPool;
@@ -46,6 +46,15 @@ use std::cell::RefCell;
 /// small trees hold too few cells to amortize even a mutex-guarded deque push).
 pub const PARALLEL_GATHER_MIN_SWITCHES: usize = 2048;
 
+/// From this many switches on, the gather arena elides the `Y` blocks of
+/// leaves and single-child chain nodes (see
+/// [`GatherTables::y_value`](crate::tables::GatherTables::y_value)): memory
+/// then scales with the tree's *effective width* (multi-child nodes) rather
+/// than its node count — on a path-heavy 1M-switch tree the arena roughly
+/// halves. Below the threshold the full arena is cheap and keeps every `Y`
+/// row addressable for inspection.
+pub const COMPRESS_MIN_SWITCHES: usize = 65_536;
+
 /// A pass whose reserved capacity exceeds its live working set by this factor
 /// counts towards the shrink-on-idle streak.
 const SHRINK_FACTOR: usize = 8;
@@ -54,6 +63,14 @@ const SHRINK_AFTER_PASSES: u32 = 16;
 /// Workspaces below this reserved footprint never auto-shrink (not worth the
 /// re-warm).
 const SHRINK_MIN_BYTES: usize = 1 << 20;
+/// Reserved footprints above this trip the *fast* shrink path: after only
+/// [`SHRINK_BIG_AFTER_PASSES`] oversized passes the arena is truncated to its
+/// live size instead of waiting out the full [`SHRINK_AFTER_PASSES`] streak.
+/// A resident `soar serve` tenant mix must not pin a 1M-switch solve's
+/// multi-gigabyte arena for sixteen passes.
+pub const SHRINK_BIG_BYTES: usize = 64 << 20;
+/// Oversized-pass streak that truncates a [`SHRINK_BIG_BYTES`]-sized arena.
+pub const SHRINK_BIG_AFTER_PASSES: u32 = 2;
 
 /// Reusable state for repeated SOAR solves; see the [module docs](self).
 #[derive(Debug, Default)]
@@ -77,6 +94,20 @@ pub struct SolverWorkspace {
     /// Consecutive passes whose live working set was a small fraction of the
     /// reserved capacity — the shrink-on-idle trigger.
     oversized_streak: u32,
+    /// Requested `mCost` kernel (defaults to [`DpKernel::Auto`]); the
+    /// `SOAR_GATHER_KERNEL` environment override, when set, wins.
+    kernel: DpKernel,
+    /// The env-combined kernel choice, looked up once per workspace lifetime.
+    resolved_kernel: Option<DpKernel>,
+    /// `Some(_)` forces arena compression on or off; `None` auto-enables it at
+    /// [`COMPRESS_MIN_SWITCHES`].
+    compress_override: Option<bool>,
+    /// Effective (resolved) kernel of the most recent gather.
+    last_kernel: DpKernel,
+    /// Column tiles executed by the most recent gather (tiled kernel only).
+    last_tiles: usize,
+    /// Split candidates skipped by the most recent gather's pruning.
+    last_pruned_splits: usize,
 }
 
 impl SolverWorkspace {
@@ -90,12 +121,14 @@ impl SolverWorkspace {
     /// returned tables stay valid (and reusable by [`Self::tables`]) until the
     /// next gather or solve on this workspace.
     pub fn gather(&mut self, tree: &Tree, k: usize) -> &GatherTables {
-        self.maybe_shrink();
-        let mut events = self.tables.reset(tree, k);
+        let kernel = self.begin_pass();
+        let compressed = self.compress_for(tree);
+        let mut events = self.maybe_shrink();
+        events += self.tables.reset(tree, k, compressed);
         if self.scratches.is_empty() {
             self.scratches.push(DpScratch::new());
         }
-        events += run_gather(&mut self.tables, tree, &mut self.scratches[0]);
+        events += run_gather(&mut self.tables, tree, &mut self.scratches[0], kernel);
         let cells = self.tables.table_cells();
         self.finish_pass(events, cells);
         &self.tables
@@ -155,10 +188,17 @@ impl SolverWorkspace {
                 "gather_update: dirty set is not ancestor-closed (node {v}'s parent is clean)"
             );
         }
+        let kernel = self.begin_pass();
         if self.scratches.is_empty() {
             self.scratches.push(DpScratch::new());
         }
-        let events = run_gather_partial(&mut self.tables, tree, dirty, &mut self.scratches[0]);
+        let events = run_gather_partial(
+            &mut self.tables,
+            tree,
+            dirty,
+            &mut self.scratches[0],
+            kernel,
+        );
         let cells = dirty.iter().map(|&v| self.tables.node_cells(v)).sum();
         self.finish_pass(events, cells);
         &self.tables
@@ -168,9 +208,11 @@ impl SolverWorkspace {
     /// (bit-identical results to [`Self::gather`]; see
     /// [`run_gather_parallel`](crate::gather)).
     pub fn gather_parallel(&mut self, tree: &Tree, k: usize, pool: &ThreadPool) -> &GatherTables {
-        self.maybe_shrink();
-        let mut events = self.tables.reset(tree, k);
-        events += run_gather_parallel(&mut self.tables, tree, &mut self.scratches, pool);
+        let kernel = self.begin_pass();
+        let compressed = self.compress_for(tree);
+        let mut events = self.maybe_shrink();
+        events += self.tables.reset(tree, k, compressed);
+        events += run_gather_parallel(&mut self.tables, tree, &mut self.scratches, pool, kernel);
         let cells = self.tables.table_cells();
         self.finish_pass(events, cells);
         &self.tables
@@ -275,6 +317,70 @@ impl SolverWorkspace {
         self.peak_bytes
     }
 
+    /// Requests an `mCost` kernel for every subsequent gather on this
+    /// workspace. The `SOAR_GATHER_KERNEL` environment variable, when set to a
+    /// valid kernel name, still wins — it is the fleet-wide debugging override.
+    pub fn set_kernel(&mut self, kernel: DpKernel) {
+        self.kernel = kernel;
+        self.resolved_kernel = None;
+    }
+
+    /// Forces arena compression on (`Some(true)`), off (`Some(false)`), or
+    /// back to the size-based default (`None`, the
+    /// [`COMPRESS_MIN_SWITCHES`] threshold).
+    pub fn set_compression(&mut self, compress: Option<bool>) {
+        self.compress_override = compress;
+    }
+
+    /// Name of the effective kernel the most recent gather ran
+    /// (`"scalar" | "pruned" | "tiled"`; `"auto"` before the first gather).
+    pub fn last_kernel_name(&self) -> &'static str {
+        self.last_kernel.name()
+    }
+
+    /// The effective (resolved) kernel of the most recent gather.
+    pub fn last_kernel(&self) -> DpKernel {
+        self.last_kernel
+    }
+
+    /// Column tiles the most recent gather executed (0 for non-tiled kernels).
+    pub fn last_tiles(&self) -> usize {
+        self.last_tiles
+    }
+
+    /// Split candidates the most recent gather's pruning skipped relative to
+    /// the full quadratic arg-min search (0 for the scalar kernel).
+    pub fn last_pruned_splits(&self) -> usize {
+        self.last_pruned_splits
+    }
+
+    /// Resolves the kernel for a pass (env override > [`Self::set_kernel`],
+    /// cached) and clears the per-pass kernel counters.
+    fn begin_pass(&mut self) -> DpKernel {
+        let kernel = match self.resolved_kernel {
+            Some(k) => k,
+            None => {
+                let k = std::env::var("SOAR_GATHER_KERNEL")
+                    .ok()
+                    .and_then(|v| DpKernel::from_name(&v))
+                    .unwrap_or(self.kernel);
+                self.resolved_kernel = Some(k);
+                k
+            }
+        };
+        self.last_kernel = kernel.resolve();
+        for scratch in &mut self.scratches {
+            scratch.reset_kernel_counters();
+        }
+        kernel
+    }
+
+    /// Whether a gather over `tree` lays out a compressed arena.
+    fn compress_for(&self, tree: &Tree) -> bool {
+        self.compress_override
+            .unwrap_or(tree.n_switches() >= COMPRESS_MIN_SWITCHES)
+    }
+
     /// Releases every retained buffer (arena and scratch), returning the
     /// workspace to its freshly-constructed footprint.
     ///
@@ -297,6 +403,15 @@ impl SolverWorkspace {
         self.last_alloc_events = events;
         self.total_alloc_events += events;
         self.last_cells_written = cells_written;
+        let (tiles, pruned) = self
+            .scratches
+            .iter()
+            .fold((0, 0), |(tiles, pruned), scratch| {
+                let (t, p) = scratch.kernel_counters();
+                (tiles + t, pruned + p)
+            });
+        self.last_tiles = tiles;
+        self.last_pruned_splits = pruned;
         let scratch_bytes = self
             .scratches
             .iter()
@@ -318,10 +433,26 @@ impl SolverWorkspace {
     /// capacity, give the buffers back *before* the next layout; that pass
     /// re-warms at the current working-set size. Steady workloads never trip
     /// this (reserved ≈ live), so their allocation-free guarantee is untouched.
-    fn maybe_shrink(&mut self) {
+    ///
+    /// Two tiers: arenas above [`SHRINK_BIG_BYTES`] are **truncated to their
+    /// live size** after only [`SHRINK_BIG_AFTER_PASSES`] oversized passes —
+    /// one 1M-switch solve on a `soar serve` tenant thread must not pin
+    /// gigabytes while the rest of the mix is small. Smaller arenas wait out
+    /// the full streak and are released wholesale. Returns the number of
+    /// buffer reallocations performed, folded into the pass's alloc events so
+    /// shrinks stay visible to the allocation accounting.
+    fn maybe_shrink(&mut self) -> usize {
         if self.oversized_streak >= SHRINK_AFTER_PASSES {
             self.clear();
+            return 0; // the release shows up as re-warm allocations instead
         }
+        if self.oversized_streak >= SHRINK_BIG_AFTER_PASSES
+            && self.tables.capacity_bytes() > SHRINK_BIG_BYTES
+        {
+            self.oversized_streak = 0;
+            return self.tables.shrink_to_live();
+        }
+        0
     }
 }
 
@@ -536,6 +667,87 @@ mod tests {
         assert_eq!(*ws.gather(&small, 2), soar_gather(&small, 2));
         let _ = ws.gather(&small, 2);
         assert_eq!(ws.last_alloc_events(), 0);
+    }
+
+    #[test]
+    fn big_arena_is_truncated_after_a_short_oversized_streak() {
+        // A ~hundred-megabyte arena (BT over 16k switches at k = 16) crosses
+        // SHRINK_BIG_BYTES: after only SHRINK_BIG_AFTER_PASSES small passes the
+        // workspace must truncate to the live working set instead of waiting
+        // out the full 16-pass streak — and the truncation must be visible to
+        // the allocation accounting.
+        let big = builders::complete_binary_tree_bt(16_384);
+        let small = fig2_tree();
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather(&big, 16);
+        assert!(
+            ws.tables().capacity_bytes() > SHRINK_BIG_BYTES,
+            "the big instance must exceed the fast-shrink floor for this test"
+        );
+        let mut shrunk_at = None;
+        for pass in 0..SHRINK_BIG_AFTER_PASSES + 2 {
+            let _ = ws.gather(&small, 2);
+            if shrunk_at.is_none() && ws.last_alloc_events() > 0 && pass > 0 {
+                shrunk_at = Some(pass);
+            }
+        }
+        assert!(
+            ws.tables().capacity_bytes() < SHRINK_BIG_BYTES,
+            "the oversized arena was never truncated"
+        );
+        assert!(
+            shrunk_at.is_some_and(|p| p <= SHRINK_BIG_AFTER_PASSES),
+            "truncation must happen within the short streak and be counted \
+             as alloc events (shrunk at {shrunk_at:?})"
+        );
+        // Post-shrink passes are correct and allocation-free again.
+        assert_eq!(*ws.gather(&small, 2), soar_gather(&small, 2));
+        let _ = ws.gather(&small, 2);
+        assert_eq!(ws.last_alloc_events(), 0);
+    }
+
+    #[test]
+    fn kernel_selection_is_bit_identical_across_kernels() {
+        let tree = fig2_tree();
+        let reference = soar_gather(&tree, 4);
+        for kernel in [
+            DpKernel::Scalar,
+            DpKernel::Pruned,
+            DpKernel::Tiled,
+            DpKernel::Auto,
+        ] {
+            let mut ws = SolverWorkspace::new();
+            ws.set_kernel(kernel);
+            assert_eq!(
+                *ws.gather(&tree, 4),
+                reference,
+                "kernel {} diverged",
+                kernel.name()
+            );
+            assert_eq!(ws.last_kernel_name(), kernel.resolve().name());
+        }
+    }
+
+    #[test]
+    fn compressed_workspace_solves_identically() {
+        let mut tree = builders::complete_binary_tree(63);
+        for (i, v) in tree.leaves().collect::<Vec<_>>().into_iter().enumerate() {
+            tree.set_load(v, (i % 9 + 1) as u64);
+        }
+        let mut full = SolverWorkspace::new();
+        full.set_compression(Some(false));
+        let mut compressed = SolverWorkspace::new();
+        compressed.set_compression(Some(true));
+        for k in [0usize, 3, 8] {
+            let a = full.solve(&tree, k);
+            let b = compressed.solve(&tree, k);
+            assert_eq!(a, b, "compressed solve diverged at k = {k}");
+        }
+        assert!(compressed.tables().is_compressed());
+        assert!(
+            compressed.tables().memory_bytes() < full.tables().memory_bytes(),
+            "compression must actually drop Y storage"
+        );
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! The 1M-switch end-to-end acceptance test behind the `scale-smoke` CI job.
+//!
+//! Ignored by default (it gathers a million-switch arena twice and wants a
+//! release build); run explicitly with
+//!
+//! ```text
+//! cargo test --release -p soar-core --test scale_1m -- --ignored
+//! ```
+//!
+//! It pins the large-tree contract end to end: a complete 16-ary tree over
+//! 10⁶ switches lays out a *compressed* arena (automatic at this size),
+//! solves gather + color, and a warm second solve is **allocation-free** and
+//! agrees bit-for-bit with the first.
+
+use soar_core::workspace::SolverWorkspace;
+use soar_topology::builders;
+
+#[test]
+#[ignore = "million-switch end-to-end run; release builds only (scale-smoke CI)"]
+fn one_million_switch_tree_solves_warm_end_to_end() {
+    let mut tree = builders::complete_kary_tree(16, 1_000_000);
+    for (i, v) in tree.leaves().collect::<Vec<_>>().into_iter().enumerate() {
+        tree.set_load(v, (i % 23 + 1) as u64);
+    }
+    let mut ws = SolverWorkspace::new();
+    let cold = ws.solve(&tree, 16);
+    assert!(ws.tables().is_compressed(), "1M switches must compress");
+    assert!(cold.cost.is_finite() && cold.cost > 0.0);
+    assert!(cold.blue_used > 0 && cold.blue_used <= 16);
+
+    let warm = ws.solve(&tree, 16);
+    assert_eq!(warm, cold, "warm replay must be bit-identical");
+    assert_eq!(ws.last_alloc_events(), 0, "warm 1M solve must not allocate");
+
+    // The compressed arena is the point: Y blocks exist only for the ~6.6%
+    // of nodes with 2+ children, so the footprint stays far below the
+    // full-arena layout (which stores X + 2 Y cells per table cell).
+    let bytes = ws.tables().memory_bytes();
+    assert!(
+        bytes < 2 * ws.tables().table_cells() * 8,
+        "compressed arena ({bytes} B) should undercut even 2 cells/table-cell"
+    );
+}

@@ -54,13 +54,32 @@ pub fn gather_bench_instance(n: usize) -> soar_core::api::Instance {
 /// the benchmark scenario family, shared by the criterion bench, the
 /// `BENCH_gather.json` snapshot and the `gather-bench` registry spec.
 pub fn gather_bench_instance_with_budget(n: usize, budget: usize) -> soar_core::api::Instance {
-    ScenarioSpec::bt(
+    gather_bench_instance_shaped(n, budget, None)
+}
+
+/// The fully general benchmark instance: `BT(n)` when `arity` is `None`, a
+/// complete `arity`-ary tree over `n` switches otherwise (the `gather-scale`
+/// shape — at arity 16 a 1M-switch tree is only 5 levels deep, which is what
+/// keeps `n_l` and the arena bounded at datacenter scale). Loads, rates and
+/// seed are identical across shapes so timings compare like for like.
+pub fn gather_bench_instance_shaped(
+    n: usize,
+    budget: usize,
+    arity: Option<usize>,
+) -> soar_core::api::Instance {
+    let mut spec = ScenarioSpec::bt(
         n,
         LoadSpec::paper_power_law(),
         RateScheme::paper_constant(),
         1,
-    )
-    .instance(budget)
+    );
+    if let Some(arity) = arity {
+        spec.topology = soar_core::api::TopologySpec::CompleteKary {
+            arity,
+            n_switches: n,
+        };
+    }
+    spec.instance(budget)
 }
 
 /// Times one instance: `reps` fresh gathers vs `reps` warm-workspace gathers
@@ -98,11 +117,22 @@ pub fn measure_gather(instance: &soar_core::api::Instance, reps: usize) -> Gathe
 /// Runs the microbench: one point per size, with repetition counts scaled down
 /// for the larger trees so a smoke run stays fast.
 pub fn gather_microbench(sizes: &[usize], budget: usize) -> Vec<GatherBenchPoint> {
+    gather_microbench_shaped(sizes, budget, None)
+}
+
+/// [`gather_microbench`] over an explicit tree shape (see
+/// [`gather_bench_instance_shaped`]). Repetition counts scale down with size;
+/// the 100k+ `gather-scale` instances run twice each.
+pub fn gather_microbench_shaped(
+    sizes: &[usize],
+    budget: usize,
+    arity: Option<usize>,
+) -> Vec<GatherBenchPoint> {
     sizes
         .iter()
         .map(|&n| {
             let reps = (16384 / n.max(1)).clamp(2, 12);
-            measure_gather(&gather_bench_instance_with_budget(n, budget), reps)
+            measure_gather(&gather_bench_instance_shaped(n, budget, arity), reps)
         })
         .collect()
 }

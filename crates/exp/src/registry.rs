@@ -18,7 +18,7 @@ use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
 
 /// Registry names of all predefined experiments, in run order.
-pub const NAMES: [&str; 16] = [
+pub const NAMES: [&str; 17] = [
     "fig2",
     "fig3",
     "fig6",
@@ -32,6 +32,7 @@ pub const NAMES: [&str; 16] = [
     "fig11c",
     "ablation",
     "gather-bench",
+    "gather-scale",
     "dynamic-churn",
     "fabric",
     "fabric-sweep",
@@ -379,6 +380,28 @@ fn gather_bench() -> ExperimentSpec {
         ExperimentKind::GatherMicrobench {
             sizes: crate::perf::GATHER_BENCH_SIZES.to_vec(),
             budget: crate::perf::GATHER_BENCH_BUDGET,
+            arity: None,
+        },
+    )
+}
+
+fn gather_scale(scale: Scale) -> ExperimentSpec {
+    // Shallow 16-ary trees: the datacenter-fabric shape, and the regime where
+    // arena compression and the pruned/tiled kernels earn their keep. Quick
+    // (the `scale-smoke` CI gate) runs 100k switches; paper runs the full
+    // 100k → 1M sweep.
+    let sizes = match scale {
+        Scale::Paper => vec![100_000, 250_000, 1_000_000],
+        Scale::Quick => vec![100_000],
+    };
+    ExperimentSpec::new(
+        "gather-scale",
+        "Large-tree gather scaling (100k-1M switches, 16-ary, compressed arena)",
+        1,
+        ExperimentKind::GatherMicrobench {
+            sizes,
+            budget: crate::perf::GATHER_BENCH_BUDGET,
+            arity: Some(16),
         },
     )
 }
@@ -510,6 +533,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "fig11c" => fig11c(scale),
         "ablation" => ablation(scale),
         "gather-bench" => gather_bench(),
+        "gather-scale" => gather_scale(scale),
         "dynamic-churn" => dynamic_churn(scale),
         "fabric" => fabric(scale),
         "fabric-sweep" => fabric_sweep(scale),

@@ -211,9 +211,11 @@ impl ExperimentSpec {
                 *seed_stride,
                 &mut dp,
             ),
-            ExperimentKind::GatherMicrobench { sizes, budget } => {
-                perf::microbench_charts(&perf::gather_microbench(sizes, *budget))
-            }
+            ExperimentKind::GatherMicrobench {
+                sizes,
+                budget,
+                arity,
+            } => perf::microbench_charts(&perf::gather_microbench_shaped(sizes, *budget, *arity)),
             ExperimentKind::DynamicChurn {
                 title,
                 scenario,

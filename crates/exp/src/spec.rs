@@ -329,6 +329,12 @@ pub enum ExperimentKind {
         sizes: Vec<usize>,
         /// The gather budget.
         budget: usize,
+        /// Tree shape: `None` is the paper's `BT(n)` binary shape; `Some(a)`
+        /// is a complete `a`-ary tree (the shallow, wide shape of the
+        /// large-scale `gather-scale` runs, where a 1M-switch tree stays a
+        /// handful of levels deep).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        arity: Option<usize>,
     },
     /// A dynamic-workload scenario replayed by the `soar-online` incremental
     /// re-optimization engine: a base snapshot plus a seeded churn timeline,
@@ -908,9 +914,12 @@ impl ExperimentKind {
                 }
                 check_stride("seed_stride", *seed_stride, repetitions, problems);
             }
-            ExperimentKind::GatherMicrobench { sizes, .. } => {
+            ExperimentKind::GatherMicrobench { sizes, arity, .. } => {
                 if sizes.is_empty() {
                     problems.push("size grid is empty (give at least one tree size)".to_owned());
+                }
+                if arity.is_some_and(|a| a < 2) {
+                    problems.push("gather microbench arity must be at least 2".to_owned());
                 }
             }
             ExperimentKind::DynamicChurn {

@@ -1,0 +1,185 @@
+//! Local API-compatible subset of the [`wide`](https://docs.rs/wide) crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the one
+//! lane type the SOAR gather kernel needs: [`f64x4`], a four-lane f64 vector with
+//! element-wise add / min / compare / blend. Every method is written as a plain
+//! per-lane loop over a `#[repr(align(32))]` array — the shapes LLVM's
+//! auto-vectorizer reliably turns into `vaddpd` / `vminpd` / `vcmppd` /
+//! `vblendvpd` on AVX targets (and NEON equivalents on aarch64) without any
+//! `unsafe` or target-feature gates. Swapping in the real `wide` crate is a
+//! Cargo.toml-only change.
+//!
+//! Semantics notes that the min-plus kernel relies on:
+//!
+//! * [`f64x4::min`] is IEEE-754 `minNum`-like via `f64::min` per lane; the kernel
+//!   never produces NaN (it only adds and compares non-negative costs and `INF`),
+//!   so NaN propagation rules never come into play.
+//! * [`f64x4::cmp_lt`] returns an all-bits mask per lane (the `wide` convention),
+//!   consumed by [`f64x4::blend`]: `mask.blend(t, f)` picks `t` where the mask is
+//!   set. Masks are total (all-ones or all-zeros per lane), never partial.
+
+/// Four f64 lanes, 32-byte aligned so a lane load/store is a single vector move.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C, align(32))]
+pub struct f64x4 {
+    arr: [f64; 4],
+}
+
+#[allow(non_camel_case_types)]
+impl f64x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// All lanes zero.
+    pub const ZERO: f64x4 = f64x4 { arr: [0.0; 4] };
+
+    /// Builds a vector from four lane values.
+    #[inline(always)]
+    pub const fn new(arr: [f64; 4]) -> Self {
+        f64x4 { arr }
+    }
+
+    /// Broadcasts one value into all lanes.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        f64x4 { arr: [v; 4] }
+    }
+
+    /// Loads four consecutive lanes from `slice[0..4]`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[f64]) -> Self {
+        f64x4 {
+            arr: [slice[0], slice[1], slice[2], slice[3]],
+        }
+    }
+
+    /// Stores the lanes into `slice[0..4]`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [f64]) {
+        slice[..4].copy_from_slice(&self.arr);
+    }
+
+    /// The lanes as a plain array.
+    #[inline(always)]
+    pub const fn to_array(self) -> [f64; 4] {
+        self.arr
+    }
+
+    /// Element-wise minimum (`f64::min` per lane).
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        f64x4 {
+            arr: core::array::from_fn(|lane| self.arr[lane].min(rhs.arr[lane])),
+        }
+    }
+
+    /// Element-wise `self < rhs`, as an all-bits-per-lane mask.
+    #[inline(always)]
+    pub fn cmp_lt(self, rhs: Self) -> Self {
+        f64x4 {
+            arr: core::array::from_fn(|lane| {
+                if self.arr[lane] < rhs.arr[lane] {
+                    f64::from_bits(u64::MAX)
+                } else {
+                    0.0
+                }
+            }),
+        }
+    }
+
+    /// Lane-wise select: where `self`'s lane mask is set take `t`, else `f`.
+    #[inline(always)]
+    pub fn blend(self, t: Self, f: Self) -> Self {
+        f64x4 {
+            arr: core::array::from_fn(|lane| {
+                let m = self.arr[lane].to_bits();
+                f64::from_bits((t.arr[lane].to_bits() & m) | (f.arr[lane].to_bits() & !m))
+            }),
+        }
+    }
+
+    /// Horizontal minimum across the four lanes.
+    #[inline(always)]
+    pub fn reduce_min(self) -> f64 {
+        self.arr[0]
+            .min(self.arr[1])
+            .min(self.arr[2].min(self.arr[3]))
+    }
+
+    /// True if any lane's mask bit is set (for masks produced by [`cmp_lt`]).
+    ///
+    /// [`cmp_lt`]: f64x4::cmp_lt
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.arr.iter().any(|&m| m.to_bits() != 0)
+    }
+}
+
+impl core::ops::Add for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        f64x4 {
+            arr: core::array::from_fn(|lane| self.arr[lane] + rhs.arr[lane]),
+        }
+    }
+}
+
+impl core::ops::Sub for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        f64x4 {
+            arr: core::array::from_fn(|lane| self.arr[lane] - rhs.arr[lane]),
+        }
+    }
+}
+
+impl core::ops::Mul for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        f64x4 {
+            arr: core::array::from_fn(|lane| self.arr[lane] * rhs.arr[lane]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::f64x4;
+
+    #[test]
+    fn add_min_blend_roundtrip() {
+        let a = f64x4::new([1.0, 5.0, 3.0, f64::INFINITY]);
+        let b = f64x4::splat(4.0);
+        assert_eq!((a + b).to_array(), [5.0, 9.0, 7.0, f64::INFINITY]);
+        assert_eq!(a.min(b).to_array(), [1.0, 4.0, 3.0, 4.0]);
+
+        let mask = a.cmp_lt(b);
+        assert!(mask.any());
+        let picked = mask.blend(f64x4::splat(-1.0), f64x4::splat(1.0));
+        assert_eq!(picked.to_array(), [-1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn slice_io_and_reduce() {
+        let src = [9.0, 2.0, 7.0, 4.0, 99.0];
+        let v = f64x4::from_slice(&src);
+        assert_eq!(v.reduce_min(), 2.0);
+        let mut dst = [0.0; 4];
+        v.write_to_slice(&mut dst);
+        assert_eq!(dst, [9.0, 2.0, 7.0, 4.0]);
+    }
+
+    #[test]
+    fn infinities_compare_like_scalar() {
+        let inf = f64x4::splat(f64::INFINITY);
+        // INF < INF is false, so the mask is empty and blend keeps the fallback.
+        assert!(!inf.cmp_lt(inf).any());
+        assert_eq!(
+            inf.cmp_lt(inf).blend(f64x4::ZERO, inf).to_array(),
+            [f64::INFINITY; 4]
+        );
+    }
+}
