@@ -13,15 +13,24 @@
 //! `scale-smoke` CI jobs run this binary so every commit leaves
 //! machine-readable perf data points.
 //!
+//! With `--obs` it instead runs the tracing-overhead variant (`obs-bench`):
+//! the same warm gather timed with span tracing off vs on, written to
+//! `BENCH_gather_obs.json` — the artifact behind the `scale-smoke` job's
+//! <2% instrumentation-overhead gate. The committed `gather-bench` baseline
+//! is untouched by `--obs` runs.
+//!
 //! ```text
-//! cargo run --release -p soar-bench --bin bench_gather [output-path] [--spec NAME]
+//! cargo run --release -p soar-bench --bin bench_gather [output-path] [--spec NAME] [--obs]
 //! ```
 
-use soar_bench::perf::{gather_artifact_named, gather_microbench_named};
+use soar_bench::perf::{
+    gather_artifact_named, gather_microbench_named, obs_artifact, obs_bench_registered,
+};
 
 fn main() {
-    let mut out_path = "BENCH_gather.json".to_owned();
+    let mut out_path: Option<String> = None;
     let mut spec_name = "gather-bench".to_owned();
+    let mut obs = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,9 +41,29 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            _ => out_path = arg,
+            "--obs" => obs = true,
+            _ => out_path = Some(arg),
         }
     }
+    if obs {
+        let out_path = out_path.unwrap_or_else(|| "BENCH_gather_obs.json".to_owned());
+        let points = obs_bench_registered();
+        for p in &points {
+            println!(
+                "obs-gather n={:>8} k={:>3}  off {:>9.3} ms   on {:>9.3} ms   overhead {:.4}x",
+                p.n_switches,
+                p.budget,
+                p.warm_seconds * 1e3,
+                p.warm_obs_seconds * 1e3,
+                p.overhead_ratio(),
+            );
+        }
+        let artifact = obs_artifact(&points);
+        std::fs::write(&out_path, artifact.to_json()).expect("writing the obs snapshot failed");
+        println!("wrote {out_path}");
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_gather.json".to_owned());
     let points = gather_microbench_named(&spec_name).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);

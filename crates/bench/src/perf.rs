@@ -11,8 +11,9 @@
 
 pub use soar_exp::perf::{
     gather_bench_instance, gather_bench_instance_shaped, gather_bench_instance_with_budget,
-    gather_microbench_shaped, measure_gather, points_from_charts, GatherBenchPoint,
-    GATHER_BENCH_BUDGET, GATHER_BENCH_SIZES,
+    gather_microbench_shaped, gather_obs_bench, measure_gather, measure_gather_obs,
+    obs_bench_charts, points_from_charts, GatherBenchPoint, GatherObsPoint, GATHER_BENCH_BUDGET,
+    GATHER_BENCH_SIZES,
 };
 use soar_exp::registry;
 use soar_exp::{RunArtifact, Scale};
@@ -58,6 +59,24 @@ pub fn gather_microbench_named(name: &str) -> Result<Vec<GatherBenchPoint>, Stri
         return Err(format!("spec `{name}` is not a gather microbench"));
     };
     Ok(gather_microbench_shaped(sizes, *budget, *arity))
+}
+
+/// Runs the tracing-overhead bench described by the registered `obs-bench`
+/// spec (`bench_gather --obs`): same instances and budget as the quick-scale
+/// gather microbench, timed with span tracing off vs on.
+pub fn obs_bench_registered() -> Vec<GatherObsPoint> {
+    let spec = registry::by_name("obs-bench", Scale::Quick).expect("the obs bench is registered");
+    let soar_exp::ExperimentKind::ObsBench { sizes, budget } = &spec.kind else {
+        unreachable!("the obs-bench registry entry is an ObsBench spec");
+    };
+    gather_obs_bench(sizes, *budget)
+}
+
+/// Wraps obs-overhead points in the shared [`RunArtifact`] snapshot format
+/// (the `BENCH_gather_obs.json` document of the `scale-smoke` overhead gate).
+pub fn obs_artifact(points: &[GatherObsPoint]) -> RunArtifact {
+    let spec = registry::by_name("obs-bench", Scale::Quick).expect("the obs bench is registered");
+    RunArtifact::new(spec, obs_bench_charts(points), None)
 }
 
 /// Reads a `BENCH_gather.json` snapshot in either format: the current

@@ -130,6 +130,7 @@ pub(crate) fn run_gather(
     let mut grew = 0;
     let n_i = tables.n_i;
     for d in (0..tables.level_ranges.len()).rev() {
+        let _level = soar_obs::span!("gather_level", d);
         let (start, end) = tables.level_ranges[d];
         let boundary = tables.level_cell_end[d];
         let compressed = tables.compressed;
@@ -221,6 +222,7 @@ pub(crate) fn run_gather_partial(
             end == dirty.len() || tree.depth(dirty[end]) < d,
             "dirty nodes must be sorted deepest-first"
         );
+        let _level = soar_obs::span!("gather_level", d);
         let boundary = tables.level_cell_end[d];
         let compressed = tables.compressed;
         let GatherTables {
@@ -294,6 +296,9 @@ pub(crate) fn run_gather_parallel(
         if n_nodes == 0 {
             continue;
         }
+        // One span per level on the *calling* thread (the span covers the whole
+        // fork/join); each stripe additionally records on its worker's ring.
+        let _level = soar_obs::span!("gather_level", d);
         let boundary = tables.level_cell_end[d];
         let level_cell_start = if d == 0 {
             0
@@ -377,6 +382,7 @@ pub(crate) fn run_gather_parallel(
                 let (sp_s, tail) = std::mem::take(&mut sp_rest).split_at_mut(split_total);
                 sp_rest = tail;
                 s.spawn(move || {
+                    let _stripe = soar_obs::span!("gather_stripe", stripe_nodes.len());
                     let mut local_grew = 0;
                     for &v in stripe_nodes {
                         local_grew += ctx.fill_one(

@@ -123,8 +123,12 @@ impl SolverWorkspace {
     pub fn gather(&mut self, tree: &Tree, k: usize) -> &GatherTables {
         let kernel = self.begin_pass();
         let compressed = self.compress_for(tree);
-        let mut events = self.maybe_shrink();
-        events += self.tables.reset(tree, k, compressed);
+        let mut events;
+        {
+            let _reset = soar_obs::span!("ws_reset", tree.n_switches());
+            events = self.maybe_shrink();
+            events += self.tables.reset(tree, k, compressed);
+        }
         if self.scratches.is_empty() {
             self.scratches.push(DpScratch::new());
         }
@@ -189,6 +193,9 @@ impl SolverWorkspace {
             );
         }
         let kernel = self.begin_pass();
+        // The span argument is the dirty-closure size — the work measure of an
+        // incremental solve, scrapeable straight off a Perfetto trace.
+        let _update = soar_obs::span!("gather_update", dirty.len());
         if self.scratches.is_empty() {
             self.scratches.push(DpScratch::new());
         }
@@ -210,8 +217,12 @@ impl SolverWorkspace {
     pub fn gather_parallel(&mut self, tree: &Tree, k: usize, pool: &ThreadPool) -> &GatherTables {
         let kernel = self.begin_pass();
         let compressed = self.compress_for(tree);
-        let mut events = self.maybe_shrink();
-        events += self.tables.reset(tree, k, compressed);
+        let mut events;
+        {
+            let _reset = soar_obs::span!("ws_reset", tree.n_switches());
+            events = self.maybe_shrink();
+            events += self.tables.reset(tree, k, compressed);
+        }
         events += run_gather_parallel(&mut self.tables, tree, &mut self.scratches, pool, kernel);
         let cells = self.tables.table_cells();
         self.finish_pass(events, cells);
@@ -264,6 +275,7 @@ impl SolverWorkspace {
     /// reusable buffers (see [`Self::trace_best`]); returns the traced cost
     /// `X_r(1, i)`.
     pub fn trace_exact(&mut self, tree: &Tree, i: usize) -> f64 {
+        let _trace = soar_obs::span!("traceback", i);
         let events = soar_color_exact_into(
             tree,
             &self.tables,
@@ -412,6 +424,13 @@ impl SolverWorkspace {
             });
         self.last_tiles = tiles;
         self.last_pruned_splits = pruned;
+        // Process-wide DP counters: the same quantities DpStats reports
+        // per-solve, accumulated for the /metrics exposition.
+        soar_obs::counter!("soar_gather_passes_total").inc();
+        soar_obs::counter!("soar_gather_cells_written_total").add(cells_written as u64);
+        soar_obs::counter!("soar_gather_tiles_total").add(tiles as u64);
+        soar_obs::counter!("soar_gather_pruned_splits_total").add(pruned as u64);
+        soar_obs::counter!("soar_gather_alloc_events_total").add(events as u64);
         let scratch_bytes = self
             .scratches
             .iter()

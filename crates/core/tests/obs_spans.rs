@@ -1,0 +1,147 @@
+//! Property test: spans emitted by instrumented solves are well-formed.
+//!
+//! Across randomized pool-parallel solves (full gathers, parallel gathers,
+//! incremental updates, tracebacks), every thread's span stream must satisfy
+//! the trace-format invariants the Chrome exporter relies on:
+//!
+//! * every `End` pairs with the innermost open `Begin` of the same name —
+//!   strict LIFO nesting per thread (the RAII guards guarantee it; this test
+//!   checks the ring actually preserved it);
+//! * timestamps are monotone non-decreasing per thread;
+//! * the stream is balanced at quiescence (no span left open);
+//! * the phase names the `soar trace` breakdown keys on are all present.
+//!
+//! One `#[test]` only: tracing is process-global state, so concurrent tests in
+//! one binary would interleave their spans. Integration-test binaries run one
+//! file per process, which is exactly the isolation this needs.
+
+use soar_core::workspace::{with_thread_workspace, SolverWorkspace};
+use soar_obs::span::RING_CAP;
+use soar_pool::ThreadPool;
+use soar_topology::{builders, Tree};
+
+/// Deterministic xorshift* PRNG — no rand dep needed.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn random_tree(rng: &mut XorShift) -> Tree {
+    let n = [7usize, 15, 31, 63, 127, 255][(rng.next() % 6) as usize];
+    let mut tree = match rng.next() % 3 {
+        0 => builders::complete_binary_tree(n),
+        1 => builders::complete_binary_tree_bt(n),
+        _ => builders::star(n),
+    };
+    for v in tree.leaves().collect::<Vec<_>>() {
+        tree.set_load(v, rng.next() % 17 + 1);
+    }
+    tree
+}
+
+#[test]
+fn spans_from_randomized_parallel_solves_are_well_formed() {
+    let pool = ThreadPool::new(4);
+    let mut rng = XorShift(0x0B5E_55AB_1E5E_ED00);
+
+    soar_obs::set_tracing(true);
+    // A mix of every instrumented path, some sequential on this thread, some
+    // fanned out over the pool (workers record on their own rings).
+    for round in 0..12 {
+        let trees: Vec<Tree> = (0..6).map(|_| random_tree(&mut rng)).collect();
+        let budgets: Vec<usize> = trees.iter().map(|_| (rng.next() % 6) as usize).collect();
+        let indices: Vec<usize> = (0..trees.len()).collect();
+        let _ = pool.map(&indices, |&t| {
+            with_thread_workspace(|ws| ws.solve(&trees[t], budgets[t]).cost)
+        });
+
+        // A parallel gather: per-level spans on this thread, stripe spans on
+        // the workers.
+        let mut ws = SolverWorkspace::new();
+        let _ = ws.gather_parallel(&trees[0], budgets[0].max(1), &pool);
+        let _ = ws.trace_best(&trees[0]);
+
+        // An incremental update (dirty root path of a leaf).
+        let mut tree = trees[round % trees.len()].clone();
+        let k = 3;
+        let _ = ws.gather(&tree, k);
+        let leaf = tree.leaves().next().unwrap();
+        tree.set_load(leaf, rng.next() % 23 + 1);
+        let mut dirty = vec![leaf];
+        let mut v = leaf;
+        while let Some(p) = tree.parent(v) {
+            dirty.push(p);
+            v = p;
+        }
+        let _ = ws.gather_update(&tree, k, &dirty);
+        let _ = ws.trace_best(&tree);
+    }
+    soar_obs::set_tracing(false);
+
+    // `pool.map` joins before returning and the guards above are dropped, so
+    // every Begin has had its End pushed: the snapshot is at quiescence.
+    let threads = soar_obs::span::snapshot();
+    assert!(!threads.is_empty(), "no ring captured any spans");
+
+    let mut names_seen = std::collections::BTreeSet::new();
+    let mut total = 0usize;
+    for t in &threads {
+        // The checks below assume nothing was overwritten by ring wrap; the
+        // workload is sized well under the ring capacity, keep it that way.
+        assert!(
+            t.events.len() < RING_CAP,
+            "thread {} filled its ring ({} events) — shrink the workload",
+            t.tid,
+            t.events.len()
+        );
+        let mut stack: Vec<&'static str> = Vec::new();
+        let mut last_ts = 0u64;
+        for e in &t.events {
+            assert!(
+                e.ts_ns >= last_ts,
+                "thread {}: timestamps regressed at {:?}",
+                t.tid,
+                e.name
+            );
+            last_ts = e.ts_ns;
+            if e.begin {
+                stack.push(e.name);
+            } else {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("thread {}: End({}) with no open span", t.tid, e.name)
+                });
+                assert_eq!(
+                    open, e.name,
+                    "thread {}: spans are not strictly nested",
+                    t.tid
+                );
+            }
+            names_seen.insert(e.name);
+        }
+        assert!(
+            stack.is_empty(),
+            "thread {}: spans left open at quiescence: {stack:?}",
+            t.tid
+        );
+        total += t.events.len();
+    }
+    assert!(total > 0, "the solves recorded no events at all");
+
+    // Every instrumented phase fired at least once.
+    for name in [
+        "ws_reset",
+        "gather_level",
+        "gather_update",
+        "gather_stripe",
+        "traceback",
+    ] {
+        assert!(names_seen.contains(name), "phase {name:?} never recorded");
+    }
+}

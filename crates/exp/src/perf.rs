@@ -137,6 +137,118 @@ pub fn gather_microbench_shaped(
         .collect()
 }
 
+/// One measured point of the tracing-overhead bench: the same warm gather
+/// timed with span tracing disabled vs enabled. Enabled means spans are
+/// recorded into the calling thread's ring and the DP counters tick — but
+/// nothing is drained, which is the steady state of a daemon between
+/// `/metrics` scrapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatherObsPoint {
+    /// Number of switches in the instance.
+    pub n_switches: usize,
+    /// The budget `k`.
+    pub budget: usize,
+    /// Mean wall time of a warm gather with tracing disabled, in seconds.
+    pub warm_seconds: f64,
+    /// Mean wall time of the same warm gather with tracing enabled, in
+    /// seconds.
+    pub warm_obs_seconds: f64,
+}
+
+impl GatherObsPoint {
+    /// `warm_obs_seconds / warm_seconds` — the multiplicative cost of leaving
+    /// tracing on (1.0 = free; the CI gate budgets 1.02 plus timer slack).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.warm_seconds == 0.0 {
+            1.0
+        } else {
+            self.warm_obs_seconds / self.warm_seconds
+        }
+    }
+}
+
+/// Times one instance's warm gather with tracing off vs on. The two modes are
+/// interleaved rep by rep (off, on, off, on, ...) and each mode keeps its
+/// fastest rep, so frequency drift and scheduler interference — which hit
+/// both modes alike — cancel out of the overhead ratio instead of flaking
+/// the CI gate. Tracing is restored to its previous state afterwards.
+pub fn measure_gather_obs(instance: &soar_core::api::Instance, reps: usize) -> GatherObsPoint {
+    let tree = instance.tree();
+    let k = instance.budget();
+    let reps = reps.max(2);
+    let was_on = soar_obs::tracing_enabled();
+
+    let mut ws = SolverWorkspace::new();
+    soar_obs::set_tracing(false);
+    let _ = ws.gather(tree, k);
+    soar_obs::set_tracing(true);
+    let _ = ws.gather(tree, k);
+
+    let mut warm_seconds = f64::INFINITY;
+    let mut warm_obs_seconds = f64::INFINITY;
+    for _ in 0..reps {
+        soar_obs::set_tracing(false);
+        let start = Instant::now();
+        std::hint::black_box(ws.gather(tree, k));
+        warm_seconds = warm_seconds.min(start.elapsed().as_secs_f64());
+
+        soar_obs::set_tracing(true);
+        let start = Instant::now();
+        std::hint::black_box(ws.gather(tree, k));
+        warm_obs_seconds = warm_obs_seconds.min(start.elapsed().as_secs_f64());
+    }
+
+    soar_obs::set_tracing(was_on);
+    GatherObsPoint {
+        n_switches: tree.n_switches(),
+        budget: k,
+        warm_seconds,
+        warm_obs_seconds,
+    }
+}
+
+/// Runs the tracing-overhead bench over the standard microbench instances.
+pub fn gather_obs_bench(sizes: &[usize], budget: usize) -> Vec<GatherObsPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            // Flat 12 interleaved pairs: even the 16k point costs < 1 s, and
+            // min-of-12 keeps the overhead ratio stable enough for a tight
+            // CI gate on shared runners.
+            measure_gather_obs(&gather_bench_instance_with_budget(n, budget), 12)
+        })
+        .collect()
+}
+
+/// Renders obs-bench points as the artifact's chart set: wall times with
+/// tracing off/on (chart 0) and the enabled/disabled overhead ratio
+/// (chart 1). Both are *timing* charts.
+pub fn obs_bench_charts(points: &[GatherObsPoint]) -> Vec<Chart> {
+    let mut wall = Chart::new(
+        "warm gather wall time, tracing off vs on",
+        "n switches",
+        "wall time [ms]",
+    );
+    let mut off = Series::new("tracing off");
+    let mut on = Series::new("tracing on");
+    let mut ratio = Chart::new(
+        "tracing overhead ratio",
+        "n switches",
+        "enabled / disabled wall time",
+    );
+    let mut ratio_series = Series::new("overhead_ratio");
+    for p in points {
+        let x = p.n_switches as f64;
+        off.push(x, p.warm_seconds * 1e3);
+        on.push(x, p.warm_obs_seconds * 1e3);
+        ratio_series.push(x, p.overhead_ratio());
+    }
+    wall.push(off);
+    wall.push(on);
+    ratio.push(ratio_series);
+    vec![wall, ratio]
+}
+
 /// Renders microbench points as the artifact's chart set: wall times (chart 0,
 /// a *timing* chart), warm allocation events (chart 1 — the allocation-free
 /// invariant, diffed exactly) and the peak workspace footprint (chart 2).
@@ -219,5 +331,23 @@ mod tests {
         assert_eq!(recovered[0].n_switches, 127);
         assert_eq!(recovered[0].warm_alloc_events, 0);
         assert!((recovered[0].fresh_seconds - p.fresh_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obs_bench_measures_and_restores_tracing_state() {
+        let was_on = soar_obs::tracing_enabled();
+        let points = gather_obs_bench(&[128], 4);
+        assert_eq!(soar_obs::tracing_enabled(), was_on);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.n_switches, 127);
+        assert_eq!(p.budget, 4);
+        assert!(p.warm_seconds > 0.0 && p.warm_obs_seconds > 0.0);
+        assert!(p.overhead_ratio() > 0.0);
+
+        let charts = obs_bench_charts(&points);
+        assert_eq!(charts.len(), 2);
+        assert_eq!(charts[0].series.len(), 2);
+        assert_eq!(charts[1].series[0].points[0].1, p.overhead_ratio());
     }
 }

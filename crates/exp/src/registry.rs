@@ -18,7 +18,7 @@ use soar_topology::load::{LoadPlacement, LoadSpec};
 use soar_topology::rates::RateScheme;
 
 /// Registry names of all predefined experiments, in run order.
-pub const NAMES: [&str; 17] = [
+pub const NAMES: [&str; 18] = [
     "fig2",
     "fig3",
     "fig6",
@@ -32,6 +32,7 @@ pub const NAMES: [&str; 17] = [
     "fig11c",
     "ablation",
     "gather-bench",
+    "obs-bench",
     "gather-scale",
     "dynamic-churn",
     "fabric",
@@ -385,6 +386,18 @@ fn gather_bench() -> ExperimentSpec {
     )
 }
 
+fn obs_bench() -> ExperimentSpec {
+    ExperimentSpec::new(
+        "obs-bench",
+        "Tracing overhead on the warm gather (spans recorded, never drained)",
+        1,
+        ExperimentKind::ObsBench {
+            sizes: crate::perf::GATHER_BENCH_SIZES.to_vec(),
+            budget: crate::perf::GATHER_BENCH_BUDGET,
+        },
+    )
+}
+
 fn gather_scale(scale: Scale) -> ExperimentSpec {
     // Shallow 16-ary trees: the datacenter-fabric shape, and the regime where
     // arena compression and the pruned/tiled kernels earn their keep. Quick
@@ -533,6 +546,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "fig11c" => fig11c(scale),
         "ablation" => ablation(scale),
         "gather-bench" => gather_bench(),
+        "obs-bench" => obs_bench(),
         "gather-scale" => gather_scale(scale),
         "dynamic-churn" => dynamic_churn(scale),
         "fabric" => fabric(scale),

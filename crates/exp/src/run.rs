@@ -216,6 +216,9 @@ impl ExperimentSpec {
                 budget,
                 arity,
             } => perf::microbench_charts(&perf::gather_microbench_shaped(sizes, *budget, *arity)),
+            ExperimentKind::ObsBench { sizes, budget } => {
+                perf::obs_bench_charts(&perf::gather_obs_bench(sizes, *budget))
+            }
             ExperimentKind::DynamicChurn {
                 title,
                 scenario,

@@ -336,6 +336,18 @@ pub enum ExperimentKind {
         #[serde(default, skip_serializing_if = "Option::is_none")]
         arity: Option<usize>,
     },
+    /// The tracing-overhead microbench behind `BENCH_gather_obs.json`: the
+    /// same warm gather timed with span tracing disabled vs enabled (spans
+    /// recorded into per-thread rings, never drained — the steady state of a
+    /// daemon whose `/metrics` endpoint is scraped occasionally). Both charts
+    /// are *timing* charts; the `scale-smoke` CI gate asserts the
+    /// enabled/disabled overhead stays under its budget.
+    ObsBench {
+        /// Tree sizes in switches.
+        sizes: Vec<usize>,
+        /// The gather budget.
+        budget: usize,
+    },
     /// A dynamic-workload scenario replayed by the `soar-online` incremental
     /// re-optimization engine: a base snapshot plus a seeded churn timeline,
     /// re-solved epoch by epoch (each epoch verified bit-identical to a
@@ -503,6 +515,9 @@ impl ExperimentSpec {
             ExperimentKind::SolveTime { .. } => vec![0],
             // Chart 0 of the microbench is the fresh/warm wall-time chart.
             ExperimentKind::GatherMicrobench { .. } => vec![0],
+            // Chart 0 (wall times) and chart 1 (overhead ratio) are both
+            // wall-clock derived.
+            ExperimentKind::ObsBench { .. } => vec![0, 1],
             // Charts 0 (latency percentiles) and 1 (ns per churn event) are
             // wall-clock; chart 2 (sheds/errors) diffs exactly.
             ExperimentKind::ServeBench { .. } => vec![0, 1],
@@ -920,6 +935,11 @@ impl ExperimentKind {
                 }
                 if arity.is_some_and(|a| a < 2) {
                     problems.push("gather microbench arity must be at least 2".to_owned());
+                }
+            }
+            ExperimentKind::ObsBench { sizes, .. } => {
+                if sizes.is_empty() {
+                    problems.push("size grid is empty (give at least one tree size)".to_owned());
                 }
             }
             ExperimentKind::DynamicChurn {

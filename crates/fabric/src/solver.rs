@@ -130,6 +130,7 @@ impl FabricSolver for DecomposeSolver {
         // deterministic regardless of worker scheduling.
         let indices: Vec<usize> = (0..trees.len()).collect();
         let curves: Vec<Vec<Solution>> = soar_pool::global().map(&indices, |&t| {
+            let _dp = soar_obs::span!("fabric_tree_dp", t as u64);
             with_thread_workspace(|ws| {
                 ws.gather_auto(&trees[t], jmax[t]);
                 solutions_for_all_budgets(&trees[t], ws.tables())
@@ -138,6 +139,7 @@ impl FabricSolver for DecomposeSolver {
 
         // Exact knapsack over the per-tree curves: dp[b] is the best total
         // cost of the trees processed so far using at most b budget.
+        let _knapsack = soar_obs::span!("fabric_knapsack", curves.len() as u64);
         let kmax: usize = fabric.budget().min(jmax.iter().sum());
         let mut dp = vec![0.0f64; kmax + 1];
         let mut choice = vec![vec![0usize; kmax + 1]; curves.len()];

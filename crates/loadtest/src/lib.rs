@@ -45,7 +45,7 @@ use soar_dataplane::framing;
 use soar_exp::spec::ExperimentKind;
 use soar_exp::{Chart, ExperimentSpec, RunArtifact, Series};
 use soar_multitenant::churn::{ChurnEvent, ChurnModel, ChurnStream};
-use soar_pool::hist::LatencyHistogram;
+use soar_obs::hist::LatencyHistogram;
 use soar_serve::metrics::{LatencySummary, MetricsSnapshot};
 use soar_serve::protocol::{ErrorCode, Request, RequestBody, ResponseBody};
 use soar_serve::server::{Client, ClientError};
@@ -107,6 +107,11 @@ pub struct LoadtestConfig {
     /// the server whether the batch's sequence number was consumed, and the
     /// batch is counted applied or explicitly lost accordingly.
     pub max_attempts: u32,
+    /// The daemon's Prometheus endpoint (`soar serve --obs-addr`). `Some`
+    /// makes the control tail scrape `/metrics` and **fail the run** if the
+    /// exposition disagrees with the binary metrics snapshot on any quiesced
+    /// counter — the two render paths share one source, so drift is a bug.
+    pub obs_addr: Option<SocketAddr>,
 }
 
 impl Default for LoadtestConfig {
@@ -129,6 +134,7 @@ impl Default for LoadtestConfig {
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
             max_attempts: 24,
+            obs_addr: None,
         }
     }
 }
@@ -237,6 +243,9 @@ pub struct LoadtestReport {
     pub solve_latency: LatencySummary,
     /// The server's own metrics snapshot, fetched at the end of the run.
     pub server: MetricsSnapshot,
+    /// Counters cross-checked against the Prometheus scrape (`Some` exactly
+    /// when [`LoadtestConfig::obs_addr`] was set; the run fails on drift).
+    pub obs_counters_checked: Option<usize>,
     /// Resilient-driver accounting — `Some` exactly when the run used the
     /// chaos/resilience path.
     pub resilience: Option<ResilienceReport>,
@@ -363,6 +372,11 @@ impl LoadtestReport {
             self.server.alloc_events,
             self.server.resident_tenants
         ));
+        if let Some(n) = self.obs_counters_checked {
+            out.push_str(&format!(
+                "obs scrape: {n} counters verified against the binary snapshot\n"
+            ));
+        }
         out
     }
 }
@@ -567,6 +581,13 @@ pub fn run(config: &LoadtestConfig) -> Result<LoadtestReport, LoadtestError> {
     };
     let server: MetricsSnapshot = serde_json::from_str(&json)
         .map_err(|e| LoadtestError::Protocol(format!("bad metrics JSON: {e}")))?;
+    // With the workers joined and every response received, the workload
+    // counters are quiesced: the Prometheus exposition must agree with the
+    // binary snapshot exactly (both render from the same `ServeMetrics`).
+    let obs_counters_checked = match &config.obs_addr {
+        None => None,
+        Some(addr) => Some(scrape_and_check(addr, &server)?),
+    };
     if config.shutdown {
         let resp = control.call(&Request {
             req_id: u64::MAX,
@@ -603,8 +624,66 @@ pub fn run(config: &LoadtestConfig) -> Result<LoadtestReport, LoadtestError> {
         churn_latency: LatencySummary::of(&churn_hist),
         solve_latency: LatencySummary::of(&solve_hist),
         server,
+        obs_counters_checked,
         resilience,
     })
+}
+
+/// Scrapes `/metrics` off the daemon's obs endpoint and cross-checks every
+/// quiesced workload counter against the binary snapshot. Counters the
+/// control connection itself perturbs (`requests`, `responses`,
+/// `accepted_conns`) are deliberately excluded. Returns how many counters
+/// were verified.
+fn scrape_and_check(addr: &SocketAddr, server: &MetricsSnapshot) -> Result<usize, LoadtestError> {
+    use std::io::{Read, Write};
+    let fail = |m: String| LoadtestError::Protocol(m);
+    let mut sock = std::net::TcpStream::connect(addr)
+        .map_err(|e| fail(format!("obs scrape: connect to {addr} failed: {e}")))?;
+    let _ = sock.set_read_timeout(Some(Duration::from_secs(5)));
+    sock.write_all(b"GET /metrics HTTP/1.0\r\nHost: loadtest\r\n\r\n")
+        .map_err(|e| fail(format!("obs scrape: write failed: {e}")))?;
+    let mut text = String::new();
+    sock.read_to_string(&mut text)
+        .map_err(|e| fail(format!("obs scrape: read failed: {e}")))?;
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(fail("obs scrape: no header/body split in response".into()));
+    };
+    if !head.starts_with("HTTP/1.0 200") {
+        return Err(fail(format!("obs scrape: non-200 response: {head}")));
+    }
+    let sample = |name: &str| -> Option<u64> {
+        body.lines().find_map(|line| {
+            let (n, v) = line.split_once(' ')?;
+            if n != name {
+                return None;
+            }
+            v.parse::<f64>().ok().map(|f| f as u64)
+        })
+    };
+    let expected = [
+        ("soar_serve_events_applied_total", server.events_applied),
+        ("soar_serve_solves_total", server.solves),
+        ("soar_serve_sweeps_total", server.sweeps),
+        ("soar_serve_registers_total", server.registers),
+        ("soar_serve_evictions_total", server.evictions),
+        ("soar_serve_shed_global_total", server.shed_global),
+        ("soar_serve_shed_tenant_total", server.shed_tenant),
+        ("soar_serve_wal_records_total", server.wal_records),
+        ("soar_serve_duplicate_churns_total", server.duplicate_churns),
+    ];
+    for (name, want) in expected {
+        match sample(name) {
+            None => return Err(fail(format!("obs scrape: exposition is missing {name}"))),
+            Some(got) if got != want => {
+                return Err(fail(format!(
+                    "obs scrape: {name} = {got} but the binary snapshot says {want} — \
+                     the two exposition paths drifted"
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(expected.len())
 }
 
 /// Connects with the resilient backoff schedule — rides out a server that is

@@ -8,7 +8,11 @@ use soar_serve::server::{start, ServeConfig};
 
 #[test]
 fn closed_loop_run_applies_events_cleanly() {
-    let handle = start(ServeConfig::default()).unwrap();
+    let handle = start(ServeConfig {
+        obs_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
     let config = LoadtestConfig {
         addr: handle.addr(),
         tenants: 8,
@@ -20,10 +24,14 @@ fn closed_loop_run_applies_events_cleanly() {
         batches: 40,
         solve_every: 4,
         shutdown: true,
+        obs_addr: handle.obs_addr(),
         ..LoadtestConfig::default()
     };
     let report = run(&config).unwrap();
     let snap = handle.join();
+    // The Prometheus scrape agreed with the binary snapshot (run() errors
+    // out otherwise).
+    assert!(report.obs_counters_checked.unwrap() >= 8);
 
     assert_eq!(report.batches_sent, 40);
     assert!(report.events_applied >= 40 * 20, "{report:?}");

@@ -14,8 +14,14 @@
 //! Reported quantiles use the *upper edge* of the winning bucket and therefore
 //! never understate a latency.
 //!
+//! This histogram is the **single** latency type of the workspace: `soar-pool`
+//! re-exports it (the historical `soar_pool::hist` path), `soar serve` folds it
+//! into `MetricsSnapshot`, `soar-loadtest` records client-side samples into it,
+//! and the Prometheus exposition renders it as a summary — one implementation,
+//! so server- and client-side percentiles can never drift apart.
+//!
 //! ```
-//! use soar_pool::hist::LatencyHistogram;
+//! use soar_obs::hist::LatencyHistogram;
 //!
 //! let h = LatencyHistogram::new();
 //! for nanos in [120, 450, 450, 90_000, 2_000_000] {
@@ -157,6 +163,22 @@ impl LatencyHistogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// An upper bound on the sum of all recorded samples: every sample is
+    /// counted at its bucket's upper edge, clamped to the recorded maximum.
+    /// Feeds the `_sum` line of the Prometheus summary exposition, where a
+    /// bucket-resolution overestimate is the same contract as the quantiles.
+    pub fn approx_sum(&self) -> u128 {
+        let max = self.max();
+        let mut sum = 0u128;
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                sum += n as u128 * Self::upper_edge(i).min(max) as u128;
+            }
+        }
+        sum
+    }
+
     /// The common service percentiles `(p50, p99, p999)`.
     pub fn percentiles(&self) -> (u64, u64, u64) {
         (
@@ -224,6 +246,7 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.max(), 0);
+        assert_eq!(h.approx_sum(), 0);
     }
 
     #[test]
@@ -277,6 +300,22 @@ mod tests {
         for &q in &[0.25, 0.5, 0.75, 0.99, 0.999] {
             assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
         }
+    }
+
+    #[test]
+    fn approx_sum_bounds_the_true_sum() {
+        let mut rng = XorShift(7);
+        let h = LatencyHistogram::new();
+        let mut exact = 0u128;
+        for _ in 0..10_000 {
+            let v = rng.next() % 10_000_000;
+            h.record(v);
+            exact += v as u128;
+        }
+        let approx = h.approx_sum();
+        assert!(approx >= exact, "approx {approx} < exact {exact}");
+        // Bucket resolution: at most 1/SUB_BUCKETS relative overshoot.
+        assert!(approx <= exact + exact / SUB_BUCKETS as u128 + 10_000);
     }
 
     #[test]

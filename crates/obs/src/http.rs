@@ -1,0 +1,188 @@
+//! A minimal hand-rolled HTTP/1.0 responder for metrics exposition.
+//!
+//! Just enough HTTP for `curl`/Prometheus scrapes: parse the request line of a
+//! `GET`, route the path through a caller-supplied render function, answer
+//! with `Connection: close`. The accept loop polls a nonblocking listener so
+//! shutdown (a shared [`AtomicBool`]) is honored within one poll interval —
+//! no self-connect tricks, no platform-specific wakeups.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A path-routing render callback: `render(path)` returns the response body
+/// for a path, or `None` → 404.
+pub type RenderFn = Arc<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
+/// A running metrics endpoint; join it after signaling shutdown.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `GET` requests until `shutdown` becomes true.
+    /// `render(path)` returns the response body for a path, or `None` → 404.
+    pub fn start(
+        addr: &str,
+        shutdown: Arc<AtomicBool>,
+        render: RenderFn,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name("soar-obs-http".into())
+            .spawn(move || accept_loop(listener, &shutdown, render.as_ref()))
+            .expect("spawning the obs http thread failed");
+        Ok(MetricsServer {
+            addr: local,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful when the caller asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the accept loop to observe shutdown and exit.
+    pub fn join(mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+    render: &(dyn Fn(&str) -> Option<String> + Send + Sync),
+) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One request per connection, served inline: scrapes are rare
+                // and tiny, so a worker pool would be pure overhead.
+                let _ = handle_connection(stream, render);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    render: &(dyn Fn(&str) -> Option<String> + Send + Sync),
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let path = match read_request_path(&mut stream)? {
+        Some(path) => path,
+        None => {
+            write_response(&mut stream, 400, "Bad Request", "bad request\n")?;
+            return Ok(());
+        }
+    };
+    match render(&path) {
+        Some(body) => write_response(&mut stream, 200, "OK", &body),
+        None => write_response(&mut stream, 404, "Not Found", "not found\n"),
+    }
+}
+
+/// Reads until the end of the header block and returns the `GET` path.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let first = text.lines().next().unwrap_or("");
+    let mut parts = first.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_owned())),
+        _ => Ok(None),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let content_type = if code == 200 {
+        "text/plain; version=0.0.4; charset=utf-8"
+    } else {
+        "text/plain; charset=utf-8"
+    };
+    let head = format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let code = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status code");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_routes_and_honors_shutdown() {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&shutdown),
+            Arc::new(|path: &str| (path == "/metrics").then(|| "soar_up 1\n".to_owned())),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert_eq!(body, "soar_up 1\n");
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+
+        shutdown.store(true, Ordering::Release);
+        server.join();
+        // The port is released once the loop exits; a fresh bind succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "listener not released: {rebind:?}");
+    }
+}

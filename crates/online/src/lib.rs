@@ -346,6 +346,7 @@ impl DynamicInstance {
 
     /// Applies a whole epoch's events in order.
     pub fn apply_epoch(&mut self, events: &Epoch) -> Result<(), OnlineError> {
+        let _apply = soar_obs::span!("epoch_apply", events.len());
         for event in events {
             self.apply(event)?;
         }
@@ -503,6 +504,9 @@ impl IncrementalSolver {
         let k = *budget;
         let n = tree.n_switches();
         let incremental = self.shape == Some((n, k)) && !dirty.budget_changed;
+        // Arg 1 = incremental epoch, 0 = full re-gather: the trace exporter
+        // makes warm vs cold epochs distinguishable at a glance.
+        let _solve = soar_obs::span!("epoch_solve", u64::from(incremental));
         if incremental {
             let closure = dirty.closure(tree);
             self.workspace.gather_update(tree, k, closure);

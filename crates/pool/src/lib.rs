@@ -45,11 +45,20 @@
 //! `sweep_budgets_batch` and the level-parallel gather. Set the
 //! `SOAR_POOL_THREADS` environment variable before first use to override its size
 //! (e.g. `SOAR_POOL_THREADS=1` to force sequential execution when profiling).
+//!
+//! The pool reports into the [`soar_obs`] registry: `soar_pool_queue_depth`
+//! (gauge of queued-but-unclaimed jobs), `soar_pool_jobs_total`,
+//! `soar_pool_steals_total{worker="i"}` and `soar_pool_idle_ns_total{worker="i"}`
+//! (cumulative parked time per worker) — enough to answer "is the pool
+//! starving?" from a `soar serve --obs-addr` scrape. The [`hist`] module
+//! (the [`hist::LatencyHistogram`] used by `soar serve` and `soar-loadtest`)
+//! is a re-export of [`soar_obs::hist`], which owns the implementation.
 
 #![warn(missing_docs)]
 
-pub mod hist;
+pub use soar_obs::hist;
 
+use soar_obs::{counter, gauge};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -85,6 +94,7 @@ impl Shared {
         // reverse order would transiently wrap the counter to usize::MAX and
         // defeat the `queued == 0` sleep gates).
         self.queued.fetch_add(1, Ordering::Release);
+        gauge!("soar_pool_queue_depth").add(1);
         match preferred {
             Some(w) => self.deques[w]
                 .lock()
@@ -105,12 +115,12 @@ impl Shared {
     fn pop(&self, own: Option<usize>) -> Option<Job> {
         if let Some(w) = own {
             if let Some(job) = self.deques[w].lock().expect("deque poisoned").pop_back() {
-                self.queued.fetch_sub(1, Ordering::Release);
+                self.claimed();
                 return Some(job);
             }
         }
         if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
-            self.queued.fetch_sub(1, Ordering::Release);
+            self.claimed();
             return Some(job);
         }
         let start = own.map_or(0, |w| w + 1);
@@ -125,11 +135,19 @@ impl Shared {
                 .expect("deque poisoned")
                 .pop_front()
             {
-                self.queued.fetch_sub(1, Ordering::Release);
+                self.claimed();
+                note_steal();
                 return Some(job);
             }
         }
         None
+    }
+
+    /// Bookkeeping of one claimed job: the sleep-gate counter and the obs
+    /// queue-depth gauge move together.
+    fn claimed(&self) {
+        self.queued.fetch_sub(1, Ordering::Release);
+        gauge!("soar_pool_queue_depth").add(-1);
     }
 }
 
@@ -142,6 +160,28 @@ thread_local! {
 /// Monotonic pool ids so a worker of pool A helping inside pool B is not mistaken
 /// for one of B's own workers.
 static POOL_IDS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The per-worker steal counter, resolved once per thread so the steal
+    /// path never touches the registry lock. Workers get a `worker="i"` label;
+    /// helper threads (scope callers) fold into the unlabeled sample.
+    static STEAL_COUNTER: std::cell::OnceCell<&'static soar_obs::registry::Counter> =
+        const { std::cell::OnceCell::new() };
+}
+
+/// Counts one successful steal on the current thread's cached counter.
+fn note_steal() {
+    STEAL_COUNTER.with(|cell| {
+        cell.get_or_init(|| match WORKER.with(|w| w.get()) {
+            Some((_, index)) => soar_obs::registry::counter_labeled(
+                "soar_pool_steals_total",
+                format!("worker=\"{index}\""),
+            ),
+            None => soar_obs::registry::counter("soar_pool_steals_total"),
+        })
+        .inc()
+    });
+}
 
 /// A work-stealing thread pool. See the [crate docs](crate) for the design.
 pub struct ThreadPool {
@@ -380,9 +420,15 @@ impl<'env> Scope<'env, '_> {
 /// The main loop of one worker thread.
 fn worker_loop(shared: &Shared, pool_id: usize, index: usize) {
     WORKER.with(|w| w.set(Some((pool_id, index))));
+    let jobs = counter!("soar_pool_jobs_total");
+    let idle_ns = soar_obs::registry::counter_labeled(
+        "soar_pool_idle_ns_total",
+        format!("worker=\"{index}\""),
+    );
     loop {
         if let Some(job) = shared.pop(Some(index)) {
             job();
+            jobs.inc();
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -396,7 +442,9 @@ fn worker_loop(shared: &Shared, pool_id: usize, index: usize) {
             // `shutdown` then locks + notifies — so either this worker saw the
             // flag above or the producer blocks until this wait releases the
             // lock and its notification is delivered.
+            let parked = std::time::Instant::now();
             let _guard = shared.wakeup.wait(guard).expect("sleep lock poisoned");
+            idle_ns.add(parked.elapsed().as_nanos() as u64);
         }
     }
 }

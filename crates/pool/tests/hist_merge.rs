@@ -1,0 +1,125 @@
+//! Property test: [`LatencyHistogram::merge`] is associative and commutative —
+//! folding per-connection client histograms in any grouping yields identical
+//! quantiles, which is what lets `soar-loadtest` and `soar serve` share one
+//! histogram code path without caring who folds first.
+
+use soar_pool::hist::LatencyHistogram;
+
+/// A cheap deterministic PRNG (xorshift*) so the test needs no rand dep.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Heavy-tailed latency-like samples: mostly ~1us, a slow band, a ms tail.
+fn sample(rng: &mut XorShift) -> u64 {
+    let r = rng.next();
+    match r % 100 {
+        0..=89 => 300 + r % 3_000,
+        90..=98 => 15_000 + r % 300_000,
+        _ => 2_000_000 + r % 80_000_000,
+    }
+}
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Every observable surface of the histogram, for equality checks.
+fn fingerprint(h: &LatencyHistogram) -> (u64, u64, Vec<u64>) {
+    let quantiles = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0]
+        .iter()
+        .map(|&q| h.quantile(q))
+        .collect();
+    (h.len(), h.max(), quantiles)
+}
+
+#[test]
+fn merge_is_associative_and_commutative_over_random_partitions() {
+    let mut rng = XorShift(0x0A55_0C1A_7E5E_ED42);
+    for round in 0..20 {
+        // Random partition of one sample stream into 3-6 "connections".
+        let parts = 3 + (rng.next() % 4) as usize;
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); parts];
+        let n = 2_000 + (rng.next() % 8_000) as usize;
+        let mut all = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = sample(&mut rng);
+            all.push(v);
+            let shard = (rng.next() % parts as u64) as usize;
+            shards[shard].push(v);
+        }
+
+        // Left fold: ((h0 ⊕ h1) ⊕ h2) ⊕ …
+        let left = hist_of(&[]);
+        for shard in &shards {
+            left.merge(&hist_of(shard));
+        }
+
+        // Right fold: h0 ⊕ (h1 ⊕ (h2 ⊕ …))
+        let right = hist_of(&[]);
+        for shard in shards.iter().rev() {
+            right.merge(&hist_of(shard));
+        }
+
+        // Pairwise tree fold: merge adjacent pairs until one remains.
+        let mut level: Vec<LatencyHistogram> = shards.iter().map(|s| hist_of(s)).collect();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            let mut iter = level.into_iter();
+            while let Some(a) = iter.next() {
+                if let Some(b) = iter.next() {
+                    a.merge(&b);
+                }
+                next.push(a);
+            }
+            level = next;
+        }
+        let tree = level.pop().unwrap();
+
+        // And recording everything into one histogram directly.
+        let whole = hist_of(&all);
+
+        let want = fingerprint(&whole);
+        assert_eq!(
+            fingerprint(&left),
+            want,
+            "left fold diverged (round {round})"
+        );
+        assert_eq!(
+            fingerprint(&right),
+            want,
+            "right fold diverged (round {round})"
+        );
+        assert_eq!(
+            fingerprint(&tree),
+            want,
+            "tree fold diverged (round {round})"
+        );
+    }
+}
+
+#[test]
+fn merging_an_empty_histogram_is_the_identity() {
+    let mut rng = XorShift(99);
+    let samples: Vec<u64> = (0..5_000).map(|_| sample(&mut rng)).collect();
+    let h = hist_of(&samples);
+    let before = fingerprint(&h);
+    h.merge(&LatencyHistogram::new());
+    assert_eq!(fingerprint(&h), before);
+
+    let fresh = LatencyHistogram::new();
+    fresh.merge(&h);
+    assert_eq!(fingerprint(&fresh), before);
+}

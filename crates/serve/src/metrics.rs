@@ -8,6 +8,7 @@
 //! that `soar history check` gates.
 
 use serde::{Deserialize, Serialize};
+use soar_obs::prom::PromWriter;
 use soar_pool::hist::LatencyHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -66,6 +67,13 @@ pub struct ServeMetrics {
     pub churn_latency: LatencyHistogram,
     /// Queue-wait + service latency of solves/sweeps, in nanoseconds.
     pub solve_latency: LatencyHistogram,
+    /// Admission-to-dispatch wait of every queued request, in nanoseconds —
+    /// the pure queueing component of the latencies above.
+    pub queue_wait: LatencyHistogram,
+    /// WAL append + fsync latency per durable record, in nanoseconds.
+    pub wal_append: LatencyHistogram,
+    /// Dispatcher batch-formation latency (drain + group), in nanoseconds.
+    pub batch_form: LatencyHistogram,
 }
 
 /// Bumps a counter by `n` (relaxed; metrics tolerate torn cross-counter reads).
@@ -75,9 +83,14 @@ pub(crate) fn add(counter: &AtomicU64, n: u64) {
 }
 
 impl ServeMetrics {
-    /// Freezes the current values. `queue_depth` and `resident_tenants` are
-    /// gauges owned by the server proper and passed in.
-    pub fn snapshot(&self, queue_depth: usize, resident_tenants: usize) -> MetricsSnapshot {
+    /// Freezes the current values. `queue_depth`, `resident_tenants` and the
+    /// per-tenant breakdown are owned by the server proper and passed in.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        resident_tenants: usize,
+        top_tenants: Vec<TenantBreakdown>,
+    ) -> MetricsSnapshot {
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
         MetricsSnapshot {
             accepted_conns: c(&self.accepted_conns),
@@ -106,6 +119,10 @@ impl ServeMetrics {
             resident_tenants,
             churn_latency: LatencySummary::of(&self.churn_latency),
             solve_latency: LatencySummary::of(&self.solve_latency),
+            queue_wait: LatencySummary::of(&self.queue_wait),
+            wal_append: LatencySummary::of(&self.wal_append),
+            batch_form: LatencySummary::of(&self.batch_form),
+            top_tenants,
         }
     }
 }
@@ -173,6 +190,18 @@ pub struct MetricsSnapshot {
     pub churn_latency: LatencySummary,
     /// Solve/sweep latency percentiles.
     pub solve_latency: LatencySummary,
+    /// Queue-wait percentiles (admission to dispatch).
+    #[serde(default)]
+    pub queue_wait: LatencySummary,
+    /// WAL append latency percentiles.
+    #[serde(default)]
+    pub wal_append: LatencySummary,
+    /// Dispatcher batch-formation latency percentiles.
+    #[serde(default)]
+    pub batch_form: LatencySummary,
+    /// The heaviest resident tenants by solve time / events at snapshot time.
+    #[serde(default)]
+    pub top_tenants: Vec<TenantBreakdown>,
 }
 
 impl MetricsSnapshot {
@@ -182,8 +211,21 @@ impl MetricsSnapshot {
     }
 }
 
+/// One tenant's usage within a [`MetricsSnapshot::top_tenants`] breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantBreakdown {
+    /// The tenant id.
+    pub tenant: u64,
+    /// Churn events applied to this tenant.
+    pub events_applied: u64,
+    /// Solves + sweeps completed for this tenant.
+    pub solves: u64,
+    /// Total solver wall time spent on this tenant, in nanoseconds.
+    pub solve_ns: u64,
+}
+
 /// p50/p99/p999 percentiles of one histogram, in microseconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Samples recorded.
     pub count: u64,
@@ -211,6 +253,146 @@ impl LatencySummary {
     }
 }
 
+/// Renders one daemon's metrics in Prometheus text format (0.0.4).
+///
+/// Counter and gauge values come from `snap` — the **same frozen snapshot**
+/// that answers the binary `Metrics` request, so the two expositions cannot
+/// disagree about a counter. The latency summaries are rendered from the live
+/// histograms in `m` (same instant, full `_sum`/`_count` resolution).
+pub fn render_prom(snap: &MetricsSnapshot, m: &ServeMetrics) -> String {
+    let mut w = PromWriter::new();
+    let counters: [(&str, &str, u64); 17] = [
+        (
+            "soar_serve_conns_total",
+            "connections accepted",
+            snap.accepted_conns,
+        ),
+        ("soar_serve_requests_total", "requests read", snap.requests),
+        (
+            "soar_serve_responses_total",
+            "responses written",
+            snap.responses,
+        ),
+        (
+            "soar_serve_events_applied_total",
+            "churn events applied",
+            snap.events_applied,
+        ),
+        ("soar_serve_solves_total", "solves completed", snap.solves),
+        ("soar_serve_sweeps_total", "sweeps completed", snap.sweeps),
+        (
+            "soar_serve_registers_total",
+            "tenants registered",
+            snap.registers,
+        ),
+        (
+            "soar_serve_evictions_total",
+            "tenants evicted",
+            snap.evictions,
+        ),
+        (
+            "soar_serve_shed_global_total",
+            "requests shed at the global queue",
+            snap.shed_global,
+        ),
+        (
+            "soar_serve_shed_tenant_total",
+            "requests shed at the tenant in-flight cap",
+            snap.shed_tenant,
+        ),
+        ("soar_serve_errors_total", "error responses", snap.errors),
+        (
+            "soar_serve_io_errors_total",
+            "failed response writes",
+            snap.io_errors,
+        ),
+        (
+            "soar_serve_duplicate_churns_total",
+            "deduplicated churn batches",
+            snap.duplicate_churns,
+        ),
+        (
+            "soar_serve_wal_records_total",
+            "WAL records appended",
+            snap.wal_records,
+        ),
+        (
+            "soar_serve_wal_errors_total",
+            "failed WAL appends",
+            snap.wal_errors,
+        ),
+        (
+            "soar_serve_cells_written_total",
+            "DP cells written by solves",
+            snap.cells_written,
+        ),
+        (
+            "soar_serve_alloc_events_total",
+            "workspace allocation events",
+            snap.alloc_events,
+        ),
+    ];
+    for (name, help, value) in counters {
+        w.counter(name, help, "", value);
+    }
+    w.gauge(
+        "soar_serve_queue_depth",
+        "global queue depth",
+        "",
+        snap.queue_depth as f64,
+    );
+    w.gauge(
+        "soar_serve_resident_tenants",
+        "resident tenants",
+        "",
+        snap.resident_tenants as f64,
+    );
+    for t in &snap.top_tenants {
+        let labels = format!("tenant=\"{}\"", t.tenant);
+        w.counter(
+            "soar_serve_tenant_events_total",
+            "churn events applied, heaviest tenants",
+            &labels,
+            t.events_applied,
+        );
+    }
+    for t in &snap.top_tenants {
+        let labels = format!("tenant=\"{}\"", t.tenant);
+        w.counter(
+            "soar_serve_tenant_solve_ns_total",
+            "solver wall time, heaviest tenants",
+            &labels,
+            t.solve_ns,
+        );
+    }
+    w.summary(
+        "soar_serve_churn_latency_ns",
+        "churn batch latency",
+        &m.churn_latency,
+    );
+    w.summary(
+        "soar_serve_solve_latency_ns",
+        "solve/sweep latency",
+        &m.solve_latency,
+    );
+    w.summary(
+        "soar_serve_queue_wait_ns",
+        "admission-to-dispatch wait",
+        &m.queue_wait,
+    );
+    w.summary(
+        "soar_serve_wal_append_ns",
+        "WAL append latency",
+        &m.wal_append,
+    );
+    w.summary(
+        "soar_serve_batch_form_ns",
+        "dispatcher batch formation",
+        &m.batch_form,
+    );
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,13 +404,87 @@ mod tests {
         add(&m.events_applied, 1000);
         m.churn_latency.record(1_500);
         m.churn_latency.record(2_000_000);
-        let snap = m.snapshot(3, 42);
+        m.queue_wait.record(900);
+        let top = vec![TenantBreakdown {
+            tenant: 7,
+            events_applied: 1000,
+            solves: 2,
+            solve_ns: 5_000,
+        }];
+        let snap = m.snapshot(3, 42, top);
         assert_eq!(snap.requests, 5);
         assert_eq!(snap.queue_depth, 3);
         assert_eq!(snap.resident_tenants, 42);
         assert_eq!(snap.churn_latency.count, 2);
+        assert_eq!(snap.queue_wait.count, 1);
+        assert_eq!(snap.top_tenants[0].tenant, 7);
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshots_from_older_servers_still_parse() {
+        // The gate artifact stores snapshots without the stage/tenant fields;
+        // they must deserialize with defaults (the `#[serde(default)]` pact).
+        let m = ServeMetrics::default();
+        let snap = m.snapshot(0, 0, Vec::new());
+        let mut json = serde_json::to_string(&snap).unwrap();
+        for field in [
+            "\"queue_wait\"",
+            "\"wal_append\"",
+            "\"batch_form\"",
+            "\"top_tenants\"",
+        ] {
+            let start = json.find(field).unwrap();
+            // Strip `,"field":{...}` / `,"field":[...]` by scanning to the
+            // matching close at depth 0.
+            let mut depth = 0i32;
+            let mut end = start;
+            for (i, c) in json[start..].char_indices() {
+                match c {
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = start + i + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            json.replace_range(start - 1..end, ""); // the leading comma too
+        }
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.queue_wait, LatencySummary::default());
+        assert!(back.top_tenants.is_empty());
+    }
+
+    #[test]
+    fn prom_render_matches_the_snapshot_counters() {
+        let m = ServeMetrics::default();
+        add(&m.solves, 9);
+        add(&m.events_applied, 123);
+        m.solve_latency.record(50_000);
+        let snap = m.snapshot(
+            2,
+            1,
+            vec![TenantBreakdown {
+                tenant: 3,
+                events_applied: 123,
+                solves: 9,
+                solve_ns: 777,
+            }],
+        );
+        let text = render_prom(&snap, &m);
+        assert!(text.contains("soar_serve_solves_total 9\n"));
+        assert!(text.contains("soar_serve_events_applied_total 123\n"));
+        assert!(text.contains("soar_serve_queue_depth 2\n"));
+        assert!(text.contains("soar_serve_tenant_events_total{tenant=\"3\"} 123\n"));
+        assert!(text.contains("# TYPE soar_serve_solve_latency_ns summary"));
+        assert!(text.contains("soar_serve_solve_latency_ns_count 1\n"));
+        // Exactly one header per family.
+        assert_eq!(text.matches("# TYPE soar_serve_solves_total").count(), 1);
     }
 }

@@ -35,7 +35,7 @@
 //! `Register`/`Evict` act as batch-wide barriers so a register is visible to
 //! every later request in the stream that named the tenant.
 
-use crate::metrics::{add, MetricsSnapshot, ServeMetrics};
+use crate::metrics::{add, MetricsSnapshot, ServeMetrics, TenantBreakdown};
 use crate::protocol::{
     DecodeError, ErrorCode, Request, RequestBody, Response, ResponseBody, ShedScope, SolveOutcome,
 };
@@ -88,6 +88,9 @@ pub struct ServeConfig {
     /// this counts as an `io_error` and drops the connection, so one slow
     /// reader can never head-of-line-block a worker. `None` blocks forever.
     pub write_deadline: Option<Duration>,
+    /// Bind address for the Prometheus `/metrics` exposition endpoint
+    /// (`soar serve --obs-addr`). `None` (the default) serves no HTTP.
+    pub obs_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +107,7 @@ impl Default for ServeConfig {
             recover: false,
             snapshot_every: 1024,
             write_deadline: Some(Duration::from_secs(5)),
+            obs_addr: None,
         }
     }
 }
@@ -116,6 +120,23 @@ struct TenantEntry {
     /// can rebuild the tree shape.
     params: TenantParams,
     inflight: AtomicUsize,
+    /// Per-tenant usage, folded into [`MetricsSnapshot::top_tenants`].
+    events_applied: AtomicU64,
+    solves: AtomicU64,
+    solve_ns: AtomicU64,
+}
+
+impl TenantEntry {
+    fn new(instance: DynamicInstance, last_seq: u64, params: TenantParams) -> Self {
+        TenantEntry {
+            state: Mutex::new(TenantState { instance, last_seq }),
+            params,
+            inflight: AtomicUsize::new(0),
+            events_applied: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            solve_ns: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The lock-protected part of a tenant.
@@ -178,15 +199,44 @@ struct Shared {
     /// Durable logging, when `config.state_dir` is set.
     wal: Option<Mutex<WalWriter>>,
     shutdown: AtomicBool,
+    /// Shutdown flag shared with the obs HTTP responder thread (an `Arc`
+    /// because `soar_obs::http` is daemon-agnostic and owns only the flag).
+    obs_shutdown: Arc<AtomicBool>,
     conns: Mutex<Vec<Weak<TcpStream>>>,
     next_conn: AtomicU64,
 }
 
+/// Tenants kept in the [`MetricsSnapshot::top_tenants`] breakdown.
+const TOP_TENANTS: usize = 8;
+
 impl Shared {
     fn snapshot(&self) -> MetricsSnapshot {
         let depth = self.queue.lock().unwrap().len();
-        let resident = self.tenants.read().unwrap().len();
-        self.metrics.snapshot(depth, resident)
+        let map = self.tenants.read().unwrap();
+        let resident = map.len();
+        // Top-N tenants by solver time, then by churn volume: the per-tenant
+        // cells are relaxed atomics on the entries, so this is a read-only
+        // sweep of the map — no tenant lock is touched.
+        let mut top: Vec<TenantBreakdown> = map
+            .iter()
+            .map(|(&tenant, e)| TenantBreakdown {
+                tenant,
+                events_applied: e.events_applied.load(Ordering::Relaxed),
+                solves: e.solves.load(Ordering::Relaxed),
+                solve_ns: e.solve_ns.load(Ordering::Relaxed),
+            })
+            .filter(|t| t.events_applied > 0 || t.solves > 0)
+            .collect();
+        drop(map);
+        top.sort_unstable_by_key(|t| {
+            (
+                std::cmp::Reverse(t.solve_ns),
+                std::cmp::Reverse(t.events_applied),
+                t.tenant,
+            )
+        });
+        top.truncate(TOP_TENANTS);
+        self.metrics.snapshot(depth, resident, top)
     }
 
     /// Flips the shutdown flag and unblocks every thread: the dispatcher via
@@ -196,6 +246,7 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.obs_shutdown.store(true, Ordering::SeqCst);
         self.queue_cv.notify_all();
         for stream in self.conns.lock().unwrap().iter().filter_map(Weak::upgrade) {
             let _ = stream.shutdown(std::net::Shutdown::Read);
@@ -214,12 +265,19 @@ pub struct ServerHandle {
     acceptor: JoinHandle<()>,
     dispatcher: JoinHandle<()>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    obs: Option<soar_obs::http::MetricsServer>,
 }
 
 impl ServerHandle {
     /// The bound address (the resolved port when the config asked for `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the Prometheus exposition endpoint, when
+    /// `obs_addr` was configured.
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs.as_ref().map(|o| o.addr())
     }
 
     /// Requests graceful shutdown: stop accepting, drain the queue, answer
@@ -238,6 +296,9 @@ impl ServerHandle {
         let readers = std::mem::take(&mut *self.readers.lock().unwrap());
         for r in readers {
             let _ = r.join();
+        }
+        if let Some(obs) = self.obs {
+            obs.join();
         }
         self.shared.snapshot()
     }
@@ -288,14 +349,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
                     });
                     tenants.insert(
                         t.tenant,
-                        Arc::new(TenantEntry {
-                            state: Mutex::new(TenantState {
-                                instance: t.instance,
-                                last_seq: t.last_seq,
-                            }),
-                            params: t.params,
-                            inflight: AtomicUsize::new(0),
-                        }),
+                        Arc::new(TenantEntry::new(t.instance, t.last_seq, t.params)),
                     );
                 }
             }
@@ -313,10 +367,35 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         metrics,
         wal,
         shutdown: AtomicBool::new(false),
+        obs_shutdown: Arc::new(AtomicBool::new(false)),
         conns: Mutex::new(Vec::new()),
         next_conn: AtomicU64::new(0),
     });
     let readers = Arc::new(Mutex::new(Vec::new()));
+
+    // The Prometheus exposition endpoint: `/metrics` renders the same frozen
+    // snapshot that answers the binary `Metrics` request, plus the global
+    // registry (pool and solver counters).
+    let obs = match shared.config.obs_addr.clone() {
+        None => None,
+        Some(obs_addr) => {
+            let render_shared = Arc::clone(&shared);
+            let server = soar_obs::http::MetricsServer::start(
+                &obs_addr,
+                Arc::clone(&shared.obs_shutdown),
+                Arc::new(move |path: &str| {
+                    if path != "/metrics" {
+                        return None;
+                    }
+                    let snap = render_shared.snapshot();
+                    let mut body = crate::metrics::render_prom(&snap, &render_shared.metrics);
+                    body.push_str(&soar_obs::prom::render_registry());
+                    Some(body)
+                }),
+            )?;
+            Some(server)
+        }
+    };
 
     let dispatcher = {
         let shared = Arc::clone(&shared);
@@ -339,6 +418,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         acceptor,
         dispatcher,
         readers,
+        obs,
     })
 }
 
@@ -433,6 +513,7 @@ fn reader_loop(stream: &TcpStream, conn: &Arc<Conn>, shared: &Arc<Shared>, addr:
 
 /// Decode succeeded — apply admission control and queue (or answer inline).
 fn handle_request(conn: &Arc<Conn>, shared: &Arc<Shared>, addr: SocketAddr, req: Request) {
+    let _admission = soar_obs::span!("admission");
     let Request { req_id, body } = req;
     match &body {
         // Metrics are read-only and answered from the reader thread — they
@@ -587,8 +668,18 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                 }
                 queue = shared.queue_cv.wait(queue).unwrap();
             }
+            // Batch formation proper: drain under the lock (the condvar wait
+            // above is idle time, not formation work).
+            let formed = Instant::now();
+            let _form = soar_obs::span!("batch_form", queue.len());
             let take = queue.len().min(shared.config.batch_cap);
-            queue.drain(..take).collect()
+            let batch: VecDeque<Work> = queue.drain(..take).collect();
+            drop(queue);
+            shared
+                .metrics
+                .batch_form
+                .record(formed.elapsed().as_nanos() as u64);
+            batch
         };
 
         while let Some(work) = batch.pop_front() {
@@ -690,7 +781,14 @@ fn append_wal(
     let Some(wal) = &shared.wal else {
         return Ok(());
     };
-    match f(&mut wal.lock().unwrap()) {
+    let _span = soar_obs::span!("wal_append");
+    let started = Instant::now();
+    let result = f(&mut wal.lock().unwrap());
+    shared
+        .metrics
+        .wal_append
+        .record(started.elapsed().as_nanos() as u64);
+    match result {
         Ok(()) => {
             add(&shared.metrics.wal_records, 1);
             Ok(())
@@ -710,6 +808,10 @@ fn process_barrier(shared: &Arc<Shared>, work: Work) {
         gauge,
         enqueued,
     } = work;
+    shared
+        .metrics
+        .queue_wait
+        .record(enqueued.elapsed().as_nanos() as u64);
     let respond = |body: ResponseBody| conn.send(shared, &Response { req_id, body });
     match body {
         RequestBody::Register {
@@ -751,14 +853,7 @@ fn process_barrier(shared: &Arc<Shared>, work: Work) {
                 };
                 let instance = build_tenant(switches, budget, seed);
                 let n_switches = instance.n_switches() as u32;
-                let entry = Arc::new(TenantEntry {
-                    state: Mutex::new(TenantState {
-                        instance,
-                        last_seq: 0,
-                    }),
-                    params,
-                    inflight: AtomicUsize::new(0),
-                });
+                let entry = Arc::new(TenantEntry::new(instance, 0, params));
                 use std::collections::hash_map::Entry;
                 match shared.tenants.write().unwrap().entry(tenant) {
                     Entry::Occupied(_) => fail(
@@ -836,6 +931,13 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
         gauge,
         enqueued,
     } = work;
+    // Queue wait is measured here (not as a span): the request crossed from a
+    // reader thread to this pool worker, and spans are per-thread by design.
+    shared
+        .metrics
+        .queue_wait
+        .record(enqueued.elapsed().as_nanos() as u64);
+    let _work_span = soar_obs::span!("tenant_work");
     let tenant = body.tenant().expect("tenant work");
     let respond = |body: ResponseBody| conn.send(shared, &Response { req_id, body });
     // Re-resolve: a same-batch evict (barrier) may have removed the tenant
@@ -884,19 +986,23 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
                 }
                 let mut applied = 0u32;
                 let mut failed: Option<OnlineError> = None;
-                for event in &events {
-                    // A budget change re-shapes the DP tables; allow it — the
-                    // next solve simply pays a fresh table layout.
-                    match state.instance.apply(event) {
-                        Ok(()) => applied += 1,
-                        Err(e) => {
-                            failed = Some(e);
-                            break;
+                {
+                    let _apply = soar_obs::span!("apply_events", events.len());
+                    for event in &events {
+                        // A budget change re-shapes the DP tables; allow it —
+                        // the next solve simply pays a fresh table layout.
+                        match state.instance.apply(event) {
+                            Ok(()) => applied += 1,
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
                         }
                     }
                 }
                 drop(state);
                 add(&shared.metrics.events_applied, u64::from(applied));
+                add(&entry.events_applied, u64::from(applied));
                 match failed {
                     None => respond(ResponseBody::ChurnApplied {
                         tenant,
@@ -919,6 +1025,7 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
         }
         RequestBody::Solve { .. } => {
             let state = entry.state.lock().unwrap();
+            let _solve = soar_obs::span!("serve_solve", tenant);
             let outcome = with_thread_workspace(|ws| {
                 let t0 = Instant::now();
                 ws.gather_auto(state.instance.tree(), state.instance.budget());
@@ -937,6 +1044,8 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
             add(&shared.metrics.solves, 1);
             add(&shared.metrics.cells_written, outcome.cells_written);
             add(&shared.metrics.alloc_events, outcome.alloc_events);
+            add(&entry.solves, 1);
+            add(&entry.solve_ns, outcome.wall_ns);
             respond(ResponseBody::Solved(outcome));
             shared
                 .metrics
@@ -945,6 +1054,8 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
         }
         RequestBody::Sweep { budgets, .. } => {
             let state = entry.state.lock().unwrap();
+            let _sweep = soar_obs::span!("serve_sweep", tenant);
+            let sweep_started = Instant::now();
             let kmax = budgets.iter().copied().max().unwrap_or(0) as usize;
             let (costs, cells, allocs) = with_thread_workspace(|ws| {
                 // One gather at the largest budget serves every requested k:
@@ -971,6 +1082,8 @@ fn process_tenant_work(shared: &Arc<Shared>, work: Work) {
             add(&shared.metrics.sweeps, 1);
             add(&shared.metrics.cells_written, cells);
             add(&shared.metrics.alloc_events, allocs);
+            add(&entry.solves, 1);
+            add(&entry.solve_ns, sweep_started.elapsed().as_nanos() as u64);
             respond(ResponseBody::SweepResult { tenant, costs });
             shared
                 .metrics
@@ -1343,6 +1456,65 @@ mod tests {
         ));
         // The server hung up on the desynced stream.
         assert!(client.recv().unwrap().is_none());
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn obs_endpoint_serves_prometheus_consistent_with_binary_metrics() {
+        let config = ServeConfig {
+            obs_addr: Some("127.0.0.1:0".to_owned()),
+            ..ServeConfig::default()
+        };
+        let handle = start(config).unwrap();
+        let obs_addr = handle.obs_addr().expect("obs endpoint configured");
+        let mut client = Client::connect(&handle.addr()).unwrap();
+        client
+            .call(&request(
+                1,
+                RequestBody::Register {
+                    tenant: 4,
+                    switches: 64,
+                    budget: 4,
+                    seed: 1,
+                },
+            ))
+            .unwrap();
+        for i in 0..3 {
+            client
+                .call(&request(10 + i, RequestBody::Solve { tenant: 4 }))
+                .unwrap();
+        }
+
+        // Scrape /metrics over plain HTTP.
+        let mut sock = TcpStream::connect(obs_addr).unwrap();
+        sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut sock, &mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK"), "{text}");
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+
+        // The scrape agrees with the binary Metrics response on every counter
+        // both report (the quiesced daemon has no in-flight work to race on).
+        let snap = handle.snapshot();
+        assert!(body.contains(&format!("soar_serve_solves_total {}\n", snap.solves)));
+        assert!(body.contains(&format!("soar_serve_requests_total {}\n", snap.requests)));
+        assert!(body.contains("soar_serve_resident_tenants 1\n"));
+        assert!(body.contains("soar_serve_tenant_solve_ns_total{tenant=\"4\"}"));
+        assert!(body.contains("# TYPE soar_serve_queue_wait_ns summary"));
+        // The global registry (pool/solver counters) rides along.
+        assert!(body.contains("soar_gather_passes_total"));
+        // Per-tenant breakdown made it into the snapshot too.
+        assert_eq!(snap.top_tenants.len(), 1);
+        assert_eq!(snap.top_tenants[0].solves, 3);
+
+        // Unknown paths 404.
+        let mut sock = TcpStream::connect(obs_addr).unwrap();
+        sock.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut sock, &mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.0 404"), "{text}");
+
         handle.shutdown();
         handle.join();
     }

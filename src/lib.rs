@@ -32,6 +32,10 @@
 //!   knapsack composition) and an exhaustive small-size oracle;
 //! * [`pool`] — the std-only work-stealing thread pool behind the batch entry
 //!   points and the level-parallel gather;
+//! * [`obs`] — structured tracing and metrics: per-thread span rings drained
+//!   into Chrome `trace_event` JSON (`soar trace`, Perfetto-loadable) and a
+//!   process-wide counter/gauge registry exposed in Prometheus text format
+//!   (`soar serve --obs-addr`);
 //! * [`exp`] — the declarative experiment layer
 //!   ([`ExperimentSpec`](exp::ExperimentSpec) → [`RunArtifact`](exp::RunArtifact)
 //!   with golden-snapshot diffing) behind the `soar` CLI binary and the
@@ -75,6 +79,7 @@ pub use soar_exp as exp;
 pub use soar_fabric as fabric;
 pub use soar_loadtest as loadtest;
 pub use soar_multitenant as multitenant;
+pub use soar_obs as obs;
 pub use soar_online as online;
 pub use soar_pool as pool;
 pub use soar_reduce as reduce;

@@ -65,7 +65,7 @@ impl CliError {
 type CliResult = Result<(), CliError>;
 
 const TOP_USAGE: &str =
-    "usage: soar <solve|sweep|compare|instance|experiment|online|fabric|serve|loadtest|history> [options]
+    "usage: soar <solve|sweep|compare|instance|experiment|online|fabric|serve|loadtest|trace|history> [options]
        soar --help
 
 subcommands:
@@ -78,6 +78,7 @@ subcommands:
   fabric      congestion-constrained placement on multi-root fabrics (solve, sweep)
   serve       long-running solve/churn daemon with resident tenants and admission control
   loadtest    drive a running server with synthesized churn; report throughput and latency
+  trace       run one traced solve and write a Chrome trace_event JSON (Perfetto-loadable)
   history     trajectory reports and regression gates over artifact series";
 
 fn main() {
@@ -112,6 +113,7 @@ fn dispatch(args: &[String]) -> CliResult {
         Some("fabric") => cmd_fabric(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadtest") => cmd_loadtest(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{TOP_USAGE}");
@@ -1311,7 +1313,7 @@ fn cmd_fabric_run(args: &[String], sweep: bool) -> CliResult {
 const SERVE_USAGE: &str = "usage: soar serve [--addr HOST:PORT] [--queue-cap N] [--inflight-cap N]
                   [--max-tenants N] [--batch-cap N] [--metrics-out FILE]
                   [--state-dir DIR [--recover] [--snapshot-every N]]
-                  [--write-deadline-ms MS]
+                  [--write-deadline-ms MS] [--obs-addr HOST:PORT]
 
 Runs the long-running solve/churn daemon: clients register tenants (each one a
 resident DynamicInstance), stream churn batches and request warm re-solves over
@@ -1327,7 +1329,13 @@ snapshot+WAL from that directory on startup (post-recovery solves are
 bit-identical to an uninterrupted run); without it an existing state dir is
 replaced by a fresh empty log. --write-deadline-ms bounds how long one slow
 reader may block a response write (0 = no deadline) before the connection is
-dropped and counted in io_errors.";
+dropped and counted in io_errors.
+
+--obs-addr additionally serves Prometheus text-format exposition on a second
+listener: GET /metrics returns the same frozen snapshot the binary Metrics
+request answers from (counters, gauges, per-tenant breakdown, latency
+summaries), followed by the process-wide solver counters and span-ring
+gauges of the global soar-obs registry.";
 
 fn cmd_serve(args: &[String]) -> CliResult {
     let mut config = soar::serve::ServeConfig {
@@ -1357,6 +1365,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 let ms: u64 = parse_num(options.value_for(flag)?, flag)?;
                 config.write_deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
+            "--obs-addr" => config.obs_addr = Some(options.value_for(flag)?.to_owned()),
             "--help" | "-h" => {
                 println!("{SERVE_USAGE}");
                 return Ok(());
@@ -1372,6 +1381,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let handle = soar::serve::start(config.clone())
         .map_err(|e| CliError::failure(format!("binding {}: {e}", config.addr)))?;
     println!("soar serve listening on {}", handle.addr());
+    if let Some(obs) = handle.obs_addr() {
+        println!("metrics exposition on http://{obs}/metrics");
+    }
     let snapshot = handle.join();
     println!(
         "served {} requests ({} events applied, {} solves, {} sheds, {} errors)",
@@ -1393,7 +1405,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
 const LOADTEST_USAGE: &str = "usage: soar loadtest --addr HOST:PORT [--tenants N] [--switches N]
                   [--budget K] [--connections N] [--window N] [--events-per-batch N]
                   [--batches N] [--solve-every N] [--rate EVENTS_PER_SEC] [--seed S]
-                  [--out BENCH_serve.json] [--shutdown]
+                  [--out BENCH_serve.json] [--shutdown] [--obs-addr HOST:PORT]
                   [--chaos | --resilient] [--timeout-ms MS] [--backoff-base-ms MS]
                   [--backoff-cap-ms MS] [--max-attempts N] [--stall-ms MS]
                   [--assert-zero-sheds] [--assert-sheds] [--assert-no-loss]
@@ -1418,7 +1430,12 @@ traffic — connection drops before/after send, torn frames, undecodable frames,
 and --stall-ms slow-reader stalls — while keeping exact accounting: every
 batch ends applied exactly once or explicitly lost; --assert-no-loss turns any
 lost or unaccounted batch into exit code 1. In these modes --out writes the
-BENCH_chaos.json artifact instead (lost/unaccounted batches gate exactly).";
+BENCH_chaos.json artifact instead (lost/unaccounted batches gate exactly).
+
+--obs-addr names the server's Prometheus exposition listener (its
+`serve --obs-addr`): after the run quiesces, the client scrapes /metrics and
+fails with exit 1 if any scraped counter disagrees with the binary metrics
+snapshot — the end-to-end consistency check of the obs-smoke CI job.";
 
 fn cmd_loadtest(args: &[String]) -> CliResult {
     let mut config = soar::loadtest::LoadtestConfig::default();
@@ -1455,6 +1472,14 @@ fn cmd_loadtest(args: &[String]) -> CliResult {
             "--seed" => config.seed = parse_num(options.value_for(flag)?, flag)?,
             "--out" => out = Some(options.value_for(flag)?),
             "--shutdown" => config.shutdown = true,
+            "--obs-addr" => {
+                let value = options.value_for(flag)?;
+                config.obs_addr = Some(
+                    value
+                        .parse()
+                        .map_err(|_| CliError::usage(format!("invalid address `{value}`")))?,
+                );
+            }
             "--chaos" => config.chaos = Some(soar::loadtest::ChaosConfig::standard()),
             "--resilient" => {
                 config
@@ -1534,6 +1559,137 @@ fn cmd_loadtest(args: &[String]) -> CliResult {
             "{} requests answered with errors",
             report.errors
         )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------------
+
+const TRACE_USAGE: &str = "usage: soar trace [--switches N] [--budget K] [--out FILE]
+                  [--assert-coverage PCT]
+
+Runs one warm-workspace solve of the standard gather-bench instance family
+(BT(--switches) with power-law leaf loads, default 4096 switches at budget 16)
+with span tracing enabled, then writes the recorded spans as a Chrome
+trace_event JSON document (--out, default soar-trace.json) loadable in
+https://ui.perfetto.dev or chrome://tracing. Prints the phase breakdown of the
+root `solve` span — workspace reset, per-level gather, traceback — and the
+fraction of the solve's wall time its direct children cover.
+
+--assert-coverage fails with exit 1 when that fraction falls below PCT percent
+(the obs-smoke CI job gates at 95).";
+
+fn cmd_trace(args: &[String]) -> CliResult {
+    let mut switches: usize = 4096;
+    let mut budget: usize = 16;
+    let mut out_path = "soar-trace.json".to_owned();
+    let mut assert_coverage: Option<f64> = None;
+    let mut options = Options::new(args);
+    while let Some(flag) = options.next() {
+        match flag {
+            "--switches" | "-n" => switches = parse_num(options.value_for(flag)?, flag)?,
+            "--budget" | "-k" => budget = parse_num(options.value_for(flag)?, flag)?,
+            "--out" | "-o" => out_path = options.value_for(flag)?.to_owned(),
+            "--assert-coverage" => {
+                let value = options.value_for(flag)?;
+                let pct: f64 = value.parse().map_err(|_| {
+                    CliError::usage(format!("invalid coverage percentage `{value}`"))
+                })?;
+                assert_coverage = Some(pct / 100.0);
+            }
+            "--help" | "-h" => {
+                println!("{TRACE_USAGE}");
+                return Ok(());
+            }
+            other => return Err(CliError::usage(format!("unknown trace flag `{other}`"))),
+        }
+    }
+    if switches < 2 {
+        return Err(CliError::usage("--switches must be at least 2"));
+    }
+
+    let instance = soar::exp::perf::gather_bench_instance_with_budget(switches, budget);
+    let tree = instance.tree();
+    let k = instance.budget();
+
+    // One untimed warm-up outside the trace so the recorded solve is the
+    // steady state (no arena growth spans distorting the phase breakdown),
+    // then the traced solve under a root span.
+    let mut ws = soar::core::workspace::SolverWorkspace::new();
+    ws.gather_auto(tree, k);
+    soar::obs::set_tracing(true);
+    let (cost, blue) = {
+        let _solve = soar_obs::span!("solve", tree.n_switches());
+        ws.gather_auto(tree, k);
+        ws.trace_best(tree)
+    };
+    soar::obs::set_tracing(false);
+
+    let threads = soar::obs::span::snapshot();
+    write_file(&out_path, &soar::obs::trace::chrome_trace_json(&threads))?;
+
+    let spans = soar::obs::trace::complete_spans(&threads);
+    let root = spans
+        .iter()
+        .filter(|s| s.name == "solve")
+        .max_by_key(|s| s.dur_ns)
+        .ok_or_else(|| CliError::failure("no root `solve` span was recorded"))?;
+    println!(
+        "solved BT family, {} switches, k = {k}: cost {cost:.3} with {blue} blue switches",
+        tree.n_switches()
+    );
+    println!(
+        "trace written to {out_path} ({} spans across {} threads)",
+        spans.len(),
+        threads.iter().filter(|t| !t.events.is_empty()).count()
+    );
+
+    // Phase breakdown: the root's direct children on its own thread, grouped
+    // by name in first-seen order. Worker-thread stripe spans overlap these
+    // in wall time, so coverage is measured on the root thread only.
+    let mut phases: Vec<(&str, u64, usize)> = Vec::new();
+    let mut covered: u64 = 0;
+    for span in spans.iter().filter(|s| {
+        s.tid == root.tid
+            && s.depth == 1
+            && s.ts_ns >= root.ts_ns
+            && s.ts_ns <= root.ts_ns + root.dur_ns
+    }) {
+        covered += span.dur_ns;
+        match phases.iter_mut().find(|(name, ..)| *name == span.name) {
+            Some((_, dur, count)) => {
+                *dur += span.dur_ns;
+                *count += 1;
+            }
+            None => phases.push((span.name, span.dur_ns, 1)),
+        }
+    }
+    println!(
+        "phase breakdown of the {:.3} ms solve:",
+        root.dur_ns as f64 / 1e6
+    );
+    for (name, dur_ns, count) in &phases {
+        println!(
+            "  {name:<16} {:>10.3} ms  ({count:>3} spans, {:>5.1}% of the solve)",
+            *dur_ns as f64 / 1e6,
+            100.0 * *dur_ns as f64 / root.dur_ns.max(1) as f64,
+        );
+    }
+    let coverage = covered as f64 / root.dur_ns.max(1) as f64;
+    println!(
+        "span coverage of the solve wall time: {:.1}%",
+        coverage * 100.0
+    );
+    if let Some(min) = assert_coverage {
+        if coverage < min {
+            return Err(CliError::failure(format!(
+                "span coverage {:.1}% is below the required {:.1}%",
+                coverage * 100.0,
+                min * 100.0
+            )));
+        }
     }
     Ok(())
 }
